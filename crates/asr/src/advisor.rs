@@ -1,0 +1,156 @@
+//! Automated ASR selection — the paper's §8 future work, implemented as a
+//! topology-driven heuristic.
+//!
+//! Starting from a target relation, the advisor walks the mapping graph
+//! backwards collecting **linear chains** (runs of mappings where each
+//! step has a unique non-local deriving mapping), splits each chain into
+//! segments of at most `max_len` mappings, and emits one non-overlapping
+//! ASR definition per segment. This mirrors how the paper's experiments
+//! "split the chain into paths up to this length" (§6.4).
+
+use crate::def::{AsrDefinition, AsrKind};
+use proql_provgraph::ProvenanceSystem;
+use std::collections::HashSet;
+
+/// Propose ASR definitions for queries targeting `target_relation`.
+pub fn advise(
+    sys: &ProvenanceSystem,
+    target_relation: &str,
+    max_len: usize,
+    kind: AsrKind,
+) -> Vec<AsrDefinition> {
+    let graph = sys.schema_graph();
+    let mut used: HashSet<String> = HashSet::new();
+    let mut chains: Vec<Vec<String>> = Vec::new();
+
+    // Breadth-first over relations, growing chains downstream-first.
+    let mut frontier: Vec<String> = vec![target_relation.to_string()];
+    let mut seen_rel: HashSet<String> = HashSet::new();
+    while let Some(rel) = frontier.pop() {
+        if !seen_rel.insert(rel.clone()) {
+            continue;
+        }
+        for m in graph.mappings_deriving(&rel) {
+            if graph.is_local_mapping(m) || used.contains(m) {
+                continue;
+            }
+            // Grow a chain from m while each step is linear.
+            let mut chain = vec![m.to_string()];
+            used.insert(m.to_string());
+            let mut current = m.to_string();
+            loop {
+                let sources = graph.sources_of(&current);
+                // Candidate next mappings: unique non-local mapping deriving
+                // any source relation.
+                let mut next: Vec<String> = Vec::new();
+                for s in &sources {
+                    for m2 in graph.mappings_deriving(s) {
+                        if !graph.is_local_mapping(m2) && !used.contains(m2) {
+                            next.push(m2.to_string());
+                        }
+                    }
+                }
+                next.sort();
+                next.dedup();
+                if next.len() == 1 {
+                    let m2 = next.pop().expect("len checked");
+                    used.insert(m2.clone());
+                    chain.push(m2.clone());
+                    current = m2;
+                } else {
+                    // Branch point (or dead end): stop the chain, resume
+                    // the BFS from the sources.
+                    for s in sources {
+                        frontier.push(s.to_string());
+                    }
+                    break;
+                }
+            }
+            chains.push(chain);
+        }
+    }
+
+    // Split chains into segments of at most max_len; segments of length < 2
+    // index nothing and are dropped.
+    let mut defs = Vec::new();
+    for chain in chains {
+        for seg in chain.chunks(max_len.max(2)) {
+            if seg.len() >= 2 {
+                defs.push(AsrDefinition::new(seg.to_vec(), kind));
+            }
+        }
+    }
+    defs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::AsrRegistry;
+    use proql_common::{tup, Schema, ValueType};
+    use proql_provgraph::ProvenanceSystem;
+
+    /// A 5-relation chain R0 <- R1 <- ... <- R4 with data at R4.
+    fn chain_system() -> ProvenanceSystem {
+        let mut sys = ProvenanceSystem::new();
+        for i in 0..5 {
+            sys.add_relation_with_local(
+                Schema::build(
+                    &format!("R{i}"),
+                    &[("k", ValueType::Int), ("v", ValueType::Int)],
+                    &[0],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        for i in 0..4 {
+            sys.add_mapping_text(&format!("c{i}: R{i}(k, v) :- R{}(k, v)", i + 1))
+                .unwrap();
+        }
+        sys.insert_local("R4", tup![1, 10]).unwrap();
+        sys.insert_local("R4", tup![2, 20]).unwrap();
+        sys.run_exchange().unwrap();
+        sys
+    }
+
+    #[test]
+    fn advises_chain_segments() {
+        let sys = chain_system();
+        let defs = advise(&sys, "R0", 2, AsrKind::Complete);
+        // Chain c0,c1,c2,c3 split into [c0,c1], [c2,c3].
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[0].path, vec!["c0", "c1"]);
+        assert_eq!(defs[1].path, vec!["c2", "c3"]);
+        // Non-overlapping by construction.
+        assert!(!defs[0].overlaps(&defs[1]));
+    }
+
+    #[test]
+    fn advised_asrs_build_cleanly() {
+        let mut sys = chain_system();
+        let defs = advise(&sys, "R0", 4, AsrKind::Suffix);
+        assert_eq!(defs.len(), 1);
+        let mut reg = AsrRegistry::new();
+        for d in defs {
+            reg.build(&mut sys, d).unwrap();
+        }
+        assert!(reg.total_rows() > 0);
+    }
+
+    #[test]
+    fn branch_points_cut_chains() {
+        let sys = proql_provgraph::system::example_2_1().unwrap();
+        let defs = advise(&sys, "O", 4, AsrKind::Complete);
+        // Every advised path must validate (connected, known mappings).
+        for d in &defs {
+            d.validate(&sys).unwrap();
+        }
+        // No mapping appears in two definitions.
+        for (i, a) in defs.iter().enumerate() {
+            for b in defs.iter().skip(i + 1) {
+                assert!(!a.overlaps(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # proql-asr
+//!
+//! **Access support relations** for provenance (paper §5): materialized
+//! joins of provenance relations along mapping paths, adapted from
+//! Kemper & Moerkotte's ASRs for object bases.
+//!
+//! An [`AsrDefinition`] names a path of mappings `[m_down, ..., m_up]`
+//! (`m_down` closest to the query's target relation) and a kind:
+//!
+//! * **Complete** — only the full path (inner joins),
+//! * **Prefix** — the path and all its prefixes (downstream segments),
+//! * **Suffix** — the path and all its suffixes (upstream segments),
+//! * **Subpath** — every contiguous segment,
+//!
+//! realized as a `UNION` of padded inner joins (the paper's
+//! `P(3,2,1) = P3 ⋈ P2 ⟕ P1 ∪ P3 ⟕ P2 ⋈ P1` construction generalized:
+//! one branch per indexed segment, NULL padding outside the segment).
+//!
+//! [`AsrRegistry`] materializes ASRs as tables and implements the greedy
+//! `unfoldASRs` rewriting of Figure 4 (longest indexed segment first,
+//! homomorphism-based matching via `findHomomorphism`), plugging into the
+//! query engine as a [`BodyRewriter`].
+//!
+//! [`advisor`] adds the automated ASR-selection heuristic the paper lists
+//! as future work (§8).
+
+pub mod advisor;
+pub mod build;
+pub mod def;
+pub mod rewrite;
+
+pub use advisor::advise;
+pub use build::AsrRegistry;
+pub use def::{AsrDefinition, AsrKind};

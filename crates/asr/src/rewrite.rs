@@ -1,0 +1,155 @@
+//! The greedy `unfoldASRs` rewriting of the paper's Figure 4.
+//!
+//! For each unfolded rule, each ASR's indexed segments are tried longest
+//! first; a segment applies when its conjunctive pattern embeds into the
+//! rule body (via `findHomomorphism`). The matched provenance atoms are
+//! removed and replaced by a single ASR atom whose out-of-segment columns
+//! are pinned to NULL — selecting exactly the padding rows materialized
+//! for that segment. Because registered ASRs are non-overlapping, the
+//! greedy order yields a minimal rewriting (paper §5.2).
+
+use crate::build::AsrRegistry;
+use proql::translate::BodyRewriter;
+use proql_common::Result;
+use proql_datalog::ast::Atom;
+use proql_datalog::homomorphism::{apply_homomorphism, find_homomorphism};
+
+impl BodyRewriter for AsrRegistry {
+    fn rewrite(&self, mut body: Vec<Atom>) -> Result<Vec<Atom>> {
+        loop {
+            let mut did_something = false;
+            for asr in self.asrs() {
+                // Inverse order of length is precomputed in seg_patterns
+                // (AsrKind::segments sorts longest first).
+                let mut found_unfolding = false;
+                for seg in &asr.seg_patterns {
+                    if found_unfolding {
+                        break;
+                    }
+                    if let Some((h, matched)) = find_homomorphism(&seg.pattern, &body) {
+                        // Remove matched atoms (descending index order).
+                        let mut idxs = matched;
+                        idxs.sort_unstable_by(|a, b| b.cmp(a));
+                        for i in idxs {
+                            body.remove(i);
+                        }
+                        // Add the image of the ASR head under h.
+                        let head = Atom::new(asr.def.name.clone(), seg.head_terms.clone());
+                        body.push(apply_homomorphism(&h, &head));
+                        found_unfolding = true;
+                    }
+                }
+                if found_unfolding {
+                    did_something = true;
+                }
+            }
+            if !did_something {
+                return Ok(body);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::def::{AsrDefinition, AsrKind};
+    use proql::engine::{Engine, EngineOptions, Strategy};
+    use proql::parser::parse_query;
+    use proql::translate::{translate, TranslateOptions};
+    use proql_provgraph::system::example_2_1;
+    use std::sync::Arc;
+
+    fn registry(kind: AsrKind) -> (proql_provgraph::ProvenanceSystem, AsrRegistry) {
+        let mut sys = example_2_1().unwrap();
+        let mut reg = AsrRegistry::new();
+        reg.build(
+            &mut sys,
+            AsrDefinition::new(vec!["m5".into(), "m1".into()], kind),
+        )
+        .unwrap();
+        (sys, reg)
+    }
+
+    #[test]
+    fn rewrites_m5_m1_pair_into_asr_atom() {
+        let (sys, reg) = registry(AsrKind::Complete);
+        let q = parse_query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x").unwrap();
+        let plain = translate(&sys, &q, None, &TranslateOptions::default()).unwrap();
+        let rewritten = translate(&sys, &q, Some(&reg), &TranslateOptions::default()).unwrap();
+        assert_eq!(plain.rules.len(), rewritten.rules.len());
+        // Some rule had both P_m5 and P_m1 and now references the ASR.
+        let uses_asr = rewritten.rules.iter().any(|r| {
+            r.atoms.iter().any(|a| a.relation == "ASR_complete_m5_m1")
+        });
+        assert!(uses_asr, "no rule was rewritten to use the ASR");
+        // Rewritten rules never contain P_m5 and P_m1 together.
+        for r in &rewritten.rules {
+            let has5 = r.atoms.iter().any(|a| a.relation == "P_m5");
+            let has1 = r.atoms.iter().any(|a| a.relation == "P_m1");
+            assert!(!(has5 && has1), "pair should have been replaced");
+        }
+        // Atom count shrinks in the rewritten rules that use the ASR.
+        let plain_atoms: usize = plain.stats.total_atoms;
+        let rew_atoms: usize = rewritten.stats.total_atoms;
+        assert!(rew_atoms < plain_atoms);
+    }
+
+    #[test]
+    fn query_results_identical_with_and_without_asrs() {
+        let (sys, reg) = registry(AsrKind::Subpath);
+        let q = "FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+        let mut plain_engine = Engine::new(sys.clone());
+        plain_engine.options.strategy = Strategy::Unfold;
+        let plain = plain_engine.query(q).unwrap();
+
+        let mut opts = EngineOptions::default();
+        opts.strategy = Strategy::Unfold;
+        opts.rewriter = Some(Arc::new(reg));
+        let mut asr_engine = Engine::with_options(sys, opts);
+        let with_asr = asr_engine.query(q).unwrap();
+
+        assert_eq!(plain.projection.bindings, with_asr.projection.bindings);
+        assert_eq!(
+            plain.projection.derivations,
+            with_asr.projection.derivations
+        );
+        // And the rewritten plans contain fewer joins.
+        assert!(with_asr.stats.total_joins < plain.stats.total_joins);
+    }
+
+    #[test]
+    fn annotation_results_survive_rewriting() {
+        let (sys, reg) = registry(AsrKind::Complete);
+        let q = "EVALUATE LINEAGE OF {
+                   FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+                 }";
+        let mut plain_engine = Engine::new(sys.clone());
+        plain_engine.options.strategy = Strategy::Unfold;
+        let plain = plain_engine.query(q).unwrap().annotated.unwrap();
+
+        let mut opts = EngineOptions::default();
+        opts.strategy = Strategy::Unfold;
+        opts.rewriter = Some(Arc::new(reg));
+        let mut asr_engine = Engine::with_options(sys, opts);
+        let with_asr = asr_engine.query(q).unwrap().annotated.unwrap();
+
+        for row in &plain.rows {
+            let other = with_asr
+                .annotation_of(&row.relation, &row.key)
+                .unwrap_or_else(|| panic!("missing {} {}", row.relation, row.key));
+            assert_eq!(&row.annotation, other);
+        }
+    }
+
+    #[test]
+    fn non_matching_bodies_unchanged() {
+        let (_, reg) = registry(AsrKind::Complete);
+        let body = vec![Atom::new(
+            "P_m4",
+            vec![proql_datalog::ast::Term::var("x")],
+        )];
+        let out = reg.rewrite(body.clone()).unwrap();
+        assert_eq!(out, body);
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 10 — chain and branched topologies with a fixed base size,
+//! varying the **number of peers**. Expected shape: instance size and
+//! query processing time grow roughly linearly with the peer count
+//! (slightly faster for the branched topology).
+
+use proql::engine::EngineOptions;
+use proql_bench::{banner, build_timed, measure_target_query, scaled};
+use proql_cdss::topology::{CdssConfig, Topology};
+
+fn main() {
+    banner(
+        "Figure 10: varying number of peers, base 10k at 2-3 peers",
+        "query time and instance size vs #peers (linear)",
+    );
+    let base = scaled(500, 10_000);
+    let peer_steps: Vec<usize> = if proql_bench::full_scale() {
+        (1..=8).map(|i| i * 10).collect()
+    } else {
+        vec![5, 10, 15, 20, 25, 30]
+    };
+    println!(
+        "{:>8} {:>9} {:>14} {:>14} {:>12}",
+        "peers", "topology", "total (s)", "instance", "sql bytes"
+    );
+    for &peers in &peer_steps {
+        for (name, topo, cfg) in [
+            ("chain", Topology::Chain, CdssConfig::upstream_data(peers, 2, base)),
+            (
+                "branched",
+                Topology::Branched,
+                CdssConfig::new(peers, vec![peers - 1, peers - 2], base),
+            ),
+        ] {
+            let (sys, _) = build_timed(topo, &cfg);
+            let m = measure_target_query(&sys, EngineOptions::default());
+            println!(
+                "{:>8} {:>9} {:>14.4} {:>14} {:>12}",
+                peers,
+                name,
+                m.total_s(),
+                m.instance_rows,
+                m.sql_bytes
+            );
+        }
+    }
+}

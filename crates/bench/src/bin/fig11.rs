@@ -1,0 +1,27 @@
+//! Figure 11 — query processing times for different ASR types and maximum
+//! path lengths, on a chain of 20 peers, few of which have local data.
+//! Expected shape: every ASR type beats the no-ASR baseline, and the
+//! benefit grows with ASR length (the chain's paths are subsumed by the
+//! indexed paths).
+
+use proql_bench::{asr_sweep, banner, scaled};
+use proql_cdss::topology::{CdssConfig, Topology};
+
+fn main() {
+    banner(
+        "Figure 11: ASR types × lengths, chain of 20 peers, 2 data peers",
+        "query time vs max ASR path length; all types improve, longer is better",
+    );
+    let peers = scaled(12, 20);
+    let base = scaled(2_000, 50_000);
+    let lengths: Vec<usize> = if proql_bench::full_scale() {
+        (2..=10).collect()
+    } else {
+        vec![2, 3, 4, 6, 8]
+    };
+    asr_sweep(
+        Topology::Chain,
+        &CdssConfig::upstream_data(peers, 2, base),
+        &lengths,
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 12 — ASR types × lengths on a chain of 8 peers, **half** of which
+//! have local data. Expected shape: subpath/prefix/suffix ASRs beat
+//! complete-path ASRs (many unfolded rules use partial segments), with
+//! suffix ASRs strongest for the target query, and benefits peaking at
+//! medium lengths.
+
+use proql_bench::{asr_sweep, banner, scaled};
+use proql_cdss::topology::{CdssConfig, Topology};
+
+fn main() {
+    banner(
+        "Figure 12: ASR types × lengths, chain of 8 peers, 4 with data",
+        "subpath/suffix ASRs beat complete-path ASRs; medium lengths peak",
+    );
+    let base = scaled(2_000, 50_000);
+    let lengths: Vec<usize> = (2..=7).collect();
+    asr_sweep(
+        Topology::Chain,
+        &CdssConfig::upstream_data(8, 4, base),
+        &lengths,
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 13 — ASR types × lengths on a **branched** topology of 20 peers,
+//! 4 with data. Expected shape: complete-path and prefix ASRs that cross
+//! branch boundaries help fewer rules; subpath and suffix ASRs keep their
+//! benefit at greater lengths.
+
+use proql_bench::{asr_sweep, banner, scaled};
+use proql_cdss::topology::{CdssConfig, Topology};
+
+fn main() {
+    banner(
+        "Figure 13: ASR types × lengths, branched topology of 20 peers",
+        "branching favors subpath/suffix ASRs at greater lengths",
+    );
+    let peers = scaled(12, 20);
+    let base = scaled(2_000, 50_000);
+    let lengths: Vec<usize> = if proql_bench::full_scale() {
+        (2..=10).collect()
+    } else {
+        vec![2, 3, 4, 6]
+    };
+    let data = vec![peers - 1, peers - 2, peers - 3, peers - 4];
+    asr_sweep(
+        Topology::Branched,
+        &CdssConfig::new(peers, data, base),
+        &lengths,
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 7 — query processing times and unfolded rules for a chain of
+//! varying length with data at **every** peer (the stress test). Expected
+//! shape: the number of unfolded rules, unfolding time, and evaluation
+//! time all grow exponentially with the number of peers.
+
+use proql::engine::EngineOptions;
+use proql_bench::{banner, build_timed, measure_target_query, scaled};
+use proql_cdss::topology::{CdssConfig, Topology};
+
+fn main() {
+    banner(
+        "Figure 7: chain of varying length, data at every peer",
+        "evaluation/unfolding time and #unfolded rules vs #peers (exponential)",
+    );
+    let base = scaled(100, 1000);
+    let max_peers = scaled(6, 8);
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>10}",
+        "peers", "rules", "unfold (s)", "eval (s)", "bindings"
+    );
+    for peers in 2..=max_peers {
+        let cfg = CdssConfig::all_data(peers, base);
+        let (sys, _) = build_timed(Topology::Chain, &cfg);
+        let m = measure_target_query(&sys, EngineOptions::default());
+        println!(
+            "{:>6} {:>12} {:>14.4} {:>14.4} {:>10}",
+            peers, m.rules, m.unfold_s, m.eval_s, m.bindings
+        );
+    }
+}

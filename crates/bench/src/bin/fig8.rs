@@ -1,0 +1,30 @@
+//! Figure 8 — chain of 20 peers, varying the number of peers **with local
+//! data**. Expected shape: unfolded rules and both time components grow
+//! exponentially with the number of data peers.
+
+use proql::engine::EngineOptions;
+use proql_bench::{banner, build_timed, measure_target_query, scaled};
+use proql_cdss::topology::{CdssConfig, Topology};
+
+fn main() {
+    banner(
+        "Figure 8: chain of 20 peers, varying number of peers with data",
+        "unfolded rules / times vs #data peers (exponential)",
+    );
+    let peers = scaled(12, 20);
+    let base = scaled(100, 1000);
+    let max_data = scaled(4, 8);
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>10}",
+        "data", "rules", "unfold (s)", "eval (s)", "bindings"
+    );
+    for k in 1..=max_data {
+        let cfg = CdssConfig::upstream_data(peers, k, base);
+        let (sys, _) = build_timed(Topology::Chain, &cfg);
+        let m = measure_target_query(&sys, EngineOptions::default());
+        println!(
+            "{:>10} {:>12} {:>14.4} {:>14.4} {:>10}",
+            k, m.rules, m.unfold_s, m.eval_s, m.bindings
+        );
+    }
+}

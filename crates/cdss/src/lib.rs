@@ -1,0 +1,24 @@
+//! # proql-cdss
+//!
+//! Collaborative data sharing system (CDSS) simulation — the experimental
+//! substrate of the paper's §6:
+//!
+//! * [`workload`] — a synthetic SWISS-PROT-like generator: a 25-attribute
+//!   universal relation partitioned into two relations per peer sharing a
+//!   key, strings replaced by integer hashes (the paper's own
+//!   preprocessing),
+//! * [`topology`] — the chain (Figure 5) and branched (Figure 6) mapping
+//!   topologies, built as [`ProvenanceSystem`]s and exchanged with
+//!   provenance,
+//! * [`update`] — provenance-based incremental deletion (use case Q5:
+//!   "whether a tuple remains derivable" during update exchange).
+//!
+//! [`ProvenanceSystem`]: proql_provgraph::ProvenanceSystem
+
+pub mod topology;
+pub mod update;
+pub mod workload;
+
+pub use topology::{build_system, target_query, CdssConfig, Topology};
+pub use update::{delete_local, remains_derivable, DeleteStats};
+pub use workload::SwissProtLike;

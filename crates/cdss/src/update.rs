@@ -1,0 +1,179 @@
+//! Provenance-based incremental update exchange (use cases Q5/Q6).
+//!
+//! When a base tuple is deleted, the system must decide which derived
+//! tuples *remain derivable* from the remaining base data — the paper's
+//! Q5, which "provenance can speed up" compared with recomputing the
+//! exchange from scratch. The implementation evaluates the derivability
+//! semiring over the provenance graph after removing the base tuple's `+`
+//! derivation, then garbage-collects underivable tuples and the
+//! provenance rows that referenced them.
+
+use proql_common::{Error, Result, Tuple};
+use proql_provgraph::{ProvGraph, ProvenanceSystem};
+use proql_semiring::{evaluate, Annotation, Assignment, SemiringKind};
+use std::collections::HashSet;
+
+/// What a deletion removed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeleteStats {
+    /// Tuples removed from public relations (including the seed tuple).
+    pub tuples_deleted: usize,
+    /// Rows removed from materialized provenance relations.
+    pub prov_rows_deleted: usize,
+}
+
+/// Delete a tuple from `relation`'s local-contribution table and
+/// garbage-collect everything that is no longer derivable.
+pub fn delete_local(
+    sys: &mut ProvenanceSystem,
+    relation: &str,
+    key: &Tuple,
+) -> Result<DeleteStats> {
+    let local = sys
+        .local_of(relation)
+        .ok_or_else(|| Error::NotFound(format!("local table of {relation}")))?;
+    if sys.db.table_mut(&local)?.delete_by_key(key).is_none() {
+        return Err(Error::NotFound(format!(
+            "local tuple {relation}{key} does not exist"
+        )));
+    }
+
+    // Recompute derivability over the provenance graph. The local `+`
+    // derivation disappeared with the view row; tuples whose annotation
+    // drops to `false` — or that have no derivations left at all — must go.
+    let graph = ProvGraph::from_system(sys)?;
+    let assign = Assignment::default_for(SemiringKind::Derivability)
+        .with_dangling(Annotation::Bool(false));
+    let values = evaluate(&graph, &assign)?;
+
+    let mut stats = DeleteStats::default();
+    let mut dead: HashSet<(String, Tuple)> = HashSet::new();
+    for t in graph.tuple_ids() {
+        let derivable = values.get(&t) == Some(&Annotation::Bool(true))
+            && !graph.derivations_of(t).is_empty();
+        if !derivable {
+            let node = graph.tuple(t);
+            dead.insert((node.relation.clone(), node.key.clone()));
+        }
+    }
+
+    // Remove dead tuples from public relations.
+    for (rel, k) in &dead {
+        if sys.db.table_mut(rel)?.delete_by_key(k).is_some() {
+            stats.tuples_deleted += 1;
+        }
+    }
+
+    // Remove provenance rows whose derivations reference a dead tuple.
+    let specs: Vec<_> = sys
+        .specs()
+        .iter()
+        .filter(|s| !s.superfluous)
+        .cloned()
+        .collect();
+    for spec in specs {
+        let rows = sys.db.table(&spec.prov_rel)?.scan();
+        for row in rows {
+            let touches_dead = spec.atoms.iter().any(|recipe| {
+                dead.contains(&(recipe.relation.clone(), recipe.key_of(&row)))
+            });
+            if touches_dead {
+                let keyed = row.clone();
+                if sys
+                    .db
+                    .table_mut(&spec.prov_rel)?
+                    .delete_by_key(&keyed)
+                    .is_some()
+                {
+                    stats.prov_rows_deleted += 1;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// The Q5 test in isolation: is a tuple still derivable from the current
+/// base data?
+pub fn remains_derivable(sys: &ProvenanceSystem, relation: &str, key: &Tuple) -> Result<bool> {
+    let graph = ProvGraph::from_system(sys)?;
+    let Some(t) = graph.find_tuple(relation, key) else {
+        return Ok(false);
+    };
+    if graph.derivations_of(t).is_empty() {
+        return Ok(false);
+    }
+    let assign = Assignment::default_for(SemiringKind::Derivability)
+        .with_dangling(Annotation::Bool(false));
+    let values = evaluate(&graph, &assign)?;
+    Ok(values.get(&t) == Some(&Annotation::Bool(true)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{build_system, CdssConfig, Topology};
+    use proql_common::tup;
+    use proql_provgraph::system::example_2_1;
+
+    #[test]
+    fn deleting_sole_base_kills_downstream() {
+        // 3-peer chain, data only at peer 2: deleting key 0 at peer 2
+        // removes it everywhere.
+        let mut sys =
+            build_system(Topology::Chain, &CdssConfig::new(3, vec![2], 3)).unwrap();
+        assert!(remains_derivable(&sys, "R0a", &tup![0]).unwrap());
+        let stats = delete_local(&mut sys, "R2a", &tup![0]).unwrap();
+        // R2a(0), R1a(0), R0a(0) die (the b-side survives? No: the pair
+        // mapping needs both sides, so derived a AND b tuples of key 0 die
+        // everywhere except the base R2b(0)).
+        assert!(stats.tuples_deleted >= 3);
+        assert!(!remains_derivable(&sys, "R0a", &tup![0]).unwrap());
+        assert!(sys.db.table("R0a").unwrap().get_by_key(&tup![0]).is_none());
+        // Other keys untouched.
+        assert!(remains_derivable(&sys, "R0a", &tup![1]).unwrap());
+        // Provenance rows for key 0 are gone.
+        assert!(stats.prov_rows_deleted >= 2);
+    }
+
+    #[test]
+    fn alternative_derivations_survive_deletion() {
+        // Branched: two leaves feed the root with the same keys; deleting
+        // one leaf's tuple keeps the root derivable through the other.
+        let mut sys = build_system(
+            Topology::Branched,
+            &CdssConfig::new(3, vec![1, 2], 2),
+        )
+        .unwrap();
+        delete_local(&mut sys, "R1a", &tup![0]).unwrap();
+        assert!(remains_derivable(&sys, "R0a", &tup![0]).unwrap());
+        assert!(sys.db.table("R0a").unwrap().get_by_key(&tup![0]).is_some());
+    }
+
+    #[test]
+    fn delete_on_cyclic_example_handles_mutual_derivations() {
+        // Example 2.1: C(2,cn2) and N(2,cn2,false) derive each other; only
+        // the local C(2,cn2) grounds them. Deleting it must kill both
+        // (no infinite support through the cycle).
+        let mut sys = example_2_1().unwrap();
+        delete_local(&mut sys, "C", &tup![2, "cn2"]).unwrap();
+        assert!(!remains_derivable(&sys, "C", &tup![2, "cn2"]).unwrap());
+        assert!(!remains_derivable(&sys, "N", &tup![2, "cn2"]).unwrap());
+        assert!(sys.db.table("O").unwrap().get_by_key(&tup!["cn2"]).is_none());
+        // Tuples grounded by A survive.
+        assert!(remains_derivable(&sys, "O", &tup!["sn1"]).unwrap());
+    }
+
+    #[test]
+    fn deleting_missing_tuple_errors() {
+        let mut sys = example_2_1().unwrap();
+        assert!(delete_local(&mut sys, "C", &tup![99, "zz"]).is_err());
+        assert!(delete_local(&mut sys, "P_m1", &tup![1]).is_err());
+    }
+
+    #[test]
+    fn derivability_check_for_unknown_tuple_is_false() {
+        let sys = example_2_1().unwrap();
+        assert!(!remains_derivable(&sys, "O", &tup!["nope"]).unwrap());
+    }
+}

@@ -1,0 +1,96 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Result alias used across all ProQL crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised anywhere in the ProQL stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Schema definition or tuple/schema conformance problem.
+    Schema(String),
+    /// Unknown relation, mapping, or other catalog object.
+    NotFound(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// Malformed Datalog rule or program (unsafe variable, arity, ...).
+    Datalog(String),
+    /// ProQL lexing/parsing failure, with position info in the message.
+    Parse(String),
+    /// ProQL query is well-formed but invalid against the provenance schema.
+    Query(String),
+    /// Semiring evaluation problem (divergence on cyclic graph, bad
+    /// assignment, unsupported operation).
+    Semiring(String),
+    /// ASR definition or rewriting problem (overlap, bad path).
+    Asr(String),
+    /// Storage engine failure (bad plan, index misuse).
+    Storage(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl Error {
+    /// The category label used in `Display`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Schema(_) => "schema",
+            Error::NotFound(_) => "not found",
+            Error::AlreadyExists(_) => "already exists",
+            Error::Datalog(_) => "datalog",
+            Error::Parse(_) => "parse",
+            Error::Query(_) => "query",
+            Error::Semiring(_) => "semiring",
+            Error::Asr(_) => "asr",
+            Error::Storage(_) => "storage",
+            Error::Other(_) => "error",
+        }
+    }
+
+    /// The human message.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Schema(m)
+            | Error::NotFound(m)
+            | Error::AlreadyExists(m)
+            | Error::Datalog(m)
+            | Error::Parse(m)
+            | Error::Query(m)
+            | Error::Semiring(m)
+            | Error::Asr(m)
+            | Error::Storage(m)
+            | Error::Other(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::Parse("unexpected token at 1:3".into());
+        assert_eq!(e.to_string(), "parse: unexpected token at 1:3");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token at 1:3");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::NotFound("R".into()),
+            Error::NotFound("R".into())
+        );
+        assert_ne!(Error::NotFound("R".into()), Error::Schema("R".into()));
+    }
+}

@@ -1,0 +1,88 @@
+//! Identifier newtypes used across the workspace.
+//!
+//! Provenance graphs reference relations, mappings, peers, tuples, and
+//! derivations; giving each its own newtype prevents the classic
+//! "joined on the wrong id" bug in graph code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a relation in a catalog / provenance schema graph.
+    RelationId,
+    "rel"
+);
+id_type!(
+    /// Identifies a schema mapping (a Datalog rule with a name, e.g. `m5`).
+    MappingId,
+    "m"
+);
+id_type!(
+    /// Identifies a CDSS peer.
+    PeerId,
+    "peer"
+);
+id_type!(
+    /// Identifies a tuple node in a provenance graph.
+    TupleId,
+    "t"
+);
+id_type!(
+    /// Identifies a derivation node in a provenance graph.
+    DerivationId,
+    "d"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(RelationId(3).to_string(), "rel3");
+        assert_eq!(MappingId(5).to_string(), "m5");
+        assert_eq!(PeerId(0).to_string(), "peer0");
+        assert_eq!(TupleId(9).to_string(), "t9");
+        assert_eq!(DerivationId(1).to_string(), "d1");
+    }
+
+    #[test]
+    fn round_trip_index() {
+        let r: RelationId = 42usize.into();
+        assert_eq!(r.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(TupleId(1) < TupleId(2));
+    }
+}

@@ -1,0 +1,277 @@
+//! Relation schemas: named, typed attributes with a declared key.
+
+use crate::error::{Error, Result};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Column name, unique within the schema.
+    pub name: String,
+    /// Declared type. `Null` acts as "any".
+    pub ty: ValueType,
+}
+
+impl Attribute {
+    /// Build an attribute.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// Schema of a relation: name, ordered attributes, and the positions of the
+/// primary-key attributes.
+///
+/// Keys matter for provenance: the relational encoding of a derivation stores
+/// *keys* of all source and target tuples (paper §4.1), so every relation
+/// participating in a mapping must declare one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    name: Arc<str>,
+    attributes: Arc<[Attribute]>,
+    key: Arc<[usize]>,
+}
+
+impl Schema {
+    /// Build a schema. `key` lists attribute positions forming the primary
+    /// key; it may be empty (key = all attributes, i.e. set semantics).
+    pub fn new(
+        name: impl AsRef<str>,
+        attributes: Vec<Attribute>,
+        key: Vec<usize>,
+    ) -> Result<Self> {
+        for &k in &key {
+            if k >= attributes.len() {
+                return Err(Error::Schema(format!(
+                    "key position {k} out of range for relation {} with {} attributes",
+                    name.as_ref(),
+                    attributes.len()
+                )));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in &attributes {
+            if !seen.insert(a.name.as_str()) {
+                return Err(Error::Schema(format!(
+                    "duplicate attribute {} in relation {}",
+                    a.name,
+                    name.as_ref()
+                )));
+            }
+        }
+        Ok(Schema {
+            name: Arc::from(name.as_ref()),
+            attributes: attributes.into(),
+            key: key.into(),
+        })
+    }
+
+    /// Shorthand: `Schema::build("R", &[("id", Int), ("name", Str)], &[0])`.
+    pub fn build(name: &str, attrs: &[(&str, ValueType)], key: &[usize]) -> Result<Self> {
+        Schema::new(
+            name,
+            attrs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect(),
+            key.to_vec(),
+        )
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered attributes.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Positions of the key attributes. Empty means "whole tuple".
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Positions of the key attributes, falling back to all positions when no
+    /// explicit key was declared.
+    pub fn effective_key(&self) -> Vec<usize> {
+        if self.key.is_empty() {
+            (0..self.arity()).collect()
+        } else {
+            self.key.to_vec()
+        }
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Extract the key projection of `tuple`.
+    pub fn key_of(&self, tuple: &Tuple) -> Tuple {
+        tuple.project(&self.effective_key())
+    }
+
+    /// Check a tuple against this schema (arity + per-column type; `Null` is
+    /// allowed in any column, and any value is allowed in a `Null` column).
+    pub fn check(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.arity() {
+            return Err(Error::Schema(format!(
+                "arity mismatch for {}: expected {}, got {}",
+                self.name,
+                self.arity(),
+                tuple.arity()
+            )));
+        }
+        for (i, attr) in self.attributes.iter().enumerate() {
+            let v = tuple.get(i);
+            if attr.ty == ValueType::Null || v.is_null() {
+                continue;
+            }
+            let vt = v.value_type();
+            let compatible = vt == attr.ty
+                || (attr.ty == ValueType::Float && vt == ValueType::Int);
+            if !compatible {
+                return Err(Error::Schema(format!(
+                    "type mismatch for {}.{}: expected {}, got {} ({v})",
+                    self.name, attr.name, attr.ty, vt
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A renamed copy of this schema (same attributes and key).
+    pub fn renamed(&self, name: &str) -> Schema {
+        Schema {
+            name: Arc::from(name),
+            attributes: self.attributes.clone(),
+            key: self.key.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let is_key = self.key.contains(&i);
+            write!(f, "{}{}: {}", if is_key { "*" } else { "" }, a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Check that `v` conforms to `ty` (helper shared with expression typing).
+pub fn value_conforms(v: &Value, ty: ValueType) -> bool {
+    ty == ValueType::Null
+        || v.is_null()
+        || v.value_type() == ty
+        || (ty == ValueType::Float && v.value_type() == ValueType::Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn animal() -> Schema {
+        Schema::build(
+            "Animal",
+            &[
+                ("id", ValueType::Int),
+                ("scientificName", ValueType::Str),
+                ("length", ValueType::Int),
+            ],
+            &[0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_basics() {
+        let s = animal();
+        assert_eq!(s.name(), "Animal");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.key(), &[0]);
+        assert_eq!(s.position("length"), Some(2));
+        assert_eq!(s.position("nope"), None);
+    }
+
+    #[test]
+    fn key_extraction() {
+        let s = animal();
+        let t = tup![7, "sn1", 5];
+        assert_eq!(s.key_of(&t), tup![7]);
+    }
+
+    #[test]
+    fn effective_key_defaults_to_all() {
+        let s = Schema::build("R", &[("a", ValueType::Int), ("b", ValueType::Int)], &[]).unwrap();
+        assert_eq!(s.effective_key(), vec![0, 1]);
+        assert_eq!(s.key_of(&tup![1, 2]), tup![1, 2]);
+    }
+
+    #[test]
+    fn check_accepts_valid_and_nulls() {
+        let s = animal();
+        assert!(s.check(&tup![1, "sn", 5]).is_ok());
+        let with_null = Tuple::new(vec![Value::Int(1), Value::Null, Value::Int(5)]);
+        assert!(s.check(&with_null).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_bad_arity_and_type() {
+        let s = animal();
+        assert!(s.check(&tup![1, "sn"]).is_err());
+        assert!(s.check(&tup![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let s = Schema::build("W", &[("w", ValueType::Float)], &[0]).unwrap();
+        assert!(s.check(&tup![3]).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_key() {
+        assert!(Schema::build("R", &[("a", ValueType::Int)], &[1]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        assert!(Schema::build(
+            "R",
+            &[("a", ValueType::Int), ("a", ValueType::Str)],
+            &[0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn display_marks_key() {
+        let s = animal();
+        assert_eq!(
+            s.to_string(),
+            "Animal(*id: int, scientificName: str, length: int)"
+        );
+    }
+
+    #[test]
+    fn renamed_keeps_structure() {
+        let s = animal().renamed("A2");
+        assert_eq!(s.name(), "A2");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.key(), &[0]);
+    }
+}

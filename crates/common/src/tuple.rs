@@ -1,0 +1,172 @@
+//! Tuples: fixed-arity sequences of [`Value`]s.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+/// An immutable database tuple.
+///
+/// The payload is an `Arc<[Value]>` so cloning a tuple — which happens
+/// constantly during joins, provenance encoding, and graph construction — is
+/// one atomic increment rather than a deep copy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// The empty tuple (arity 0).
+    pub fn empty() -> Self {
+        Tuple { values: Arc::from([]) }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field accessor; panics when out of range (schema violations are bugs).
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Field accessor returning `None` when out of range.
+    pub fn try_get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Project the fields at `indices` into a new tuple, in that order.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+
+    /// True iff any field is `Null`.
+    pub fn has_null(&self) -> bool {
+        self.values.iter().any(Value::is_null)
+    }
+
+    /// Iterate over the fields.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.values.iter()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+/// Convenience macro building a [`Tuple`] from heterogeneous literals.
+///
+/// ```
+/// use proql_common::tup;
+/// let t = tup![1, "cat", true];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tup![1, "x", 2.5];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), &Value::Int(1));
+        assert_eq!(t[1], Value::str("x"));
+        assert_eq!(t.try_get(3), None);
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let t = tup![10, 20, 30];
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(p, tup![30, 10, 10]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let t = tup![1].concat(&tup![2, 3]);
+        assert_eq!(t, tup![1, 2, 3]);
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(!tup![1, 2].has_null());
+        let t = Tuple::new(vec![Value::Int(1), Value::Null]);
+        assert!(t.has_null());
+    }
+
+    #[test]
+    fn tuples_order_lexicographically() {
+        assert!(tup![1, 2] < tup![1, 3]);
+        assert!(tup![1] < tup![1, 0]);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t.to_string(), "()");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(tup![1, "a"].to_string(), "(1, a)");
+    }
+}

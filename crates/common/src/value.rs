@@ -1,0 +1,384 @@
+//! Dynamically typed values stored in tuples.
+//!
+//! `Value` is the single scalar type flowing through the whole system. It is
+//! totally ordered (floats use a total order where `NaN` sorts last) and
+//! hashable, so tuples of values can serve as primary keys, hash-join keys,
+//! and B-tree index keys.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of a [`Value`]. Used in [`crate::Schema`] attribute declarations
+/// and for type checking Datalog rules and ProQL predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float with a total order (NaN sorts last).
+    Float,
+    /// Interned UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// The type of `Value::Null`; also acts as "any" in inference contexts.
+    Null,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+            ValueType::Bool => "bool",
+            ValueType::Null => "null",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// Strings are reference counted (`Arc<str>`) so that copying tuples during
+/// joins and provenance encoding is cheap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (total order; see [`Value::cmp`]).
+    Float(f64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// SQL-style null. Compares equal to itself (unlike SQL) so that
+    /// provenance-relation rows containing padding NULLs (outer-join ASRs)
+    /// can be deduplicated.
+    Null,
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Null => ValueType::Null,
+        }
+    }
+
+    /// True iff this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float content; integers are widened.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Rank used to order values of different types (Null < Bool < Int/Float < Str).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order across all values. Numeric values compare numerically
+    /// across `Int`/`Float`; values of different type families order by a
+    /// fixed type rank. NaN sorts after every other float and equal to NaN.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => cmp_floats(*a, *b),
+            (Int(a), Float(b)) => cmp_int_float(*a, *b),
+            (Float(a), Int(b)) => cmp_int_float(*b, *a).reverse(),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Null, Null) => Ordering::Equal,
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            // Ints and floats that compare equal must hash equal; hash every
+            // numeric through its f64 bit pattern when it is representable,
+            // otherwise through the integer.
+            Value::Int(i) => {
+                state.write_u8(2);
+                // f64 can represent all i64 up to 2^53 exactly; beyond that,
+                // Int(x) == Float(y) only when the float equals the widened
+                // int, so hashing the widened form keeps Eq/Hash consistent.
+                let f = *i as f64;
+                if f as i64 == *i {
+                    state.write_u64(canonical_f64_bits(f));
+                } else {
+                    state.write_i64(*i);
+                }
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(canonical_f64_bits(*f));
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Null => state.write_u8(0),
+        }
+    }
+}
+
+/// Total order on floats where `-0.0 == 0.0`, `NaN == NaN`, and NaN sorts
+/// after every other float (matching the hash canonicalization).
+fn cmp_floats(a: f64, b: f64) -> Ordering {
+    match a.partial_cmp(&b) {
+        Some(o) => o,
+        None => match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!("partial_cmp is None only with NaN"),
+        },
+    }
+}
+
+/// Exact comparison of an `i64` against an `f64` (no precision loss for
+/// integers beyond 2^53, unlike comparing `a as f64` with `f`).
+fn cmp_int_float(a: i64, f: f64) -> Ordering {
+    if f.is_nan() {
+        return Ordering::Less; // NaN sorts last
+    }
+    // 2^63 as f64 is exact; anything >= it exceeds every i64.
+    if f >= 9_223_372_036_854_775_808.0 {
+        return Ordering::Less;
+    }
+    if f < -9_223_372_036_854_775_808.0 {
+        return Ordering::Greater;
+    }
+    // |f| < 2^63, so truncation fits in i64 exactly.
+    let ft = f.trunc();
+    let fi = ft as i64;
+    match a.cmp(&fi) {
+        Ordering::Equal => {
+            let frac = f - ft;
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        o => o,
+    }
+}
+
+/// Bit pattern used for hashing floats: canonicalizes `-0.0` to `0.0` and all
+/// NaNs to one quiet NaN so `Eq`-equal floats hash identically.
+fn canonical_f64_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0f64.to_bits()
+    } else if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn null_equals_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(hash_of(&Value::Null), hash_of(&Value::Null));
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_and_sorts_last() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert!(Value::Float(f64::NAN) > Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn type_rank_order() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Int(i64::MIN));
+        assert!(Value::Int(i64::MAX) < Value::str(""));
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Bool(false) < Value::Bool(true));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn large_int_equality_is_exact() {
+        // 2^53 + 1 is not representable as f64; must not equal its rounding.
+        let big = (1i64 << 53) + 1;
+        assert_ne!(Value::Int(big), Value::Float(big as f64));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn value_type_reporting() {
+        assert_eq!(Value::Int(0).value_type(), ValueType::Int);
+        assert_eq!(Value::Null.value_type(), ValueType::Null);
+        assert_eq!(ValueType::Str.to_string(), "str");
+    }
+}

@@ -1,0 +1,266 @@
+//! ProQL abstract syntax (paper §3.2).
+
+use proql_common::Value;
+use proql_semiring::SemiringKind;
+use std::fmt;
+
+/// A full ProQL query: an optional annotation-computation wrapper around a
+/// graph projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `EVALUATE <semiring> OF { ... } ASSIGNING ...`, if present.
+    pub evaluate: Option<Evaluate>,
+    /// The graph-projection block.
+    pub projection: Projection,
+}
+
+/// The graph-projection part: FOR / WHERE / INCLUDE PATH / RETURN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projection {
+    /// Path expressions binding variables (FOR clause).
+    pub for_paths: Vec<PathExpr>,
+    /// Filter over bound variables (WHERE clause).
+    pub where_cond: Option<Condition>,
+    /// Paths to copy into the output graph (INCLUDE PATH clause). When
+    /// empty, the FOR paths are included (convenient shorthand; the paper's
+    /// queries always repeat them).
+    pub include_paths: Vec<PathExpr>,
+    /// Distinguished variables (RETURN clause).
+    pub return_vars: Vec<String>,
+}
+
+/// A path expression: a start node pattern and steps leading **from**
+/// derived tuples **to** their sources (arrows point left in ProQL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// Leftmost (most-derived) node pattern.
+    pub start: NodePattern,
+    /// Steps: each combines a derivation pattern and the next node pattern
+    /// to the right (closer to base data).
+    pub steps: Vec<(StepPattern, NodePattern)>,
+}
+
+/// A tuple-node pattern `[relation $var]`; both parts optional.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePattern {
+    /// Restrict to a relation.
+    pub relation: Option<String>,
+    /// Bind the node to a variable.
+    pub var: Option<String>,
+}
+
+impl NodePattern {
+    /// True iff completely unconstrained (`[]`).
+    pub fn is_any(&self) -> bool {
+        self.relation.is_none() && self.var.is_none()
+    }
+}
+
+/// A derivation step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepPattern {
+    /// One derivation: `<-` (any mapping), `<m1` (named mapping), or
+    /// `<$p` (bind the mapping to a variable).
+    Single(DerivPattern),
+    /// A path of one or more derivations: `<-+`.
+    Plus,
+}
+
+/// What a single derivation step may match.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DerivPattern {
+    /// Restrict to a mapping name.
+    pub mapping: Option<String>,
+    /// Bind the derivation's mapping to a variable.
+    pub var: Option<String>,
+}
+
+/// WHERE / CASE conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Conjunction.
+    And(Vec<Condition>),
+    /// Disjunction.
+    Or(Vec<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+    /// `$x.attr op literal`.
+    AttrCmp {
+        /// Tuple variable.
+        var: String,
+        /// Attribute name.
+        attr: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare with.
+        value: Value,
+    },
+    /// `$x in Rel` — node belongs to a relation.
+    InRelation {
+        /// Tuple variable.
+        var: String,
+        /// Relation name.
+        relation: String,
+    },
+    /// `$p = m1` or `$p <> m1` — mapping-variable comparison.
+    MappingIs {
+        /// Derivation variable.
+        var: String,
+        /// Mapping name.
+        mapping: String,
+        /// False for `<>`.
+        positive: bool,
+    },
+}
+
+/// Comparison operators in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The storage-engine operator.
+    pub fn to_binop(self) -> proql_storage::BinOp {
+        match self {
+            CmpOp::Eq => proql_storage::BinOp::Eq,
+            CmpOp::Ne => proql_storage::BinOp::Ne,
+            CmpOp::Lt => proql_storage::BinOp::Lt,
+            CmpOp::Le => proql_storage::BinOp::Le,
+            CmpOp::Gt => proql_storage::BinOp::Gt,
+            CmpOp::Ge => proql_storage::BinOp::Ge,
+        }
+    }
+}
+
+/// The annotation-computation wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluate {
+    /// Which semiring.
+    pub semiring: SemiringKind,
+    /// `ASSIGNING EACH leaf_node $y { ... }`.
+    pub leaf_assign: Option<LeafAssign>,
+    /// `ASSIGNING EACH mapping $p($z) { ... }`.
+    pub map_assign: Option<MapAssign>,
+}
+
+/// Leaf-node value assignment: a switch over CASE conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafAssign {
+    /// The iteration variable (`$y`).
+    pub var: String,
+    /// Cases, tried in order; first match wins (paper footnote 3).
+    pub cases: Vec<(Condition, SetValue)>,
+    /// Optional DEFAULT; absent means the semiring's ⊗-identity.
+    pub default: Option<SetValue>,
+}
+
+/// Mapping-function assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapAssign {
+    /// The mapping variable (`$p`).
+    pub pvar: String,
+    /// The input-value variable (`$z`).
+    pub zvar: String,
+    /// Cases over the mapping name.
+    pub cases: Vec<(Condition, SetValue)>,
+    /// Optional DEFAULT; absent means the identity function.
+    pub default: Option<SetValue>,
+}
+
+/// The value of a `SET` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetValue {
+    /// `SET true` / `SET false` / `SET 3.5` / `SET secret` — a literal
+    /// interpreted in the query's semiring.
+    Lit(Value),
+    /// `SET $z` — pass the input through (identity mapping function).
+    Input,
+    /// `SET $z + c` — add a constant (weight semiring).
+    InputPlus(f64),
+    /// `SET $z * k` — scale (counting semiring).
+    InputTimes(f64),
+}
+
+impl fmt::Display for NodePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        if let Some(r) = &self.relation {
+            write!(f, "{r}")?;
+            if self.var.is_some() {
+                write!(f, " ")?;
+            }
+        }
+        if let Some(v) = &self.var {
+            write!(f, "${v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for StepPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepPattern::Plus => write!(f, "<-+"),
+            StepPattern::Single(d) => {
+                if let Some(m) = &d.mapping {
+                    write!(f, "<{m}")
+                } else if let Some(v) = &d.var {
+                    write!(f, "<${v}")
+                } else {
+                    write!(f, "<-")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for (s, n) in &self.steps {
+            write!(f, " {s} {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let p = PathExpr {
+            start: NodePattern { relation: Some("O".into()), var: Some("x".into()) },
+            steps: vec![
+                (StepPattern::Plus, NodePattern::default()),
+                (
+                    StepPattern::Single(DerivPattern {
+                        mapping: Some("m1".into()),
+                        var: None,
+                    }),
+                    NodePattern { relation: Some("A".into()), var: Some("y".into()) },
+                ),
+            ],
+        };
+        assert_eq!(p.to_string(), "[O $x] <-+ [] <m1 [A $y]");
+    }
+
+    #[test]
+    fn node_pattern_any() {
+        assert!(NodePattern::default().is_any());
+        assert!(!NodePattern { relation: Some("A".into()), var: None }.is_any());
+    }
+}

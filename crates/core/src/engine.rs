@@ -1,0 +1,251 @@
+//! The ProQL engine: parse → translate → execute → annotate.
+
+use crate::annotate::{run_annotation, AnnotatedResult};
+use crate::ast::Query;
+use crate::exec::{run_projection, run_projection_graph, ProjectionResult};
+use crate::parser::parse_query;
+use crate::translate::{translate, BodyRewriter, TranslateOptions, TranslateStats};
+use proql_common::Result;
+use proql_provgraph::{ProvGraph, ProvenanceSystem};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which execution strategy to use for graph projections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Choose automatically: the paper's unfold-to-SQL strategy for acyclic
+    /// mapping topologies, the bottom-up graph walk for cyclic ones.
+    #[default]
+    Auto,
+    /// Always unfold into conjunctive queries (paper §4.2; acyclic focus).
+    Unfold,
+    /// Always walk the materialized provenance graph bottom-up (the
+    /// alternative scheme sketched in the paper's §8; handles cycles).
+    Graph,
+}
+
+/// Engine configuration.
+#[derive(Clone, Default)]
+pub struct EngineOptions {
+    /// Execution strategy.
+    pub strategy: Strategy,
+    /// Unfolding limits.
+    pub translate: TranslateOptions,
+    /// Optional rule rewriter (ASR optimization plugs in here).
+    pub rewriter: Option<Arc<dyn BodyRewriter + Send + Sync>>,
+}
+
+impl std::fmt::Debug for EngineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineOptions")
+            .field("strategy", &self.strategy)
+            .field("translate", &self.translate)
+            .field("rewriter", &self.rewriter.as_ref().map(|_| "<dyn>"))
+            .finish()
+    }
+}
+
+/// Timing and size statistics of one query execution — the quantities the
+/// paper's experiments report (unfolding time, evaluation time, number of
+/// unfolded rules).
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Time spent matching + unfolding (the paper's "unfolding time").
+    pub unfold_time: Duration,
+    /// Time spent executing plans (the paper's "evaluation time").
+    pub eval_time: Duration,
+    /// Unfolded-rule statistics.
+    pub translate: TranslateStats,
+    /// Join operators across all executed plans.
+    pub total_joins: usize,
+    /// Bytes of generated SQL.
+    pub sql_bytes: usize,
+}
+
+/// The output of [`Engine::query`].
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The projected subgraph and bindings.
+    pub projection: ProjectionResult,
+    /// The annotation computation result, when the query had an
+    /// `EVALUATE` wrapper.
+    pub annotated: Option<AnnotatedResult>,
+    /// Statistics.
+    pub stats: QueryStats,
+}
+
+/// The ProQL query engine over a [`ProvenanceSystem`].
+#[derive(Debug)]
+pub struct Engine {
+    /// The underlying system (database + mappings + provenance).
+    pub sys: ProvenanceSystem,
+    /// Configuration.
+    pub options: EngineOptions,
+    cached_graph: Option<ProvGraph>,
+}
+
+impl Engine {
+    /// Wrap a provenance system with default options.
+    pub fn new(sys: ProvenanceSystem) -> Self {
+        Engine { sys, options: EngineOptions::default(), cached_graph: None }
+    }
+
+    /// Wrap with options.
+    pub fn with_options(sys: ProvenanceSystem, options: EngineOptions) -> Self {
+        Engine { sys, options, cached_graph: None }
+    }
+
+    /// Parse and run a ProQL query.
+    pub fn query(&mut self, text: &str) -> Result<QueryOutput> {
+        let q = parse_query(text)?;
+        self.query_parsed(&q)
+    }
+
+    /// Run a parsed query.
+    pub fn query_parsed(&mut self, q: &Query) -> Result<QueryOutput> {
+        let strategy = match self.options.strategy {
+            Strategy::Auto => {
+                if self.sys.schema_graph().is_cyclic() {
+                    Strategy::Graph
+                } else {
+                    Strategy::Unfold
+                }
+            }
+            s => s,
+        };
+        let mut stats = QueryStats::default();
+        let projection = match strategy {
+            Strategy::Unfold => {
+                let t0 = Instant::now();
+                let translation = translate(
+                    &self.sys,
+                    q,
+                    self.options.rewriter.as_deref().map(|r| r as &dyn BodyRewriter),
+                    &self.options.translate,
+                )?;
+                stats.unfold_time = t0.elapsed();
+                stats.translate = translation.stats.clone();
+                let t1 = Instant::now();
+                let proj = run_projection(&self.sys, &translation)?;
+                stats.eval_time = t1.elapsed();
+                stats.total_joins = proj.metrics.total_joins;
+                stats.sql_bytes = proj.metrics.sql_bytes;
+                proj
+            }
+            Strategy::Graph | Strategy::Auto => {
+                if self.cached_graph.is_none() {
+                    self.cached_graph = Some(ProvGraph::from_system(&self.sys)?);
+                }
+                let t1 = Instant::now();
+                let proj = run_projection_graph(
+                    &self.sys,
+                    self.cached_graph.as_ref().expect("cached above"),
+                    q,
+                )?;
+                stats.eval_time = t1.elapsed();
+                proj
+            }
+        };
+        let annotated = match &q.evaluate {
+            Some(spec) => Some(run_annotation(&self.sys, &projection, spec)?),
+            None => None,
+        };
+        Ok(QueryOutput { projection, annotated, stats })
+    }
+
+    /// Invalidate the cached provenance graph (call after new exchanges).
+    pub fn invalidate_cache(&mut self) {
+        self.cached_graph = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+    use proql_provgraph::system::example_2_1;
+    use proql_semiring::Annotation;
+
+    fn engine(strategy: Strategy) -> Engine {
+        let mut e = Engine::new(example_2_1().unwrap());
+        e.options.strategy = strategy;
+        e
+    }
+
+    #[test]
+    fn auto_picks_graph_for_cyclic_example() {
+        // Example 2.1's schema graph is cyclic (m1/m3).
+        let mut e = engine(Strategy::Auto);
+        let out = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        assert_eq!(out.projection.bindings.len(), 4);
+        assert!(out.annotated.is_none());
+    }
+
+    #[test]
+    fn unfold_strategy_reports_stats() {
+        let mut e = engine(Strategy::Unfold);
+        let out = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        assert!(out.stats.translate.rules > 0);
+        assert!(out.stats.sql_bytes > 0);
+        assert!(out.stats.total_joins > 0);
+    }
+
+    #[test]
+    fn trust_query_end_to_end_both_strategies() {
+        let q = "EVALUATE TRUST OF {
+                   FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+                 } ASSIGNING EACH leaf_node $y {
+                   CASE $y in A AND $y.len >= 6 : SET false
+                   DEFAULT : SET true
+                 } ASSIGNING EACH mapping $p($z) {
+                   CASE $p = m4 : SET false
+                   DEFAULT : SET $z
+                 }";
+        for strategy in [Strategy::Unfold, Strategy::Graph] {
+            let mut e = engine(strategy);
+            let out = e.query(q).unwrap();
+            let ann = out.annotated.unwrap();
+            assert_eq!(
+                ann.annotation_of("O", &tup!["cn2"]),
+                Some(&Annotation::Bool(true)),
+                "{strategy:?}"
+            );
+            assert_eq!(
+                ann.annotation_of("O", &tup!["sn1"]),
+                Some(&Annotation::Bool(false)),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut e = engine(Strategy::Auto);
+        assert!(e.query("FOR [O $x RETURN $x").is_err());
+    }
+
+    #[test]
+    fn cache_invalidation_sees_new_data() {
+        let mut e = engine(Strategy::Graph);
+        let before = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap()
+            .projection
+            .bindings
+            .len();
+        e.sys.insert_local("A", tup![9, "sn9", 1]).unwrap();
+        e.sys.run_exchange().unwrap();
+        e.invalidate_cache();
+        let after = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap()
+            .projection
+            .bindings
+            .len();
+        assert!(after > before);
+    }
+}

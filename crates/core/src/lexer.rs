@@ -1,0 +1,284 @@
+//! ProQL lexer.
+
+use proql_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword or bare identifier (`FOR`, `m1`, `leaf_node`, ...).
+    Ident(String),
+    /// `$x`-style variable.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `<-+`
+    ArrowPlus,
+    /// `<-`
+    Arrow,
+    /// `<` (as the derivation-step opener `<m1` / `<$p`)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `+`
+    PlusSign,
+    /// `*`
+    Star,
+}
+
+/// Tokenize ProQL source.
+pub fn lex(src: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if b.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::PlusSign);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if src[i..].starts_with("<-+") {
+                    out.push(Tok::ArrowPlus);
+                    i += 3;
+                } else if src[i..].starts_with("<-") {
+                    out.push(Tok::Arrow);
+                    i += 2;
+                } else if src[i..].starts_with("<=") {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else if src[i..].starts_with("<>") {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(Error::Parse(format!("bare `$` at byte {i}")));
+                }
+                out.push(Tok::Var(src[start..j].to_string()));
+                i = j;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(Error::Parse("unterminated string literal".into()));
+                }
+                out.push(Tok::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && b.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < b.len() {
+                    let d = b[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !is_float && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    out.push(Tok::Float(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad int literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character `{other}` at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_q1() {
+        let toks = lex("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x").unwrap();
+        assert!(toks.contains(&Tok::Ident("FOR".into())));
+        assert!(toks.contains(&Tok::Var("x".into())));
+        assert!(toks.contains(&Tok::ArrowPlus));
+        assert_eq!(toks.iter().filter(|t| **t == Tok::LBracket).count(), 3);
+    }
+
+    #[test]
+    fn arrow_variants_disambiguate() {
+        assert_eq!(lex("<-+").unwrap(), vec![Tok::ArrowPlus]);
+        assert_eq!(lex("<-").unwrap(), vec![Tok::Arrow]);
+        assert_eq!(lex("<m1").unwrap(), vec![Tok::Lt, Tok::Ident("m1".into())]);
+        assert_eq!(lex("<=").unwrap(), vec![Tok::Le]);
+        assert_eq!(lex("<>").unwrap(), vec![Tok::Ne]);
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            lex("42 -7 3.5 'abc'").unwrap(),
+            vec![
+                Tok::Int(42),
+                Tok::Int(-7),
+                Tok::Float(3.5),
+                Tok::Str("abc".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("FOR -- the for clause\n$x").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("$").is_err());
+        assert!(lex("'oops").is_err());
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn dotted_attribute_access() {
+        let toks = lex("$x.height >= 6").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Var("x".into()),
+                Tok::Dot,
+                Tok::Ident("height".into()),
+                Tok::Ge,
+                Tok::Int(6)
+            ]
+        );
+    }
+}

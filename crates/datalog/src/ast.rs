@@ -1,0 +1,339 @@
+//! Datalog abstract syntax: terms, atoms, rules, programs.
+
+use proql_common::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term in an atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable (don't-cares are normalized to fresh variables at parse
+    /// time, so every variable here is a real one).
+    Var(String),
+    /// A constant value.
+    Const(Value),
+    /// A Skolem function application, used in mapping heads to produce
+    /// labeled nulls for existential variables (GLAV mappings; paper §2,
+    /// footnote 1). Arguments must be variables or constants.
+    Skolem(String, Vec<Term>),
+}
+
+impl Term {
+    /// Variable helper.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Constant helper.
+    pub fn cons(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// Variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Collect variable names into `out`.
+    pub fn collect_vars<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(v);
+            }
+            Term::Const(_) => {}
+            Term::Skolem(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => write!(f, "'{s}'"),
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Skolem(name, args) => {
+                write!(f, "!{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A relational atom `R(t1, ..., tk)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Terms, one per attribute.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom { relation: relation.into(), terms }
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// All variable names in the atom (sorted, deduped).
+    pub fn vars(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for t in &self.terms {
+            t.collect_vars(&mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rule `H1, ..., Hn :- B1, ..., Bm`, optionally named.
+///
+/// Multiple head atoms model GLAV mappings with several target atoms; the
+/// common case has one. A rule with an empty body is a fact template (not
+/// used by the engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Optional mapping name (`m1`, `L3`, ...).
+    pub name: Option<String>,
+    /// Head atoms (n target atoms of the mapping).
+    pub heads: Vec<Atom>,
+    /// Body atoms (m source atoms of the mapping).
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Build a single-head rule.
+    pub fn new(name: Option<String>, head: Atom, body: Vec<Atom>) -> Self {
+        Rule { name, heads: vec![head], body }
+    }
+
+    /// Build a multi-head rule.
+    pub fn multi(name: Option<String>, heads: Vec<Atom>, body: Vec<Atom>) -> Self {
+        Rule { name, heads, body }
+    }
+
+    /// The single head; panics if the rule has several (used where the
+    /// context guarantees single-head rules, e.g. unfolded queries).
+    pub fn head(&self) -> &Atom {
+        assert_eq!(self.heads.len(), 1, "rule has multiple heads");
+        &self.heads[0]
+    }
+
+    /// All variables in the body.
+    pub fn body_vars(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for a in &self.body {
+            for t in &a.terms {
+                t.collect_vars(&mut out);
+            }
+        }
+        out
+    }
+
+    /// All variables in the heads.
+    pub fn head_vars(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for a in &self.heads {
+            for t in &a.terms {
+                t.collect_vars(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Safety check: every head variable must occur in the body (variables
+    /// inside Skolem terms included — they too must be bound by the body).
+    pub fn check_safety(&self) -> proql_common::Result<()> {
+        let body_vars = self.body_vars();
+        for v in self.head_vars() {
+            if !body_vars.contains(v) {
+                return Err(proql_common::Error::Datalog(format!(
+                    "unsafe rule{}: head variable {v} not bound in body",
+                    self.name
+                        .as_deref()
+                        .map(|n| format!(" {n}"))
+                        .unwrap_or_default()
+                )));
+            }
+        }
+        if self.body.is_empty() {
+            return Err(proql_common::Error::Datalog("rule with empty body".into()));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = &self.name {
+            write!(f, "{n}: ")?;
+        }
+        for (i, h) in self.heads.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{h}")?;
+        }
+        write!(f, " :- ")?;
+        for (i, b) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A set of rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules, in declaration order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Build a program.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// Find a rule by name.
+    pub fn rule_named(&self, name: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.name.as_deref() == Some(name))
+    }
+
+    /// All rules whose head derives `relation`.
+    pub fn rules_deriving<'a>(&'a self, relation: &'a str) -> impl Iterator<Item = &'a Rule> {
+        self.rules
+            .iter()
+            .filter(move |r| r.heads.iter().any(|h| h.relation == relation))
+    }
+
+    /// Check safety of every rule.
+    pub fn check_safety(&self) -> proql_common::Result<()> {
+        for r in &self.rules {
+            r.check_safety()?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    #[test]
+    fn vars_are_collected_through_skolems() {
+        let a = Atom::new(
+            "R",
+            vec![
+                Term::var("x"),
+                Term::Skolem("f".into(), vec![Term::var("y"), Term::cons(1)]),
+            ],
+        );
+        let vars = a.vars();
+        assert!(vars.contains("x") && vars.contains("y"));
+    }
+
+    #[test]
+    fn safety_accepts_bound_heads() {
+        let r = Rule::new(None, atom("H", &["x"]), vec![atom("B", &["x", "y"])]);
+        assert!(r.check_safety().is_ok());
+    }
+
+    #[test]
+    fn safety_rejects_unbound_head_var() {
+        let r = Rule::new(Some("m9".into()), atom("H", &["z"]), vec![atom("B", &["x"])]);
+        let err = r.check_safety().unwrap_err();
+        assert!(err.to_string().contains("m9"));
+        assert!(err.to_string().contains('z'));
+    }
+
+    #[test]
+    fn safety_rejects_unbound_skolem_arg() {
+        let head = Atom::new(
+            "H",
+            vec![Term::Skolem("f".into(), vec![Term::var("q")])],
+        );
+        let r = Rule::new(None, head, vec![atom("B", &["x"])]);
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn safety_rejects_empty_body() {
+        let r = Rule::new(None, Atom::new("H", vec![Term::cons(1)]), vec![]);
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let r = Rule::new(
+            Some("m1".into()),
+            atom("C", &["i", "n"]),
+            vec![
+                atom("A", &["i", "s", "l"]),
+                Atom::new(
+                    "N",
+                    vec![Term::var("i"), Term::var("n"), Term::cons(false)],
+                ),
+            ],
+        );
+        assert_eq!(r.to_string(), "m1: C(i, n) :- A(i, s, l), N(i, n, false)");
+    }
+
+    #[test]
+    fn program_lookup() {
+        let p = Program::new(vec![
+            Rule::new(Some("m1".into()), atom("C", &["x"]), vec![atom("A", &["x"])]),
+            Rule::new(Some("m2".into()), atom("C", &["x"]), vec![atom("B", &["x"])]),
+        ]);
+        assert!(p.rule_named("m2").is_some());
+        assert!(p.rule_named("m3").is_none());
+        assert_eq!(p.rules_deriving("C").count(), 2);
+        assert_eq!(p.rules_deriving("A").count(), 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Semi-naive bottom-up evaluation.
+//!
+//! This drives the paper's *data exchange* step (§2): materializing every
+//! peer's public relations by running the schema mappings to fixpoint. A
+//! [`FiringHook`] observes every rule firing with its full variable
+//! bindings; `proql-provgraph` uses it to populate the provenance relations
+//! (one row per derivation, §4.1).
+//!
+//! The engine uses delta-driven evaluation: each round joins one body atom
+//! against the tuples newly derived in the previous round and the remaining
+//! atoms against the full relations. This can enumerate a firing more than
+//! once (set semantics make that harmless), so **hooks must be idempotent**
+//! — the provenance hook is, because provenance relations are keyed by
+//! their full column set.
+
+use crate::ast::{Program, Rule, Term};
+use crate::compile::{compile_body_with, CompileOptions};
+use proql_common::{Error, Result, Tuple, Value};
+use proql_storage::{execute, Database};
+use std::collections::HashMap;
+
+/// Variable bindings of one rule firing.
+pub struct Bindings<'a> {
+    row: &'a Tuple,
+    var_cols: &'a HashMap<String, usize>,
+}
+
+impl<'a> Bindings<'a> {
+    /// Value bound to `var`.
+    pub fn get(&self, var: &str) -> Result<&'a Value> {
+        let col = self
+            .var_cols
+            .get(var)
+            .ok_or_else(|| Error::Datalog(format!("unbound variable {var}")))?;
+        Ok(self.row.get(*col))
+    }
+
+    /// Resolve a term to a value under these bindings: constants pass
+    /// through, variables look up, Skolem terms build a labeled null.
+    pub fn resolve(&self, term: &Term) -> Result<Value> {
+        match term {
+            Term::Const(v) => Ok(v.clone()),
+            Term::Var(v) => self.get(v).cloned(),
+            Term::Skolem(name, args) => {
+                let mut s = format!("⟨{name}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&self.resolve(a)?.to_string());
+                }
+                s.push_str(")⟩");
+                Ok(Value::str(s))
+            }
+        }
+    }
+
+    /// Build the tuple an atom produces under these bindings.
+    pub fn instantiate(&self, atom: &crate::ast::Atom) -> Result<Tuple> {
+        let mut vals = Vec::with_capacity(atom.arity());
+        for t in &atom.terms {
+            vals.push(self.resolve(t)?);
+        }
+        Ok(Tuple::new(vals))
+    }
+}
+
+/// Observer of rule firings during evaluation.
+///
+/// The hook receives mutable access to the database so it can record
+/// side tables (this is how provenance relations are populated); it must
+/// not modify the relations the program reads or writes.
+pub trait FiringHook {
+    /// Called once (or more — see module docs) per rule firing.
+    /// `rule_index` is the rule's position in the program.
+    fn on_firing(
+        &mut self,
+        db: &mut Database,
+        rule_index: usize,
+        rule: &Rule,
+        bindings: &Bindings<'_>,
+    ) -> Result<()>;
+}
+
+/// Hook that does nothing.
+pub struct NoopHook;
+
+impl FiringHook for NoopHook {
+    fn on_firing(&mut self, _: &mut Database, _: usize, _: &Rule, _: &Bindings<'_>) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<F> FiringHook for F
+where
+    F: FnMut(&mut Database, usize, &Rule, &Bindings<'_>) -> Result<()>,
+{
+    fn on_firing(
+        &mut self,
+        db: &mut Database,
+        i: usize,
+        r: &Rule,
+        b: &Bindings<'_>,
+    ) -> Result<()> {
+        self(db, i, r, b)
+    }
+}
+
+/// Evaluation statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Hook invocations (an upper bound on distinct firings).
+    pub firings: usize,
+    /// New tuples inserted into head relations.
+    pub inserted: usize,
+}
+
+/// Hard cap on fixpoint rounds: Skolem functions can make the chase diverge
+/// (standard data-exchange caveat); this converts divergence into an error.
+const MAX_ROUNDS: usize = 10_000;
+
+const DELTA_PREFIX: &str = "__delta__";
+
+/// Run `program` to fixpoint over `db`.
+///
+/// Every relation named in a rule head must already exist as a base table;
+/// body relations may be tables or views (views are treated as static —
+/// their contents participate only in the bootstrap round).
+pub fn run_program(
+    db: &mut Database,
+    program: &Program,
+    hook: &mut dyn FiringHook,
+) -> Result<EvalStats> {
+    program.check_safety()?;
+    for rule in &program.rules {
+        for h in &rule.heads {
+            if !db.has_table(&h.relation) {
+                return Err(Error::Datalog(format!(
+                    "head relation {} is not a base table",
+                    h.relation
+                )));
+            }
+        }
+        for b in &rule.body {
+            if !db.has_relation(&b.relation) {
+                return Err(Error::NotFound(format!("body relation {}", b.relation)));
+            }
+        }
+    }
+
+    // Relations appearing in bodies, with delta tables for each.
+    let mut body_rels: Vec<String> = Vec::new();
+    for rule in &program.rules {
+        for b in &rule.body {
+            if !body_rels.contains(&b.relation) {
+                body_rels.push(b.relation.clone());
+            }
+        }
+    }
+    for rel in &body_rels {
+        let schema = db.schema_of(rel)?.clone();
+        let delta_schema = schema.renamed(&format!("{DELTA_PREFIX}{rel}"));
+        db.create_table(delta_schema)?;
+    }
+
+    // Bootstrap deltas: everything currently in each body relation.
+    let mut delta: HashMap<String, Vec<Tuple>> = HashMap::new();
+    for rel in &body_rels {
+        let rows = if db.has_table(rel) {
+            db.table(rel)?.scan()
+        } else {
+            execute(db, &proql_storage::Plan::scan(rel.clone()))?.rows
+        };
+        delta.insert(rel.clone(), rows);
+    }
+
+    let mut stats = EvalStats::default();
+    let result = run_loop(db, program, hook, &body_rels, &mut delta, &mut stats);
+
+    // Always drop scratch tables, even on error.
+    for rel in &body_rels {
+        let _ = db.drop_relation(&format!("{DELTA_PREFIX}{rel}"));
+    }
+    result.map(|()| stats)
+}
+
+fn run_loop(
+    db: &mut Database,
+    program: &Program,
+    hook: &mut dyn FiringHook,
+    body_rels: &[String],
+    delta: &mut HashMap<String, Vec<Tuple>>,
+    stats: &mut EvalStats,
+) -> Result<()> {
+    loop {
+        if delta.values().all(Vec::is_empty) {
+            return Ok(());
+        }
+        stats.rounds += 1;
+        if stats.rounds > MAX_ROUNDS {
+            return Err(Error::Datalog(format!(
+                "evaluation did not reach fixpoint within {MAX_ROUNDS} rounds \
+                 (diverging Skolem chase?)"
+            )));
+        }
+
+        // Load deltas into scratch tables.
+        for rel in body_rels {
+            let name = format!("{DELTA_PREFIX}{rel}");
+            let t = db.table_mut(&name)?;
+            t.truncate();
+            for row in delta.get(rel).into_iter().flatten() {
+                t.insert(row.clone())?;
+            }
+        }
+
+        let mut next_delta: HashMap<String, Vec<Tuple>> = HashMap::new();
+        for (rule_index, rule) in program.rules.iter().enumerate() {
+            for (j, atom) in rule.body.iter().enumerate() {
+                if delta.get(&atom.relation).is_none_or(Vec::is_empty) {
+                    continue;
+                }
+                let mut opts = CompileOptions::default();
+                opts.relation_overrides
+                    .insert(j, format!("{DELTA_PREFIX}{}", atom.relation));
+                let bp = compile_body_with(db, &rule.body, &opts)?;
+                let rel = execute(db, &bp.plan)?;
+                // Collect head insertions first (cannot mutate db while
+                // borrowing query results — rows are owned, so this is just
+                // a loop).
+                for row in &rel.rows {
+                    let bindings = Bindings { row, var_cols: &bp.var_cols };
+                    hook.on_firing(db, rule_index, rule, &bindings)?;
+                    stats.firings += 1;
+                    for h in &rule.heads {
+                        let tuple = bindings.instantiate(h)?;
+                        if db.table_mut(&h.relation)?.insert(tuple.clone())? {
+                            stats.inserted += 1;
+                            next_delta
+                                .entry(h.relation.clone())
+                                .or_default()
+                                .push(tuple);
+                        }
+                    }
+                }
+            }
+        }
+        *delta = next_delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+    use proql_common::{tup, Schema, ValueType};
+
+    fn edge_db() -> Database {
+        let mut db = Database::new();
+        for name in ["E", "Path"] {
+            db.create_table(
+                Schema::build(
+                    name,
+                    &[("src", ValueType::Int), ("dst", ValueType::Int)],
+                    &[0, 1],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        db.insert("E", tup![1, 2]).unwrap();
+        db.insert("E", tup![2, 3]).unwrap();
+        db.insert("E", tup![3, 4]).unwrap();
+        db
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut db = edge_db();
+        let program = parse_program(
+            "Path(x, y) :- E(x, y)
+             Path(x, z) :- Path(x, y), E(y, z)",
+        )
+        .unwrap();
+        let stats = run_program(&mut db, &program, &mut NoopHook).unwrap();
+        let path = db.table("Path").unwrap();
+        assert_eq!(path.len(), 6); // 1-2,2-3,3-4,1-3,2-4,1-4
+        assert!(path.contains(&tup![1, 4]));
+        assert!(stats.rounds >= 3);
+        assert_eq!(stats.inserted, 6);
+    }
+
+    #[test]
+    fn cyclic_edges_terminate() {
+        let mut db = edge_db();
+        db.insert("E", tup![4, 1]).unwrap();
+        let program = parse_program(
+            "Path(x, y) :- E(x, y)
+             Path(x, z) :- Path(x, y), E(y, z)",
+        )
+        .unwrap();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+        assert_eq!(db.table("Path").unwrap().len(), 16); // complete on {1..4}
+    }
+
+    #[test]
+    fn hook_sees_bindings() {
+        let mut db = edge_db();
+        let program = parse_program("Path(x, y) :- E(x, y)").unwrap();
+        let mut seen: Vec<(i64, i64)> = Vec::new();
+        {
+            let mut hook = |_: &mut Database, _: usize, _: &Rule, b: &Bindings<'_>| {
+                seen.push((
+                    b.get("x").unwrap().as_int().unwrap(),
+                    b.get("y").unwrap().as_int().unwrap(),
+                ));
+                Ok(())
+            };
+            run_program(&mut db, &program, &mut hook).unwrap();
+        }
+        seen.sort();
+        assert_eq!(seen, vec![(1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn multi_head_rules_insert_both() {
+        let mut db = edge_db();
+        db.create_table(
+            Schema::build("L", &[("v", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::build("R", &[("v", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        let program = parse_program("L(x), R(y) :- E(x, y)").unwrap();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+        assert_eq!(db.table("L").unwrap().len(), 3);
+        assert_eq!(db.table("R").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn skolems_produce_labeled_nulls() {
+        let mut db = edge_db();
+        db.create_table(
+            Schema::build("S", &[("src", ValueType::Int), ("lbl", ValueType::Str)], &[0, 1])
+                .unwrap(),
+        )
+        .unwrap();
+        let program = parse_program("S(x, !f(x)) :- E(x, y)").unwrap();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+        let s = db.table("S").unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&tup![1, "⟨f(1)⟩"]));
+    }
+
+    #[test]
+    fn constants_in_heads() {
+        let mut db = edge_db();
+        db.create_table(
+            Schema::build("T", &[("v", ValueType::Int), ("flag", ValueType::Bool)], &[0])
+                .unwrap(),
+        )
+        .unwrap();
+        let program = parse_program("T(x, true) :- E(x, _)").unwrap();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+        assert!(db.table("T").unwrap().contains(&tup![1, true]));
+    }
+
+    #[test]
+    fn missing_head_table_is_error() {
+        let mut db = edge_db();
+        let program = parse_program("Nope(x) :- E(x, _)").unwrap();
+        assert!(run_program(&mut db, &program, &mut NoopHook).is_err());
+    }
+
+    #[test]
+    fn missing_body_relation_is_error() {
+        let mut db = edge_db();
+        let program = parse_program("Path(x, x) :- Zzz(x)").unwrap();
+        assert!(run_program(&mut db, &program, &mut NoopHook).is_err());
+    }
+
+    #[test]
+    fn scratch_tables_are_cleaned_up() {
+        let mut db = edge_db();
+        let program = parse_program("Path(x, y) :- E(x, y)").unwrap();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+        assert!(db.table_names().all(|n| !n.starts_with(DELTA_PREFIX)));
+    }
+
+    #[test]
+    fn views_participate_in_bootstrap() {
+        let mut db = edge_db();
+        db.create_view(
+            "Evw",
+            proql_storage::Plan::scan("E"),
+            Schema::build("Evw", &[("src", ValueType::Int), ("dst", ValueType::Int)], &[0, 1])
+                .unwrap(),
+        )
+        .unwrap();
+        let program = parse_program("Path(x, y) :- Evw(x, y)").unwrap();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+        assert_eq!(db.table("Path").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn evaluation_is_idempotent() {
+        let mut db = edge_db();
+        let program = parse_program(
+            "Path(x, y) :- E(x, y)
+             Path(x, z) :- Path(x, y), E(y, z)",
+        )
+        .unwrap();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+        let before = db.table("Path").unwrap().len();
+        let stats = run_program(&mut db, &program, &mut NoopHook).unwrap();
+        assert_eq!(db.table("Path").unwrap().len(), before);
+        assert_eq!(stats.inserted, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Body-to-body homomorphisms — `findHomomorphism` of the paper's Figure 4.
+//!
+//! A homomorphism from a pattern body `P` to a rule body `R` maps the
+//! variables of `P` to variables/constants of `R` such that the image of
+//! every atom of `P` is an atom of `R`. ASR rewriting uses it to detect
+//! that an indexed path occurs inside an unfolded rule, then replaces the
+//! matched atoms with a single ASR atom (`unfoldPath`).
+
+use crate::ast::{Atom, Term};
+use std::collections::HashMap;
+
+/// A variable assignment from pattern variables to target terms.
+pub type Homomorphism = HashMap<String, Term>;
+
+/// Find a homomorphism from `pattern` to `target`.
+///
+/// The assignment of pattern atoms to target atoms is required to be
+/// **injective** (distinct pattern atoms map to distinct target atoms),
+/// because the caller removes the matched atoms from the target body.
+/// Returns the variable mapping plus the matched target-atom indices, in
+/// pattern order.
+pub fn find_homomorphism(
+    pattern: &[Atom],
+    target: &[Atom],
+) -> Option<(Homomorphism, Vec<usize>)> {
+    let mut h = Homomorphism::new();
+    let mut used = vec![false; target.len()];
+    let mut chosen = Vec::with_capacity(pattern.len());
+    if search(pattern, target, 0, &mut h, &mut used, &mut chosen) {
+        Some((h, chosen))
+    } else {
+        None
+    }
+}
+
+fn search(
+    pattern: &[Atom],
+    target: &[Atom],
+    i: usize,
+    h: &mut Homomorphism,
+    used: &mut [bool],
+    chosen: &mut Vec<usize>,
+) -> bool {
+    if i == pattern.len() {
+        return true;
+    }
+    let pa = &pattern[i];
+    for (j, ta) in target.iter().enumerate() {
+        if used[j] || ta.relation != pa.relation || ta.arity() != pa.arity() {
+            continue;
+        }
+        // Try to extend h to map pa onto ta.
+        let mut added: Vec<String> = Vec::new();
+        if match_atom(pa, ta, h, &mut added) {
+            used[j] = true;
+            chosen.push(j);
+            if search(pattern, target, i + 1, h, used, chosen) {
+                return true;
+            }
+            chosen.pop();
+            used[j] = false;
+        }
+        for k in added.drain(..) {
+            h.remove(&k);
+        }
+    }
+    false
+}
+
+/// One-way matching (no binding of target variables): pattern terms map onto
+/// target terms; pattern constants must equal target constants.
+fn match_atom(pa: &Atom, ta: &Atom, h: &mut Homomorphism, added: &mut Vec<String>) -> bool {
+    for (pt, tt) in pa.terms.iter().zip(&ta.terms) {
+        if !match_term(pt, tt, h, added) {
+            return false;
+        }
+    }
+    true
+}
+
+fn match_term(pt: &Term, tt: &Term, h: &mut Homomorphism, added: &mut Vec<String>) -> bool {
+    match pt {
+        Term::Var(v) => match h.get(v) {
+            Some(bound) => bound == tt,
+            None => {
+                h.insert(v.clone(), tt.clone());
+                added.push(v.clone());
+                true
+            }
+        },
+        Term::Const(c) => matches!(tt, Term::Const(d) if c == d),
+        Term::Skolem(f, fa) => match tt {
+            Term::Skolem(g, ga) if f == g && fa.len() == ga.len() => fa
+                .iter()
+                .zip(ga)
+                .all(|(x, y)| match_term(x, y, h, added)),
+            _ => false,
+        },
+    }
+}
+
+/// Apply a homomorphism to an atom (pattern-side helper for `unfoldPath`).
+pub fn apply_homomorphism(h: &Homomorphism, atom: &Atom) -> Atom {
+    crate::unfold::substitute_atom(h, atom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_rule;
+
+    fn body(rule: &str) -> Vec<Atom> {
+        parse_rule(rule).unwrap().body
+    }
+
+    #[test]
+    fn finds_simple_embedding() {
+        // Pattern: P5(i, n), P1(i, n) — an ASR over the m1;m5 path.
+        let pattern = body("Hx(i) :- P5(i, n), P1(i, n)");
+        let target = body("O(a) :- P5(a, b), Al(a, c), P1(a, b), A(a, d, e), N(a, b, false)");
+        let (h, idxs) = find_homomorphism(&pattern, &target).unwrap();
+        assert_eq!(idxs, vec![0, 2]);
+        assert_eq!(h.get("i"), Some(&Term::var("a")));
+        assert_eq!(h.get("n"), Some(&Term::var("b")));
+    }
+
+    #[test]
+    fn respects_shared_variables() {
+        // Pattern requires the same var in both atoms; target has different.
+        let pattern = body("H(x) :- R(x), S(x)");
+        let target = body("H(a) :- R(a), S(b)");
+        assert!(find_homomorphism(&pattern, &target).is_none());
+        let target_ok = body("H(a) :- R(a), S(a)");
+        assert!(find_homomorphism(&pattern, &target_ok).is_some());
+    }
+
+    #[test]
+    fn constants_must_match_exactly() {
+        let pattern = body("H(x) :- R(x, true)");
+        assert!(find_homomorphism(&pattern, &body("H(a) :- R(a, false)")).is_none());
+        assert!(find_homomorphism(&pattern, &body("H(a) :- R(a, true)")).is_some());
+    }
+
+    #[test]
+    fn pattern_var_can_map_to_constant() {
+        let pattern = body("H(x) :- R(x, y)");
+        let target = body("H(a) :- R(a, 7)");
+        let (h, _) = find_homomorphism(&pattern, &target).unwrap();
+        assert_eq!(h.get("y"), Some(&Term::cons(7)));
+    }
+
+    #[test]
+    fn injective_on_atoms() {
+        // Two pattern atoms cannot both map onto the single target atom.
+        let pattern = body("H(x) :- R(x, y), R(y, z)");
+        let target = body("H(a) :- R(a, a)");
+        assert!(find_homomorphism(&pattern, &target).is_none());
+        let target2 = body("H(a) :- R(a, a), R(a, a2), R(a2, a)");
+        assert!(find_homomorphism(&pattern, &target2).is_some());
+    }
+
+    #[test]
+    fn backtracks_over_candidate_atoms() {
+        // First R atom candidate fails to satisfy S; must backtrack.
+        let pattern = body("H(x) :- R(x, y), S(y)");
+        let target = body("H(a) :- R(a, b), R(c, d), S(d)");
+        let (h, idxs) = find_homomorphism(&pattern, &target).unwrap();
+        assert_eq!(h.get("x"), Some(&Term::var("c")));
+        assert_eq!(idxs, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_pattern_trivially_embeds() {
+        let target = body("H(a) :- R(a)");
+        let (h, idxs) = find_homomorphism(&[], &target).unwrap();
+        assert!(h.is_empty());
+        assert!(idxs.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Text syntax for rules, matching the paper's notation.
+//!
+//! ```text
+//! m1: C(i, n) :- A(i, s, _), N(i, n, false)
+//! m2: N(i, n, true) :- A(i, n, _)
+//! L1: A(i, s, l) :- Al(i, s, l)
+//! sk: R(i, !f(i)) :- S(i)          -- Skolem term in the head
+//! ```
+//!
+//! Constants: integers (`42`), floats (`3.5`), single-quoted strings
+//! (`'cn1'`), `true`/`false`, `null`. Identifiers starting with a lowercase
+//! letter are variables; `_` is a don't-care and is normalized to a fresh
+//! variable. Relation names are whatever appears before `(`.
+
+use crate::ast::{Atom, Program, Rule, Term};
+use proql_common::{Error, Result, Value};
+
+/// Parse a whole program: one rule per non-empty line; `--` and `%` start
+/// line comments.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let mut rules = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line = strip_comment(line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rule = parse_rule(line)
+            .map_err(|e| Error::Parse(format!("line {}: {}", lineno + 1, e.message())))?;
+        rules.push(rule);
+    }
+    Ok(Program::new(rules))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find("--").into_iter().chain(line.find('%')).min();
+    match cut {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parse a single rule.
+pub fn parse_rule(src: &str) -> Result<Rule> {
+    let mut p = Parser::new(src);
+    let rule = p.rule()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after rule"));
+    }
+    rule.check_safety()?;
+    Ok(rule)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+    fresh: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0, fresh: 0 }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::Parse(format!("{msg} at byte {} in rule `{}`", self.pos, self.src))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.src[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{s}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn rule(&mut self) -> Result<Rule> {
+        self.skip_ws();
+        // Optional `name:` prefix — look ahead for ident followed by `:`
+        // not part of `:-`.
+        let mut name = None;
+        let save = self.pos;
+        if let Ok(id) = self.ident() {
+            self.skip_ws();
+            if self.peek() == Some(':') && !self.src[self.pos..].starts_with(":-") {
+                self.bump();
+                name = Some(id);
+            } else {
+                self.pos = save;
+            }
+        } else {
+            self.pos = save;
+        }
+
+        let mut heads = vec![self.atom()?];
+        loop {
+            self.skip_ws();
+            if self.eat(":-") {
+                break;
+            }
+            if self.eat(",") {
+                heads.push(self.atom()?);
+            } else {
+                return Err(self.err("expected `,` or `:-` after head atom"));
+            }
+        }
+        let mut body = vec![self.atom()?];
+        loop {
+            self.skip_ws();
+            if self.eat(",") {
+                body.push(self.atom()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Rule::multi(name, heads, body))
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let rel = self.ident()?;
+        self.skip_ws();
+        self.expect("(")?;
+        let mut terms = Vec::new();
+        self.skip_ws();
+        if !self.eat(")") {
+            loop {
+                terms.push(self.term()?);
+                self.skip_ws();
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        Ok(Atom::new(rel, terms))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some('\'') => {
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '\'' {
+                        break;
+                    }
+                    self.bump();
+                }
+                let s = self.src[start..self.pos].to_string();
+                self.expect("'")?;
+                Ok(Term::Const(Value::str(s)))
+            }
+            Some('!') => {
+                self.bump();
+                let name = self.ident()?;
+                self.skip_ws();
+                self.expect("(")?;
+                let mut args = Vec::new();
+                self.skip_ws();
+                if !self.eat(")") {
+                    loop {
+                        args.push(self.term()?);
+                        self.skip_ws();
+                        if self.eat(")") {
+                            break;
+                        }
+                        self.expect(",")?;
+                    }
+                }
+                Ok(Term::Skolem(name, args))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                self.bump();
+                let mut is_float = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.bump();
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[start..self.pos];
+                if is_float {
+                    text.parse::<f64>()
+                        .map(|f| Term::Const(Value::Float(f)))
+                        .map_err(|_| self.err("bad float literal"))
+                } else {
+                    text.parse::<i64>()
+                        .map(|i| Term::Const(Value::Int(i)))
+                        .map_err(|_| self.err("bad int literal"))
+                }
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let id = self.ident()?;
+                match id.as_str() {
+                    "true" => Ok(Term::Const(Value::Bool(true))),
+                    "false" => Ok(Term::Const(Value::Bool(false))),
+                    "null" => Ok(Term::Const(Value::Null)),
+                    "_" => {
+                        let v = format!("_dc{}", self.fresh);
+                        self.fresh += 1;
+                        Ok(Term::Var(v))
+                    }
+                    _ => Ok(Term::Var(id)),
+                }
+            }
+            _ => Err(self.err("expected term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_2_1_mappings() {
+        let src = "
+            L1: A(i, s, l) :- Al(i, s, l)
+            m1: C(i, n) :- A(i, s, _), N(i, n, false)
+            m2: N(i, n, true) :- A(i, n, _)
+            m3: N(i, n, false) :- C(i, n)
+            m4: O(n, h, true) :- A(i, n, h)
+            m5: O(n, h, true) :- A(i, _, h), C(i, n)
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 6);
+        let m1 = p.rule_named("m1").unwrap();
+        assert_eq!(m1.heads[0].relation, "C");
+        assert_eq!(m1.body.len(), 2);
+        // don't-care became a fresh variable
+        assert!(m1.body[0].terms[2].as_var().unwrap().starts_with("_dc"));
+        // the `false` constant survived
+        assert_eq!(m1.body[1].terms[2], Term::Const(Value::Bool(false)));
+    }
+
+    #[test]
+    fn parses_constants_of_all_types() {
+        let r = parse_rule("R(x) :- S(x, 42, -7, 3.5, 'abc', true, null)").unwrap();
+        let terms = &r.body[0].terms;
+        assert_eq!(terms[1], Term::Const(Value::Int(42)));
+        assert_eq!(terms[2], Term::Const(Value::Int(-7)));
+        assert_eq!(terms[3], Term::Const(Value::Float(3.5)));
+        assert_eq!(terms[4], Term::Const(Value::str("abc")));
+        assert_eq!(terms[5], Term::Const(Value::Bool(true)));
+        assert_eq!(terms[6], Term::Const(Value::Null));
+    }
+
+    #[test]
+    fn parses_skolem_heads() {
+        let r = parse_rule("m: R(i, !f(i, 1)) :- S(i)").unwrap();
+        match &r.heads[0].terms[1] {
+            Term::Skolem(name, args) => {
+                assert_eq!(name, "f");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected skolem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_head_rules() {
+        let r = parse_rule("g: R(x), S(x, y) :- T(x, y)").unwrap();
+        assert_eq!(r.heads.len(), 2);
+        assert_eq!(r.name.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn unnamed_rules_parse() {
+        let r = parse_rule("R(x) :- S(x)").unwrap();
+        assert!(r.name.is_none());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let p = parse_program("-- nothing\n\nR(x) :- S(x) -- tail\n% pct comment\n").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unsafe_rule() {
+        assert!(parse_rule("R(x, y) :- S(x)").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_rule("R(x :- S(x)").is_err());
+        assert!(parse_rule("R(x) :- ").is_err());
+        assert!(parse_rule("R(x) :- S(x) extra").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let src = "m5: O(n, h, true) :- A(i, _dc0, h), C(i, n)";
+        let r = parse_rule(src).unwrap();
+        assert_eq!(parse_rule(&r.to_string()).unwrap(), r);
+    }
+
+    #[test]
+    fn distinct_dont_cares_get_distinct_vars() {
+        let r = parse_rule("R(x) :- S(x, _, _)").unwrap();
+        let t1 = r.body[0].terms[1].as_var().unwrap();
+        let t2 = r.body[0].terms[2].as_var().unwrap();
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Unification, substitution, and rule unfolding.
+//!
+//! ProQL translation (paper §4.2.4) repeatedly *unfolds* rules: a body atom
+//! `R(t̄)` derived by a rule `R(h̄) :- B̄` is replaced by `B̄` under the
+//! most general unifier of `t̄` and `h̄`. The same machinery (plus
+//! [`crate::homomorphism`]) implements the ASR rewriting of Figure 4.
+
+use crate::ast::{Atom, Rule, Term};
+use std::collections::HashMap;
+
+/// A substitution: variable name → term.
+pub type Subst = HashMap<String, Term>;
+
+/// Apply a substitution to a term.
+pub fn apply_term(subst: &Subst, term: &Term) -> Term {
+    match term {
+        Term::Var(v) => subst.get(v).cloned().unwrap_or_else(|| term.clone()),
+        Term::Const(_) => term.clone(),
+        Term::Skolem(name, args) => Term::Skolem(
+            name.clone(),
+            args.iter().map(|a| apply_term(subst, a)).collect(),
+        ),
+    }
+}
+
+/// Apply a substitution to an atom.
+pub fn substitute_atom(subst: &Subst, atom: &Atom) -> Atom {
+    Atom::new(
+        atom.relation.clone(),
+        atom.terms.iter().map(|t| apply_term(subst, t)).collect(),
+    )
+}
+
+/// Apply a substitution to a whole rule.
+pub fn substitute_rule(subst: &Subst, rule: &Rule) -> Rule {
+    Rule {
+        name: rule.name.clone(),
+        heads: rule.heads.iter().map(|a| substitute_atom(subst, a)).collect(),
+        body: rule.body.iter().map(|a| substitute_atom(subst, a)).collect(),
+    }
+}
+
+/// Rename every variable of `rule` by appending `suffix` (used to make rules
+/// variable-disjoint before unification).
+pub fn rename_apart(rule: &Rule, suffix: &str) -> Rule {
+    let mut subst = Subst::new();
+    let mut vars = rule.body_vars();
+    vars.extend(rule.head_vars());
+    for v in vars {
+        subst.insert(v.to_string(), Term::Var(format!("{v}#{suffix}")));
+    }
+    substitute_rule(&subst, rule)
+}
+
+/// Resolve a variable through the substitution chain.
+fn walk(subst: &Subst, term: &Term) -> Term {
+    let mut t = term.clone();
+    while let Term::Var(v) = &t {
+        match subst.get(v) {
+            Some(next) if next != &t => t = next.clone(),
+            _ => break,
+        }
+    }
+    t
+}
+
+fn occurs(var: &str, term: &Term, subst: &Subst) -> bool {
+    match walk(subst, term) {
+        Term::Var(v) => v == var,
+        Term::Const(_) => false,
+        Term::Skolem(_, args) => args.iter().any(|a| occurs(var, a, subst)),
+    }
+}
+
+fn unify_terms(a: &Term, b: &Term, subst: &mut Subst) -> bool {
+    let a = walk(subst, a);
+    let b = walk(subst, b);
+    match (&a, &b) {
+        (Term::Var(x), Term::Var(y)) if x == y => true,
+        // Prefer binding the right-hand (definition-side) variable so that
+        // unfolding keeps the host rule's variable names.
+        (t, Term::Var(x)) | (Term::Var(x), t) => {
+            if occurs(x, t, subst) {
+                false
+            } else {
+                subst.insert(x.clone(), t.clone());
+                true
+            }
+        }
+        (Term::Const(u), Term::Const(v)) => u == v,
+        (Term::Skolem(f, fa), Term::Skolem(g, ga)) => {
+            f == g
+                && fa.len() == ga.len()
+                && fa.iter().zip(ga).all(|(x, y)| unify_terms(x, y, subst))
+        }
+        _ => false,
+    }
+}
+
+/// Most general unifier of two atoms (same relation, same arity), if any.
+pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Subst> {
+    if a.relation != b.relation || a.arity() != b.arity() {
+        return None;
+    }
+    let mut subst = Subst::new();
+    for (x, y) in a.terms.iter().zip(&b.terms) {
+        if !unify_terms(x, y, &mut subst) {
+            return None;
+        }
+    }
+    // Flatten: make every binding fully resolved.
+    let keys: Vec<String> = subst.keys().cloned().collect();
+    for k in keys {
+        let resolved = resolve_fully(&subst, &Term::Var(k.clone()));
+        subst.insert(k, resolved);
+    }
+    Some(subst)
+}
+
+fn resolve_fully(subst: &Subst, term: &Term) -> Term {
+    match walk(subst, term) {
+        Term::Skolem(f, args) => {
+            Term::Skolem(f, args.iter().map(|a| resolve_fully(subst, a)).collect())
+        }
+        other => other,
+    }
+}
+
+/// Unfold `host.body[atom_idx]` using `def` (a rule whose head derives that
+/// atom's relation). Returns the unfolded rule, or `None` when the head does
+/// not unify with the atom.
+///
+/// `def` is renamed apart with `suffix` first, so callers should pass a
+/// fresh suffix per unfolding step.
+pub fn unfold_atom(host: &Rule, atom_idx: usize, def: &Rule, suffix: &str) -> Option<Rule> {
+    let def = rename_apart(def, suffix);
+    let target = &host.body[atom_idx];
+    // Find the (single) head of `def` matching the atom's relation.
+    let head = def.heads.iter().find(|h| h.relation == target.relation)?;
+    let subst = unify_atoms(target, head)?;
+    let mut body = Vec::with_capacity(host.body.len() - 1 + def.body.len());
+    for (i, a) in host.body.iter().enumerate() {
+        if i == atom_idx {
+            for b in &def.body {
+                body.push(substitute_atom(&subst, b));
+            }
+        } else {
+            body.push(substitute_atom(&subst, a));
+        }
+    }
+    Some(Rule {
+        name: host.name.clone(),
+        heads: host
+            .heads
+            .iter()
+            .map(|h| substitute_atom(&subst, h))
+            .collect(),
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_rule;
+
+    #[test]
+    fn unify_binds_vars_to_constants() {
+        let a = parse_rule("H(i) :- N(i, n, false)").unwrap().body[0].clone();
+        let h = parse_rule("N(x, y, c) :- B(x, y, c)").unwrap().heads[0].clone();
+        let s = unify_atoms(&a, &h).unwrap();
+        assert_eq!(apply_term(&s, &Term::var("x")), Term::var("i"));
+        assert_eq!(
+            apply_term(&s, &Term::var("c")),
+            Term::cons(false)
+        );
+    }
+
+    #[test]
+    fn unify_fails_on_constant_clash() {
+        let a = parse_rule("H(i) :- N(i, n, false)").unwrap().body[0].clone();
+        let h = parse_rule("N(x, y, true) :- B(x, y)").unwrap().heads[0].clone();
+        assert!(unify_atoms(&a, &h).is_none());
+    }
+
+    #[test]
+    fn unify_fails_on_different_relations() {
+        let a = Atom::new("R", vec![Term::var("x")]);
+        let b = Atom::new("S", vec![Term::var("x")]);
+        assert!(unify_atoms(&a, &b).is_none());
+    }
+
+    #[test]
+    fn occurs_check_prevents_infinite_terms() {
+        let a = Atom::new("R", vec![Term::var("x")]);
+        let b = Atom::new(
+            "R",
+            vec![Term::Skolem("f".into(), vec![Term::var("x")])],
+        );
+        assert!(unify_atoms(&a, &b).is_none());
+    }
+
+    #[test]
+    fn skolem_unification() {
+        let a = Atom::new(
+            "R",
+            vec![Term::Skolem("f".into(), vec![Term::var("x"), Term::cons(1)])],
+        );
+        let b = Atom::new(
+            "R",
+            vec![Term::Skolem("f".into(), vec![Term::cons(2), Term::var("y")])],
+        );
+        let s = unify_atoms(&a, &b).unwrap();
+        assert_eq!(apply_term(&s, &Term::var("x")), Term::cons(2));
+        assert_eq!(apply_term(&s, &Term::var("y")), Term::cons(1));
+    }
+
+    #[test]
+    fn rename_apart_is_consistent() {
+        let r = parse_rule("H(x, y) :- B(x, y), C(y, z)").unwrap();
+        let r2 = rename_apart(&r, "1");
+        assert_eq!(r2.to_string(), "H(x#1, y#1) :- B(x#1, y#1), C(y#1, z#1)");
+    }
+
+    #[test]
+    fn unfold_replaces_atom_with_definition() {
+        // Paper Example 4.3: unfolding C in the m5 rule body by the m1 rule
+        // over provenance relations.
+        let host = parse_rule("O(n, h, true) :- P5(i, n), A(i, _, h), C(i, n)").unwrap();
+        let def = parse_rule("C(i, n) :- P1(i, n), A(i, s, _), N(i, n, false)").unwrap();
+        let unfolded = unfold_atom(&host, 2, &def, "u1").unwrap();
+        assert_eq!(unfolded.body.len(), 5);
+        let rels: Vec<&str> = unfolded.body.iter().map(|a| a.relation.as_str()).collect();
+        assert_eq!(rels, vec!["P5", "A", "P1", "A", "N"]);
+        // The shared variables i, n flowed into the definition's body.
+        let p1 = &unfolded.body[2];
+        assert_eq!(p1.terms[0], Term::var("i"));
+        assert_eq!(p1.terms[1], Term::var("n"));
+        // The N atom retained its constant.
+        assert_eq!(unfolded.body[4].terms[2], Term::cons(false));
+    }
+
+    #[test]
+    fn unfold_fails_when_head_does_not_match() {
+        let host = parse_rule("H(x) :- R(x, true)").unwrap();
+        let def = parse_rule("R(y, false) :- S(y)").unwrap();
+        assert!(unfold_atom(&host, 0, &def, "u").is_none());
+    }
+
+    #[test]
+    fn unfold_keeps_host_constants() {
+        let host = parse_rule("H(x) :- R(x, 5)").unwrap();
+        let def = parse_rule("R(y, z) :- S(y, z)").unwrap();
+        let u = unfold_atom(&host, 0, &def, "u").unwrap();
+        assert_eq!(u.body[0].relation, "S");
+        assert_eq!(u.body[0].terms[1], Term::cons(5));
+    }
+
+    #[test]
+    fn substitution_resolves_chains() {
+        // x -> y and y -> 3 must resolve x to 3 after flattening.
+        let a = Atom::new("R", vec![Term::var("x"), Term::var("x")]);
+        let b = Atom::new("R", vec![Term::var("y"), Term::cons(3)]);
+        let s = unify_atoms(&a, &b).unwrap();
+        assert_eq!(apply_term(&s, &Term::var("x")), Term::cons(3));
+        assert_eq!(apply_term(&s, &Term::var("y")), Term::cons(3));
+    }
+}

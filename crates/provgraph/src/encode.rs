@@ -1,0 +1,379 @@
+//! Relational encoding of provenance (paper §4.1).
+//!
+//! Each schema mapping `m` gets a provenance relation `P_m` with **one row
+//! per derivation**. Columns are the distinct variables occurring in a key
+//! position of any source or target atom — attributes constrained by the
+//! mapping to be equal are stored once. Constants in key positions are not
+//! stored: they are reconstructed from the mapping definition.
+//!
+//! When a mapping has a single source atom (a projection, like the paper's
+//! `m2`), its provenance relation is *superfluous*: it is exactly a
+//! projection of the source relation and is created as a virtual view
+//! instead of a table.
+
+use proql_common::{Attribute, Error, Result, Schema, Tuple, Value, ValueType};
+use proql_datalog::ast::{Atom, Rule, Term};
+use proql_datalog::compile::compile_body;
+use proql_storage::{Database, Expr, Plan};
+
+/// How to reconstruct one key attribute of an atom from a `P_m` row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecipeTerm {
+    /// Read the provenance-relation column at this position.
+    Col(usize),
+    /// The mapping pins this key attribute to a constant.
+    Const(Value),
+}
+
+/// How to reconstruct the key of one atom (source or target) of a mapping
+/// from a row of its provenance relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomRecipe {
+    /// The atom's relation.
+    pub relation: String,
+    /// True for body (source) atoms, false for head (target) atoms.
+    pub is_source: bool,
+    /// One entry per key attribute of `relation`, in key order.
+    pub key_recipe: Vec<RecipeTerm>,
+}
+
+impl AtomRecipe {
+    /// Reconstruct the atom's key from a provenance row.
+    pub fn key_of(&self, prov_row: &Tuple) -> Tuple {
+        Tuple::new(
+            self.key_recipe
+                .iter()
+                .map(|r| match r {
+                    RecipeTerm::Col(c) => prov_row.get(*c).clone(),
+                    RecipeTerm::Const(v) => v.clone(),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The provenance-relation specification of one mapping.
+#[derive(Debug, Clone)]
+pub struct ProvSpec {
+    /// Mapping name (`m1`, `L1`, ...).
+    pub mapping: String,
+    /// Name of the provenance relation (`P_m1`).
+    pub prov_rel: String,
+    /// Column variables, in order.
+    pub columns: Vec<String>,
+    /// Reconstruction recipes: sources first (body order), then targets.
+    pub atoms: Vec<AtomRecipe>,
+    /// True when `P_m` is a view over the single source relation.
+    pub superfluous: bool,
+}
+
+impl ProvSpec {
+    /// The schema of the provenance relation: all columns, all-key (a
+    /// derivation is identified by its full variable binding).
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            &self.prov_rel,
+            self.columns
+                .iter()
+                .map(|c| Attribute::new(c.clone(), ValueType::Null))
+                .collect(),
+            (0..self.columns.len()).collect(),
+        )
+        .expect("provenance schema construction cannot fail")
+    }
+
+    /// Column index of a variable.
+    pub fn column_of(&self, var: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == var)
+    }
+
+    /// Recipes of the source atoms.
+    pub fn sources(&self) -> impl Iterator<Item = &AtomRecipe> {
+        self.atoms.iter().filter(|a| a.is_source)
+    }
+
+    /// Recipes of the target atoms.
+    pub fn targets(&self) -> impl Iterator<Item = &AtomRecipe> {
+        self.atoms.iter().filter(|a| !a.is_source)
+    }
+
+    /// The body atoms of the ProQL-translation rule for this mapping: the
+    /// provenance atom `P_m(columns...)` followed by the source atoms with
+    /// their original terms (paper Example 4.2:
+    /// `O(n,h,true) :- P5(i,n), A(i,_,h), C(i,n)`).
+    pub fn translation_body(&self, rule: &Rule) -> Vec<Atom> {
+        let mut body = Vec::with_capacity(1 + rule.body.len());
+        body.push(Atom::new(
+            self.prov_rel.clone(),
+            self.columns.iter().map(|c| Term::var(c.clone())).collect(),
+        ));
+        body.extend(rule.body.iter().cloned());
+        body
+    }
+}
+
+/// Compute the provenance spec for `rule`. Every atom's relation must exist
+/// in `db` (needed for key positions), and no key position may hold a Skolem
+/// term (its value would not be reconstructible from stored columns).
+pub fn spec_for_rule(db: &Database, rule: &Rule) -> Result<ProvSpec> {
+    let name = rule
+        .name
+        .clone()
+        .ok_or_else(|| Error::Datalog("mappings must be named".into()))?;
+    let mut columns: Vec<String> = Vec::new();
+    let mut atoms: Vec<AtomRecipe> = Vec::new();
+
+    // First pass: collect distinct key variables, body atoms first.
+    let all_atoms: Vec<(&Atom, bool)> = rule
+        .body
+        .iter()
+        .map(|a| (a, true))
+        .chain(rule.heads.iter().map(|a| (a, false)))
+        .collect();
+    for (atom, _) in &all_atoms {
+        let schema = db.schema_of(&atom.relation)?;
+        if schema.arity() != atom.arity() {
+            return Err(Error::Datalog(format!(
+                "atom {atom} arity mismatch with relation {}",
+                atom.relation
+            )));
+        }
+        for &kpos in &schema.effective_key() {
+            match &atom.terms[kpos] {
+                Term::Var(v) => {
+                    if !columns.contains(v) {
+                        columns.push(v.clone());
+                    }
+                }
+                Term::Const(_) => {}
+                Term::Skolem(..) => {
+                    return Err(Error::Datalog(format!(
+                        "mapping {name}: Skolem term in key position of {atom}; \
+                         provenance would not be reconstructible"
+                    )));
+                }
+            }
+        }
+    }
+
+    // Second pass: build recipes.
+    for (atom, is_source) in &all_atoms {
+        let schema = db.schema_of(&atom.relation)?;
+        let key_recipe = schema
+            .effective_key()
+            .iter()
+            .map(|&kpos| match &atom.terms[kpos] {
+                Term::Var(v) => RecipeTerm::Col(
+                    columns.iter().position(|c| c == v).expect("collected above"),
+                ),
+                Term::Const(v) => RecipeTerm::Const(v.clone()),
+                Term::Skolem(..) => unreachable!("rejected above"),
+            })
+            .collect();
+        atoms.push(AtomRecipe {
+            relation: atom.relation.clone(),
+            is_source: *is_source,
+            key_recipe,
+        });
+    }
+
+    Ok(ProvSpec {
+        prov_rel: format!("P_{name}"),
+        mapping: name,
+        columns,
+        atoms,
+        superfluous: rule.body.len() == 1,
+    })
+}
+
+/// Create the provenance relation for `spec` in `db`: a base table for
+/// multi-source mappings, or a view over the single source relation for
+/// superfluous ones.
+pub fn create_prov_relation(db: &mut Database, spec: &ProvSpec, rule: &Rule) -> Result<()> {
+    if !spec.superfluous {
+        db.create_table(spec.schema())?;
+        return Ok(());
+    }
+    // View: project the single body atom onto the spec's columns.
+    let bp = compile_body(db, &rule.body)?;
+    let exprs: Vec<Expr> = spec
+        .columns
+        .iter()
+        .map(|v| bp.col(v).map(Expr::Col))
+        .collect::<Result<_>>()?;
+    let plan = Plan::Project {
+        input: Box::new(bp.plan),
+        exprs,
+        names: spec.columns.clone(),
+    };
+    db.create_view(&spec.prov_rel, plan, spec.schema())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+    use proql_datalog::parse::parse_rule;
+    use proql_storage::execute;
+
+    /// The running-example catalog: A(id*, sn, len), C(id*, name*),
+    /// N(id*, name*, canon), O(name*, h, isAnimal).
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::build(
+                "A",
+                &[("id", ValueType::Int), ("sn", ValueType::Str), ("len", ValueType::Int)],
+                &[0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::build("C", &[("id", ValueType::Int), ("name", ValueType::Str)], &[0, 1])
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::build(
+                "N",
+                &[("id", ValueType::Int), ("name", ValueType::Str), ("c", ValueType::Bool)],
+                &[0, 1],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::build(
+                "O",
+                &[("name", ValueType::Str), ("h", ValueType::Int), ("an", ValueType::Bool)],
+                &[0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn m1_spec_matches_paper_figure_2() {
+        // m1: C(i, n) :- A(i, s, _), N(i, n, false)  =>  P_m1(i, n)
+        let db = db();
+        let rule = parse_rule("m1: C(i, n) :- A(i, s, _), N(i, n, false)").unwrap();
+        let spec = spec_for_rule(&db, &rule).unwrap();
+        assert_eq!(spec.prov_rel, "P_m1");
+        assert_eq!(spec.columns, vec!["i", "n"]);
+        assert!(!spec.superfluous); // two source atoms
+        // Recipes: A's key is (i) -> Col(0); N's key (i, n) -> Col(0), Col(1);
+        // target C's key (i, n).
+        assert_eq!(spec.atoms.len(), 3);
+        assert_eq!(spec.atoms[0].key_recipe, vec![RecipeTerm::Col(0)]);
+        assert_eq!(
+            spec.atoms[1].key_recipe,
+            vec![RecipeTerm::Col(0), RecipeTerm::Col(1)]
+        );
+        assert!(!spec.atoms[2].is_source);
+    }
+
+    #[test]
+    fn m5_spec_matches_paper_figure_2() {
+        // m5: O(n, h, true) :- A(i, _, h), C(i, n)  =>  P_m5(i, n)
+        let db = db();
+        let rule = parse_rule("m5: O(n, h, true) :- A(i, _, h), C(i, n)").unwrap();
+        let spec = spec_for_rule(&db, &rule).unwrap();
+        assert_eq!(spec.columns, vec!["i", "n"]);
+        assert!(!spec.superfluous);
+        // O's key is (name) = var n -> Col(1).
+        let target = spec.targets().next().unwrap();
+        assert_eq!(target.key_recipe, vec![RecipeTerm::Col(1)]);
+    }
+
+    #[test]
+    fn m2_is_superfluous_projection_view() {
+        // m2: N(i, n, true) :- A(i, n, _) — single source, view over A.
+        let mut db = db();
+        db.insert("A", tup![1, "sn1", 7]).unwrap();
+        db.insert("A", tup![2, "sn2", 5]).unwrap();
+        let rule = parse_rule("m2: N(i, n, true) :- A(i, n, _)").unwrap();
+        let spec = spec_for_rule(&db, &rule).unwrap();
+        assert!(spec.superfluous);
+        assert_eq!(spec.columns, vec!["i", "n"]);
+        create_prov_relation(&mut db, &spec, &rule).unwrap();
+        assert!(!db.has_table("P_m2")); // it is a view
+        let rel = execute(&db, &Plan::scan("P_m2")).unwrap();
+        assert_eq!(rel.sorted_rows(), vec![tup![1, "sn1"], tup![2, "sn2"]]);
+    }
+
+    #[test]
+    fn constants_in_key_positions_are_reconstructed_not_stored() {
+        let db = db();
+        // Target N key includes the constant-less pair (i, n); source uses a
+        // constant in C's key position `name`.
+        let rule = parse_rule("mx: O(n, 1, true) :- C(i, n), N(i, n, false)").unwrap();
+        let spec = spec_for_rule(&db, &rule).unwrap();
+        assert_eq!(spec.columns, vec!["i", "n"]);
+        let row = tup![42, "cn"];
+        assert_eq!(spec.atoms[0].key_of(&row), tup![42, "cn"]);
+        // Constant key example: target O's key is (n).
+        let t = spec.targets().next().unwrap();
+        assert_eq!(t.key_of(&row), tup!["cn"]);
+    }
+
+    #[test]
+    fn constant_key_recipe() {
+        let db = db();
+        let rule = parse_rule("mc: O('fixed', h, true) :- A(i, s, h)").unwrap();
+        let spec = spec_for_rule(&db, &rule).unwrap();
+        let t = spec.targets().next().unwrap();
+        assert_eq!(t.key_recipe, vec![RecipeTerm::Const(Value::str("fixed"))]);
+        assert_eq!(t.key_of(&tup![9]), tup!["fixed"]);
+    }
+
+    #[test]
+    fn skolem_in_key_position_rejected() {
+        let db = db();
+        let rule = parse_rule("ms: O(!f(i), h, true) :- A(i, s, h)").unwrap();
+        assert!(spec_for_rule(&db, &rule).is_err());
+    }
+
+    #[test]
+    fn unnamed_mapping_rejected() {
+        let db = db();
+        let rule = parse_rule("O(n, h, true) :- A(i, n, h)").unwrap();
+        assert!(spec_for_rule(&db, &rule).is_err());
+    }
+
+    #[test]
+    fn prov_schema_keys_all_columns() {
+        let db = db();
+        let rule = parse_rule("m5: O(n, h, true) :- A(i, _, h), C(i, n)").unwrap();
+        let spec = spec_for_rule(&db, &rule).unwrap();
+        let schema = spec.schema();
+        assert_eq!(schema.name(), "P_m5");
+        assert_eq!(schema.key(), &[0, 1]);
+    }
+
+    #[test]
+    fn translation_body_prepends_prov_atom() {
+        let db = db();
+        let rule = parse_rule("m5: O(n, h, true) :- A(i, _dc, h), C(i, n)").unwrap();
+        let spec = spec_for_rule(&db, &rule).unwrap();
+        let body = spec.translation_body(&rule);
+        assert_eq!(body.len(), 3);
+        assert_eq!(body[0].to_string(), "P_m5(i, n)");
+        assert_eq!(body[1].relation, "A");
+    }
+
+    #[test]
+    fn superfluous_view_applies_constant_filters() {
+        let mut db = db();
+        db.insert("N", tup![1, "x", true]).unwrap();
+        db.insert("N", tup![2, "y", false]).unwrap();
+        // m3-like with a constant in the body: only canon=false rows derive.
+        let rule = parse_rule("m3: C(i, n) :- N(i, n, false)").unwrap();
+        let spec = spec_for_rule(&db, &rule).unwrap();
+        create_prov_relation(&mut db, &spec, &rule).unwrap();
+        let rel = execute(&db, &Plan::scan("P_m3")).unwrap();
+        assert_eq!(rel.rows, vec![tup![2, "y"]]);
+    }
+}

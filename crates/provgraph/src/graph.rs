@@ -1,0 +1,491 @@
+//! The in-memory provenance graph (paper Figure 1).
+//!
+//! A bipartite graph of **tuple nodes** (rectangles: a tuple of some public
+//! relation, identified by relation + key) and **derivation nodes**
+//! (ellipses: one firing of a mapping, with edges from its source tuples and
+//! to its target tuples). Derivations of local-contribution rules are the
+//! `+` ovals: they have no source tuple nodes and mark their target as base
+//! data.
+//!
+//! The graph is decoded from the relational encoding (`P_m` rows) and is
+//! what the semiring evaluator walks bottom-up.
+
+use crate::system::ProvenanceSystem;
+use proql_common::{DerivationId, Result, Tuple, TupleId};
+use proql_storage::{execute, Plan};
+use std::collections::HashMap;
+
+/// A tuple node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleNode {
+    /// Public relation the tuple belongs to.
+    pub relation: String,
+    /// Primary-key projection identifying the tuple.
+    pub key: Tuple,
+    /// Full tuple values when resolvable from the database (used by
+    /// `ASSIGNING EACH leaf_node` attribute conditions).
+    pub values: Option<Tuple>,
+}
+
+/// A derivation node: one row of some provenance relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivationNode {
+    /// Mapping that produced this derivation.
+    pub mapping: String,
+    /// The provenance-relation row (variable bindings).
+    pub prov_row: Tuple,
+    /// Source tuple nodes (joined by the mapping); empty for base (`+`)
+    /// derivations.
+    pub sources: Vec<TupleId>,
+    /// Target tuple nodes.
+    pub targets: Vec<TupleId>,
+    /// True for local-contribution (`+`) derivations.
+    pub is_base: bool,
+}
+
+/// The provenance graph.
+#[derive(Debug, Clone, Default)]
+pub struct ProvGraph {
+    tuples: Vec<TupleNode>,
+    tuple_index: HashMap<(String, Tuple), TupleId>,
+    derivations: Vec<DerivationNode>,
+    deriv_index: HashMap<(String, Tuple), DerivationId>,
+    /// tuple → derivations *deriving* it (incoming).
+    derived_by: Vec<Vec<DerivationId>>,
+    /// tuple → derivations *consuming* it (outgoing).
+    consumed_by: Vec<Vec<DerivationId>>,
+}
+
+impl ProvGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        ProvGraph::default()
+    }
+
+    /// Number of tuple nodes.
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Number of derivation nodes.
+    pub fn derivation_count(&self) -> usize {
+        self.derivations.len()
+    }
+
+    /// Intern a tuple node.
+    pub fn add_tuple(
+        &mut self,
+        relation: &str,
+        key: Tuple,
+        values: Option<Tuple>,
+    ) -> TupleId {
+        if let Some(&id) = self.tuple_index.get(&(relation.to_string(), key.clone())) {
+            if values.is_some() && self.tuples[id.index()].values.is_none() {
+                self.tuples[id.index()].values = values;
+            }
+            return id;
+        }
+        let id = TupleId(self.tuples.len() as u32);
+        self.tuple_index
+            .insert((relation.to_string(), key.clone()), id);
+        self.tuples.push(TupleNode {
+            relation: relation.to_string(),
+            key,
+            values,
+        });
+        self.derived_by.push(Vec::new());
+        self.consumed_by.push(Vec::new());
+        id
+    }
+
+    /// Add a derivation node (idempotent on (mapping, prov_row)).
+    pub fn add_derivation(
+        &mut self,
+        mapping: &str,
+        prov_row: Tuple,
+        sources: Vec<TupleId>,
+        targets: Vec<TupleId>,
+        is_base: bool,
+    ) -> DerivationId {
+        let dkey = (mapping.to_string(), prov_row.clone());
+        if let Some(&id) = self.deriv_index.get(&dkey) {
+            return id;
+        }
+        let id = DerivationId(self.derivations.len() as u32);
+        self.deriv_index.insert(dkey, id);
+        for &s in &sources {
+            self.consumed_by[s.index()].push(id);
+        }
+        for &t in &targets {
+            self.derived_by[t.index()].push(id);
+        }
+        self.derivations.push(DerivationNode {
+            mapping: mapping.to_string(),
+            prov_row,
+            sources,
+            targets,
+            is_base,
+        });
+        id
+    }
+
+    /// Tuple node accessor.
+    pub fn tuple(&self, id: TupleId) -> &TupleNode {
+        &self.tuples[id.index()]
+    }
+
+    /// Derivation node accessor.
+    pub fn derivation(&self, id: DerivationId) -> &DerivationNode {
+        &self.derivations[id.index()]
+    }
+
+    /// Find a tuple node by relation and key.
+    pub fn find_tuple(&self, relation: &str, key: &Tuple) -> Option<TupleId> {
+        self.tuple_index
+            .get(&(relation.to_string(), key.clone()))
+            .copied()
+    }
+
+    /// Derivations deriving a tuple (its alternatives — union).
+    pub fn derivations_of(&self, id: TupleId) -> &[DerivationId] {
+        &self.derived_by[id.index()]
+    }
+
+    /// Derivations consuming a tuple.
+    pub fn consumers_of(&self, id: TupleId) -> &[DerivationId] {
+        &self.consumed_by[id.index()]
+    }
+
+    /// All tuple ids.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> {
+        (0..self.tuples.len()).map(|i| TupleId(i as u32))
+    }
+
+    /// All derivation ids.
+    pub fn derivation_ids(&self) -> impl Iterator<Item = DerivationId> {
+        (0..self.derivations.len()).map(|i| DerivationId(i as u32))
+    }
+
+    /// A tuple is a **leaf** when it has no incoming derivations at all, or
+    /// only base (`+`) derivations. Leaves are where `ASSIGNING EACH
+    /// leaf_node` values plug in.
+    pub fn is_leaf(&self, id: TupleId) -> bool {
+        self.derived_by[id.index()]
+            .iter()
+            .all(|&d| self.derivations[d.index()].is_base)
+    }
+
+    /// True iff the tuple is backed by base data (has a `+` derivation).
+    pub fn is_base(&self, id: TupleId) -> bool {
+        self.derived_by[id.index()]
+            .iter()
+            .any(|&d| self.derivations[d.index()].is_base)
+    }
+
+    /// Topological order of tuple nodes (sources before targets through
+    /// derivations), or `None` if the graph is cyclic. Derivations are
+    /// ordered implicitly: a derivation is ready when all its sources are.
+    pub fn topo_order(&self) -> Option<Vec<TupleId>> {
+        // In-degree of each derivation = #sources not yet emitted;
+        // in-degree of each tuple = #derivations not yet emitted.
+        let mut deriv_pending: Vec<usize> = self
+            .derivations
+            .iter()
+            .map(|d| d.sources.len())
+            .collect();
+        let mut tuple_pending: Vec<usize> = self.derived_by.iter().map(Vec::len).collect();
+        let mut ready: Vec<TupleId> = Vec::new();
+        let mut order = Vec::with_capacity(self.tuples.len());
+        for (i, &p) in tuple_pending.iter().enumerate() {
+            if p == 0 {
+                ready.push(TupleId(i as u32));
+            }
+        }
+        // Base derivations have zero sources: fire them immediately.
+        let mut deriv_ready: Vec<DerivationId> = deriv_pending
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == 0)
+            .map(|(i, _)| DerivationId(i as u32))
+            .collect();
+        loop {
+            // Fire ready derivations: they decrement their targets.
+            while let Some(d) = deriv_ready.pop() {
+                for &t in &self.derivations[d.index()].targets {
+                    tuple_pending[t.index()] -= 1;
+                    if tuple_pending[t.index()] == 0 {
+                        ready.push(t);
+                    }
+                }
+            }
+            match ready.pop() {
+                None => break,
+                Some(t) => {
+                    order.push(t);
+                    for &d in &self.consumed_by[t.index()] {
+                        deriv_pending[d.index()] -= 1;
+                        if deriv_pending[d.index()] == 0 {
+                            deriv_ready.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        (order.len() == self.tuples.len()).then_some(order)
+    }
+
+    /// True iff the graph contains a derivation cycle.
+    pub fn is_cyclic(&self) -> bool {
+        self.topo_order().is_none()
+    }
+
+    /// Decode the full provenance graph of a system from its provenance
+    /// relations.
+    pub fn from_system(sys: &ProvenanceSystem) -> Result<ProvGraph> {
+        let mut g = ProvGraph::new();
+        for (rule, spec) in sys.program().rules.iter().zip(sys.specs()) {
+            let rows = execute(&sys.db, &Plan::scan(spec.prov_rel.clone()))?.rows;
+            let is_base = rule
+                .body
+                .first()
+                .map(|a| sys.is_local_relation(&a.relation))
+                .unwrap_or(false);
+            for row in rows {
+                g.add_derivation_from_row(sys, spec, &row, is_base)?;
+            }
+        }
+        Ok(g)
+    }
+
+    /// Decode one provenance row into a derivation node (shared by
+    /// `from_system` and by projected-subgraph construction in `proql`).
+    pub fn add_derivation_from_row(
+        &mut self,
+        sys: &ProvenanceSystem,
+        spec: &crate::encode::ProvSpec,
+        row: &Tuple,
+        is_base: bool,
+    ) -> Result<DerivationId> {
+        let mut sources = Vec::new();
+        let mut targets = Vec::new();
+        for recipe in &spec.atoms {
+            let key = recipe.key_of(row);
+            if recipe.is_source && is_base {
+                // Local-contribution source: not a graph node; the `+`
+                // derivation's target carries the base flag.
+                continue;
+            }
+            let values = sys
+                .db
+                .table(&recipe.relation)
+                .ok()
+                .and_then(|t| t.get_by_key(&key))
+                .cloned();
+            let id = self.add_tuple(&recipe.relation, key, values);
+            if recipe.is_source {
+                sources.push(id);
+            } else {
+                targets.push(id);
+            }
+        }
+        Ok(self.add_derivation(&spec.mapping, row.clone(), sources, targets, is_base))
+    }
+
+    /// Project the graph onto a set of derivation ids: the result keeps
+    /// those derivations with **all** their source and target tuple nodes
+    /// (the paper's requirement that derivation nodes stay "inseparable"
+    /// from their endpoints).
+    pub fn project(&self, derivs: impl IntoIterator<Item = DerivationId>) -> ProvGraph {
+        let mut g = ProvGraph::new();
+        for d in derivs {
+            let node = &self.derivations[d.index()];
+            let sources = node
+                .sources
+                .iter()
+                .map(|&s| {
+                    let t = &self.tuples[s.index()];
+                    g.add_tuple(&t.relation, t.key.clone(), t.values.clone())
+                })
+                .collect();
+            let targets = node
+                .targets
+                .iter()
+                .map(|&s| {
+                    let t = &self.tuples[s.index()];
+                    g.add_tuple(&t.relation, t.key.clone(), t.values.clone())
+                })
+                .collect();
+            g.add_derivation(
+                &node.mapping,
+                node.prov_row.clone(),
+                sources,
+                targets,
+                node.is_base,
+            );
+        }
+        g
+    }
+
+    /// Render as DOT (GraphViz) for the interactive-browser use case the
+    /// paper motivates (§1 "Interactive provenance browsers and viewers").
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("digraph provenance {\n  rankdir=RL;\n");
+        for (i, t) in self.tuples.iter().enumerate() {
+            let label = match &t.values {
+                Some(v) => format!("{}{}", t.relation, v),
+                None => format!("{}{}", t.relation, t.key),
+            };
+            let style = if self.is_base(TupleId(i as u32)) {
+                ", style=bold"
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "  t{i} [shape=box, label=\"{label}\"{style}];");
+        }
+        for (i, d) in self.derivations.iter().enumerate() {
+            let shape = if d.is_base { "circle" } else { "ellipse" };
+            let label = if d.is_base { "+" } else { d.mapping.as_str() };
+            let _ = writeln!(s, "  d{i} [shape={shape}, label=\"{label}\"];");
+            for src in &d.sources {
+                let _ = writeln!(s, "  t{} -> d{i};", src.index());
+            }
+            for tgt in &d.targets {
+                let _ = writeln!(s, "  d{i} -> t{};", tgt.index());
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::example_2_1;
+    use proql_common::tup;
+
+    #[test]
+    fn figure_1_graph_shape() {
+        let sys = example_2_1().unwrap();
+        let g = ProvGraph::from_system(&sys).unwrap();
+        // Base tuples are flagged.
+        let a1 = g.find_tuple("A", &tup![1]).unwrap();
+        assert!(g.is_base(a1));
+        assert!(g.is_leaf(a1));
+        // O(cn2, 5) is derived via m5 from A(2) and C(2, cn2).
+        let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
+        let derivs = g.derivations_of(ocn2);
+        assert!(!derivs.is_empty());
+        let via_m5 = derivs
+            .iter()
+            .map(|&d| g.derivation(d))
+            .find(|d| d.mapping == "m5")
+            .expect("O(cn2) must have an m5 derivation");
+        assert_eq!(via_m5.sources.len(), 2);
+        let src_rels: Vec<&str> = via_m5
+            .sources
+            .iter()
+            .map(|&s| g.tuple(s).relation.as_str())
+            .collect();
+        assert!(src_rels.contains(&"A") && src_rels.contains(&"C"));
+    }
+
+    #[test]
+    fn full_example_graph_is_cyclic() {
+        // C(2,cn2) -> m3 -> N(2,cn2,false) -> m1 -> C(2,cn2).
+        let sys = example_2_1().unwrap();
+        let g = ProvGraph::from_system(&sys).unwrap();
+        assert!(g.is_cyclic());
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn acyclic_projection_topo_orders() {
+        let sys = example_2_1().unwrap();
+        let g = ProvGraph::from_system(&sys).unwrap();
+        // Project onto only the m5 and base derivations: acyclic.
+        let derivs: Vec<_> = g
+            .derivation_ids()
+            .filter(|&d| {
+                let n = g.derivation(d);
+                n.is_base || n.mapping == "m5"
+            })
+            .collect();
+        let sub = g.project(derivs);
+        let order = sub.topo_order().expect("projection is acyclic");
+        assert_eq!(order.len(), sub.tuple_count());
+        // Sources appear before targets.
+        let pos: HashMap<TupleId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for d in sub.derivation_ids() {
+            let n = sub.derivation(d);
+            for &s in &n.sources {
+                for &t in &n.targets {
+                    assert!(pos[&s] < pos[&t], "source after target");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_nodes_are_interned() {
+        let mut g = ProvGraph::new();
+        let a = g.add_tuple("R", tup![1], None);
+        let b = g.add_tuple("R", tup![1], Some(tup![1, 2]));
+        assert_eq!(a, b);
+        assert_eq!(g.tuple_count(), 1);
+        // Values are backfilled on re-add.
+        assert_eq!(g.tuple(a).values, Some(tup![1, 2]));
+    }
+
+    #[test]
+    fn derivations_are_idempotent() {
+        let mut g = ProvGraph::new();
+        let t = g.add_tuple("R", tup![1], None);
+        let d1 = g.add_derivation("m", tup![1], vec![], vec![t], true);
+        let d2 = g.add_derivation("m", tup![1], vec![], vec![t], true);
+        assert_eq!(d1, d2);
+        assert_eq!(g.derivation_count(), 1);
+        assert_eq!(g.derivations_of(t).len(), 1);
+    }
+
+    #[test]
+    fn leaf_means_only_base_derivations() {
+        let sys = example_2_1().unwrap();
+        let g = ProvGraph::from_system(&sys).unwrap();
+        // N(1, sn1, true) is derived by m2 (not base): not a leaf.
+        let n = g.find_tuple("N", &tup![1, "sn1"]).unwrap();
+        assert!(!g.is_leaf(n));
+        // A tuples are pure base.
+        let a = g.find_tuple("A", &tup![2]).unwrap();
+        assert!(g.is_leaf(a));
+    }
+
+    #[test]
+    fn values_resolved_from_public_tables() {
+        let sys = example_2_1().unwrap();
+        let g = ProvGraph::from_system(&sys).unwrap();
+        let a = g.find_tuple("A", &tup![1]).unwrap();
+        assert_eq!(g.tuple(a).values, Some(tup![1, "sn1", 7]));
+    }
+
+    #[test]
+    fn dot_rendering_mentions_nodes() {
+        let sys = example_2_1().unwrap();
+        let g = ProvGraph::from_system(&sys).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("m5"));
+        assert!(dot.contains("label=\"+\""));
+    }
+
+    #[test]
+    fn consumers_tracked() {
+        let sys = example_2_1().unwrap();
+        let g = ProvGraph::from_system(&sys).unwrap();
+        let a2 = g.find_tuple("A", &tup![2]).unwrap();
+        // A(2) feeds m2, m4, m5 derivations (and m1 via N(2,cn2,false)).
+        assert!(!g.consumers_of(a2).is_empty());
+    }
+}

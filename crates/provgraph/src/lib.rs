@@ -1,0 +1,25 @@
+//! # proql-provgraph
+//!
+//! Provenance graphs and their relational encoding (paper §2, §4.1):
+//!
+//! * [`encode`] — per-mapping provenance relation schemas (`P_m`): one row
+//!   per derivation, storing one column per distinct variable in a key
+//!   position of any source/target atom; *superfluous* provenance relations
+//!   (single-source projections) are virtualized as views,
+//! * [`system`] — [`ProvenanceSystem`]: a database + mapping program that
+//!   runs data exchange while recording provenance through the Datalog
+//!   engine's firing hook,
+//! * [`graph`] — the in-memory bipartite provenance graph of Figure 1
+//!   (tuple nodes and derivation nodes, `+`-flagged base derivations),
+//! * [`schema_graph`] — the provenance *schema* graph of Figure 3 (relation
+//!   and mapping nodes), the structure ProQL patterns are matched against.
+
+pub mod encode;
+pub mod graph;
+pub mod schema_graph;
+pub mod system;
+
+pub use encode::{AtomRecipe, ProvSpec, RecipeTerm};
+pub use graph::{DerivationNode, ProvGraph, TupleNode};
+pub use schema_graph::SchemaGraph;
+pub use system::ProvenanceSystem;

@@ -1,0 +1,341 @@
+//! The provenance system: database + mappings + provenance capture.
+//!
+//! [`ProvenanceSystem`] owns the relational [`Database`], the mapping
+//! program, and the per-mapping provenance specs. Running
+//! [`ProvenanceSystem::run_exchange`] materializes all public relations
+//! (data exchange, §2) while recording one provenance row per derivation
+//! through the Datalog engine's firing hook.
+
+use crate::encode::{create_prov_relation, spec_for_rule, ProvSpec};
+use crate::schema_graph::SchemaGraph;
+use proql_common::{Error, Result, Schema, Tuple};
+use proql_datalog::ast::{Program, Rule};
+use proql_datalog::eval::{run_program, Bindings, EvalStats, FiringHook};
+use proql_datalog::parse::parse_rule;
+use proql_storage::Database;
+use std::collections::HashSet;
+
+/// Suffix of local-contribution tables: relation `A` gets `A_l`.
+pub const LOCAL_SUFFIX: &str = "_l";
+
+/// A CDSS-style provenance system.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceSystem {
+    /// The backing database: public relations, local contribution tables,
+    /// and provenance relations (tables or views).
+    pub db: Database,
+    program: Program,
+    specs: Vec<ProvSpec>,
+    local_rels: HashSet<String>,
+    exchanged: bool,
+}
+
+impl ProvenanceSystem {
+    /// Empty system.
+    pub fn new() -> Self {
+        ProvenanceSystem::default()
+    }
+
+    /// Register a public relation together with its local-contribution table
+    /// (named `{name}_l`) and the copying rule `L_{name}` (the paper's
+    /// `L1..L4` rules).
+    pub fn add_relation_with_local(&mut self, schema: Schema) -> Result<()> {
+        let name = schema.name().to_string();
+        let local = format!("{name}{LOCAL_SUFFIX}");
+        self.db.create_table(schema.clone())?;
+        self.db.create_table(schema.renamed(&local))?;
+        self.local_rels.insert(local.clone());
+        let vars: Vec<String> = (0..schema.arity()).map(|i| format!("x{i}")).collect();
+        let rule = parse_rule(&format!(
+            "L_{name}: {name}({args}) :- {local}({args})",
+            args = vars.join(", ")
+        ))?;
+        self.register_mapping(rule)
+    }
+
+    /// Register a public relation with no local contributions (a purely
+    /// derived relation).
+    pub fn add_relation(&mut self, schema: Schema) -> Result<()> {
+        self.db.create_table(schema)
+    }
+
+    /// Register a schema mapping from its paper-style text form, e.g.
+    /// `"m5: O(n, h, true) :- A(i, _, h), C(i, n)"`.
+    pub fn add_mapping_text(&mut self, text: &str) -> Result<()> {
+        self.register_mapping(parse_rule(text)?)
+    }
+
+    /// Register a schema mapping.
+    pub fn add_mapping(&mut self, rule: Rule) -> Result<()> {
+        self.register_mapping(rule)
+    }
+
+    fn register_mapping(&mut self, rule: Rule) -> Result<()> {
+        if self.exchanged {
+            return Err(Error::Other(
+                "cannot add mappings after exchange has run".into(),
+            ));
+        }
+        let spec = spec_for_rule(&self.db, &rule)?;
+        if self.specs.iter().any(|s| s.mapping == spec.mapping) {
+            return Err(Error::AlreadyExists(format!("mapping {}", spec.mapping)));
+        }
+        create_prov_relation(&mut self.db, &spec, &rule)?;
+        self.specs.push(spec);
+        self.program.rules.push(rule);
+        Ok(())
+    }
+
+    /// Insert a tuple into a relation's local-contribution table.
+    pub fn insert_local(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        let local = format!("{relation}{LOCAL_SUFFIX}");
+        if !self.local_rels.contains(&local) {
+            return Err(Error::NotFound(format!(
+                "relation {relation} has no local-contribution table"
+            )));
+        }
+        self.db.insert(&local, tuple)
+    }
+
+    /// Run data exchange: evaluate all mappings to fixpoint, recording
+    /// provenance. Can be called repeatedly (e.g. after more local inserts);
+    /// evaluation is incremental in the sense that set semantics make
+    /// re-derivations no-ops.
+    pub fn run_exchange(&mut self) -> Result<EvalStats> {
+        let mut hook = ProvenanceHook { specs: &self.specs };
+        let stats = run_program(&mut self.db, &self.program, &mut hook)?;
+        self.exchanged = true;
+        Ok(stats)
+    }
+
+    /// The mapping program (local rules + schema mappings).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// All provenance specs, parallel to `program().rules`.
+    pub fn specs(&self) -> &[ProvSpec] {
+        &self.specs
+    }
+
+    /// The spec of a mapping by name.
+    pub fn spec_for(&self, mapping: &str) -> Option<&ProvSpec> {
+        self.specs.iter().find(|s| s.mapping == mapping)
+    }
+
+    /// The rule of a mapping by name.
+    pub fn rule_for(&self, mapping: &str) -> Option<&Rule> {
+        self.program.rule_named(mapping)
+    }
+
+    /// True iff `relation` is a local-contribution table.
+    pub fn is_local_relation(&self, relation: &str) -> bool {
+        self.local_rels.contains(relation)
+    }
+
+    /// Local-contribution table name of a public relation, if registered.
+    pub fn local_of(&self, relation: &str) -> Option<String> {
+        let local = format!("{relation}{LOCAL_SUFFIX}");
+        self.local_rels.contains(&local).then_some(local)
+    }
+
+    /// Build the provenance schema graph (Figure 3) for this system.
+    pub fn schema_graph(&self) -> SchemaGraph {
+        SchemaGraph::from_system(self)
+    }
+
+    /// Names of all public relations that have local tables.
+    pub fn relations_with_locals(&self) -> Vec<String> {
+        self.local_rels
+            .iter()
+            .map(|l| l.trim_end_matches(LOCAL_SUFFIX).to_string())
+            .collect()
+    }
+
+    /// Total provenance rows stored (materialized `P_m` tables only; views
+    /// contribute zero storage — that is the point of superfluity).
+    pub fn provenance_rows(&self) -> usize {
+        self.specs
+            .iter()
+            .filter(|s| !s.superfluous)
+            .filter_map(|s| self.db.table(&s.prov_rel).ok())
+            .map(|t| t.len())
+            .sum()
+    }
+}
+
+/// The firing hook: one provenance row per firing of a non-superfluous
+/// mapping. Idempotent because provenance relations are keyed on all
+/// columns.
+struct ProvenanceHook<'a> {
+    specs: &'a [ProvSpec],
+}
+
+impl FiringHook for ProvenanceHook<'_> {
+    fn on_firing(
+        &mut self,
+        db: &mut Database,
+        rule_index: usize,
+        _rule: &Rule,
+        bindings: &Bindings<'_>,
+    ) -> Result<()> {
+        let spec = &self.specs[rule_index];
+        if spec.superfluous {
+            return Ok(()); // the view covers it
+        }
+        let mut vals = Vec::with_capacity(spec.columns.len());
+        for var in &spec.columns {
+            vals.push(bindings.get(var)?.clone());
+        }
+        db.table_mut(&spec.prov_rel)?.insert(Tuple::new(vals))?;
+        Ok(())
+    }
+}
+
+/// Build the complete running example of the paper (Example 2.1 + Figure 1):
+/// relations `A`, `C`, `N`, `O` with local tables, mappings `m1..m5`, and
+/// the base data of Figure 1, exchanged with provenance.
+///
+/// Used by tests, examples, and the Table 1 bench.
+pub fn example_2_1() -> Result<ProvenanceSystem> {
+    use proql_common::ValueType::*;
+    let mut sys = ProvenanceSystem::new();
+    sys.add_relation_with_local(Schema::build(
+        "A",
+        &[("id", Int), ("sn", Str), ("len", Int)],
+        &[0],
+    )?)?;
+    sys.add_relation_with_local(Schema::build(
+        "C",
+        &[("id", Int), ("name", Str)],
+        &[0, 1],
+    )?)?;
+    sys.add_relation_with_local(Schema::build(
+        "N",
+        &[("id", Int), ("name", Str), ("canon", Bool)],
+        &[0, 1],
+    )?)?;
+    sys.add_relation_with_local(Schema::build(
+        "O",
+        &[("name", Str), ("h", Int), ("animal", Bool)],
+        &[0],
+    )?)?;
+    sys.add_mapping_text("m1: C(i, n) :- A(i, s, _), N(i, n, false)")?;
+    sys.add_mapping_text("m2: N(i, n, true) :- A(i, n, _)")?;
+    sys.add_mapping_text("m3: N(i, n, false) :- C(i, n)")?;
+    sys.add_mapping_text("m4: O(n, h, true) :- A(i, n, h)")?;
+    sys.add_mapping_text("m5: O(n, h, true) :- A(i, _, h), C(i, n)")?;
+
+    // Base data of Figure 1 (boldface tuples).
+    use proql_common::tup;
+    sys.insert_local("A", tup![1, "sn1", 7])?;
+    sys.insert_local("A", tup![2, "sn2", 5])?;
+    sys.insert_local("N", tup![1, "cn1", false])?;
+    sys.insert_local("C", tup![2, "cn2"])?;
+    sys.run_exchange()?;
+    Ok(sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+    use proql_storage::{execute, Plan};
+
+    #[test]
+    fn example_exchange_materializes_views() {
+        let sys = example_2_1().unwrap();
+        // O receives sn1/sn2 via m4 and cn1/cn2 via m5.
+        let o = sys.db.table("O").unwrap();
+        assert!(o.contains(&tup!["sn1", 7, true]));
+        assert!(o.contains(&tup!["sn2", 5, true]));
+        assert!(o.contains(&tup!["cn1", 7, true]));
+        assert!(o.contains(&tup!["cn2", 5, true]));
+        // N gets canonical names via m2 and non-canonical via m3.
+        let n = sys.db.table("N").unwrap();
+        assert!(n.contains(&tup![1, "sn1", true]));
+        assert!(n.contains(&tup![1, "cn1", false]));
+        assert!(n.contains(&tup![2, "cn2", false]));
+        // C gets cn1 via m1 (A(1) join N(1,cn1,false)).
+        let c = sys.db.table("C").unwrap();
+        assert!(c.contains(&tup![1, "cn1"]));
+        assert!(c.contains(&tup![2, "cn2"]));
+    }
+
+    #[test]
+    fn provenance_relations_match_figure_2() {
+        let sys = example_2_1().unwrap();
+        // P_m1 and P_m5 are materialized; P_m2/P_m3/P_m4 are views.
+        assert!(sys.db.has_table("P_m1"));
+        assert!(sys.db.has_table("P_m5"));
+        assert!(!sys.db.has_table("P_m2"));
+        assert!(sys.db.has_relation("P_m2"));
+        let p1 = execute(&sys.db, &Plan::scan("P_m1")).unwrap();
+        assert_eq!(p1.sorted_rows(), vec![tup![1, "cn1"], tup![2, "cn2"]]);
+        let p5 = execute(&sys.db, &Plan::scan("P_m5")).unwrap();
+        assert_eq!(p5.sorted_rows(), vec![tup![1, "cn1"], tup![2, "cn2"]]);
+    }
+
+    #[test]
+    fn local_rules_are_superfluous_views() {
+        let sys = example_2_1().unwrap();
+        assert!(sys.db.has_relation("P_L_A"));
+        assert!(!sys.db.has_table("P_L_A"));
+        let pla = execute(&sys.db, &Plan::scan("P_L_A")).unwrap();
+        assert_eq!(pla.len(), 2); // two locally inserted A tuples
+    }
+
+    #[test]
+    fn exchange_is_idempotent() {
+        let mut sys = example_2_1().unwrap();
+        let before = sys.db.total_rows();
+        let stats = sys.run_exchange().unwrap();
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(sys.db.total_rows(), before);
+    }
+
+    #[test]
+    fn incremental_local_insert_propagates() {
+        let mut sys = example_2_1().unwrap();
+        sys.insert_local("A", tup![3, "sn3", 9]).unwrap();
+        sys.run_exchange().unwrap();
+        assert!(sys.db.table("O").unwrap().contains(&tup!["sn3", 9, true]));
+    }
+
+    #[test]
+    fn duplicate_mapping_name_rejected() {
+        let mut sys = example_2_1().unwrap();
+        // Already exchanged: adding mappings is rejected outright.
+        assert!(sys
+            .add_mapping_text("m1: C(i, n) :- N(i, n, false)")
+            .is_err());
+    }
+
+    #[test]
+    fn insert_local_requires_local_table() {
+        let mut sys = ProvenanceSystem::new();
+        sys.add_relation(
+            Schema::build("X", &[("id", proql_common::ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        assert!(sys.insert_local("X", tup![1]).is_err());
+    }
+
+    #[test]
+    fn provenance_rows_counts_materialized_only() {
+        let sys = example_2_1().unwrap();
+        // P_m1 has 2 rows, P_m5 has 2 rows; views don't count.
+        assert_eq!(sys.provenance_rows(), 4);
+    }
+
+    #[test]
+    fn spec_and_rule_lookup() {
+        let sys = example_2_1().unwrap();
+        assert!(sys.spec_for("m5").is_some());
+        assert!(sys.rule_for("m5").is_some());
+        assert!(sys.spec_for("m99").is_none());
+        assert!(sys.is_local_relation("A_l"));
+        assert_eq!(sys.local_of("A"), Some("A_l".into()));
+        assert_eq!(sys.local_of("P_m1"), None);
+    }
+}

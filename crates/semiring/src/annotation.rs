@@ -1,0 +1,259 @@
+//! Dynamically typed annotation values.
+//!
+//! ProQL's `EVALUATE <semiring> OF {...}` computes per-tuple annotations
+//! whose type depends on the chosen semiring; [`Annotation`] is the dynamic
+//! value carrying any of them.
+
+use crate::polynomial::Polynomial;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Confidentiality/access-control levels (paper Q10, [24]). Ordered from
+/// least to most secure; `more_secure` = max, `less_secure` = min.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SecurityLevel {
+    /// Anyone may see the tuple.
+    Public = 0,
+    /// Restricted distribution.
+    Confidential = 1,
+    /// Secret.
+    Secret = 2,
+    /// Most secure level; the ⊕-identity of the confidentiality semiring.
+    TopSecret = 3,
+}
+
+impl SecurityLevel {
+    /// All levels, ascending.
+    pub const ALL: [SecurityLevel; 4] = [
+        SecurityLevel::Public,
+        SecurityLevel::Confidential,
+        SecurityLevel::Secret,
+        SecurityLevel::TopSecret,
+    ];
+
+    /// Parse from the names used in ProQL `SET` clauses.
+    pub fn parse(s: &str) -> Option<SecurityLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "public" => Some(SecurityLevel::Public),
+            "confidential" => Some(SecurityLevel::Confidential),
+            "secret" => Some(SecurityLevel::Secret),
+            "topsecret" | "top_secret" => Some(SecurityLevel::TopSecret),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SecurityLevel::Public => "public",
+            SecurityLevel::Confidential => "confidential",
+            SecurityLevel::Secret => "secret",
+            SecurityLevel::TopSecret => "topsecret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A DNF event expression: a set of conjuncts, each a set of base-event
+/// names. `{}` is *false*; `{{}}` is *true*. Kept subsumption-minimal so
+/// the probability semiring is absorptive (PosBool[X]).
+pub type Dnf = BTreeSet<BTreeSet<String>>;
+
+/// Remove conjuncts that are supersets of other conjuncts (absorption:
+/// `x + x·y = x`).
+pub fn minimize_dnf(dnf: &Dnf) -> Dnf {
+    dnf.iter()
+        .filter(|c| {
+            !dnf.iter()
+                .any(|other| other != *c && other.is_subset(c))
+        })
+        .cloned()
+        .collect()
+}
+
+/// A value in one of the supported semirings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Annotation {
+    /// Derivability / trust.
+    Bool(bool),
+    /// Confidentiality level.
+    Level(SecurityLevel),
+    /// Weight/cost (tropical); ⊕-identity is `+∞`.
+    Weight(f64),
+    /// Lineage: `None` = underivable (the semiring zero), `Some(ids)` =
+    /// derivable from this set of base tuples.
+    Lineage(Option<BTreeSet<String>>),
+    /// Probabilistic event expression in minimized DNF.
+    Event(Dnf),
+    /// Number of derivations.
+    Count(u64),
+    /// Provenance polynomial.
+    Poly(Polynomial),
+}
+
+impl Annotation {
+    /// Boolean content, if applicable.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Annotation::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Weight content, if applicable.
+    pub fn as_weight(&self) -> Option<f64> {
+        match self {
+            Annotation::Weight(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// Count content, if applicable.
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            Annotation::Count(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Level content, if applicable.
+    pub fn as_level(&self) -> Option<SecurityLevel> {
+        match self {
+            Annotation::Level(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Lineage content, if applicable.
+    pub fn as_lineage(&self) -> Option<&BTreeSet<String>> {
+        match self {
+            Annotation::Lineage(Some(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Event content, if applicable.
+    pub fn as_event(&self) -> Option<&Dnf> {
+        match self {
+            Annotation::Event(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Polynomial content, if applicable.
+    pub fn as_poly(&self) -> Option<&Polynomial> {
+        match self {
+            Annotation::Poly(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Annotation::Bool(b) => write!(f, "{b}"),
+            Annotation::Level(l) => write!(f, "{l}"),
+            Annotation::Weight(w) => write!(f, "{w}"),
+            Annotation::Lineage(None) => write!(f, "⊥"),
+            Annotation::Lineage(Some(s)) => {
+                write!(f, "{{")?;
+                for (i, x) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}")
+            }
+            Annotation::Event(d) => {
+                if d.is_empty() {
+                    return write!(f, "false");
+                }
+                for (i, conj) in d.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    if conj.is_empty() {
+                        write!(f, "true")?;
+                    } else {
+                        for (j, e) in conj.iter().enumerate() {
+                            if j > 0 {
+                                write!(f, "∧")?;
+                            }
+                            write!(f, "{e}")?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Annotation::Count(c) => write!(f, "{c}"),
+            Annotation::Poly(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn security_levels_order() {
+        assert!(SecurityLevel::Public < SecurityLevel::TopSecret);
+        assert_eq!(SecurityLevel::parse("Secret"), Some(SecurityLevel::Secret));
+        assert_eq!(SecurityLevel::parse("nope"), None);
+    }
+
+    #[test]
+    fn dnf_minimization_absorbs_supersets() {
+        let mut dnf = Dnf::new();
+        dnf.insert(set(&["x"]));
+        dnf.insert(set(&["x", "y"]));
+        dnf.insert(set(&["z", "w"]));
+        let min = minimize_dnf(&dnf);
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&set(&["x"])));
+        assert!(min.contains(&set(&["z", "w"])));
+    }
+
+    #[test]
+    fn dnf_true_absorbs_everything() {
+        let mut dnf = Dnf::new();
+        dnf.insert(BTreeSet::new()); // true
+        dnf.insert(set(&["x"]));
+        let min = minimize_dnf(&dnf);
+        assert_eq!(min.len(), 1);
+        assert!(min.contains(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Annotation::Bool(true).to_string(), "true");
+        assert_eq!(Annotation::Lineage(None).to_string(), "⊥");
+        assert_eq!(
+            Annotation::Lineage(Some(set(&["a", "b"]))).to_string(),
+            "{a, b}"
+        );
+        let mut d = Dnf::new();
+        d.insert(set(&["x", "y"]));
+        assert_eq!(Annotation::Event(d).to_string(), "x∧y");
+        assert_eq!(Annotation::Event(Dnf::new()).to_string(), "false");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Annotation::Bool(true).as_bool(), Some(true));
+        assert_eq!(Annotation::Count(3).as_count(), Some(3));
+        assert_eq!(Annotation::Weight(1.5).as_weight(), Some(1.5));
+        assert_eq!(Annotation::Bool(true).as_count(), None);
+        assert_eq!(
+            Annotation::Level(SecurityLevel::Secret).as_level(),
+            Some(SecurityLevel::Secret)
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! Bottom-up annotation evaluation over provenance graphs (paper §2.1).
+//!
+//! Acyclic graphs are evaluated in one topological pass. Cyclic graphs
+//! (recursive mappings — the paper's future-work case, which this
+//! implementation supports) use Kleene fixpoint iteration, valid exactly
+//! for the idempotent + absorptive semirings (Table 1's first five rows);
+//! counting and polynomial annotations on cyclic graphs are reported as
+//! divergent.
+
+use crate::annotation::Annotation;
+use crate::semiring::{MapFn, SemiringKind};
+use proql_common::{DerivationId, Error, Result, TupleId};
+use proql_provgraph::{ProvGraph, TupleNode};
+use std::collections::HashMap;
+
+/// A boxed leaf-assignment closure.
+pub type LeafFn<'a> = Box<dyn Fn(&TupleNode, &str) -> Annotation + 'a>;
+
+/// The value/function assignment of an annotation computation: which
+/// semiring, what each leaf gets, and each mapping's unary function.
+pub struct Assignment<'a> {
+    /// The semiring to evaluate in.
+    pub kind: SemiringKind,
+    /// Base value of a leaf tuple node. Receives the node and its label
+    /// (`"R(k1,k2)"`). Defaults should fall back to
+    /// [`SemiringKind::default_leaf`].
+    pub leaf: LeafFn<'a>,
+    /// Unary function of each mapping (by name); default is identity.
+    pub map_fn: Box<dyn Fn(&str) -> MapFn + 'a>,
+    /// Value of *dangling* leaves — tuple nodes with no derivations at all
+    /// in the (projected) graph. `None` (the default) applies the `leaf`
+    /// assignment, per the paper's projected-subgraph semantics; update
+    /// exchange sets this to the semiring zero so tuples that lost every
+    /// derivation are recognized as underivable.
+    pub dangling: Option<Annotation>,
+}
+
+impl<'a> Assignment<'a> {
+    /// The default assignment: every leaf gets the semiring's default base
+    /// value, every mapping is neutral.
+    pub fn default_for(kind: SemiringKind) -> Assignment<'static> {
+        Assignment {
+            kind,
+            leaf: Box::new(move |_, label| kind.default_leaf(label)),
+            map_fn: Box::new(|_| MapFn::Identity),
+            dangling: None,
+        }
+    }
+
+    /// Override the leaf assignment.
+    pub fn with_leaf(
+        mut self,
+        f: impl Fn(&TupleNode, &str) -> Annotation + 'a,
+    ) -> Assignment<'a> {
+        self.leaf = Box::new(f);
+        self
+    }
+
+    /// Override the mapping-function assignment.
+    pub fn with_map_fn(mut self, f: impl Fn(&str) -> MapFn + 'a) -> Assignment<'a> {
+        self.map_fn = Box::new(f);
+        self
+    }
+
+    /// Give dangling leaves (no derivations at all) a fixed value.
+    pub fn with_dangling(mut self, v: Annotation) -> Assignment<'a> {
+        self.dangling = Some(v);
+        self
+    }
+}
+
+/// The canonical label of a tuple node: `R(k1,k2)`.
+pub fn leaf_label(node: &TupleNode) -> String {
+    let keys: Vec<String> = node.key.iter().map(|v| v.to_string()).collect();
+    format!("{}({})", node.relation, keys.join(","))
+}
+
+/// Evaluate annotations for every tuple node of `graph`.
+///
+/// Dispatches to the single-pass algorithm on acyclic graphs and to
+/// fixpoint iteration otherwise.
+pub fn evaluate(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+) -> Result<HashMap<TupleId, Annotation>> {
+    match graph.topo_order() {
+        Some(order) => evaluate_in_order(graph, assign, &order),
+        None => evaluate_fixpoint(graph, assign),
+    }
+}
+
+/// Evaluate assuming the graph is acyclic; errors if it is not.
+pub fn evaluate_acyclic(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+) -> Result<HashMap<TupleId, Annotation>> {
+    let order = graph
+        .topo_order()
+        .ok_or_else(|| Error::Semiring("provenance graph is cyclic".into()))?;
+    evaluate_in_order(graph, assign, &order)
+}
+
+fn derivation_value(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+    d: DerivationId,
+    tuple_vals: &HashMap<TupleId, Annotation>,
+) -> Result<Annotation> {
+    let node = graph.derivation(d);
+    let inner = if node.is_base {
+        // A `+` derivation: its value is the leaf assignment of its target.
+        let target = node
+            .targets
+            .first()
+            .ok_or_else(|| Error::Semiring("base derivation without target".into()))?;
+        let tn = graph.tuple(*target);
+        let v = (assign.leaf)(tn, &leaf_label(tn));
+        assign.kind.check_value(&v)?;
+        v
+    } else {
+        let mut acc = assign.kind.one();
+        for s in &node.sources {
+            let sv = tuple_vals
+                .get(s)
+                .cloned()
+                .unwrap_or_else(|| assign.kind.zero());
+            acc = assign.kind.times(&acc, &sv)?;
+        }
+        acc
+    };
+    (assign.map_fn)(&node.mapping).apply(assign.kind, &inner)
+}
+
+fn tuple_value(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+    t: TupleId,
+    tuple_vals: &HashMap<TupleId, Annotation>,
+) -> Result<Annotation> {
+    let derivs = graph.derivations_of(t);
+    if derivs.is_empty() {
+        // Dangling leaf of a projected subgraph: gets the configured value
+        // or a leaf assignment.
+        if let Some(v) = &assign.dangling {
+            return Ok(v.clone());
+        }
+        let tn = graph.tuple(t);
+        let v = (assign.leaf)(tn, &leaf_label(tn));
+        assign.kind.check_value(&v)?;
+        return Ok(v);
+    }
+    let mut acc = assign.kind.zero();
+    for &d in derivs {
+        let dv = derivation_value(graph, assign, d, tuple_vals)?;
+        acc = assign.kind.plus(&acc, &dv)?;
+    }
+    Ok(acc)
+}
+
+fn evaluate_in_order(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+    order: &[TupleId],
+) -> Result<HashMap<TupleId, Annotation>> {
+    let mut vals: HashMap<TupleId, Annotation> = HashMap::with_capacity(order.len());
+    for &t in order {
+        let v = tuple_value(graph, assign, t, &vals)?;
+        vals.insert(t, v);
+    }
+    Ok(vals)
+}
+
+fn evaluate_fixpoint(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+) -> Result<HashMap<TupleId, Annotation>> {
+    if !assign.kind.converges_on_cycles() {
+        return Err(Error::Semiring(format!(
+            "the {} semiring may diverge on cyclic provenance graphs \
+             (not idempotent/absorptive); the paper's Table 1 limits cycles \
+             to the first five semirings",
+            assign.kind
+        )));
+    }
+    let n = graph.tuple_count() + graph.derivation_count() + 2;
+    let mut vals: HashMap<TupleId, Annotation> = graph
+        .tuple_ids()
+        .map(|t| (t, assign.kind.zero()))
+        .collect();
+    for _ in 0..n {
+        let mut changed = false;
+        for t in graph.tuple_ids() {
+            let v = tuple_value(graph, assign, t, &vals)?;
+            if vals.get(&t) != Some(&v) {
+                vals.insert(t, v);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(vals);
+        }
+    }
+    Err(Error::Semiring(
+        "fixpoint iteration did not converge (non-monotone assignment?)".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::SecurityLevel;
+    use proql_common::tup;
+    use proql_provgraph::system::example_2_1;
+
+    fn example_graph() -> ProvGraph {
+        ProvGraph::from_system(&example_2_1().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn derivability_on_cyclic_example() {
+        // The full Figure 1 graph is cyclic; derivability converges by
+        // fixpoint and everything is derivable.
+        let g = example_graph();
+        let vals = evaluate(&g, &Assignment::default_for(SemiringKind::Derivability)).unwrap();
+        for t in g.tuple_ids() {
+            assert_eq!(
+                vals[&t],
+                Annotation::Bool(true),
+                "{} should be derivable",
+                leaf_label(g.tuple(t))
+            );
+        }
+    }
+
+    #[test]
+    fn counting_errors_on_cyclic_graph() {
+        let g = example_graph();
+        let err = evaluate(&g, &Assignment::default_for(SemiringKind::Counting)).unwrap_err();
+        assert!(err.to_string().contains("diverge"));
+    }
+
+    #[test]
+    fn counting_on_acyclic_projection() {
+        let g = example_graph();
+        // Keep base + m4 + m5 derivations: acyclic, O tuples countable.
+        let derivs: Vec<_> = g
+            .derivation_ids()
+            .filter(|&d| {
+                let n = g.derivation(d);
+                n.is_base || n.mapping == "m4" || n.mapping == "m5"
+            })
+            .collect();
+        let sub = g.project(derivs);
+        let vals = evaluate(&sub, &Assignment::default_for(SemiringKind::Counting)).unwrap();
+        // O(sn1): only via m4 from A(1) => 1 derivation... but A(1) itself
+        // has one base derivation, so count(O(sn1)) = 1.
+        let osn1 = sub.find_tuple("O", &tup!["sn1"]).unwrap();
+        assert_eq!(vals[&osn1], Annotation::Count(1));
+        // O(cn2) via m5 from A(2) and C(2,cn2) (both base) = 1.
+        let ocn2 = sub.find_tuple("O", &tup!["cn2"]).unwrap();
+        assert_eq!(vals[&ocn2], Annotation::Count(1));
+    }
+
+    #[test]
+    fn q7_trust_policy() {
+        // Paper Q7: distrust A tuples with len >= 6, distrust mapping m4,
+        // trust everything else. O(sn1,7) comes only via m4 (distrusted) or
+        // from A(1) (len 7, distrusted): untrusted. O(cn2,5) via m5 from
+        // A(2) (len 5, trusted) and C(2,cn2) (trusted): trusted.
+        let g = example_graph();
+        let assign = Assignment::default_for(SemiringKind::Trust)
+            .with_leaf(|node, _| {
+                if node.relation == "A" {
+                    let len = node
+                        .values
+                        .as_ref()
+                        .and_then(|v| v.get(2).as_int())
+                        .unwrap_or(0);
+                    Annotation::Bool(len < 6)
+                } else {
+                    Annotation::Bool(true)
+                }
+            })
+            .with_map_fn(|m| {
+                if m == "m4" {
+                    MapFn::zero(SemiringKind::Trust)
+                } else {
+                    MapFn::Identity
+                }
+            });
+        let vals = evaluate(&g, &assign).unwrap();
+        let osn1 = g.find_tuple("O", &tup!["sn1"]).unwrap();
+        assert_eq!(vals[&osn1], Annotation::Bool(false));
+        let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
+        assert_eq!(vals[&ocn2], Annotation::Bool(true));
+        // cn1 depends on A(1) (len 7): untrusted through every path.
+        let ocn1 = g.find_tuple("O", &tup!["cn1"]).unwrap();
+        assert_eq!(vals[&ocn1], Annotation::Bool(false));
+    }
+
+    #[test]
+    fn lineage_collects_base_tuples() {
+        let g = example_graph();
+        let vals = evaluate(&g, &Assignment::default_for(SemiringKind::Lineage)).unwrap();
+        let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
+        let lineage = vals[&ocn2].as_lineage().unwrap();
+        assert!(lineage.contains("A(2)"));
+        assert!(lineage.contains("C(2,cn2)"));
+        assert!(!lineage.contains("A(1)"));
+    }
+
+    #[test]
+    fn weight_takes_cheapest_path() {
+        let g = example_graph();
+        // Leaf weights: A tuples cost 10, others cost 1.
+        let assign = Assignment::default_for(SemiringKind::Weight).with_leaf(|node, _| {
+            Annotation::Weight(if node.relation == "A" { 10.0 } else { 1.0 })
+        });
+        let vals = evaluate(&g, &assign).unwrap();
+        // O(cn2) via m5 needs A(2) + C(2,cn2): 10 + 1 = 11.
+        let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
+        assert_eq!(vals[&ocn2], Annotation::Weight(11.0));
+        // O(sn2) via m4 from A(2) alone: 10.
+        let osn2 = g.find_tuple("O", &tup!["sn2"]).unwrap();
+        assert_eq!(vals[&osn2], Annotation::Weight(10.0));
+    }
+
+    #[test]
+    fn confidentiality_levels_combine() {
+        let g = example_graph();
+        let assign =
+            Assignment::default_for(SemiringKind::Confidentiality).with_leaf(|node, _| {
+                Annotation::Level(if node.relation == "A" {
+                    SecurityLevel::Secret
+                } else {
+                    SecurityLevel::Public
+                })
+            });
+        let vals = evaluate(&g, &assign).unwrap();
+        // Every O tuple requires some A tuple: at least Secret.
+        let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
+        assert_eq!(vals[&ocn2], Annotation::Level(SecurityLevel::Secret));
+    }
+
+    #[test]
+    fn probability_events_compose() {
+        let g = example_graph();
+        let vals = evaluate(&g, &Assignment::default_for(SemiringKind::Probability)).unwrap();
+        let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
+        let ev = vals[&ocn2].as_event().unwrap();
+        // Single minimal conjunct {A(2), C(2,cn2)}.
+        assert_eq!(ev.len(), 1);
+        let conj = ev.iter().next().unwrap();
+        assert!(conj.contains("A(2)") && conj.contains("C(2,cn2)"));
+    }
+
+    #[test]
+    fn polynomial_how_provenance_on_acyclic_projection() {
+        let g = example_graph();
+        let derivs: Vec<_> = g
+            .derivation_ids()
+            .filter(|&d| {
+                let n = g.derivation(d);
+                n.is_base || n.mapping == "m4" || n.mapping == "m5"
+            })
+            .collect();
+        let sub = g.project(derivs);
+        let vals = evaluate(&sub, &Assignment::default_for(SemiringKind::Polynomial)).unwrap();
+        let ocn2 = sub.find_tuple("O", &tup!["cn2"]).unwrap();
+        assert_eq!(vals[&ocn2].to_string(), "A(2)·C(2,cn2)");
+    }
+
+    #[test]
+    fn untrusted_leaf_breaks_derivability_chain() {
+        let g = example_graph();
+        // Distrust everything: nothing is derivable as trusted.
+        let assign = Assignment::default_for(SemiringKind::Trust)
+            .with_leaf(|_, _| Annotation::Bool(false));
+        let vals = evaluate(&g, &assign).unwrap();
+        for t in g.tuple_ids() {
+            assert_eq!(vals[&t], Annotation::Bool(false));
+        }
+    }
+
+    #[test]
+    fn leaf_type_mismatch_is_error() {
+        let g = example_graph();
+        let assign = Assignment::default_for(SemiringKind::Weight)
+            .with_leaf(|_, _| Annotation::Bool(true));
+        assert!(evaluate(&g, &assign).is_err());
+    }
+
+    #[test]
+    fn evaluate_acyclic_rejects_cycles() {
+        let g = example_graph();
+        assert!(evaluate_acyclic(
+            &g,
+            &Assignment::default_for(SemiringKind::Derivability)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dangling_leaves_in_projection_get_assignments() {
+        let g = example_graph();
+        // Project only m5 derivations (no base): sources A, C become
+        // dangling leaves and receive leaf values.
+        let derivs: Vec<_> = g
+            .derivation_ids()
+            .filter(|&d| g.derivation(d).mapping == "m5")
+            .collect();
+        let sub = g.project(derivs);
+        let vals = evaluate(&sub, &Assignment::default_for(SemiringKind::Lineage)).unwrap();
+        let a2 = sub.find_tuple("A", &tup![2]).unwrap();
+        assert_eq!(vals[&a2].as_lineage().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Turning event expressions into probabilities.
+//!
+//! The probability semiring produces DNF event expressions; computing their
+//! probability is #P-complete in general (paper §2.1, footnote 2). Two
+//! estimators are provided: exact inclusion–exclusion for small DNFs, and a
+//! Monte-Carlo sampler for larger ones — both assuming independent base
+//! events, as in Trio-style probabilistic databases.
+
+use crate::annotation::Dnf;
+use proql_common::{Error, Result};
+use std::collections::BTreeSet;
+
+/// Exact probability of a DNF over independent base events via
+/// inclusion–exclusion. `probs` maps base-event names to probabilities;
+/// missing events default to `default_p`. Errors when the DNF has more
+/// than 20 conjuncts (2^20 subsets).
+pub fn event_probability(
+    dnf: &Dnf,
+    probs: &dyn Fn(&str) -> f64,
+) -> Result<f64> {
+    let conjuncts: Vec<&BTreeSet<String>> = dnf.iter().collect();
+    let n = conjuncts.len();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    if n > 20 {
+        return Err(Error::Semiring(format!(
+            "inclusion–exclusion over {n} conjuncts is infeasible; \
+             use event_probability_mc"
+        )));
+    }
+    let mut total = 0.0;
+    for mask in 1u32..(1 << n) {
+        // Union of the selected conjuncts' events.
+        let mut union: BTreeSet<&String> = BTreeSet::new();
+        for (i, c) in conjuncts.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                union.extend(c.iter());
+            }
+        }
+        let p: f64 = union.iter().map(|e| probs(e)).product();
+        if mask.count_ones() % 2 == 1 {
+            total += p;
+        } else {
+            total -= p;
+        }
+    }
+    Ok(total.clamp(0.0, 1.0))
+}
+
+/// Monte-Carlo estimate of the DNF probability with `samples` draws and a
+/// deterministic seed (xorshift64*; no external RNG dependency so this
+/// crate stays dependency-light).
+pub fn event_probability_mc(
+    dnf: &Dnf,
+    probs: &dyn Fn(&str) -> f64,
+    samples: u32,
+    seed: u64,
+) -> f64 {
+    if dnf.is_empty() || samples == 0 {
+        return 0.0;
+    }
+    // Stable order of events across the whole DNF.
+    let events: Vec<&String> = {
+        let mut set = BTreeSet::new();
+        for c in dnf {
+            set.extend(c.iter());
+        }
+        set.into_iter().collect()
+    };
+    let mut state = seed.max(1);
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut hits = 0u32;
+    for _ in 0..samples {
+        let world: std::collections::HashMap<&String, bool> = events
+            .iter()
+            .map(|e| (*e, next() < probs(e)))
+            .collect();
+        let sat = dnf
+            .iter()
+            .any(|conj| conj.iter().all(|e| *world.get(&e).unwrap_or(&false)));
+        if sat {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dnf(conjs: &[&[&str]]) -> Dnf {
+        conjs
+            .iter()
+            .map(|c| c.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn single_conjunct_multiplies() {
+        let d = dnf(&[&["x", "y"]]);
+        let p = event_probability(&d, &|_| 0.5).unwrap();
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_union_inclusion_exclusion() {
+        // P(x ∨ y) = 0.5 + 0.5 - 0.25 = 0.75 for independent x, y.
+        let d = dnf(&[&["x"], &["y"]]);
+        let p = event_probability(&d, &|_| 0.5).unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_conjuncts() {
+        // P(x ∨ (x ∧ y)) = P(x) since x∧y ⊂ x... but unminimized DNF must
+        // still give the right answer: 0.5 + 0.25 - 0.25 = 0.5.
+        let d = dnf(&[&["x"], &["x", "y"]]);
+        let p = event_probability(&d, &|_| 0.5).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dnf_is_impossible_true_is_certain() {
+        assert_eq!(event_probability(&Dnf::new(), &|_| 0.5).unwrap(), 0.0);
+        let mut truth = Dnf::new();
+        truth.insert(std::collections::BTreeSet::new());
+        assert_eq!(event_probability(&truth, &|_| 0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn too_many_conjuncts_errors() {
+        let conjs: Vec<Vec<String>> = (0..21).map(|i| vec![format!("e{i}")]).collect();
+        let d: Dnf = conjs.into_iter().map(|c| c.into_iter().collect()).collect();
+        assert!(event_probability(&d, &|_| 0.5).is_err());
+    }
+
+    #[test]
+    fn monte_carlo_approximates_exact() {
+        let d = dnf(&[&["x"], &["y", "z"]]);
+        let exact = event_probability(&d, &|_| 0.5).unwrap();
+        let mc = event_probability_mc(&d, &|_| 0.5, 40_000, 42);
+        assert!(
+            (mc - exact).abs() < 0.02,
+            "mc={mc} exact={exact} differ too much"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let d = dnf(&[&["x"], &["y"]]);
+        let a = event_probability_mc(&d, &|_| 0.3, 1000, 7);
+        let b = event_probability_mc(&d, &|_| 0.3, 1000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heterogeneous_probabilities() {
+        let d = dnf(&[&["x", "y"]]);
+        let p = event_probability(&d, &|e| if e == "x" { 0.2 } else { 0.5 }).unwrap();
+        assert!((p - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! The catalog: named tables and virtual views.
+
+use crate::plan::Plan;
+use crate::table::Table;
+use proql_common::{Error, Result, Schema, Tuple};
+use std::collections::BTreeMap;
+
+/// An in-memory database: a set of named [`Table`]s plus virtual views.
+///
+/// Views exist to implement the paper's **superfluous provenance relations**
+/// (§4.1): when a mapping is a pure projection, its provenance relation is
+/// not materialized but defined as a view over the source relation.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    views: BTreeMap<String, View>,
+}
+
+/// A named virtual view: a plan plus the schema its output rows follow.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// Definition; may reference base tables and other views (acyclically).
+    pub plan: Plan,
+    /// Output schema.
+    pub schema: Schema,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table with `schema` named after the schema.
+    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
+        let name = schema.name().to_string();
+        if self.tables.contains_key(&name) || self.views.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("relation {name}")));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Create (or replace) a virtual view.
+    pub fn create_view(&mut self, name: impl Into<String>, plan: Plan, schema: Schema) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!(
+                "relation {name} exists as a base table"
+            )));
+        }
+        self.views.insert(name, View { plan, schema });
+        Ok(())
+    }
+
+    /// Drop a table or view.
+    pub fn drop_relation(&mut self, name: &str) -> Result<()> {
+        if self.tables.remove(name).is_some() || self.views.remove(name).is_some() {
+            Ok(())
+        } else {
+            Err(Error::NotFound(format!("relation {name}")))
+        }
+    }
+
+    /// Access a base table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    /// Mutable access to a base table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    /// Access a view definition.
+    pub fn view(&self, name: &str) -> Option<&View> {
+        self.views.get(name)
+    }
+
+    /// True iff `name` is a base table or a view.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.tables.contains_key(name) || self.views.contains_key(name)
+    }
+
+    /// True iff `name` is a base table.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Schema of a table or view.
+    pub fn schema_of(&self, name: &str) -> Result<&Schema> {
+        if let Some(t) = self.tables.get(name) {
+            Ok(t.schema())
+        } else if let Some(v) = self.views.get(name) {
+            Ok(&v.schema)
+        } else {
+            Err(Error::NotFound(format!("relation {name}")))
+        }
+    }
+
+    /// Insert a tuple into a base table.
+    pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<bool> {
+        self.table_mut(table)?.insert(tuple)
+    }
+
+    /// Names of all base tables.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Names of all views.
+    pub fn view_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.views.keys().map(String::as_str)
+    }
+
+    /// Total number of live rows across all base tables (the paper's
+    /// "instance size" metric in Figures 9–10).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::{tup, ValueType};
+
+    fn schema(name: &str) -> Schema {
+        Schema::build(name, &[("id", ValueType::Int)], &[0]).unwrap()
+    }
+
+    #[test]
+    fn create_and_insert() {
+        let mut db = Database::new();
+        db.create_table(schema("A")).unwrap();
+        assert!(db.insert("A", tup![1]).unwrap());
+        assert!(!db.insert("A", tup![1]).unwrap());
+        assert_eq!(db.table("A").unwrap().len(), 1);
+        assert_eq!(db.total_rows(), 1);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = Database::new();
+        db.create_table(schema("A")).unwrap();
+        assert!(db.create_table(schema("A")).is_err());
+        assert!(db
+            .create_view("A", Plan::scan("B"), schema("A"))
+            .is_err());
+    }
+
+    #[test]
+    fn views_are_relations_but_not_tables() {
+        let mut db = Database::new();
+        db.create_table(schema("A")).unwrap();
+        db.create_view("V", Plan::scan("A"), schema("V")).unwrap();
+        assert!(db.has_relation("V"));
+        assert!(!db.has_table("V"));
+        assert_eq!(db.schema_of("V").unwrap().name(), "V");
+        assert!(db.table("V").is_err());
+    }
+
+    #[test]
+    fn drop_relation() {
+        let mut db = Database::new();
+        db.create_table(schema("A")).unwrap();
+        db.drop_relation("A").unwrap();
+        assert!(!db.has_relation("A"));
+        assert!(db.drop_relation("A").is_err());
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let db = Database::new();
+        assert!(db.table("nope").is_err());
+        assert!(db.schema_of("nope").is_err());
+    }
+}

@@ -1,0 +1,398 @@
+//! Scalar expressions evaluated against a single tuple.
+//!
+//! These are the `WHERE`-clause and projection expressions of the generated
+//! plans. Column references are positional; the translator resolves names to
+//! positions when it builds plans.
+
+use proql_common::{Error, Result, Tuple, Value};
+use std::fmt;
+
+/// Binary operators over [`Value`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Equality (total, `NULL = NULL` is true — see [`Value`] semantics).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Numeric addition (int + int = int; anything with a float = float).
+    Add,
+    /// Numeric subtraction.
+    Sub,
+    /// Numeric multiplication.
+    Mul,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Positional column reference.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical conjunction (empty = true).
+    And(Vec<Expr>),
+    /// Logical disjunction (empty = false).
+    Or(Vec<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// True iff the operand is NULL.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Bin(BinOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// Compare two expressions with `op`.
+    pub fn cmp(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Conjunction of predicates, flattening nested `And`s.
+    pub fn and(preds: Vec<Expr>) -> Expr {
+        let mut flat = Vec::new();
+        for p in preds {
+            match p {
+                Expr::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().unwrap()
+        } else {
+            Expr::And(flat)
+        }
+    }
+
+    /// Evaluate against `tuple`.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Col(i) => tuple
+                .try_get(*i)
+                .cloned()
+                .ok_or_else(|| Error::Storage(format!("column {i} out of range"))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Bin(op, a, b) => {
+                let av = a.eval(tuple)?;
+                let bv = b.eval(tuple)?;
+                eval_bin(*op, &av, &bv)
+            }
+            Expr::And(ps) => {
+                for p in ps {
+                    if !p.eval_bool(tuple)? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Or(ps) => {
+                for p in ps {
+                    if p.eval_bool(tuple)? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Not(p) => Ok(Value::Bool(!p.eval_bool(tuple)?)),
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(tuple)?.is_null())),
+        }
+    }
+
+    /// Evaluate as a predicate. NULL results count as false (SQL-style
+    /// filtering), non-boolean non-null results are errors.
+    pub fn eval_bool(&self, tuple: &Tuple) -> Result<bool> {
+        match self.eval(tuple)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(Error::Storage(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+
+    /// The largest column index referenced, if any (used to validate plans).
+    pub fn max_col(&self) -> Option<usize> {
+        match self {
+            Expr::Col(i) => Some(*i),
+            Expr::Lit(_) => None,
+            Expr::Bin(_, a, b) => a.max_col().into_iter().chain(b.max_col()).max(),
+            Expr::And(ps) | Expr::Or(ps) => ps.iter().filter_map(|p| p.max_col()).max(),
+            Expr::Not(p) | Expr::IsNull(p) => p.max_col(),
+        }
+    }
+
+    /// Shift every column reference by `delta` (used when an expression moves
+    /// to the right side of a join output).
+    pub fn shift_cols(&self, delta: usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(i + delta),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.shift_cols(delta)),
+                Box::new(b.shift_cols(delta)),
+            ),
+            Expr::And(ps) => Expr::And(ps.iter().map(|p| p.shift_cols(delta)).collect()),
+            Expr::Or(ps) => Expr::Or(ps.iter().map(|p| p.shift_cols(delta)).collect()),
+            Expr::Not(p) => Expr::Not(Box::new(p.shift_cols(delta))),
+            Expr::IsNull(p) => Expr::IsNull(Box::new(p.shift_cols(delta))),
+        }
+    }
+
+    /// If this predicate (possibly a conjunction) pins a set of columns to
+    /// literal values, return the `(column, value)` pairs. Used for index
+    /// pushdown.
+    pub fn equality_bindings(&self) -> Vec<(usize, Value)> {
+        let mut out = Vec::new();
+        self.collect_equalities(&mut out);
+        out
+    }
+
+    fn collect_equalities(&self, out: &mut Vec<(usize, Value)>) {
+        match self {
+            Expr::Bin(BinOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(i)) => {
+                    out.push((*i, v.clone()));
+                }
+                _ => {}
+            },
+            Expr::And(ps) => {
+                for p in ps {
+                    p.collect_equalities(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Eq => Ok(Value::Bool(a == b)),
+        Ne => Ok(Value::Bool(a != b)),
+        Lt => Ok(Value::Bool(a < b)),
+        Le => Ok(Value::Bool(a <= b)),
+        Gt => Ok(Value::Bool(a > b)),
+        Ge => Ok(Value::Bool(a >= b)),
+        Add | Sub | Mul => {
+            if a.is_null() || b.is_null() {
+                return Ok(Value::Null);
+            }
+            match (a, b) {
+                (Value::Int(x), Value::Int(y)) => Ok(Value::Int(match op {
+                    Add => x.wrapping_add(*y),
+                    Sub => x.wrapping_sub(*y),
+                    Mul => x.wrapping_mul(*y),
+                    _ => unreachable!(),
+                })),
+                _ => {
+                    let (x, y) = (
+                        a.as_float().ok_or_else(|| non_numeric(a))?,
+                        b.as_float().ok_or_else(|| non_numeric(b))?,
+                    );
+                    Ok(Value::Float(match op {
+                        Add => x + y,
+                        Sub => x - y,
+                        Mul => x * y,
+                        _ => unreachable!(),
+                    }))
+                }
+            }
+        }
+    }
+}
+
+fn non_numeric(v: &Value) -> Error {
+    Error::Storage(format!("arithmetic on non-numeric value {v}"))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "c{i}"),
+            Expr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::And(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "TRUE");
+                }
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "FALSE");
+                }
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(p) => write!(f, "NOT {p}"),
+            Expr::IsNull(p) => write!(f, "{p} IS NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+
+    #[test]
+    fn comparisons() {
+        let t = tup![5, "abc"];
+        assert_eq!(
+            Expr::col(0).eq(Expr::lit(5)).eval(&t).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(Expr::cmp(BinOp::Lt, Expr::col(0), Expr::lit(10))
+            .eval_bool(&t)
+            .unwrap());
+        assert!(Expr::cmp(BinOp::Ge, Expr::col(1), Expr::lit("abc"))
+            .eval_bool(&t)
+            .unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = tup![5, 2.5];
+        assert_eq!(
+            Expr::cmp(BinOp::Add, Expr::col(0), Expr::lit(3)).eval(&t).unwrap(),
+            Value::Int(8)
+        );
+        assert_eq!(
+            Expr::cmp(BinOp::Mul, Expr::col(0), Expr::col(1)).eval(&t).unwrap(),
+            Value::Float(12.5)
+        );
+        assert!(Expr::cmp(BinOp::Add, Expr::col(0), Expr::lit("x"))
+            .eval(&t)
+            .is_err());
+    }
+
+    #[test]
+    fn arithmetic_with_null_is_null() {
+        let t = proql_common::Tuple::new(vec![Value::Null, Value::Int(1)]);
+        assert_eq!(
+            Expr::cmp(BinOp::Add, Expr::col(0), Expr::col(1)).eval(&t).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn boolean_connectives_short_circuit() {
+        let t = tup![1];
+        let tru = Expr::lit(true);
+        let fls = Expr::lit(false);
+        assert!(Expr::And(vec![tru.clone(), tru.clone()]).eval_bool(&t).unwrap());
+        assert!(!Expr::And(vec![tru.clone(), fls.clone()]).eval_bool(&t).unwrap());
+        assert!(Expr::Or(vec![fls.clone(), tru.clone()]).eval_bool(&t).unwrap());
+        assert!(!Expr::Or(vec![]).eval_bool(&t).unwrap());
+        assert!(Expr::And(vec![]).eval_bool(&t).unwrap());
+        assert!(Expr::Not(Box::new(fls)).eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn null_predicate_is_false() {
+        let t = proql_common::Tuple::new(vec![Value::Null]);
+        // c0 = 1 where c0 is NULL: our Eq is total so NULL = 1 is plain false.
+        assert!(!Expr::col(0).eq(Expr::lit(1)).eval_bool(&t).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::col(0))).eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        assert!(Expr::col(3).eval(&tup![1]).is_err());
+    }
+
+    #[test]
+    fn shift_and_max_col() {
+        let e = Expr::And(vec![
+            Expr::col(1).eq(Expr::lit(1)),
+            Expr::cmp(BinOp::Lt, Expr::col(4), Expr::col(0)),
+        ]);
+        assert_eq!(e.max_col(), Some(4));
+        assert_eq!(e.shift_cols(2).max_col(), Some(6));
+    }
+
+    #[test]
+    fn equality_bindings_found_through_and() {
+        let e = Expr::And(vec![
+            Expr::col(2).eq(Expr::lit(7)),
+            Expr::lit("x").eq(Expr::col(0)),
+            Expr::cmp(BinOp::Lt, Expr::col(1), Expr::lit(3)),
+        ]);
+        let mut b = e.equality_bindings();
+        b.sort_by_key(|(i, _)| *i);
+        assert_eq!(b, vec![(0, Value::str("x")), (2, Value::Int(7))]);
+    }
+
+    #[test]
+    fn and_flattens() {
+        let e = Expr::and(vec![
+            Expr::And(vec![Expr::lit(true), Expr::lit(true)]),
+            Expr::lit(false),
+        ]);
+        match e {
+            Expr::And(ps) => assert_eq!(ps.len(), 3),
+            _ => panic!("expected And"),
+        }
+    }
+
+    #[test]
+    fn display_renders_sqlish() {
+        let e = Expr::col(0).eq(Expr::lit("a"));
+        assert_eq!(e.to_string(), "(c0 = 'a')");
+    }
+}

@@ -1,0 +1,161 @@
+//! Secondary indexes over tables.
+//!
+//! The paper's ASRs are "stored as relations in the RDBMS, together with the
+//! provenance relations", with "relational indices on key columns … to
+//! provide efficient lookup of specific rows" (§5). These are those indices:
+//! hash indexes for exact-match lookups and B-tree indexes for ordered /
+//! prefix scans.
+
+use proql_common::Tuple;
+use std::collections::{BTreeMap, HashMap};
+
+/// The physical kind of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Hash map from key tuple to row ids; O(1) exact lookups.
+    Hash,
+    /// B-tree map; supports ordered iteration and range scans.
+    BTree,
+}
+
+/// A secondary index over a subset of a table's columns.
+///
+/// Maps the projection of each row onto `columns` to the list of row
+/// positions holding that key (non-unique).
+#[derive(Debug, Clone)]
+pub struct Index {
+    name: String,
+    columns: Vec<usize>,
+    kind: IndexKind,
+    hash: HashMap<Tuple, Vec<usize>>,
+    btree: BTreeMap<Tuple, Vec<usize>>,
+}
+
+impl Index {
+    /// Create an empty index on `columns`.
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, kind: IndexKind) -> Self {
+        Index {
+            name: name.into(),
+            columns,
+            kind,
+            hash: HashMap::new(),
+            btree: BTreeMap::new(),
+        }
+    }
+
+    /// Index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Indexed column positions.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Physical kind.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match self.kind {
+            IndexKind::Hash => self.hash.len(),
+            IndexKind::BTree => self.btree.len(),
+        }
+    }
+
+    /// Register `row` (stored at position `pos`).
+    pub fn insert(&mut self, row: &Tuple, pos: usize) {
+        let key = row.project(&self.columns);
+        match self.kind {
+            IndexKind::Hash => self.hash.entry(key).or_default().push(pos),
+            IndexKind::BTree => self.btree.entry(key).or_default().push(pos),
+        }
+    }
+
+    /// Row positions whose key equals `key` exactly.
+    pub fn lookup(&self, key: &Tuple) -> &[usize] {
+        let found = match self.kind {
+            IndexKind::Hash => self.hash.get(key),
+            IndexKind::BTree => self.btree.get(key),
+        };
+        found.map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row positions whose key is in `[lo, hi]` (inclusive). B-tree only;
+    /// returns `None` on hash indexes.
+    pub fn range(&self, lo: &Tuple, hi: &Tuple) -> Option<Vec<usize>> {
+        match self.kind {
+            IndexKind::Hash => None,
+            IndexKind::BTree => {
+                let mut out = Vec::new();
+                for (_, rows) in self.btree.range(lo.clone()..=hi.clone()) {
+                    out.extend_from_slice(rows);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Rebuild from scratch over `rows` (used after bulk loads / deletions).
+    pub fn rebuild(&mut self, rows: &[Tuple]) {
+        self.hash.clear();
+        self.btree.clear();
+        for (pos, row) in rows.iter().enumerate() {
+            self.insert(row, pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+
+    fn sample() -> Vec<Tuple> {
+        vec![tup![1, "a"], tup![2, "b"], tup![1, "c"], tup![3, "a"]]
+    }
+
+    #[test]
+    fn hash_lookup_finds_all_matches() {
+        let mut ix = Index::new("ix", vec![0], IndexKind::Hash);
+        ix.rebuild(&sample());
+        assert_eq!(ix.lookup(&tup![1]), &[0, 2]);
+        assert_eq!(ix.lookup(&tup![9]), &[] as &[usize]);
+        assert_eq!(ix.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn btree_lookup_and_range() {
+        let mut ix = Index::new("ix", vec![0], IndexKind::BTree);
+        ix.rebuild(&sample());
+        assert_eq!(ix.lookup(&tup![2]), &[1]);
+        assert_eq!(ix.range(&tup![1], &tup![2]).unwrap(), vec![0, 2, 1]);
+        assert_eq!(ix.range(&tup![4], &tup![9]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn hash_has_no_range() {
+        let mut ix = Index::new("ix", vec![0], IndexKind::Hash);
+        ix.rebuild(&sample());
+        assert!(ix.range(&tup![1], &tup![2]).is_none());
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let mut ix = Index::new("ix", vec![1, 0], IndexKind::Hash);
+        ix.rebuild(&sample());
+        assert_eq!(ix.lookup(&tup!["a", 1]), &[0]);
+        assert_eq!(ix.lookup(&tup!["a", 3]), &[3]);
+    }
+
+    #[test]
+    fn incremental_insert() {
+        let mut ix = Index::new("ix", vec![0], IndexKind::Hash);
+        ix.insert(&tup![5, "x"], 0);
+        ix.insert(&tup![5, "y"], 1);
+        assert_eq!(ix.lookup(&tup![5]), &[0, 1]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # proql-storage
+//!
+//! An embedded, in-memory relational engine. This is the substrate standing
+//! in for the RDBMS (DB2) the paper runs on: ProQL queries are translated to
+//! unions of conjunctive queries plus a grouping/aggregation step, and those
+//! plans execute here.
+//!
+//! The engine provides:
+//! * typed [`Table`]s with primary keys and secondary hash/B-tree [`Index`]es,
+//! * a [`Database`] catalog with virtual [views](Database::create_view)
+//!   (used for *superfluous* provenance relations, paper §4.1),
+//! * a relational-algebra [`Plan`] language — scan, filter, project,
+//!   inner/left/right/full hash joins, union (all/distinct), aggregation —
+//!   mirroring the `SELECT..FROM..WHERE`, `UNION ALL`, and `GROUP
+//!   BY..HAVING` blocks the paper generates,
+//! * a materializing [executor](exec::execute) with index-aware filter
+//!   pushdown, and an `EXPLAIN`-style [SQL renderer](explain::to_sql).
+
+pub mod database;
+pub mod exec;
+pub mod explain;
+pub mod expr;
+pub mod index;
+pub mod optimize;
+pub mod plan;
+pub mod table;
+
+pub use database::Database;
+pub use exec::{execute, Relation};
+pub use expr::{BinOp, Expr};
+pub use index::{Index, IndexKind};
+pub use plan::{AggFunc, Aggregate, JoinType, Plan};
+pub use table::Table;

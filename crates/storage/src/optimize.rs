@@ -1,0 +1,371 @@
+//! A small rule-based optimizer.
+//!
+//! The paper relies on the backing DBMS to perform "goal-directed
+//! computation such that we only evaluate provenance for the selected
+//! tuples … intuitively, this resembles pushing selections through joins"
+//! (§4.2). This module implements that: selection pushdown through
+//! projections/joins/unions and conversion of `Filter(Scan)` with
+//! equality bindings into [`Plan::IndexLookup`].
+
+use crate::expr::Expr;
+use crate::plan::{JoinType, Plan};
+use proql_common::Value;
+
+/// Optimize a plan: push filters down and use indexes where possible.
+pub fn optimize(plan: Plan) -> Plan {
+    let pushed = push_filters(plan);
+    index_scans(pushed)
+}
+
+/// Split a predicate into conjuncts.
+fn conjuncts(pred: Expr) -> Vec<Expr> {
+    match pred {
+        Expr::And(ps) => ps.into_iter().flat_map(conjuncts).collect(),
+        p => vec![p],
+    }
+}
+
+/// Recombine conjuncts.
+fn recombine(mut preds: Vec<Expr>) -> Option<Expr> {
+    match preds.len() {
+        0 => None,
+        1 => Some(preds.pop().unwrap()),
+        _ => Some(Expr::And(preds)),
+    }
+}
+
+fn push_filters(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = push_filters(*input);
+            push_pred_into(input, predicate)
+        }
+        Plan::Project { input, exprs, names } => Plan::Project {
+            input: Box::new(push_filters(*input)),
+            exprs,
+            names,
+        },
+        Plan::Join { left, right, join_type, left_keys, right_keys } => Plan::Join {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+            join_type,
+            left_keys,
+            right_keys,
+        },
+        Plan::Union { inputs, distinct } => Plan::Union {
+            inputs: inputs.into_iter().map(push_filters).collect(),
+            distinct,
+        },
+        Plan::Distinct { input } => Plan::Distinct { input: Box::new(push_filters(*input)) },
+        Plan::Aggregate { input, group_by, aggs, having } => Plan::Aggregate {
+            input: Box::new(push_filters(*input)),
+            group_by,
+            aggs,
+            having,
+        },
+        Plan::Sort { input, by } => Plan::Sort { input: Box::new(push_filters(*input)), by },
+        Plan::Limit { input, n } => Plan::Limit { input: Box::new(push_filters(*input)), n },
+        leaf => leaf,
+    }
+}
+
+/// Push `predicate` as deep as possible into `input`.
+fn push_pred_into(input: Plan, predicate: Expr) -> Plan {
+    match input {
+        // Filter(Filter(x)) -> Filter(x) with merged predicate.
+        Plan::Filter { input: inner, predicate: p2 } => {
+            let merged = Expr::and(vec![p2, predicate]);
+            push_pred_into(*inner, merged)
+        }
+        // Push through a union into every branch.
+        Plan::Union { inputs, distinct } => Plan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|p| push_pred_into(p, predicate.clone()))
+                .collect(),
+            distinct,
+        },
+        // Push each conjunct into the join side it references, when the
+        // join is inner (outer joins change semantics under pushdown).
+        Plan::Join { left, right, join_type: JoinType::Inner, left_keys, right_keys } => {
+            let left_arity = plan_arity_hint(&left);
+            let mut left_preds = Vec::new();
+            let mut right_preds = Vec::new();
+            let mut keep = Vec::new();
+            for c in conjuncts(predicate) {
+                match (c.max_col(), left_arity) {
+                    (Some(max), Some(la)) if max < la => left_preds.push(c),
+                    (Some(_), Some(la)) => {
+                        // References right side only if *all* cols >= la.
+                        if min_col(&c).map(|m| m >= la).unwrap_or(false) {
+                            right_preds.push(shift_down(&c, la));
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                    (None, _) => keep.push(c), // constant predicate: keep on top
+                    _ => keep.push(c),
+                }
+            }
+            let mut new_left = *left;
+            if let Some(p) = recombine(left_preds) {
+                new_left = push_pred_into(new_left, p);
+            }
+            let mut new_right = *right;
+            if let Some(p) = recombine(right_preds) {
+                new_right = push_pred_into(new_right, p);
+            }
+            let joined = Plan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                join_type: JoinType::Inner,
+                left_keys,
+                right_keys,
+            };
+            match recombine(keep) {
+                Some(p) => Plan::Filter { input: Box::new(joined), predicate: p },
+                None => joined,
+            }
+        }
+        other => Plan::Filter { input: Box::new(other), predicate },
+    }
+}
+
+/// Smallest column index referenced by the expression.
+fn min_col(e: &Expr) -> Option<usize> {
+    match e {
+        Expr::Col(i) => Some(*i),
+        Expr::Lit(_) => None,
+        Expr::Bin(_, a, b) => match (min_col(a), min_col(b)) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        },
+        Expr::And(ps) | Expr::Or(ps) => ps.iter().filter_map(min_col).min(),
+        Expr::Not(p) | Expr::IsNull(p) => min_col(p),
+    }
+}
+
+/// Shift all columns down by `delta` (inverse of `shift_cols`).
+fn shift_down(e: &Expr, delta: usize) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col(i - delta),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(shift_down(a, delta)),
+            Box::new(shift_down(b, delta)),
+        ),
+        Expr::And(ps) => Expr::And(ps.iter().map(|p| shift_down(p, delta)).collect()),
+        Expr::Or(ps) => Expr::Or(ps.iter().map(|p| shift_down(p, delta)).collect()),
+        Expr::Not(p) => Expr::Not(Box::new(shift_down(p, delta))),
+        Expr::IsNull(p) => Expr::IsNull(Box::new(shift_down(p, delta))),
+    }
+}
+
+/// Static arity of a plan, when derivable without a catalog. Scans have
+/// unknown arity (None): pushdown through joins over bare scans is skipped,
+/// which is conservative but safe. Projects and Values fix the arity.
+fn plan_arity_hint(plan: &Plan) -> Option<usize> {
+    match plan {
+        Plan::Project { exprs, .. } => Some(exprs.len()),
+        Plan::Values { schema, .. } => Some(schema.arity()),
+        Plan::Filter { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => plan_arity_hint(input),
+        Plan::Union { inputs, .. } => inputs.first().and_then(plan_arity_hint),
+        Plan::Join { left, right, .. } => {
+            Some(plan_arity_hint(left)? + plan_arity_hint(right)?)
+        }
+        Plan::Aggregate { group_by, aggs, .. } => Some(group_by.len() + aggs.len()),
+        Plan::Scan { .. } | Plan::IndexLookup { .. } => None,
+    }
+}
+
+/// Rewrite `Filter(Scan)` into `IndexLookup` when every equality-bound
+/// column set could be served by an index (the executor falls back to a
+/// filtered scan when no physical index exists, so this is always safe).
+fn index_scans(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            if let Plan::Scan { table } = input.as_ref() {
+                let bindings = predicate.equality_bindings();
+                if !bindings.is_empty() {
+                    let columns: Vec<usize> = bindings.iter().map(|(c, _)| *c).collect();
+                    let key: Vec<Value> = bindings.iter().map(|(_, v)| v.clone()).collect();
+                    // Anything that is not a bare col=lit conjunct stays as a
+                    // residual predicate.
+                    let residual = residual_of(&predicate);
+                    return Plan::IndexLookup {
+                        table: table.clone(),
+                        columns,
+                        key,
+                        residual,
+                    };
+                }
+            }
+            Plan::Filter { input: Box::new(index_scans(*input)), predicate }
+        }
+        Plan::Project { input, exprs, names } => Plan::Project {
+            input: Box::new(index_scans(*input)),
+            exprs,
+            names,
+        },
+        Plan::Join { left, right, join_type, left_keys, right_keys } => Plan::Join {
+            left: Box::new(index_scans(*left)),
+            right: Box::new(index_scans(*right)),
+            join_type,
+            left_keys,
+            right_keys,
+        },
+        Plan::Union { inputs, distinct } => Plan::Union {
+            inputs: inputs.into_iter().map(index_scans).collect(),
+            distinct,
+        },
+        Plan::Distinct { input } => Plan::Distinct { input: Box::new(index_scans(*input)) },
+        Plan::Aggregate { input, group_by, aggs, having } => Plan::Aggregate {
+            input: Box::new(index_scans(*input)),
+            group_by,
+            aggs,
+            having,
+        },
+        Plan::Sort { input, by } => Plan::Sort { input: Box::new(index_scans(*input)), by },
+        Plan::Limit { input, n } => Plan::Limit { input: Box::new(index_scans(*input)), n },
+        leaf => leaf,
+    }
+}
+
+/// The conjuncts of `pred` that are *not* simple `col = literal` bindings.
+fn residual_of(pred: &Expr) -> Option<Expr> {
+    let parts: Vec<Expr> = match pred {
+        Expr::And(ps) => ps.clone(),
+        p => vec![p.clone()],
+    };
+    let residual: Vec<Expr> = parts
+        .into_iter()
+        .filter(|p| !is_simple_binding(p))
+        .collect();
+    recombine(residual)
+}
+
+fn is_simple_binding(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Bin(crate::expr::BinOp::Eq, a, b)
+            if matches!((a.as_ref(), b.as_ref()),
+                (Expr::Col(_), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(_)))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::exec::execute;
+    use crate::expr::BinOp;
+    use proql_common::{tup, Schema, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::build("T", &[("a", ValueType::Int), ("b", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        for i in 0..10 {
+            db.insert("T", tup![i, i * 10]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn filter_scan_becomes_index_lookup() {
+        let p = Plan::scan("T").filter(Expr::col(0).eq(Expr::lit(3)));
+        let opt = optimize(p);
+        match &opt {
+            Plan::IndexLookup { table, columns, key, residual } => {
+                assert_eq!(table, "T");
+                assert_eq!(columns, &[0]);
+                assert_eq!(key, &[Value::Int(3)]);
+                assert!(residual.is_none());
+            }
+            other => panic!("expected IndexLookup, got {other:?}"),
+        }
+        assert_eq!(execute(&db(), &opt).unwrap().rows, vec![tup![3, 30]]);
+    }
+
+    #[test]
+    fn residual_predicate_preserved() {
+        let p = Plan::scan("T").filter(Expr::And(vec![
+            Expr::col(0).eq(Expr::lit(3)),
+            Expr::cmp(BinOp::Gt, Expr::col(1), Expr::lit(100)),
+        ]));
+        let opt = optimize(p);
+        match &opt {
+            Plan::IndexLookup { residual, .. } => assert!(residual.is_some()),
+            other => panic!("expected IndexLookup, got {other:?}"),
+        }
+        assert!(execute(&db(), &opt).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        let p = Plan::scan("T")
+            .filter(Expr::col(0).eq(Expr::lit(3)))
+            .filter(Expr::cmp(BinOp::Lt, Expr::col(1), Expr::lit(100)));
+        let opt = optimize(p.clone());
+        // Optimized and unoptimized agree.
+        assert_eq!(
+            execute(&db(), &opt).unwrap().sorted_rows(),
+            execute(&db(), &p).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn pushdown_through_union() {
+        let p = Plan::Union {
+            inputs: vec![Plan::scan("T"), Plan::scan("T")],
+            distinct: false,
+        }
+        .filter(Expr::col(0).eq(Expr::lit(1)));
+        let opt = optimize(p.clone());
+        // Both branches now index lookups under the union.
+        match &opt {
+            Plan::Union { inputs, .. } => {
+                assert!(matches!(inputs[0], Plan::IndexLookup { .. }));
+                assert!(matches!(inputs[1], Plan::IndexLookup { .. }));
+            }
+            other => panic!("expected Union, got {other:?}"),
+        }
+        assert_eq!(
+            execute(&db(), &opt).unwrap().sorted_rows(),
+            execute(&db(), &p).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn pushdown_through_projected_join_sides() {
+        // Join of two projections (arity known), filter references left col.
+        let left = Plan::scan("T").project(vec![Expr::col(0), Expr::col(1)]);
+        let right = Plan::scan("T").project(vec![Expr::col(0)]);
+        let p = left
+            .join(right, vec![0], vec![0])
+            .filter(Expr::col(2).eq(Expr::lit(5)));
+        let opt = optimize(p.clone());
+        assert_eq!(
+            execute(&db(), &opt).unwrap().sorted_rows(),
+            execute(&db(), &p).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn outer_join_filters_not_pushed() {
+        let p = Plan::scan("T")
+            .join_as(Plan::scan("T"), JoinType::LeftOuter, vec![0], vec![0])
+            .filter(Expr::IsNull(Box::new(Expr::col(2))));
+        let opt = optimize(p.clone());
+        assert_eq!(
+            execute(&db(), &opt).unwrap().sorted_rows(),
+            execute(&db(), &p).unwrap().sorted_rows()
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Relational-algebra plans.
+//!
+//! These are the executable form of the SQL the paper generates: each
+//! unfolded conjunctive rule becomes a tree of scans, equi-joins, filters,
+//! and a projection; alternatives are combined with `UNION ALL`; and the
+//! annotation-computation step adds a final `GROUP BY` + aggregate +
+//! `HAVING` (paper §4.2.4).
+
+use crate::expr::Expr;
+use proql_common::{Attribute, Schema, Tuple, ValueType};
+
+/// Join variants. Outer joins are required for building subpath/prefix/suffix
+/// ASRs (paper §5.1: "a left outerjoin results in a path and its prefixes…").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinType {
+    /// Inner equi-join.
+    Inner,
+    /// Keep unmatched left rows, padding right columns with NULL.
+    LeftOuter,
+    /// Keep unmatched right rows, padding left columns with NULL.
+    RightOuter,
+    /// Keep unmatched rows from both sides.
+    FullOuter,
+}
+
+/// Aggregate functions supported by the grouping operator.
+///
+/// The paper evaluates semiring sums in SQL with `SUM` (derivability / trust
+/// / number of derivations, with booleans encoded as 0/1) and `MIN`
+/// (weight/cost, confidentiality); `MAX`/`BoolOr`/`BoolAnd` round out the
+/// set for the other orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Numeric sum of a column.
+    Sum(usize),
+    /// Minimum of a column.
+    Min(usize),
+    /// Maximum of a column.
+    Max(usize),
+    /// OR of a boolean column.
+    BoolOr(usize),
+    /// AND of a boolean column.
+    BoolAnd(usize),
+}
+
+impl AggFunc {
+    /// The column the aggregate reads, if any.
+    pub fn input_column(&self) -> Option<usize> {
+        match self {
+            AggFunc::Count => None,
+            AggFunc::Sum(c)
+            | AggFunc::Min(c)
+            | AggFunc::Max(c)
+            | AggFunc::BoolOr(c)
+            | AggFunc::BoolAnd(c) => Some(*c),
+        }
+    }
+
+    /// Name used in rendered SQL.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum(_) => "SUM",
+            AggFunc::Min(_) => "MIN",
+            AggFunc::Max(_) => "MAX",
+            AggFunc::BoolOr(_) => "BOOL_OR",
+            AggFunc::BoolAnd(_) => "BOOL_AND",
+        }
+    }
+}
+
+/// One output aggregate with a column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// Output column name.
+    pub name: String,
+}
+
+impl Aggregate {
+    /// Build an aggregate output column.
+    pub fn new(func: AggFunc, name: impl Into<String>) -> Self {
+        Aggregate { func, name: name.into() }
+    }
+}
+
+/// A relational-algebra plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a named table or view.
+    Scan {
+        /// Table/view name in the catalog.
+        table: String,
+    },
+    /// Inline constant relation.
+    Values {
+        /// Schema of the rows.
+        schema: Schema,
+        /// The rows.
+        rows: Vec<Tuple>,
+    },
+    /// Filter rows by a predicate.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate over the input's columns.
+        predicate: Expr,
+    },
+    /// Compute output columns from input rows.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// One expression per output column.
+        exprs: Vec<Expr>,
+        /// Output column names (len == exprs.len()).
+        names: Vec<String>,
+    },
+    /// Hash equi-join.
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join variant.
+        join_type: JoinType,
+        /// Key columns on the left input.
+        left_keys: Vec<usize>,
+        /// Key columns on the right input (same length as `left_keys`).
+        right_keys: Vec<usize>,
+    },
+    /// N-ary union. `distinct: false` is SQL `UNION ALL`.
+    Union {
+        /// Inputs, all with identical arity.
+        inputs: Vec<Plan>,
+        /// Deduplicate output rows.
+        distinct: bool,
+    },
+    /// Remove duplicate rows.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Group by + aggregate + HAVING.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping columns (come first in the output).
+        group_by: Vec<usize>,
+        /// Aggregates (appended after the grouping columns).
+        aggs: Vec<Aggregate>,
+        /// Optional predicate over the *output* row (group cols + agg cols).
+        having: Option<Expr>,
+    },
+    /// Sort by columns ascending.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort key columns (lexicographic).
+        by: Vec<usize>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Row budget.
+        n: usize,
+    },
+    /// Direct index lookup: rows of `table` whose `columns` equal `key`.
+    /// Produced by the optimizer from `Filter(Scan)` when an index matches.
+    IndexLookup {
+        /// Table name.
+        table: String,
+        /// Indexed column positions.
+        columns: Vec<usize>,
+        /// Key values, aligned with `columns`.
+        key: Vec<proql_common::Value>,
+        /// Residual predicate not covered by the index (if any).
+        residual: Option<Expr>,
+    },
+}
+
+impl Plan {
+    /// Scan helper.
+    pub fn scan(table: impl Into<String>) -> Plan {
+        Plan::Scan { table: table.into() }
+    }
+
+    /// Filter helper.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Project helper with `cN` default names.
+    pub fn project(self, exprs: Vec<Expr>) -> Plan {
+        let names = (0..exprs.len()).map(|i| format!("c{i}")).collect();
+        Plan::Project { input: Box::new(self), exprs, names }
+    }
+
+    /// Project helper with explicit names.
+    pub fn project_named(self, exprs: Vec<Expr>, names: Vec<String>) -> Plan {
+        Plan::Project { input: Box::new(self), exprs, names }
+    }
+
+    /// Inner-join helper.
+    pub fn join(self, right: Plan, left_keys: Vec<usize>, right_keys: Vec<usize>) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            join_type: JoinType::Inner,
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// Join helper with explicit type.
+    pub fn join_as(
+        self,
+        right: Plan,
+        join_type: JoinType,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+    ) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            join_type,
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// UNION ALL helper.
+    pub fn union_all(inputs: Vec<Plan>) -> Plan {
+        Plan::Union { inputs, distinct: false }
+    }
+
+    /// Distinct helper.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct { input: Box::new(self) }
+    }
+
+    /// Count the base-table scans in the plan (used in tests and stats;
+    /// joins-per-rule is the paper's complexity driver).
+    pub fn count_scans(&self) -> usize {
+        match self {
+            Plan::Scan { .. } | Plan::IndexLookup { .. } => 1,
+            Plan::Values { .. } => 0,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.count_scans(),
+            Plan::Join { left, right, .. } => left.count_scans() + right.count_scans(),
+            Plan::Union { inputs, .. } => inputs.iter().map(Plan::count_scans).sum(),
+        }
+    }
+
+    /// Count join operators in the plan.
+    pub fn count_joins(&self) -> usize {
+        match self {
+            Plan::Scan { .. } | Plan::IndexLookup { .. } | Plan::Values { .. } => 0,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.count_joins(),
+            Plan::Join { left, right, .. } => 1 + left.count_joins() + right.count_joins(),
+            Plan::Union { inputs, .. } => inputs.iter().map(Plan::count_joins).sum(),
+        }
+    }
+}
+
+/// Build an anonymous output schema with the given column names, all typed
+/// `Null` ("any"). Plans are dynamically typed; names matter only for
+/// rendering and for mapping provenance-relation columns.
+pub fn anon_schema(name: &str, names: &[String]) -> Schema {
+    Schema::new(
+        name,
+        names
+            .iter()
+            .map(|n| Attribute::new(n.clone(), ValueType::Null))
+            .collect(),
+        vec![],
+    )
+    .expect("anonymous schema construction cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+
+    #[test]
+    fn builders_compose() {
+        let p = Plan::scan("A")
+            .filter(Expr::col(0).eq(Expr::lit(1)))
+            .join(Plan::scan("B"), vec![0], vec![0])
+            .project(vec![Expr::col(0)]);
+        assert_eq!(p.count_scans(), 2);
+        assert_eq!(p.count_joins(), 1);
+    }
+
+    #[test]
+    fn union_counts_all_branches() {
+        let p = Plan::union_all(vec![
+            Plan::scan("A").join(Plan::scan("B"), vec![0], vec![0]),
+            Plan::scan("C"),
+        ]);
+        assert_eq!(p.count_scans(), 3);
+        assert_eq!(p.count_joins(), 1);
+    }
+
+    #[test]
+    fn agg_func_columns() {
+        assert_eq!(AggFunc::Count.input_column(), None);
+        assert_eq!(AggFunc::Sum(3).input_column(), Some(3));
+        assert_eq!(AggFunc::Min(1).sql_name(), "MIN");
+    }
+
+    #[test]
+    fn values_plan_has_no_scans() {
+        let p = Plan::Values {
+            schema: anon_schema("v", &["a".into()]),
+            rows: vec![tup![1]],
+        };
+        assert_eq!(p.count_scans(), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Tables: schema + rows + primary-key map + secondary indexes.
+
+use crate::index::{Index, IndexKind};
+use proql_common::{Error, Result, Schema, Tuple};
+use std::collections::HashMap;
+
+/// A stored table with set semantics on the primary key.
+///
+/// Inserting a tuple whose key already exists is a no-op returning `false`
+/// (set semantics, as in the paper's data-exchange instances); the first
+/// writer wins. Rows are append-only except for [`Table::delete_by_key`],
+/// which is used by incremental update exchange.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Tuple>,
+    /// key tuple -> row position; tombstoned rows are removed from this map.
+    pk: HashMap<Tuple, usize>,
+    /// live-row flags aligned with `rows` (deletion tombstones).
+    live: Vec<bool>,
+    indexes: Vec<Index>,
+    tombstones: usize,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk: HashMap::new(),
+            live: Vec::new(),
+            indexes: Vec::new(),
+            tombstones: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.pk.len()
+    }
+
+    /// True iff no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.pk.is_empty()
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` if it was new, `Ok(false)` if a
+    /// row with the same key already existed.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        self.schema.check(&tuple)?;
+        let key = self.schema.key_of(&tuple);
+        if self.pk.contains_key(&key) {
+            return Ok(false);
+        }
+        let pos = self.rows.len();
+        for ix in &mut self.indexes {
+            ix.insert(&tuple, pos);
+        }
+        self.pk.insert(key, pos);
+        self.rows.push(tuple);
+        self.live.push(true);
+        Ok(true)
+    }
+
+    /// Bulk insert; returns how many were new.
+    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<usize> {
+        let mut n = 0;
+        for t in tuples {
+            if self.insert(t)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Fetch the live row with primary key `key`.
+    pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
+        self.pk.get(key).map(|&pos| &self.rows[pos])
+    }
+
+    /// True iff a live row with this exact tuple's key exists **and** equals it.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        let key = self.schema.key_of(tuple);
+        self.get_by_key(&key) == Some(tuple)
+    }
+
+    /// Delete the row with primary key `key`. Returns the removed tuple.
+    /// Secondary indexes are rebuilt lazily on the next scan-through if the
+    /// tombstone fraction exceeds 1/2 (compaction).
+    pub fn delete_by_key(&mut self, key: &Tuple) -> Option<Tuple> {
+        let pos = self.pk.remove(key)?;
+        self.live[pos] = false;
+        self.tombstones += 1;
+        let removed = self.rows[pos].clone();
+        if self.tombstones * 2 > self.rows.len() {
+            self.compact();
+        }
+        Some(removed)
+    }
+
+    fn compact(&mut self) {
+        let mut new_rows = Vec::with_capacity(self.pk.len());
+        for (pos, row) in self.rows.iter().enumerate() {
+            if self.live[pos] {
+                new_rows.push(row.clone());
+            }
+        }
+        self.rows = new_rows;
+        self.live = vec![true; self.rows.len()];
+        self.tombstones = 0;
+        self.pk.clear();
+        for (pos, row) in self.rows.iter().enumerate() {
+            self.pk.insert(self.schema.key_of(row), pos);
+        }
+        for ix in &mut self.indexes {
+            ix.rebuild(&self.rows);
+        }
+    }
+
+    /// Iterate over live rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows
+            .iter()
+            .zip(self.live.iter())
+            .filter_map(|(r, &l)| l.then_some(r))
+    }
+
+    /// Materialize all live rows.
+    pub fn scan(&self) -> Vec<Tuple> {
+        self.iter().cloned().collect()
+    }
+
+    /// Create a secondary index on `columns`. Errors if a same-named index
+    /// exists.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        kind: IndexKind,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|ix| ix.name() == name) {
+            return Err(Error::AlreadyExists(format!("index {name}")));
+        }
+        for &c in &columns {
+            if c >= self.schema.arity() {
+                return Err(Error::Storage(format!(
+                    "index column {c} out of range for {}",
+                    self.schema.name()
+                )));
+            }
+        }
+        let mut ix = Index::new(name, columns, kind);
+        ix.rebuild(&self.rows);
+        // Rebuild indexes see tombstoned rows too; lookups filter on `live`.
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Find an index covering exactly the given column set (order-insensitive).
+    pub fn find_index(&self, columns: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|ix| {
+            ix.columns().len() == columns.len()
+                && ix.columns().iter().all(|c| columns.contains(c))
+        })
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Rows matching `key` on the columns of `index` (live rows only).
+    pub fn index_lookup(&self, index: &Index, key: &Tuple) -> Vec<Tuple> {
+        index
+            .lookup(key)
+            .iter()
+            .filter(|&&pos| self.live[pos])
+            .map(|&pos| self.rows[pos].clone())
+            .collect()
+    }
+
+    /// Clear all rows, keeping schema and (empty) indexes.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.pk.clear();
+        self.live.clear();
+        self.tombstones = 0;
+        for ix in &mut self.indexes {
+            ix.rebuild(&[]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::{tup, ValueType};
+
+    fn table() -> Table {
+        Table::new(
+            Schema::build(
+                "N",
+                &[
+                    ("id", ValueType::Int),
+                    ("name", ValueType::Str),
+                    ("canon", ValueType::Bool),
+                ],
+                &[0, 1],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_set_semantics() {
+        let mut t = table();
+        assert!(t.insert(tup![1, "cn1", false]).unwrap());
+        assert!(!t.insert(tup![1, "cn1", true]).unwrap()); // same key: no-op
+        assert!(t.insert(tup![1, "cn2", false]).unwrap()); // different key
+        assert_eq!(t.len(), 2);
+        // first writer wins
+        assert_eq!(t.get_by_key(&tup![1, "cn1"]), Some(&tup![1, "cn1", false]));
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let mut t = table();
+        assert!(t.insert(tup![1, 2, false]).is_err());
+        assert!(t.insert(tup![1]).is_err());
+    }
+
+    #[test]
+    fn contains_checks_full_tuple() {
+        let mut t = table();
+        t.insert(tup![1, "a", true]).unwrap();
+        assert!(t.contains(&tup![1, "a", true]));
+        assert!(!t.contains(&tup![1, "a", false]));
+    }
+
+    #[test]
+    fn delete_and_scan() {
+        let mut t = table();
+        t.insert(tup![1, "a", true]).unwrap();
+        t.insert(tup![2, "b", false]).unwrap();
+        let removed = t.delete_by_key(&tup![1, "a"]).unwrap();
+        assert_eq!(removed, tup![1, "a", true]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.scan(), vec![tup![2, "b", false]]);
+        assert!(t.delete_by_key(&tup![1, "a"]).is_none());
+    }
+
+    #[test]
+    fn reinsert_after_delete() {
+        let mut t = table();
+        t.insert(tup![1, "a", true]).unwrap();
+        t.delete_by_key(&tup![1, "a"]).unwrap();
+        assert!(t.insert(tup![1, "a", false]).unwrap());
+        assert_eq!(t.get_by_key(&tup![1, "a"]), Some(&tup![1, "a", false]));
+    }
+
+    #[test]
+    fn compaction_preserves_contents_and_indexes() {
+        let mut t = table();
+        t.create_index("by_name", vec![1], IndexKind::Hash).unwrap();
+        for i in 0..10 {
+            t.insert(tup![i, "x", true]).unwrap();
+        }
+        for i in 0..8 {
+            t.delete_by_key(&tup![i, "x"]);
+        }
+        assert_eq!(t.len(), 2);
+        let ix = t.find_index(&[1]).unwrap();
+        let hits = t.index_lookup(ix, &tup!["x"]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn index_lookup_skips_tombstones() {
+        let mut t = table();
+        t.create_index("by_name", vec![1], IndexKind::BTree).unwrap();
+        t.insert(tup![1, "a", true]).unwrap();
+        t.insert(tup![2, "a", true]).unwrap();
+        t.insert(tup![3, "b", true]).unwrap();
+        t.delete_by_key(&tup![1, "a"]);
+        let ix = t.find_index(&[1]).unwrap();
+        assert_eq!(t.index_lookup(ix, &tup!["a"]), vec![tup![2, "a", true]]);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = table();
+        t.create_index("i", vec![0], IndexKind::Hash).unwrap();
+        assert!(t.create_index("i", vec![1], IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn find_index_is_order_insensitive() {
+        let mut t = table();
+        t.create_index("i", vec![1, 0], IndexKind::Hash).unwrap();
+        assert!(t.find_index(&[0, 1]).is_some());
+        assert!(t.find_index(&[0]).is_none());
+    }
+
+    #[test]
+    fn truncate_empties() {
+        let mut t = table();
+        t.insert(tup![1, "a", true]).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert!(t.insert(tup![1, "a", true]).unwrap());
+    }
+}

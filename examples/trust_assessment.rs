@@ -1,0 +1,48 @@
+//! Trust assessment in a CDSS (the paper's Q7 and §2 motivation):
+//! peers assign trust conditions to base data and distrust certain
+//! mappings; ProQL computes which derived tuples remain trusted.
+//!
+//! Run with `cargo run --example trust_assessment`.
+
+use proql::engine::Engine;
+use proql_provgraph::system::example_2_1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new(example_2_1()?);
+
+    // Paper Q7 (adapted to the example's attribute names): peer O
+    // distrusts animal data with length >= 6, trusts common names, and
+    // distrusts everything mapped through m4.
+    let out = engine.query(
+        "EVALUATE TRUST OF {
+           FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+         } ASSIGNING EACH leaf_node $y {
+           CASE $y in C : SET true
+           CASE $y in A AND $y.len >= 6 : SET false
+           DEFAULT : SET true
+         } ASSIGNING EACH mapping $p($z) {
+           CASE $p = m4 : SET false
+           DEFAULT : SET $z
+         }",
+    )?;
+    println!("trust policy: distrust A tuples with len >= 6; distrust mapping m4\n");
+    for row in &out.annotated.expect("annotated").rows {
+        println!("  O{:<12} trusted = {}", row.key.to_string(), row.annotation);
+    }
+
+    // Confidentiality (Q10): A data is secret; joins take the stricter
+    // level, unions the laxer.
+    let out = engine.query(
+        "EVALUATE CONFIDENTIALITY OF {
+           FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+         } ASSIGNING EACH leaf_node $y {
+           CASE $y in A : SET secret
+           DEFAULT : SET public
+         }",
+    )?;
+    println!("\naccess-control levels (A is secret):");
+    for row in &out.annotated.expect("annotated").rows {
+        println!("  O{:<12} level = {}", row.key.to_string(), row.annotation);
+    }
+    Ok(())
+}

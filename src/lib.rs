@@ -1,0 +1,9 @@
+//! Root facade for integration tests; re-exports the workspace crates.
+pub use proql;
+pub use proql_asr;
+pub use proql_cdss;
+pub use proql_common;
+pub use proql_datalog;
+pub use proql_provgraph;
+pub use proql_semiring;
+pub use proql_storage;

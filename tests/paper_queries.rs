@@ -1,0 +1,170 @@
+//! Integration: the paper's use-case queries Q1–Q10 over the running
+//! example, checked for cross-strategy agreement where both strategies
+//! apply.
+
+use proql::engine::{Engine, Strategy};
+use proql_common::tup;
+use proql_provgraph::system::example_2_1;
+use proql_semiring::{Annotation, SecurityLevel};
+
+fn engine(strategy: Strategy) -> Engine {
+    let mut e = Engine::new(example_2_1().expect("example builds"));
+    e.options.strategy = strategy;
+    e
+}
+
+#[test]
+fn q1_projection_of_all_derivations() {
+    for strategy in [Strategy::Unfold, Strategy::Graph] {
+        let out = engine(strategy)
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        assert_eq!(out.projection.bindings.len(), 4, "{strategy:?}");
+        assert!(out.projection.derivation_count() >= 8, "{strategy:?}");
+    }
+}
+
+#[test]
+fn q2_paths_involving_relation_a() {
+    let out = engine(Strategy::Unfold)
+        .query("FOR [O $x] <-+ [A $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x, $y")
+        .unwrap();
+    assert!(!out.projection.bindings.is_empty());
+    for b in &out.projection.bindings {
+        assert_eq!(b["y"].0, "A");
+        assert_eq!(b["x"].0, "O");
+    }
+}
+
+#[test]
+fn q3_derivations_through_m1_or_m2() {
+    let out = engine(Strategy::Unfold)
+        .query(
+            "FOR [$x] <$p [], [$y] <- [$x]
+             WHERE $p = m1 OR $p = m2
+             INCLUDE PATH [$y] <- [$x]
+             RETURN $y",
+        )
+        .unwrap();
+    assert!(!out.projection.bindings.is_empty());
+}
+
+#[test]
+fn q4_common_provenance() {
+    let out = engine(Strategy::Unfold)
+        .query(
+            "FOR [O $x] <-+ [$z], [C $y] <-+ [$z]
+             INCLUDE PATH [$x] <-+ [], [$y] <-+ []
+             RETURN $x, $y",
+        )
+        .unwrap();
+    assert!(!out.projection.bindings.is_empty());
+}
+
+#[test]
+fn q5_q6_derivability_and_lineage() {
+    for strategy in [Strategy::Unfold, Strategy::Graph] {
+        let mut e = engine(strategy);
+        let d = e
+            .query("EVALUATE DERIVABILITY OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }")
+            .unwrap()
+            .annotated
+            .unwrap();
+        assert!(d.rows.iter().all(|r| r.annotation == Annotation::Bool(true)));
+        let l = e
+            .query("EVALUATE LINEAGE OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }")
+            .unwrap()
+            .annotated
+            .unwrap();
+        let cn2 = l.annotation_of("O", &tup!["cn2"]).unwrap();
+        assert!(cn2.as_lineage().unwrap().contains("A(2)"), "{strategy:?}");
+    }
+}
+
+#[test]
+fn q7_trust_cross_strategy_agreement() {
+    let q = "EVALUATE TRUST OF {
+               FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+             } ASSIGNING EACH leaf_node $y {
+               CASE $y in C : SET true
+               CASE $y in A AND $y.len >= 6 : SET false
+               DEFAULT : SET true
+             } ASSIGNING EACH mapping $p($z) {
+               CASE $p = m4 : SET false
+               DEFAULT : SET $z
+             }";
+    let a = engine(Strategy::Unfold).query(q).unwrap().annotated.unwrap();
+    let b = engine(Strategy::Graph).query(q).unwrap().annotated.unwrap();
+    for row in &a.rows {
+        assert_eq!(
+            Some(&row.annotation),
+            b.annotation_of(&row.relation, &row.key),
+            "strategies disagree on {}{}",
+            row.relation,
+            row.key
+        );
+    }
+}
+
+#[test]
+fn q8_weight_ranking() {
+    let out = engine(Strategy::Graph)
+        .query(
+            "EVALUATE WEIGHT OF {
+               FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+             } ASSIGNING EACH leaf_node $y {
+               CASE $y in A : SET 10
+               DEFAULT : SET 1
+             }",
+        )
+        .unwrap()
+        .annotated
+        .unwrap();
+    assert_eq!(
+        out.annotation_of("O", &tup!["sn2"]),
+        Some(&Annotation::Weight(10.0))
+    );
+    assert_eq!(
+        out.annotation_of("O", &tup!["cn2"]),
+        Some(&Annotation::Weight(11.0))
+    );
+}
+
+#[test]
+fn q9_probability_events() {
+    let out = engine(Strategy::Graph)
+        .query(
+            "EVALUATE PROBABILITY OF {
+               FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+             } ASSIGNING EACH leaf_node $y { DEFAULT : SET 0.5 }",
+        )
+        .unwrap()
+        .annotated
+        .unwrap();
+    let ev = out
+        .annotation_of("O", &tup!["cn2"])
+        .unwrap()
+        .as_event()
+        .unwrap();
+    let p = proql_semiring::event_probability(ev, &|_| 0.5).unwrap();
+    assert!((p - 0.25).abs() < 1e-9);
+}
+
+#[test]
+fn q10_confidentiality_levels() {
+    let out = engine(Strategy::Graph)
+        .query(
+            "EVALUATE CONFIDENTIALITY OF {
+               FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x
+             } ASSIGNING EACH leaf_node $y {
+               CASE $y in A : SET topsecret
+               DEFAULT : SET public
+             }",
+        )
+        .unwrap()
+        .annotated
+        .unwrap();
+    for row in &out.rows {
+        assert_eq!(row.annotation, Annotation::Level(SecurityLevel::TopSecret));
+    }
+}

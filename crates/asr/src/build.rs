@@ -170,13 +170,28 @@ fn materialize(sys: &mut ProvenanceSystem, def: AsrDefinition) -> Result<BuiltAs
         else {
             continue; // statically contradictory constants: no rows
         };
-        branch_plans.push(segment_plan(sys, &specs, &pair_eqs, &spans, columns.len(), i, j)?);
+        branch_plans.push(segment_plan(
+            sys,
+            &specs,
+            &pair_eqs,
+            &spans,
+            columns.len(),
+            i,
+            j,
+        )?);
         if j > i {
-            seg_patterns.push(SegPattern { range: (i, j), pattern, head_terms });
+            seg_patterns.push(SegPattern {
+                range: (i, j),
+                pattern,
+                head_terms,
+            });
         }
     }
 
-    let union = Plan::Union { inputs: branch_plans, distinct: true };
+    let union = Plan::Union {
+        inputs: branch_plans,
+        distinct: true,
+    };
     let rel = execute(&sys.db, &union)?;
 
     // Create and fill the table: all columns, all-key (rows are identities).
@@ -220,7 +235,13 @@ fn materialize(sys: &mut ProvenanceSystem, def: AsrDefinition) -> Result<BuiltAs
         }
     }
 
-    Ok(BuiltAsr { def, columns, spans, seg_patterns, rows })
+    Ok(BuiltAsr {
+        def,
+        columns,
+        spans,
+        seg_patterns,
+        rows,
+    })
 }
 
 /// The join equalities between consecutive provenance relations: the key of
@@ -331,7 +352,10 @@ fn segment_plan(
         let mut left_keys = Vec::new();
         let mut right_keys = Vec::new();
         for (l, r) in &pair_eqs[t - 1] {
-            match (term_col(l, t - 1, specs, &offsets, 0), term_col(r, t, specs, &offsets, acc_width)) {
+            match (
+                term_col(l, t - 1, specs, &offsets, 0),
+                term_col(r, t, specs, &offsets, acc_width),
+            ) {
                 (TermCol::Col(lc), TermCol::Col(rc)) => {
                     left_keys.push(lc);
                     right_keys.push(rc - acc_width);

@@ -79,9 +79,10 @@ mod tests {
         let rewritten = translate(&sys, &q, Some(&reg), &TranslateOptions::default()).unwrap();
         assert_eq!(plain.rules.len(), rewritten.rules.len());
         // Some rule had both P_m5 and P_m1 and now references the ASR.
-        let uses_asr = rewritten.rules.iter().any(|r| {
-            r.atoms.iter().any(|a| a.relation == "ASR_complete_m5_m1")
-        });
+        let uses_asr = rewritten
+            .rules
+            .iter()
+            .any(|r| r.atoms.iter().any(|a| a.relation == "ASR_complete_m5_m1"));
         assert!(uses_asr, "no rule was rewritten to use the ASR");
         // Rewritten rules never contain P_m5 and P_m1 together.
         for r in &rewritten.rules {
@@ -103,9 +104,11 @@ mod tests {
         plain_engine.options.strategy = Strategy::Unfold;
         let plain = plain_engine.query(q).unwrap();
 
-        let mut opts = EngineOptions::default();
-        opts.strategy = Strategy::Unfold;
-        opts.rewriter = Some(Arc::new(reg));
+        let opts = EngineOptions {
+            strategy: Strategy::Unfold,
+            rewriter: Some(Arc::new(reg)),
+            ..Default::default()
+        };
         let mut asr_engine = Engine::with_options(sys, opts);
         let with_asr = asr_engine.query(q).unwrap();
 
@@ -128,9 +131,11 @@ mod tests {
         plain_engine.options.strategy = Strategy::Unfold;
         let plain = plain_engine.query(q).unwrap().annotated.unwrap();
 
-        let mut opts = EngineOptions::default();
-        opts.strategy = Strategy::Unfold;
-        opts.rewriter = Some(Arc::new(reg));
+        let opts = EngineOptions {
+            strategy: Strategy::Unfold,
+            rewriter: Some(Arc::new(reg)),
+            ..Default::default()
+        };
         let mut asr_engine = Engine::with_options(sys, opts);
         let with_asr = asr_engine.query(q).unwrap().annotated.unwrap();
 
@@ -145,10 +150,7 @@ mod tests {
     #[test]
     fn non_matching_bodies_unchanged() {
         let (_, reg) = registry(AsrKind::Complete);
-        let body = vec![Atom::new(
-            "P_m4",
-            vec![proql_datalog::ast::Term::var("x")],
-        )];
+        let body = vec![Atom::new("P_m4", vec![proql_datalog::ast::Term::var("x")])];
         let out = reg.rewrite(body.clone()).unwrap();
         assert_eq!(out, body);
     }

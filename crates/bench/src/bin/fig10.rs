@@ -24,7 +24,11 @@ fn main() {
     );
     for &peers in &peer_steps {
         for (name, topo, cfg) in [
-            ("chain", Topology::Chain, CdssConfig::upstream_data(peers, 2, base)),
+            (
+                "chain",
+                Topology::Chain,
+                CdssConfig::upstream_data(peers, 2, base),
+            ),
             (
                 "branched",
                 Topology::Branched,

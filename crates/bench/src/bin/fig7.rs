@@ -2,10 +2,16 @@
 //! varying length with data at **every** peer (the stress test). Expected
 //! shape: the number of unfolded rules, unfolding time, and evaluation
 //! time all grow exponentially with the number of peers.
+//!
+//! Each configuration is measured under the columnar batch executor and
+//! the legacy nested-loop baseline; with `PROQL_JSON=1` one JSON line per
+//! (peers, mode) is printed plus a `speedup` line, giving future PRs a
+//! machine-readable perf trajectory.
 
 use proql::engine::EngineOptions;
-use proql_bench::{banner, build_timed, measure_target_query, scaled};
+use proql_bench::{banner, build_timed, json_output, json_str, measure_target_query, scaled};
 use proql_cdss::topology::{CdssConfig, Topology};
+use proql_storage::ExecMode;
 
 fn main() {
     banner(
@@ -15,16 +21,57 @@ fn main() {
     let base = scaled(100, 1000);
     let max_peers = scaled(6, 8);
     println!(
-        "{:>6} {:>12} {:>14} {:>14} {:>10}",
-        "peers", "rules", "unfold (s)", "eval (s)", "bindings"
+        "{:>6} {:>12} {:>12} {:>14} {:>14} {:>10}",
+        "peers", "mode", "rules", "unfold (s)", "eval (s)", "bindings"
     );
     for peers in 2..=max_peers {
         let cfg = CdssConfig::all_data(peers, base);
         let (sys, _) = build_timed(Topology::Chain, &cfg);
-        let m = measure_target_query(&sys, EngineOptions::default());
+        let mut batch_eval = 0.0;
+        let mut nested_eval = 0.0;
+        for (name, mode) in [
+            ("batch", ExecMode::Batch),
+            ("nestedloop", ExecMode::NestedLoop),
+        ] {
+            let opts = EngineOptions {
+                exec_mode: mode,
+                ..Default::default()
+            };
+            let m = measure_target_query(&sys, opts);
+            match mode {
+                ExecMode::Batch => batch_eval = m.eval_s,
+                _ => nested_eval = m.eval_s,
+            }
+            println!(
+                "{:>6} {:>12} {:>12} {:>14.4} {:>14.4} {:>10}",
+                peers, name, m.rules, m.unfold_s, m.eval_s, m.bindings
+            );
+            if json_output() {
+                println!(
+                    "{}",
+                    m.to_json(&[
+                        format!("\"fig\": {}", json_str("fig7")),
+                        format!("\"peers\": {peers}"),
+                        format!("\"mode\": {}", json_str(name)),
+                    ])
+                );
+            }
+        }
+        let speedup = if batch_eval > 0.0 {
+            nested_eval / batch_eval
+        } else {
+            0.0
+        };
         println!(
-            "{:>6} {:>12} {:>14.4} {:>14.4} {:>10}",
-            peers, m.rules, m.unfold_s, m.eval_s, m.bindings
+            "{:>6} {:>12} speedup batch vs nested-loop: {speedup:.2}x",
+            peers, ""
         );
+        if json_output() {
+            println!(
+                "{{\"fig\": {}, \"peers\": {peers}, \"batch_eval_s\": {batch_eval:.6}, \
+                 \"nestedloop_eval_s\": {nested_eval:.6}, \"speedup\": {speedup:.3}}}",
+                json_str("fig7_speedup")
+            );
+        }
     }
 }

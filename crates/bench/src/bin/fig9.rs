@@ -1,9 +1,12 @@
 //! Figure 9 — chain and branched topologies of 20 peers, varying base size
 //! (tuples per data peer). Expected shape: instance size and query
 //! processing time grow **linearly** with base size.
+//!
+//! With `PROQL_JSON=1` one JSON line per configuration is printed
+//! (machine-readable perf trajectory for future PRs).
 
 use proql::engine::EngineOptions;
-use proql_bench::{banner, build_timed, measure_target_query, scaled};
+use proql_bench::{banner, build_timed, json_output, json_str, measure_target_query, scaled};
 use proql_cdss::topology::{CdssConfig, Topology};
 
 fn main() {
@@ -23,7 +26,11 @@ fn main() {
     );
     for &base in &steps {
         for (name, topo, data) in [
-            ("chain", Topology::Chain, CdssConfig::upstream_data(peers, 2, base)),
+            (
+                "chain",
+                Topology::Chain,
+                CdssConfig::upstream_data(peers, 2, base),
+            ),
             (
                 "branched",
                 Topology::Branched,
@@ -40,6 +47,16 @@ fn main() {
                 m.instance_rows,
                 m.rules
             );
+            if json_output() {
+                println!(
+                    "{}",
+                    m.to_json(&[
+                        format!("\"fig\": {}", json_str("fig9")),
+                        format!("\"base\": {base}"),
+                        format!("\"topology\": {}", json_str(name)),
+                    ])
+                );
+            }
         }
     }
 }

@@ -28,6 +28,10 @@ pub struct Measurement {
     pub instance_rows: usize,
     /// Generated SQL bytes (the paper's DB2 size-limit proxy).
     pub sql_bytes: usize,
+    /// Result rows across all executed rules.
+    pub rows: usize,
+    /// Join operators across all executed plans.
+    pub joins: usize,
 }
 
 impl Measurement {
@@ -35,11 +39,55 @@ impl Measurement {
     pub fn total_s(&self) -> f64 {
         self.unfold_s + self.eval_s
     }
+
+    /// Render as one JSON object (hand-rolled; the build environment has no
+    /// registry access, so no serde). `extra` is a list of already-encoded
+    /// `"key": value` fragments prepended to the object.
+    pub fn to_json(&self, extra: &[String]) -> String {
+        let mut fields = extra.to_vec();
+        fields.push(format!("\"unfold_s\": {:.6}", self.unfold_s));
+        fields.push(format!("\"eval_s\": {:.6}", self.eval_s));
+        fields.push(format!("\"total_s\": {:.6}", self.total_s()));
+        fields.push(format!("\"rules\": {}", self.rules));
+        fields.push(format!("\"bindings\": {}", self.bindings));
+        fields.push(format!("\"instance_rows\": {}", self.instance_rows));
+        fields.push(format!("\"sql_bytes\": {}", self.sql_bytes));
+        fields.push(format!("\"rows\": {}", self.rows));
+        fields.push(format!("\"joins\": {}", self.joins));
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+/// `true` when machine-readable JSON lines should be printed alongside the
+/// human tables (`PROQL_JSON=1`). Future PRs diff these for the perf
+/// trajectory.
+pub fn json_output() -> bool {
+    std::env::var("PROQL_JSON")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// JSON string literal escaping for the hand-rolled encoder.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// `true` when `PROQL_SCALE=full` (run the paper's original sizes).
 pub fn full_scale() -> bool {
-    std::env::var("PROQL_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("PROQL_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// Pick `quick` normally, `full` under `PROQL_SCALE=full`.
@@ -52,7 +100,8 @@ pub fn scaled(quick: usize, full: usize) -> usize {
 }
 
 /// Run the target query with the unfold strategy, returning a measurement.
-/// `options` lets callers attach an ASR rewriter.
+/// `options` lets callers attach an ASR rewriter or pick an executor
+/// ([`proql_storage::ExecMode`]) for batch-vs-baseline ablations.
 pub fn measure_target_query(sys: &ProvenanceSystem, options: EngineOptions) -> Measurement {
     let mut opts = options;
     opts.strategy = Strategy::Unfold;
@@ -66,6 +115,8 @@ pub fn measure_target_query(sys: &ProvenanceSystem, options: EngineOptions) -> M
         bindings: out.projection.bindings.len(),
         instance_rows,
         sql_bytes: out.stats.sql_bytes,
+        rows: out.projection.metrics.rows,
+        joins: out.stats.total_joins,
     }
 }
 
@@ -86,6 +137,64 @@ pub fn banner(title: &str, paper: &str) {
     println!();
 }
 
+/// Shared driver for the ASR experiments (Figures 11–13): measure the
+/// target query without ASRs and then with each ASR type at each maximum
+/// path length, printing one row per configuration.
+pub fn asr_sweep(topology: Topology, cfg: &CdssConfig, lengths: &[usize]) {
+    use proql_asr::{advise, AsrKind, AsrRegistry};
+    use std::sync::Arc;
+
+    let (sys, _) = build_timed(topology, cfg);
+    let baseline = measure_target_query(&sys, EngineOptions::default());
+    println!(
+        "{:>10} {:>8} {:>14} {:>12} {:>12}",
+        "type", "len", "total (s)", "rules", "asr rows"
+    );
+    println!(
+        "{:>10} {:>8} {:>14.4} {:>12} {:>12}",
+        "none",
+        "-",
+        baseline.total_s(),
+        baseline.rules,
+        0
+    );
+    for kind in [
+        AsrKind::Complete,
+        AsrKind::Subpath,
+        AsrKind::Prefix,
+        AsrKind::Suffix,
+    ] {
+        for &len in lengths {
+            let mut sys2 = sys.clone();
+            let mut reg = AsrRegistry::new();
+            let defs = advise(&sys2, "R0a", len, kind);
+            for d in defs {
+                if let Err(e) = reg.build(&mut sys2, d) {
+                    eprintln!("   (skipping ASR: {e})");
+                }
+            }
+            let rows = reg.total_rows();
+            let opts = EngineOptions {
+                rewriter: Some(Arc::new(reg)),
+                ..Default::default()
+            };
+            let m = measure_target_query(&sys2, opts);
+            assert_eq!(
+                m.bindings, baseline.bindings,
+                "ASR rewriting must not change results"
+            );
+            println!(
+                "{:>10} {:>8} {:>14.4} {:>12} {:>12}",
+                kind.name(),
+                len,
+                m.total_s(),
+                m.rules,
+                rows
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,57 +213,5 @@ mod tests {
     fn scaled_respects_env_default() {
         std::env::remove_var("PROQL_SCALE");
         assert_eq!(scaled(3, 100), 3);
-    }
-}
-
-/// Shared driver for the ASR experiments (Figures 11–13): measure the
-/// target query without ASRs and then with each ASR type at each maximum
-/// path length, printing one row per configuration.
-pub fn asr_sweep(topology: Topology, cfg: &CdssConfig, lengths: &[usize]) {
-    use proql_asr::{advise, AsrKind, AsrRegistry};
-    use std::sync::Arc;
-
-    let (sys, _) = build_timed(topology, cfg);
-    let baseline = measure_target_query(&sys, EngineOptions::default());
-    println!(
-        "{:>10} {:>8} {:>14} {:>12} {:>12}",
-        "type", "len", "total (s)", "rules", "asr rows"
-    );
-    println!(
-        "{:>10} {:>8} {:>14.4} {:>12} {:>12}",
-        "none", "-", baseline.total_s(), baseline.rules, 0
-    );
-    for kind in [
-        AsrKind::Complete,
-        AsrKind::Subpath,
-        AsrKind::Prefix,
-        AsrKind::Suffix,
-    ] {
-        for &len in lengths {
-            let mut sys2 = sys.clone();
-            let mut reg = AsrRegistry::new();
-            let defs = advise(&sys2, "R0a", len, kind);
-            for d in defs {
-                if let Err(e) = reg.build(&mut sys2, d) {
-                    eprintln!("   (skipping ASR: {e})");
-                }
-            }
-            let rows = reg.total_rows();
-            let mut opts = EngineOptions::default();
-            opts.rewriter = Some(Arc::new(reg));
-            let m = measure_target_query(&sys2, opts);
-            assert_eq!(
-                m.bindings, baseline.bindings,
-                "ASR rewriting must not change results"
-            );
-            println!(
-                "{:>10} {:>8} {:>14.4} {:>12} {:>12}",
-                kind.name(),
-                len,
-                m.total_s(),
-                m.rules,
-                rows
-            );
-        }
     }
 }

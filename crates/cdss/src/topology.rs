@@ -46,7 +46,13 @@ pub struct CdssConfig {
 impl CdssConfig {
     /// A chain/branched setting with data at the `data_peers` listed.
     pub fn new(peers: usize, data_peers: Vec<usize>, base_size: usize) -> Self {
-        CdssConfig { peers, data_peers, base_size, seed: 0xC0FFEE, attrs: 25 }
+        CdssConfig {
+            peers,
+            data_peers,
+            base_size,
+            seed: 0xC0FFEE,
+            attrs: 25,
+        }
     }
 
     /// Data at every peer (the paper's Figure 7 stress test).
@@ -142,11 +148,8 @@ mod tests {
     fn branched_exchange_merges_branches() {
         // 7-peer tree, data at the four leaves with the same key space:
         // target gets base_size tuples (set semantics dedups).
-        let sys = build_system(
-            Topology::Branched,
-            &CdssConfig::new(7, vec![3, 4, 5, 6], 4),
-        )
-        .unwrap();
+        let sys =
+            build_system(Topology::Branched, &CdssConfig::new(7, vec![3, 4, 5, 6], 4)).unwrap();
         assert_eq!(sys.db.table("R0a").unwrap().len(), 4);
     }
 

@@ -42,15 +42,15 @@ pub fn delete_local(
     // derivation disappeared with the view row; tuples whose annotation
     // drops to `false` — or that have no derivations left at all — must go.
     let graph = ProvGraph::from_system(sys)?;
-    let assign = Assignment::default_for(SemiringKind::Derivability)
-        .with_dangling(Annotation::Bool(false));
+    let assign =
+        Assignment::default_for(SemiringKind::Derivability).with_dangling(Annotation::Bool(false));
     let values = evaluate(&graph, &assign)?;
 
     let mut stats = DeleteStats::default();
     let mut dead: HashSet<(String, Tuple)> = HashSet::new();
     for t in graph.tuple_ids() {
-        let derivable = values.get(&t) == Some(&Annotation::Bool(true))
-            && !graph.derivations_of(t).is_empty();
+        let derivable =
+            values.get(&t) == Some(&Annotation::Bool(true)) && !graph.derivations_of(t).is_empty();
         if !derivable {
             let node = graph.tuple(t);
             dead.insert((node.relation.clone(), node.key.clone()));
@@ -74,9 +74,10 @@ pub fn delete_local(
     for spec in specs {
         let rows = sys.db.table(&spec.prov_rel)?.scan();
         for row in rows {
-            let touches_dead = spec.atoms.iter().any(|recipe| {
-                dead.contains(&(recipe.relation.clone(), recipe.key_of(&row)))
-            });
+            let touches_dead = spec
+                .atoms
+                .iter()
+                .any(|recipe| dead.contains(&(recipe.relation.clone(), recipe.key_of(&row))));
             if touches_dead {
                 let keyed = row.clone();
                 if sys
@@ -103,8 +104,8 @@ pub fn remains_derivable(sys: &ProvenanceSystem, relation: &str, key: &Tuple) ->
     if graph.derivations_of(t).is_empty() {
         return Ok(false);
     }
-    let assign = Assignment::default_for(SemiringKind::Derivability)
-        .with_dangling(Annotation::Bool(false));
+    let assign =
+        Assignment::default_for(SemiringKind::Derivability).with_dangling(Annotation::Bool(false));
     let values = evaluate(&graph, &assign)?;
     Ok(values.get(&t) == Some(&Annotation::Bool(true)))
 }
@@ -120,8 +121,7 @@ mod tests {
     fn deleting_sole_base_kills_downstream() {
         // 3-peer chain, data only at peer 2: deleting key 0 at peer 2
         // removes it everywhere.
-        let mut sys =
-            build_system(Topology::Chain, &CdssConfig::new(3, vec![2], 3)).unwrap();
+        let mut sys = build_system(Topology::Chain, &CdssConfig::new(3, vec![2], 3)).unwrap();
         assert!(remains_derivable(&sys, "R0a", &tup![0]).unwrap());
         let stats = delete_local(&mut sys, "R2a", &tup![0]).unwrap();
         // R2a(0), R1a(0), R0a(0) die (the b-side survives? No: the pair
@@ -140,11 +140,7 @@ mod tests {
     fn alternative_derivations_survive_deletion() {
         // Branched: two leaves feed the root with the same keys; deleting
         // one leaf's tuple keeps the root derivable through the other.
-        let mut sys = build_system(
-            Topology::Branched,
-            &CdssConfig::new(3, vec![1, 2], 2),
-        )
-        .unwrap();
+        let mut sys = build_system(Topology::Branched, &CdssConfig::new(3, vec![1, 2], 2)).unwrap();
         delete_local(&mut sys, "R1a", &tup![0]).unwrap();
         assert!(remains_derivable(&sys, "R0a", &tup![0]).unwrap());
         assert!(sys.db.table("R0a").unwrap().get_by_key(&tup![0]).is_some());
@@ -159,7 +155,12 @@ mod tests {
         delete_local(&mut sys, "C", &tup![2, "cn2"]).unwrap();
         assert!(!remains_derivable(&sys, "C", &tup![2, "cn2"]).unwrap());
         assert!(!remains_derivable(&sys, "N", &tup![2, "cn2"]).unwrap());
-        assert!(sys.db.table("O").unwrap().get_by_key(&tup!["cn2"]).is_none());
+        assert!(sys
+            .db
+            .table("O")
+            .unwrap()
+            .get_by_key(&tup!["cn2"])
+            .is_none());
         // Tuples grounded by A survive.
         assert!(remains_derivable(&sys, "O", &tup!["sn1"]).unwrap());
     }

@@ -8,14 +8,13 @@
 //! dense integers so entries sampled at different peers rejoin — giving
 //! tuples multiple alternative derivations, as real shared datasets do.
 
+use proql_common::rng::SplitMix64;
 use proql_common::{Schema, Tuple, Value, ValueType};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator of SWISS-PROT-shaped entries.
 #[derive(Debug)]
 pub struct SwissProtLike {
-    rng: StdRng,
+    rng: SplitMix64,
     attrs: usize,
 }
 
@@ -25,7 +24,10 @@ impl SwissProtLike {
 
     /// New generator with `attrs` non-key attributes (25 in the paper).
     pub fn new(seed: u64, attrs: usize) -> Self {
-        SwissProtLike { rng: StdRng::seed_from_u64(seed), attrs }
+        SwissProtLike {
+            rng: SplitMix64::seed_from_u64(seed),
+            attrs,
+        }
     }
 
     /// Attribute split: the first relation gets `ceil(attrs/2)` attributes,
@@ -70,12 +72,12 @@ impl SwissProtLike {
         ta.push(Value::Int(key));
         for _ in 0..a {
             // "integer hash values for each large string"
-            ta.push(Value::Int(self.rng.gen_range(0..1_000_000_000)));
+            ta.push(Value::Int(self.rng.gen_range_i64(0, 1_000_000_000)));
         }
         let mut tb = Vec::with_capacity(b + 1);
         tb.push(Value::Int(key));
         for _ in 0..b {
-            tb.push(Value::Int(self.rng.gen_range(0..1_000_000_000)));
+            tb.push(Value::Int(self.rng.gen_range_i64(0, 1_000_000_000)));
         }
         (Tuple::new(ta), Tuple::new(tb))
     }

@@ -87,10 +87,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            Error::NotFound("R".into()),
-            Error::NotFound("R".into())
-        );
+        assert_eq!(Error::NotFound("R".into()), Error::NotFound("R".into()));
         assert_ne!(Error::NotFound("R".into()), Error::Schema("R".into()));
     }
 }

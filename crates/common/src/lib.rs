@@ -11,6 +11,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod schema;
 pub mod tuple;
 pub mod value;

@@ -3,12 +3,11 @@
 use crate::error::{Error, Result};
 use crate::tuple::Tuple;
 use crate::value::{Value, ValueType};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// One attribute (column) of a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Attribute {
     /// Column name, unique within the schema.
     pub name: String,
@@ -19,7 +18,10 @@ pub struct Attribute {
 impl Attribute {
     /// Build an attribute.
     pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -29,7 +31,7 @@ impl Attribute {
 /// Keys matter for provenance: the relational encoding of a derivation stores
 /// *keys* of all source and target tuples (paper §4.1), so every relation
 /// participating in a mapping must declare one.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     name: Arc<str>,
     attributes: Arc<[Attribute]>,
@@ -39,11 +41,7 @@ pub struct Schema {
 impl Schema {
     /// Build a schema. `key` lists attribute positions forming the primary
     /// key; it may be empty (key = all attributes, i.e. set semantics).
-    pub fn new(
-        name: impl AsRef<str>,
-        attributes: Vec<Attribute>,
-        key: Vec<usize>,
-    ) -> Result<Self> {
+    pub fn new(name: impl AsRef<str>, attributes: Vec<Attribute>, key: Vec<usize>) -> Result<Self> {
         for &k in &key {
             if k >= attributes.len() {
                 return Err(Error::Schema(format!(
@@ -136,8 +134,7 @@ impl Schema {
                 continue;
             }
             let vt = v.value_type();
-            let compatible = vt == attr.ty
-                || (attr.ty == ValueType::Float && vt == ValueType::Int);
+            let compatible = vt == attr.ty || (attr.ty == ValueType::Float && vt == ValueType::Int);
             if !compatible {
                 return Err(Error::Schema(format!(
                     "type mismatch for {}.{}: expected {}, got {} ({v})",
@@ -250,12 +247,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_attribute() {
-        assert!(Schema::build(
-            "R",
-            &[("a", ValueType::Int), ("a", ValueType::Str)],
-            &[0]
-        )
-        .is_err());
+        assert!(Schema::build("R", &[("a", ValueType::Int), ("a", ValueType::Str)], &[0]).is_err());
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Tuples: fixed-arity sequences of [`Value`]s.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
 use std::sync::Arc;
@@ -11,7 +10,7 @@ use std::sync::Arc;
 /// The payload is an `Arc<[Value]>` so cloning a tuple — which happens
 /// constantly during joins, provenance encoding, and graph construction — is
 /// one atomic increment rather than a deep copy.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tuple {
     values: Arc<[Value]>,
 }
@@ -26,7 +25,9 @@ impl Tuple {
 
     /// The empty tuple (arity 0).
     pub fn empty() -> Self {
-        Tuple { values: Arc::from([]) }
+        Tuple {
+            values: Arc::from([]),
+        }
     }
 
     /// Number of fields.

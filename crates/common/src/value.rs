@@ -5,7 +5,6 @@
 //! hashable, so tuples of values can serve as primary keys, hash-join keys,
 //! and B-tree index keys.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -13,7 +12,7 @@ use std::sync::Arc;
 
 /// The type of a [`Value`]. Used in [`crate::Schema`] attribute declarations
 /// and for type checking Datalog rules and ProQL predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     /// 64-bit signed integer.
     Int,
@@ -44,7 +43,7 @@ impl fmt::Display for ValueType {
 ///
 /// Strings are reference counted (`Arc<str>`) so that copying tuples during
 /// joins and provenance encoding is cheap.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// 64-bit signed integer.
     Int(i64),

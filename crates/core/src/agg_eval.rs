@@ -1,0 +1,330 @@
+//! Semiring evaluation through the batch grouped-aggregation operator.
+//!
+//! The paper evaluates annotation computations in SQL: each tuple's
+//! annotation is the semiring sum (⊕) of its alternative derivations'
+//! values, computed with `GROUP BY target ... SUM/MIN/BOOL_OR` (§4.2.4).
+//! This module reproduces that shape over the in-memory engine: the
+//! projected provenance graph is processed level by level (sources before
+//! targets), and every level's ⊕ runs through
+//! [`proql_storage::batch_exec::batch_aggregate`] — the same columnar
+//! grouped-aggregation operator the relational plans use.
+//!
+//! Supported for the semirings whose ⊕ is a SQL aggregate over a scalar
+//! encoding (derivability/trust → `BOOL_OR`, weight and confidentiality →
+//! `MIN`, counting → `SUM`) on acyclic graphs; other semirings (lineage,
+//! probability, polynomials) and cyclic graphs fall back to the direct
+//! graph walk in `proql-semiring`.
+
+use proql_common::{Error, Result, TupleId, Value};
+use proql_provgraph::{ProvGraph, TupleNode};
+use proql_semiring::eval::leaf_label;
+use proql_semiring::{Annotation, MapFn, SecurityLevel, SemiringKind};
+use proql_storage::batch::{Column, RecordBatch};
+use proql_storage::batch_exec::batch_aggregate;
+use proql_storage::{AggFunc, Aggregate};
+use std::collections::HashMap;
+
+/// Scalar encoding of one semiring into batch columns.
+struct Encoding {
+    agg: fn(usize) -> AggFunc,
+    encode: fn(&Annotation) -> Option<Value>,
+    decode: fn(&Value) -> Option<Annotation>,
+    /// False when a value is too large for the operator's fixed-width
+    /// arithmetic — the whole evaluation then falls back to the direct
+    /// walk, whose checked arithmetic reports overflow as an error.
+    safe: fn(&Annotation) -> bool,
+}
+
+fn always_safe(_: &Annotation) -> bool {
+    true
+}
+
+fn encoding_for(kind: SemiringKind) -> Option<Encoding> {
+    match kind {
+        SemiringKind::Derivability | SemiringKind::Trust => Some(Encoding {
+            agg: AggFunc::BoolOr,
+            encode: |a| a.as_bool().map(Value::Bool),
+            decode: |v| v.as_bool().map(Annotation::Bool),
+            safe: always_safe,
+        }),
+        // ⊕ = min over weights.
+        SemiringKind::Weight => Some(Encoding {
+            agg: AggFunc::Min,
+            encode: |a| match a {
+                Annotation::Weight(w) => Some(Value::Float(*w)),
+                _ => None,
+            },
+            decode: |v| v.as_float().map(Annotation::Weight),
+            safe: always_safe,
+        }),
+        // ⊕ = less_secure = min of the ordinal.
+        SemiringKind::Confidentiality => Some(Encoding {
+            agg: AggFunc::Min,
+            encode: |a| match a {
+                Annotation::Level(l) => Some(Value::Int(*l as i64)),
+                _ => None,
+            },
+            decode: |v| {
+                Some(Annotation::Level(match v.as_int()? {
+                    0 => SecurityLevel::Public,
+                    1 => SecurityLevel::Confidential,
+                    2 => SecurityLevel::Secret,
+                    _ => SecurityLevel::TopSecret,
+                }))
+            },
+            safe: always_safe,
+        }),
+        // ⊕ = + over derivation counts.
+        SemiringKind::Counting => Some(Encoding {
+            agg: AggFunc::Sum,
+            encode: |a| match a {
+                Annotation::Count(c) => Some(Value::Int(*c as i64)),
+                _ => None,
+            },
+            decode: |v| Some(Annotation::Count(v.as_int()?.max(0) as u64)),
+            // The operator sums counts with i64 arithmetic; keep per-value
+            // magnitude small enough (< 2^32) that no realistic row count
+            // (< 2^31 per level) can wrap the i64 sum.
+            safe: |a| matches!(a, Annotation::Count(c) if *c <= u32::MAX as u64),
+        }),
+        SemiringKind::Lineage | SemiringKind::Probability | SemiringKind::Polynomial => None,
+    }
+}
+
+/// Evaluate annotations for every tuple node of `graph`, computing each
+/// level's semiring sums via the batch grouped-aggregation operator.
+///
+/// Returns `Ok(None)` when this strategy does not apply (cyclic graph, or
+/// a semiring without a scalar aggregate encoding); callers fall back to
+/// [`proql_semiring::evaluate`]. When it applies, results are identical to
+/// the direct walk — asserted by property tests.
+pub fn evaluate_via_aggregation(
+    graph: &ProvGraph,
+    kind: SemiringKind,
+    leaf: &dyn Fn(&TupleNode, &str) -> Annotation,
+    map_fn: &dyn Fn(&str) -> MapFn,
+) -> Result<Option<HashMap<TupleId, Annotation>>> {
+    let Some(enc) = encoding_for(kind) else {
+        return Ok(None);
+    };
+    let Some(order) = graph.topo_order() else {
+        return Ok(None);
+    };
+
+    // Assign levels: a tuple's level is one past the deepest source feeding
+    // any of its derivations (base derivations contribute level 0). The
+    // topo order guarantees sources are leveled before their targets.
+    let mut level: Vec<u32> = vec![0; graph.tuple_count()];
+    let mut max_level = 0u32;
+    for &t in &order {
+        let mut lvl = 0;
+        for &d in graph.derivations_of(t) {
+            let node = graph.derivation(d);
+            for s in &node.sources {
+                lvl = lvl.max(level[s.index()] + 1);
+            }
+        }
+        level[t.index()] = lvl;
+        max_level = max_level.max(lvl);
+    }
+    let mut by_level: Vec<Vec<TupleId>> = vec![Vec::new(); max_level as usize + 1];
+    for &t in &order {
+        by_level[level[t.index()] as usize].push(t);
+    }
+
+    let checked_leaf = |tn: &TupleNode| -> Result<Annotation> {
+        let v = leaf(tn, &leaf_label(tn));
+        kind.check_value(&v)?;
+        Ok(v)
+    };
+
+    let mut vals: Vec<Option<Annotation>> = vec![None; graph.tuple_count()];
+    for tuples in &by_level {
+        // One (target, derivation value) row per alternative derivation of
+        // this level's tuples; the grouped aggregation computes every ⊕ of
+        // the level in one operator call.
+        let mut targets: Vec<i64> = Vec::new();
+        let mut deriv_vals: Vec<Value> = Vec::new();
+        for &t in tuples {
+            let derivs = graph.derivations_of(t);
+            if derivs.is_empty() {
+                // Dangling leaf of the projected subgraph.
+                vals[t.index()] = Some(checked_leaf(graph.tuple(t))?);
+                continue;
+            }
+            for &d in derivs {
+                let node = graph.derivation(d);
+                let inner = if node.is_base {
+                    let target = node
+                        .targets
+                        .first()
+                        .ok_or_else(|| Error::Semiring("base derivation without target".into()))?;
+                    checked_leaf(graph.tuple(*target))?
+                } else {
+                    let mut acc = kind.one();
+                    for s in &node.sources {
+                        let sv = vals[s.index()].clone().unwrap_or_else(|| kind.zero());
+                        acc = kind.times(&acc, &sv)?;
+                    }
+                    acc
+                };
+                let mapped = map_fn(&node.mapping).apply(kind, &inner)?;
+                if !(enc.safe)(&mapped) {
+                    // Value too large for the operator's fixed-width sum:
+                    // let the direct walk (checked arithmetic) handle it.
+                    return Ok(None);
+                }
+                let encoded = (enc.encode)(&mapped).ok_or_else(|| {
+                    Error::Semiring(format!(
+                        "annotation {mapped:?} has no scalar encoding in {kind}"
+                    ))
+                })?;
+                targets.push(t.index() as i64);
+                deriv_vals.push(encoded);
+            }
+        }
+        if targets.is_empty() {
+            continue;
+        }
+        let rows = targets.len();
+        let batch = RecordBatch::new(
+            vec!["t".into(), "v".into()],
+            vec![Column::Int(targets), Column::from_value_vec(deriv_vals)],
+            rows,
+        );
+        let summed = batch_aggregate(&batch, &[0], &[Aggregate::new((enc.agg)(1), "sum")], None)?;
+        for row in 0..summed.len() {
+            let t = summed.columns[0]
+                .value(row)
+                .as_int()
+                .expect("group key is the tuple id") as usize;
+            let v = summed.columns[1].value(row);
+            let ann = (enc.decode)(&v)
+                .ok_or_else(|| Error::Semiring(format!("cannot decode aggregate {v} in {kind}")))?;
+            vals[t] = Some(ann);
+        }
+    }
+    Ok(Some(
+        vals.into_iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (TupleId(i as u32), v)))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_provgraph::system::example_2_1;
+    use proql_semiring::{evaluate, Assignment};
+
+    /// Acyclic projection of the running example (base + m4 + m5).
+    fn acyclic_graph() -> ProvGraph {
+        let g = ProvGraph::from_system(&example_2_1().unwrap()).unwrap();
+        let derivs: Vec<_> = g
+            .derivation_ids()
+            .filter(|&d| {
+                let n = g.derivation(d);
+                n.is_base || n.mapping == "m4" || n.mapping == "m5"
+            })
+            .collect();
+        g.project(derivs)
+    }
+
+    fn assert_matches_direct_walk(
+        g: &ProvGraph,
+        kind: SemiringKind,
+        leaf: impl Fn(&TupleNode, &str) -> Annotation + Clone + 'static,
+        map_fn: impl Fn(&str) -> MapFn + Clone + 'static,
+    ) {
+        let via_agg = evaluate_via_aggregation(g, kind, &leaf, &map_fn)
+            .unwrap()
+            .expect("aggregation path applies");
+        let assign = Assignment::default_for(kind)
+            .with_leaf(leaf)
+            .with_map_fn(map_fn);
+        let direct = evaluate(g, &assign).unwrap();
+        assert_eq!(via_agg.len(), direct.len(), "{kind}");
+        for (t, v) in &direct {
+            assert_eq!(
+                via_agg.get(t),
+                Some(v),
+                "{kind}: {}",
+                leaf_label(g.tuple(*t))
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_matches_walk_for_all_scalar_semirings() {
+        let g = acyclic_graph();
+        for kind in [
+            SemiringKind::Derivability,
+            SemiringKind::Trust,
+            SemiringKind::Weight,
+            SemiringKind::Confidentiality,
+            SemiringKind::Counting,
+        ] {
+            let leaf = move |_: &TupleNode, label: &str| kind.default_leaf(label);
+            assert_matches_direct_walk(&g, kind, leaf, |_| MapFn::Identity);
+        }
+    }
+
+    #[test]
+    fn aggregation_respects_leaf_and_mapping_assignments() {
+        let g = acyclic_graph();
+        // Trust: distrust long A tuples and mapping m4 (paper Q7 shape).
+        let leaf = |node: &TupleNode, _: &str| {
+            if node.relation == "A" {
+                let len = node
+                    .values
+                    .as_ref()
+                    .and_then(|v| v.get(2).as_int())
+                    .unwrap_or(0);
+                Annotation::Bool(len < 6)
+            } else {
+                Annotation::Bool(true)
+            }
+        };
+        let map_fn = |m: &str| {
+            if m == "m4" {
+                MapFn::zero(SemiringKind::Trust)
+            } else {
+                MapFn::Identity
+            }
+        };
+        assert_matches_direct_walk(&g, SemiringKind::Trust, leaf, map_fn);
+        // Weight: leaves cost 10/1, m5 adds 2.
+        let leaf = |node: &TupleNode, _: &str| {
+            Annotation::Weight(if node.relation == "A" { 10.0 } else { 1.0 })
+        };
+        let map_fn = |m: &str| {
+            if m == "m5" {
+                MapFn::TimesConst(Annotation::Weight(2.0))
+            } else {
+                MapFn::Identity
+            }
+        };
+        assert_matches_direct_walk(&g, SemiringKind::Weight, leaf, map_fn);
+    }
+
+    #[test]
+    fn cyclic_graphs_are_declined() {
+        let g = ProvGraph::from_system(&example_2_1().unwrap()).unwrap();
+        assert!(g.is_cyclic());
+        let leaf = |_: &TupleNode, l: &str| SemiringKind::Derivability.default_leaf(l);
+        let out =
+            evaluate_via_aggregation(&g, SemiringKind::Derivability, &leaf, &|_| MapFn::Identity)
+                .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn set_semirings_are_declined() {
+        let g = acyclic_graph();
+        let leaf = |_: &TupleNode, l: &str| SemiringKind::Lineage.default_leaf(l);
+        let out = evaluate_via_aggregation(&g, SemiringKind::Lineage, &leaf, &|_| MapFn::Identity)
+            .unwrap();
+        assert!(out.is_none());
+    }
+}

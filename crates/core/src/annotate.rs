@@ -5,9 +5,7 @@ use crate::ast::{Condition, Evaluate, SetValue};
 use crate::exec::ProjectionResult;
 use proql_common::{Error, Result, Tuple, Value};
 use proql_provgraph::{ProvenanceSystem, TupleNode};
-use proql_semiring::{
-    evaluate, Annotation, Assignment, MapFn, SecurityLevel, SemiringKind,
-};
+use proql_semiring::{evaluate, Annotation, Assignment, MapFn, SecurityLevel, SemiringKind};
 use std::collections::{BTreeMap, HashMap};
 
 /// One annotated distinguished node.
@@ -72,21 +70,29 @@ pub fn run_annotation(
     let map_fns: HashMap<String, MapFn> = sys
         .specs()
         .iter()
-        .map(|s| {
-            map_fn_for(spec, kind, &s.mapping).map(|f| (s.mapping.clone(), f))
-        })
+        .map(|s| map_fn_for(spec, kind, &s.mapping).map(|f| (s.mapping.clone(), f)))
         .collect::<Result<_>>()?;
 
-    let assignment = Assignment::default_for(kind)
-        .with_leaf(move |_node, label| {
-            leaf_values
-                .get(label)
-                .cloned()
-                .unwrap_or_else(|| kind.default_leaf(label))
-        })
-        .with_map_fn(move |m| map_fns.get(m).cloned().unwrap_or(MapFn::Identity));
+    let leaf = |_node: &TupleNode, label: &str| {
+        leaf_values
+            .get(label)
+            .cloned()
+            .unwrap_or_else(|| kind.default_leaf(label))
+    };
+    let map_fn = |m: &str| map_fns.get(m).cloned().unwrap_or(MapFn::Identity);
 
-    let values = evaluate(&graph, &assignment)?;
+    // Scalar semirings on acyclic projections evaluate their ⊕-sums through
+    // the batch grouped-aggregation operator (the paper's GROUP BY step);
+    // set-valued semirings and cyclic graphs use the direct graph walk.
+    let values = match crate::agg_eval::evaluate_via_aggregation(&graph, kind, &leaf, &map_fn)? {
+        Some(v) => v,
+        None => {
+            let assignment = Assignment::default_for(kind)
+                .with_leaf(leaf)
+                .with_map_fn(map_fn);
+            evaluate(&graph, &assignment)?
+        }
+    };
 
     let mut rows = Vec::new();
     let mut seen: BTreeMap<(String, String, Tuple), ()> = BTreeMap::new();
@@ -110,7 +116,11 @@ pub fn run_annotation(
             });
         }
     }
-    Ok(AnnotatedResult { semiring: kind, rows, leaf_probs })
+    Ok(AnnotatedResult {
+        semiring: kind,
+        rows,
+        leaf_probs,
+    })
 }
 
 /// Evaluate the leaf CASE ladder for one node. Returns the annotation and,
@@ -144,9 +154,7 @@ fn set_to_leaf(
 ) -> Result<(Annotation, Option<f64>)> {
     match set {
         SetValue::Lit(Value::Bool(b)) => match kind {
-            SemiringKind::Derivability | SemiringKind::Trust => {
-                Ok((Annotation::Bool(*b), None))
-            }
+            SemiringKind::Derivability | SemiringKind::Trust => Ok((Annotation::Bool(*b), None)),
             _ => Err(Error::Query(format!(
                 "boolean SET value is invalid in the {kind} semiring"
             ))),
@@ -158,9 +166,7 @@ fn set_to_leaf(
                 SemiringKind::Counting => Ok((Annotation::Count(f as u64), None)),
                 // Probability: the leaf keeps its event variable; the
                 // number is the base event's probability.
-                SemiringKind::Probability => {
-                    Ok((kind.default_leaf(label), Some(f)))
-                }
+                SemiringKind::Probability => Ok((kind.default_leaf(label), Some(f))),
                 _ => Err(Error::Query(format!(
                     "numeric SET value is invalid in the {kind} semiring"
                 ))),
@@ -168,9 +174,8 @@ fn set_to_leaf(
         }
         SetValue::Lit(Value::Str(s)) => match kind {
             SemiringKind::Confidentiality => {
-                let lvl = SecurityLevel::parse(s).ok_or_else(|| {
-                    Error::Query(format!("unknown confidentiality level {s}"))
-                })?;
+                let lvl = SecurityLevel::parse(s)
+                    .ok_or_else(|| Error::Query(format!("unknown confidentiality level {s}")))?;
                 Ok((Annotation::Level(lvl), None))
             }
             _ => Err(Error::Query(format!(
@@ -178,9 +183,9 @@ fn set_to_leaf(
             ))),
         },
         SetValue::Lit(Value::Null) => Ok((kind.zero(), None)),
-        SetValue::Input | SetValue::InputPlus(_) | SetValue::InputTimes(_) => Err(
-            Error::Query("leaf SET values cannot reference the input variable".into()),
-        ),
+        SetValue::Input | SetValue::InputPlus(_) | SetValue::InputTimes(_) => Err(Error::Query(
+            "leaf SET values cannot reference the input variable".into(),
+        )),
     }
 }
 
@@ -212,7 +217,12 @@ fn leaf_cond_holds(
             check_var(var, leaf_var)?;
             Ok(node.relation == *relation)
         }
-        Condition::AttrCmp { var, attr, op, value } => {
+        Condition::AttrCmp {
+            var,
+            attr,
+            op,
+            value,
+        } => {
             check_var(var, leaf_var)?;
             let schema = sys.db.schema_of(&node.relation)?;
             let Some(pos) = schema.position(attr) else {
@@ -285,7 +295,11 @@ fn map_cond_holds(cond: &Condition, pvar: &str, mapping: &str) -> Result<bool> {
             Ok(false)
         }
         Condition::Not(inner) => Ok(!map_cond_holds(inner, pvar, mapping)?),
-        Condition::MappingIs { var, mapping: m, positive } => {
+        Condition::MappingIs {
+            var,
+            mapping: m,
+            positive,
+        } => {
             check_var(var, pvar)?;
             Ok((m == mapping) == *positive)
         }
@@ -298,9 +312,7 @@ fn map_cond_holds(cond: &Condition, pvar: &str, mapping: &str) -> Result<bool> {
 fn set_to_map_fn(kind: SemiringKind, set: &SetValue, _zvar: &str) -> Result<MapFn> {
     match set {
         SetValue::Input => Ok(MapFn::Identity),
-        SetValue::Lit(Value::Bool(false)) | SetValue::Lit(Value::Null) => {
-            Ok(MapFn::zero(kind))
-        }
+        SetValue::Lit(Value::Bool(false)) | SetValue::Lit(Value::Null) => Ok(MapFn::zero(kind)),
         SetValue::Lit(Value::Bool(true)) => match kind {
             // `SET true` would violate f(0)=0 unless read as the neutral
             // function; the paper's restriction forbids constant-nonzero.
@@ -316,9 +328,7 @@ fn set_to_map_fn(kind: SemiringKind, set: &SetValue, _zvar: &str) -> Result<MapF
             ))),
         },
         SetValue::InputTimes(k) => match kind {
-            SemiringKind::Counting => {
-                Ok(MapFn::TimesConst(Annotation::Count(*k as u64)))
-            }
+            SemiringKind::Counting => Ok(MapFn::TimesConst(Annotation::Count(*k as u64))),
             _ => Err(Error::Query(format!(
                 "`SET $z * k` is only meaningful in the COUNT semiring, not {kind}"
             ))),
@@ -327,9 +337,7 @@ fn set_to_map_fn(kind: SemiringKind, set: &SetValue, _zvar: &str) -> Result<MapF
             let f = v.as_float().expect("numeric");
             match kind {
                 SemiringKind::Weight => Ok(MapFn::TimesConst(Annotation::Weight(f))),
-                SemiringKind::Counting => {
-                    Ok(MapFn::TimesConst(Annotation::Count(f as u64)))
-                }
+                SemiringKind::Counting => Ok(MapFn::TimesConst(Annotation::Count(f as u64))),
                 _ => Err(Error::Query(format!(
                     "numeric mapping SET is invalid in the {kind} semiring"
                 ))),
@@ -337,9 +345,8 @@ fn set_to_map_fn(kind: SemiringKind, set: &SetValue, _zvar: &str) -> Result<MapF
         }
         SetValue::Lit(Value::Str(s)) => match kind {
             SemiringKind::Confidentiality => {
-                let lvl = SecurityLevel::parse(s).ok_or_else(|| {
-                    Error::Query(format!("unknown confidentiality level {s}"))
-                })?;
+                let lvl = SecurityLevel::parse(s)
+                    .ok_or_else(|| Error::Query(format!("unknown confidentiality level {s}")))?;
                 Ok(MapFn::TimesConst(Annotation::Level(lvl)))
             }
             _ => Err(Error::Query(format!(
@@ -469,10 +476,8 @@ mod tests {
             .unwrap()
             .as_event()
             .unwrap();
-        let p = proql_semiring::event_probability(ev, &|e| {
-            *r.leaf_probs.get(e).unwrap_or(&1.0)
-        })
-        .unwrap();
+        let p = proql_semiring::event_probability(ev, &|e| *r.leaf_probs.get(e).unwrap_or(&1.0))
+            .unwrap();
         assert!((p - 0.45).abs() < 1e-9, "p = {p}");
     }
 

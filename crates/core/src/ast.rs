@@ -243,7 +243,10 @@ mod tests {
     #[test]
     fn display_round_trip_shapes() {
         let p = PathExpr {
-            start: NodePattern { relation: Some("O".into()), var: Some("x".into()) },
+            start: NodePattern {
+                relation: Some("O".into()),
+                var: Some("x".into()),
+            },
             steps: vec![
                 (StepPattern::Plus, NodePattern::default()),
                 (
@@ -251,7 +254,10 @@ mod tests {
                         mapping: Some("m1".into()),
                         var: None,
                     }),
-                    NodePattern { relation: Some("A".into()), var: Some("y".into()) },
+                    NodePattern {
+                        relation: Some("A".into()),
+                        var: Some("y".into()),
+                    },
                 ),
             ],
         };
@@ -261,6 +267,10 @@ mod tests {
     #[test]
     fn node_pattern_any() {
         assert!(NodePattern::default().is_any());
-        assert!(!NodePattern { relation: Some("A".into()), var: None }.is_any());
+        assert!(!NodePattern {
+            relation: Some("A".into()),
+            var: None
+        }
+        .is_any());
     }
 }

@@ -2,11 +2,12 @@
 
 use crate::annotate::{run_annotation, AnnotatedResult};
 use crate::ast::Query;
-use crate::exec::{run_projection, run_projection_graph, ProjectionResult};
+use crate::exec::{run_projection_graph, run_projection_with, ProjectionResult};
 use crate::parser::parse_query;
 use crate::translate::{translate, BodyRewriter, TranslateOptions, TranslateStats};
 use proql_common::Result;
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
+use proql_storage::ExecMode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,6 +30,10 @@ pub enum Strategy {
 pub struct EngineOptions {
     /// Execution strategy.
     pub strategy: Strategy,
+    /// Plan executor for the unfold strategy: the columnar batch pipeline
+    /// (default), or the row-at-a-time hash-join / nested-loop baselines
+    /// kept for equivalence testing and ablation benchmarks.
+    pub exec_mode: ExecMode,
     /// Unfolding limits.
     pub translate: TranslateOptions,
     /// Optional rule rewriter (ASR optimization plugs in here).
@@ -39,6 +44,7 @@ impl std::fmt::Debug for EngineOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EngineOptions")
             .field("strategy", &self.strategy)
+            .field("exec_mode", &self.exec_mode)
             .field("translate", &self.translate)
             .field("rewriter", &self.rewriter.as_ref().map(|_| "<dyn>"))
             .finish()
@@ -87,12 +93,20 @@ pub struct Engine {
 impl Engine {
     /// Wrap a provenance system with default options.
     pub fn new(sys: ProvenanceSystem) -> Self {
-        Engine { sys, options: EngineOptions::default(), cached_graph: None }
+        Engine {
+            sys,
+            options: EngineOptions::default(),
+            cached_graph: None,
+        }
     }
 
     /// Wrap with options.
     pub fn with_options(sys: ProvenanceSystem, options: EngineOptions) -> Self {
-        Engine { sys, options, cached_graph: None }
+        Engine {
+            sys,
+            options,
+            cached_graph: None,
+        }
     }
 
     /// Parse and run a ProQL query.
@@ -120,13 +134,16 @@ impl Engine {
                 let translation = translate(
                     &self.sys,
                     q,
-                    self.options.rewriter.as_deref().map(|r| r as &dyn BodyRewriter),
+                    self.options
+                        .rewriter
+                        .as_deref()
+                        .map(|r| r as &dyn BodyRewriter),
                     &self.options.translate,
                 )?;
                 stats.unfold_time = t0.elapsed();
                 stats.translate = translation.stats.clone();
                 let t1 = Instant::now();
-                let proj = run_projection(&self.sys, &translation)?;
+                let proj = run_projection_with(&self.sys, &translation, self.options.exec_mode)?;
                 stats.eval_time = t1.elapsed();
                 stats.total_joins = proj.metrics.total_joins;
                 stats.sql_bytes = proj.metrics.sql_bytes;
@@ -150,7 +167,11 @@ impl Engine {
             Some(spec) => Some(run_annotation(&self.sys, &projection, spec)?),
             None => None,
         };
-        Ok(QueryOutput { projection, annotated, stats })
+        Ok(QueryOutput {
+            projection,
+            annotated,
+            stats,
+        })
     }
 
     /// Invalidate the cached provenance graph (call after new exchanges).

@@ -16,7 +16,10 @@ use proql_common::{Error, Result, Tuple, Value};
 use proql_datalog::ast::Term;
 use proql_datalog::compile::compile_body;
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
-use proql_storage::{execute, explain, optimize::optimize, Expr};
+use proql_storage::batch::{Column, RecordBatch};
+use proql_storage::{
+    execute_batch, execute_with, explain, optimize::optimize_with, ExecMode, Expr,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The result of a graph-projection query: the output subgraph (encoded
@@ -75,22 +78,69 @@ impl ProjectionResult {
     }
 }
 
-/// Execute the unfolded rules of a translation.
+/// Execute the unfolded rules of a translation with the default (batch)
+/// executor.
 pub fn run_projection(
     sys: &ProvenanceSystem,
     translation: &Translation,
 ) -> Result<ProjectionResult> {
+    run_projection_with(sys, translation, ExecMode::Batch)
+}
+
+/// Execute the unfolded rules of a translation under a chosen executor.
+pub fn run_projection_with(
+    sys: &ProvenanceSystem,
+    translation: &Translation,
+    mode: ExecMode,
+) -> Result<ProjectionResult> {
     let mut out = ProjectionResult::default();
     for rule in &translation.rules {
-        run_rule(sys, rule, &translation.return_vars, &mut out)?;
+        run_rule(sys, rule, &translation.return_vars, mode, &mut out)?;
     }
     Ok(out)
+}
+
+/// A resolved output term: either a constant or a reference into a batch
+/// column. Resolving terms once per rule (instead of once per row × term)
+/// is what lets the batch path materialize results column-at-a-time.
+enum Resolved<'a> {
+    Const(Value),
+    Col(&'a Column),
+}
+
+impl Resolved<'_> {
+    fn value(&self, row: usize) -> Value {
+        match self {
+            Resolved::Const(v) => v.clone(),
+            Resolved::Col(c) => c.value(row),
+        }
+    }
+}
+
+fn resolve_term<'a>(
+    term: &Term,
+    batch: &'a RecordBatch,
+    var_cols: &HashMap<String, usize>,
+) -> Result<Resolved<'a>> {
+    match term {
+        Term::Const(v) => Ok(Resolved::Const(v.clone())),
+        Term::Var(v) => {
+            let col = var_cols
+                .get(v)
+                .ok_or_else(|| Error::Query(format!("variable {v} missing from compiled rule")))?;
+            Ok(Resolved::Col(&batch.columns[*col]))
+        }
+        Term::Skolem(..) => Err(Error::Query(
+            "Skolem terms cannot appear in projection output".into(),
+        )),
+    }
 }
 
 fn run_rule(
     sys: &ProvenanceSystem,
     rule: &QueryRule,
     return_vars: &[String],
+    mode: ExecMode,
     out: &mut ProjectionResult,
 ) -> Result<()> {
     let bp = compile_body(&sys.db, &rule.atoms)?;
@@ -98,56 +148,67 @@ fn run_rule(
     if let Some(cond) = &rule.condition {
         plan = plan.filter(cond_to_expr(cond, &bp.var_cols)?);
     }
-    let plan = optimize(plan);
+    let plan = optimize_with(&sys.db, plan);
     out.metrics.rules_executed += 1;
     out.metrics.total_joins += plan.count_joins();
     out.metrics.sql_bytes += explain::sql_len(&plan);
-    let rel = execute(&sys.db, &plan)?;
-    out.metrics.rows += rel.len();
 
-    // Pre-resolve recipes for this rule.
-    let resolve = |term: &Term, row: &Tuple| -> Result<Value> {
-        match term {
-            Term::Const(v) => Ok(v.clone()),
-            Term::Var(v) => {
-                let col = bp.var_cols.get(v).ok_or_else(|| {
-                    Error::Query(format!("variable {v} missing from compiled rule"))
-                })?;
-                Ok(row.get(*col).clone())
-            }
-            Term::Skolem(..) => Err(Error::Query(
-                "Skolem terms cannot appear in projection output".into(),
-            )),
+    // Materialize the rule's result as a columnar batch. The legacy row
+    // executors produce rows that are transposed once here; the batch
+    // executor is columnar end to end.
+    let batch = match mode {
+        ExecMode::Batch => execute_batch(&sys.db, &plan)?,
+        row_mode => {
+            let rel = execute_with(&sys.db, &plan, row_mode)?;
+            RecordBatch::from_rows(rel.names, rel.rows.iter())
         }
     };
+    out.metrics.rows += batch.len();
+    if batch.is_empty() {
+        return Ok(());
+    }
 
-    for row in &rel.rows {
-        for rec in &rule.prov_records {
-            if !rec.output {
-                continue;
-            }
-            let vals: Vec<Value> = rec
-                .terms
-                .iter()
-                .map(|t| resolve(t, row))
-                .collect::<Result<_>>()?;
-            out.derivations
-                .entry(rec.mapping.clone())
-                .or_default()
-                .insert(Tuple::new(vals));
+    // Resolve every output recipe against batch columns once per rule.
+    for rec in &rule.prov_records {
+        if !rec.output {
+            continue;
         }
+        let cols: Vec<Resolved> = rec
+            .terms
+            .iter()
+            .map(|t| resolve_term(t, &batch, &bp.var_cols))
+            .collect::<Result<_>>()?;
+        let target = out.derivations.entry(rec.mapping.clone()).or_default();
+        for row in 0..batch.len() {
+            target.insert(Tuple::new(cols.iter().map(|c| c.value(row)).collect()));
+        }
+    }
+
+    // Bindings: resolve each RETURN variable's key recipe column-wise.
+    let mut binding_cols: Vec<(&String, &str, Vec<Resolved>)> = Vec::new();
+    for v in return_vars {
+        let nb = rule
+            .node_bindings
+            .get(v)
+            .ok_or_else(|| Error::Query(format!("RETURN variable ${v} unbound in rule")))?;
+        let schema = sys.db.schema_of(&nb.relation)?;
+        let cols: Vec<Resolved> = schema
+            .effective_key()
+            .iter()
+            .map(|&pos| resolve_term(&nb.terms[pos], &batch, &bp.var_cols))
+            .collect::<Result<_>>()?;
+        binding_cols.push((v, nb.relation.as_str(), cols));
+    }
+    for row in 0..batch.len() {
         let mut binding = BTreeMap::new();
-        for v in return_vars {
-            let nb = rule.node_bindings.get(v).ok_or_else(|| {
-                Error::Query(format!("RETURN variable ${v} unbound in rule"))
-            })?;
-            let schema = sys.db.schema_of(&nb.relation)?;
-            let key_vals: Vec<Value> = schema
-                .effective_key()
-                .iter()
-                .map(|&pos| resolve(&nb.terms[pos], row))
-                .collect::<Result<_>>()?;
-            binding.insert(v.clone(), (nb.relation.clone(), Tuple::new(key_vals)));
+        for (v, relation, cols) in &binding_cols {
+            binding.insert(
+                (*v).clone(),
+                (
+                    relation.to_string(),
+                    Tuple::new(cols.iter().map(|c| c.value(row)).collect()),
+                ),
+            );
         }
         out.bindings.insert(binding);
     }
@@ -213,10 +274,10 @@ pub fn run_projection_graph(
             }
         }
     }
-    let start_rel = start_rel
-        .ok_or_else(|| Error::Query("graph strategy needs a start relation".into()))?;
-    let start_var = start_var
-        .ok_or_else(|| Error::Query("graph strategy needs a start variable".into()))?;
+    let start_rel =
+        start_rel.ok_or_else(|| Error::Query("graph strategy needs a start relation".into()))?;
+    let start_var =
+        start_var.ok_or_else(|| Error::Query("graph strategy needs a start variable".into()))?;
 
     // Attribute conditions on the start variable filter the roots.
     let attr_conds = collect_attr_conds(proj.where_cond.as_ref(), &start_var)?;
@@ -257,10 +318,7 @@ pub fn run_projection_graph(
     Ok(out)
 }
 
-fn collect_attr_conds(
-    cond: Option<&Condition>,
-    var: &str,
-) -> Result<Vec<(String, CmpOp, Value)>> {
+fn collect_attr_conds(cond: Option<&Condition>, var: &str) -> Result<Vec<(String, CmpOp, Value)>> {
     let mut out = Vec::new();
     let Some(cond) = cond else {
         return Ok(out);
@@ -273,7 +331,12 @@ fn collect_attr_conds(
                 }
                 Ok(())
             }
-            Condition::AttrCmp { var: v, attr, op, value } if v == var => {
+            Condition::AttrCmp {
+                var: v,
+                attr,
+                op,
+                value,
+            } if v == var => {
                 out.push((attr.clone(), *op, value.clone()));
                 Ok(())
             }
@@ -301,7 +364,10 @@ fn attr_conds_hold(
     };
     for (attr, op, lit) in conds {
         let pos = schema.position(attr).ok_or_else(|| {
-            Error::Query(format!("relation {} has no attribute {attr}", node.relation))
+            Error::Query(format!(
+                "relation {} has no attribute {attr}",
+                node.relation
+            ))
         })?;
         let v = values.get(pos);
         let ok = match op {
@@ -344,11 +410,7 @@ mod tests {
     fn q1_returns_all_o_tuples_with_derivations() {
         let (_, r) = project("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x");
         // Four O tuples: sn1, sn2, cn1, cn2.
-        let bound: BTreeSet<&Tuple> = r
-            .bindings
-            .iter()
-            .map(|b| &b.get("x").unwrap().1)
-            .collect();
+        let bound: BTreeSet<&Tuple> = r.bindings.iter().map(|b| &b.get("x").unwrap().1).collect();
         assert_eq!(bound.len(), 4);
         // Output subgraph includes m4, m5 and local derivations.
         assert!(r.derivations.contains_key("m4"));
@@ -360,8 +422,7 @@ mod tests {
 
     #[test]
     fn q2_only_includes_paths_touching_a() {
-        let (_, r) =
-            project("FOR [O $x] <-+ [A $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x");
+        let (_, r) = project("FOR [O $x] <-+ [A $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x");
         assert!(!r.bindings.is_empty());
         // Derivations on A-involving paths: m4 and m5 qualify.
         assert!(r.derivations.contains_key("m4") || r.derivations.contains_key("m5"));
@@ -369,14 +430,8 @@ mod tests {
 
     #[test]
     fn where_filters_bindings() {
-        let (_, r) = project(
-            "FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.h >= 6 RETURN $x",
-        );
-        let bound: BTreeSet<&Tuple> = r
-            .bindings
-            .iter()
-            .map(|b| &b.get("x").unwrap().1)
-            .collect();
+        let (_, r) = project("FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.h >= 6 RETURN $x");
+        let bound: BTreeSet<&Tuple> = r.bindings.iter().map(|b| &b.get("x").unwrap().1).collect();
         // Only O tuples with h = 7 (sn1 and cn1).
         assert_eq!(
             bound,
@@ -393,9 +448,10 @@ mod tests {
         );
         // O(cn2) and C(2,cn2) share provenance (A(2) / C(2,cn2) itself).
         assert!(!r.bindings.is_empty());
-        let has_cn2_pair = r.bindings.iter().any(|b| {
-            b["x"].1 == tup!["cn2"] && b["y"].0 == "C"
-        });
+        let has_cn2_pair = r
+            .bindings
+            .iter()
+            .any(|b| b["x"].1 == tup!["cn2"] && b["y"].0 == "C");
         assert!(has_cn2_pair, "bindings: {:?}", r.bindings);
     }
 
@@ -412,9 +468,10 @@ mod tests {
         // The unfolded route cuts cyclic re-derivations (paper: acyclic
         // focus), so it may see a subset of derivations.
         for (m, rows) in &via_rules.derivations {
-            let graph_rows = via_graph.derivations.get(m).unwrap_or_else(|| {
-                panic!("graph route missing mapping {m}")
-            });
+            let graph_rows = via_graph
+                .derivations
+                .get(m)
+                .unwrap_or_else(|| panic!("graph route missing mapping {m}"));
             assert!(rows.is_subset(graph_rows), "mapping {m}");
         }
     }
@@ -422,10 +479,8 @@ mod tests {
     #[test]
     fn graph_strategy_respects_where() {
         let sys = example_2_1().unwrap();
-        let q = parse_query(
-            "FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.h >= 6 RETURN $x",
-        )
-        .unwrap();
+        let q =
+            parse_query("FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.h >= 6 RETURN $x").unwrap();
         let full = ProvGraph::from_system(&sys).unwrap();
         let r = run_projection_graph(&sys, &full, &q).unwrap();
         assert_eq!(r.bindings.len(), 2);

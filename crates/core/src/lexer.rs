@@ -197,9 +197,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>> {
                         Error::Parse(format!("bad float literal {text}"))
                     })?));
                 } else {
-                    out.push(Tok::Int(text.parse().map_err(|_| {
-                        Error::Parse(format!("bad int literal {text}"))
-                    })?));
+                    out.push(Tok::Int(
+                        text.parse()
+                            .map_err(|_| Error::Parse(format!("bad int literal {text}")))?,
+                    ));
                 }
             }
             c if c.is_alphanumeric() || c == '_' => {

@@ -37,6 +37,7 @@
 //! and optionally evaluated in a semiring ([`annotate`]). [`engine`] ties
 //! it together behind [`Engine`].
 
+pub mod agg_eval;
 pub mod annotate;
 pub mod ast;
 pub mod engine;
@@ -48,6 +49,6 @@ pub mod translate;
 pub use annotate::AnnotatedResult;
 pub use ast::Query;
 pub use engine::{Engine, EngineOptions, QueryOutput, Strategy};
-pub use exec::ProjectionResult;
+pub use exec::{run_projection, run_projection_with, ProjectionResult};
 pub use parser::parse_query;
 pub use translate::{translate, BodyRewriter, QueryRule, TranslateStats, Translation};

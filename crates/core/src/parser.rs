@@ -43,11 +43,7 @@ impl P {
     }
 
     fn err(&self, msg: &str) -> Error {
-        Error::Parse(format!(
-            "{msg} (at token {} = {:?})",
-            self.pos,
-            self.peek()
-        ))
+        Error::Parse(format!("{msg} (at token {} = {:?})", self.pos, self.peek()))
     }
 
     fn eat_tok(&mut self, t: &Tok) -> bool {
@@ -134,11 +130,18 @@ impl P {
                 }
             }
             Ok(Query {
-                evaluate: Some(Evaluate { semiring, leaf_assign, map_assign }),
+                evaluate: Some(Evaluate {
+                    semiring,
+                    leaf_assign,
+                    map_assign,
+                }),
                 projection,
             })
         } else {
-            Ok(Query { evaluate: None, projection: self.projection()? })
+            Ok(Query {
+                evaluate: None,
+                projection: self.projection()?,
+            })
         }
     }
 
@@ -174,7 +177,12 @@ impl P {
         while self.eat_tok(&Tok::Comma) {
             return_vars.push(self.var()?);
         }
-        Ok(Projection { for_paths, where_cond, include_paths, return_vars })
+        Ok(Projection {
+            for_paths,
+            where_cond,
+            include_paths,
+            return_vars,
+        })
     }
 
     fn path_expr(&mut self) -> Result<PathExpr> {
@@ -272,7 +280,12 @@ impl P {
                 let attr = self.ident()?;
                 let op = self.cmp_op()?;
                 let value = self.literal()?;
-                Ok(Condition::AttrCmp { var, attr, op, value })
+                Ok(Condition::AttrCmp {
+                    var,
+                    attr,
+                    op,
+                    value,
+                })
             }
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("in") => {
                 self.pos += 1;
@@ -282,12 +295,20 @@ impl P {
             Some(Tok::Eq) => {
                 self.pos += 1;
                 let mapping = self.ident()?;
-                Ok(Condition::MappingIs { var, mapping, positive: true })
+                Ok(Condition::MappingIs {
+                    var,
+                    mapping,
+                    positive: true,
+                })
             }
             Some(Tok::Ne) => {
                 self.pos += 1;
                 let mapping = self.ident()?;
-                Ok(Condition::MappingIs { var, mapping, positive: false })
+                Ok(Condition::MappingIs {
+                    var,
+                    mapping,
+                    positive: false,
+                })
             }
             _ => Err(self.err("expected `.attr`, `in`, `=`, or `<>` after variable")),
         }
@@ -326,7 +347,11 @@ impl P {
         let var = self.var()?;
         self.expect_tok(&Tok::LBrace)?;
         let (cases, default) = self.case_block()?;
-        Ok(LeafAssign { var, cases, default })
+        Ok(LeafAssign {
+            var,
+            cases,
+            default,
+        })
     }
 
     fn map_assign(&mut self) -> Result<MapAssign> {
@@ -336,7 +361,12 @@ impl P {
         self.expect_tok(&Tok::RParen)?;
         self.expect_tok(&Tok::LBrace)?;
         let (cases, default) = self.case_block()?;
-        Ok(MapAssign { pvar, zvar, cases, default })
+        Ok(MapAssign {
+            pvar,
+            zvar,
+            cases,
+            default,
+        })
     }
 
     fn case_block(&mut self) -> Result<CaseBlock> {
@@ -434,7 +464,10 @@ mod tests {
         let q = parse_query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x").unwrap();
         assert!(q.evaluate.is_none());
         assert_eq!(q.projection.for_paths.len(), 1);
-        assert_eq!(q.projection.for_paths[0].start.relation.as_deref(), Some("O"));
+        assert_eq!(
+            q.projection.for_paths[0].start.relation.as_deref(),
+            Some("O")
+        );
         assert_eq!(q.projection.include_paths.len(), 1);
         assert_eq!(q.projection.return_vars, vec!["x"]);
         assert!(matches!(
@@ -445,10 +478,7 @@ mod tests {
 
     #[test]
     fn parses_q2_with_endpoint_relation() {
-        let q = parse_query(
-            "FOR [O $x] <-+ [A $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x",
-        )
-        .unwrap();
+        let q = parse_query("FOR [O $x] <-+ [A $y] INCLUDE PATH [$x] <-+ [$y] RETURN $x").unwrap();
         let path = &q.projection.for_paths[0];
         assert_eq!(path.steps.len(), 1);
         assert_eq!(path.steps[0].1.relation.as_deref(), Some("A"));

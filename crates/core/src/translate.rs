@@ -167,7 +167,11 @@ pub struct TranslateOptions {
 
 impl Default for TranslateOptions {
     fn default() -> Self {
-        TranslateOptions { max_rules: 200_000, max_depth: 64, max_plus_len: 24 }
+        TranslateOptions {
+            max_rules: 200_000,
+            max_depth: 64,
+            max_plus_len: 24,
+        }
     }
 }
 
@@ -272,11 +276,7 @@ impl<'a> Translator<'a> {
         // path is subsumed by that path's expansion (its relation
         // constraint was already collected); expanding it separately would
         // only add a redundant join with the public relation.
-        let include_vars: Vec<&str> = proj
-            .include_paths
-            .iter()
-            .flat_map(path_vars)
-            .collect();
+        let include_vars: Vec<&str> = proj.include_paths.iter().flat_map(path_vars).collect();
         let all_paths: Vec<(&PathExpr, bool)> = proj
             .for_paths
             .iter()
@@ -396,9 +396,13 @@ impl<'a> Translator<'a> {
             let terms: Vec<Term> = (0..arity).map(|_| Term::var(self.fresh_var())).collect();
             let idx = partial.push_atom(Atom::new(rel.clone(), terms.clone()));
             if let Some(v) = &path.start.var {
-                partial
-                    .nodes
-                    .insert(v.clone(), NodeBinding { relation: rel.clone(), terms });
+                partial.nodes.insert(
+                    v.clone(),
+                    NodeBinding {
+                        relation: rel.clone(),
+                        terms,
+                    },
+                );
             }
             frontier_states.push((partial, idx));
         }
@@ -480,9 +484,7 @@ impl<'a> Translator<'a> {
                                     .map(str::to_string)
                                     .collect();
                                 for m in mappings {
-                                    if self.graph.is_local_mapping(&m)
-                                        || used.contains(&m)
-                                    {
+                                    if self.graph.is_local_mapping(&m) || used.contains(&m) {
                                         continue;
                                     }
                                     if let Some((p2, srcs)) =
@@ -651,8 +653,12 @@ impl<'a> Translator<'a> {
                     debug_assert_eq!(srcs.len(), 1);
                     if coalesce_atoms(self.sys, &mut p2) {
                         self.budget(1)?;
-                        alternatives
-                            .extend(self.close_worklist(p2, pending.clone(), depth + 1, output)?);
+                        alternatives.extend(self.close_worklist(
+                            p2,
+                            pending.clone(),
+                            depth + 1,
+                            output,
+                        )?);
                     }
                 }
             }
@@ -788,9 +794,7 @@ fn coalesce_atoms(sys: &ProvenanceSystem, p: &mut Partial) -> bool {
                     continue;
                 }
                 let key = schema.effective_key();
-                if key.len() < a.arity()
-                    && key.iter().all(|&k| a.terms[k] == b.terms[k])
-                {
+                if key.len() < a.arity() && key.iter().all(|&k| a.terms[k] == b.terms[k]) {
                     action = Some((i, j));
                     break 'outer;
                 }
@@ -854,7 +858,10 @@ fn bind_node(partial: &mut Partial, pattern: &NodePattern, atom_idx: usize) -> R
         } else {
             partial.nodes.insert(
                 v.clone(),
-                NodeBinding { relation: atom.relation, terms: atom.terms },
+                NodeBinding {
+                    relation: atom.relation,
+                    terms: atom.terms,
+                },
             );
         }
     }
@@ -880,10 +887,7 @@ fn path_vars(path: &PathExpr) -> Vec<&str> {
     out
 }
 
-fn collect_relation_constraints(
-    path: &PathExpr,
-    out: &mut HashMap<String, String>,
-) -> Result<()> {
+fn collect_relation_constraints(path: &PathExpr, out: &mut HashMap<String, String>) -> Result<()> {
     let mut add = |var: &Option<String>, rel: &Option<String>| -> Result<()> {
         if let (Some(v), Some(r)) = (var, rel) {
             if let Some(prev) = out.get(v) {
@@ -904,10 +908,7 @@ fn collect_relation_constraints(
     Ok(())
 }
 
-fn collect_where_constraints(
-    cond: &Condition,
-    out: &mut HashMap<String, String>,
-) -> Result<()> {
+fn collect_where_constraints(cond: &Condition, out: &mut HashMap<String, String>) -> Result<()> {
     match cond {
         Condition::And(parts) => {
             for p in parts {
@@ -932,11 +933,7 @@ fn collect_where_constraints(
 
 /// Lower a WHERE condition into a [`VarCond`] for one rule alternative,
 /// folding statically decidable parts.
-fn lower_condition(
-    sys: &ProvenanceSystem,
-    cond: &Condition,
-    partial: &Partial,
-) -> Result<VarCond> {
+fn lower_condition(sys: &ProvenanceSystem, cond: &Condition, partial: &Partial) -> Result<VarCond> {
     Ok(match cond {
         Condition::And(parts) => VarCond::And(
             parts
@@ -951,28 +948,44 @@ fn lower_condition(
                 .collect::<Result<_>>()?,
         ),
         Condition::Not(inner) => VarCond::Not(Box::new(lower_condition(sys, inner, partial)?)),
-        Condition::MappingIs { var, mapping, positive } => {
-            let bound = partial.maps.get(var).ok_or_else(|| {
-                Error::Query(format!("derivation variable ${var} is not bound"))
-            })?;
+        Condition::MappingIs {
+            var,
+            mapping,
+            positive,
+        } => {
+            let bound = partial
+                .maps
+                .get(var)
+                .ok_or_else(|| Error::Query(format!("derivation variable ${var} is not bound")))?;
             VarCond::Lit((bound == mapping) == *positive)
         }
         Condition::InRelation { var, relation } => {
-            let b = partial.nodes.get(var).ok_or_else(|| {
-                Error::Query(format!("tuple variable ${var} is not bound"))
-            })?;
+            let b = partial
+                .nodes
+                .get(var)
+                .ok_or_else(|| Error::Query(format!("tuple variable ${var} is not bound")))?;
             VarCond::Lit(&b.relation == relation)
         }
-        Condition::AttrCmp { var, attr, op, value } => {
-            let b = partial.nodes.get(var).ok_or_else(|| {
-                Error::Query(format!("tuple variable ${var} is not bound"))
-            })?;
+        Condition::AttrCmp {
+            var,
+            attr,
+            op,
+            value,
+        } => {
+            let b = partial
+                .nodes
+                .get(var)
+                .ok_or_else(|| Error::Query(format!("tuple variable ${var} is not bound")))?;
             let schema = sys.db.schema_of(&b.relation)?;
             let pos = schema.position(attr).ok_or_else(|| {
                 Error::Query(format!("relation {} has no attribute {attr}", b.relation))
             })?;
             match &b.terms[pos] {
-                Term::Var(v) => VarCond::Cmp { var: v.clone(), op: *op, value: value.clone() },
+                Term::Var(v) => VarCond::Cmp {
+                    var: v.clone(),
+                    op: *op,
+                    value: value.clone(),
+                },
                 Term::Const(c) => VarCond::Lit(static_cmp(c, *op, value)),
                 Term::Skolem(..) => {
                     return Err(Error::Query(
@@ -1003,7 +1016,13 @@ mod tests {
 
     fn translate_str(q: &str) -> Translation {
         let sys = example_2_1().unwrap();
-        translate(&sys, &parse_query(q).unwrap(), None, &TranslateOptions::default()).unwrap()
+        translate(
+            &sys,
+            &parse_query(q).unwrap(),
+            None,
+            &TranslateOptions::default(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -1053,9 +1072,7 @@ mod tests {
     #[test]
     fn where_mapping_condition_filters_alternatives() {
         // Q3-style: derivations via m1 or m2 only.
-        let t = translate_str(
-            "FOR [$x] <$p [] WHERE $p = m1 OR $p = m2 RETURN $x",
-        );
+        let t = translate_str("FOR [$x] <$p [] WHERE $p = m1 OR $p = m2 RETURN $x");
         assert!(t.stats.rules > 0);
         for rule in &t.rules {
             let m = &rule.mapping_bindings["p"];
@@ -1066,9 +1083,7 @@ mod tests {
 
     #[test]
     fn where_attr_condition_becomes_runtime_filter() {
-        let t = translate_str(
-            "FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.h >= 6 RETURN $x",
-        );
+        let t = translate_str("FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.h >= 6 RETURN $x");
         for rule in &t.rules {
             match rule.condition.as_ref().expect("runtime condition") {
                 VarCond::Cmp { op, value, .. } => {
@@ -1083,9 +1098,8 @@ mod tests {
     #[test]
     fn where_attr_on_constant_column_is_static() {
         // O.animal is the constant true in m4/m5 heads: statically decided.
-        let t = translate_str(
-            "FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.animal = false RETURN $x",
-        );
+        let t =
+            translate_str("FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.animal = false RETURN $x");
         // All alternatives produce animal=true; condition false everywhere.
         assert_eq!(t.stats.rules, 0);
         assert!(t.stats.dropped > 0);
@@ -1093,9 +1107,7 @@ mod tests {
 
     #[test]
     fn q4_common_provenance_joins_on_shared_var() {
-        let t = translate_str(
-            "FOR [O $x] <-+ [$z], [C $y] <-+ [$z] RETURN $x, $y",
-        );
+        let t = translate_str("FOR [O $x] <-+ [$z], [C $y] <-+ [$z] RETURN $x, $y");
         assert!(t.stats.rules > 0);
         for rule in &t.rules {
             // $z bound to a single node shared by both paths.
@@ -1114,7 +1126,10 @@ mod tests {
     fn rule_budget_enforced() {
         let sys = example_2_1().unwrap();
         let q = parse_query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x").unwrap();
-        let opts = TranslateOptions { max_rules: 1, ..Default::default() };
+        let opts = TranslateOptions {
+            max_rules: 1,
+            ..Default::default()
+        };
         assert!(translate(&sys, &q, None, &opts).is_err());
     }
 

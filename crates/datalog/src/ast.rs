@@ -85,7 +85,10 @@ pub struct Atom {
 impl Atom {
     /// Build an atom.
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
-        Atom { relation: relation.into(), terms }
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 
     /// Arity.
@@ -134,7 +137,11 @@ pub struct Rule {
 impl Rule {
     /// Build a single-head rule.
     pub fn new(name: Option<String>, head: Atom, body: Vec<Atom>) -> Self {
-        Rule { name, heads: vec![head], body }
+        Rule {
+            name,
+            heads: vec![head],
+            body,
+        }
     }
 
     /// Build a multi-head rule.
@@ -287,7 +294,11 @@ mod tests {
 
     #[test]
     fn safety_rejects_unbound_head_var() {
-        let r = Rule::new(Some("m9".into()), atom("H", &["z"]), vec![atom("B", &["x"])]);
+        let r = Rule::new(
+            Some("m9".into()),
+            atom("H", &["z"]),
+            vec![atom("B", &["x"])],
+        );
         let err = r.check_safety().unwrap_err();
         assert!(err.to_string().contains("m9"));
         assert!(err.to_string().contains('z'));
@@ -295,10 +306,7 @@ mod tests {
 
     #[test]
     fn safety_rejects_unbound_skolem_arg() {
-        let head = Atom::new(
-            "H",
-            vec![Term::Skolem("f".into(), vec![Term::var("q")])],
-        );
+        let head = Atom::new("H", vec![Term::Skolem("f".into(), vec![Term::var("q")])]);
         let r = Rule::new(None, head, vec![atom("B", &["x"])]);
         assert!(r.check_safety().is_err());
     }
@@ -316,10 +324,7 @@ mod tests {
             atom("C", &["i", "n"]),
             vec![
                 atom("A", &["i", "s", "l"]),
-                Atom::new(
-                    "N",
-                    vec![Term::var("i"), Term::var("n"), Term::cons(false)],
-                ),
+                Atom::new("N", vec![Term::var("i"), Term::var("n"), Term::cons(false)]),
             ],
         );
         assert_eq!(r.to_string(), "m1: C(i, n) :- A(i, s, l), N(i, n, false)");
@@ -328,8 +333,16 @@ mod tests {
     #[test]
     fn program_lookup() {
         let p = Program::new(vec![
-            Rule::new(Some("m1".into()), atom("C", &["x"]), vec![atom("A", &["x"])]),
-            Rule::new(Some("m2".into()), atom("C", &["x"]), vec![atom("B", &["x"])]),
+            Rule::new(
+                Some("m1".into()),
+                atom("C", &["x"]),
+                vec![atom("A", &["x"])],
+            ),
+            Rule::new(
+                Some("m2".into()),
+                atom("C", &["x"]),
+                vec![atom("B", &["x"])],
+            ),
         ]);
         assert!(p.rule_named("m2").is_some());
         assert!(p.rule_named("m3").is_none());

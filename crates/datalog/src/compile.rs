@@ -51,11 +51,7 @@ pub fn compile_body(db: &Database, body: &[Atom]) -> Result<BodyPlan> {
 }
 
 /// [`compile_body`] with options.
-pub fn compile_body_with(
-    db: &Database,
-    body: &[Atom],
-    opts: &CompileOptions,
-) -> Result<BodyPlan> {
+pub fn compile_body_with(db: &Database, body: &[Atom], opts: &CompileOptions) -> Result<BodyPlan> {
     if body.is_empty() {
         return Err(Error::Datalog("cannot compile empty body".into()));
     }
@@ -126,9 +122,7 @@ pub fn compile_body_with(
                 }
                 plan = Some(acc.join(atom_plan, left_keys, right_keys));
                 for (name, pos) in local_vars {
-                    var_cols
-                        .entry(name.to_string())
-                        .or_insert(arity + pos);
+                    var_cols.entry(name.to_string()).or_insert(arity + pos);
                 }
                 arity += atom.arity();
             }
@@ -154,7 +148,11 @@ mod tests {
         db.create_table(
             Schema::build(
                 "A",
-                &[("id", ValueType::Int), ("sn", ValueType::Str), ("len", ValueType::Int)],
+                &[
+                    ("id", ValueType::Int),
+                    ("sn", ValueType::Str),
+                    ("len", ValueType::Int),
+                ],
                 &[0],
             )
             .unwrap(),
@@ -163,7 +161,11 @@ mod tests {
         db.create_table(
             Schema::build(
                 "N",
-                &[("id", ValueType::Int), ("name", ValueType::Str), ("c", ValueType::Bool)],
+                &[
+                    ("id", ValueType::Int),
+                    ("name", ValueType::Str),
+                    ("c", ValueType::Bool),
+                ],
                 &[0, 1],
             )
             .unwrap(),
@@ -196,7 +198,10 @@ mod tests {
         assert_eq!(rel.len(), 1);
         let row = &rel.rows[0];
         assert_eq!(row.get(bp.col("i").unwrap()), &proql_common::Value::Int(1));
-        assert_eq!(row.get(bp.col("n").unwrap()), &proql_common::Value::str("cn1"));
+        assert_eq!(
+            row.get(bp.col("n").unwrap()),
+            &proql_common::Value::str("cn1")
+        );
     }
 
     #[test]
@@ -249,7 +254,11 @@ mod tests {
         db.create_table(
             Schema::build(
                 "A_delta",
-                &[("id", ValueType::Int), ("sn", ValueType::Str), ("len", ValueType::Int)],
+                &[
+                    ("id", ValueType::Int),
+                    ("sn", ValueType::Str),
+                    ("len", ValueType::Int),
+                ],
                 &[0],
             )
             .unwrap(),
@@ -269,8 +278,12 @@ mod tests {
     fn three_way_join_chains() {
         let mut db = db();
         db.create_table(
-            Schema::build("E", &[("src", ValueType::Int), ("dst", ValueType::Int)], &[0, 1])
-                .unwrap(),
+            Schema::build(
+                "E",
+                &[("src", ValueType::Int), ("dst", ValueType::Int)],
+                &[0, 1],
+            )
+            .unwrap(),
         )
         .unwrap();
         db.insert("E", tup![1, 2]).unwrap();
@@ -280,7 +293,13 @@ mod tests {
         let bp = compile_body(&db, &r.body).unwrap();
         let rel = execute(&db, &bp.plan).unwrap();
         assert_eq!(rel.len(), 1);
-        assert_eq!(rel.rows[0].get(bp.col("a").unwrap()), &proql_common::Value::Int(1));
-        assert_eq!(rel.rows[0].get(bp.col("d").unwrap()), &proql_common::Value::Int(4));
+        assert_eq!(
+            rel.rows[0].get(bp.col("a").unwrap()),
+            &proql_common::Value::Int(1)
+        );
+        assert_eq!(
+            rel.rows[0].get(bp.col("d").unwrap()),
+            &proql_common::Value::Int(4)
+        );
     }
 }

@@ -95,13 +95,7 @@ impl<F> FiringHook for F
 where
     F: FnMut(&mut Database, usize, &Rule, &Bindings<'_>) -> Result<()>,
 {
-    fn on_firing(
-        &mut self,
-        db: &mut Database,
-        i: usize,
-        r: &Rule,
-        b: &Bindings<'_>,
-    ) -> Result<()> {
+    fn on_firing(&mut self, db: &mut Database, i: usize, r: &Rule, b: &Bindings<'_>) -> Result<()> {
         self(db, i, r, b)
     }
 }
@@ -231,7 +225,10 @@ fn run_loop(
                 // borrowing query results — rows are owned, so this is just
                 // a loop).
                 for row in &rel.rows {
-                    let bindings = Bindings { row, var_cols: &bp.var_cols };
+                    let bindings = Bindings {
+                        row,
+                        var_cols: &bp.var_cols,
+                    };
                     hook.on_firing(db, rule_index, rule, &bindings)?;
                     stats.firings += 1;
                     for h in &rule.heads {
@@ -327,14 +324,10 @@ mod tests {
     #[test]
     fn multi_head_rules_insert_both() {
         let mut db = edge_db();
-        db.create_table(
-            Schema::build("L", &[("v", ValueType::Int)], &[0]).unwrap(),
-        )
-        .unwrap();
-        db.create_table(
-            Schema::build("R", &[("v", ValueType::Int)], &[0]).unwrap(),
-        )
-        .unwrap();
+        db.create_table(Schema::build("L", &[("v", ValueType::Int)], &[0]).unwrap())
+            .unwrap();
+        db.create_table(Schema::build("R", &[("v", ValueType::Int)], &[0]).unwrap())
+            .unwrap();
         let program = parse_program("L(x), R(y) :- E(x, y)").unwrap();
         run_program(&mut db, &program, &mut NoopHook).unwrap();
         assert_eq!(db.table("L").unwrap().len(), 3);
@@ -345,8 +338,12 @@ mod tests {
     fn skolems_produce_labeled_nulls() {
         let mut db = edge_db();
         db.create_table(
-            Schema::build("S", &[("src", ValueType::Int), ("lbl", ValueType::Str)], &[0, 1])
-                .unwrap(),
+            Schema::build(
+                "S",
+                &[("src", ValueType::Int), ("lbl", ValueType::Str)],
+                &[0, 1],
+            )
+            .unwrap(),
         )
         .unwrap();
         let program = parse_program("S(x, !f(x)) :- E(x, y)").unwrap();
@@ -360,8 +357,12 @@ mod tests {
     fn constants_in_heads() {
         let mut db = edge_db();
         db.create_table(
-            Schema::build("T", &[("v", ValueType::Int), ("flag", ValueType::Bool)], &[0])
-                .unwrap(),
+            Schema::build(
+                "T",
+                &[("v", ValueType::Int), ("flag", ValueType::Bool)],
+                &[0],
+            )
+            .unwrap(),
         )
         .unwrap();
         let program = parse_program("T(x, true) :- E(x, _)").unwrap();
@@ -397,8 +398,12 @@ mod tests {
         db.create_view(
             "Evw",
             proql_storage::Plan::scan("E"),
-            Schema::build("Evw", &[("src", ValueType::Int), ("dst", ValueType::Int)], &[0, 1])
-                .unwrap(),
+            Schema::build(
+                "Evw",
+                &[("src", ValueType::Int), ("dst", ValueType::Int)],
+                &[0, 1],
+            )
+            .unwrap(),
         )
         .unwrap();
         let program = parse_program("Path(x, y) :- Evw(x, y)").unwrap();

@@ -19,10 +19,7 @@ pub type Homomorphism = HashMap<String, Term>;
 /// because the caller removes the matched atoms from the target body.
 /// Returns the variable mapping plus the matched target-atom indices, in
 /// pattern order.
-pub fn find_homomorphism(
-    pattern: &[Atom],
-    target: &[Atom],
-) -> Option<(Homomorphism, Vec<usize>)> {
+pub fn find_homomorphism(pattern: &[Atom], target: &[Atom]) -> Option<(Homomorphism, Vec<usize>)> {
     let mut h = Homomorphism::new();
     let mut used = vec![false; target.len()];
     let mut chosen = Vec::with_capacity(pattern.len());
@@ -90,10 +87,9 @@ fn match_term(pt: &Term, tt: &Term, h: &mut Homomorphism, added: &mut Vec<String
         },
         Term::Const(c) => matches!(tt, Term::Const(d) if c == d),
         Term::Skolem(f, fa) => match tt {
-            Term::Skolem(g, ga) if f == g && fa.len() == ga.len() => fa
-                .iter()
-                .zip(ga)
-                .all(|(x, y)| match_term(x, y, h, added)),
+            Term::Skolem(g, ga) if f == g && fa.len() == ga.len() => {
+                fa.iter().zip(ga).all(|(x, y)| match_term(x, y, h, added))
+            }
             _ => false,
         },
     }

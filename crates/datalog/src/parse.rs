@@ -59,7 +59,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src, pos: 0, fresh: 0 }
+        Parser {
+            src,
+            pos: 0,
+            fresh: 0,
+        }
     }
 
     fn err(&self, msg: &str) -> Error {

@@ -35,8 +35,16 @@ pub fn substitute_atom(subst: &Subst, atom: &Atom) -> Atom {
 pub fn substitute_rule(subst: &Subst, rule: &Rule) -> Rule {
     Rule {
         name: rule.name.clone(),
-        heads: rule.heads.iter().map(|a| substitute_atom(subst, a)).collect(),
-        body: rule.body.iter().map(|a| substitute_atom(subst, a)).collect(),
+        heads: rule
+            .heads
+            .iter()
+            .map(|a| substitute_atom(subst, a))
+            .collect(),
+        body: rule
+            .body
+            .iter()
+            .map(|a| substitute_atom(subst, a))
+            .collect(),
     }
 }
 
@@ -170,10 +178,7 @@ mod tests {
         let h = parse_rule("N(x, y, c) :- B(x, y, c)").unwrap().heads[0].clone();
         let s = unify_atoms(&a, &h).unwrap();
         assert_eq!(apply_term(&s, &Term::var("x")), Term::var("i"));
-        assert_eq!(
-            apply_term(&s, &Term::var("c")),
-            Term::cons(false)
-        );
+        assert_eq!(apply_term(&s, &Term::var("c")), Term::cons(false));
     }
 
     #[test]
@@ -193,10 +198,7 @@ mod tests {
     #[test]
     fn occurs_check_prevents_infinite_terms() {
         let a = Atom::new("R", vec![Term::var("x")]);
-        let b = Atom::new(
-            "R",
-            vec![Term::Skolem("f".into(), vec![Term::var("x")])],
-        );
+        let b = Atom::new("R", vec![Term::Skolem("f".into(), vec![Term::var("x")])]);
         assert!(unify_atoms(&a, &b).is_none());
     }
 
@@ -204,11 +206,17 @@ mod tests {
     fn skolem_unification() {
         let a = Atom::new(
             "R",
-            vec![Term::Skolem("f".into(), vec![Term::var("x"), Term::cons(1)])],
+            vec![Term::Skolem(
+                "f".into(),
+                vec![Term::var("x"), Term::cons(1)],
+            )],
         );
         let b = Atom::new(
             "R",
-            vec![Term::Skolem("f".into(), vec![Term::cons(2), Term::var("y")])],
+            vec![Term::Skolem(
+                "f".into(),
+                vec![Term::cons(2), Term::var("y")],
+            )],
         );
         let s = unify_atoms(&a, &b).unwrap();
         assert_eq!(apply_term(&s, &Term::var("x")), Term::cons(2));

@@ -164,7 +164,10 @@ pub fn spec_for_rule(db: &Database, rule: &Rule) -> Result<ProvSpec> {
             .iter()
             .map(|&kpos| match &atom.terms[kpos] {
                 Term::Var(v) => RecipeTerm::Col(
-                    columns.iter().position(|c| c == v).expect("collected above"),
+                    columns
+                        .iter()
+                        .position(|c| c == v)
+                        .expect("collected above"),
                 ),
                 Term::Const(v) => RecipeTerm::Const(v.clone()),
                 Term::Skolem(..) => unreachable!("rejected above"),
@@ -223,21 +226,33 @@ mod tests {
         db.create_table(
             Schema::build(
                 "A",
-                &[("id", ValueType::Int), ("sn", ValueType::Str), ("len", ValueType::Int)],
+                &[
+                    ("id", ValueType::Int),
+                    ("sn", ValueType::Str),
+                    ("len", ValueType::Int),
+                ],
                 &[0],
             )
             .unwrap(),
         )
         .unwrap();
         db.create_table(
-            Schema::build("C", &[("id", ValueType::Int), ("name", ValueType::Str)], &[0, 1])
-                .unwrap(),
+            Schema::build(
+                "C",
+                &[("id", ValueType::Int), ("name", ValueType::Str)],
+                &[0, 1],
+            )
+            .unwrap(),
         )
         .unwrap();
         db.create_table(
             Schema::build(
                 "N",
-                &[("id", ValueType::Int), ("name", ValueType::Str), ("c", ValueType::Bool)],
+                &[
+                    ("id", ValueType::Int),
+                    ("name", ValueType::Str),
+                    ("c", ValueType::Bool),
+                ],
                 &[0, 1],
             )
             .unwrap(),
@@ -246,7 +261,11 @@ mod tests {
         db.create_table(
             Schema::build(
                 "O",
-                &[("name", ValueType::Str), ("h", ValueType::Int), ("an", ValueType::Bool)],
+                &[
+                    ("name", ValueType::Str),
+                    ("h", ValueType::Int),
+                    ("an", ValueType::Bool),
+                ],
                 &[0],
             )
             .unwrap(),
@@ -264,8 +283,8 @@ mod tests {
         assert_eq!(spec.prov_rel, "P_m1");
         assert_eq!(spec.columns, vec!["i", "n"]);
         assert!(!spec.superfluous); // two source atoms
-        // Recipes: A's key is (i) -> Col(0); N's key (i, n) -> Col(0), Col(1);
-        // target C's key (i, n).
+                                    // Recipes: A's key is (i) -> Col(0); N's key (i, n) -> Col(0), Col(1);
+                                    // target C's key (i, n).
         assert_eq!(spec.atoms.len(), 3);
         assert_eq!(spec.atoms[0].key_recipe, vec![RecipeTerm::Col(0)]);
         assert_eq!(

@@ -12,8 +12,50 @@
 
 use crate::system::ProvenanceSystem;
 use proql_common::{DerivationId, Result, Tuple, TupleId};
-use proql_storage::{execute, Plan};
+use proql_storage::batch::RecordBatch;
+use proql_storage::{execute_batch, Plan};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Compressed-sparse-row adjacency: `targets[offsets[i]..offsets[i+1]]` are
+/// node `i`'s neighbors. Two flat vectors instead of one `Vec` per node —
+/// the layout the bottom-up semiring walk iterates over.
+#[derive(Debug, Clone, Default)]
+struct CsrAdj {
+    offsets: Vec<u32>,
+    targets: Vec<DerivationId>,
+}
+
+impl CsrAdj {
+    /// Counting-sort `edges` (node → derivation) into CSR form. Edge order
+    /// per node is preserved (insertion order, like the old `Vec<Vec<_>>`).
+    fn build(n_nodes: usize, edges: &[(u32, DerivationId)]) -> CsrAdj {
+        let mut counts = vec![0u32; n_nodes + 1];
+        for &(n, _) in edges {
+            counts[n as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![DerivationId(0); edges.len()];
+        for &(n, d) in edges {
+            let pos = cursor[n as usize];
+            targets[pos as usize] = d;
+            cursor[n as usize] += 1;
+        }
+        CsrAdj { offsets, targets }
+    }
+
+    fn neighbors(&self, i: usize) -> &[DerivationId] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+}
 
 /// A tuple node.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,16 +86,26 @@ pub struct DerivationNode {
 }
 
 /// The provenance graph.
+///
+/// Adjacency is kept as flat edge lists while the graph is being built and
+/// frozen into **CSR** (compressed sparse row) form on first traversal —
+/// the semiring evaluator's bottom-up walk then reads two flat vectors
+/// instead of chasing one heap allocation per tuple node. Any mutation
+/// invalidates the frozen form; it is rebuilt lazily.
 #[derive(Debug, Clone, Default)]
 pub struct ProvGraph {
     tuples: Vec<TupleNode>,
     tuple_index: HashMap<(String, Tuple), TupleId>,
     derivations: Vec<DerivationNode>,
     deriv_index: HashMap<(String, Tuple), DerivationId>,
-    /// tuple → derivations *deriving* it (incoming).
-    derived_by: Vec<Vec<DerivationId>>,
-    /// tuple → derivations *consuming* it (outgoing).
-    consumed_by: Vec<Vec<DerivationId>>,
+    /// (tuple, derivation *deriving* it) edge list, build order.
+    derived_edges: Vec<(u32, DerivationId)>,
+    /// (tuple, derivation *consuming* it) edge list, build order.
+    consumed_edges: Vec<(u32, DerivationId)>,
+    /// Frozen incoming adjacency (lazily built).
+    derived_csr: OnceLock<CsrAdj>,
+    /// Frozen outgoing adjacency (lazily built).
+    consumed_csr: OnceLock<CsrAdj>,
 }
 
 impl ProvGraph {
@@ -73,12 +125,7 @@ impl ProvGraph {
     }
 
     /// Intern a tuple node.
-    pub fn add_tuple(
-        &mut self,
-        relation: &str,
-        key: Tuple,
-        values: Option<Tuple>,
-    ) -> TupleId {
+    pub fn add_tuple(&mut self, relation: &str, key: Tuple, values: Option<Tuple>) -> TupleId {
         if let Some(&id) = self.tuple_index.get(&(relation.to_string(), key.clone())) {
             if values.is_some() && self.tuples[id.index()].values.is_none() {
                 self.tuples[id.index()].values = values;
@@ -93,9 +140,25 @@ impl ProvGraph {
             key,
             values,
         });
-        self.derived_by.push(Vec::new());
-        self.consumed_by.push(Vec::new());
+        self.invalidate_csr();
         id
+    }
+
+    /// Drop the frozen adjacency after a mutation; it is rebuilt on the
+    /// next traversal.
+    fn invalidate_csr(&mut self) {
+        self.derived_csr = OnceLock::new();
+        self.consumed_csr = OnceLock::new();
+    }
+
+    fn derived(&self) -> &CsrAdj {
+        self.derived_csr
+            .get_or_init(|| CsrAdj::build(self.tuples.len(), &self.derived_edges))
+    }
+
+    fn consumed(&self) -> &CsrAdj {
+        self.consumed_csr
+            .get_or_init(|| CsrAdj::build(self.tuples.len(), &self.consumed_edges))
     }
 
     /// Add a derivation node (idempotent on (mapping, prov_row)).
@@ -114,11 +177,12 @@ impl ProvGraph {
         let id = DerivationId(self.derivations.len() as u32);
         self.deriv_index.insert(dkey, id);
         for &s in &sources {
-            self.consumed_by[s.index()].push(id);
+            self.consumed_edges.push((s.0, id));
         }
         for &t in &targets {
-            self.derived_by[t.index()].push(id);
+            self.derived_edges.push((t.0, id));
         }
+        self.invalidate_csr();
         self.derivations.push(DerivationNode {
             mapping: mapping.to_string(),
             prov_row,
@@ -146,14 +210,15 @@ impl ProvGraph {
             .copied()
     }
 
-    /// Derivations deriving a tuple (its alternatives — union).
+    /// Derivations deriving a tuple (its alternatives — union). Served
+    /// from the CSR adjacency (built lazily after mutations).
     pub fn derivations_of(&self, id: TupleId) -> &[DerivationId] {
-        &self.derived_by[id.index()]
+        self.derived().neighbors(id.index())
     }
 
     /// Derivations consuming a tuple.
     pub fn consumers_of(&self, id: TupleId) -> &[DerivationId] {
-        &self.consumed_by[id.index()]
+        self.consumed().neighbors(id.index())
     }
 
     /// All tuple ids.
@@ -170,14 +235,14 @@ impl ProvGraph {
     /// only base (`+`) derivations. Leaves are where `ASSIGNING EACH
     /// leaf_node` values plug in.
     pub fn is_leaf(&self, id: TupleId) -> bool {
-        self.derived_by[id.index()]
+        self.derivations_of(id)
             .iter()
             .all(|&d| self.derivations[d.index()].is_base)
     }
 
     /// True iff the tuple is backed by base data (has a `+` derivation).
     pub fn is_base(&self, id: TupleId) -> bool {
-        self.derived_by[id.index()]
+        self.derivations_of(id)
             .iter()
             .any(|&d| self.derivations[d.index()].is_base)
     }
@@ -188,12 +253,12 @@ impl ProvGraph {
     pub fn topo_order(&self) -> Option<Vec<TupleId>> {
         // In-degree of each derivation = #sources not yet emitted;
         // in-degree of each tuple = #derivations not yet emitted.
-        let mut deriv_pending: Vec<usize> = self
-            .derivations
-            .iter()
-            .map(|d| d.sources.len())
-            .collect();
-        let mut tuple_pending: Vec<usize> = self.derived_by.iter().map(Vec::len).collect();
+        let mut deriv_pending: Vec<usize> =
+            self.derivations.iter().map(|d| d.sources.len()).collect();
+        let derived = self.derived();
+        let consumed = self.consumed();
+        let mut tuple_pending: Vec<usize> =
+            (0..self.tuples.len()).map(|i| derived.degree(i)).collect();
         let mut ready: Vec<TupleId> = Vec::new();
         let mut order = Vec::with_capacity(self.tuples.len());
         for (i, &p) in tuple_pending.iter().enumerate() {
@@ -222,7 +287,7 @@ impl ProvGraph {
                 None => break,
                 Some(t) => {
                     order.push(t);
-                    for &d in &self.consumed_by[t.index()] {
+                    for &d in consumed.neighbors(t.index()) {
                         deriv_pending[d.index()] -= 1;
                         if deriv_pending[d.index()] == 0 {
                             deriv_ready.push(d);
@@ -240,21 +305,94 @@ impl ProvGraph {
     }
 
     /// Decode the full provenance graph of a system from its provenance
-    /// relations.
+    /// relations. Each `P_m` relation is scanned through the columnar
+    /// batch executor and decoded column-at-a-time.
     pub fn from_system(sys: &ProvenanceSystem) -> Result<ProvGraph> {
         let mut g = ProvGraph::new();
         for (rule, spec) in sys.program().rules.iter().zip(sys.specs()) {
-            let rows = execute(&sys.db, &Plan::scan(spec.prov_rel.clone()))?.rows;
+            let batch = execute_batch(&sys.db, &Plan::scan(spec.prov_rel.clone()))?;
             let is_base = rule
                 .body
                 .first()
                 .map(|a| sys.is_local_relation(&a.relation))
                 .unwrap_or(false);
-            for row in rows {
-                g.add_derivation_from_row(sys, spec, &row, is_base)?;
-            }
+            g.add_derivations_from_batch(sys, spec, &batch, is_base)?;
         }
         Ok(g)
+    }
+
+    /// Decode a whole batch of provenance rows. Key columns are gathered
+    /// once per atom recipe instead of once per row × term.
+    pub fn add_derivations_from_batch(
+        &mut self,
+        sys: &ProvenanceSystem,
+        spec: &crate::encode::ProvSpec,
+        batch: &RecordBatch,
+        is_base: bool,
+    ) -> Result<()> {
+        use crate::encode::RecipeTerm;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Resolve every recipe term to a column reference or constant once.
+        struct Recipe<'a> {
+            relation: &'a str,
+            is_source: bool,
+            cols: Vec<ResolvedKey<'a>>,
+        }
+        enum ResolvedKey<'a> {
+            Col(&'a proql_storage::batch::Column),
+            Const(&'a proql_common::Value),
+        }
+        let mut recipes: Vec<Recipe> = Vec::with_capacity(spec.atoms.len());
+        for recipe in &spec.atoms {
+            if recipe.is_source && is_base {
+                // Local-contribution source: not a graph node; the `+`
+                // derivation's target carries the base flag.
+                continue;
+            }
+            recipes.push(Recipe {
+                relation: &recipe.relation,
+                is_source: recipe.is_source,
+                cols: recipe
+                    .key_recipe
+                    .iter()
+                    .map(|r| match r {
+                        RecipeTerm::Col(c) => ResolvedKey::Col(&batch.columns[*c]),
+                        RecipeTerm::Const(v) => ResolvedKey::Const(v),
+                    })
+                    .collect(),
+            });
+        }
+        for row in 0..batch.len() {
+            let mut sources = Vec::new();
+            let mut targets = Vec::new();
+            for r in &recipes {
+                let key = Tuple::new(
+                    r.cols
+                        .iter()
+                        .map(|c| match c {
+                            ResolvedKey::Col(col) => col.value(row),
+                            ResolvedKey::Const(v) => (*v).clone(),
+                        })
+                        .collect(),
+                );
+                let values = sys
+                    .db
+                    .table(r.relation)
+                    .ok()
+                    .and_then(|t| t.get_by_key(&key))
+                    .cloned();
+                let id = self.add_tuple(r.relation, key, values);
+                if r.is_source {
+                    sources.push(id);
+                } else {
+                    targets.push(id);
+                }
+            }
+            self.add_derivation(&spec.mapping, batch.row(row), sources, targets, is_base);
+        }
+        Ok(())
     }
 
     /// Decode one provenance row into a derivation node (shared by
@@ -416,8 +554,7 @@ mod tests {
         let order = sub.topo_order().expect("projection is acyclic");
         assert_eq!(order.len(), sub.tuple_count());
         // Sources appear before targets.
-        let pos: HashMap<TupleId, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: HashMap<TupleId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for d in sub.derivation_ids() {
             let n = sub.derivation(d);
             for &s in &n.sources {

@@ -195,10 +195,8 @@ impl SchemaGraph {
                 }
             }
         }
-        let mut rel_names: Vec<String> =
-            rels.iter().map(|&i| self.relations[i].clone()).collect();
-        let mut map_names: Vec<String> =
-            maps.iter().map(|&i| self.mappings[i].clone()).collect();
+        let mut rel_names: Vec<String> = rels.iter().map(|&i| self.relations[i].clone()).collect();
+        let mut map_names: Vec<String> = maps.iter().map(|&i| self.mappings[i].clone()).collect();
         rel_names.sort();
         map_names.sort();
         (rel_names, map_names)

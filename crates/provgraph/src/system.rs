@@ -205,11 +205,7 @@ pub fn example_2_1() -> Result<ProvenanceSystem> {
         &[("id", Int), ("sn", Str), ("len", Int)],
         &[0],
     )?)?;
-    sys.add_relation_with_local(Schema::build(
-        "C",
-        &[("id", Int), ("name", Str)],
-        &[0, 1],
-    )?)?;
+    sys.add_relation_with_local(Schema::build("C", &[("id", Int), ("name", Str)], &[0, 1])?)?;
     sys.add_relation_with_local(Schema::build(
         "N",
         &[("id", Int), ("name", Str), ("canon", Bool)],

@@ -64,10 +64,7 @@ pub type Dnf = BTreeSet<BTreeSet<String>>;
 /// `x + x·y = x`).
 pub fn minimize_dnf(dnf: &Dnf) -> Dnf {
     dnf.iter()
-        .filter(|c| {
-            !dnf.iter()
-                .any(|other| other != *c && other.is_subset(c))
-        })
+        .filter(|c| !dnf.iter().any(|other| other != *c && other.is_subset(c)))
         .cloned()
         .collect()
 }

@@ -48,10 +48,7 @@ impl<'a> Assignment<'a> {
     }
 
     /// Override the leaf assignment.
-    pub fn with_leaf(
-        mut self,
-        f: impl Fn(&TupleNode, &str) -> Annotation + 'a,
-    ) -> Assignment<'a> {
+    pub fn with_leaf(mut self, f: impl Fn(&TupleNode, &str) -> Annotation + 'a) -> Assignment<'a> {
         self.leaf = Box::new(f);
         self
     }
@@ -100,11 +97,16 @@ pub fn evaluate_acyclic(
     evaluate_in_order(graph, assign, &order)
 }
 
+/// Dense value table for the bottom-up walk: tuple id → annotation. Flat
+/// indexing matches the graph's CSR adjacency — the hot loop is two vector
+/// walks, no hashing.
+type DenseVals = Vec<Option<Annotation>>;
+
 fn derivation_value(
     graph: &ProvGraph,
     assign: &Assignment<'_>,
     d: DerivationId,
-    tuple_vals: &HashMap<TupleId, Annotation>,
+    tuple_vals: &DenseVals,
 ) -> Result<Annotation> {
     let node = graph.derivation(d);
     let inner = if node.is_base {
@@ -120,9 +122,8 @@ fn derivation_value(
     } else {
         let mut acc = assign.kind.one();
         for s in &node.sources {
-            let sv = tuple_vals
-                .get(s)
-                .cloned()
+            let sv = tuple_vals[s.index()]
+                .clone()
                 .unwrap_or_else(|| assign.kind.zero());
             acc = assign.kind.times(&acc, &sv)?;
         }
@@ -135,7 +136,7 @@ fn tuple_value(
     graph: &ProvGraph,
     assign: &Assignment<'_>,
     t: TupleId,
-    tuple_vals: &HashMap<TupleId, Annotation>,
+    tuple_vals: &DenseVals,
 ) -> Result<Annotation> {
     let derivs = graph.derivations_of(t);
     if derivs.is_empty() {
@@ -157,17 +158,24 @@ fn tuple_value(
     Ok(acc)
 }
 
+fn to_map(vals: DenseVals) -> HashMap<TupleId, Annotation> {
+    vals.into_iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.map(|v| (TupleId(i as u32), v)))
+        .collect()
+}
+
 fn evaluate_in_order(
     graph: &ProvGraph,
     assign: &Assignment<'_>,
     order: &[TupleId],
 ) -> Result<HashMap<TupleId, Annotation>> {
-    let mut vals: HashMap<TupleId, Annotation> = HashMap::with_capacity(order.len());
+    let mut vals: DenseVals = vec![None; graph.tuple_count()];
     for &t in order {
         let v = tuple_value(graph, assign, t, &vals)?;
-        vals.insert(t, v);
+        vals[t.index()] = Some(v);
     }
-    Ok(vals)
+    Ok(to_map(vals))
 }
 
 fn evaluate_fixpoint(
@@ -183,21 +191,18 @@ fn evaluate_fixpoint(
         )));
     }
     let n = graph.tuple_count() + graph.derivation_count() + 2;
-    let mut vals: HashMap<TupleId, Annotation> = graph
-        .tuple_ids()
-        .map(|t| (t, assign.kind.zero()))
-        .collect();
+    let mut vals: DenseVals = vec![Some(assign.kind.zero()); graph.tuple_count()];
     for _ in 0..n {
         let mut changed = false;
         for t in graph.tuple_ids() {
             let v = tuple_value(graph, assign, t, &vals)?;
-            if vals.get(&t) != Some(&v) {
-                vals.insert(t, v);
+            if vals[t.index()].as_ref() != Some(&v) {
+                vals[t.index()] = Some(v);
                 changed = true;
             }
         }
         if !changed {
-            return Ok(vals);
+            return Ok(to_map(vals));
         }
     }
     Err(Error::Semiring(
@@ -313,9 +318,8 @@ mod tests {
     fn weight_takes_cheapest_path() {
         let g = example_graph();
         // Leaf weights: A tuples cost 10, others cost 1.
-        let assign = Assignment::default_for(SemiringKind::Weight).with_leaf(|node, _| {
-            Annotation::Weight(if node.relation == "A" { 10.0 } else { 1.0 })
-        });
+        let assign = Assignment::default_for(SemiringKind::Weight)
+            .with_leaf(|node, _| Annotation::Weight(if node.relation == "A" { 10.0 } else { 1.0 }));
         let vals = evaluate(&g, &assign).unwrap();
         // O(cn2) via m5 needs A(2) + C(2,cn2): 10 + 1 = 11.
         let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
@@ -328,14 +332,13 @@ mod tests {
     #[test]
     fn confidentiality_levels_combine() {
         let g = example_graph();
-        let assign =
-            Assignment::default_for(SemiringKind::Confidentiality).with_leaf(|node, _| {
-                Annotation::Level(if node.relation == "A" {
-                    SecurityLevel::Secret
-                } else {
-                    SecurityLevel::Public
-                })
-            });
+        let assign = Assignment::default_for(SemiringKind::Confidentiality).with_leaf(|node, _| {
+            Annotation::Level(if node.relation == "A" {
+                SecurityLevel::Secret
+            } else {
+                SecurityLevel::Public
+            })
+        });
         let vals = evaluate(&g, &assign).unwrap();
         // Every O tuple requires some A tuple: at least Secret.
         let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
@@ -374,8 +377,8 @@ mod tests {
     fn untrusted_leaf_breaks_derivability_chain() {
         let g = example_graph();
         // Distrust everything: nothing is derivable as trusted.
-        let assign = Assignment::default_for(SemiringKind::Trust)
-            .with_leaf(|_, _| Annotation::Bool(false));
+        let assign =
+            Assignment::default_for(SemiringKind::Trust).with_leaf(|_, _| Annotation::Bool(false));
         let vals = evaluate(&g, &assign).unwrap();
         for t in g.tuple_ids() {
             assert_eq!(vals[&t], Annotation::Bool(false));
@@ -385,19 +388,17 @@ mod tests {
     #[test]
     fn leaf_type_mismatch_is_error() {
         let g = example_graph();
-        let assign = Assignment::default_for(SemiringKind::Weight)
-            .with_leaf(|_, _| Annotation::Bool(true));
+        let assign =
+            Assignment::default_for(SemiringKind::Weight).with_leaf(|_, _| Annotation::Bool(true));
         assert!(evaluate(&g, &assign).is_err());
     }
 
     #[test]
     fn evaluate_acyclic_rejects_cycles() {
         let g = example_graph();
-        assert!(evaluate_acyclic(
-            &g,
-            &Assignment::default_for(SemiringKind::Derivability)
-        )
-        .is_err());
+        assert!(
+            evaluate_acyclic(&g, &Assignment::default_for(SemiringKind::Derivability)).is_err()
+        );
     }
 
     #[test]

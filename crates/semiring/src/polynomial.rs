@@ -240,10 +240,7 @@ mod tests {
     #[test]
     fn counting_homomorphism() {
         // 2xy + x at x=3, y=2 → 2*3*2 + 3 = 15
-        let p = Polynomial::constant(2)
-            .mul(&x())
-            .mul(&y())
-            .add(&x());
+        let p = Polynomial::constant(2).mul(&x()).mul(&y()).add(&x());
         assert_eq!(p.eval_counting(&|v| if v == "x" { 3 } else { 2 }), 15);
     }
 
@@ -276,7 +273,9 @@ mod tests {
 
     #[test]
     fn monomial_degree_and_mul() {
-        let m = Monomial::var("x").mul(&Monomial::var("x")).mul(&Monomial::var("y"));
+        let m = Monomial::var("x")
+            .mul(&Monomial::var("x"))
+            .mul(&Monomial::var("y"));
         assert_eq!(m.degree(), 3);
         assert_eq!(m.to_string(), "x^2·y");
     }

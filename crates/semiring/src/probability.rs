@@ -14,10 +14,7 @@ use std::collections::BTreeSet;
 /// inclusion–exclusion. `probs` maps base-event names to probabilities;
 /// missing events default to `default_p`. Errors when the DNF has more
 /// than 20 conjuncts (2^20 subsets).
-pub fn event_probability(
-    dnf: &Dnf,
-    probs: &dyn Fn(&str) -> f64,
-) -> Result<f64> {
+pub fn event_probability(dnf: &Dnf, probs: &dyn Fn(&str) -> f64) -> Result<f64> {
     let conjuncts: Vec<&BTreeSet<String>> = dnf.iter().collect();
     let n = conjuncts.len();
     if n == 0 {
@@ -78,10 +75,8 @@ pub fn event_probability_mc(
     };
     let mut hits = 0u32;
     for _ in 0..samples {
-        let world: std::collections::HashMap<&String, bool> = events
-            .iter()
-            .map(|e| (*e, next() < probs(e)))
-            .collect();
+        let world: std::collections::HashMap<&String, bool> =
+            events.iter().map(|e| (*e, next() < probs(e))).collect();
         let sat = dnf
             .iter()
             .any(|conj| conj.iter().all(|e| *world.get(&e).unwrap_or(&false)));

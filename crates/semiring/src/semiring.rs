@@ -119,9 +119,7 @@ impl SemiringKind {
     pub fn plus(&self, a: &Annotation, b: &Annotation) -> Result<Annotation> {
         use Annotation::*;
         Ok(match (self, a, b) {
-            (SemiringKind::Derivability | SemiringKind::Trust, Bool(x), Bool(y)) => {
-                Bool(*x || *y)
-            }
+            (SemiringKind::Derivability | SemiringKind::Trust, Bool(x), Bool(y)) => Bool(*x || *y),
             (SemiringKind::Confidentiality, Level(x), Level(y)) => {
                 // less_secure = min
                 Level(*x.min(y))
@@ -134,11 +132,10 @@ impl SemiringKind {
             (SemiringKind::Probability, Event(x), Event(y)) => {
                 Event(minimize_dnf(&x.union(y).cloned().collect()))
             }
-            (SemiringKind::Counting, Count(x), Count(y)) => {
-                Count(x.checked_add(*y).ok_or_else(|| {
-                    Error::Semiring("derivation count overflow".into())
-                })?)
-            }
+            (SemiringKind::Counting, Count(x), Count(y)) => Count(
+                x.checked_add(*y)
+                    .ok_or_else(|| Error::Semiring("derivation count overflow".into()))?,
+            ),
             (SemiringKind::Polynomial, Poly(x), Poly(y)) => Poly(x.add(y)),
             _ => return Err(type_error(self, a, b, "⊕")),
         })
@@ -148,9 +145,7 @@ impl SemiringKind {
     pub fn times(&self, a: &Annotation, b: &Annotation) -> Result<Annotation> {
         use Annotation::*;
         Ok(match (self, a, b) {
-            (SemiringKind::Derivability | SemiringKind::Trust, Bool(x), Bool(y)) => {
-                Bool(*x && *y)
-            }
+            (SemiringKind::Derivability | SemiringKind::Trust, Bool(x), Bool(y)) => Bool(*x && *y),
             (SemiringKind::Confidentiality, Level(x), Level(y)) => {
                 // more_secure = max
                 Level(*x.max(y))
@@ -173,21 +168,17 @@ impl SemiringKind {
                     Event(minimize_dnf(&out))
                 }
             }
-            (SemiringKind::Counting, Count(x), Count(y)) => {
-                Count(x.checked_mul(*y).ok_or_else(|| {
-                    Error::Semiring("derivation count overflow".into())
-                })?)
-            }
+            (SemiringKind::Counting, Count(x), Count(y)) => Count(
+                x.checked_mul(*y)
+                    .ok_or_else(|| Error::Semiring("derivation count overflow".into()))?,
+            ),
             (SemiringKind::Polynomial, Poly(x), Poly(y)) => Poly(x.mul(y)),
             _ => return Err(type_error(self, a, b, "⊗")),
         })
     }
 
     /// Fold ⊕ over an iterator.
-    pub fn sum<'a>(
-        &self,
-        items: impl IntoIterator<Item = &'a Annotation>,
-    ) -> Result<Annotation> {
+    pub fn sum<'a>(&self, items: impl IntoIterator<Item = &'a Annotation>) -> Result<Annotation> {
         let mut acc = self.zero();
         for x in items {
             acc = self.plus(&acc, x)?;
@@ -211,8 +202,10 @@ impl SemiringKind {
     pub fn check_value(&self, a: &Annotation) -> Result<()> {
         let ok = matches!(
             (self, a),
-            (SemiringKind::Derivability | SemiringKind::Trust, Annotation::Bool(_))
-                | (SemiringKind::Confidentiality, Annotation::Level(_))
+            (
+                SemiringKind::Derivability | SemiringKind::Trust,
+                Annotation::Bool(_)
+            ) | (SemiringKind::Confidentiality, Annotation::Level(_))
                 | (SemiringKind::Weight, Annotation::Weight(_))
                 | (SemiringKind::Lineage, Annotation::Lineage(_))
                 | (SemiringKind::Probability, Annotation::Event(_))
@@ -327,11 +320,7 @@ mod tests {
             let a = k.default_leaf("a");
             let b = k.default_leaf("b");
             let ab = k.times(&a, &b).unwrap();
-            assert_eq!(
-                k.plus(&a, &ab).unwrap(),
-                a,
-                "{k}: a ⊕ (a ⊗ b) must equal a"
-            );
+            assert_eq!(k.plus(&a, &ab).unwrap(), a, "{k}: a ⊕ (a ⊗ b) must equal a");
         }
     }
 
@@ -368,11 +357,13 @@ mod tests {
     fn table_1_counting() {
         let k = SemiringKind::Counting;
         assert_eq!(
-            k.times(&Annotation::Count(2), &Annotation::Count(3)).unwrap(),
+            k.times(&Annotation::Count(2), &Annotation::Count(3))
+                .unwrap(),
             Annotation::Count(6)
         );
         assert_eq!(
-            k.plus(&Annotation::Count(2), &Annotation::Count(3)).unwrap(),
+            k.plus(&Annotation::Count(2), &Annotation::Count(3))
+                .unwrap(),
             Annotation::Count(5)
         );
     }
@@ -419,7 +410,9 @@ mod tests {
     #[test]
     fn type_mismatch_is_error() {
         let k = SemiringKind::Weight;
-        assert!(k.plus(&Annotation::Bool(true), &Annotation::Weight(1.0)).is_err());
+        assert!(k
+            .plus(&Annotation::Bool(true), &Annotation::Weight(1.0))
+            .is_err());
         assert!(k.check_value(&Annotation::Bool(true)).is_err());
         assert!(k.check_value(&Annotation::Weight(1.0)).is_ok());
     }
@@ -461,7 +454,11 @@ mod tests {
     #[test]
     fn sum_and_product_fold() {
         let k = SemiringKind::Counting;
-        let items = vec![Annotation::Count(2), Annotation::Count(3), Annotation::Count(4)];
+        let items = [
+            Annotation::Count(2),
+            Annotation::Count(3),
+            Annotation::Count(4),
+        ];
         assert_eq!(k.sum(items.iter()).unwrap(), Annotation::Count(9));
         assert_eq!(k.product(items.iter()).unwrap(), Annotation::Count(24));
         assert_eq!(k.sum([].iter()).unwrap(), k.zero());

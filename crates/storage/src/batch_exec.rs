@@ -1,0 +1,842 @@
+//! The columnar batch executor.
+//!
+//! Operator-at-a-time evaluation over [`RecordBatch`]es: every plan node
+//! consumes whole batches and produces a whole batch, with vectorized
+//! predicate/projection evaluation ([`crate::batch`]), hash equi-joins with
+//! build-side selection, and hash-based grouped aggregation. Results are
+//! bit-identical to the row executor ([`crate::exec`]) — property tests in
+//! the workspace assert equivalence on randomized instances — but the
+//! columnar layout avoids per-row `Tuple` allocation on the hot provenance
+//! workloads (dense integer `P_m` chains).
+
+use crate::batch::{eval_expr, eval_mask, Column, RecordBatch};
+use crate::database::Database;
+use crate::exec::{join_names, JoinAlgo, Relation, MAX_VIEW_DEPTH};
+use crate::expr::Expr;
+use crate::plan::{AggFunc, Aggregate, BuildSide, JoinType, Plan};
+use proql_common::{Error, Result, Value};
+use std::collections::HashMap;
+
+/// Which executor [`execute_with`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Columnar batch pipeline (the default).
+    #[default]
+    Batch,
+    /// Row-at-a-time with hash joins (the pre-batch executor).
+    Row,
+    /// Row-at-a-time with nested-loop joins (ablation baseline).
+    NestedLoop,
+}
+
+/// Execute `plan` under the selected executor, materializing a row
+/// [`Relation`] either way (callers downstream are row-oriented).
+pub fn execute_with(db: &Database, plan: &Plan, mode: ExecMode) -> Result<Relation> {
+    match mode {
+        ExecMode::Batch => {
+            let batch = execute_batch(db, plan)?;
+            Ok(Relation {
+                names: batch.names.clone(),
+                rows: batch.to_rows(),
+            })
+        }
+        ExecMode::Row => crate::exec::execute_rows(db, plan, JoinAlgo::Hash),
+        ExecMode::NestedLoop => crate::exec::execute_rows(db, plan, JoinAlgo::NestedLoop),
+    }
+}
+
+/// Execute `plan`, producing a columnar batch.
+pub fn execute_batch(db: &Database, plan: &Plan) -> Result<RecordBatch> {
+    exec_inner(db, plan, 0)
+}
+
+fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
+    if depth > MAX_VIEW_DEPTH {
+        return Err(Error::Storage(
+            "view expansion too deep (cyclic view definition?)".into(),
+        ));
+    }
+    match plan {
+        Plan::Scan { table } => {
+            if let Ok(t) = db.table(table) {
+                let names = t
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| a.name.clone())
+                    .collect();
+                Ok(RecordBatch::from_rows(names, t.iter()))
+            } else if let Some(v) = db.view(table) {
+                let mut batch = exec_inner(db, &v.plan, depth + 1)?;
+                let names: Vec<String> = v
+                    .schema
+                    .attributes()
+                    .iter()
+                    .map(|a| a.name.clone())
+                    .collect();
+                if names.len() != batch.arity() {
+                    return Err(Error::Storage(format!(
+                        "view {table} schema arity mismatch"
+                    )));
+                }
+                batch.names = names;
+                Ok(batch)
+            } else {
+                Err(Error::NotFound(format!("relation {table}")))
+            }
+        }
+        Plan::Values { schema, rows } => {
+            let names = schema.attributes().iter().map(|a| a.name.clone()).collect();
+            Ok(RecordBatch::from_rows(names, rows.iter()))
+        }
+        Plan::Filter { input, predicate } => {
+            let batch = exec_inner(db, input, depth)?;
+            let mask = eval_mask(predicate, &batch)?;
+            Ok(batch.filter(&mask))
+        }
+        Plan::Project {
+            input,
+            exprs,
+            names,
+        } => {
+            let batch = exec_inner(db, input, depth)?;
+            if names.len() != exprs.len() {
+                return Err(Error::Storage("project names/exprs length mismatch".into()));
+            }
+            let columns: Vec<Column> = exprs
+                .iter()
+                .map(|e| eval_expr(e, &batch))
+                .collect::<Result<_>>()?;
+            Ok(RecordBatch::new(names.clone(), columns, batch.len()))
+        }
+        Plan::Join {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            build,
+        } => {
+            let l = exec_inner(db, left, depth)?;
+            let r = exec_inner(db, right, depth)?;
+            batch_join(&l, &r, *join_type, left_keys, right_keys, *build)
+        }
+        Plan::Union { inputs, distinct } => {
+            if inputs.is_empty() {
+                return Ok(RecordBatch::empty(vec![]));
+            }
+            let mut acc = exec_inner(db, &inputs[0], depth)?;
+            for p in &inputs[1..] {
+                let batch = exec_inner(db, p, depth)?;
+                if batch.arity() != acc.arity() {
+                    return Err(Error::Storage(format!(
+                        "union arity mismatch: {} vs {}",
+                        acc.arity(),
+                        batch.arity()
+                    )));
+                }
+                let rows = acc.len() + batch.len();
+                let names = std::mem::take(&mut acc.names);
+                let cols = std::mem::take(&mut acc.columns)
+                    .into_iter()
+                    .zip(batch.columns)
+                    .map(|(a, b)| a.append(b))
+                    .collect();
+                acc = RecordBatch::new(names, cols, rows);
+            }
+            if *distinct {
+                acc = batch_distinct(&acc);
+            }
+            Ok(acc)
+        }
+        Plan::Distinct { input } => {
+            let batch = exec_inner(db, input, depth)?;
+            Ok(batch_distinct(&batch))
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => {
+            let batch = exec_inner(db, input, depth)?;
+            batch_aggregate(&batch, group_by, aggs, having.as_ref())
+        }
+        Plan::Sort { input, by } => {
+            let batch = exec_inner(db, input, depth)?;
+            let mut idx: Vec<u32> = (0..batch.len() as u32).collect();
+            idx.sort_by(|&a, &b| {
+                for &c in by {
+                    let col = &batch.columns[c];
+                    let ord = col.value(a as usize).cmp(&col.value(b as usize));
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(batch.gather(&idx))
+        }
+        Plan::Limit { input, n } => {
+            let batch = exec_inner(db, input, depth)?;
+            if batch.len() <= *n {
+                return Ok(batch);
+            }
+            let idx: Vec<u32> = (0..*n as u32).collect();
+            Ok(batch.gather(&idx))
+        }
+        Plan::IndexLookup { .. } => {
+            // Index lookups touch few rows; reuse the row executor's logic
+            // and transpose.
+            let rel = crate::exec::execute(db, plan)?;
+            Ok(RecordBatch::from_rows(rel.names, rel.rows.iter()))
+        }
+    }
+}
+
+/// Hash equi-join over batches. `build` selects the hash-table side;
+/// `Auto` builds on the smaller input.
+fn batch_join(
+    l: &RecordBatch,
+    r: &RecordBatch,
+    join_type: JoinType,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    build: BuildSide,
+) -> Result<RecordBatch> {
+    if left_keys.len() != right_keys.len() {
+        return Err(Error::Storage("join key arity mismatch".into()));
+    }
+    let names = join_names(&l.names, &r.names);
+    let build_left = match build {
+        BuildSide::Left => true,
+        BuildSide::Right => false,
+        BuildSide::Auto => l.len() < r.len(),
+    };
+    let (b, b_keys, p, p_keys) = if build_left {
+        (l, left_keys, r, right_keys)
+    } else {
+        (r, right_keys, l, left_keys)
+    };
+
+    // Build: hash → row indices on the build side (NULL keys never match).
+    let b_hashes = b.key_hashes(b_keys);
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(b.len());
+    for (i, &h) in b_hashes.iter().enumerate() {
+        if b.key_has_null(b_keys, i) {
+            continue;
+        }
+        table.entry(h).or_default().push(i as u32);
+    }
+
+    // Probe: emit (left row, right row) index pairs for matched rows and
+    // collect rows needing NULL padding; final row order is restored to the
+    // row executor's below.
+    let p_hashes = p.key_hashes(p_keys);
+    let mut matched_build = vec![false; b.len()];
+    let mut out_l: Vec<u32> = Vec::new();
+    let mut out_r: Vec<u32> = Vec::new();
+    // Padded rows (the other side gets NULLs) are collected separately.
+    let mut pad_l: Vec<u32> = Vec::new();
+    let mut pad_r: Vec<u32> = Vec::new();
+    let pad_left_rows = matches!(join_type, JoinType::LeftOuter | JoinType::FullOuter);
+    let pad_right_rows = matches!(join_type, JoinType::RightOuter | JoinType::FullOuter);
+    for (pi, &h) in p_hashes.iter().enumerate() {
+        let mut any = false;
+        if !p.key_has_null(p_keys, pi) {
+            if let Some(cands) = table.get(&h) {
+                for &bi in cands {
+                    if p.keys_eq(p_keys, pi, b, b_keys, bi as usize) {
+                        any = true;
+                        matched_build[bi as usize] = true;
+                        if build_left {
+                            out_l.push(bi);
+                            out_r.push(pi as u32);
+                        } else {
+                            out_l.push(pi as u32);
+                            out_r.push(bi);
+                        }
+                    }
+                }
+            }
+        }
+        if !any {
+            // The probe side is left when building right, and vice versa.
+            if build_left {
+                if pad_right_rows {
+                    pad_r.push(pi as u32);
+                }
+            } else if pad_left_rows {
+                pad_l.push(pi as u32);
+            }
+        }
+    }
+    for (bi, &m) in matched_build.iter().enumerate() {
+        if !m {
+            if build_left {
+                if pad_left_rows {
+                    pad_l.push(bi as u32);
+                }
+            } else if pad_right_rows {
+                pad_r.push(bi as u32);
+            }
+        }
+    }
+    // When the build side is the left input, matched pairs were emitted in
+    // probe (= right) major order; restore left-major order so both
+    // executors produce identical row orderings.
+    if build_left && !out_l.is_empty() {
+        let mut perm: Vec<usize> = (0..out_l.len()).collect();
+        perm.sort_by_key(|&i| (out_l[i], out_r[i]));
+        out_l = perm.iter().map(|&i| out_l[i]).collect();
+        out_r = perm.iter().map(|&i| out_r[i]).collect();
+    }
+    pad_l.sort_unstable();
+    pad_r.sort_unstable();
+
+    // Assemble the output in the row executor's exact order: a left-major
+    // merge of matched pairs and NULL-padded unmatched left rows (a left
+    // row is either matched or padded, never both), then unmatched right
+    // rows. `None` gathers as NULL.
+    let total = out_l.len() + pad_l.len() + pad_r.len();
+    let mut fin_l: Vec<Option<u32>> = Vec::with_capacity(total);
+    let mut fin_r: Vec<Option<u32>> = Vec::with_capacity(total);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < out_l.len() || j < pad_l.len() {
+        let take_matched = match (out_l.get(i), pad_l.get(j)) {
+            (Some(&m), Some(&pad)) => m < pad,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_matched {
+            fin_l.push(Some(out_l[i]));
+            fin_r.push(Some(out_r[i]));
+            i += 1;
+        } else {
+            fin_l.push(Some(pad_l[j]));
+            fin_r.push(None);
+            j += 1;
+        }
+    }
+    for &ri in &pad_r {
+        fin_l.push(None);
+        fin_r.push(Some(ri));
+    }
+
+    let mut columns = Vec::with_capacity(l.arity() + r.arity());
+    for c in &l.columns {
+        columns.push(c.gather_opt(&fin_l));
+    }
+    for c in &r.columns {
+        columns.push(c.gather_opt(&fin_r));
+    }
+    Ok(RecordBatch::new(names, columns, total))
+}
+
+/// Hash-based distinct preserving first occurrence order.
+fn batch_distinct(batch: &RecordBatch) -> RecordBatch {
+    let all: Vec<usize> = (0..batch.arity()).collect();
+    let hashes = batch.key_hashes(&all);
+    let mut seen: HashMap<u64, Vec<u32>> = HashMap::with_capacity(batch.len());
+    let mut keep: Vec<u32> = Vec::new();
+    'rows: for (i, &h) in hashes.iter().enumerate() {
+        let bucket = seen.entry(h).or_default();
+        for &j in bucket.iter() {
+            if batch.keys_eq(&all, i, batch, &all, j as usize) {
+                continue 'rows;
+            }
+        }
+        bucket.push(i as u32);
+        keep.push(i as u32);
+    }
+    batch.gather(&keep)
+}
+
+/// Hash-grouped aggregation. Groups preserve first-seen order (matching the
+/// row executor); aggregates run with typed fast paths over dense columns.
+///
+/// Public because the annotation layer evaluates semiring ⊕-sums directly
+/// through this operator (paper §4.2.4's `GROUP BY` step) without building
+/// a plan tree around it.
+pub fn batch_aggregate(
+    batch: &RecordBatch,
+    group_by: &[usize],
+    aggs: &[Aggregate],
+    having: Option<&Expr>,
+) -> Result<RecordBatch> {
+    // Assign group ids.
+    let hashes = batch.key_hashes(group_by);
+    let mut buckets: HashMap<u64, Vec<(u32, u32)>> = HashMap::new(); // hash → (first_row, gid)
+    let mut group_first: Vec<u32> = Vec::new(); // gid → representative row
+    let mut members: Vec<Vec<u32>> = Vec::new(); // gid → member rows
+    for (i, &h) in hashes.iter().enumerate() {
+        let bucket = buckets.entry(h).or_default();
+        let mut gid = None;
+        for &(first, g) in bucket.iter() {
+            if batch.keys_eq(group_by, i, batch, group_by, first as usize) {
+                gid = Some(g);
+                break;
+            }
+        }
+        let g = match gid {
+            Some(g) => g,
+            None => {
+                let g = group_first.len() as u32;
+                bucket.push((i as u32, g));
+                group_first.push(i as u32);
+                members.push(Vec::new());
+                g
+            }
+        };
+        members[g as usize].push(i as u32);
+    }
+    // Global aggregate over empty input still yields one row.
+    if group_by.is_empty() && batch.is_empty() {
+        group_first.push(0);
+        members.push(Vec::new());
+    }
+
+    let mut names: Vec<String> = group_by
+        .iter()
+        .map(|&c| {
+            batch
+                .names
+                .get(c)
+                .cloned()
+                .unwrap_or_else(|| format!("c{c}"))
+        })
+        .collect();
+    names.extend(aggs.iter().map(|a| a.name.clone()));
+
+    let n_groups = group_first.len();
+    let mut columns: Vec<Column> = Vec::with_capacity(group_by.len() + aggs.len());
+    for &c in group_by {
+        columns.push(batch.columns[c].gather(&group_first));
+    }
+    for agg in aggs {
+        columns.push(fold_agg_column(agg.func, &members, batch)?);
+    }
+    let mut out = RecordBatch::new(names, columns, n_groups);
+    if let Some(pred) = having {
+        let mask = eval_mask(pred, &out)?;
+        out = out.filter(&mask);
+    }
+    Ok(out)
+}
+
+/// Evaluate one aggregate for every group.
+fn fold_agg_column(func: AggFunc, members: &[Vec<u32>], batch: &RecordBatch) -> Result<Column> {
+    match func {
+        AggFunc::Count => Ok(Column::Int(
+            members.iter().map(|m| m.len() as i64).collect(),
+        )),
+        AggFunc::Sum(c) => {
+            let col = &batch.columns[c];
+            match col {
+                // Dense fast paths: no NULLs possible.
+                Column::Int(v) => Ok(Column::from_value_vec(
+                    members
+                        .iter()
+                        .map(|m| {
+                            if m.is_empty() {
+                                Value::Null
+                            } else {
+                                Value::Int(
+                                    m.iter()
+                                        .fold(0i64, |acc, &i| acc.wrapping_add(v[i as usize])),
+                                )
+                            }
+                        })
+                        .collect(),
+                )),
+                Column::Float(v) => Ok(Column::from_value_vec(
+                    members
+                        .iter()
+                        .map(|m| {
+                            if m.is_empty() {
+                                Value::Null
+                            } else {
+                                Value::Float(m.iter().map(|&i| v[i as usize]).sum())
+                            }
+                        })
+                        .collect(),
+                )),
+                _ => {
+                    let mut out = Vec::with_capacity(members.len());
+                    for m in members {
+                        let mut int_sum: i64 = 0;
+                        let mut float_sum: f64 = 0.0;
+                        let mut any_float = false;
+                        let mut any = false;
+                        for &i in m {
+                            match col.value(i as usize) {
+                                Value::Int(v) => {
+                                    int_sum = int_sum.wrapping_add(v);
+                                    any = true;
+                                }
+                                Value::Float(v) => {
+                                    float_sum += v;
+                                    any_float = true;
+                                    any = true;
+                                }
+                                Value::Null => {}
+                                other => {
+                                    return Err(Error::Storage(format!(
+                                        "SUM over non-numeric {other}"
+                                    )))
+                                }
+                            }
+                        }
+                        out.push(if !any {
+                            Value::Null
+                        } else if any_float {
+                            Value::Float(float_sum + int_sum as f64)
+                        } else {
+                            Value::Int(int_sum)
+                        });
+                    }
+                    Ok(Column::from_value_vec(out))
+                }
+            }
+        }
+        AggFunc::Min(c) | AggFunc::Max(c) => {
+            let col = &batch.columns[c];
+            let want_min = matches!(func, AggFunc::Min(_));
+            let mut out = Vec::with_capacity(members.len());
+            for m in members {
+                let mut best: Option<Value> = None;
+                for &i in m {
+                    let v = col.value(i as usize);
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = if want_min { v < b } else { v > b };
+                            if keep_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                out.push(best.unwrap_or(Value::Null));
+            }
+            Ok(Column::from_value_vec(out))
+        }
+        AggFunc::BoolOr(c) | AggFunc::BoolAnd(c) => {
+            let col = &batch.columns[c];
+            let is_or = matches!(func, AggFunc::BoolOr(_));
+            let mut out = Vec::with_capacity(members.len());
+            for m in members {
+                let mut acc: Option<bool> = None;
+                for &i in m {
+                    match col.value(i as usize) {
+                        Value::Bool(b) => {
+                            acc = Some(match acc {
+                                None => b,
+                                Some(a) if is_or => a || b,
+                                Some(a) => a && b,
+                            });
+                        }
+                        Value::Null => {}
+                        other => {
+                            return Err(Error::Storage(format!(
+                                "boolean aggregate over non-boolean {other}"
+                            )))
+                        }
+                    }
+                }
+                out.push(acc.map(Value::Bool).unwrap_or(Value::Null));
+            }
+            Ok(Column::from_value_vec(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use proql_common::rng::SplitMix64;
+    use proql_common::{tup, Schema, Tuple, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::build(
+                "A",
+                &[
+                    ("id", ValueType::Int),
+                    ("sn", ValueType::Str),
+                    ("len", ValueType::Int),
+                ],
+                &[0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::build(
+                "C",
+                &[("id", ValueType::Int), ("name", ValueType::Str)],
+                &[0, 1],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("A", tup![1, "sn1", 7]).unwrap();
+        db.insert("A", tup![2, "sn1", 5]).unwrap();
+        db.insert("C", tup![2, "cn2"]).unwrap();
+        db.insert("C", tup![3, "cn3"]).unwrap();
+        db
+    }
+
+    /// Batch and row executors agree (rows order-insensitively, names
+    /// exactly) on a plan.
+    fn assert_equivalent(db: &Database, plan: &Plan) {
+        let row = execute(db, plan).expect("row executor");
+        let batch = execute_with(db, plan, ExecMode::Batch).expect("batch executor");
+        let nested = execute_with(db, plan, ExecMode::NestedLoop).expect("nested loop");
+        assert_eq!(row.names, batch.names);
+        assert_eq!(row.sorted_rows(), batch.sorted_rows());
+        assert_eq!(row.sorted_rows(), nested.sorted_rows());
+    }
+
+    #[test]
+    fn scan_filter_project_match_row_executor() {
+        let db = db();
+        assert_equivalent(&db, &Plan::scan("A"));
+        assert_equivalent(&db, &Plan::scan("A").filter(Expr::col(2).eq(Expr::lit(5))));
+        assert_equivalent(
+            &db,
+            &Plan::scan("A").project(vec![
+                Expr::col(0),
+                Expr::cmp(crate::expr::BinOp::Add, Expr::col(2), Expr::lit(1)),
+            ]),
+        );
+    }
+
+    #[test]
+    fn joins_match_row_executor_for_all_types_and_build_sides() {
+        let db = db();
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::RightOuter,
+            JoinType::FullOuter,
+        ] {
+            for build in [BuildSide::Auto, BuildSide::Left, BuildSide::Right] {
+                let plan = Plan::Join {
+                    left: Box::new(Plan::scan("A")),
+                    right: Box::new(Plan::scan("C")),
+                    join_type: jt,
+                    left_keys: vec![0],
+                    right_keys: vec![0],
+                    build,
+                };
+                assert_equivalent(&db, &plan);
+            }
+        }
+    }
+
+    #[test]
+    fn join_row_order_matches_row_executor_exactly() {
+        let db = db();
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::RightOuter,
+            JoinType::FullOuter,
+        ] {
+            for build in [BuildSide::Auto, BuildSide::Left, BuildSide::Right] {
+                let plan = Plan::Join {
+                    left: Box::new(Plan::scan("A")),
+                    right: Box::new(Plan::scan("C")),
+                    join_type: jt,
+                    left_keys: vec![0],
+                    right_keys: vec![0],
+                    build,
+                };
+                let row = execute(&db, &plan).unwrap();
+                let batch = execute_with(&db, &plan, ExecMode::Batch).unwrap();
+                assert_eq!(row.rows, batch.rows, "jt={jt:?} build={build:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn limit_over_outer_join_is_order_stable_across_executors() {
+        // Regression: unmatched left rows must interleave in left-scan
+        // order (as the row executor emits them), not append at the end —
+        // otherwise order-sensitive consumers like LIMIT diverge.
+        let db = db();
+        let plan = Plan::Limit {
+            input: Box::new(Plan::scan("A").join_as(
+                Plan::scan("C"),
+                JoinType::LeftOuter,
+                vec![0],
+                vec![0],
+            )),
+            n: 1,
+        };
+        let row = execute(&db, &plan).unwrap();
+        let batch = execute_with(&db, &plan, ExecMode::Batch).unwrap();
+        assert_eq!(row.rows, batch.rows);
+        // A(1) has no C match, so the first output row is its padded row.
+        assert!(batch.rows[0].get(3).is_null());
+    }
+
+    #[test]
+    fn union_distinct_sort_limit_match() {
+        let db = db();
+        let union = Plan::Union {
+            inputs: vec![
+                Plan::scan("A").project(vec![Expr::col(0)]),
+                Plan::scan("C").project(vec![Expr::col(0)]),
+            ],
+            distinct: false,
+        };
+        assert_equivalent(&db, &union);
+        assert_equivalent(&db, &union.clone().distinct());
+        assert_equivalent(
+            &db,
+            &Plan::Sort {
+                input: Box::new(union.clone()),
+                by: vec![0],
+            },
+        );
+        assert_equivalent(
+            &db,
+            &Plan::Limit {
+                input: Box::new(Plan::Sort {
+                    input: Box::new(union),
+                    by: vec![0],
+                }),
+                n: 2,
+            },
+        );
+    }
+
+    #[test]
+    fn aggregates_match() {
+        let db = db();
+        let p = Plan::Aggregate {
+            input: Box::new(Plan::scan("A")),
+            group_by: vec![1],
+            aggs: vec![
+                Aggregate::new(AggFunc::Count, "n"),
+                Aggregate::new(AggFunc::Sum(2), "total"),
+                Aggregate::new(AggFunc::Min(2), "lo"),
+                Aggregate::new(AggFunc::Max(2), "hi"),
+            ],
+            having: Some(Expr::cmp(
+                crate::expr::BinOp::Ge,
+                Expr::col(2),
+                Expr::lit(12),
+            )),
+        };
+        assert_equivalent(&db, &p);
+        // Global aggregate over empty input.
+        let p = Plan::Aggregate {
+            input: Box::new(Plan::scan("A").filter(Expr::lit(false))),
+            group_by: vec![],
+            aggs: vec![
+                Aggregate::new(AggFunc::Count, "n"),
+                Aggregate::new(AggFunc::Sum(2), "s"),
+            ],
+            having: None,
+        };
+        assert_equivalent(&db, &p);
+    }
+
+    #[test]
+    fn null_join_keys_never_match_in_batch() {
+        let mut db = Database::new();
+        db.create_table(Schema::build("L", &[("k", ValueType::Int)], &[]).unwrap())
+            .unwrap();
+        db.create_table(Schema::build("R", &[("k", ValueType::Int)], &[]).unwrap())
+            .unwrap();
+        db.table_mut("L")
+            .unwrap()
+            .insert(Tuple::new(vec![Value::Null]))
+            .unwrap();
+        db.table_mut("L").unwrap().insert(tup![1]).unwrap();
+        db.table_mut("R")
+            .unwrap()
+            .insert(Tuple::new(vec![Value::Null]))
+            .unwrap();
+        db.table_mut("R").unwrap().insert(tup![1]).unwrap();
+        for jt in [JoinType::Inner, JoinType::FullOuter] {
+            let p = Plan::scan("L").join_as(Plan::scan("R"), jt, vec![0], vec![0]);
+            assert_equivalent(&db, &p);
+        }
+    }
+
+    #[test]
+    fn views_and_index_lookups_match() {
+        let mut db = db();
+        let schema = Schema::build("V", &[("id", ValueType::Int)], &[]).unwrap();
+        db.create_view("V", Plan::scan("A").project(vec![Expr::col(0)]), schema)
+            .unwrap();
+        assert_equivalent(&db, &Plan::scan("V"));
+        let p = Plan::IndexLookup {
+            table: "A".into(),
+            columns: vec![1],
+            key: vec![Value::str("sn1")],
+            residual: Some(Expr::col(2).eq(Expr::lit(7))),
+        };
+        assert_equivalent(&db, &p);
+    }
+
+    #[test]
+    fn randomized_plans_agree_across_executors() {
+        let mut rng = SplitMix64::seed_from_u64(0xBA7C4);
+        for round in 0..20 {
+            let mut db = Database::new();
+            db.create_table(
+                Schema::build("S", &[("a", ValueType::Int), ("b", ValueType::Int)], &[]).unwrap(),
+            )
+            .unwrap();
+            db.create_table(
+                Schema::build("T", &[("a", ValueType::Int), ("c", ValueType::Int)], &[]).unwrap(),
+            )
+            .unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..rng.gen_range_usize(0, 40) {
+                let t = (rng.gen_range_i64(0, 10), rng.gen_range_i64(0, 10));
+                if seen.insert(("S", t)) {
+                    db.insert("S", tup![t.0, t.1]).unwrap();
+                }
+            }
+            for _ in 0..rng.gen_range_usize(0, 40) {
+                let t = (rng.gen_range_i64(0, 10), rng.gen_range_i64(0, 10));
+                if seen.insert(("T", t)) {
+                    db.insert("T", tup![t.0, t.1]).unwrap();
+                }
+            }
+            let probe = rng.gen_range_i64(0, 10);
+            let plan = Plan::scan("S")
+                .join(Plan::scan("T"), vec![0], vec![0])
+                .filter(Expr::cmp(
+                    crate::expr::BinOp::Le,
+                    Expr::col(1),
+                    Expr::lit(probe),
+                ));
+            assert_equivalent(&db, &plan);
+            let agg = Plan::Aggregate {
+                input: Box::new(plan),
+                group_by: vec![0],
+                aggs: vec![
+                    Aggregate::new(AggFunc::Count, "n"),
+                    Aggregate::new(AggFunc::Sum(3), "s"),
+                ],
+                having: None,
+            };
+            assert_equivalent(&db, &agg);
+            let _ = round;
+        }
+    }
+}

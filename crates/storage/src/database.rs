@@ -42,7 +42,12 @@ impl Database {
     }
 
     /// Create (or replace) a virtual view.
-    pub fn create_view(&mut self, name: impl Into<String>, plan: Plan, schema: Schema) -> Result<()> {
+    pub fn create_view(
+        &mut self,
+        name: impl Into<String>,
+        plan: Plan,
+        schema: Schema,
+    ) -> Result<()> {
         let name = name.into();
         if self.tables.contains_key(&name) {
             return Err(Error::AlreadyExists(format!(
@@ -148,9 +153,7 @@ mod tests {
         let mut db = Database::new();
         db.create_table(schema("A")).unwrap();
         assert!(db.create_table(schema("A")).is_err());
-        assert!(db
-            .create_view("A", Plan::scan("B"), schema("A"))
-            .is_err());
+        assert!(db.create_view("A", Plan::scan("B"), schema("A")).is_err());
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct Relation {
 impl Relation {
     /// Empty relation with the given column names.
     pub fn empty(names: Vec<String>) -> Self {
-        Relation { names, rows: Vec::new() }
+        Relation {
+            names,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of columns.
@@ -56,14 +59,30 @@ impl Relation {
 
 /// Maximum view-expansion depth (views may reference views; provenance view
 /// chains are shallow, so a small bound catches accidental cycles).
-const MAX_VIEW_DEPTH: usize = 32;
+pub(crate) const MAX_VIEW_DEPTH: usize = 32;
+
+/// Join algorithm of the row-at-a-time executor. The nested-loop variant is
+/// the ablation baseline the batch executor is benchmarked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgo {
+    /// Build a hash table on the right input (the historical default).
+    #[default]
+    Hash,
+    /// Compare every pair of rows (O(n·m)); results are identical.
+    NestedLoop,
+}
 
 /// Execute `plan` against `db`, materializing the result.
 pub fn execute(db: &Database, plan: &Plan) -> Result<Relation> {
-    exec_inner(db, plan, 0)
+    exec_inner(db, plan, 0, JoinAlgo::Hash)
 }
 
-fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<Relation> {
+/// Execute with an explicit row-executor join algorithm.
+pub fn execute_rows(db: &Database, plan: &Plan, algo: JoinAlgo) -> Result<Relation> {
+    exec_inner(db, plan, 0, algo)
+}
+
+fn exec_inner(db: &Database, plan: &Plan, depth: usize, algo: JoinAlgo) -> Result<Relation> {
     if depth > MAX_VIEW_DEPTH {
         return Err(Error::Storage(
             "view expansion too deep (cyclic view definition?)".into(),
@@ -73,12 +92,22 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<Relation> {
         Plan::Scan { table } => {
             if let Ok(t) = db.table(table) {
                 Ok(Relation {
-                    names: t.schema().attributes().iter().map(|a| a.name.clone()).collect(),
+                    names: t
+                        .schema()
+                        .attributes()
+                        .iter()
+                        .map(|a| a.name.clone())
+                        .collect(),
                     rows: t.scan(),
                 })
             } else if let Some(v) = db.view(table) {
-                let mut rel = exec_inner(db, &v.plan, depth + 1)?;
-                rel.names = v.schema.attributes().iter().map(|a| a.name.clone()).collect();
+                let mut rel = exec_inner(db, &v.plan, depth + 1, algo)?;
+                rel.names = v
+                    .schema
+                    .attributes()
+                    .iter()
+                    .map(|a| a.name.clone())
+                    .collect();
                 if rel.names.len() != rel.arity() {
                     return Err(Error::Storage(format!(
                         "view {table} schema arity mismatch"
@@ -94,17 +123,24 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<Relation> {
             rows: rows.clone(),
         }),
         Plan::Filter { input, predicate } => {
-            let rel = exec_inner(db, input, depth)?;
+            let rel = exec_inner(db, input, depth, algo)?;
             let mut rows = Vec::new();
             for row in rel.rows {
                 if predicate.eval_bool(&row)? {
                     rows.push(row);
                 }
             }
-            Ok(Relation { names: rel.names, rows })
+            Ok(Relation {
+                names: rel.names,
+                rows,
+            })
         }
-        Plan::Project { input, exprs, names } => {
-            let rel = exec_inner(db, input, depth)?;
+        Plan::Project {
+            input,
+            exprs,
+            names,
+        } => {
+            let rel = exec_inner(db, input, depth, algo)?;
             if names.len() != exprs.len() {
                 return Err(Error::Storage("project names/exprs length mismatch".into()));
             }
@@ -116,20 +152,30 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<Relation> {
                 }
                 rows.push(Tuple::new(out));
             }
-            Ok(Relation { names: names.clone(), rows })
+            Ok(Relation {
+                names: names.clone(),
+                rows,
+            })
         }
-        Plan::Join { left, right, join_type, left_keys, right_keys } => {
-            let l = exec_inner(db, left, depth)?;
-            let r = exec_inner(db, right, depth)?;
-            exec_join(&l, &r, *join_type, left_keys, right_keys)
+        Plan::Join {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            let l = exec_inner(db, left, depth, algo)?;
+            let r = exec_inner(db, right, depth, algo)?;
+            exec_join(&l, &r, *join_type, left_keys, right_keys, algo)
         }
         Plan::Union { inputs, distinct } => {
             if inputs.is_empty() {
                 return Ok(Relation::empty(vec![]));
             }
-            let mut first = exec_inner(db, &inputs[0], depth)?;
+            let mut first = exec_inner(db, &inputs[0], depth, algo)?;
             for p in &inputs[1..] {
-                let rel = exec_inner(db, p, depth)?;
+                let rel = exec_inner(db, p, depth, algo)?;
                 if rel.arity() != first.arity() {
                     return Err(Error::Storage(format!(
                         "union arity mismatch: {} vs {}",
@@ -145,16 +191,21 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<Relation> {
             Ok(first)
         }
         Plan::Distinct { input } => {
-            let mut rel = exec_inner(db, input, depth)?;
+            let mut rel = exec_inner(db, input, depth, algo)?;
             dedup(&mut rel.rows);
             Ok(rel)
         }
-        Plan::Aggregate { input, group_by, aggs, having } => {
-            let rel = exec_inner(db, input, depth)?;
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => {
+            let rel = exec_inner(db, input, depth, algo)?;
             exec_aggregate(&rel, group_by, aggs, having.as_ref())
         }
         Plan::Sort { input, by } => {
-            let mut rel = exec_inner(db, input, depth)?;
+            let mut rel = exec_inner(db, input, depth, algo)?;
             rel.rows.sort_by(|a, b| {
                 for &c in by {
                     let ord = a.get(c).cmp(b.get(c));
@@ -167,11 +218,16 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<Relation> {
             Ok(rel)
         }
         Plan::Limit { input, n } => {
-            let mut rel = exec_inner(db, input, depth)?;
+            let mut rel = exec_inner(db, input, depth, algo)?;
             rel.rows.truncate(*n);
             Ok(rel)
         }
-        Plan::IndexLookup { table, columns, key, residual } => {
+        Plan::IndexLookup {
+            table,
+            columns,
+            key,
+            residual,
+        } => {
             let t = db.table(table)?;
             let key_t = Tuple::new(key.clone());
             let rows = match t.find_index(columns) {
@@ -199,7 +255,12 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<Relation> {
                         .collect()
                 }
             };
-            let names = t.schema().attributes().iter().map(|a| a.name.clone()).collect();
+            let names = t
+                .schema()
+                .attributes()
+                .iter()
+                .map(|a| a.name.clone())
+                .collect();
             let rows = match residual {
                 Some(pred) => {
                     let mut kept = Vec::with_capacity(rows.len());
@@ -226,20 +287,13 @@ fn null_padding(n: usize) -> Tuple {
     Tuple::new(vec![Value::Null; n])
 }
 
-fn exec_join(
-    l: &Relation,
-    r: &Relation,
-    join_type: JoinType,
-    left_keys: &[usize],
-    right_keys: &[usize],
-) -> Result<Relation> {
-    if left_keys.len() != right_keys.len() {
-        return Err(Error::Storage("join key arity mismatch".into()));
-    }
-    let mut names = l.names.clone();
-    // Disambiguate duplicate column names from the right side.
-    for n in &r.names {
-        if names.contains(n) {
+/// Output column names of a join: left names, then right names with
+/// duplicates disambiguated by `_N` suffixes. Shared with the batch
+/// executor so both paths report identical schemas.
+pub(crate) fn join_names(left: &[String], right: &[String]) -> Vec<String> {
+    let mut names = left.to_vec();
+    for n in right {
+        if names.iter().any(|x| x == n) {
             let mut i = 1;
             loop {
                 let cand = format!("{n}_{i}");
@@ -253,31 +307,73 @@ fn exec_join(
             names.push(n.clone());
         }
     }
+    names
+}
 
-    // Build hash table on the right side.
-    let mut table: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(r.rows.len());
-    for (i, row) in r.rows.iter().enumerate() {
-        let key = row.project(right_keys);
-        if key.has_null() {
-            continue; // SQL semantics: NULL keys never match.
-        }
-        table.entry(key).or_default().push(i);
+fn exec_join(
+    l: &Relation,
+    r: &Relation,
+    join_type: JoinType,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    algo: JoinAlgo,
+) -> Result<Relation> {
+    if left_keys.len() != right_keys.len() {
+        return Err(Error::Storage("join key arity mismatch".into()));
     }
+    let names = join_names(&l.names, &r.names);
 
     let mut matched_right = vec![false; r.rows.len()];
     let mut rows = Vec::new();
-    for lrow in &l.rows {
-        let key = lrow.project(left_keys);
-        let matches = if key.has_null() { None } else { table.get(&key) };
-        match matches {
-            Some(idxs) => {
-                for &i in idxs {
-                    matched_right[i] = true;
-                    rows.push(lrow.concat(&r.rows[i]));
+    match algo {
+        JoinAlgo::Hash => {
+            // Build hash table on the right side.
+            let mut table: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(r.rows.len());
+            for (i, row) in r.rows.iter().enumerate() {
+                let key = row.project(right_keys);
+                if key.has_null() {
+                    continue; // SQL semantics: NULL keys never match.
+                }
+                table.entry(key).or_default().push(i);
+            }
+            for lrow in &l.rows {
+                let key = lrow.project(left_keys);
+                let matches = if key.has_null() {
+                    None
+                } else {
+                    table.get(&key)
+                };
+                match matches {
+                    Some(idxs) => {
+                        for &i in idxs {
+                            matched_right[i] = true;
+                            rows.push(lrow.concat(&r.rows[i]));
+                        }
+                    }
+                    None => {
+                        if matches!(join_type, JoinType::LeftOuter | JoinType::FullOuter) {
+                            rows.push(lrow.concat(&null_padding(r.arity())));
+                        }
+                    }
                 }
             }
-            None => {
-                if matches!(join_type, JoinType::LeftOuter | JoinType::FullOuter) {
+        }
+        JoinAlgo::NestedLoop => {
+            // The ablation baseline: compare every pair of rows.
+            for lrow in &l.rows {
+                let lkey = lrow.project(left_keys);
+                let mut any = false;
+                if !lkey.has_null() {
+                    for (i, rrow) in r.rows.iter().enumerate() {
+                        let rkey = rrow.project(right_keys);
+                        if !rkey.has_null() && lkey == rkey {
+                            any = true;
+                            matched_right[i] = true;
+                            rows.push(lrow.concat(rrow));
+                        }
+                    }
+                }
+                if !any && matches!(join_type, JoinType::LeftOuter | JoinType::FullOuter) {
                     rows.push(lrow.concat(&null_padding(r.arity())));
                 }
             }
@@ -358,9 +454,7 @@ fn fold_agg(func: AggFunc, members: &[usize], rows: &[Tuple]) -> Result<Value> {
                         any = true;
                     }
                     Value::Null => {}
-                    other => {
-                        return Err(Error::Storage(format!("SUM over non-numeric {other}")))
-                    }
+                    other => return Err(Error::Storage(format!("SUM over non-numeric {other}"))),
                 }
             }
             if !any {
@@ -430,15 +524,23 @@ mod tests {
         db.create_table(
             Schema::build(
                 "A",
-                &[("id", ValueType::Int), ("sn", ValueType::Str), ("len", ValueType::Int)],
+                &[
+                    ("id", ValueType::Int),
+                    ("sn", ValueType::Str),
+                    ("len", ValueType::Int),
+                ],
                 &[0],
             )
             .unwrap(),
         )
         .unwrap();
         db.create_table(
-            Schema::build("C", &[("id", ValueType::Int), ("name", ValueType::Str)], &[0, 1])
-                .unwrap(),
+            Schema::build(
+                "C",
+                &[("id", ValueType::Int), ("name", ValueType::Str)],
+                &[0, 1],
+            )
+            .unwrap(),
         )
         .unwrap();
         db.insert("A", tup![1, "sn1", 7]).unwrap();
@@ -473,7 +575,11 @@ mod tests {
     #[test]
     fn inner_join() {
         let db = db();
-        let rel = execute(&db, &Plan::scan("A").join(Plan::scan("C"), vec![0], vec![0])).unwrap();
+        let rel = execute(
+            &db,
+            &Plan::scan("A").join(Plan::scan("C"), vec![0], vec![0]),
+        )
+        .unwrap();
         assert_eq!(rel.rows, vec![tup![2, "sn1", 5, 2, "cn2"]]);
         // Right-side duplicate column name is disambiguated.
         assert_eq!(rel.names, vec!["id", "sn", "len", "id_1", "name"]);
@@ -526,9 +632,19 @@ mod tests {
             .unwrap();
         db.create_table(Schema::build("R", &[("k", ValueType::Int)], &[]).unwrap())
             .unwrap();
-        db.table_mut("L").unwrap().insert(Tuple::new(vec![Value::Null])).unwrap();
-        db.table_mut("R").unwrap().insert(Tuple::new(vec![Value::Null])).unwrap();
-        let inner = execute(&db, &Plan::scan("L").join(Plan::scan("R"), vec![0], vec![0])).unwrap();
+        db.table_mut("L")
+            .unwrap()
+            .insert(Tuple::new(vec![Value::Null]))
+            .unwrap();
+        db.table_mut("R")
+            .unwrap()
+            .insert(Tuple::new(vec![Value::Null]))
+            .unwrap();
+        let inner = execute(
+            &db,
+            &Plan::scan("L").join(Plan::scan("R"), vec![0], vec![0]),
+        )
+        .unwrap();
         assert!(inner.is_empty());
         let full = execute(
             &db,
@@ -564,10 +680,7 @@ mod tests {
     #[test]
     fn union_arity_mismatch_errors() {
         let db = db();
-        let p = Plan::union_all(vec![
-            Plan::scan("A"),
-            Plan::scan("C"),
-        ]);
+        let p = Plan::union_all(vec![Plan::scan("A"), Plan::scan("C")]);
         assert!(execute(&db, &p).is_err());
     }
 
@@ -582,7 +695,11 @@ mod tests {
                 Aggregate::new(AggFunc::Count, "n"),
                 Aggregate::new(AggFunc::Sum(2), "total"),
             ],
-            having: Some(Expr::cmp(crate::expr::BinOp::Ge, Expr::col(2), Expr::lit(12))),
+            having: Some(Expr::cmp(
+                crate::expr::BinOp::Ge,
+                Expr::col(2),
+                Expr::lit(12),
+            )),
         };
         let rel = execute(&db, &p).unwrap();
         assert_eq!(rel.rows, vec![tup!["sn1", 2, 12]]);
@@ -634,7 +751,10 @@ mod tests {
         };
         let rel = execute(&db, &p).unwrap();
         assert_eq!(rel.rows[0].get(2), &Value::Int(5));
-        let p = Plan::Limit { input: Box::new(p), n: 1 };
+        let p = Plan::Limit {
+            input: Box::new(p),
+            n: 1,
+        };
         assert_eq!(execute(&db, &p).unwrap().len(), 1);
     }
 
@@ -653,7 +773,8 @@ mod tests {
     fn cyclic_views_are_detected() {
         let mut db = Database::new();
         let schema = Schema::build("V", &[("id", ValueType::Int)], &[]).unwrap();
-        db.create_view("V", Plan::scan("W"), schema.clone()).unwrap();
+        db.create_view("V", Plan::scan("W"), schema.clone())
+            .unwrap();
         db.create_view("W", Plan::scan("V"), schema).unwrap();
         assert!(execute(&db, &Plan::scan("V")).is_err());
     }

@@ -45,7 +45,11 @@ impl Ctx {
                 let a = self.alias();
                 format!("SELECT * FROM ({inner}) {a} WHERE {predicate}")
             }
-            Plan::Project { input, exprs, names } => {
+            Plan::Project {
+                input,
+                exprs,
+                names,
+            } => {
                 let inner = self.render(input);
                 let a = self.alias();
                 let cols = exprs
@@ -56,7 +60,14 @@ impl Ctx {
                     .join(", ");
                 format!("SELECT {cols} FROM ({inner}) {a}")
             }
-            Plan::Join { left, right, join_type, left_keys, right_keys } => {
+            Plan::Join {
+                left,
+                right,
+                join_type,
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 let l = self.render(left);
                 let r = self.render(right);
                 let (la, ra) = (self.alias(), self.alias());
@@ -72,7 +83,11 @@ impl Ctx {
                     .map(|(lk, rk)| format!("{la}.c{lk} = {ra}.c{rk}"))
                     .collect::<Vec<_>>()
                     .join(" AND ");
-                let on = if on.is_empty() { "TRUE".to_string() } else { on };
+                let on = if on.is_empty() {
+                    "TRUE".to_string()
+                } else {
+                    on
+                };
                 format!("SELECT * FROM ({l}) {la} {kind} ({r}) {ra} ON {on}")
             }
             Plan::Union { inputs, distinct } => {
@@ -88,11 +103,15 @@ impl Ctx {
                 let a = self.alias();
                 format!("SELECT DISTINCT * FROM ({inner}) {a}")
             }
-            Plan::Aggregate { input, group_by, aggs, having } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                having,
+            } => {
                 let inner = self.render(input);
                 let a = self.alias();
-                let mut cols: Vec<String> =
-                    group_by.iter().map(|c| format!("c{c}")).collect();
+                let mut cols: Vec<String> = group_by.iter().map(|c| format!("c{c}")).collect();
                 for agg in aggs {
                     let arg = agg
                         .func
@@ -101,10 +120,7 @@ impl Ctx {
                         .unwrap_or_else(|| "*".into());
                     cols.push(format!("{}({arg}) AS {}", agg.func.sql_name(), agg.name));
                 }
-                let mut s = format!(
-                    "SELECT {} FROM ({inner}) {a}",
-                    cols.join(", ")
-                );
+                let mut s = format!("SELECT {} FROM ({inner}) {a}", cols.join(", "));
                 if !group_by.is_empty() {
                     let _ = write!(
                         s,
@@ -126,14 +142,22 @@ impl Ctx {
                 let a = self.alias();
                 format!(
                     "SELECT * FROM ({inner}) {a} ORDER BY {}",
-                    by.iter().map(|c| format!("c{c}")).collect::<Vec<_>>().join(", ")
+                    by.iter()
+                        .map(|c| format!("c{c}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             }
             Plan::Limit { input, n } => {
                 let inner = self.render(input);
                 format!("{inner} FETCH FIRST {n} ROWS ONLY")
             }
-            Plan::IndexLookup { table, columns, key, residual } => {
+            Plan::IndexLookup {
+                table,
+                columns,
+                key,
+                residual,
+            } => {
                 let mut conds: Vec<String> = columns
                     .iter()
                     .zip(key)
@@ -168,9 +192,11 @@ mod tests {
 
     #[test]
     fn renders_scan_filter_join() {
-        let p = Plan::scan("A")
-            .filter(Expr::col(0).eq(Expr::lit(1)))
-            .join(Plan::scan("B"), vec![0], vec![1]);
+        let p = Plan::scan("A").filter(Expr::col(0).eq(Expr::lit(1))).join(
+            Plan::scan("B"),
+            vec![0],
+            vec![1],
+        );
         let sql = to_sql(&p);
         assert!(sql.contains("FROM A"));
         assert!(sql.contains("JOIN"));

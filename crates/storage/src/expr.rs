@@ -205,7 +205,9 @@ impl Expr {
     }
 }
 
-fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+/// Evaluate a binary operator over two values (shared with the batch
+/// executor's generic column path).
+pub(crate) fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
     use BinOp::*;
     match op {
         Eq => Ok(Value::Bool(a == b)),
@@ -309,11 +311,15 @@ mod tests {
     fn arithmetic() {
         let t = tup![5, 2.5];
         assert_eq!(
-            Expr::cmp(BinOp::Add, Expr::col(0), Expr::lit(3)).eval(&t).unwrap(),
+            Expr::cmp(BinOp::Add, Expr::col(0), Expr::lit(3))
+                .eval(&t)
+                .unwrap(),
             Value::Int(8)
         );
         assert_eq!(
-            Expr::cmp(BinOp::Mul, Expr::col(0), Expr::col(1)).eval(&t).unwrap(),
+            Expr::cmp(BinOp::Mul, Expr::col(0), Expr::col(1))
+                .eval(&t)
+                .unwrap(),
             Value::Float(12.5)
         );
         assert!(Expr::cmp(BinOp::Add, Expr::col(0), Expr::lit("x"))
@@ -325,7 +331,9 @@ mod tests {
     fn arithmetic_with_null_is_null() {
         let t = proql_common::Tuple::new(vec![Value::Null, Value::Int(1)]);
         assert_eq!(
-            Expr::cmp(BinOp::Add, Expr::col(0), Expr::col(1)).eval(&t).unwrap(),
+            Expr::cmp(BinOp::Add, Expr::col(0), Expr::col(1))
+                .eval(&t)
+                .unwrap(),
             Value::Null
         );
     }
@@ -335,9 +343,15 @@ mod tests {
         let t = tup![1];
         let tru = Expr::lit(true);
         let fls = Expr::lit(false);
-        assert!(Expr::And(vec![tru.clone(), tru.clone()]).eval_bool(&t).unwrap());
-        assert!(!Expr::And(vec![tru.clone(), fls.clone()]).eval_bool(&t).unwrap());
-        assert!(Expr::Or(vec![fls.clone(), tru.clone()]).eval_bool(&t).unwrap());
+        assert!(Expr::And(vec![tru.clone(), tru.clone()])
+            .eval_bool(&t)
+            .unwrap());
+        assert!(!Expr::And(vec![tru.clone(), fls.clone()])
+            .eval_bool(&t)
+            .unwrap());
+        assert!(Expr::Or(vec![fls.clone(), tru.clone()])
+            .eval_bool(&t)
+            .unwrap());
         assert!(!Expr::Or(vec![]).eval_bool(&t).unwrap());
         assert!(Expr::And(vec![]).eval_bool(&t).unwrap());
         assert!(Expr::Not(Box::new(fls)).eval_bool(&t).unwrap());

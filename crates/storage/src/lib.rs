@@ -13,9 +13,20 @@
 //!   inner/left/right/full hash joins, union (all/distinct), aggregation —
 //!   mirroring the `SELECT..FROM..WHERE`, `UNION ALL`, and `GROUP
 //!   BY..HAVING` blocks the paper generates,
-//! * a materializing [executor](exec::execute) with index-aware filter
-//!   pushdown, and an `EXPLAIN`-style [SQL renderer](explain::to_sql).
+//! * a **columnar batch executor** ([`batch_exec`], the default): typed
+//!   column vectors ([`batch::Column`] / [`RecordBatch`]), vectorized
+//!   predicate evaluation, hash equi-joins with optimizer-picked build
+//!   sides, and hash-grouped aggregation,
+//! * a row-at-a-time [executor](exec::execute) (hash-join or nested-loop
+//!   [`JoinAlgo`]) kept as the equivalence oracle and ablation baseline —
+//!   pick one via [`ExecMode`] / [`execute_with`],
+//! * a rule-based [optimizer](optimize::optimize_with) — selection
+//!   pushdown, index lookups, join build-side selection from catalog
+//!   cardinality estimates — and an `EXPLAIN`-style
+//!   [SQL renderer](explain::to_sql).
 
+pub mod batch;
+pub mod batch_exec;
 pub mod database;
 pub mod exec;
 pub mod explain;
@@ -25,9 +36,11 @@ pub mod optimize;
 pub mod plan;
 pub mod table;
 
+pub use batch::{Column, RecordBatch};
+pub use batch_exec::{execute_batch, execute_with, ExecMode};
 pub use database::Database;
-pub use exec::{execute, Relation};
+pub use exec::{execute, JoinAlgo, Relation};
 pub use expr::{BinOp, Expr};
 pub use index::{Index, IndexKind};
-pub use plan::{AggFunc, Aggregate, JoinType, Plan};
+pub use plan::{AggFunc, Aggregate, BuildSide, JoinType, Plan};
 pub use table::Table;

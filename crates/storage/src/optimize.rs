@@ -7,14 +7,154 @@
 //! projections/joins/unions and conversion of `Filter(Scan)` with
 //! equality bindings into [`Plan::IndexLookup`].
 
+use crate::database::Database;
 use crate::expr::Expr;
-use crate::plan::{JoinType, Plan};
+use crate::plan::{BuildSide, JoinType, Plan};
 use proql_common::Value;
 
 /// Optimize a plan: push filters down and use indexes where possible.
 pub fn optimize(plan: Plan) -> Plan {
     let pushed = push_filters(plan);
     index_scans(pushed)
+}
+
+/// [`optimize`] plus catalog-aware passes: hash-join build sides are picked
+/// from estimated input cardinalities (build on the smaller input). The
+/// batch executor honors the hint; `Auto` falls back to its runtime choice.
+pub fn optimize_with(db: &Database, plan: Plan) -> Plan {
+    pick_build_sides(db, optimize(plan))
+}
+
+/// Estimated output rows of a plan, from catalog sizes. Heuristic, only
+/// used to order performance-neutral choices — never for correctness.
+pub fn estimate_rows(db: &Database, plan: &Plan) -> usize {
+    estimate_rows_inner(db, plan, 0)
+}
+
+fn estimate_rows_inner(db: &Database, plan: &Plan, depth: usize) -> usize {
+    // Views may reference views; a cyclic definition (which the executors
+    // reject with an error) must not overflow the estimator's stack.
+    if depth > crate::exec::MAX_VIEW_DEPTH {
+        return 0;
+    }
+    match plan {
+        Plan::Scan { table } => {
+            if let Ok(t) = db.table(table) {
+                t.len()
+            } else if let Some(v) = db.view(table) {
+                estimate_rows_inner(db, &v.plan, depth + 1)
+            } else {
+                0
+            }
+        }
+        Plan::Values { rows, .. } => rows.len(),
+        // Selections are assumed to keep a third of their input.
+        Plan::Filter { input, .. } => estimate_rows_inner(db, input, depth).div_ceil(3),
+        Plan::IndexLookup { table, .. } => {
+            // An equality lookup on a key-like column returns few rows.
+            db.table(table).map(|t| t.len().div_ceil(8)).unwrap_or(0)
+        }
+        Plan::Project { input, .. } | Plan::Distinct { input } | Plan::Sort { input, .. } => {
+            estimate_rows_inner(db, input, depth)
+        }
+        Plan::Limit { input, n } => estimate_rows_inner(db, input, depth).min(*n),
+        // Equi-joins on provenance chains are roughly foreign-key shaped:
+        // output near the larger input.
+        Plan::Join { left, right, .. } => {
+            estimate_rows_inner(db, left, depth).max(estimate_rows_inner(db, right, depth))
+        }
+        Plan::Union { inputs, .. } => inputs
+            .iter()
+            .map(|p| estimate_rows_inner(db, p, depth))
+            .sum(),
+        Plan::Aggregate {
+            input, group_by, ..
+        } => {
+            let n = estimate_rows_inner(db, input, depth);
+            if group_by.is_empty() {
+                1
+            } else {
+                n.div_ceil(2)
+            }
+        }
+    }
+}
+
+/// Set each hash join's build side to its (estimated) smaller input.
+fn pick_build_sides(db: &Database, plan: Plan) -> Plan {
+    match plan {
+        Plan::Join {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            build,
+        } => {
+            let left = Box::new(pick_build_sides(db, *left));
+            let right = Box::new(pick_build_sides(db, *right));
+            let build = if build == BuildSide::Auto {
+                if estimate_rows(db, &left) < estimate_rows(db, &right) {
+                    BuildSide::Left
+                } else {
+                    BuildSide::Right
+                }
+            } else {
+                build
+            };
+            Plan::Join {
+                left,
+                right,
+                join_type,
+                left_keys,
+                right_keys,
+                build,
+            }
+        }
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(pick_build_sides(db, *input)),
+            predicate,
+        },
+        Plan::Project {
+            input,
+            exprs,
+            names,
+        } => Plan::Project {
+            input: Box::new(pick_build_sides(db, *input)),
+            exprs,
+            names,
+        },
+        Plan::Union { inputs, distinct } => Plan::Union {
+            inputs: inputs
+                .into_iter()
+                .map(|p| pick_build_sides(db, p))
+                .collect(),
+            distinct,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(pick_build_sides(db, *input)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => Plan::Aggregate {
+            input: Box::new(pick_build_sides(db, *input)),
+            group_by,
+            aggs,
+            having,
+        },
+        Plan::Sort { input, by } => Plan::Sort {
+            input: Box::new(pick_build_sides(db, *input)),
+            by,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(pick_build_sides(db, *input)),
+            n,
+        },
+        leaf => leaf,
+    }
 }
 
 /// Split a predicate into conjuncts.
@@ -40,31 +180,56 @@ fn push_filters(plan: Plan) -> Plan {
             let input = push_filters(*input);
             push_pred_into(input, predicate)
         }
-        Plan::Project { input, exprs, names } => Plan::Project {
+        Plan::Project {
+            input,
+            exprs,
+            names,
+        } => Plan::Project {
             input: Box::new(push_filters(*input)),
             exprs,
             names,
         },
-        Plan::Join { left, right, join_type, left_keys, right_keys } => Plan::Join {
+        Plan::Join {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            build,
+        } => Plan::Join {
             left: Box::new(push_filters(*left)),
             right: Box::new(push_filters(*right)),
             join_type,
             left_keys,
             right_keys,
+            build,
         },
         Plan::Union { inputs, distinct } => Plan::Union {
             inputs: inputs.into_iter().map(push_filters).collect(),
             distinct,
         },
-        Plan::Distinct { input } => Plan::Distinct { input: Box::new(push_filters(*input)) },
-        Plan::Aggregate { input, group_by, aggs, having } => Plan::Aggregate {
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(push_filters(*input)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => Plan::Aggregate {
             input: Box::new(push_filters(*input)),
             group_by,
             aggs,
             having,
         },
-        Plan::Sort { input, by } => Plan::Sort { input: Box::new(push_filters(*input)), by },
-        Plan::Limit { input, n } => Plan::Limit { input: Box::new(push_filters(*input)), n },
+        Plan::Sort { input, by } => Plan::Sort {
+            input: Box::new(push_filters(*input)),
+            by,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(push_filters(*input)),
+            n,
+        },
         leaf => leaf,
     }
 }
@@ -73,7 +238,10 @@ fn push_filters(plan: Plan) -> Plan {
 fn push_pred_into(input: Plan, predicate: Expr) -> Plan {
     match input {
         // Filter(Filter(x)) -> Filter(x) with merged predicate.
-        Plan::Filter { input: inner, predicate: p2 } => {
+        Plan::Filter {
+            input: inner,
+            predicate: p2,
+        } => {
             let merged = Expr::and(vec![p2, predicate]);
             push_pred_into(*inner, merged)
         }
@@ -87,7 +255,14 @@ fn push_pred_into(input: Plan, predicate: Expr) -> Plan {
         },
         // Push each conjunct into the join side it references, when the
         // join is inner (outer joins change semantics under pushdown).
-        Plan::Join { left, right, join_type: JoinType::Inner, left_keys, right_keys } => {
+        Plan::Join {
+            left,
+            right,
+            join_type: JoinType::Inner,
+            left_keys,
+            right_keys,
+            build,
+        } => {
             let left_arity = plan_arity_hint(&left);
             let mut left_preds = Vec::new();
             let mut right_preds = Vec::new();
@@ -121,13 +296,20 @@ fn push_pred_into(input: Plan, predicate: Expr) -> Plan {
                 join_type: JoinType::Inner,
                 left_keys,
                 right_keys,
+                build,
             };
             match recombine(keep) {
-                Some(p) => Plan::Filter { input: Box::new(joined), predicate: p },
+                Some(p) => Plan::Filter {
+                    input: Box::new(joined),
+                    predicate: p,
+                },
                 None => joined,
             }
         }
-        other => Plan::Filter { input: Box::new(other), predicate },
+        other => Plan::Filter {
+            input: Box::new(other),
+            predicate,
+        },
     }
 }
 
@@ -174,9 +356,7 @@ fn plan_arity_hint(plan: &Plan) -> Option<usize> {
         | Plan::Sort { input, .. }
         | Plan::Limit { input, .. } => plan_arity_hint(input),
         Plan::Union { inputs, .. } => inputs.first().and_then(plan_arity_hint),
-        Plan::Join { left, right, .. } => {
-            Some(plan_arity_hint(left)? + plan_arity_hint(right)?)
-        }
+        Plan::Join { left, right, .. } => Some(plan_arity_hint(left)? + plan_arity_hint(right)?),
         Plan::Aggregate { group_by, aggs, .. } => Some(group_by.len() + aggs.len()),
         Plan::Scan { .. } | Plan::IndexLookup { .. } => None,
     }
@@ -204,33 +384,61 @@ fn index_scans(plan: Plan) -> Plan {
                     };
                 }
             }
-            Plan::Filter { input: Box::new(index_scans(*input)), predicate }
+            Plan::Filter {
+                input: Box::new(index_scans(*input)),
+                predicate,
+            }
         }
-        Plan::Project { input, exprs, names } => Plan::Project {
+        Plan::Project {
+            input,
+            exprs,
+            names,
+        } => Plan::Project {
             input: Box::new(index_scans(*input)),
             exprs,
             names,
         },
-        Plan::Join { left, right, join_type, left_keys, right_keys } => Plan::Join {
+        Plan::Join {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            build,
+        } => Plan::Join {
             left: Box::new(index_scans(*left)),
             right: Box::new(index_scans(*right)),
             join_type,
             left_keys,
             right_keys,
+            build,
         },
         Plan::Union { inputs, distinct } => Plan::Union {
             inputs: inputs.into_iter().map(index_scans).collect(),
             distinct,
         },
-        Plan::Distinct { input } => Plan::Distinct { input: Box::new(index_scans(*input)) },
-        Plan::Aggregate { input, group_by, aggs, having } => Plan::Aggregate {
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(index_scans(*input)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => Plan::Aggregate {
             input: Box::new(index_scans(*input)),
             group_by,
             aggs,
             having,
         },
-        Plan::Sort { input, by } => Plan::Sort { input: Box::new(index_scans(*input)), by },
-        Plan::Limit { input, n } => Plan::Limit { input: Box::new(index_scans(*input)), n },
+        Plan::Sort { input, by } => Plan::Sort {
+            input: Box::new(index_scans(*input)),
+            by,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(index_scans(*input)),
+            n,
+        },
         leaf => leaf,
     }
 }
@@ -282,7 +490,12 @@ mod tests {
         let p = Plan::scan("T").filter(Expr::col(0).eq(Expr::lit(3)));
         let opt = optimize(p);
         match &opt {
-            Plan::IndexLookup { table, columns, key, residual } => {
+            Plan::IndexLookup {
+                table,
+                columns,
+                key,
+                residual,
+            } => {
                 assert_eq!(table, "T");
                 assert_eq!(columns, &[0]);
                 assert_eq!(key, &[Value::Int(3)]);
@@ -367,5 +580,48 @@ mod tests {
             execute(&db(), &opt).unwrap().sorted_rows(),
             execute(&db(), &p).unwrap().sorted_rows()
         );
+    }
+
+    #[test]
+    fn build_side_picked_from_estimates() {
+        let mut db = db(); // T has 10 rows
+        db.create_table(
+            proql_common::Schema::build("Small", &[("a", proql_common::ValueType::Int)], &[0])
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("Small", proql_common::tup![1]).unwrap();
+        let opt = optimize_with(
+            &db,
+            Plan::scan("Small").join(Plan::scan("T"), vec![0], vec![0]),
+        );
+        match opt {
+            Plan::Join { build, .. } => assert_eq!(build, BuildSide::Left),
+            other => panic!("expected Join, got {other:?}"),
+        }
+        let opt = optimize_with(
+            &db,
+            Plan::scan("T").join(Plan::scan("Small"), vec![0], vec![0]),
+        );
+        match opt {
+            Plan::Join { build, .. } => assert_eq!(build, BuildSide::Right),
+            other => panic!("expected Join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn estimator_survives_cyclic_views() {
+        // The executors reject cyclic views with an error; the estimator
+        // must not stack-overflow on them either.
+        let mut db = db();
+        let schema =
+            proql_common::Schema::build("V", &[("id", proql_common::ValueType::Int)], &[]).unwrap();
+        db.create_view("V", Plan::scan("W"), schema.clone())
+            .unwrap();
+        db.create_view("W", Plan::scan("V"), schema).unwrap();
+        let plan = Plan::scan("V").join(Plan::scan("T"), vec![0], vec![0]);
+        let opt = optimize_with(&db, plan);
+        assert!(matches!(opt, Plan::Join { .. }));
+        assert_eq!(estimate_rows(&db, &Plan::scan("V")), 0);
     }
 }

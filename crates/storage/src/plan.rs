@@ -9,6 +9,21 @@
 use crate::expr::Expr;
 use proql_common::{Attribute, Schema, Tuple, ValueType};
 
+/// Which input of a hash join the hash table is built on. Set by the
+/// optimizer from catalog cardinality estimates ([`crate::optimize::optimize_with`]);
+/// `Auto` lets the batch executor decide from the actual materialized input
+/// sizes (and means "right" for the row executor, its historical behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BuildSide {
+    /// Decide at execution time.
+    #[default]
+    Auto,
+    /// Build the hash table on the left input, probe with the right.
+    Left,
+    /// Build the hash table on the right input, probe with the left.
+    Right,
+}
+
 /// Join variants. Outer joins are required for building subpath/prefix/suffix
 /// ASRs (paper §5.1: "a left outerjoin results in a path and its prefixes…").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,7 +98,10 @@ pub struct Aggregate {
 impl Aggregate {
     /// Build an aggregate output column.
     pub fn new(func: AggFunc, name: impl Into<String>) -> Self {
-        Aggregate { func, name: name.into() }
+        Aggregate {
+            func,
+            name: name.into(),
+        }
     }
 }
 
@@ -130,6 +148,8 @@ pub enum Plan {
         left_keys: Vec<usize>,
         /// Key columns on the right input (same length as `left_keys`).
         right_keys: Vec<usize>,
+        /// Hash-table build side (performance hint; never affects results).
+        build: BuildSide,
     },
     /// N-ary union. `distinct: false` is SQL `UNION ALL`.
     Union {
@@ -185,23 +205,36 @@ pub enum Plan {
 impl Plan {
     /// Scan helper.
     pub fn scan(table: impl Into<String>) -> Plan {
-        Plan::Scan { table: table.into() }
+        Plan::Scan {
+            table: table.into(),
+        }
     }
 
     /// Filter helper.
     pub fn filter(self, predicate: Expr) -> Plan {
-        Plan::Filter { input: Box::new(self), predicate }
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Project helper with `cN` default names.
     pub fn project(self, exprs: Vec<Expr>) -> Plan {
         let names = (0..exprs.len()).map(|i| format!("c{i}")).collect();
-        Plan::Project { input: Box::new(self), exprs, names }
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+            names,
+        }
     }
 
     /// Project helper with explicit names.
     pub fn project_named(self, exprs: Vec<Expr>, names: Vec<String>) -> Plan {
-        Plan::Project { input: Box::new(self), exprs, names }
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+            names,
+        }
     }
 
     /// Inner-join helper.
@@ -212,6 +245,7 @@ impl Plan {
             join_type: JoinType::Inner,
             left_keys,
             right_keys,
+            build: BuildSide::Auto,
         }
     }
 
@@ -229,17 +263,23 @@ impl Plan {
             join_type,
             left_keys,
             right_keys,
+            build: BuildSide::Auto,
         }
     }
 
     /// UNION ALL helper.
     pub fn union_all(inputs: Vec<Plan>) -> Plan {
-        Plan::Union { inputs, distinct: false }
+        Plan::Union {
+            inputs,
+            distinct: false,
+        }
     }
 
     /// Distinct helper.
     pub fn distinct(self) -> Plan {
-        Plan::Distinct { input: Box::new(self) }
+        Plan::Distinct {
+            input: Box::new(self),
+        }
     }
 
     /// Count the base-table scans in the plan (used in tests and stats;

@@ -166,8 +166,7 @@ impl Table {
     /// Find an index covering exactly the given column set (order-insensitive).
     pub fn find_index(&self, columns: &[usize]) -> Option<&Index> {
         self.indexes.iter().find(|ix| {
-            ix.columns().len() == columns.len()
-                && ix.columns().iter().all(|c| columns.contains(c))
+            ix.columns().len() == columns.len() && ix.columns().iter().all(|c| columns.contains(c))
         })
     }
 
@@ -284,7 +283,8 @@ mod tests {
     #[test]
     fn index_lookup_skips_tombstones() {
         let mut t = table();
-        t.create_index("by_name", vec![1], IndexKind::BTree).unwrap();
+        t.create_index("by_name", vec![1], IndexKind::BTree)
+            .unwrap();
         t.insert(tup![1, "a", true]).unwrap();
         t.insert(tup![2, "a", true]).unwrap();
         t.insert(tup![3, "b", true]).unwrap();

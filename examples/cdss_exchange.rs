@@ -39,8 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("building {}", def.name);
         reg.build(&mut sys2, def)?;
     }
-    let mut opts = EngineOptions::default();
-    opts.strategy = Strategy::Unfold;
+    let mut opts = EngineOptions {
+        strategy: Strategy::Unfold,
+        ..Default::default()
+    };
     opts.rewriter = Some(Arc::new(reg));
     let mut fast = Engine::with_options(sys2, opts);
     let t0 = Instant::now();

@@ -30,7 +30,12 @@ fn score(engine: &mut Engine, a_cost: i64, m5_cost: f64) -> Vec<(String, f64)> {
         .expect("annotated")
         .rows
         .iter()
-        .map(|r| (r.key.to_string(), r.annotation.as_weight().unwrap_or(f64::INFINITY)))
+        .map(|r| {
+            (
+                r.key.to_string(),
+                r.annotation.as_weight().unwrap_or(f64::INFINITY),
+            )
+        })
         .collect();
     rows.sort_by(|a, b| a.1.total_cmp(&b.1));
     rows

@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Example 2.1: peers sharing animal data through mappings m1..m5,
     // with the base tuples of Figure 1 already exchanged.
     let sys = example_2_1()?;
-    println!("relations: {}", sys.db.table_names().collect::<Vec<_>>().join(", "));
+    println!(
+        "relations: {}",
+        sys.db.table_names().collect::<Vec<_>>().join(", ")
+    );
     println!("mappings : {}\n", sys.program().rules.len());
 
     let mut engine = Engine::new(sys);
@@ -21,22 +24,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Q1: all the ways O tuples were derived.
     let q1 = engine.query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")?;
-    println!("Q1: {} O tuples, {} derivation rows in the projected subgraph",
+    println!(
+        "Q1: {} O tuples, {} derivation rows in the projected subgraph",
         q1.projection.bindings.len(),
-        q1.projection.derivation_count());
+        q1.projection.derivation_count()
+    );
 
     // Q5: derivability with the default assignment.
-    let q5 = engine.query(
-        "EVALUATE DERIVABILITY OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
-    )?;
+    let q5 = engine
+        .query("EVALUATE DERIVABILITY OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }")?;
     for row in &q5.annotated.as_ref().expect("annotated").rows {
         println!("Q5: O{} derivable = {}", row.key, row.annotation);
     }
 
     // Q6: lineage — the base tuples each O tuple depends on.
-    let q6 = engine.query(
-        "EVALUATE LINEAGE OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
-    )?;
+    let q6 =
+        engine.query("EVALUATE LINEAGE OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }")?;
     for row in &q6.annotated.as_ref().expect("annotated").rows {
         println!("Q6: lineage(O{}) = {}", row.key, row.annotation);
     }

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("trust policy: distrust A tuples with len >= 6; distrust mapping m4\n");
     for row in &out.annotated.expect("annotated").rows {
-        println!("  O{:<12} trusted = {}", row.key.to_string(), row.annotation);
+        println!(
+            "  O{:<12} trusted = {}",
+            row.key.to_string(),
+            row.annotation
+        );
     }
 
     // Confidentiality (Q10): A data is secret; joins take the stricter

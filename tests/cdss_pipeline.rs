@@ -16,14 +16,21 @@ fn chain_pipeline_with_all_asr_kinds() {
     let baseline = plain.query(target_query()).unwrap();
     assert_eq!(baseline.projection.bindings.len(), 50);
 
-    for kind in [AsrKind::Complete, AsrKind::Subpath, AsrKind::Prefix, AsrKind::Suffix] {
+    for kind in [
+        AsrKind::Complete,
+        AsrKind::Subpath,
+        AsrKind::Prefix,
+        AsrKind::Suffix,
+    ] {
         let mut sys2 = sys.clone();
         let mut reg = AsrRegistry::new();
         for def in advise(&sys2, "R0a", 3, kind) {
             reg.build(&mut sys2, def).unwrap();
         }
-        let mut opts = EngineOptions::default();
-        opts.strategy = Strategy::Unfold;
+        let mut opts = EngineOptions {
+            strategy: Strategy::Unfold,
+            ..Default::default()
+        };
         opts.rewriter = Some(Arc::new(reg));
         let mut e = Engine::with_options(sys2, opts);
         let out = e.query(target_query()).unwrap();
@@ -49,9 +56,7 @@ fn branched_pipeline_annotations() {
     e.options.strategy = Strategy::Unfold;
     // Every target tuple has two derivation branches: count them.
     let out = e
-        .query(
-            "EVALUATE COUNT OF { FOR [R0a $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
-        )
+        .query("EVALUATE COUNT OF { FOR [R0a $x] INCLUDE PATH [$x] <-+ [] RETURN $x }")
         .unwrap()
         .annotated
         .unwrap();
@@ -63,8 +68,7 @@ fn branched_pipeline_annotations() {
 
 #[test]
 fn exchange_then_delete_then_requery() {
-    let mut sys =
-        build_system(Topology::Chain, &CdssConfig::new(4, vec![3], 10)).unwrap();
+    let mut sys = build_system(Topology::Chain, &CdssConfig::new(4, vec![3], 10)).unwrap();
     assert!(remains_derivable(&sys, "R0a", &tup![3]).unwrap());
     delete_local(&mut sys, "R3a", &tup![3]).unwrap();
     assert!(!remains_derivable(&sys, "R0a", &tup![3]).unwrap());

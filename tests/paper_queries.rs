@@ -70,7 +70,10 @@ fn q5_q6_derivability_and_lineage() {
             .unwrap()
             .annotated
             .unwrap();
-        assert!(d.rows.iter().all(|r| r.annotation == Annotation::Bool(true)));
+        assert!(d
+            .rows
+            .iter()
+            .all(|r| r.annotation == Annotation::Bool(true)));
         let l = e
             .query("EVALUATE LINEAGE OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }")
             .unwrap()
@@ -93,7 +96,11 @@ fn q7_trust_cross_strategy_agreement() {
                CASE $p = m4 : SET false
                DEFAULT : SET $z
              }";
-    let a = engine(Strategy::Unfold).query(q).unwrap().annotated.unwrap();
+    let a = engine(Strategy::Unfold)
+        .query(q)
+        .unwrap()
+        .annotated
+        .unwrap();
     let b = engine(Strategy::Graph).query(q).unwrap().annotated.unwrap();
     for row in &a.rows {
         assert_eq!(

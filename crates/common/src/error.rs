@@ -27,6 +27,9 @@ pub enum Error {
     Asr(String),
     /// Storage engine failure (bad plan, index misuse).
     Storage(String),
+    /// Fixed-width arithmetic overflowed (integer SUM, derivation counts).
+    /// All executors surface overflow as this error instead of wrapping.
+    Overflow(String),
     /// Anything else.
     Other(String),
 }
@@ -44,6 +47,7 @@ impl Error {
             Error::Semiring(_) => "semiring",
             Error::Asr(_) => "asr",
             Error::Storage(_) => "storage",
+            Error::Overflow(_) => "overflow",
             Error::Other(_) => "error",
         }
     }
@@ -60,6 +64,7 @@ impl Error {
             | Error::Semiring(m)
             | Error::Asr(m)
             | Error::Storage(m)
+            | Error::Overflow(m)
             | Error::Other(m) => m,
         }
     }

@@ -11,6 +11,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod par;
 pub mod rng;
 pub mod schema;
 pub mod tuple;
@@ -18,6 +19,7 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use ids::{DerivationId, MappingId, PeerId, RelationId, TupleId};
+pub use par::Parallelism;
 pub use schema::{Attribute, Schema};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};

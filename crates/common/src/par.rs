@@ -1,0 +1,190 @@
+//! Morsel-driven parallelism primitives (zero external deps).
+//!
+//! The batch executor, the projection runner, and the semiring evaluator
+//! all parallelize over `std::thread::scope`: work is cut into fixed-size
+//! **morsels** (index ranges), a small pool of scoped threads pulls morsel
+//! indices from an atomic counter (work stealing without queues), and the
+//! per-morsel results are reassembled **in morsel index order** — which is
+//! what makes every parallel operator bit-identical to its serial twin.
+//!
+//! The [`Parallelism`] knob is threaded from `EngineOptions` down through
+//! `proql_storage::batch_exec`, `proql::exec`, and `proql_semiring::eval`.
+//! It defaults to [`Parallelism::Serial`], so nothing changes unless a
+//! caller (or the `PROQL_THREADS` environment variable) asks for threads.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many rows one morsel covers. Small enough to load-balance skewed
+/// operators, large enough that per-morsel bookkeeping (one slice clone +
+/// one result slot) is noise against the vectorized work inside.
+pub const MORSEL_ROWS: usize = 1024;
+
+/// Degree of parallelism for query execution and annotation evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded (the default; identical to the pre-parallel engine).
+    #[default]
+    Serial,
+    /// Exactly `n` worker threads (`Threads(0)` and `Threads(1)` mean
+    /// serial).
+    Threads(usize),
+    /// One thread per available CPU
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// Read the knob from the `PROQL_THREADS` environment variable:
+    /// unset/`0`/`1` → [`Parallelism::Serial`], `auto` →
+    /// [`Parallelism::Auto`], `n` → [`Parallelism::Threads`]`(n)`.
+    pub fn from_env() -> Parallelism {
+        match std::env::var("PROQL_THREADS") {
+            Ok(v) if v.eq_ignore_ascii_case("auto") => Parallelism::Auto,
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 1 => Parallelism::Threads(n),
+                _ => Parallelism::Serial,
+            },
+            Err(_) => Parallelism::Serial,
+        }
+    }
+
+    /// The worker-thread count this knob resolves to (always ≥ 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// True iff this knob resolves to more than one worker thread.
+    pub fn is_parallel(self) -> bool {
+        self.threads() > 1
+    }
+
+    /// Pin `Auto` to a concrete [`Parallelism::Threads`] count. Entry
+    /// points call this once per query: `available_parallelism` reads
+    /// cgroup files on Linux, far too slow to consult per operator.
+    pub fn resolved(self) -> Parallelism {
+        match self {
+            Parallelism::Auto => Parallelism::Threads(self.threads()),
+            other => other,
+        }
+    }
+}
+
+/// Cut `0..rows` into [`MORSEL_ROWS`]-sized ranges (the last may be short).
+pub fn morsel_ranges(rows: usize) -> Vec<Range<usize>> {
+    (0..rows)
+        .step_by(MORSEL_ROWS.max(1))
+        .map(|start| start..(start + MORSEL_ROWS).min(rows))
+        .collect()
+}
+
+/// Map `f` over `0..n`, returning the results **in index order**.
+///
+/// With `threads <= 1` (or tiny `n`) this is a plain serial map. Otherwise
+/// scoped worker threads pull indices from a shared atomic counter — cheap
+/// work stealing, so skewed items still balance — and results are slotted
+/// back by index, making the output independent of scheduling. Worker
+/// panics propagate to the caller.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, v) in part {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 8] {
+            let out = par_map(1000, threads, |i| i * 3);
+            assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        assert!(par_map(0, 4, |i| i).is_empty());
+        assert_eq!(par_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn morsel_ranges_cover_exactly() {
+        for rows in [0, 1, MORSEL_ROWS - 1, MORSEL_ROWS, MORSEL_ROWS * 3 + 5] {
+            let ranges = morsel_ranges(rows);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, rows);
+        }
+    }
+
+    #[test]
+    fn parallelism_resolves_thread_counts() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert_eq!(Parallelism::Threads(6).threads(), 6);
+        assert!(Parallelism::Auto.threads() >= 1);
+        assert!(!Parallelism::Serial.is_parallel());
+        assert!(Parallelism::Threads(2).is_parallel());
+    }
+
+    #[test]
+    fn par_map_result_error_selection_is_deterministic() {
+        // Callers fold Vec<Result<_>> in index order; the first error by
+        // index wins regardless of which thread hit it first.
+        for threads in [1, 4] {
+            let out: Vec<Result<usize, usize>> =
+                par_map(100, threads, |i| if i % 7 == 3 { Err(i) } else { Ok(i) });
+            let first_err = out.into_iter().find_map(|r| r.err());
+            assert_eq!(first_err, Some(3));
+        }
+    }
+}

@@ -15,12 +15,12 @@
 //! probability, polynomials) and cyclic graphs fall back to the direct
 //! graph walk in `proql-semiring`.
 
-use proql_common::{Error, Result, TupleId, Value};
+use proql_common::{Error, Parallelism, Result, TupleId, Value};
 use proql_provgraph::{ProvGraph, TupleNode};
 use proql_semiring::eval::leaf_label;
 use proql_semiring::{Annotation, MapFn, SecurityLevel, SemiringKind};
 use proql_storage::batch::{Column, RecordBatch};
-use proql_storage::batch_exec::batch_aggregate;
+use proql_storage::batch_exec::batch_aggregate_opts;
 use proql_storage::{AggFunc, Aggregate};
 use std::collections::HashMap;
 
@@ -97,12 +97,15 @@ fn encoding_for(kind: SemiringKind) -> Option<Encoding> {
 /// Returns `Ok(None)` when this strategy does not apply (cyclic graph, or
 /// a semiring without a scalar aggregate encoding); callers fall back to
 /// [`proql_semiring::evaluate`]. When it applies, results are identical to
-/// the direct walk — asserted by property tests.
+/// the direct walk — asserted by property tests. `par` is forwarded to the
+/// grouped-aggregation operator, whose morsel-parallel path is itself
+/// bit-identical to its serial path.
 pub fn evaluate_via_aggregation(
     graph: &ProvGraph,
     kind: SemiringKind,
     leaf: &dyn Fn(&TupleNode, &str) -> Annotation,
     map_fn: &dyn Fn(&str) -> MapFn,
+    par: Parallelism,
 ) -> Result<Option<HashMap<TupleId, Annotation>>> {
     let Some(enc) = encoding_for(kind) else {
         return Ok(None);
@@ -111,26 +114,7 @@ pub fn evaluate_via_aggregation(
         return Ok(None);
     };
 
-    // Assign levels: a tuple's level is one past the deepest source feeding
-    // any of its derivations (base derivations contribute level 0). The
-    // topo order guarantees sources are leveled before their targets.
-    let mut level: Vec<u32> = vec![0; graph.tuple_count()];
-    let mut max_level = 0u32;
-    for &t in &order {
-        let mut lvl = 0;
-        for &d in graph.derivations_of(t) {
-            let node = graph.derivation(d);
-            for s in &node.sources {
-                lvl = lvl.max(level[s.index()] + 1);
-            }
-        }
-        level[t.index()] = lvl;
-        max_level = max_level.max(lvl);
-    }
-    let mut by_level: Vec<Vec<TupleId>> = vec![Vec::new(); max_level as usize + 1];
-    for &t in &order {
-        by_level[level[t.index()] as usize].push(t);
-    }
+    let by_level = proql_semiring::eval::level_order(graph, &order);
 
     let checked_leaf = |tn: &TupleNode| -> Result<Annotation> {
         let v = leaf(tn, &leaf_label(tn));
@@ -192,7 +176,13 @@ pub fn evaluate_via_aggregation(
             vec![Column::Int(targets), Column::from_value_vec(deriv_vals)],
             rows,
         );
-        let summed = batch_aggregate(&batch, &[0], &[Aggregate::new((enc.agg)(1), "sum")], None)?;
+        let summed = batch_aggregate_opts(
+            &batch,
+            &[0],
+            &[Aggregate::new((enc.agg)(1), "sum")],
+            None,
+            par,
+        )?;
         for row in 0..summed.len() {
             let t = summed.columns[0]
                 .value(row)
@@ -234,24 +224,26 @@ mod tests {
     fn assert_matches_direct_walk(
         g: &ProvGraph,
         kind: SemiringKind,
-        leaf: impl Fn(&TupleNode, &str) -> Annotation + Clone + 'static,
-        map_fn: impl Fn(&str) -> MapFn + Clone + 'static,
+        leaf: impl Fn(&TupleNode, &str) -> Annotation + Clone + Send + Sync + 'static,
+        map_fn: impl Fn(&str) -> MapFn + Clone + Send + Sync + 'static,
     ) {
-        let via_agg = evaluate_via_aggregation(g, kind, &leaf, &map_fn)
-            .unwrap()
-            .expect("aggregation path applies");
-        let assign = Assignment::default_for(kind)
-            .with_leaf(leaf)
-            .with_map_fn(map_fn);
-        let direct = evaluate(g, &assign).unwrap();
-        assert_eq!(via_agg.len(), direct.len(), "{kind}");
-        for (t, v) in &direct {
-            assert_eq!(
-                via_agg.get(t),
-                Some(v),
-                "{kind}: {}",
-                leaf_label(g.tuple(*t))
-            );
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let via_agg = evaluate_via_aggregation(g, kind, &leaf.clone(), &map_fn.clone(), par)
+                .unwrap()
+                .expect("aggregation path applies");
+            let assign = Assignment::default_for(kind)
+                .with_leaf(leaf.clone())
+                .with_map_fn(map_fn.clone());
+            let direct = evaluate(g, &assign).unwrap();
+            assert_eq!(via_agg.len(), direct.len(), "{kind}");
+            for (t, v) in &direct {
+                assert_eq!(
+                    via_agg.get(t),
+                    Some(v),
+                    "{kind} ({par:?}): {}",
+                    leaf_label(g.tuple(*t))
+                );
+            }
         }
     }
 
@@ -313,9 +305,14 @@ mod tests {
         let g = ProvGraph::from_system(&example_2_1().unwrap()).unwrap();
         assert!(g.is_cyclic());
         let leaf = |_: &TupleNode, l: &str| SemiringKind::Derivability.default_leaf(l);
-        let out =
-            evaluate_via_aggregation(&g, SemiringKind::Derivability, &leaf, &|_| MapFn::Identity)
-                .unwrap();
+        let out = evaluate_via_aggregation(
+            &g,
+            SemiringKind::Derivability,
+            &leaf,
+            &|_| MapFn::Identity,
+            Parallelism::Serial,
+        )
+        .unwrap();
         assert!(out.is_none());
     }
 
@@ -323,8 +320,14 @@ mod tests {
     fn set_semirings_are_declined() {
         let g = acyclic_graph();
         let leaf = |_: &TupleNode, l: &str| SemiringKind::Lineage.default_leaf(l);
-        let out = evaluate_via_aggregation(&g, SemiringKind::Lineage, &leaf, &|_| MapFn::Identity)
-            .unwrap();
+        let out = evaluate_via_aggregation(
+            &g,
+            SemiringKind::Lineage,
+            &leaf,
+            &|_| MapFn::Identity,
+            Parallelism::Serial,
+        )
+        .unwrap();
         assert!(out.is_none());
     }
 }

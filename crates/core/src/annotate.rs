@@ -3,9 +3,9 @@
 
 use crate::ast::{Condition, Evaluate, SetValue};
 use crate::exec::ProjectionResult;
-use proql_common::{Error, Result, Tuple, Value};
+use proql_common::{Error, Parallelism, Result, Tuple, Value};
 use proql_provgraph::{ProvenanceSystem, TupleNode};
-use proql_semiring::{evaluate, Annotation, Assignment, MapFn, SecurityLevel, SemiringKind};
+use proql_semiring::{evaluate_with, Annotation, Assignment, MapFn, SecurityLevel, SemiringKind};
 use std::collections::{BTreeMap, HashMap};
 
 /// One annotated distinguished node.
@@ -50,6 +50,17 @@ pub fn run_annotation(
     projection: &ProjectionResult,
     spec: &Evaluate,
 ) -> Result<AnnotatedResult> {
+    run_annotation_opts(sys, projection, spec, Parallelism::Serial)
+}
+
+/// [`run_annotation`] with a [`Parallelism`] knob, forwarded to the
+/// grouped-aggregation ⊕ path and to the level-parallel graph walk.
+pub fn run_annotation_opts(
+    sys: &ProvenanceSystem,
+    projection: &ProjectionResult,
+    spec: &Evaluate,
+    par: Parallelism,
+) -> Result<AnnotatedResult> {
     let graph = projection.to_graph(sys)?;
     let kind = spec.semiring;
 
@@ -84,13 +95,14 @@ pub fn run_annotation(
     // Scalar semirings on acyclic projections evaluate their ⊕-sums through
     // the batch grouped-aggregation operator (the paper's GROUP BY step);
     // set-valued semirings and cyclic graphs use the direct graph walk.
-    let values = match crate::agg_eval::evaluate_via_aggregation(&graph, kind, &leaf, &map_fn)? {
+    let values = match crate::agg_eval::evaluate_via_aggregation(&graph, kind, &leaf, &map_fn, par)?
+    {
         Some(v) => v,
         None => {
             let assignment = Assignment::default_for(kind)
                 .with_leaf(leaf)
                 .with_map_fn(map_fn);
-            evaluate(&graph, &assignment)?
+            evaluate_with(&graph, &assignment, par)?
         }
     };
 

@@ -1,11 +1,11 @@
 //! The ProQL engine: parse → translate → execute → annotate.
 
-use crate::annotate::{run_annotation, AnnotatedResult};
+use crate::annotate::{run_annotation_opts, AnnotatedResult};
 use crate::ast::Query;
-use crate::exec::{run_projection_graph, run_projection_with, ProjectionResult};
+use crate::exec::{run_projection_graph, run_projection_opts, ProjectionResult};
 use crate::parser::parse_query;
 use crate::translate::{translate, BodyRewriter, TranslateOptions, TranslateStats};
-use proql_common::Result;
+use proql_common::{Parallelism, Result};
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
 use proql_storage::ExecMode;
 use std::sync::Arc;
@@ -26,7 +26,7 @@ pub enum Strategy {
 }
 
 /// Engine configuration.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct EngineOptions {
     /// Execution strategy.
     pub strategy: Strategy,
@@ -34,10 +34,27 @@ pub struct EngineOptions {
     /// (default), or the row-at-a-time hash-join / nested-loop baselines
     /// kept for equivalence testing and ablation benchmarks.
     pub exec_mode: ExecMode,
+    /// Morsel-driven parallelism for plan execution and annotation
+    /// evaluation. Defaults to the `PROQL_THREADS` environment variable
+    /// (serial when unset), and is guaranteed result-identical to
+    /// [`Parallelism::Serial`] at every setting.
+    pub parallelism: Parallelism,
     /// Unfolding limits.
     pub translate: TranslateOptions,
     /// Optional rule rewriter (ASR optimization plugs in here).
     pub rewriter: Option<Arc<dyn BodyRewriter + Send + Sync>>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            strategy: Strategy::default(),
+            exec_mode: ExecMode::default(),
+            parallelism: Parallelism::from_env(),
+            translate: TranslateOptions::default(),
+            rewriter: None,
+        }
+    }
 }
 
 impl std::fmt::Debug for EngineOptions {
@@ -45,6 +62,7 @@ impl std::fmt::Debug for EngineOptions {
         f.debug_struct("EngineOptions")
             .field("strategy", &self.strategy)
             .field("exec_mode", &self.exec_mode)
+            .field("parallelism", &self.parallelism)
             .field("translate", &self.translate)
             .field("rewriter", &self.rewriter.as_ref().map(|_| "<dyn>"))
             .finish()
@@ -143,7 +161,12 @@ impl Engine {
                 stats.unfold_time = t0.elapsed();
                 stats.translate = translation.stats.clone();
                 let t1 = Instant::now();
-                let proj = run_projection_with(&self.sys, &translation, self.options.exec_mode)?;
+                let proj = run_projection_opts(
+                    &self.sys,
+                    &translation,
+                    self.options.exec_mode,
+                    self.options.parallelism,
+                )?;
                 stats.eval_time = t1.elapsed();
                 stats.total_joins = proj.metrics.total_joins;
                 stats.sql_bytes = proj.metrics.sql_bytes;
@@ -164,7 +187,12 @@ impl Engine {
             }
         };
         let annotated = match &q.evaluate {
-            Some(spec) => Some(run_annotation(&self.sys, &projection, spec)?),
+            Some(spec) => Some(run_annotation_opts(
+                &self.sys,
+                &projection,
+                spec,
+                self.options.parallelism,
+            )?),
             None => None,
         };
         Ok(QueryOutput {

@@ -12,13 +12,14 @@
 
 use crate::ast::{CmpOp, Condition, Query, StepPattern};
 use crate::translate::{QueryRule, Translation, VarCond};
-use proql_common::{Error, Result, Tuple, Value};
+use proql_common::par::par_map;
+use proql_common::{Error, Parallelism, Result, Tuple, Value};
 use proql_datalog::ast::Term;
 use proql_datalog::compile::compile_body;
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
 use proql_storage::batch::{Column, RecordBatch};
 use proql_storage::{
-    execute_batch, execute_with, explain, optimize::optimize_with, ExecMode, Expr,
+    execute_batch_opts, execute_with, explain, optimize::optimize_with, ExecMode, Expr,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -93,11 +94,59 @@ pub fn run_projection_with(
     translation: &Translation,
     mode: ExecMode,
 ) -> Result<ProjectionResult> {
-    let mut out = ProjectionResult::default();
-    for rule in &translation.rules {
-        run_rule(sys, rule, &translation.return_vars, mode, &mut out)?;
+    run_projection_opts(sys, translation, mode, Parallelism::Serial)
+}
+
+/// [`run_projection_with`] plus a [`Parallelism`] knob.
+///
+/// The unfolded rules of a translation are independent conjunctive
+/// queries, so with parallelism enabled and more than one rule, rules
+/// themselves fan out over worker threads (each executing its plan
+/// serially); partial results merge into order-insensitive sets, making
+/// the output identical to the serial pass. A single-rule translation
+/// instead forwards the knob into the batch executor's morsel-parallel
+/// operators. Errors resolve to the first failing rule in rule order.
+pub fn run_projection_opts(
+    sys: &ProvenanceSystem,
+    translation: &Translation,
+    mode: ExecMode,
+    par: Parallelism,
+) -> Result<ProjectionResult> {
+    let par = par.resolved();
+    let rules = &translation.rules;
+    if par.is_parallel() && rules.len() > 1 {
+        let partials = par_map(rules.len(), par.threads(), |i| {
+            let mut partial = ProjectionResult::default();
+            run_rule(
+                sys,
+                &rules[i],
+                &translation.return_vars,
+                mode,
+                Parallelism::Serial,
+                &mut partial,
+            )
+            .map(|()| partial)
+        });
+        let mut out = ProjectionResult::default();
+        for partial in partials {
+            let partial = partial?;
+            for (mapping, rows) in partial.derivations {
+                out.derivations.entry(mapping).or_default().extend(rows);
+            }
+            out.bindings.extend(partial.bindings);
+            out.metrics.rules_executed += partial.metrics.rules_executed;
+            out.metrics.total_joins += partial.metrics.total_joins;
+            out.metrics.sql_bytes += partial.metrics.sql_bytes;
+            out.metrics.rows += partial.metrics.rows;
+        }
+        Ok(out)
+    } else {
+        let mut out = ProjectionResult::default();
+        for rule in rules {
+            run_rule(sys, rule, &translation.return_vars, mode, par, &mut out)?;
+        }
+        Ok(out)
     }
-    Ok(out)
 }
 
 /// A resolved output term: either a constant or a reference into a batch
@@ -141,6 +190,7 @@ fn run_rule(
     rule: &QueryRule,
     return_vars: &[String],
     mode: ExecMode,
+    par: Parallelism,
     out: &mut ProjectionResult,
 ) -> Result<()> {
     let bp = compile_body(&sys.db, &rule.atoms)?;
@@ -157,7 +207,7 @@ fn run_rule(
     // executors produce rows that are transposed once here; the batch
     // executor is columnar end to end.
     let batch = match mode {
-        ExecMode::Batch => execute_batch(&sys.db, &plan)?,
+        ExecMode::Batch => execute_batch_opts(&sys.db, &plan, par)?,
         row_mode => {
             let rel = execute_with(&sys.db, &plan, row_mode)?;
             RecordBatch::from_rows(rel.names, rel.rows.iter())

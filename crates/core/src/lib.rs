@@ -49,6 +49,6 @@ pub mod translate;
 pub use annotate::AnnotatedResult;
 pub use ast::Query;
 pub use engine::{Engine, EngineOptions, QueryOutput, Strategy};
-pub use exec::{run_projection, run_projection_with, ProjectionResult};
+pub use exec::{run_projection, run_projection_opts, run_projection_with, ProjectionResult};
 pub use parser::parse_query;
 pub use translate::{translate, BodyRewriter, QueryRule, TranslateStats, Translation};

@@ -618,6 +618,40 @@ mod tests {
     }
 
     #[test]
+    fn mutation_after_freeze_rebuilds_adjacency() {
+        // Regression: traversal freezes the CSR adjacency lazily; mutating
+        // the graph afterwards must invalidate it so later traversals see
+        // the new edges instead of a stale frozen copy.
+        let mut g = ProvGraph::new();
+        let t1 = g.add_tuple("R", tup![1], None);
+        let d1 = g.add_derivation("m", tup![1], vec![], vec![t1], true);
+        // Freeze both adjacency directions.
+        assert_eq!(g.derivations_of(t1), &[d1]);
+        assert!(g.consumers_of(t1).is_empty());
+        assert!(g.topo_order().is_some());
+
+        // Mutate: a new tuple derived *from* t1, plus a second alternative
+        // derivation of t1 itself.
+        let t2 = g.add_tuple("R", tup![2], None);
+        let d2 = g.add_derivation("m2", tup![2], vec![t1], vec![t2], false);
+        let d3 = g.add_derivation("m3", tup![3], vec![], vec![t1], true);
+
+        // Post-mutation traversals reflect the new edges.
+        assert_eq!(g.derivations_of(t1), &[d1, d3]);
+        assert_eq!(g.consumers_of(t1), &[d2]);
+        assert_eq!(g.derivations_of(t2), &[d2]);
+        let order = g.topo_order().expect("still acyclic");
+        assert_eq!(order.len(), 2);
+        let pos: HashMap<TupleId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        assert!(pos[&t1] < pos[&t2], "source must precede target");
+        // And the values backfill path (which must not rebuild edges) still
+        // leaves adjacency consistent.
+        let t1_again = g.add_tuple("R", tup![1], Some(tup![1, 9]));
+        assert_eq!(t1_again, t1);
+        assert_eq!(g.derivations_of(t1), &[d1, d3]);
+    }
+
+    #[test]
     fn consumers_tracked() {
         let sys = example_2_1().unwrap();
         let g = ProvGraph::from_system(&sys).unwrap();

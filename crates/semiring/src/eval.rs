@@ -9,12 +9,14 @@
 
 use crate::annotation::Annotation;
 use crate::semiring::{MapFn, SemiringKind};
-use proql_common::{DerivationId, Error, Result, TupleId};
+use proql_common::par::par_map;
+use proql_common::{DerivationId, Error, Parallelism, Result, TupleId};
 use proql_provgraph::{ProvGraph, TupleNode};
 use std::collections::HashMap;
 
-/// A boxed leaf-assignment closure.
-pub type LeafFn<'a> = Box<dyn Fn(&TupleNode, &str) -> Annotation + 'a>;
+/// A boxed leaf-assignment closure. `Send + Sync` so the level-parallel
+/// evaluator can call it from worker threads.
+pub type LeafFn<'a> = Box<dyn Fn(&TupleNode, &str) -> Annotation + Send + Sync + 'a>;
 
 /// The value/function assignment of an annotation computation: which
 /// semiring, what each leaf gets, and each mapping's unary function.
@@ -26,7 +28,7 @@ pub struct Assignment<'a> {
     /// [`SemiringKind::default_leaf`].
     pub leaf: LeafFn<'a>,
     /// Unary function of each mapping (by name); default is identity.
-    pub map_fn: Box<dyn Fn(&str) -> MapFn + 'a>,
+    pub map_fn: Box<dyn Fn(&str) -> MapFn + Send + Sync + 'a>,
     /// Value of *dangling* leaves — tuple nodes with no derivations at all
     /// in the (projected) graph. `None` (the default) applies the `leaf`
     /// assignment, per the paper's projected-subgraph semantics; update
@@ -48,13 +50,16 @@ impl<'a> Assignment<'a> {
     }
 
     /// Override the leaf assignment.
-    pub fn with_leaf(mut self, f: impl Fn(&TupleNode, &str) -> Annotation + 'a) -> Assignment<'a> {
+    pub fn with_leaf(
+        mut self,
+        f: impl Fn(&TupleNode, &str) -> Annotation + Send + Sync + 'a,
+    ) -> Assignment<'a> {
         self.leaf = Box::new(f);
         self
     }
 
     /// Override the mapping-function assignment.
-    pub fn with_map_fn(mut self, f: impl Fn(&str) -> MapFn + 'a) -> Assignment<'a> {
+    pub fn with_map_fn(mut self, f: impl Fn(&str) -> MapFn + Send + Sync + 'a) -> Assignment<'a> {
         self.map_fn = Box::new(f);
         self
     }
@@ -80,7 +85,26 @@ pub fn evaluate(
     graph: &ProvGraph,
     assign: &Assignment<'_>,
 ) -> Result<HashMap<TupleId, Annotation>> {
+    evaluate_with(graph, assign, Parallelism::Serial)
+}
+
+/// [`evaluate`] with a [`Parallelism`] knob. On acyclic graphs with
+/// parallelism enabled, the bottom-up pass runs **level by level** over
+/// the CSR adjacency: a tuple's level is one past its deepest source, so
+/// tuples of one level are independent and evaluate on worker threads,
+/// with results merged deterministically. Values are identical to the
+/// serial walk — each tuple's fold still visits its derivations and
+/// sources in the same order — and a failing evaluation re-runs serially
+/// so even the surfaced error is the serial one. Cyclic graphs use the
+/// (serial) fixpoint path under every knob.
+pub fn evaluate_with(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+    par: Parallelism,
+) -> Result<HashMap<TupleId, Annotation>> {
+    let par = par.resolved();
     match graph.topo_order() {
+        Some(order) if par.is_parallel() => evaluate_by_levels(graph, assign, &order, par),
         Some(order) => evaluate_in_order(graph, assign, &order),
         None => evaluate_fixpoint(graph, assign),
     }
@@ -174,6 +198,75 @@ fn evaluate_in_order(
     for &t in order {
         let v = tuple_value(graph, assign, t, &vals)?;
         vals[t.index()] = Some(v);
+    }
+    Ok(to_map(vals))
+}
+
+/// Levels below which a level evaluates serially anyway (thread handoff
+/// costs more than a handful of folds).
+const PAR_LEVEL_MIN: usize = 64;
+
+/// Bucket an acyclic graph's tuples by **derivation depth**: a tuple's
+/// level is one past the deepest source feeding any of its derivations
+/// (base derivations contribute level 0), so tuples of one level depend
+/// only on strictly lower levels. `order` must be a topological order (it
+/// levels sources before their targets, and fixes the within-level
+/// ordering). Shared by the level-parallel walk here and the
+/// grouped-aggregation ⊕ evaluator in `proql`.
+pub fn level_order(graph: &ProvGraph, order: &[TupleId]) -> Vec<Vec<TupleId>> {
+    let mut level: Vec<u32> = vec![0; graph.tuple_count()];
+    let mut max_level = 0u32;
+    for &t in order {
+        let mut lvl = 0;
+        for &d in graph.derivations_of(t) {
+            for s in &graph.derivation(d).sources {
+                lvl = lvl.max(level[s.index()] + 1);
+            }
+        }
+        level[t.index()] = lvl;
+        max_level = max_level.max(lvl);
+    }
+    let mut by_level: Vec<Vec<TupleId>> = vec![Vec::new(); max_level as usize + 1];
+    for &t in order {
+        by_level[level[t.index()] as usize].push(t);
+    }
+    by_level
+}
+
+/// Level-parallel bottom-up pass over an acyclic graph: group tuples by
+/// derivation depth, then evaluate each level's tuples concurrently (they
+/// only read values of strictly lower levels).
+fn evaluate_by_levels(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+    order: &[TupleId],
+    par: Parallelism,
+) -> Result<HashMap<TupleId, Annotation>> {
+    let by_level = level_order(graph, order);
+    let mut vals: DenseVals = vec![None; graph.tuple_count()];
+    for tuples in &by_level {
+        if tuples.len() < PAR_LEVEL_MIN {
+            for &t in tuples {
+                match tuple_value(graph, assign, t, &vals) {
+                    Ok(v) => vals[t.index()] = Some(v),
+                    // Level order visits failures in a different order than
+                    // the serial topo walk; re-run serially so the surfaced
+                    // error is exactly the serial one (per-tuple folds are
+                    // deterministic, so the serial pass must fail too).
+                    Err(_) => return evaluate_in_order(graph, assign, order),
+                }
+            }
+            continue;
+        }
+        let results = par_map(tuples.len(), par.threads(), |i| {
+            tuple_value(graph, assign, tuples[i], &vals)
+        });
+        for (&t, v) in tuples.iter().zip(results) {
+            match v {
+                Ok(v) => vals[t.index()] = Some(v),
+                Err(_) => return evaluate_in_order(graph, assign, order),
+            }
+        }
     }
     Ok(to_map(vals))
 }
@@ -399,6 +492,68 @@ mod tests {
         assert!(
             evaluate_acyclic(&g, &Assignment::default_for(SemiringKind::Derivability)).is_err()
         );
+    }
+
+    #[test]
+    fn level_parallel_evaluation_matches_serial_walk() {
+        // A wide acyclic DAG (> PAR_LEVEL_MIN tuples per level) so the
+        // parallel path actually fans out.
+        let mut g = ProvGraph::new();
+        let width = super::PAR_LEVEL_MIN * 2;
+        let mut prev: Vec<proql_common::TupleId> = (0..width as i64)
+            .map(|i| {
+                let t = g.add_tuple("L0", tup![i], None);
+                g.add_derivation("base", tup![i], vec![], vec![t], true);
+                t
+            })
+            .collect();
+        for layer in 1..4 {
+            let mut nodes = Vec::new();
+            for j in 0..width as i64 {
+                let t = g.add_tuple(&format!("L{layer}"), tup![j], None);
+                let sources = vec![
+                    prev[j as usize % prev.len()],
+                    prev[(j as usize + 7) % prev.len()],
+                ];
+                g.add_derivation(&format!("m{layer}"), tup![j], sources, vec![t], false);
+                nodes.push(t);
+            }
+            prev = nodes;
+        }
+        for kind in [
+            SemiringKind::Counting,
+            SemiringKind::Weight,
+            SemiringKind::Derivability,
+            SemiringKind::Polynomial,
+        ] {
+            let serial = evaluate(&g, &Assignment::default_for(kind)).unwrap();
+            for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+                let parallel = evaluate_with(&g, &Assignment::default_for(kind), par).unwrap();
+                assert_eq!(serial, parallel, "{kind} under {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_overflow_errors_identically_in_serial_and_parallel() {
+        // A doubling chain: count(L_k) = 2^k, overflowing u64 at k = 64.
+        let mut g = ProvGraph::new();
+        let mut prev = g.add_tuple("L", tup![0], None);
+        g.add_derivation("base", tup![0], vec![], vec![prev], true);
+        for k in 1..=70i64 {
+            let t = g.add_tuple("L", tup![k], None);
+            g.add_derivation(&format!("a{k}"), tup![k], vec![prev], vec![t], false);
+            g.add_derivation(&format!("b{k}"), tup![k], vec![prev], vec![t], false);
+            prev = t;
+        }
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let err = evaluate_with(&g, &Assignment::default_for(SemiringKind::Counting), par)
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::Overflow(_)),
+                "expected overflow under {par:?}, got {err}"
+            );
+        }
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl SemiringKind {
             }
             (SemiringKind::Counting, Count(x), Count(y)) => Count(
                 x.checked_add(*y)
-                    .ok_or_else(|| Error::Semiring("derivation count overflow".into()))?,
+                    .ok_or_else(|| Error::Overflow("derivation count overflow".into()))?,
             ),
             (SemiringKind::Polynomial, Poly(x), Poly(y)) => Poly(x.add(y)),
             _ => return Err(type_error(self, a, b, "⊕")),
@@ -170,7 +170,7 @@ impl SemiringKind {
             }
             (SemiringKind::Counting, Count(x), Count(y)) => Count(
                 x.checked_mul(*y)
-                    .ok_or_else(|| Error::Semiring("derivation count overflow".into()))?,
+                    .ok_or_else(|| Error::Overflow("derivation count overflow".into()))?,
             ),
             (SemiringKind::Polynomial, Poly(x), Poly(y)) => Poly(x.mul(y)),
             _ => return Err(type_error(self, a, b, "⊗")),

@@ -146,6 +146,18 @@ impl Column {
         }
     }
 
+    /// Copy out the contiguous row range `r` (used by morsel-parallel
+    /// operators; representation is preserved).
+    pub fn slice(&self, r: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(v[r].to_vec()),
+            Column::Float(v) => Column::Float(v[r].to_vec()),
+            Column::Bool(v) => Column::Bool(v[r].to_vec()),
+            Column::Str(v) => Column::Str(v[r].to_vec()),
+            Column::Any(v) => Column::Any(v[r].to_vec()),
+        }
+    }
+
     /// Take the rows at `indices`, producing NULL for `None`. All-`Some`
     /// index vectors keep the typed representation.
     pub fn gather_opt(&self, indices: &[Option<u32>]) -> Column {
@@ -324,21 +336,53 @@ impl RecordBatch {
         }
     }
 
+    /// Copy out the contiguous row range `r` as its own batch.
+    pub fn slice(&self, r: std::ops::Range<usize>) -> RecordBatch {
+        RecordBatch {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.slice(r.clone())).collect(),
+            rows: r.len(),
+        }
+    }
+
     /// Per-row hashes of the key columns, consistent with `Tuple` hashing
     /// semantics (equal values hash equal regardless of representation).
-    ///
-    /// Key columns that are all dense `Int` take a fast path.
     pub fn key_hashes(&self, keys: &[usize]) -> Vec<u64> {
+        self.key_hashes_range(keys, 0..self.rows)
+    }
+
+    /// [`RecordBatch::key_hashes`] restricted to a row range (the unit of
+    /// morsel-parallel hashing; hashes depend only on values, so the
+    /// parallel concatenation equals the serial whole-batch pass).
+    pub fn key_hashes_range(&self, keys: &[usize], r: std::ops::Range<usize>) -> Vec<u64> {
         let cols: Vec<&Column> = keys.iter().map(|&k| &self.columns[k]).collect();
-        (0..self.rows)
-            .map(|row| {
-                let mut h = std::collections::hash_map::DefaultHasher::new();
-                for c in &cols {
-                    c.hash_value_into(row, &mut h);
-                }
-                h.finish()
-            })
-            .collect()
+        r.map(|row| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for c in &cols {
+                c.hash_value_into(row, &mut h);
+            }
+            h.finish()
+        })
+        .collect()
+    }
+
+    /// Parallel [`RecordBatch::key_hashes`]: morsels hashed on worker
+    /// threads, concatenated in morsel order.
+    pub fn key_hashes_par(&self, keys: &[usize], par: proql_common::Parallelism) -> Vec<u64> {
+        use proql_common::par::{morsel_ranges, par_map, MORSEL_ROWS};
+        let threads = par.threads();
+        if threads <= 1 || self.rows <= MORSEL_ROWS {
+            return self.key_hashes(keys);
+        }
+        let ranges = morsel_ranges(self.rows);
+        let parts = par_map(ranges.len(), threads, |i| {
+            self.key_hashes_range(keys, ranges[i].clone())
+        });
+        let mut out = Vec::with_capacity(self.rows);
+        for p in parts {
+            out.extend(p);
+        }
+        out
     }
 
     /// True iff any key column holds NULL at `row`.

@@ -8,13 +8,28 @@
 //! the workspace assert equivalence on randomized instances — but the
 //! columnar layout avoids per-row `Tuple` allocation on the hot provenance
 //! workloads (dense integer `P_m` chains).
+//!
+//! # Morsel-driven parallelism
+//!
+//! Every data-parallel operator also has a **morsel-driven parallel** path
+//! selected by [`Parallelism`] (default [`Parallelism::Serial`]): scans,
+//! filters, and projections split their input into [`MORSEL_ROWS`]-sized
+//! morsels evaluated on scoped worker threads and reassembled in morsel
+//! order; hash joins run two-phase (parallel partition-by-hash of both
+//! sides, then per-partition build+probe in parallel, then a canonical
+//! `(left, right)` sort); grouped aggregation computes per-morsel partial
+//! group tables merged deterministically in morsel index order. All merge
+//! orders are fixed by morsel/partition index, so parallel output is
+//! **bit-identical** to serial output — including `f64` SUM results, whose
+//! accumulation order is the global row order in both paths.
 
 use crate::batch::{eval_expr, eval_mask, Column, RecordBatch};
 use crate::database::Database;
 use crate::exec::{join_names, JoinAlgo, Relation, MAX_VIEW_DEPTH};
 use crate::expr::Expr;
 use crate::plan::{AggFunc, Aggregate, BuildSide, JoinType, Plan};
-use proql_common::{Error, Result, Value};
+use proql_common::par::{morsel_ranges, par_map, MORSEL_ROWS};
+use proql_common::{Error, Parallelism, Result, Value};
 use std::collections::HashMap;
 
 /// Which executor [`execute_with`] dispatches to.
@@ -32,9 +47,21 @@ pub enum ExecMode {
 /// Execute `plan` under the selected executor, materializing a row
 /// [`Relation`] either way (callers downstream are row-oriented).
 pub fn execute_with(db: &Database, plan: &Plan, mode: ExecMode) -> Result<Relation> {
+    execute_with_opts(db, plan, mode, Parallelism::Serial)
+}
+
+/// [`execute_with`] plus a [`Parallelism`] knob. Only the batch executor
+/// parallelizes; the row executors are serial oracles kept bit-for-bit
+/// stable.
+pub fn execute_with_opts(
+    db: &Database,
+    plan: &Plan,
+    mode: ExecMode,
+    par: Parallelism,
+) -> Result<Relation> {
     match mode {
         ExecMode::Batch => {
-            let batch = execute_batch(db, plan)?;
+            let batch = execute_batch_opts(db, plan, par)?;
             Ok(Relation {
                 names: batch.names.clone(),
                 rows: batch.to_rows(),
@@ -47,10 +74,40 @@ pub fn execute_with(db: &Database, plan: &Plan, mode: ExecMode) -> Result<Relati
 
 /// Execute `plan`, producing a columnar batch.
 pub fn execute_batch(db: &Database, plan: &Plan) -> Result<RecordBatch> {
-    exec_inner(db, plan, 0)
+    execute_batch_opts(db, plan, Parallelism::Serial)
 }
 
-fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
+/// [`execute_batch`] with morsel-driven parallelism. Output is guaranteed
+/// bit-identical to the serial run for every plan shape.
+pub fn execute_batch_opts(db: &Database, plan: &Plan, par: Parallelism) -> Result<RecordBatch> {
+    exec_inner(db, plan, 0, par.resolved())
+}
+
+/// True when `rows` is big enough (and `par` parallel enough) that cutting
+/// into morsels beats a serial pass.
+fn go_parallel(par: Parallelism, rows: usize) -> bool {
+    par.threads() > 1 && rows > MORSEL_ROWS
+}
+
+/// Concatenate per-morsel result batches in morsel index order.
+fn concat_batches(parts: Vec<Result<RecordBatch>>) -> Result<RecordBatch> {
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().expect("at least one morsel")?;
+    for part in iter {
+        let batch = part?;
+        let rows = acc.len() + batch.len();
+        let names = std::mem::take(&mut acc.names);
+        let cols = std::mem::take(&mut acc.columns)
+            .into_iter()
+            .zip(batch.columns)
+            .map(|(a, b)| a.append(b))
+            .collect();
+        acc = RecordBatch::new(names, cols, rows);
+    }
+    Ok(acc)
+}
+
+fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Result<RecordBatch> {
     if depth > MAX_VIEW_DEPTH {
         return Err(Error::Storage(
             "view expansion too deep (cyclic view definition?)".into(),
@@ -59,15 +116,29 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
     match plan {
         Plan::Scan { table } => {
             if let Ok(t) = db.table(table) {
-                let names = t
+                let names: Vec<String> = t
                     .schema()
                     .attributes()
                     .iter()
                     .map(|a| a.name.clone())
                     .collect();
-                Ok(RecordBatch::from_rows(names, t.iter()))
+                if go_parallel(par, t.len()) {
+                    // Parallel transpose: each morsel of rows becomes its
+                    // own column chunk, appended in morsel order.
+                    let rows: Vec<&proql_common::Tuple> = t.iter().collect();
+                    let ranges = morsel_ranges(rows.len());
+                    let parts = par_map(ranges.len(), par.threads(), |i| {
+                        Ok(RecordBatch::from_rows(
+                            names.clone(),
+                            rows[ranges[i].clone()].iter().copied(),
+                        ))
+                    });
+                    concat_batches(parts)
+                } else {
+                    Ok(RecordBatch::from_rows(names, t.iter()))
+                }
             } else if let Some(v) = db.view(table) {
-                let mut batch = exec_inner(db, &v.plan, depth + 1)?;
+                let mut batch = exec_inner(db, &v.plan, depth + 1, par)?;
                 let names: Vec<String> = v
                     .schema
                     .attributes()
@@ -90,24 +161,52 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
             Ok(RecordBatch::from_rows(names, rows.iter()))
         }
         Plan::Filter { input, predicate } => {
-            let batch = exec_inner(db, input, depth)?;
-            let mask = eval_mask(predicate, &batch)?;
-            Ok(batch.filter(&mask))
+            let batch = exec_inner(db, input, depth, par)?;
+            if go_parallel(par, batch.len()) {
+                // Each morsel slice copies its rows once so the vectorized
+                // evaluators can stay whole-batch; range-parameterizing
+                // eval_expr/eval_mask would avoid the copy if it ever shows
+                // up in profiles.
+                let ranges = morsel_ranges(batch.len());
+                let parts = par_map(ranges.len(), par.threads(), |i| {
+                    let m = batch.slice(ranges[i].clone());
+                    let mask = eval_mask(predicate, &m)?;
+                    Ok(m.filter(&mask))
+                });
+                concat_batches(parts)
+            } else {
+                let mask = eval_mask(predicate, &batch)?;
+                Ok(batch.filter(&mask))
+            }
         }
         Plan::Project {
             input,
             exprs,
             names,
         } => {
-            let batch = exec_inner(db, input, depth)?;
+            let batch = exec_inner(db, input, depth, par)?;
             if names.len() != exprs.len() {
                 return Err(Error::Storage("project names/exprs length mismatch".into()));
             }
-            let columns: Vec<Column> = exprs
-                .iter()
-                .map(|e| eval_expr(e, &batch))
-                .collect::<Result<_>>()?;
-            Ok(RecordBatch::new(names.clone(), columns, batch.len()))
+            if go_parallel(par, batch.len()) {
+                let ranges = morsel_ranges(batch.len());
+                let parts = par_map(ranges.len(), par.threads(), |i| {
+                    let m = batch.slice(ranges[i].clone());
+                    let columns: Vec<Column> = exprs
+                        .iter()
+                        .map(|e| eval_expr(e, &m))
+                        .collect::<Result<_>>()?;
+                    let rows = m.len();
+                    Ok(RecordBatch::new(names.clone(), columns, rows))
+                });
+                concat_batches(parts)
+            } else {
+                let columns: Vec<Column> = exprs
+                    .iter()
+                    .map(|e| eval_expr(e, &batch))
+                    .collect::<Result<_>>()?;
+                Ok(RecordBatch::new(names.clone(), columns, batch.len()))
+            }
         }
         Plan::Join {
             left,
@@ -117,17 +216,17 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
             right_keys,
             build,
         } => {
-            let l = exec_inner(db, left, depth)?;
-            let r = exec_inner(db, right, depth)?;
-            batch_join(&l, &r, *join_type, left_keys, right_keys, *build)
+            let l = exec_inner(db, left, depth, par)?;
+            let r = exec_inner(db, right, depth, par)?;
+            batch_join(&l, &r, *join_type, left_keys, right_keys, *build, par)
         }
         Plan::Union { inputs, distinct } => {
             if inputs.is_empty() {
                 return Ok(RecordBatch::empty(vec![]));
             }
-            let mut acc = exec_inner(db, &inputs[0], depth)?;
+            let mut acc = exec_inner(db, &inputs[0], depth, par)?;
             for p in &inputs[1..] {
-                let batch = exec_inner(db, p, depth)?;
+                let batch = exec_inner(db, p, depth, par)?;
                 if batch.arity() != acc.arity() {
                     return Err(Error::Storage(format!(
                         "union arity mismatch: {} vs {}",
@@ -150,7 +249,7 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
             Ok(acc)
         }
         Plan::Distinct { input } => {
-            let batch = exec_inner(db, input, depth)?;
+            let batch = exec_inner(db, input, depth, par)?;
             Ok(batch_distinct(&batch))
         }
         Plan::Aggregate {
@@ -159,11 +258,11 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
             aggs,
             having,
         } => {
-            let batch = exec_inner(db, input, depth)?;
-            batch_aggregate(&batch, group_by, aggs, having.as_ref())
+            let batch = exec_inner(db, input, depth, par)?;
+            batch_aggregate_opts(&batch, group_by, aggs, having.as_ref(), par)
         }
         Plan::Sort { input, by } => {
-            let batch = exec_inner(db, input, depth)?;
+            let batch = exec_inner(db, input, depth, par)?;
             let mut idx: Vec<u32> = (0..batch.len() as u32).collect();
             idx.sort_by(|&a, &b| {
                 for &c in by {
@@ -178,7 +277,7 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
             Ok(batch.gather(&idx))
         }
         Plan::Limit { input, n } => {
-            let batch = exec_inner(db, input, depth)?;
+            let batch = exec_inner(db, input, depth, par)?;
             if batch.len() <= *n {
                 return Ok(batch);
             }
@@ -194,8 +293,21 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize) -> Result<RecordBatch> {
     }
 }
 
+/// Matched pairs + NULL-padded rows of a join, in the canonical order both
+/// join cores produce: `out_l`/`out_r` sorted by `(left, right)` row index,
+/// pads sorted ascending.
+struct JoinRows {
+    out_l: Vec<u32>,
+    out_r: Vec<u32>,
+    pad_l: Vec<u32>,
+    pad_r: Vec<u32>,
+}
+
 /// Hash equi-join over batches. `build` selects the hash-table side;
-/// `Auto` builds on the smaller input.
+/// `Auto` builds on the smaller input. The parallel core partitions both
+/// sides by key hash and runs per-partition build+probe on worker threads;
+/// the canonical `(left, right)` output sort makes it bit-identical to the
+/// serial core.
 fn batch_join(
     l: &RecordBatch,
     r: &RecordBatch,
@@ -203,6 +315,7 @@ fn batch_join(
     left_keys: &[usize],
     right_keys: &[usize],
     build: BuildSide,
+    par: Parallelism,
 ) -> Result<RecordBatch> {
     if left_keys.len() != right_keys.len() {
         return Err(Error::Storage("join key arity mismatch".into()));
@@ -218,7 +331,44 @@ fn batch_join(
     } else {
         (r, right_keys, l, left_keys)
     };
+    let pad_left_rows = matches!(join_type, JoinType::LeftOuter | JoinType::FullOuter);
+    let pad_right_rows = matches!(join_type, JoinType::RightOuter | JoinType::FullOuter);
 
+    let rows = if go_parallel(par, b.len() + p.len()) {
+        parallel_join_core(
+            b,
+            b_keys,
+            p,
+            p_keys,
+            build_left,
+            pad_left_rows,
+            pad_right_rows,
+            par,
+        )
+    } else {
+        serial_join_core(
+            b,
+            b_keys,
+            p,
+            p_keys,
+            build_left,
+            pad_left_rows,
+            pad_right_rows,
+        )
+    };
+    assemble_join(l, r, names, rows)
+}
+
+/// Single-threaded build+probe (the original executor).
+fn serial_join_core(
+    b: &RecordBatch,
+    b_keys: &[usize],
+    p: &RecordBatch,
+    p_keys: &[usize],
+    build_left: bool,
+    pad_left_rows: bool,
+    pad_right_rows: bool,
+) -> JoinRows {
     // Build: hash → row indices on the build side (NULL keys never match).
     let b_hashes = b.key_hashes(b_keys);
     let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(b.len());
@@ -230,17 +380,13 @@ fn batch_join(
     }
 
     // Probe: emit (left row, right row) index pairs for matched rows and
-    // collect rows needing NULL padding; final row order is restored to the
-    // row executor's below.
+    // collect rows needing NULL padding.
     let p_hashes = p.key_hashes(p_keys);
     let mut matched_build = vec![false; b.len()];
     let mut out_l: Vec<u32> = Vec::new();
     let mut out_r: Vec<u32> = Vec::new();
-    // Padded rows (the other side gets NULLs) are collected separately.
     let mut pad_l: Vec<u32> = Vec::new();
     let mut pad_r: Vec<u32> = Vec::new();
-    let pad_left_rows = matches!(join_type, JoinType::LeftOuter | JoinType::FullOuter);
-    let pad_right_rows = matches!(join_type, JoinType::RightOuter | JoinType::FullOuter);
     for (pi, &h) in p_hashes.iter().enumerate() {
         let mut any = false;
         if !p.key_has_null(p_keys, pi) {
@@ -283,8 +429,8 @@ fn batch_join(
         }
     }
     // When the build side is the left input, matched pairs were emitted in
-    // probe (= right) major order; restore left-major order so both
-    // executors produce identical row orderings.
+    // probe (= right) major order; restore the canonical left-major order.
+    // (Building right already emits sorted by (left, right).)
     if build_left && !out_l.is_empty() {
         let mut perm: Vec<usize> = (0..out_l.len()).collect();
         perm.sort_by_key(|&i| (out_l[i], out_r[i]));
@@ -293,11 +439,148 @@ fn batch_join(
     }
     pad_l.sort_unstable();
     pad_r.sort_unstable();
+    JoinRows {
+        out_l,
+        out_r,
+        pad_l,
+        pad_r,
+    }
+}
 
-    // Assemble the output in the row executor's exact order: a left-major
-    // merge of matched pairs and NULL-padded unmatched left rows (a left
-    // row is either matched or padded, never both), then unmatched right
-    // rows. `None` gathers as NULL.
+/// Two-phase parallel build+probe: partition both sides by key hash, then
+/// build+probe each partition on a worker thread. A build row and every
+/// probe row that can match it land in the same partition, so partitions
+/// are independent; the final global `(left, right)` sort restores the
+/// serial core's exact row order.
+#[allow(clippy::too_many_arguments)]
+fn parallel_join_core(
+    b: &RecordBatch,
+    b_keys: &[usize],
+    p: &RecordBatch,
+    p_keys: &[usize],
+    build_left: bool,
+    pad_left_rows: bool,
+    pad_right_rows: bool,
+    par: Parallelism,
+) -> JoinRows {
+    let threads = par.threads();
+    let b_hashes = b.key_hashes_par(b_keys, par);
+    let p_hashes = p.key_hashes_par(p_keys, par);
+    // Power-of-two partition count a bit above the thread count, so one
+    // slow partition does not serialize the tail.
+    let n_parts = (threads * 4).next_power_of_two();
+    let mask = n_parts - 1;
+
+    let mut b_parts: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+    for (i, &h) in b_hashes.iter().enumerate() {
+        if !b.key_has_null(b_keys, i) {
+            b_parts[(h as usize) & mask].push(i as u32);
+        }
+    }
+    let mut p_parts: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+    // NULL-keyed probe rows never match: straight to the unmatched list.
+    let mut unmatched_probe: Vec<u32> = Vec::new();
+    for (i, &h) in p_hashes.iter().enumerate() {
+        if p.key_has_null(p_keys, i) {
+            unmatched_probe.push(i as u32);
+        } else {
+            p_parts[(h as usize) & mask].push(i as u32);
+        }
+    }
+
+    // (matched (build,probe) pairs, matched build rows, unmatched probe
+    // rows) per partition.
+    type PartOut = (Vec<(u32, u32)>, Vec<u32>, Vec<u32>);
+    let parts: Vec<PartOut> = par_map(n_parts, threads, |part| {
+        let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(b_parts[part].len());
+        for &bi in &b_parts[part] {
+            table.entry(b_hashes[bi as usize]).or_default().push(bi);
+        }
+        let mut pairs = Vec::new();
+        let mut matched = Vec::new();
+        let mut unmatched = Vec::new();
+        for &pi in &p_parts[part] {
+            let mut any = false;
+            if let Some(cands) = table.get(&p_hashes[pi as usize]) {
+                for &bi in cands {
+                    if p.keys_eq(p_keys, pi as usize, b, b_keys, bi as usize) {
+                        any = true;
+                        pairs.push((bi, pi));
+                        matched.push(bi);
+                    }
+                }
+            }
+            if !any {
+                unmatched.push(pi);
+            }
+        }
+        (pairs, matched, unmatched)
+    });
+
+    let mut matched_build = vec![false; b.len()];
+    let mut lr: Vec<(u32, u32)> = Vec::new();
+    for (pairs, matched, unmatched) in parts {
+        for (bi, pi) in pairs {
+            lr.push(if build_left { (bi, pi) } else { (pi, bi) });
+        }
+        for bi in matched {
+            matched_build[bi as usize] = true;
+        }
+        unmatched_probe.extend(unmatched);
+    }
+    // Canonical order: (left, right) ascending; pairs are unique, so the
+    // unstable sort is deterministic.
+    lr.sort_unstable();
+    let (out_l, out_r) = lr.into_iter().unzip();
+
+    let mut pad_l: Vec<u32> = Vec::new();
+    let mut pad_r: Vec<u32> = Vec::new();
+    for &pi in &unmatched_probe {
+        if build_left {
+            if pad_right_rows {
+                pad_r.push(pi);
+            }
+        } else if pad_left_rows {
+            pad_l.push(pi);
+        }
+    }
+    for (bi, &m) in matched_build.iter().enumerate() {
+        if !m {
+            if build_left {
+                if pad_left_rows {
+                    pad_l.push(bi as u32);
+                }
+            } else if pad_right_rows {
+                pad_r.push(bi as u32);
+            }
+        }
+    }
+    pad_l.sort_unstable();
+    pad_r.sort_unstable();
+    JoinRows {
+        out_l,
+        out_r,
+        pad_l,
+        pad_r,
+    }
+}
+
+/// Assemble the output in the row executor's exact order: a left-major
+/// merge of matched pairs and NULL-padded unmatched left rows (a left row
+/// is either matched or padded, never both), then unmatched right rows.
+/// `None` gathers as NULL.
+fn assemble_join(
+    l: &RecordBatch,
+    r: &RecordBatch,
+    names: Vec<String>,
+    rows: JoinRows,
+) -> Result<RecordBatch> {
+    let JoinRows {
+        out_l,
+        out_r,
+        pad_l,
+        pad_r,
+    } = rows;
     let total = out_l.len() + pad_l.len() + pad_r.len();
     let mut fin_l: Vec<Option<u32>> = Vec::with_capacity(total);
     let mut fin_r: Vec<Option<u32>> = Vec::with_capacity(total);
@@ -364,32 +647,28 @@ pub fn batch_aggregate(
     aggs: &[Aggregate],
     having: Option<&Expr>,
 ) -> Result<RecordBatch> {
-    // Assign group ids.
-    let hashes = batch.key_hashes(group_by);
-    let mut buckets: HashMap<u64, Vec<(u32, u32)>> = HashMap::new(); // hash → (first_row, gid)
-    let mut group_first: Vec<u32> = Vec::new(); // gid → representative row
-    let mut members: Vec<Vec<u32>> = Vec::new(); // gid → member rows
-    for (i, &h) in hashes.iter().enumerate() {
-        let bucket = buckets.entry(h).or_default();
-        let mut gid = None;
-        for &(first, g) in bucket.iter() {
-            if batch.keys_eq(group_by, i, batch, group_by, first as usize) {
-                gid = Some(g);
-                break;
-            }
-        }
-        let g = match gid {
-            Some(g) => g,
-            None => {
-                let g = group_first.len() as u32;
-                bucket.push((i as u32, g));
-                group_first.push(i as u32);
-                members.push(Vec::new());
-                g
-            }
-        };
-        members[g as usize].push(i as u32);
-    }
+    batch_aggregate_opts(batch, group_by, aggs, having, Parallelism::Serial)
+}
+
+/// [`batch_aggregate`] with morsel-driven parallel grouping: each morsel
+/// builds a partial group table, partials merge in morsel index order (so
+/// group ids, representative rows, and member order — hence `f64` SUM
+/// accumulation order — are identical to the serial pass), then aggregate
+/// folding parallelizes over chunks of groups.
+pub fn batch_aggregate_opts(
+    batch: &RecordBatch,
+    group_by: &[usize],
+    aggs: &[Aggregate],
+    having: Option<&Expr>,
+    par: Parallelism,
+) -> Result<RecordBatch> {
+    let par = par.resolved();
+    let hashes = batch.key_hashes_par(group_by, par);
+    let (mut group_first, mut members) = if go_parallel(par, batch.len()) {
+        parallel_grouping(batch, group_by, &hashes, par)
+    } else {
+        serial_grouping(batch, group_by, &hashes)
+    };
     // Global aggregate over empty input still yields one row.
     if group_by.is_empty() && batch.is_empty() {
         group_first.push(0);
@@ -414,7 +693,7 @@ pub fn batch_aggregate(
         columns.push(batch.columns[c].gather(&group_first));
     }
     for agg in aggs {
-        columns.push(fold_agg_column(agg.func, &members, batch)?);
+        columns.push(fold_agg_column_par(agg.func, &members, batch, par)?);
     }
     let mut out = RecordBatch::new(names, columns, n_groups);
     if let Some(pred) = having {
@@ -424,7 +703,115 @@ pub fn batch_aggregate(
     Ok(out)
 }
 
-/// Evaluate one aggregate for every group.
+/// First-seen-order group assignment, shared by the serial pass, the
+/// per-morsel workers, and the partial-table merge (one implementation so
+/// group equality can never diverge between the serial and parallel
+/// paths).
+#[derive(Default)]
+struct GroupTable {
+    /// hash → (representative row, gid) entries.
+    buckets: HashMap<u64, Vec<(u32, u32)>>,
+    /// gid → representative (first-seen) row.
+    firsts: Vec<u32>,
+    /// gid → member rows, in insertion order.
+    members: Vec<Vec<u32>>,
+}
+
+impl GroupTable {
+    /// The gid of `row`'s group, creating the group (with `row` as its
+    /// representative) on first sight.
+    fn gid(&mut self, batch: &RecordBatch, group_by: &[usize], hash: u64, row: u32) -> u32 {
+        let bucket = self.buckets.entry(hash).or_default();
+        for &(first, g) in bucket.iter() {
+            if batch.keys_eq(group_by, row as usize, batch, group_by, first as usize) {
+                return g;
+            }
+        }
+        let g = self.firsts.len() as u32;
+        bucket.push((row, g));
+        self.firsts.push(row);
+        self.members.push(Vec::new());
+        g
+    }
+}
+
+/// Assign group ids in first-seen order; returns (gid → representative
+/// row, gid → member rows in ascending row order).
+fn serial_grouping(
+    batch: &RecordBatch,
+    group_by: &[usize],
+    hashes: &[u64],
+) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let mut table = GroupTable::default();
+    for (i, &h) in hashes.iter().enumerate() {
+        let g = table.gid(batch, group_by, h, i as u32);
+        table.members[g as usize].push(i as u32);
+    }
+    (table.firsts, table.members)
+}
+
+/// Morsel-parallel grouping: per-morsel partial group tables (built on
+/// worker threads) merged serially in morsel index order. The merge visits
+/// each morsel's groups in local first-seen order, so global group order
+/// equals the serial first-seen order and member lists stay ascending.
+fn parallel_grouping(
+    batch: &RecordBatch,
+    group_by: &[usize],
+    hashes: &[u64],
+    par: Parallelism,
+) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let ranges = morsel_ranges(batch.len());
+    let parts: Vec<GroupTable> = par_map(ranges.len(), par.threads(), |mi| {
+        let mut local = GroupTable::default();
+        for i in ranges[mi].clone() {
+            let g = local.gid(batch, group_by, hashes[i], i as u32);
+            local.members[g as usize].push(i as u32);
+        }
+        local
+    });
+
+    let mut table = GroupTable::default();
+    for local in parts {
+        for (local_gid, &first) in local.firsts.iter().enumerate() {
+            let g = table.gid(batch, group_by, hashes[first as usize], first);
+            table.members[g as usize].extend_from_slice(&local.members[local_gid]);
+        }
+    }
+    (table.firsts, table.members)
+}
+
+fn sum_overflow() -> Error {
+    Error::Overflow("integer SUM overflowed i64 (derivation counts too large?)".into())
+}
+
+/// [`fold_agg_column`] parallelized over chunks of groups. Every group's
+/// fold visits its members in the same (ascending row) order as the serial
+/// pass, so results — floats included — are bit-identical; chunks merely
+/// spread independent groups over threads.
+fn fold_agg_column_par(
+    func: AggFunc,
+    members: &[Vec<u32>],
+    batch: &RecordBatch,
+    par: Parallelism,
+) -> Result<Column> {
+    if !go_parallel(par, members.len()) {
+        return fold_agg_column(func, members, batch);
+    }
+    let ranges = morsel_ranges(members.len());
+    let parts = par_map(ranges.len(), par.threads(), |i| {
+        fold_agg_column(func, &members[ranges[i].clone()], batch)
+    });
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().expect("at least one chunk")?;
+    for part in iter {
+        acc = acc.append(part?);
+    }
+    Ok(acc)
+}
+
+/// Evaluate one aggregate for every group. Integer SUM uses checked
+/// arithmetic: overflow surfaces as [`Error::Overflow`] (matching the
+/// semiring graph walk's contract) instead of silently wrapping.
 fn fold_agg_column(func: AggFunc, members: &[Vec<u32>], batch: &RecordBatch) -> Result<Column> {
     match func {
         AggFunc::Count => Ok(Column::Int(
@@ -434,21 +821,21 @@ fn fold_agg_column(func: AggFunc, members: &[Vec<u32>], batch: &RecordBatch) -> 
             let col = &batch.columns[c];
             match col {
                 // Dense fast paths: no NULLs possible.
-                Column::Int(v) => Ok(Column::from_value_vec(
-                    members
-                        .iter()
-                        .map(|m| {
-                            if m.is_empty() {
-                                Value::Null
-                            } else {
-                                Value::Int(
-                                    m.iter()
-                                        .fold(0i64, |acc, &i| acc.wrapping_add(v[i as usize])),
-                                )
+                Column::Int(v) => {
+                    let mut out = Vec::with_capacity(members.len());
+                    for m in members {
+                        if m.is_empty() {
+                            out.push(Value::Null);
+                        } else {
+                            let mut acc = 0i64;
+                            for &i in m {
+                                acc = acc.checked_add(v[i as usize]).ok_or_else(sum_overflow)?;
                             }
-                        })
-                        .collect(),
-                )),
+                            out.push(Value::Int(acc));
+                        }
+                    }
+                    Ok(Column::from_value_vec(out))
+                }
                 Column::Float(v) => Ok(Column::from_value_vec(
                     members
                         .iter()
@@ -471,7 +858,7 @@ fn fold_agg_column(func: AggFunc, members: &[Vec<u32>], batch: &RecordBatch) -> 
                         for &i in m {
                             match col.value(i as usize) {
                                 Value::Int(v) => {
-                                    int_sum = int_sum.wrapping_add(v);
+                                    int_sum = int_sum.checked_add(v).ok_or_else(sum_overflow)?;
                                     any = true;
                                 }
                                 Value::Float(v) => {
@@ -595,14 +982,20 @@ mod tests {
     }
 
     /// Batch and row executors agree (rows order-insensitively, names
-    /// exactly) on a plan.
+    /// exactly) on a plan — under every parallelism setting.
     fn assert_equivalent(db: &Database, plan: &Plan) {
         let row = execute(db, plan).expect("row executor");
-        let batch = execute_with(db, plan, ExecMode::Batch).expect("batch executor");
         let nested = execute_with(db, plan, ExecMode::NestedLoop).expect("nested loop");
-        assert_eq!(row.names, batch.names);
-        assert_eq!(row.sorted_rows(), batch.sorted_rows());
         assert_eq!(row.sorted_rows(), nested.sorted_rows());
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+        ] {
+            let batch = execute_with_opts(db, plan, ExecMode::Batch, par).expect("batch executor");
+            assert_eq!(row.names, batch.names, "par {par:?}");
+            assert_eq!(row.sorted_rows(), batch.sorted_rows(), "par {par:?}");
+        }
     }
 
     #[test]
@@ -837,6 +1230,135 @@ mod tests {
             };
             assert_equivalent(&db, &agg);
             let _ = round;
+        }
+    }
+
+    /// Large instances that actually cross the morsel threshold: parallel
+    /// scans/filters/projections/joins/aggregations must be bit-identical
+    /// (exact row order included) to the serial batch run.
+    #[test]
+    fn parallel_morsel_paths_are_bit_identical_to_serial() {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::build("S", &[("a", ValueType::Int), ("b", ValueType::Int)], &[]).unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::build("T", &[("a", ValueType::Int), ("c", ValueType::Int)], &[]).unwrap(),
+        )
+        .unwrap();
+        let mut rng = SplitMix64::seed_from_u64(0x05EE_DA11);
+        let n = MORSEL_ROWS * 3 + 17;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let t = (rng.gen_range_i64(0, 500), rng.gen_range_i64(0, 1000));
+            if seen.insert(("S", t)) {
+                db.insert("S", tup![t.0, t.1]).unwrap();
+            }
+            let t = (rng.gen_range_i64(0, 500), rng.gen_range_i64(0, 1000));
+            if seen.insert(("T", t)) {
+                db.insert("T", tup![t.0, t.1]).unwrap();
+            }
+        }
+        let plans = [
+            Plan::scan("S"),
+            Plan::scan("S").filter(Expr::cmp(
+                crate::expr::BinOp::Le,
+                Expr::col(1),
+                Expr::lit(700),
+            )),
+            Plan::scan("S").project(vec![
+                Expr::col(0),
+                Expr::cmp(crate::expr::BinOp::Add, Expr::col(1), Expr::lit(3)),
+            ]),
+            Plan::scan("S").join_as(Plan::scan("T"), JoinType::FullOuter, vec![0], vec![0]),
+            Plan::Aggregate {
+                input: Box::new(Plan::scan("S").join(Plan::scan("T"), vec![0], vec![0])),
+                group_by: vec![0],
+                aggs: vec![
+                    Aggregate::new(AggFunc::Count, "n"),
+                    Aggregate::new(AggFunc::Sum(3), "s"),
+                    Aggregate::new(AggFunc::Min(1), "lo"),
+                ],
+                having: None,
+            },
+        ];
+        for plan in &plans {
+            let serial = execute_batch(&db, plan).unwrap();
+            for threads in [2, 8] {
+                let par = execute_batch_opts(&db, plan, Parallelism::Threads(threads)).unwrap();
+                assert_eq!(serial.names, par.names);
+                assert_eq!(serial.to_rows(), par.to_rows(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_sum_overflow_is_an_error_in_every_executor() {
+        // Regression for the batch/graph divergence: batch SUM used to wrap
+        // silently while the graph walk's checked arithmetic errored.
+        let p = Plan::Aggregate {
+            input: Box::new(Plan::Values {
+                schema: crate::plan::anon_schema("v", &["x".into()]),
+                rows: vec![tup![i64::MAX], tup![1]],
+            }),
+            group_by: vec![],
+            aggs: vec![Aggregate::new(AggFunc::Sum(0), "s")],
+            having: None,
+        };
+        let db = Database::new();
+        for mode in [ExecMode::Batch, ExecMode::Row, ExecMode::NestedLoop] {
+            for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+                let err = execute_with_opts(&db, &p, mode, par).unwrap_err();
+                assert!(
+                    matches!(err, Error::Overflow(_)),
+                    "mode {mode:?} par {par:?}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float_sum_accumulation_order_is_identical_across_paths() {
+        // Order-sensitive float sums: 1e16 + 1.0 + ... loses the small
+        // addends exactly the same way in every executor path only if the
+        // accumulation order is identical.
+        let n = MORSEL_ROWS * 2 + 31;
+        let mut rows = Vec::with_capacity(n);
+        let mut rng = SplitMix64::seed_from_u64(0xF10A7);
+        for i in 0..n {
+            let v = if i % 97 == 0 {
+                1e16
+            } else {
+                rng.gen_range_i64(1, 1000) as f64 / 7.0
+            };
+            rows.push(Tuple::new(vec![
+                Value::Int(rng.gen_range_i64(0, 5)),
+                Value::Float(v),
+            ]));
+        }
+        let p = Plan::Aggregate {
+            input: Box::new(Plan::Values {
+                schema: crate::plan::anon_schema("v", &["g".into(), "x".into()]),
+                rows,
+            }),
+            group_by: vec![0],
+            aggs: vec![Aggregate::new(AggFunc::Sum(1), "s")],
+            having: None,
+        };
+        let db = Database::new();
+        let want = execute(&db, &p).unwrap();
+        for mode in [ExecMode::Batch, ExecMode::NestedLoop] {
+            for par in [
+                Parallelism::Serial,
+                Parallelism::Threads(2),
+                Parallelism::Threads(8),
+            ] {
+                let got = execute_with_opts(&db, &p, mode, par).unwrap();
+                // Exact equality: Value::Float compares bit patterns via
+                // total order, so any reassociation would fail here.
+                assert_eq!(want.rows, got.rows, "mode {mode:?} par {par:?}");
+            }
         }
     }
 }

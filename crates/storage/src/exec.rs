@@ -445,7 +445,13 @@ fn fold_agg(func: AggFunc, members: &[usize], rows: &[Tuple]) -> Result<Value> {
             for &i in members {
                 match rows[i].get(c) {
                     Value::Int(v) => {
-                        int_sum = int_sum.wrapping_add(*v);
+                        // Checked: both executors surface integer SUM
+                        // overflow as Error::Overflow instead of wrapping.
+                        int_sum = int_sum.checked_add(*v).ok_or_else(|| {
+                            Error::Overflow(
+                                "integer SUM overflowed i64 (derivation counts too large?)".into(),
+                            )
+                        })?;
                         any = true;
                     }
                     Value::Float(v) => {

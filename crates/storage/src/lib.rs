@@ -16,7 +16,9 @@
 //! * a **columnar batch executor** ([`batch_exec`], the default): typed
 //!   column vectors ([`batch::Column`] / [`RecordBatch`]), vectorized
 //!   predicate evaluation, hash equi-joins with optimizer-picked build
-//!   sides, and hash-grouped aggregation,
+//!   sides, and hash-grouped aggregation — with an optional
+//!   **morsel-driven parallel** mode ([`Parallelism`], via
+//!   [`execute_batch_opts`]) that is bit-identical to the serial pass,
 //! * a row-at-a-time [executor](exec::execute) (hash-join or nested-loop
 //!   [`JoinAlgo`]) kept as the equivalence oracle and ablation baseline —
 //!   pick one via [`ExecMode`] / [`execute_with`],
@@ -37,10 +39,14 @@ pub mod plan;
 pub mod table;
 
 pub use batch::{Column, RecordBatch};
-pub use batch_exec::{execute_batch, execute_with, ExecMode};
+pub use batch_exec::{
+    batch_aggregate, batch_aggregate_opts, execute_batch, execute_batch_opts, execute_with,
+    execute_with_opts, ExecMode,
+};
 pub use database::Database;
 pub use exec::{execute, JoinAlgo, Relation};
 pub use expr::{BinOp, Expr};
 pub use index::{Index, IndexKind};
 pub use plan::{AggFunc, Aggregate, BuildSide, JoinType, Plan};
+pub use proql_common::Parallelism;
 pub use table::Table;

@@ -8,18 +8,28 @@
 use proql::agg_eval::evaluate_via_aggregation;
 use proql::engine::{Engine, EngineOptions, Strategy};
 use proql::translate::{translate, TranslateOptions};
-use proql::{parse_query, run_projection_with};
+use proql::{parse_query, run_projection_opts, run_projection_with};
 use proql_cdss::topology::{build_system, target_query, CdssConfig, Topology};
 use proql_common::rng::SplitMix64;
-use proql_common::tup;
+use proql_common::{tup, Parallelism};
 use proql_provgraph::{ProvGraph, TupleNode};
 use proql_semiring::{evaluate, Annotation, Assignment, MapFn, SemiringKind};
 use proql_storage::batch::{Column, RecordBatch};
 use proql_storage::batch_exec::batch_aggregate;
 use proql_storage::{AggFunc, Aggregate, ExecMode};
 
-/// Random CDSS instances: all three executors agree on the projection
-/// result (derivations, bindings, and row counts).
+/// The parallelism settings every sweep covers: serial, under-subscribed,
+/// over-subscribed, and hardware-sized.
+const PAR_SWEEP: [Parallelism; 4] = [
+    Parallelism::Serial,
+    Parallelism::Threads(2),
+    Parallelism::Threads(8),
+    Parallelism::Auto,
+];
+
+/// Random CDSS instances: all three executors — under every parallelism
+/// setting — agree on the projection result (derivations, bindings, and
+/// row counts).
 #[test]
 fn executors_agree_on_randomized_cdss_instances() {
     let mut rng = SplitMix64::seed_from_u64(0xE0E0);
@@ -60,6 +70,25 @@ fn executors_agree_on_randomized_cdss_instances() {
             batch.metrics.rows, row.metrics.rows,
             "case {case}: row counts"
         );
+        // Parallel runs must be bit-identical to the serial batch run —
+        // derivations, bindings, and metrics included.
+        for par in PAR_SWEEP {
+            for mode in [ExecMode::Batch, ExecMode::Row] {
+                let p = run_projection_opts(&sys, &t, mode, par).unwrap();
+                assert_eq!(
+                    batch.bindings, p.bindings,
+                    "case {case}: bindings under {par:?}/{mode:?}"
+                );
+                assert_eq!(
+                    batch.derivations, p.derivations,
+                    "case {case}: derivations under {par:?}/{mode:?}"
+                );
+                assert_eq!(
+                    batch.metrics.rows, p.metrics.rows,
+                    "case {case}: row counts under {par:?}/{mode:?}"
+                );
+            }
+        }
     }
 }
 
@@ -78,21 +107,24 @@ fn engine_modes_agree_on_annotated_query() {
              }";
     let mut expected: Option<Vec<(String, proql_common::Tuple, Annotation)>> = None;
     for mode in [ExecMode::Batch, ExecMode::Row, ExecMode::NestedLoop] {
-        let mut e = Engine::new(proql_provgraph::system::example_2_1().unwrap());
-        e.options.strategy = Strategy::Unfold;
-        e.options.exec_mode = mode;
-        let out = e.query(q).unwrap();
-        let mut rows: Vec<_> = out
-            .annotated
-            .unwrap()
-            .rows
-            .into_iter()
-            .map(|r| (r.relation, r.key, r.annotation))
-            .collect();
-        rows.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
-        match &expected {
-            None => expected = Some(rows),
-            Some(want) => assert_eq!(want, &rows, "mode {mode:?} diverged"),
+        for par in PAR_SWEEP {
+            let mut e = Engine::new(proql_provgraph::system::example_2_1().unwrap());
+            e.options.strategy = Strategy::Unfold;
+            e.options.exec_mode = mode;
+            e.options.parallelism = par;
+            let out = e.query(q).unwrap();
+            let mut rows: Vec<_> = out
+                .annotated
+                .unwrap()
+                .rows
+                .into_iter()
+                .map(|r| (r.relation, r.key, r.annotation))
+                .collect();
+            rows.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+            match &expected {
+                None => expected = Some(rows),
+                Some(want) => assert_eq!(want, &rows, "mode {mode:?} par {par:?} diverged"),
+            }
         }
     }
 }
@@ -155,9 +187,6 @@ fn aggregation_path_matches_graph_walk_on_random_dags() {
                 _ => kind.default_leaf(label),
             };
             let map_fn = |_: &str| MapFn::Identity;
-            let via_agg = evaluate_via_aggregation(&g, kind, &leaf, &map_fn)
-                .unwrap()
-                .expect("acyclic scalar semiring");
             let direct = evaluate(
                 &g,
                 &Assignment::default_for(kind)
@@ -165,9 +194,14 @@ fn aggregation_path_matches_graph_walk_on_random_dags() {
                     .with_map_fn(map_fn),
             )
             .unwrap();
-            assert_eq!(via_agg.len(), direct.len());
-            for (t, v) in &direct {
-                assert_eq!(via_agg.get(t), Some(v), "case {case}: {kind}");
+            for par in PAR_SWEEP {
+                let via_agg = evaluate_via_aggregation(&g, kind, &leaf, &map_fn, par)
+                    .unwrap()
+                    .expect("acyclic scalar semiring");
+                assert_eq!(via_agg.len(), direct.len());
+                for (t, v) in &direct {
+                    assert_eq!(via_agg.get(t), Some(v), "case {case}: {kind} ({par:?})");
+                }
             }
         }
     }

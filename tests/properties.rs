@@ -15,12 +15,12 @@
 //! deterministic, reproducible runs with printed counterexample inputs.
 
 use proql_common::rng::SplitMix64;
-use proql_common::{tup, Tuple, Value};
+use proql_common::{tup, Parallelism, Tuple, Value};
 use proql_provgraph::ProvGraph;
-use proql_semiring::{evaluate, Annotation, Assignment, Polynomial, SemiringKind};
+use proql_semiring::{evaluate, evaluate_with, Annotation, Assignment, Polynomial, SemiringKind};
 use proql_storage::{
-    execute, execute_with, optimize::optimize, optimize::optimize_with, Database, ExecMode, Expr,
-    Plan,
+    execute, execute_with, execute_with_opts, optimize::optimize, optimize::optimize_with,
+    Database, ExecMode, Expr, Plan,
 };
 
 const KINDS: [SemiringKind; 8] = [
@@ -286,6 +286,20 @@ fn optimizer_and_executors_preserve_semantics() {
                 let got = sort(execute_with(&db, &optimized, mode).unwrap().rows);
                 assert_eq!(plain, got, "case {case}: mode {mode:?} diverged");
             }
+            // Morsel-parallel batch execution is result-identical too.
+            for par in [
+                Parallelism::Serial,
+                Parallelism::Threads(2),
+                Parallelism::Threads(8),
+                Parallelism::Auto,
+            ] {
+                let got = sort(
+                    execute_with_opts(&db, &optimized, ExecMode::Batch, par)
+                        .unwrap()
+                        .rows,
+                );
+                assert_eq!(plain, got, "case {case}: parallelism {par:?} diverged");
+            }
         }
     }
 }
@@ -304,6 +318,28 @@ fn tuple_project_concat_roundtrip() {
         let empty = Tuple::empty();
         assert_eq!(empty.concat(&t), t.clone());
         assert_eq!(t.concat(&empty), t);
+    }
+}
+
+/// The level-parallel semiring evaluator is value-identical to the serial
+/// bottom-up walk on random DAGs, for every semiring (floats included —
+/// the per-tuple fold order is unchanged).
+#[test]
+fn parallel_semiring_evaluation_matches_serial_on_random_dags() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A12A11E1);
+    for case in 0..12 {
+        let g = arb_dag(&mut rng);
+        for kind in KINDS {
+            let serial = evaluate(&g, &Assignment::default_for(kind)).unwrap();
+            for par in [
+                Parallelism::Threads(2),
+                Parallelism::Threads(8),
+                Parallelism::Auto,
+            ] {
+                let parallel = evaluate_with(&g, &Assignment::default_for(kind), par).unwrap();
+                assert_eq!(serial, parallel, "case {case}: {kind} under {par:?}");
+            }
+        }
     }
 }
 

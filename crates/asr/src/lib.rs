@@ -19,7 +19,7 @@
 //! [`AsrRegistry`] materializes ASRs as tables and implements the greedy
 //! `unfoldASRs` rewriting of Figure 4 (longest indexed segment first,
 //! homomorphism-based matching via `findHomomorphism`), plugging into the
-//! query engine as a [`BodyRewriter`].
+//! query engine as a [`proql::translate::BodyRewriter`].
 //!
 //! [`advisor`] adds the automated ASR-selection heuristic the paper lists
 //! as future work (§8).

@@ -109,7 +109,7 @@ mod tests {
             rewriter: Some(Arc::new(reg)),
             ..Default::default()
         };
-        let mut asr_engine = Engine::with_options(sys, opts);
+        let asr_engine = Engine::with_options(sys, opts);
         let with_asr = asr_engine.query(q).unwrap();
 
         assert_eq!(plain.projection.bindings, with_asr.projection.bindings);
@@ -136,7 +136,7 @@ mod tests {
             rewriter: Some(Arc::new(reg)),
             ..Default::default()
         };
-        let mut asr_engine = Engine::with_options(sys, opts);
+        let asr_engine = Engine::with_options(sys, opts);
         let with_asr = asr_engine.query(q).unwrap().annotated.unwrap();
 
         for row in &plain.rows {

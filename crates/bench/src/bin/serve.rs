@@ -1,0 +1,195 @@
+//! `serve` — load generator for the `proql-service` TCP stack (beyond
+//! the paper: the ROADMAP's production-service trajectory).
+//!
+//! Starts a [`proql_service::ServiceCore`] over a CDSS chain (plus the
+//! disconnected `Island` family), exposes it on a loopback TCP port,
+//! and drives it in two phases:
+//!
+//! 1. **Load**: `PROQL_CLIENTS` concurrent connections replay a small
+//!    set of hot target-peer queries while a writer deletes island
+//!    tuples over the same wire — writes whose write sets share no
+//!    relation with any hot query, so the dependency-tracked cache must
+//!    keep serving hits throughout.
+//! 2. **Invalidation demo** (serial): one unrelated write followed by a
+//!    re-query (asserted to be a cache **hit**), then one write inside
+//!    the chain followed by a re-query (asserted to be a **miss**).
+//!
+//! Reports throughput, client-observed latency percentiles, cache hit
+//! rate, and the two demo outcomes; `PROQL_JSON=1` emits one
+//! machine-readable line. `PROQL_MIN_HIT_RATE=<0..1>` gates the run so
+//! CI catches invalidation regressions that silently evict everything.
+
+use proql::engine::EngineOptions;
+use proql_bench::{banner, json_output, scaled};
+use proql_cdss::topology::{build_system_with_island, CdssConfig, Topology};
+use proql_service::proto::{json_f64_field, json_str_field, json_u64_field};
+use proql_service::{serve, Client, ServiceCore};
+use std::sync::Arc;
+use std::time::Instant;
+
+const HOT_QUERIES: [&str; 4] = [
+    "FOR [R0a $x] INCLUDE PATH [$x] <-+ [] RETURN $x",
+    "FOR [R0a $x] INCLUDE PATH [$x] <-+ [] WHERE $x.k >= 10 RETURN $x",
+    "FOR [R0a $x] INCLUDE PATH [$x] <-+ [] WHERE $x.k < 5 RETURN $x",
+    "EVALUATE DERIVABILITY OF { FOR [R0a $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+];
+
+fn main() {
+    banner(
+        "serve: concurrent query service under mixed read/write load",
+        "beyond the paper; ROADMAP production-service trajectory",
+    );
+
+    let clients = env_usize("PROQL_CLIENTS", 4);
+    let requests_per_client = env_usize("PROQL_REQUESTS", scaled(60, 400));
+    let peers = scaled(4, 8);
+    let base = scaled(200, 2000);
+    let island = 64;
+
+    let sys = build_system_with_island(
+        Topology::Chain,
+        &CdssConfig::new(peers, vec![peers - 1], base),
+        island,
+    )
+    .expect("topology builds");
+    let chain_rel = format!("R{}a", peers - 1);
+    let core = Arc::new(ServiceCore::new(sys, EngineOptions::default()));
+    let server = serve(Arc::clone(&core), "127.0.0.1:0", clients + 2).expect("server starts");
+    let addr = server.addr();
+
+    // Phase 1: concurrent load + unrelated writes.
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut island_deletes = 0usize;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            handles.push(s.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                for r in 0..requests_per_client {
+                    let q = HOT_QUERIES[(c + r) % HOT_QUERIES.len()];
+                    let t = Instant::now();
+                    let json = client.query(q).expect("query succeeds");
+                    latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                    assert!(
+                        json_u64_field(&json, "version").is_some(),
+                        "bad reply: {json}"
+                    );
+                }
+                latencies
+            }));
+        }
+        let writer = s.spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            let mut deletes = 0usize;
+            for k in 0..16 {
+                let resp = client
+                    .request(&format!("DELETE Island {k}"))
+                    .expect("delete request");
+                assert!(resp.starts_with("OK "), "island delete failed: {resp}");
+                deletes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            deletes
+        });
+        for h in handles {
+            all_latencies.extend(h.join().expect("client thread"));
+        }
+        island_deletes = writer.join().expect("writer thread");
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Phase 2 (serial): the invalidation contract, end to end over TCP.
+    let mut demo = Client::connect(addr).expect("demo client");
+    demo.query(HOT_QUERIES[0]).expect("warm");
+    let unrelated = demo
+        .request(&format!("DELETE Island {}", island - 1))
+        .expect("unrelated delete");
+    assert!(unrelated.starts_with("OK "), "{unrelated}");
+    let after_unrelated = demo.query(HOT_QUERIES[0]).expect("re-query");
+    let unrelated_write_hit = json_str_field(&after_unrelated, "cache").as_deref() == Some("hit");
+    assert!(
+        unrelated_write_hit,
+        "a write to an untouched relation must keep the entry: {after_unrelated}"
+    );
+    let touching = demo
+        .request(&format!("DELETE {chain_rel} {}", base - 1))
+        .expect("touching delete");
+    assert!(touching.starts_with("OK "), "{touching}");
+    let after_touching = demo.query(HOT_QUERIES[0]).expect("re-query");
+    let touching_write_miss = json_str_field(&after_touching, "cache").as_deref() == Some("miss");
+    assert!(
+        touching_write_miss,
+        "a write to a touched relation must evict the entry: {after_touching}"
+    );
+
+    let stats_json = demo.stats().expect("stats");
+    drop(demo);
+    server.shutdown();
+
+    let total_requests = clients * requests_per_client;
+    let throughput = total_requests as f64 / wall_s;
+    all_latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if all_latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((all_latencies.len() as f64 - 1.0) * p).round() as usize;
+        all_latencies[idx]
+    };
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    // The server's own hit-rate definition is the single source of truth.
+    let hit_rate = json_f64_field(&stats_json, "cache_hit_rate").unwrap_or(0.0);
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "clients", "requests", "qps", "p50 (ms)", "p95 (ms)", "p99 (ms)", "hit rate", "writes"
+    );
+    println!(
+        "{:>10} {:>10} {:>12.1} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8}",
+        clients,
+        total_requests,
+        throughput,
+        p50,
+        p95,
+        p99,
+        hit_rate,
+        island_deletes + 2
+    );
+    println!("   unrelated-write re-query: hit   (entry survived)");
+    println!("   touching-write re-query:  miss  (entry evicted)");
+    println!("   server stats: {stats_json}");
+
+    if json_output() {
+        println!(
+            "{{\"fig\": \"serve\", \"clients\": {clients}, \"requests\": {total_requests}, \
+             \"wall_s\": {wall_s:.6}, \"throughput_qps\": {throughput:.1}, \
+             \"p50_ms\": {p50:.4}, \"p95_ms\": {p95:.4}, \"p99_ms\": {p99:.4}, \
+             \"cache_hit_rate\": {hit_rate:.6}, \"writes\": {}, \
+             \"unrelated_write_hit\": {unrelated_write_hit}, \
+             \"touching_write_miss\": {touching_write_miss}, \
+             \"stale_evictions\": {}, \"version\": {}}}",
+            island_deletes + 2,
+            json_u64_field(&stats_json, "stale_evictions").unwrap_or(0),
+            json_u64_field(&stats_json, "version").unwrap_or(0),
+        );
+    }
+
+    if let Ok(min) = std::env::var("PROQL_MIN_HIT_RATE") {
+        let min: f64 = min.parse().expect("PROQL_MIN_HIT_RATE parses");
+        assert!(
+            hit_rate >= min,
+            "cache hit rate {hit_rate:.3} below the PROQL_MIN_HIT_RATE={min} gate \
+             (stats: {stats_json})"
+        );
+        println!("   hit-rate gate passed: {hit_rate:.3} >= {min}");
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -4,6 +4,7 @@
 //! annotation for every `O` tuple.
 
 use proql::engine::{Engine, Strategy};
+use proql_bench::{json_output, json_str};
 use proql_provgraph::system::example_2_1;
 
 fn main() {
@@ -69,6 +70,7 @@ fn main() {
         rows.sort_by(|a, b| a.key.cmp(&b.key));
         for row in rows {
             print!("   O{} = {}", row.key, row.annotation);
+            let mut probability = None;
             if name == "Probability" {
                 if let Some(ev) = row.annotation.as_event() {
                     let p = proql_semiring::event_probability(ev, &|e| {
@@ -76,9 +78,27 @@ fn main() {
                     })
                     .unwrap_or(f64::NAN);
                     print!("   [P = {p:.4}]");
+                    probability = Some(p);
                 }
             }
             println!();
+            if json_output() {
+                let mut fields = vec![
+                    format!("\"fig\": {}", json_str("table1")),
+                    format!("\"use_case\": {}", json_str(name)),
+                    format!("\"key\": {}", json_str(&format!("{}", row.key))),
+                    format!(
+                        "\"annotation\": {}",
+                        json_str(&format!("{}", row.annotation))
+                    ),
+                ];
+                // NaN (a failed probability computation) is not valid
+                // JSON; omit the field rather than corrupt the line.
+                if let Some(p) = probability.filter(|p| p.is_finite()) {
+                    fields.push(format!("\"probability\": {p:.6}"));
+                }
+                println!("{{{}}}", fields.join(", "));
+            }
         }
     }
 
@@ -105,6 +125,15 @@ fn main() {
         let node = sub.tuple(t);
         if node.relation == "O" {
             println!("   O{} = {}", node.key, vals[&t]);
+            if json_output() {
+                println!(
+                    "{{\"fig\": {}, \"use_case\": {}, \"key\": {}, \"annotation\": {}}}",
+                    json_str("table1"),
+                    json_str("Number of derivations"),
+                    json_str(&format!("{}", node.key)),
+                    json_str(&format!("{}", vals[&t])),
+                );
+            }
         }
     }
 }

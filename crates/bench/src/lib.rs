@@ -106,7 +106,7 @@ pub fn measure_target_query(sys: &ProvenanceSystem, options: EngineOptions) -> M
     let mut opts = options;
     opts.strategy = Strategy::Unfold;
     let instance_rows = sys.db.total_rows();
-    let mut engine = Engine::with_options(sys.clone(), opts);
+    let engine = Engine::with_options(sys.clone(), opts);
     let out = engine.query(target_query()).expect("target query must run");
     Measurement {
         unfold_s: out.stats.unfold_time.as_secs_f64(),

@@ -82,6 +82,30 @@ pub fn parent_of(topology: Topology, i: usize) -> Option<usize> {
 /// along the topology, local data at the configured peers, exchanged with
 /// provenance.
 pub fn build_system(topology: Topology, config: &CdssConfig) -> Result<ProvenanceSystem> {
+    assemble(topology, config, 0)
+}
+
+/// Like [`build_system`], plus one **disconnected** relation family:
+/// `Island(k, v)` (with local data, `island_size` tuples keyed `0..n`)
+/// feeding `IslandOut` through the mapping `misl`. No target-query read
+/// set overlaps the island, so island writes are provably unrelated —
+/// the query service's cache tests and the `serve` load generator use
+/// them to show that unrelated updates keep cached answers hot.
+/// `island_size` of 0 omits the island entirely (identical to
+/// [`build_system`]).
+pub fn build_system_with_island(
+    topology: Topology,
+    config: &CdssConfig,
+    island_size: usize,
+) -> Result<ProvenanceSystem> {
+    assemble(topology, config, island_size)
+}
+
+fn assemble(
+    topology: Topology,
+    config: &CdssConfig,
+    island_size: usize,
+) -> Result<ProvenanceSystem> {
     let mut sys = ProvenanceSystem::new();
     let mut gen = SwissProtLike::new(config.seed, config.attrs);
     let (na, nb) = gen.split();
@@ -101,6 +125,24 @@ pub fn build_system(topology: Topology, config: &CdssConfig) -> Result<Provenanc
             ys = ys.join(", "),
         );
         sys.add_mapping_text(&rule)?;
+    }
+
+    if island_size > 0 {
+        use proql_common::{Schema, Tuple, Value, ValueType};
+        for name in ["Island", "IslandOut"] {
+            sys.add_relation_with_local(Schema::build(
+                name,
+                &[("k", ValueType::Int), ("v", ValueType::Int)],
+                &[0],
+            )?)?;
+        }
+        sys.add_mapping_text("misl: IslandOut(k, v) :- Island(k, v)")?;
+        for k in 0..island_size {
+            sys.insert_local(
+                "Island",
+                Tuple::new(vec![Value::Int(k as i64), Value::Int(k as i64 * 7)]),
+            )?;
+        }
     }
 
     for &peer in &config.data_peers {
@@ -201,6 +243,18 @@ mod tests {
         }
         // Query answers are the union of all alternatives: 2 tuples.
         assert_eq!(out.projection.bindings.len(), 2);
+    }
+
+    #[test]
+    fn island_family_is_disconnected_from_the_chain() {
+        let sys =
+            build_system_with_island(Topology::Chain, &CdssConfig::new(3, vec![2], 4), 6).unwrap();
+        assert_eq!(sys.db.table("IslandOut").unwrap().len(), 6);
+        // The target query's read set never mentions the island.
+        let e = Engine::new(sys);
+        let out = e.query(target_query()).unwrap();
+        assert!(!out.touched.iter().any(|r| r.contains("Island")));
+        assert_eq!(out.projection.bindings.len(), 4);
     }
 
     #[test]

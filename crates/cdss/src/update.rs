@@ -11,7 +11,7 @@
 use proql_common::{Error, Result, Tuple};
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
 use proql_semiring::{evaluate, Annotation, Assignment, SemiringKind};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// What a deletion removed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -20,6 +20,12 @@ pub struct DeleteStats {
     pub tuples_deleted: usize,
     /// Rows removed from materialized provenance relations.
     pub prov_rows_deleted: usize,
+    /// Every relation this deletion actually modified: the seed's local
+    /// table, public relations that lost tuples, and provenance relations
+    /// that lost rows. This is the deletion's **write set** — the query
+    /// service intersects it with cached answers' read sets to decide
+    /// which cache entries die.
+    pub touched: BTreeSet<String>,
 }
 
 /// Delete a tuple from `relation`'s local-contribution table and
@@ -37,6 +43,13 @@ pub fn delete_local(
             "local tuple {relation}{key} does not exist"
         )));
     }
+    // The first mutation has landed: stamp the system immediately, so
+    // version-checked caches are invalidated even if a later step errors
+    // out and leaves the cleanup partial. Exactly one bump per deletion
+    // (callers map version v0 + k to "k deletions applied").
+    sys.bump_version();
+    let mut touched: BTreeSet<String> = BTreeSet::new();
+    touched.insert(local.clone());
 
     // Recompute derivability over the provenance graph. The local `+`
     // derivation disappeared with the view row; tuples whose annotation
@@ -61,6 +74,7 @@ pub fn delete_local(
     for (rel, k) in &dead {
         if sys.db.table_mut(rel)?.delete_by_key(k).is_some() {
             stats.tuples_deleted += 1;
+            touched.insert(rel.clone());
         }
     }
 
@@ -87,10 +101,12 @@ pub fn delete_local(
                     .is_some()
                 {
                     stats.prov_rows_deleted += 1;
+                    touched.insert(spec.prov_rel.clone());
                 }
             }
         }
     }
+    stats.touched = touched;
     Ok(stats)
 }
 
@@ -163,6 +179,36 @@ mod tests {
             .is_none());
         // Tuples grounded by A survive.
         assert!(remains_derivable(&sys, "O", &tup!["sn1"]).unwrap());
+    }
+
+    #[test]
+    fn delete_reports_write_set_and_bumps_version_once() {
+        let mut sys = example_2_1().unwrap();
+        let v0 = sys.version();
+        let stats = delete_local(&mut sys, "C", &tup![2, "cn2"]).unwrap();
+        // Exactly one bump per deletion: the service's replay test maps
+        // version v0 + k to "k deletions applied".
+        assert_eq!(sys.version(), v0 + 1);
+        // The seed's local table and the cascaded victims are recorded.
+        assert!(
+            stats.touched.contains("C_l"),
+            "touched: {:?}",
+            stats.touched
+        );
+        assert!(stats.touched.contains("C"), "touched: {:?}", stats.touched);
+        assert!(stats.touched.contains("O"), "touched: {:?}", stats.touched);
+        // Provenance relations that lost rows are in the write set.
+        assert!(
+            stats.touched.iter().any(|r| r.starts_with("P_m")),
+            "touched: {:?}",
+            stats.touched
+        );
+        // Untouched base relations are NOT in the write set.
+        assert!(
+            !stats.touched.contains("A_l"),
+            "touched: {:?}",
+            stats.touched
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@ use crate::translate::{translate, BodyRewriter, TranslateOptions, TranslateStats
 use proql_common::{Parallelism, Result};
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
 use proql_storage::ExecMode;
-use std::sync::Arc;
+use std::collections::BTreeSet;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Which execution strategy to use for graph projections.
@@ -96,16 +97,29 @@ pub struct QueryOutput {
     pub annotated: Option<AnnotatedResult>,
     /// Statistics.
     pub stats: QueryStats,
+    /// Every relation (base table or view, expanded down to the base
+    /// tables views read) whose contents this query's answer depends on.
+    /// The query service's result cache keeps a cached answer alive
+    /// exactly until a write touches one of these.
+    pub touched: BTreeSet<String>,
 }
 
 /// The ProQL query engine over a [`ProvenanceSystem`].
+///
+/// Read queries take `&self`: the lazily built provenance graph lives
+/// behind interior mutability and is **version-stamped** — it is rebuilt
+/// automatically whenever [`ProvenanceSystem::version`] no longer matches
+/// the version it was built at, so callers that mutate `sys` between
+/// queries never observe stale graph results. An `Engine` is therefore
+/// `Send + Sync` and can serve many concurrent readers (see the
+/// `proql-service` crate).
 #[derive(Debug)]
 pub struct Engine {
     /// The underlying system (database + mappings + provenance).
     pub sys: ProvenanceSystem,
     /// Configuration.
     pub options: EngineOptions,
-    cached_graph: Option<ProvGraph>,
+    cached_graph: RwLock<Option<(u64, Arc<ProvGraph>)>>,
 }
 
 impl Engine {
@@ -114,7 +128,7 @@ impl Engine {
         Engine {
             sys,
             options: EngineOptions::default(),
-            cached_graph: None,
+            cached_graph: RwLock::new(None),
         }
     }
 
@@ -123,18 +137,36 @@ impl Engine {
         Engine {
             sys,
             options,
-            cached_graph: None,
+            cached_graph: RwLock::new(None),
         }
     }
 
     /// Parse and run a ProQL query.
-    pub fn query(&mut self, text: &str) -> Result<QueryOutput> {
+    pub fn query(&self, text: &str) -> Result<QueryOutput> {
         let q = parse_query(text)?;
         self.query_parsed(&q)
     }
 
+    /// The in-memory provenance graph for the **current** system version:
+    /// built on first use, shared via `Arc`, and dropped + rebuilt as soon
+    /// as the system's version counter shows a mutation happened since.
+    pub fn graph(&self) -> Result<Arc<ProvGraph>> {
+        let version = self.sys.version();
+        if let Some((built_at, g)) = self.cached_graph.read().expect("graph lock").as_ref() {
+            if *built_at == version {
+                return Ok(Arc::clone(g));
+            }
+        }
+        // Stale or absent: rebuild outside any lock (building is pure),
+        // then publish. Concurrent rebuilders of the same version are
+        // benign — the graph is deterministic.
+        let g = Arc::new(ProvGraph::from_system(&self.sys)?);
+        *self.cached_graph.write().expect("graph lock") = Some((version, Arc::clone(&g)));
+        Ok(g)
+    }
+
     /// Run a parsed query.
-    pub fn query_parsed(&mut self, q: &Query) -> Result<QueryOutput> {
+    pub fn query_parsed(&self, q: &Query) -> Result<QueryOutput> {
         let strategy = match self.options.strategy {
             Strategy::Auto => {
                 if self.sys.schema_graph().is_cyclic() {
@@ -146,6 +178,7 @@ impl Engine {
             s => s,
         };
         let mut stats = QueryStats::default();
+        let mut touched = BTreeSet::new();
         let projection = match strategy {
             Strategy::Unfold => {
                 let t0 = Instant::now();
@@ -160,6 +193,7 @@ impl Engine {
                 )?;
                 stats.unfold_time = t0.elapsed();
                 stats.translate = translation.stats.clone();
+                touched = touched_relations_unfold(&self.sys, &translation);
                 let t1 = Instant::now();
                 let proj = run_projection_opts(
                     &self.sys,
@@ -173,15 +207,13 @@ impl Engine {
                 proj
             }
             Strategy::Graph | Strategy::Auto => {
-                if self.cached_graph.is_none() {
-                    self.cached_graph = Some(ProvGraph::from_system(&self.sys)?);
-                }
+                let graph = self.graph()?;
+                // The graph walk reads the whole materialized system, so
+                // a graph-strategy answer depends on every relation.
+                touched.extend(self.sys.db.table_names().map(str::to_string));
+                touched.extend(self.sys.db.view_names().map(str::to_string));
                 let t1 = Instant::now();
-                let proj = run_projection_graph(
-                    &self.sys,
-                    self.cached_graph.as_ref().expect("cached above"),
-                    q,
-                )?;
+                let proj = run_projection_graph(&self.sys, &graph, q)?;
                 stats.eval_time = t1.elapsed();
                 proj
             }
@@ -199,12 +231,58 @@ impl Engine {
             projection,
             annotated,
             stats,
+            touched,
         })
     }
 
-    /// Invalidate the cached provenance graph (call after new exchanges).
-    pub fn invalidate_cache(&mut self) {
-        self.cached_graph = None;
+    /// Drop the cached provenance graph. Mutations through
+    /// [`ProvenanceSystem`]'s API are detected automatically via its
+    /// version counter, so calling this is only needed after mutating
+    /// `sys.db` directly without [`ProvenanceSystem::bump_version`].
+    pub fn invalidate_cache(&self) {
+        *self.cached_graph.write().expect("graph lock") = None;
+    }
+}
+
+/// The set of relations an unfold-strategy answer reads: every rule body
+/// atom, every provenance relation the rule witnesses, and (for the
+/// annotation phase, which reconstructs leaf tuples) the source/target
+/// relations of each witnessed mapping — all expanded through view
+/// definitions down to base tables, so that a write set of base tables
+/// can be intersected against it.
+fn touched_relations_unfold(
+    sys: &ProvenanceSystem,
+    translation: &crate::translate::Translation,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for rule in &translation.rules {
+        for atom in &rule.atoms {
+            insert_with_view_deps(sys, &atom.relation, &mut out);
+        }
+        for rec in &rule.prov_records {
+            if let Some(spec) = sys.spec_for(&rec.mapping) {
+                insert_with_view_deps(sys, &spec.prov_rel, &mut out);
+                for recipe in &spec.atoms {
+                    insert_with_view_deps(sys, &recipe.relation, &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Insert `rel` and, when it is a view, every relation its definition
+/// scans (recursively — views may read other views).
+fn insert_with_view_deps(sys: &ProvenanceSystem, rel: &str, out: &mut BTreeSet<String>) {
+    if !out.insert(rel.to_string()) {
+        return;
+    }
+    if let Some(v) = sys.db.view(rel) {
+        let mut scanned = BTreeSet::new();
+        v.plan.collect_scanned(&mut scanned);
+        for r in scanned {
+            insert_with_view_deps(sys, &r, out);
+        }
     }
 }
 
@@ -224,7 +302,7 @@ mod tests {
     #[test]
     fn auto_picks_graph_for_cyclic_example() {
         // Example 2.1's schema graph is cyclic (m1/m3).
-        let mut e = engine(Strategy::Auto);
+        let e = engine(Strategy::Auto);
         let out = e
             .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
             .unwrap();
@@ -234,7 +312,7 @@ mod tests {
 
     #[test]
     fn unfold_strategy_reports_stats() {
-        let mut e = engine(Strategy::Unfold);
+        let e = engine(Strategy::Unfold);
         let out = e
             .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
             .unwrap();
@@ -255,7 +333,7 @@ mod tests {
                    DEFAULT : SET $z
                  }";
         for strategy in [Strategy::Unfold, Strategy::Graph] {
-            let mut e = engine(strategy);
+            let e = engine(strategy);
             let out = e.query(q).unwrap();
             let ann = out.annotated.unwrap();
             assert_eq!(
@@ -273,8 +351,69 @@ mod tests {
 
     #[test]
     fn parse_errors_surface() {
-        let mut e = engine(Strategy::Auto);
+        let e = engine(Strategy::Auto);
         assert!(e.query("FOR [O $x RETURN $x").is_err());
+    }
+
+    #[test]
+    fn stale_graph_auto_invalidates_on_mutation() {
+        // Regression for the stale-graph footgun: mutate the system after
+        // a Graph-strategy query and re-query WITHOUT calling
+        // invalidate_cache — the version stamp must force a rebuild.
+        let mut e = engine(Strategy::Graph);
+        let q = "FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+        let before = e.query(q).unwrap().projection.bindings.len();
+        e.sys.insert_local("A", tup![8, "sn8", 2]).unwrap();
+        e.sys.run_exchange().unwrap();
+        let after = e.query(q).unwrap().projection.bindings.len();
+        assert!(
+            after > before,
+            "stale cached graph served: {after} <= {before}"
+        );
+    }
+
+    #[test]
+    fn graph_is_shared_until_version_changes() {
+        let mut e = engine(Strategy::Graph);
+        let g1 = e.graph().unwrap();
+        let g2 = e.graph().unwrap();
+        assert!(Arc::ptr_eq(&g1, &g2), "same version must share the graph");
+        e.sys.bump_version();
+        let g3 = e.graph().unwrap();
+        assert!(!Arc::ptr_eq(&g1, &g3), "version bump must rebuild");
+    }
+
+    #[test]
+    fn touched_relations_cover_unfold_dependencies() {
+        let e = engine(Strategy::Unfold);
+        let out = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        // The unfolded rules bottom out in local tables and provenance
+        // relations; view-expansion pulls in the base tables views read.
+        assert!(out.touched.contains("A_l"), "touched: {:?}", out.touched);
+        assert!(out.touched.contains("P_m1"), "touched: {:?}", out.touched);
+        // P_m4 is superfluous (a view over A_l): its base must appear too.
+        assert!(out.touched.contains("P_m4"), "touched: {:?}", out.touched);
+        // Spec atom relations (annotation leaf values) are included.
+        assert!(out.touched.contains("O"), "touched: {:?}", out.touched);
+    }
+
+    #[test]
+    fn touched_relations_graph_strategy_is_everything() {
+        let e = engine(Strategy::Graph);
+        let out = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        for rel in ["A", "A_l", "O", "P_m1", "P_m5"] {
+            assert!(out.touched.contains(rel), "missing {rel}");
+        }
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //!
 //! Queries are parsed ([`parser`]), matched against the provenance schema
 //! graph and unfolded into conjunctive rules over provenance relations
-//! ([`translate`], paper §4.2), executed as relational plans ([`exec`]),
+//! ([`mod@translate`], paper §4.2), executed as relational plans ([`exec`]),
 //! and optionally evaluated in a semiring ([`annotate`]). [`engine`] ties
 //! it together behind [`Engine`].
 

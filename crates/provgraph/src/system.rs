@@ -28,6 +28,7 @@ pub struct ProvenanceSystem {
     specs: Vec<ProvSpec>,
     local_rels: HashSet<String>,
     exchanged: bool,
+    version: u64,
 }
 
 impl ProvenanceSystem {
@@ -36,12 +37,30 @@ impl ProvenanceSystem {
         ProvenanceSystem::default()
     }
 
+    /// Monotonically increasing mutation counter. Every mutation through
+    /// this type's API bumps it; consumers that cache anything derived
+    /// from the system (the engine's provenance graph, the query
+    /// service's result cache) compare versions instead of relying on
+    /// explicit invalidation calls.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Record an out-of-band mutation (a caller writing through the
+    /// public `db` field directly, e.g. CDSS deletion propagation).
+    /// Bumps [`ProvenanceSystem::version`] so cached derived state is
+    /// dropped on next use.
+    pub fn bump_version(&mut self) {
+        self.version += 1;
+    }
+
     /// Register a public relation together with its local-contribution table
     /// (named `{name}_l`) and the copying rule `L_{name}` (the paper's
     /// `L1..L4` rules).
     pub fn add_relation_with_local(&mut self, schema: Schema) -> Result<()> {
         let name = schema.name().to_string();
         let local = format!("{name}{LOCAL_SUFFIX}");
+        self.version += 1;
         self.db.create_table(schema.clone())?;
         self.db.create_table(schema.renamed(&local))?;
         self.local_rels.insert(local.clone());
@@ -56,6 +75,7 @@ impl ProvenanceSystem {
     /// Register a public relation with no local contributions (a purely
     /// derived relation).
     pub fn add_relation(&mut self, schema: Schema) -> Result<()> {
+        self.version += 1;
         self.db.create_table(schema)
     }
 
@@ -83,6 +103,7 @@ impl ProvenanceSystem {
         create_prov_relation(&mut self.db, &spec, &rule)?;
         self.specs.push(spec);
         self.program.rules.push(rule);
+        self.version += 1;
         Ok(())
     }
 
@@ -94,7 +115,13 @@ impl ProvenanceSystem {
                 "relation {relation} has no local-contribution table"
             )));
         }
-        self.db.insert(&local, tuple)
+        let inserted = self.db.insert(&local, tuple)?;
+        // A duplicate insert is a no-op under set semantics: nothing
+        // changed, so version-checked caches stay valid.
+        if inserted {
+            self.version += 1;
+        }
+        Ok(inserted)
     }
 
     /// Run data exchange: evaluate all mappings to fixpoint, recording
@@ -105,6 +132,7 @@ impl ProvenanceSystem {
         let mut hook = ProvenanceHook { specs: &self.specs };
         let stats = run_program(&mut self.db, &self.program, &mut hook)?;
         self.exchanged = true;
+        self.version += 1;
         Ok(stats)
     }
 
@@ -322,6 +350,28 @@ mod tests {
         let sys = example_2_1().unwrap();
         // P_m1 has 2 rows, P_m5 has 2 rows; views don't count.
         assert_eq!(sys.provenance_rows(), 4);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut sys = ProvenanceSystem::new();
+        assert_eq!(sys.version(), 0);
+        sys.add_relation_with_local(
+            Schema::build("X", &[("id", proql_common::ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        let after_schema = sys.version();
+        assert!(after_schema > 0);
+        sys.insert_local("X", tup![1]).unwrap();
+        let after_insert = sys.version();
+        assert!(after_insert > after_schema);
+        sys.run_exchange().unwrap();
+        let after_exchange = sys.version();
+        assert!(after_exchange > after_insert);
+        sys.bump_version();
+        assert_eq!(sys.version(), after_exchange + 1);
+        // Clones carry the version.
+        assert_eq!(sys.clone().version(), sys.version());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::polynomial::Polynomial;
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// Confidentiality/access-control levels (paper Q10, [24]). Ordered from
+/// Confidentiality/access-control levels (paper Q10, \[24\]). Ordered from
 /// least to most secure; `more_secure` = max, `less_secure` = min.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SecurityLevel {
@@ -57,7 +57,7 @@ impl fmt::Display for SecurityLevel {
 
 /// A DNF event expression: a set of conjuncts, each a set of base-event
 /// names. `{}` is *false*; `{{}}` is *true*. Kept subsumption-minimal so
-/// the probability semiring is absorptive (PosBool[X]).
+/// the probability semiring is absorptive (PosBool\[X\]).
 pub type Dnf = BTreeSet<BTreeSet<String>>;
 
 /// Remove conjuncts that are supersets of other conjuncts (absorption:

@@ -15,7 +15,7 @@
 //! | Probability         | event          | `R ∩ S`          | `R ∪ S`          |
 //! | # derivations       | `1`            | `R · S`          | `R + S`          |
 //!
-//! plus the most general **provenance polynomials** N[X] of Green et al.,
+//! plus the most general **provenance polynomials** N\[X\] of Green et al.,
 //! used here as the reference semiring for property tests.
 //!
 //! [`eval`] evaluates a [`ProvGraph`] bottom-up in any of these semirings;

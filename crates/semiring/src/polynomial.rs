@@ -1,4 +1,4 @@
-//! Provenance polynomials N[X] — the most general tuple-based provenance
+//! Provenance polynomials N\[X\] — the most general tuple-based provenance
 //! (Green, Karvounarakis, Tannen, PODS 2007), which the paper's graphs
 //! encode. Every other semiring in Table 1 is a homomorphic image of this
 //! one; the property tests exploit that.

@@ -24,7 +24,7 @@ pub enum SemiringKind {
     Probability,
     /// Number of derivations: `·` / `+` over naturals.
     Counting,
-    /// Provenance polynomials N[X] (the universal semiring).
+    /// Provenance polynomials N\[X\] (the universal semiring).
     Polynomial,
 }
 

@@ -1,0 +1,282 @@
+//! The dependency-tracked result cache.
+//!
+//! Every cached [`QueryOutput`] carries its **read set** — the relations
+//! the engine reported in [`QueryOutput::touched`] — and the version it
+//! was computed at. Instead of invalidating entries eagerly, the cache
+//! keeps a per-relation **last-write epoch**: writers record the version
+//! of each write's write set, and an entry is fresh exactly when no
+//! relation in its read set has been written after the entry was built.
+//!
+//! This makes freshness a pure function of `(entry, last_write)` with no
+//! ordering hazard between readers and writers: a reader that computed a
+//! result against an old snapshot and tries to insert it after a
+//! conflicting write finds `last_write[dep] > built_version` and the
+//! insert is rejected; a write to a relation **no** entry depends on
+//! changes nothing, so unrelated updates keep hot entries alive.
+
+use proql::engine::QueryOutput;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Monotonic counters the cache keeps about itself (reported by the
+/// service's `STATS` verb and the `serve` load generator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries dropped because a write touched one of their dependencies.
+    pub stale_evictions: u64,
+    /// Entries dropped to respect the capacity bound (LRU).
+    pub capacity_evictions: u64,
+    /// Inserts rejected because the result was already stale when it
+    /// arrived (a write raced the query that computed it).
+    pub rejected_inserts: u64,
+}
+
+impl CacheCounters {
+    /// Hit rate over all lookups (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    deps: BTreeSet<String>,
+    built_version: u64,
+    result: Arc<QueryOutput>,
+    last_used: u64,
+}
+
+/// A bounded result cache keyed by normalized query text, invalidated by
+/// relation-level write epochs.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: HashMap<String, CacheEntry>,
+    /// Relation name → version of the latest write whose write set
+    /// contained it. Absent means "never written since service start".
+    last_write: HashMap<String, u64>,
+    capacity: usize,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            last_write: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    fn is_fresh(last_write: &HashMap<String, u64>, entry: &CacheEntry) -> bool {
+        entry
+            .deps
+            .iter()
+            .all(|d| last_write.get(d).is_none_or(|&w| w <= entry.built_version))
+    }
+
+    /// Look up a fresh entry. A stale entry found here is evicted on the
+    /// spot. Counts a hit or a miss.
+    pub fn lookup(&mut self, key: &str) -> Option<Arc<QueryOutput>> {
+        self.tick += 1;
+        let fresh = match self.entries.get(key) {
+            Some(e) => Self::is_fresh(&self.last_write, e),
+            None => {
+                self.counters.misses += 1;
+                return None;
+            }
+        };
+        if !fresh {
+            self.entries.remove(key);
+            self.counters.stale_evictions += 1;
+            self.counters.misses += 1;
+            return None;
+        }
+        let e = self.entries.get_mut(key).expect("checked above");
+        e.last_used = self.tick;
+        self.counters.hits += 1;
+        Some(Arc::clone(&e.result))
+    }
+
+    /// Store a result computed at `built_version` with read set `deps`.
+    /// Rejected (and counted) when a write newer than `built_version`
+    /// already touched one of the dependencies — the result is stale on
+    /// arrival and caching it would serve wrong answers.
+    pub fn insert(
+        &mut self,
+        key: String,
+        deps: BTreeSet<String>,
+        built_version: u64,
+        result: Arc<QueryOutput>,
+    ) {
+        self.tick += 1;
+        let entry = CacheEntry {
+            deps,
+            built_version,
+            result,
+            last_used: self.tick,
+        };
+        if !Self::is_fresh(&self.last_write, &entry) {
+            self.counters.rejected_inserts += 1;
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Evict the least-recently-used entry to stay within bounds.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.counters.capacity_evictions += 1;
+            }
+        }
+        self.counters.insertions += 1;
+        self.entries.insert(key, entry);
+    }
+
+    /// Record a write: every relation in `write_set` was modified by the
+    /// write that produced `version`.
+    pub fn record_write<'a>(&mut self, write_set: impl IntoIterator<Item = &'a str>, version: u64) {
+        for rel in write_set {
+            let slot = self.last_write.entry(rel.to_string()).or_insert(0);
+            *slot = (*slot).max(version);
+        }
+    }
+
+    /// Drop every entry, returning how many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql::engine::QueryOutput;
+    use proql::exec::ProjectionResult;
+
+    fn output() -> Arc<QueryOutput> {
+        Arc::new(QueryOutput {
+            projection: ProjectionResult::default(),
+            annotated: None,
+            stats: Default::default(),
+            touched: BTreeSet::new(),
+        })
+    }
+
+    fn deps(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = ResultCache::new(8);
+        assert!(c.lookup("q1").is_none());
+        c.insert("q1".into(), deps(&["A"]), 1, output());
+        assert!(c.lookup("q1").is_some());
+        let counters = c.counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+    }
+
+    #[test]
+    fn write_to_dependency_evicts_unrelated_write_does_not() {
+        let mut c = ResultCache::new(8);
+        c.insert("qa".into(), deps(&["A", "P_m1"]), 1, output());
+        c.insert("qb".into(), deps(&["B"]), 1, output());
+        c.record_write(["B"], 2);
+        // qa untouched by the write to B.
+        assert!(c.lookup("qa").is_some());
+        // qb's dependency was written after it was built.
+        assert!(c.lookup("qb").is_none());
+        assert_eq!(c.counters().stale_evictions, 1);
+    }
+
+    #[test]
+    fn write_older_than_entry_keeps_it() {
+        let mut c = ResultCache::new(8);
+        c.record_write(["A"], 3);
+        // Built at version 5, after the write: still fresh.
+        c.insert("q".into(), deps(&["A"]), 5, output());
+        assert!(c.lookup("q").is_some());
+    }
+
+    #[test]
+    fn stale_on_arrival_insert_is_rejected() {
+        let mut c = ResultCache::new(8);
+        c.record_write(["A"], 7);
+        // A reader computed this against version 5, then the write at 7
+        // landed before the insert: must not be cached.
+        c.insert("q".into(), deps(&["A"]), 5, output());
+        assert!(c.lookup("q").is_none());
+        assert_eq!(c.counters().rejected_inserts, 1);
+        assert_eq!(c.counters().insertions, 0);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert("q1".into(), deps(&["A"]), 1, output());
+        c.insert("q2".into(), deps(&["A"]), 1, output());
+        assert!(c.lookup("q1").is_some()); // q2 is now the LRU entry
+        c.insert("q3".into(), deps(&["A"]), 1, output());
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup("q1").is_some());
+        assert!(c.lookup("q2").is_none());
+        assert!(c.lookup("q3").is_some());
+        assert_eq!(c.counters().capacity_evictions, 1);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut c = ResultCache::new(8);
+        c.insert("q1".into(), deps(&["A"]), 1, output());
+        c.insert("q2".into(), deps(&["B"]), 1, output());
+        assert_eq!(c.clear(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_reported() {
+        let mut c = ResultCache::new(8);
+        c.insert("q".into(), deps(&["A"]), 1, output());
+        assert!(c.lookup("q").is_some());
+        assert!(c.lookup("q").is_some());
+        assert!(c.lookup("other").is_none());
+        let rate = c.counters().hit_rate();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9, "rate = {rate}");
+    }
+}

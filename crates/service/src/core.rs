@@ -1,0 +1,477 @@
+//! The shared, thread-safe query service.
+//!
+//! # Locking discipline
+//!
+//! * Readers never block readers, and never block behind a running
+//!   write: [`ServiceCore::query`] grabs the **current snapshot**
+//!   (an `Arc<Snapshot>` behind a briefly-held `RwLock`) and runs the
+//!   whole query against that immutable snapshot.
+//! * Writers serialize through `write_gate`, build the next system
+//!   **copy-on-write** (clone → mutate → wrap in a fresh [`Engine`]),
+//!   record the write set in the result cache, and only then publish the
+//!   new snapshot. In-flight readers keep their `Arc` to the old
+//!   snapshot and finish with a consistent view.
+//! * The cache's freshness rule (see [`crate::cache`]) makes the
+//!   reader/writer races benign: a result computed against a snapshot
+//!   that a concurrent write has outdated is rejected at insert time,
+//!   and a cache hit's reported version is read under the cache lock —
+//!   writers record the write set *before* publishing, so an entry that
+//!   survives the epoch check is valid at the version the reader
+//!   reports.
+
+use crate::cache::{CacheCounters, ResultCache};
+use proql::engine::{Engine, EngineOptions, QueryOutput};
+use proql_cdss::update::{delete_local, DeleteStats};
+use proql_common::{Result, Tuple};
+use proql_provgraph::ProvenanceSystem;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One immutable published version of the system: queries run against a
+/// snapshot end-to-end, so a write landing mid-query cannot tear results.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The [`ProvenanceSystem::version`] this snapshot was published at.
+    pub version: u64,
+    /// A read-only engine over the snapshot's system.
+    pub engine: Engine,
+}
+
+/// Point-in-time service statistics (the `STATS` verb's payload).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Currently published system version.
+    pub version: u64,
+    /// Queries served (hits + misses + errors).
+    pub queries: u64,
+    /// Writes applied (deletions + insert/exchange rounds).
+    pub writes: u64,
+    /// Live cache entries.
+    pub cache_entries: u64,
+    /// Cache counters.
+    pub cache: CacheCounters,
+}
+
+impl ServiceStats {
+    /// Hand-rolled JSON rendering (the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"version\": {}, \"queries\": {}, \"writes\": {}, \"cache_entries\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
+             \"stale_evictions\": {}, \"capacity_evictions\": {}, \"rejected_inserts\": {}}}",
+            self.version,
+            self.queries,
+            self.writes,
+            self.cache_entries,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate(),
+            self.cache.stale_evictions,
+            self.cache.capacity_evictions,
+            self.cache.rejected_inserts,
+        )
+    }
+}
+
+/// A query answer plus the service-level context it was produced in.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The system version this answer is valid at: a serial [`Engine`]
+    /// replay against the system state of this version returns a
+    /// bit-identical result.
+    pub version: u64,
+    /// Whether the answer came from the result cache.
+    pub cache_hit: bool,
+    /// The answer.
+    pub output: Arc<QueryOutput>,
+}
+
+/// A shared, thread-safe ProQL query service over a [`ProvenanceSystem`]:
+/// single-writer / multi-reader with versioned snapshots and a
+/// dependency-tracked result cache.
+#[derive(Debug)]
+pub struct ServiceCore {
+    state: RwLock<Arc<Snapshot>>,
+    write_gate: Mutex<()>,
+    cache: Mutex<ResultCache>,
+    options: EngineOptions,
+    queries: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// Default bound on live cache entries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+impl ServiceCore {
+    /// Serve `sys` with engine `options` and the default cache capacity.
+    pub fn new(sys: ProvenanceSystem, options: EngineOptions) -> Self {
+        ServiceCore::with_cache_capacity(sys, options, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Serve `sys` with an explicit cache capacity.
+    pub fn with_cache_capacity(
+        sys: ProvenanceSystem,
+        options: EngineOptions,
+        capacity: usize,
+    ) -> Self {
+        let version = sys.version();
+        let engine = Engine::with_options(sys, options.clone());
+        ServiceCore {
+            state: RwLock::new(Arc::new(Snapshot { version, engine })),
+            write_gate: Mutex::new(()),
+            cache: Mutex::new(ResultCache::new(capacity)),
+            options,
+            queries: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.state.read().expect("state lock"))
+    }
+
+    /// The currently published system version.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version
+    }
+
+    /// Cache keys are whitespace-normalized query text, so reformatted
+    /// copies of the same query share an entry. Normalization mirrors
+    /// the ProQL lexer: single-quoted string literals are preserved
+    /// verbatim (whitespace inside them is significant) and `--` line
+    /// comments are stripped.
+    pub fn cache_key(text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut chars = text.chars().peekable();
+        let mut pending_space = false;
+        let emit = |c: char, out: &mut String, pending: &mut bool| {
+            if *pending && !out.is_empty() {
+                out.push(' ');
+            }
+            *pending = false;
+            out.push(c);
+        };
+        while let Some(c) = chars.next() {
+            match c {
+                '\'' => {
+                    emit('\'', &mut out, &mut pending_space);
+                    for c in chars.by_ref() {
+                        out.push(c);
+                        if c == '\'' {
+                            break;
+                        }
+                    }
+                }
+                '-' if chars.peek() == Some(&'-') => {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                    pending_space = true;
+                }
+                c if c.is_whitespace() => pending_space = true,
+                c => emit(c, &mut out, &mut pending_space),
+            }
+        }
+        out
+    }
+
+    /// Serve one ProQL query: from the result cache when a fresh entry
+    /// exists, otherwise by running it against the current snapshot and
+    /// caching the answer keyed by its read set.
+    pub fn query(&self, text: &str) -> Result<QueryResponse> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let key = ServiceCore::cache_key(text);
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            // Read the published version while holding the cache lock:
+            // writers record their write set before publishing, so an
+            // entry that passes the epoch check is valid at `version`.
+            let version = self.state.read().expect("state lock").version;
+            if let Some(output) = cache.lookup(&key) {
+                return Ok(QueryResponse {
+                    version,
+                    cache_hit: true,
+                    output,
+                });
+            }
+        }
+        let snap = self.snapshot();
+        let output = Arc::new(snap.engine.query(text)?);
+        self.cache.lock().expect("cache lock").insert(
+            key,
+            output.touched.clone(),
+            snap.version,
+            Arc::clone(&output),
+        );
+        Ok(QueryResponse {
+            version: snap.version,
+            cache_hit: false,
+            output,
+        })
+    }
+
+    /// Apply a mutation through the single-writer path: clone the
+    /// current system, run `mutate` on the clone, then publish the
+    /// result as the next snapshot. `mutate` returns the write set —
+    /// the relations it modified — which is recorded in the cache
+    /// *before* the new snapshot becomes visible; returning `None`
+    /// reports a no-op (nothing is published, no entry is evicted).
+    fn write<T>(
+        &self,
+        mutate: impl FnOnce(&mut ProvenanceSystem) -> Result<Option<(BTreeSet<String>, T)>>,
+    ) -> Result<Option<(u64, T)>> {
+        let _gate = self.write_gate.lock().expect("write gate");
+        let current = self.snapshot();
+        let mut sys = current.engine.sys.clone();
+        let Some((write_set, value)) = mutate(&mut sys)? else {
+            return Ok(None);
+        };
+        let version = sys.version();
+        debug_assert!(version > current.version, "mutations must bump the version");
+        let next = Arc::new(Snapshot {
+            version,
+            engine: Engine::with_options(sys, self.options.clone()),
+        });
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .record_write(write_set.iter().map(String::as_str), version);
+        *self.state.write().expect("state lock") = next;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(Some((version, value)))
+    }
+
+    /// CDSS deletion: remove a tuple from `relation`'s local table and
+    /// garbage-collect everything no longer derivable. Returns the new
+    /// version and the deletion stats (whose `touched` set drove cache
+    /// invalidation).
+    pub fn delete(&self, relation: &str, key: &Tuple) -> Result<(u64, DeleteStats)> {
+        let published = self.write(|sys| {
+            let stats = delete_local(sys, relation, key)?;
+            Ok(Some((stats.touched.clone(), stats)))
+        })?;
+        Ok(published.expect("a successful deletion is never a no-op"))
+    }
+
+    /// Insert a tuple into `relation`'s local table and re-run the
+    /// exchange. The write set is measured precisely: the local table
+    /// plus every base table whose row count the exchange changed. A
+    /// duplicate insert is a no-op under set semantics: nothing is
+    /// published, no cache entry dies, and the current version is
+    /// returned with an empty write set.
+    pub fn insert_and_exchange(
+        &self,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<(u64, BTreeSet<String>)> {
+        let published = self.write(|sys| {
+            let before: Vec<(String, usize)> = sys
+                .db
+                .table_names()
+                .map(|n| (n.to_string(), sys.db.table(n).map(|t| t.len()).unwrap_or(0)))
+                .collect();
+            if !sys.insert_local(relation, tuple)? {
+                return Ok(None);
+            }
+            sys.run_exchange()?;
+            let mut write_set: BTreeSet<String> = before
+                .iter()
+                .filter(|(n, len)| sys.db.table(n).map(|t| t.len()).unwrap_or(0) != *len)
+                .map(|(n, _)| n.clone())
+                .collect();
+            write_set.insert(format!(
+                "{relation}{}",
+                proql_provgraph::system::LOCAL_SUFFIX
+            ));
+            Ok(Some((write_set.clone(), write_set)))
+        })?;
+        Ok(published.unwrap_or_else(|| (self.version(), BTreeSet::new())))
+    }
+
+    /// Drop every cached result (the `INVALIDATE` verb). Returns how many
+    /// entries were dropped.
+    pub fn invalidate(&self) -> usize {
+        self.cache.lock().expect("cache lock").clear()
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let (entries, counters) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (cache.len() as u64, cache.counters())
+        };
+        ServiceStats {
+            version: self.version(),
+            queries: self.queries.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cache_entries: entries,
+            cache: counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::{tup, Schema, ValueType};
+
+    /// Two disconnected mapping families: X → Y (via mxy) and U → V (via
+    /// muv). A query over one family must not be invalidated by writes to
+    /// the other.
+    fn two_island_system() -> ProvenanceSystem {
+        let mut sys = ProvenanceSystem::new();
+        for name in ["X", "Y", "U", "V"] {
+            sys.add_relation_with_local(
+                Schema::build(name, &[("id", ValueType::Int), ("w", ValueType::Int)], &[0])
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        sys.add_mapping_text("mxy: Y(i, w) :- X(i, w)").unwrap();
+        sys.add_mapping_text("muv: V(i, w) :- U(i, w)").unwrap();
+        for i in 0..5 {
+            sys.insert_local("X", tup![i, i * 10]).unwrap();
+            sys.insert_local("U", tup![i, i * 10]).unwrap();
+        }
+        sys.run_exchange().unwrap();
+        sys
+    }
+
+    const Q_Y: &str = "FOR [Y $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+    const Q_V: &str = "FOR [V $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+
+    #[test]
+    fn repeat_query_hits_cache() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let first = core.query(Q_Y).unwrap();
+        assert!(!first.cache_hit);
+        let second = core.query(Q_Y).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.version, second.version);
+        assert_eq!(
+            first.output.projection.bindings,
+            second.output.projection.bindings
+        );
+        let stats = core.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn whitespace_variants_share_a_cache_entry() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        core.query(Q_Y).unwrap();
+        let reformatted = "FOR   [Y $x]\n  INCLUDE PATH [$x] <-+ []\n  RETURN $x";
+        assert!(core.query(reformatted).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn cache_key_preserves_string_literals_and_strips_comments() {
+        // Whitespace inside single-quoted literals is significant: these
+        // are different predicates and must not share a cache entry.
+        let a = ServiceCore::cache_key("FOR [Y $x] WHERE $x.n = 'a b' RETURN $x");
+        let b = ServiceCore::cache_key("FOR [Y $x] WHERE $x.n = 'a  b' RETURN $x");
+        assert_ne!(a, b);
+        // `--` line comments are insignificant, like in the lexer.
+        let c = ServiceCore::cache_key("FOR [Y $x] -- note\n RETURN $x");
+        assert_eq!(c, "FOR [Y $x] RETURN $x");
+        // The `<-+` arrow is untouched by comment stripping.
+        assert_eq!(ServiceCore::cache_key("[$x]  <-+   []"), "[$x] <-+ []");
+    }
+
+    #[test]
+    fn write_to_unrelated_relation_keeps_entry_hot() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let before = core.query(Q_Y).unwrap();
+        // Delete in the U/V island: the Y answer depends only on X/Y.
+        let (v, stats) = core.delete("U", &tup![0]).unwrap();
+        assert!(v > before.version);
+        assert!(!stats.touched.contains("X_l"));
+        let after = core.query(Q_Y).unwrap();
+        assert!(after.cache_hit, "unrelated write must not evict");
+        assert_eq!(after.version, v, "hit must report the current version");
+        assert_eq!(
+            before.output.projection.bindings,
+            after.output.projection.bindings
+        );
+    }
+
+    #[test]
+    fn write_to_touched_relation_evicts_entry() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let before = core.query(Q_Y).unwrap();
+        assert_eq!(before.output.projection.bindings.len(), 5);
+        let (v, _) = core.delete("X", &tup![0]).unwrap();
+        let after = core.query(Q_Y).unwrap();
+        assert!(!after.cache_hit, "write to a dependency must evict");
+        assert_eq!(after.version, v);
+        assert_eq!(after.output.projection.bindings.len(), 4);
+        assert_eq!(core.stats().cache.stale_evictions, 1);
+    }
+
+    #[test]
+    fn insert_and_exchange_evicts_dependent_entries_only() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        core.query(Q_Y).unwrap();
+        core.query(Q_V).unwrap();
+        let (_, write_set) = core.insert_and_exchange("X", tup![9, 90]).unwrap();
+        assert!(write_set.contains("X_l"));
+        assert!(write_set.contains("Y"), "write set: {write_set:?}");
+        assert!(!write_set.contains("V"), "write set: {write_set:?}");
+        let y = core.query(Q_Y).unwrap();
+        assert!(!y.cache_hit);
+        assert_eq!(y.output.projection.bindings.len(), 6);
+        assert!(core.query(Q_V).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_noop_and_evicts_nothing() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        core.query(Q_Y).unwrap();
+        let v0 = core.version();
+        // X_l already holds (0, 0): set semantics make this a no-op.
+        let (v, write_set) = core.insert_and_exchange("X", tup![0, 0]).unwrap();
+        assert_eq!(v, v0, "no-op insert must not publish a new version");
+        assert!(write_set.is_empty());
+        assert!(
+            core.query(Q_Y).unwrap().cache_hit,
+            "no-op must evict nothing"
+        );
+        assert_eq!(core.stats().writes, 0);
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        core.query(Q_Y).unwrap();
+        core.query(Q_V).unwrap();
+        assert_eq!(core.invalidate(), 2);
+        assert!(!core.query(Q_Y).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn query_errors_are_not_cached() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        assert!(core.query("FOR [Y $x RETURN $x").is_err());
+        assert_eq!(core.stats().cache_entries, 0);
+    }
+
+    #[test]
+    fn failed_write_leaves_version_and_snapshot_unchanged() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let v0 = core.version();
+        assert!(core.delete("X", &tup![99]).is_err());
+        assert_eq!(core.version(), v0);
+        assert_eq!(core.query(Q_Y).unwrap().output.projection.bindings.len(), 5);
+    }
+
+    #[test]
+    fn service_core_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServiceCore>();
+    }
+}

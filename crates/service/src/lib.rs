@@ -1,0 +1,34 @@
+//! # proql-service
+//!
+//! A concurrent provenance query service over a
+//! [`proql_provgraph::ProvenanceSystem`]: the long-lived shared system a
+//! CDSS implies, answering many ProQL queries between update exchanges.
+//!
+//! Three layers:
+//!
+//! * [`core::ServiceCore`] — single-writer / multi-reader semantics.
+//!   Queries run against an immutable **versioned snapshot**
+//!   (`Arc<Snapshot>`); CDSS updates (deletions, insert+exchange) build
+//!   the next snapshot copy-on-write and publish it atomically.
+//! * [`cache::ResultCache`] — a dependency-tracked result cache. Every
+//!   answer carries the set of relations it reads
+//!   ([`proql::engine::QueryOutput::touched`]); writes record their
+//!   write set per relation, and an entry dies exactly when a write
+//!   touches an overlapping relation — unrelated updates keep hot
+//!   entries alive.
+//! * [`server`] — a zero-dependency `std::net` TCP front end speaking a
+//!   line protocol (`QUERY` / `DELETE` / `INSERT` / `STATS` /
+//!   `INVALIDATE`), plus the matching blocking [`server::Client`].
+//!
+//! The `serve` binary in `proql-bench` load-tests this stack end to end
+//! and reports throughput, latency percentiles, and cache hit rates.
+
+pub mod cache;
+pub mod core;
+pub mod proto;
+pub mod server;
+
+pub use crate::core::{QueryResponse, ServiceCore, ServiceStats, Snapshot};
+pub use cache::{CacheCounters, ResultCache};
+pub use proto::{handle_line, result_digest};
+pub use server::{serve, Client, ServerHandle};

@@ -1,0 +1,342 @@
+//! The line-based wire protocol.
+//!
+//! Requests are single lines, `<VERB> [args]`; responses are single
+//! lines, either `OK <json-object>` or `ERR <kind>: <message>` (message
+//! newlines escaped). Verbs:
+//!
+//! | verb | args | reply payload |
+//! |---|---|---|
+//! | `QUERY` | ProQL text | version, cache hit/miss, result sizes, digest |
+//! | `DELETE` | `<relation> <v1,v2,...>` | version, delete stats |
+//! | `INSERT` | `<relation> <v1,v2,...>` | version, write-set size |
+//! | `STATS` | — | [`crate::core::ServiceStats`] JSON |
+//! | `INVALIDATE` | — | number of dropped cache entries |
+//! | `PING` | — | `{"pong": true}` |
+//!
+//! Tuple values in `DELETE`/`INSERT` are comma-separated and typed by
+//! shape: `true`/`false` → bool, integers → int, decimals → float,
+//! `NULL` → null, everything else → string.
+
+use crate::core::{QueryResponse, ServiceCore};
+use proql::engine::QueryOutput;
+use proql_common::{Error, Tuple, Value};
+
+/// Parse a comma-separated value list into a [`Tuple`].
+pub fn parse_values(text: &str) -> Result<Tuple, Error> {
+    if text.trim().is_empty() {
+        return Err(Error::Parse("empty value list".into()));
+    }
+    let vals = text.split(',').map(parse_value).collect();
+    Ok(Tuple::new(vals))
+}
+
+fn parse_value(raw: &str) -> Value {
+    let raw = raw.trim();
+    if raw.eq_ignore_ascii_case("null") {
+        return Value::Null;
+    }
+    if raw == "true" {
+        return Value::Bool(true);
+    }
+    if raw == "false" {
+        return Value::Bool(false);
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::from(raw)
+}
+
+/// A stable 64-bit digest of a query answer (FNV-1a over a canonical
+/// rendering of bindings, derivations, and annotations). Two outputs
+/// digest equal iff their observable content is identical — the
+/// concurrency stress test and the wire protocol both use this to check
+/// bit-identical results without shipping whole result sets.
+pub fn result_digest(out: &QueryOutput) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0x1f; // field separator
+        h = h.wrapping_mul(PRIME);
+    };
+    for (mapping, rows) in &out.projection.derivations {
+        eat("D");
+        eat(mapping);
+        for row in rows {
+            eat(&format!("{row:?}"));
+        }
+    }
+    for binding in &out.projection.bindings {
+        eat("B");
+        for (var, (rel, key)) in binding {
+            eat(var);
+            eat(rel);
+            eat(&format!("{key:?}"));
+        }
+    }
+    if let Some(ann) = &out.annotated {
+        eat("A");
+        // Annotation row order is an implementation detail; sort a
+        // canonical rendering so the digest is order-insensitive.
+        let mut rows: Vec<String> = ann
+            .rows
+            .iter()
+            .map(|r| format!("{}{:?}={}", r.relation, r.key, r.annotation))
+            .collect();
+        rows.sort();
+        for r in rows {
+            eat(&r);
+        }
+    }
+    h
+}
+
+/// JSON string literal escaping (mirrors `proql_bench::json_str`; kept
+/// local so the service crate stays independent of the bench crate).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a `QUERY` reply payload.
+pub fn query_json(resp: &QueryResponse) -> String {
+    let out = &resp.output;
+    format!(
+        "{{\"version\": {}, \"cache\": {}, \"bindings\": {}, \"derivations\": {}, \
+         \"annotations\": {}, \"touched\": {}, \"digest\": {}}}",
+        resp.version,
+        json_str(if resp.cache_hit { "hit" } else { "miss" }),
+        out.projection.bindings.len(),
+        out.projection.derivation_count(),
+        out.annotated.as_ref().map(|a| a.rows.len()).unwrap_or(0),
+        out.touched.len(),
+        json_str(&result_digest(out).to_string()),
+    )
+}
+
+/// Extract an unsigned-integer field from one of this protocol's own
+/// flat JSON payloads. Not a general JSON parser — fields are scanned
+/// textually — but sufficient for clients of this wire format.
+pub fn json_u64_field(json: &str, key: &str) -> Option<u64> {
+    let token: String = extract_token(json, key)?;
+    token.parse().ok()
+}
+
+/// Extract a float field (also accepts integer tokens).
+pub fn json_f64_field(json: &str, key: &str) -> Option<f64> {
+    extract_token(json, key)?.parse().ok()
+}
+
+/// Extract a string field (returns the unescaped inner text).
+pub fn json_str_field(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": ");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    if !rest.starts_with('"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut chars = rest[1..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn extract_token(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": ");
+    let start = json.find(&needle)? + needle.len();
+    let token: String = json[start..]
+        .chars()
+        .take_while(|c| !matches!(c, ',' | '}' | ' '))
+        .collect();
+    // Digests travel as JSON strings to avoid 53-bit integer truncation
+    // in consumers; accept both bare and quoted tokens.
+    Some(token.trim_matches('"').to_string())
+}
+
+/// Handle one protocol line against a service. Always returns a single
+/// line (no trailing newline).
+pub fn handle_line(core: &ServiceCore, line: &str) -> String {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let result = match verb.to_ascii_uppercase().as_str() {
+        "QUERY" => query_cmd(core, rest),
+        "DELETE" => delete_cmd(core, rest),
+        "INSERT" => insert_cmd(core, rest),
+        "STATS" => Ok(core.stats().to_json()),
+        "INVALIDATE" => Ok(format!("{{\"cleared\": {}}}", core.invalidate())),
+        "PING" => Ok("{\"pong\": true}".to_string()),
+        other => Err(Error::Parse(format!(
+            "unknown verb {other:?}; expected QUERY/DELETE/INSERT/STATS/INVALIDATE/PING"
+        ))),
+    };
+    match result {
+        Ok(json) => format!("OK {json}"),
+        Err(e) => format!(
+            "ERR {}: {}",
+            e.kind(),
+            e.message().replace(['\n', '\r'], " ")
+        ),
+    }
+}
+
+fn query_cmd(core: &ServiceCore, text: &str) -> Result<String, Error> {
+    if text.is_empty() {
+        return Err(Error::Parse("QUERY needs a ProQL query".into()));
+    }
+    Ok(query_json(&core.query(text)?))
+}
+
+fn split_relation_values(rest: &str) -> Result<(&str, &str), Error> {
+    rest.split_once(char::is_whitespace)
+        .map(|(r, v)| (r, v.trim()))
+        .ok_or_else(|| Error::Parse("expected `<relation> <v1,v2,...>`".into()))
+}
+
+fn delete_cmd(core: &ServiceCore, rest: &str) -> Result<String, Error> {
+    let (relation, values) = split_relation_values(rest)?;
+    let key = parse_values(values)?;
+    let (version, stats) = core.delete(relation, &key)?;
+    Ok(format!(
+        "{{\"version\": {}, \"tuples_deleted\": {}, \"prov_rows_deleted\": {}, \"touched\": {}}}",
+        version,
+        stats.tuples_deleted,
+        stats.prov_rows_deleted,
+        stats.touched.len()
+    ))
+}
+
+fn insert_cmd(core: &ServiceCore, rest: &str) -> Result<String, Error> {
+    let (relation, values) = split_relation_values(rest)?;
+    let tuple = parse_values(values)?;
+    let (version, write_set) = core.insert_and_exchange(relation, tuple)?;
+    Ok(format!(
+        "{{\"version\": {}, \"write_set\": {}}}",
+        version,
+        write_set.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+
+    #[test]
+    fn values_parse_by_shape() {
+        assert_eq!(
+            parse_values("1, sn1, true, 2.5, NULL").unwrap(),
+            Tuple::new(vec![
+                Value::Int(1),
+                Value::from("sn1"),
+                Value::Bool(true),
+                Value::Float(2.5),
+                Value::Null,
+            ])
+        );
+        assert!(parse_values("   ").is_err());
+    }
+
+    #[test]
+    fn digest_distinguishes_results_and_is_stable() {
+        use proql::engine::Engine;
+        use proql_provgraph::system::example_2_1;
+        let e = Engine::new(example_2_1().unwrap());
+        let a = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        let b = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        assert_eq!(result_digest(&a), result_digest(&b));
+        let filtered = e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] WHERE $x.h >= 6 RETURN $x")
+            .unwrap();
+        assert_ne!(result_digest(&a), result_digest(&filtered));
+    }
+
+    #[test]
+    fn json_field_extraction_round_trips() {
+        let json = "{\"version\": 12, \"cache\": \"hit\", \"rate\": 0.75, \"digest\": \"18446744073709551615\"}";
+        assert_eq!(json_u64_field(json, "version"), Some(12));
+        assert_eq!(json_str_field(json, "cache").as_deref(), Some("hit"));
+        assert_eq!(json_f64_field(json, "rate"), Some(0.75));
+        assert_eq!(json_u64_field(json, "digest"), Some(u64::MAX));
+        assert_eq!(json_u64_field(json, "missing"), None);
+    }
+
+    #[test]
+    fn unknown_verb_and_bad_args_report_err() {
+        use proql::engine::EngineOptions;
+        use proql_provgraph::system::example_2_1;
+        let core = ServiceCore::new(example_2_1().unwrap(), EngineOptions::default());
+        assert!(handle_line(&core, "FROB x").starts_with("ERR parse:"));
+        assert!(handle_line(&core, "QUERY").starts_with("ERR parse:"));
+        assert!(handle_line(&core, "DELETE C").starts_with("ERR parse:"));
+        assert!(handle_line(&core, "DELETE C 99,zz").starts_with("ERR not found:"));
+    }
+
+    #[test]
+    fn protocol_session_against_example() {
+        use proql::engine::EngineOptions;
+        use proql_provgraph::system::example_2_1;
+        let core = ServiceCore::new(example_2_1().unwrap(), EngineOptions::default());
+        let q = "QUERY FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+        let first = handle_line(&core, q);
+        assert!(first.starts_with("OK "), "{first}");
+        assert_eq!(json_str_field(&first, "cache").as_deref(), Some("miss"));
+        assert_eq!(json_u64_field(&first, "bindings"), Some(4));
+        let second = handle_line(&core, q);
+        assert_eq!(json_str_field(&second, "cache").as_deref(), Some("hit"));
+        assert_eq!(
+            json_str_field(&first, "digest"),
+            json_str_field(&second, "digest")
+        );
+
+        let del = handle_line(&core, "DELETE C 2,cn2");
+        assert!(del.starts_with("OK "), "{del}");
+        assert!(json_u64_field(&del, "tuples_deleted").unwrap() > 0);
+
+        let third = handle_line(&core, q);
+        assert_eq!(json_str_field(&third, "cache").as_deref(), Some("miss"));
+        assert_eq!(json_u64_field(&third, "bindings"), Some(3));
+
+        let stats = handle_line(&core, "STATS");
+        assert_eq!(json_u64_field(&stats, "cache_hits"), Some(1));
+        assert_eq!(json_u64_field(&stats, "writes"), Some(1));
+
+        let inv = handle_line(&core, "INVALIDATE");
+        assert_eq!(json_u64_field(&inv, "cleared"), Some(1));
+        assert_eq!(json_u64_field(&handle_line(&core, "PING"), "pong"), None); // bool field
+        assert!(handle_line(&core, "PING").contains("true"));
+
+        // Deleting the A-grounded tuple works over the wire too.
+        let _ = core.delete("A", &tup![1]).unwrap();
+    }
+}

@@ -1,0 +1,325 @@
+//! A zero-dependency TCP front end over [`ServiceCore`].
+//!
+//! `std::net` only: an acceptor thread hands incoming connections to a
+//! fixed pool of worker threads over an `mpsc` channel; each worker
+//! owns one connection at a time and serves the line protocol
+//! ([`crate::proto`]) until the peer closes or sends `QUIT`. Because a
+//! worker is pinned to its connection, the pool size bounds the number
+//! of *concurrent connections*, not requests.
+
+use crate::core::ServiceCore;
+use crate::proto::handle_line;
+use proql_common::{Error, Result};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running server: connection details plus shutdown control. Dropping
+/// the handle shuts the server down and joins every thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close idle workers, and join all threads.
+    /// Connections currently being served finish their current line.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+/// `core` on `workers` connection-handler threads.
+pub fn serve(core: Arc<ServiceCore>, addr: &str, workers: usize) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr).map_err(io_err)?;
+    let addr = listener.local_addr().map_err(io_err)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::new();
+    for _ in 0..workers.max(1) {
+        let core = Arc::clone(&core);
+        let rx = Arc::clone(&rx);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || worker_loop(core, rx, stop)));
+    }
+
+    let acceptor_stop = Arc::clone(&stop);
+    threads.push(std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if acceptor_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                // A send error means every worker is gone; stop accepting.
+                Ok(stream) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        // Dropping `tx` unblocks idle workers.
+    }));
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        threads,
+    })
+}
+
+fn worker_loop(core: Arc<ServiceCore>, rx: Arc<Mutex<Receiver<TcpStream>>>, stop: Arc<AtomicBool>) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Hold the receiver lock only while picking up a connection.
+        let stream = match rx.lock().expect("worker queue lock").recv() {
+            Ok(s) => s,
+            Err(_) => return, // acceptor gone
+        };
+        let _ = serve_connection(&core, stream, &stop);
+    }
+}
+
+fn serve_connection(
+    core: &ServiceCore,
+    stream: TcpStream,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // A finite read timeout lets the worker notice shutdown even while a
+    // client holds its connection open without sending anything; the
+    // write timeout keeps a client that stops draining responses from
+    // pinning the worker (and hanging shutdown) in `write_all`.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(5)))?;
+    // Request/response in lockstep: Nagle's algorithm only adds latency.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Keep `line` across timeouts: a timeout mid-request leaves the
+        // partial bytes in place and the next read appends the rest.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let request = std::mem::take(&mut line);
+        let trimmed = request.trim();
+        if trimmed.eq_ignore_ascii_case("QUIT") {
+            return Ok(());
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = handle_line(core, trimmed);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// A minimal blocking client for the line protocol — used by the
+/// integration tests and the `serve` load generator.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        let writer = stream.try_clone().map_err(io_err)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line, read one response line.
+    pub fn request(&mut self, line: &str) -> Result<String> {
+        self.writer.write_all(line.as_bytes()).map_err(io_err)?;
+        self.writer.write_all(b"\n").map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(io_err)?;
+        if n == 0 {
+            return Err(Error::Other("server closed the connection".into()));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// `QUERY` helper: sends the query, returns the `OK` JSON payload or
+    /// the server's error.
+    pub fn query(&mut self, proql: &str) -> Result<String> {
+        expect_ok(self.request(&format!("QUERY {proql}"))?)
+    }
+
+    /// `STATS` helper.
+    pub fn stats(&mut self) -> Result<String> {
+        expect_ok(self.request("STATS")?)
+    }
+}
+
+fn expect_ok(response: String) -> Result<String> {
+    match response.strip_prefix("OK ") {
+        Some(json) => Ok(json.to_string()),
+        None => Err(Error::Other(response)),
+    }
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::Other(format!("io: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{json_str_field, json_u64_field};
+    use proql::engine::EngineOptions;
+    use proql_provgraph::system::example_2_1;
+
+    fn start(workers: usize) -> (Arc<ServiceCore>, ServerHandle) {
+        let core = Arc::new(ServiceCore::new(
+            example_2_1().unwrap(),
+            EngineOptions::default(),
+        ));
+        let handle = serve(Arc::clone(&core), "127.0.0.1:0", workers).unwrap();
+        (core, handle)
+    }
+
+    const Q: &str = "FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+
+    #[test]
+    fn wire_session_query_delete_stats() {
+        let (_core, handle) = start(2);
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let first = c.query(Q).unwrap();
+        assert_eq!(json_u64_field(&first, "bindings"), Some(4));
+        assert_eq!(json_str_field(&first, "cache").as_deref(), Some("miss"));
+
+        let second = c.query(Q).unwrap();
+        assert_eq!(json_str_field(&second, "cache").as_deref(), Some("hit"));
+        assert_eq!(
+            json_str_field(&first, "digest"),
+            json_str_field(&second, "digest")
+        );
+
+        let del = c.request("DELETE C 2,cn2").unwrap();
+        assert!(del.starts_with("OK "), "{del}");
+
+        let third = c.query(Q).unwrap();
+        assert_eq!(json_u64_field(&third, "bindings"), Some(3));
+
+        let stats = c.stats().unwrap();
+        assert_eq!(json_u64_field(&stats, "writes"), Some(1));
+        assert!(json_u64_field(&stats, "cache_hits").unwrap() >= 1);
+
+        let err = c.request("QUERY FOR [O $x RETURN $x").unwrap();
+        assert!(err.starts_with("ERR parse:"), "{err}");
+
+        assert!(c.request("INVALIDATE").unwrap().starts_with("OK"));
+        drop(c);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_cache() {
+        let (core, handle) = start(4);
+        let addr = handle.addr();
+        let results: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut c = Client::connect(addr).unwrap();
+                        let mut digests = Vec::new();
+                        for _ in 0..5 {
+                            let json = c.query(Q).unwrap();
+                            digests.push(
+                                json_str_field(&json, "digest")
+                                    .unwrap()
+                                    .parse::<u64>()
+                                    .unwrap(),
+                            );
+                        }
+                        digests
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(results.len(), 20);
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        let stats = core.stats();
+        assert_eq!(stats.queries, 20);
+        assert!(stats.cache.hits >= 16, "stats: {stats:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn quit_closes_cleanly_and_server_survives() {
+        let (_core, handle) = start(1);
+        {
+            let mut c = Client::connect(handle.addr()).unwrap();
+            c.query(Q).unwrap();
+            // QUIT gets no response; the connection just closes.
+            let _ = c.writer.write_all(b"QUIT\n");
+        }
+        // The single worker must be free again for the next connection.
+        let mut c2 = Client::connect(handle.addr()).unwrap();
+        assert!(c2.query(Q).is_ok());
+        drop(c2);
+        handle.shutdown();
+    }
+}

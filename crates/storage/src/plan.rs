@@ -299,6 +299,33 @@ impl Plan {
         }
     }
 
+    /// Collect the names of every table or view this plan reads into
+    /// `out`. Used by the query service's result cache to expand view
+    /// definitions down to the base tables a cached result depends on.
+    pub fn collect_scanned(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Plan::Scan { table } | Plan::IndexLookup { table, .. } => {
+                out.insert(table.clone());
+            }
+            Plan::Values { .. } => {}
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.collect_scanned(out),
+            Plan::Join { left, right, .. } => {
+                left.collect_scanned(out);
+                right.collect_scanned(out);
+            }
+            Plan::Union { inputs, .. } => {
+                for p in inputs {
+                    p.collect_scanned(out);
+                }
+            }
+        }
+    }
+
     /// Count join operators in the plan.
     pub fn count_joins(&self) -> usize {
         match self {

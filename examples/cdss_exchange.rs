@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     opts.rewriter = Some(Arc::new(reg));
-    let mut fast = Engine::with_options(sys2, opts);
+    let fast = Engine::with_options(sys2, opts);
     let t0 = Instant::now();
     let out2 = fast.query(target_query())?;
     println!(

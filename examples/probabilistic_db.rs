@@ -10,7 +10,7 @@ use proql_provgraph::system::example_2_1;
 use proql_semiring::{event_probability, event_probability_mc};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut engine = Engine::new(example_2_1()?);
+    let engine = Engine::new(example_2_1()?);
     let out = engine.query(
         "EVALUATE PROBABILITY OF {
            FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x

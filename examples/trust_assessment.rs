@@ -8,7 +8,7 @@ use proql::engine::Engine;
 use proql_provgraph::system::example_2_1;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut engine = Engine::new(example_2_1()?);
+    let engine = Engine::new(example_2_1()?);
 
     // Paper Q7 (adapted to the example's attribute names): peer O
     // distrusts animal data with length >= 6, trusts common names, and

@@ -32,7 +32,7 @@ fn chain_pipeline_with_all_asr_kinds() {
             ..Default::default()
         };
         opts.rewriter = Some(Arc::new(reg));
-        let mut e = Engine::with_options(sys2, opts);
+        let e = Engine::with_options(sys2, opts);
         let out = e.query(target_query()).unwrap();
         assert_eq!(
             out.projection.bindings, baseline.projection.bindings,

@@ -315,7 +315,7 @@ fn batch_executor_agrees_with_asr_rewriting() {
             rewriter: Some(Arc::new(reg.clone())),
             ..Default::default()
         };
-        let mut e = Engine::with_options(sys2.clone(), opts);
+        let e = Engine::with_options(sys2.clone(), opts);
         let out = e.query(target_query()).unwrap();
         assert_eq!(
             out.projection.bindings, want.projection.bindings,

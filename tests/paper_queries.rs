@@ -64,7 +64,7 @@ fn q4_common_provenance() {
 #[test]
 fn q5_q6_derivability_and_lineage() {
     for strategy in [Strategy::Unfold, Strategy::Graph] {
-        let mut e = engine(strategy);
+        let e = engine(strategy);
         let d = e
             .query("EVALUATE DERIVABILITY OF { FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x }")
             .unwrap()

@@ -1,0 +1,163 @@
+//! Concurrency stress test for the query service: N reader threads issue
+//! a mix of cached (hot) and uncached (per-iteration) queries against a
+//! shared [`ServiceCore`] while a writer thread applies CDSS deletions.
+//! Every response carries the system version it is valid at; afterwards
+//! each response is checked **bit-identical** (via the canonical result
+//! digest) against a serial [`Engine`] replay of the same deletion
+//! sequence at the corresponding version.
+
+use proql::engine::{Engine, EngineOptions};
+use proql_cdss::topology::{build_system_with_island, CdssConfig, Topology};
+use proql_cdss::update::delete_local;
+use proql_common::{tup, Tuple};
+use proql_service::{result_digest, ServiceCore};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const READERS: usize = 4;
+const ITERATIONS: usize = 30;
+
+/// The fixed query pool: the first half are "hot" (every reader repeats
+/// them, so they hit the cache), the rest are window variants that
+/// different readers interleave.
+fn query_pool() -> Vec<String> {
+    let mut pool = vec![
+        "FOR [R0a $x] INCLUDE PATH [$x] <-+ [] RETURN $x".to_string(),
+        "EVALUATE DERIVABILITY OF { FOR [R0a $x] INCLUDE PATH [$x] <-+ [] RETURN $x }".to_string(),
+    ];
+    for lo in [4, 8, 12, 16] {
+        pool.push(format!(
+            "FOR [R0a $x] INCLUDE PATH [$x] <-+ [] WHERE $x.k >= {lo} RETURN $x"
+        ));
+    }
+    pool
+}
+
+#[test]
+fn concurrent_responses_match_serial_replay_at_their_version() {
+    let sys =
+        build_system_with_island(Topology::Chain, &CdssConfig::new(4, vec![3], 24), 8).unwrap();
+    let v0 = sys.version();
+    let pool = query_pool();
+
+    // The writer's deterministic deletion sequence: chain deletions (which
+    // invalidate every hot entry) interleaved with island deletions (which
+    // must invalidate nothing).
+    let deletes: Vec<(&str, Tuple)> = vec![
+        ("Island", tup![0]),
+        ("R3a", tup![23]),
+        ("Island", tup![1]),
+        ("R3a", tup![22]),
+        ("Island", tup![2]),
+        ("R3a", tup![21]),
+    ];
+
+    let core = Arc::new(ServiceCore::new(sys.clone(), EngineOptions::default()));
+    let responses: Vec<(String, u64, u64)> = std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for r in 0..READERS {
+            let core = Arc::clone(&core);
+            let pool = pool.clone();
+            readers.push(s.spawn(move || {
+                let mut seen = Vec::with_capacity(ITERATIONS);
+                for i in 0..ITERATIONS {
+                    // Hot queries dominate; the offset walks each reader
+                    // through the whole pool so cold entries get built
+                    // under contention too.
+                    let q = &pool[(r + i) % pool.len()];
+                    let resp = core.query(q).unwrap();
+                    seen.push((q.clone(), resp.version, result_digest(&resp.output)));
+                }
+                seen
+            }));
+        }
+        let writer_core = Arc::clone(&core);
+        let writer_deletes = deletes.clone();
+        let writer = s.spawn(move || {
+            for (relation, key) in &writer_deletes {
+                let (v, _) = writer_core.delete(relation, key).unwrap();
+                assert!(v > v0);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        writer.join().unwrap();
+        readers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    // Serial replay: state k = the system after the first k deletions.
+    // Each deletion bumps the version exactly once, so state k lives at
+    // version v0 + k.
+    let mut expected: HashMap<(u64, String), u64> = HashMap::new();
+    let mut state = sys;
+    for k in 0..=deletes.len() {
+        if k > 0 {
+            let (relation, key) = &deletes[k - 1];
+            delete_local(&mut state, relation, key).unwrap();
+        }
+        assert_eq!(state.version(), v0 + k as u64, "replay version drift");
+        let engine = Engine::new(state.clone());
+        for q in &pool {
+            let out = engine.query(q).unwrap();
+            expected.insert((state.version(), q.clone()), result_digest(&out));
+        }
+    }
+
+    assert_eq!(responses.len(), READERS * ITERATIONS);
+    for (q, version, digest) in &responses {
+        let want = expected
+            .get(&(*version, q.clone()))
+            .unwrap_or_else(|| panic!("response at unknown version {version}"));
+        assert_eq!(
+            digest, want,
+            "response for {q:?} at version {version} diverged from serial replay"
+        );
+    }
+
+    // The workload must actually have exercised the cache: with 4 readers
+    // replaying a 6-query pool 30 times, most lookups are repeats.
+    let stats = core.stats();
+    assert_eq!(stats.queries, (READERS * ITERATIONS) as u64);
+    assert!(
+        stats.cache.hits > 0,
+        "stress run never hit the cache: {stats:?}"
+    );
+    assert_eq!(stats.writes, deletes.len() as u64);
+    assert_eq!(stats.version, v0 + deletes.len() as u64);
+}
+
+/// The same service used synchronously: interleaved reads and writes see
+/// exact version progression and per-write invalidation effects.
+#[test]
+fn serial_session_versions_progress_exactly() {
+    let sys =
+        build_system_with_island(Topology::Chain, &CdssConfig::new(3, vec![2], 8), 4).unwrap();
+    let v0 = sys.version();
+    let core = ServiceCore::new(sys, EngineOptions::default());
+    let q = "FOR [R0a $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+
+    let r1 = core.query(q).unwrap();
+    assert_eq!(r1.version, v0);
+    assert!(!r1.cache_hit);
+
+    // Island delete: version moves, cached entry survives.
+    let (v1, _) = core.delete("Island", &tup![0]).unwrap();
+    assert_eq!(v1, v0 + 1);
+    let r2 = core.query(q).unwrap();
+    assert!(r2.cache_hit);
+    assert_eq!(r2.version, v1);
+    assert_eq!(result_digest(&r1.output), result_digest(&r2.output));
+
+    // Chain delete: entry dies, fresh result differs.
+    let (v2, _) = core.delete("R2a", &tup![7]).unwrap();
+    let r3 = core.query(q).unwrap();
+    assert!(!r3.cache_hit);
+    assert_eq!(r3.version, v2);
+    assert_ne!(result_digest(&r1.output), result_digest(&r3.output));
+    assert_eq!(
+        r3.output.projection.bindings.len(),
+        r1.output.projection.bindings.len() - 1
+    );
+}

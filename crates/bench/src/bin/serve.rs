@@ -123,6 +123,14 @@ fn main() {
         touching_write_miss,
         "a write to a touched relation must evict the entry: {after_touching}"
     );
+    // The forced result miss must have reused the cached prepared plan:
+    // a point delete stays within the stats fingerprint's buckets.
+    let touching_write_plan_hit =
+        json_str_field(&after_touching, "plan_cache").as_deref() == Some("hit");
+    assert!(
+        touching_write_plan_hit,
+        "an evicted result must re-execute from the cached plan: {after_touching}"
+    );
 
     let stats_json = demo.stats().expect("stats");
     drop(demo);
@@ -141,6 +149,11 @@ fn main() {
     let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
     // The server's own hit-rate definition is the single source of truth.
     let hit_rate = json_f64_field(&stats_json, "cache_hit_rate").unwrap_or(0.0);
+    let plan_hit_rate = json_f64_field(&stats_json, "plan_cache_hit_rate").unwrap_or(0.0);
+    assert!(
+        plan_hit_rate > 0.0,
+        "plan cache must report a nonzero hit rate: {stats_json}"
+    );
 
     println!(
         "{:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
@@ -158,7 +171,8 @@ fn main() {
         island_deletes + 2
     );
     println!("   unrelated-write re-query: hit   (entry survived)");
-    println!("   touching-write re-query:  miss  (entry evicted)");
+    println!("   touching-write re-query:  miss  (entry evicted; prepared plan reused)");
+    println!("   plan-cache hit rate: {plan_hit_rate:.3}");
     println!("   server stats: {stats_json}");
 
     if json_output() {
@@ -166,9 +180,10 @@ fn main() {
             "{{\"fig\": \"serve\", \"clients\": {clients}, \"requests\": {total_requests}, \
              \"wall_s\": {wall_s:.6}, \"throughput_qps\": {throughput:.1}, \
              \"p50_ms\": {p50:.4}, \"p95_ms\": {p95:.4}, \"p99_ms\": {p99:.4}, \
-             \"cache_hit_rate\": {hit_rate:.6}, \"writes\": {}, \
-             \"unrelated_write_hit\": {unrelated_write_hit}, \
+             \"cache_hit_rate\": {hit_rate:.6}, \"plan_cache_hit_rate\": {plan_hit_rate:.6}, \
+             \"writes\": {}, \"unrelated_write_hit\": {unrelated_write_hit}, \
              \"touching_write_miss\": {touching_write_miss}, \
+             \"touching_write_plan_hit\": {touching_write_plan_hit}, \
              \"stale_evictions\": {}, \"version\": {}}}",
             island_deletes + 2,
             json_u64_field(&stats_json, "stale_evictions").unwrap_or(0),

@@ -8,6 +8,9 @@ use std::fmt;
 /// graph projection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
+    /// `EXPLAIN` prefix: report the chosen plan (with the optimizer's
+    /// estimated rows per operator) instead of executing the query.
+    pub explain: bool,
     /// `EVALUATE <semiring> OF { ... } ASSIGNING ...`, if present.
     pub evaluate: Option<Evaluate>,
     /// The graph-projection block.

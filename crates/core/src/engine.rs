@@ -1,14 +1,27 @@
-//! The ProQL engine: parse → translate → execute → annotate.
+//! The ProQL engine: parse → **prepare** (translate + optimize) →
+//! **execute** → annotate.
+//!
+//! Preparation and execution are split: [`Engine::prepare`] produces a
+//! [`PreparedQuery`] — the parsed AST, every unfolded rule's optimized
+//! plan, and the query's read set — and [`Engine::execute`] runs it.
+//! A `PreparedQuery` is plain data (no references into the engine), so a
+//! query service can cache it and execute it against later snapshots:
+//! plans never affect correctness, only cost, which is why reuse across
+//! data changes is always safe. The fingerprint stamps say when reuse
+//! stops being cost-optimal.
 
 use crate::annotate::{run_annotation_opts, AnnotatedResult};
 use crate::ast::Query;
-use crate::exec::{run_projection_graph, run_projection_opts, ProjectionResult};
+use crate::exec::{
+    prepare_rules, run_projection_graph, run_projection_prepared, PreparedRule, ProjectionResult,
+};
 use crate::parser::parse_query;
-use crate::translate::{translate, BodyRewriter, TranslateOptions, TranslateStats};
+use crate::translate::{translate, BodyRewriter, TranslateOptions, TranslateStats, Translation};
 use proql_common::{Parallelism, Result};
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
-use proql_storage::ExecMode;
+use proql_storage::{explain::explain_tree, optimize::estimate_rows, ExecMode};
 use std::collections::BTreeSet;
+use std::fmt::Write as _;
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
@@ -102,6 +115,46 @@ pub struct QueryOutput {
     /// The query service's result cache keeps a cached answer alive
     /// exactly until a write touches one of these.
     pub touched: BTreeSet<String>,
+    /// `EXPLAIN` output: the chosen plans with estimated rows per
+    /// operator. `Some` exactly when the query carried the `EXPLAIN`
+    /// prefix (the projection is then empty).
+    pub plan: Option<String>,
+}
+
+/// A query prepared once — parsed, translated, and optimized — and
+/// executable many times via [`Engine::execute`].
+///
+/// Holds no references into the engine it was prepared on, so services
+/// cache it across snapshots. Reusing a prepared plan is **always
+/// correct** (optimizer choices never change results); the
+/// `stats_version` / `stats_fingerprint` stamps only say when the plan
+/// stops being cost-optimal and deserves re-preparation.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The parsed query.
+    pub query: Query,
+    /// The resolved execution strategy (`Auto` is resolved at prepare
+    /// time from the schema graph, which writes cannot change).
+    strategy: Strategy,
+    /// Unfold-strategy artifacts: the translation plus one optimized plan
+    /// per unfolded rule. `None` under the graph strategy.
+    unfold: Option<PreparedUnfold>,
+    /// The read set: every relation the answer depends on.
+    pub touched: BTreeSet<String>,
+    /// [`ProvenanceSystem::version`] at prepare time.
+    pub stats_version: u64,
+    /// Bucketed statistics fingerprint over the read set (see
+    /// [`proql_storage::stats`]): unchanged fingerprint ⇒ the cached plan
+    /// is still the plan the optimizer would pick.
+    pub stats_fingerprint: u64,
+    /// Time spent translating + optimizing (the paper's "unfolding time").
+    pub prepare_time: Duration,
+}
+
+#[derive(Debug, Clone)]
+struct PreparedUnfold {
+    translation: Translation,
+    rules: Vec<PreparedRule>,
 }
 
 /// The ProQL query engine over a [`ProvenanceSystem`].
@@ -165,8 +218,20 @@ impl Engine {
         Ok(g)
     }
 
-    /// Run a parsed query.
+    /// Run a parsed query: prepare then execute.
     pub fn query_parsed(&self, q: &Query) -> Result<QueryOutput> {
+        let prepared = self.prepare_parsed(q)?;
+        self.execute(&prepared)
+    }
+
+    /// Parse and prepare a query without executing it.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery> {
+        self.prepare_parsed(&parse_query(text)?)
+    }
+
+    /// Prepare a parsed query: resolve the strategy, translate, and run
+    /// the optimizer's full pass pipeline over every unfolded rule.
+    pub fn prepare_parsed(&self, q: &Query) -> Result<PreparedQuery> {
         let strategy = match self.options.strategy {
             Strategy::Auto => {
                 if self.sys.schema_graph().is_cyclic() {
@@ -177,11 +242,9 @@ impl Engine {
             }
             s => s,
         };
-        let mut stats = QueryStats::default();
-        let mut touched = BTreeSet::new();
-        let projection = match strategy {
+        let t0 = Instant::now();
+        let (unfold, touched) = match strategy {
             Strategy::Unfold => {
-                let t0 = Instant::now();
                 let translation = translate(
                     &self.sys,
                     q,
@@ -191,13 +254,65 @@ impl Engine {
                         .map(|r| r as &dyn BodyRewriter),
                     &self.options.translate,
                 )?;
-                stats.unfold_time = t0.elapsed();
-                stats.translate = translation.stats.clone();
-                touched = touched_relations_unfold(&self.sys, &translation);
+                let touched = touched_relations_unfold(&self.sys, &translation);
+                let rules = prepare_rules(&self.sys, &translation)?;
+                (Some(PreparedUnfold { translation, rules }), touched)
+            }
+            Strategy::Graph | Strategy::Auto => {
+                // The graph walk reads the whole materialized system, so
+                // a graph-strategy answer depends on every relation.
+                let mut touched = BTreeSet::new();
+                touched.extend(self.sys.db.table_names().map(str::to_string));
+                touched.extend(self.sys.db.view_names().map(str::to_string));
+                (None, touched)
+            }
+        };
+        Ok(PreparedQuery {
+            query: q.clone(),
+            strategy,
+            unfold,
+            stats_version: self.sys.version(),
+            stats_fingerprint: self.stats_fingerprint(&touched),
+            touched,
+            prepare_time: t0.elapsed(),
+        })
+    }
+
+    /// Bucketed statistics fingerprint of `relations` against the current
+    /// system (see [`proql_storage::stats`]). Plan caches compare this to
+    /// [`PreparedQuery::stats_fingerprint`] to decide whether a cached
+    /// plan is still the one the optimizer would choose.
+    pub fn stats_fingerprint(&self, relations: &BTreeSet<String>) -> u64 {
+        self.sys
+            .stats_fingerprint(relations.iter().map(String::as_str))
+    }
+
+    /// Execute a prepared query. `EXPLAIN` queries render the chosen
+    /// plans instead of running them.
+    pub fn execute(&self, p: &PreparedQuery) -> Result<QueryOutput> {
+        let mut stats = QueryStats {
+            unfold_time: p.prepare_time,
+            ..QueryStats::default()
+        };
+        if let Some(u) = &p.unfold {
+            stats.translate = u.translation.stats.clone();
+        }
+        if p.query.explain {
+            return Ok(QueryOutput {
+                projection: ProjectionResult::default(),
+                annotated: None,
+                stats,
+                touched: p.touched.clone(),
+                plan: Some(self.render_plan(p)),
+            });
+        }
+        let projection = match (&p.unfold, p.strategy) {
+            (Some(u), _) => {
                 let t1 = Instant::now();
-                let proj = run_projection_opts(
+                let proj = run_projection_prepared(
                     &self.sys,
-                    &translation,
+                    &u.translation,
+                    &u.rules,
                     self.options.exec_mode,
                     self.options.parallelism,
                 )?;
@@ -206,19 +321,15 @@ impl Engine {
                 stats.sql_bytes = proj.metrics.sql_bytes;
                 proj
             }
-            Strategy::Graph | Strategy::Auto => {
+            (None, _) => {
                 let graph = self.graph()?;
-                // The graph walk reads the whole materialized system, so
-                // a graph-strategy answer depends on every relation.
-                touched.extend(self.sys.db.table_names().map(str::to_string));
-                touched.extend(self.sys.db.view_names().map(str::to_string));
                 let t1 = Instant::now();
-                let proj = run_projection_graph(&self.sys, &graph, q)?;
+                let proj = run_projection_graph(&self.sys, &graph, &p.query)?;
                 stats.eval_time = t1.elapsed();
                 proj
             }
         };
-        let annotated = match &q.evaluate {
+        let annotated = match &p.query.evaluate {
             Some(spec) => Some(run_annotation_opts(
                 &self.sys,
                 &projection,
@@ -231,8 +342,52 @@ impl Engine {
             projection,
             annotated,
             stats,
-            touched,
+            touched: p.touched.clone(),
+            plan: None,
         })
+    }
+
+    /// Render a prepared query's plans: the strategy, each unfolded
+    /// rule's operator tree with the optimizer's estimated rows per
+    /// operator, and the read set. Large unions show the first few rules.
+    fn render_plan(&self, p: &PreparedQuery) -> String {
+        const SHOWN_RULES: usize = 5;
+        let mut out = String::new();
+        match &p.unfold {
+            Some(u) => {
+                let _ = writeln!(
+                    out,
+                    "strategy: unfold ({} rules, {} dropped statically)",
+                    u.translation.stats.rules, u.translation.stats.dropped
+                );
+                for (i, rule) in u.rules.iter().take(SHOWN_RULES).enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "rule {i}: ~{} rows",
+                        estimate_rows(&self.sys.db, &rule.plan)
+                    );
+                    out.push_str(&explain_tree(&self.sys.db, &rule.plan));
+                }
+                if u.rules.len() > SHOWN_RULES {
+                    let _ = writeln!(out, "… {} more rules", u.rules.len() - SHOWN_RULES);
+                }
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "strategy: graph-walk over the materialized provenance graph"
+                );
+            }
+        }
+        let _ = writeln!(out, "reads: {}", comma_join(&p.touched));
+        // Row estimates above are recomputed from *current* statistics;
+        // the stamps below describe when the plan itself was chosen.
+        let _ = writeln!(
+            out,
+            "prepared at: version {} (stats fingerprint {:x})",
+            p.stats_version, p.stats_fingerprint
+        );
+        out
     }
 
     /// Drop the cached provenance graph. Mutations through
@@ -242,6 +397,11 @@ impl Engine {
     pub fn invalidate_cache(&self) {
         *self.cached_graph.write().expect("graph lock") = None;
     }
+}
+
+/// Comma-join a read set for the EXPLAIN footer.
+fn comma_join(set: &BTreeSet<String>) -> String {
+    set.iter().cloned().collect::<Vec<_>>().join(", ")
 }
 
 /// The set of relations an unfold-strategy answer reads: every rule body
@@ -408,6 +568,93 @@ mod tests {
         for rel in ["A", "A_l", "O", "P_m1", "P_m5"] {
             assert!(out.touched.contains(rel), "missing {rel}");
         }
+    }
+
+    #[test]
+    fn prepared_query_executes_identically_to_direct_query() {
+        let e = engine(Strategy::Unfold);
+        let q = "FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+        let direct = e.query(q).unwrap();
+        let prepared = e.prepare(q).unwrap();
+        let first = e.execute(&prepared).unwrap();
+        let second = e.execute(&prepared).unwrap();
+        assert_eq!(direct.projection.bindings, first.projection.bindings);
+        assert_eq!(direct.projection.derivations, first.projection.derivations);
+        assert_eq!(first.projection.bindings, second.projection.bindings);
+        assert_eq!(prepared.touched, direct.touched);
+        assert_eq!(prepared.stats_version, e.sys.version());
+    }
+
+    #[test]
+    fn stale_prepared_plan_still_returns_correct_results() {
+        // Reusing a plan prepared before a write is always correct —
+        // optimizer choices never affect results, only cost.
+        let mut e = engine(Strategy::Unfold);
+        let q = "FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+        let prepared = e.prepare(q).unwrap();
+        let before = e.execute(&prepared).unwrap().projection.bindings.len();
+        e.sys.insert_local("A", tup![8, "sn8", 2]).unwrap();
+        e.sys.run_exchange().unwrap();
+        let stale = e.execute(&prepared).unwrap().projection.bindings.len();
+        let fresh = e.query(q).unwrap().projection.bindings.len();
+        assert!(stale > before);
+        assert_eq!(stale, fresh, "stale plan must still see current data");
+    }
+
+    #[test]
+    fn explain_surfaces_plan_with_estimates() {
+        let e = engine(Strategy::Unfold);
+        let out = e
+            .query("EXPLAIN FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        let plan = out.plan.expect("EXPLAIN returns a plan");
+        assert!(plan.contains("strategy: unfold"), "{plan}");
+        assert!(plan.contains("rows"), "{plan}");
+        assert!(plan.contains("reads:"), "{plan}");
+        assert!(out.projection.bindings.is_empty());
+        assert!(
+            !out.touched.is_empty(),
+            "EXPLAIN still reports its read set"
+        );
+        // Non-EXPLAIN queries carry no plan text.
+        assert!(e
+            .query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap()
+            .plan
+            .is_none());
+    }
+
+    #[test]
+    fn explain_graph_strategy_reports_walk() {
+        let e = engine(Strategy::Graph);
+        let out = e
+            .query("EXPLAIN FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        assert!(out.plan.unwrap().contains("graph-walk"));
+    }
+
+    #[test]
+    fn stats_fingerprint_survives_point_writes_but_not_growth() {
+        let mut e = engine(Strategy::Unfold);
+        let q = "FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+        let prepared = e.prepare(q).unwrap();
+        // A single insert stays within the log2 stats buckets.
+        e.sys.insert_local("A", tup![8, "sn8", 2]).unwrap();
+        e.sys.run_exchange().unwrap();
+        assert_eq!(
+            e.stats_fingerprint(&prepared.touched),
+            prepared.stats_fingerprint,
+            "point write must not drift the fingerprint"
+        );
+        // Growing the read-set tables by an order of magnitude drifts it.
+        for i in 100..300 {
+            e.sys.insert_local("A", tup![i, "snX", 1]).unwrap();
+        }
+        e.sys.run_exchange().unwrap();
+        assert_ne!(
+            e.stats_fingerprint(&prepared.touched),
+            prepared.stats_fingerprint
+        );
     }
 
     #[test]

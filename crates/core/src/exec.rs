@@ -79,6 +79,45 @@ impl ProjectionResult {
     }
 }
 
+/// A rule compiled and optimized **once**: the plan (after the full
+/// cost-based pass pipeline) plus the variable → output-column map.
+/// Executing a prepared rule skips compilation and optimization entirely;
+/// [`crate::engine::PreparedQuery`] holds one per unfolded rule.
+#[derive(Debug, Clone)]
+pub struct PreparedRule {
+    /// The optimized plan. Its output schema is identical to the
+    /// unoptimized compilation, so `var_cols` stays valid.
+    pub plan: proql_storage::Plan,
+    /// First output column binding each rule variable.
+    pub var_cols: HashMap<String, usize>,
+}
+
+/// Compile and optimize one unfolded rule.
+pub fn prepare_rule(sys: &ProvenanceSystem, rule: &QueryRule) -> Result<PreparedRule> {
+    let bp = compile_body(&sys.db, &rule.atoms)?;
+    let mut plan = bp.plan;
+    if let Some(cond) = &rule.condition {
+        plan = plan.filter(cond_to_expr(cond, &bp.var_cols)?);
+    }
+    let plan = optimize_with(&sys.db, plan);
+    Ok(PreparedRule {
+        plan,
+        var_cols: bp.var_cols,
+    })
+}
+
+/// Compile and optimize every rule of a translation.
+pub fn prepare_rules(
+    sys: &ProvenanceSystem,
+    translation: &Translation,
+) -> Result<Vec<PreparedRule>> {
+    translation
+        .rules
+        .iter()
+        .map(|r| prepare_rule(sys, r))
+        .collect()
+}
+
 /// Execute the unfolded rules of a translation with the default (batch)
 /// executor.
 pub fn run_projection(
@@ -97,7 +136,20 @@ pub fn run_projection_with(
     run_projection_opts(sys, translation, mode, Parallelism::Serial)
 }
 
-/// [`run_projection_with`] plus a [`Parallelism`] knob.
+/// [`run_projection_with`] plus a [`Parallelism`] knob. Compiles and
+/// optimizes every rule, then runs them; callers that already hold
+/// prepared rules use [`run_projection_prepared`] to skip that step.
+pub fn run_projection_opts(
+    sys: &ProvenanceSystem,
+    translation: &Translation,
+    mode: ExecMode,
+    par: Parallelism,
+) -> Result<ProjectionResult> {
+    let prepared = prepare_rules(sys, translation)?;
+    run_projection_prepared(sys, translation, &prepared, mode, par)
+}
+
+/// Execute already-prepared rules.
 ///
 /// The unfolded rules of a translation are independent conjunctive
 /// queries, so with parallelism enabled and more than one rule, rules
@@ -106,20 +158,29 @@ pub fn run_projection_with(
 /// the output identical to the serial pass. A single-rule translation
 /// instead forwards the knob into the batch executor's morsel-parallel
 /// operators. Errors resolve to the first failing rule in rule order.
-pub fn run_projection_opts(
+pub fn run_projection_prepared(
     sys: &ProvenanceSystem,
     translation: &Translation,
+    prepared: &[PreparedRule],
     mode: ExecMode,
     par: Parallelism,
 ) -> Result<ProjectionResult> {
     let par = par.resolved();
     let rules = &translation.rules;
+    if rules.len() != prepared.len() {
+        return Err(Error::Query(format!(
+            "prepared {} rules for a {}-rule translation",
+            prepared.len(),
+            rules.len()
+        )));
+    }
     if par.is_parallel() && rules.len() > 1 {
         let partials = par_map(rules.len(), par.threads(), |i| {
             let mut partial = ProjectionResult::default();
             run_rule(
                 sys,
                 &rules[i],
+                &prepared[i],
                 &translation.return_vars,
                 mode,
                 Parallelism::Serial,
@@ -142,8 +203,16 @@ pub fn run_projection_opts(
         Ok(out)
     } else {
         let mut out = ProjectionResult::default();
-        for rule in rules {
-            run_rule(sys, rule, &translation.return_vars, mode, par, &mut out)?;
+        for (rule, prep) in rules.iter().zip(prepared) {
+            run_rule(
+                sys,
+                rule,
+                prep,
+                &translation.return_vars,
+                mode,
+                par,
+                &mut out,
+            )?;
         }
         Ok(out)
     }
@@ -185,31 +254,28 @@ fn resolve_term<'a>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_rule(
     sys: &ProvenanceSystem,
     rule: &QueryRule,
+    prepared: &PreparedRule,
     return_vars: &[String],
     mode: ExecMode,
     par: Parallelism,
     out: &mut ProjectionResult,
 ) -> Result<()> {
-    let bp = compile_body(&sys.db, &rule.atoms)?;
-    let mut plan = bp.plan.clone();
-    if let Some(cond) = &rule.condition {
-        plan = plan.filter(cond_to_expr(cond, &bp.var_cols)?);
-    }
-    let plan = optimize_with(&sys.db, plan);
+    let plan = &prepared.plan;
     out.metrics.rules_executed += 1;
     out.metrics.total_joins += plan.count_joins();
-    out.metrics.sql_bytes += explain::sql_len(&plan);
+    out.metrics.sql_bytes += explain::sql_len(plan);
 
     // Materialize the rule's result as a columnar batch. The legacy row
     // executors produce rows that are transposed once here; the batch
     // executor is columnar end to end.
     let batch = match mode {
-        ExecMode::Batch => execute_batch_opts(&sys.db, &plan, par)?,
+        ExecMode::Batch => execute_batch_opts(&sys.db, plan, par)?,
         row_mode => {
-            let rel = execute_with(&sys.db, &plan, row_mode)?;
+            let rel = execute_with(&sys.db, plan, row_mode)?;
             RecordBatch::from_rows(rel.names, rel.rows.iter())
         }
     };
@@ -226,7 +292,7 @@ fn run_rule(
         let cols: Vec<Resolved> = rec
             .terms
             .iter()
-            .map(|t| resolve_term(t, &batch, &bp.var_cols))
+            .map(|t| resolve_term(t, &batch, &prepared.var_cols))
             .collect::<Result<_>>()?;
         let target = out.derivations.entry(rec.mapping.clone()).or_default();
         for row in 0..batch.len() {
@@ -245,7 +311,7 @@ fn run_rule(
         let cols: Vec<Resolved> = schema
             .effective_key()
             .iter()
-            .map(|&pos| resolve_term(&nb.terms[pos], &batch, &bp.var_cols))
+            .map(|&pos| resolve_term(&nb.terms[pos], &batch, &prepared.var_cols))
             .collect::<Result<_>>()?;
         binding_cols.push((v, nb.relation.as_str(), cols));
     }

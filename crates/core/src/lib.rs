@@ -48,7 +48,10 @@ pub mod translate;
 
 pub use annotate::AnnotatedResult;
 pub use ast::Query;
-pub use engine::{Engine, EngineOptions, QueryOutput, Strategy};
-pub use exec::{run_projection, run_projection_opts, run_projection_with, ProjectionResult};
+pub use engine::{Engine, EngineOptions, PreparedQuery, QueryOutput, Strategy};
+pub use exec::{
+    prepare_rule, prepare_rules, run_projection, run_projection_opts, run_projection_prepared,
+    run_projection_with, PreparedRule, ProjectionResult,
+};
 pub use parser::parse_query;
 pub use translate::{translate, BodyRewriter, QueryRule, TranslateStats, Translation};

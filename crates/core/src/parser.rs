@@ -103,6 +103,13 @@ impl P {
     }
 
     fn query(&mut self) -> Result<Query> {
+        let explain = self.eat_kw("EXPLAIN");
+        let mut q = self.query_body()?;
+        q.explain = explain;
+        Ok(q)
+    }
+
+    fn query_body(&mut self) -> Result<Query> {
         if self.eat_kw("EVALUATE") {
             let name = self.ident()?;
             let semiring = SemiringKind::parse(&name)
@@ -130,6 +137,7 @@ impl P {
                 }
             }
             Ok(Query {
+                explain: false,
                 evaluate: Some(Evaluate {
                     semiring,
                     leaf_assign,
@@ -139,6 +147,7 @@ impl P {
             })
         } else {
             Ok(Query {
+                explain: false,
                 evaluate: None,
                 projection: self.projection()?,
             })

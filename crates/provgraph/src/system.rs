@@ -54,6 +54,19 @@ impl ProvenanceSystem {
         self.version += 1;
     }
 
+    /// Bucketed fingerprint of the optimizer statistics behind
+    /// `relations` (see [`proql_storage::stats`]). Consumers caching
+    /// anything cost-derived (prepared query plans) pair this with
+    /// [`ProvenanceSystem::version`]: same version ⇒ trivially fresh;
+    /// version drift with an unchanged fingerprint ⇒ the cached artifact
+    /// is stale in time but still cost-optimal, so it can be revalidated
+    /// instead of rebuilt. Views hash by name only — their statistics
+    /// derive from base tables, which callers include by passing a read
+    /// set expanded down to base tables.
+    pub fn stats_fingerprint<'a>(&self, relations: impl IntoIterator<Item = &'a str>) -> u64 {
+        proql_storage::stats::db_fingerprint(&self.db, relations)
+    }
+
     /// Register a public relation together with its local-contribution table
     /// (named `{name}_l`) and the copying rule `L_{name}` (the paper's
     /// `L1..L4` rules).

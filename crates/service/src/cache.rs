@@ -1,4 +1,4 @@
-//! The dependency-tracked result cache.
+//! The dependency-tracked result cache and the prepared-plan cache.
 //!
 //! Every cached [`QueryOutput`] carries its **read set** — the relations
 //! the engine reported in [`QueryOutput::touched`] — and the version it
@@ -13,8 +13,19 @@
 //! conflicting write finds `last_write[dep] > built_version` and the
 //! insert is rejected; a write to a relation **no** entry depends on
 //! changes nothing, so unrelated updates keep hot entries alive.
+//!
+//! The [`PlanCache`] sits **beneath** the result cache: a result-cache
+//! miss (typically caused by a write to a read-set relation) reuses the
+//! query's cached [`PreparedQuery`], skipping parse → translate →
+//! optimize entirely. Plan reuse is always *correct* — optimizer choices
+//! never change results — so the staleness rule is about cost only: an
+//! entry whose [`PreparedQuery::stats_version`] matches the published
+//! snapshot is trivially current, and on version drift the entry is
+//! revalidated by recomputing the bucketed stats fingerprint over its
+//! read set. Only genuine statistics drift (order-of-magnitude data
+//! change) forces a re-preparation.
 
-use proql::engine::QueryOutput;
+use proql::engine::{PreparedQuery, QueryOutput};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -182,6 +193,150 @@ impl ResultCache {
     }
 }
 
+/// Monotonic counters of the prepared-plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheCounters {
+    /// Lookups that reused a cached plan (including revalidations).
+    pub hits: u64,
+    /// Lookups that found no usable plan.
+    pub misses: u64,
+    /// Plans stored.
+    pub insertions: u64,
+    /// Entries dropped because their statistics fingerprint drifted (the
+    /// optimizer would now choose differently; the query re-prepares).
+    pub reprepares: u64,
+    /// Entries dropped to respect the capacity bound (LRU).
+    pub capacity_evictions: u64,
+}
+
+impl PlanCacheCounters {
+    /// Hit rate over all lookups (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PlanEntry {
+    prepared: Arc<PreparedQuery>,
+    /// Latest published version this entry was validated at: matching the
+    /// current version skips the fingerprint recomputation.
+    valid_at: u64,
+    last_used: u64,
+}
+
+/// A bounded prepared-plan cache keyed by normalized query text.
+///
+/// A capacity of 0 disables the cache entirely (every lookup misses,
+/// inserts are dropped) — used by benchmarks to measure the unprepared
+/// baseline.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: HashMap<String, PlanEntry>,
+    capacity: usize,
+    tick: u64,
+    counters: PlanCacheCounters,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+            counters: PlanCacheCounters::default(),
+        }
+    }
+
+    /// Look up a plan for `key`, validating it against the currently
+    /// published `version`. On version drift, `fingerprint` recomputes
+    /// the stats fingerprint of the entry's read set against the current
+    /// snapshot: unchanged ⇒ the entry is re-stamped and reused; drifted
+    /// ⇒ the entry dies and the caller re-prepares.
+    pub fn lookup(
+        &mut self,
+        key: &str,
+        version: u64,
+        fingerprint: impl FnOnce(&BTreeSet<String>) -> u64,
+    ) -> Option<Arc<PreparedQuery>> {
+        self.tick += 1;
+        let Some(e) = self.entries.get_mut(key) else {
+            self.counters.misses += 1;
+            return None;
+        };
+        if e.valid_at != version {
+            if fingerprint(&e.prepared.touched) == e.prepared.stats_fingerprint {
+                e.valid_at = version;
+            } else {
+                self.entries.remove(key);
+                self.counters.reprepares += 1;
+                self.counters.misses += 1;
+                return None;
+            }
+        }
+        let e = self.entries.get_mut(key).expect("checked above");
+        e.last_used = self.tick;
+        self.counters.hits += 1;
+        Some(Arc::clone(&e.prepared))
+    }
+
+    /// Store a plan prepared against `version`.
+    pub fn insert(&mut self, key: String, prepared: Arc<PreparedQuery>, version: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.counters.capacity_evictions += 1;
+            }
+        }
+        self.counters.insertions += 1;
+        self.entries.insert(
+            key,
+            PlanEntry {
+                prepared,
+                valid_at: version,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every plan, returning how many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> PlanCacheCounters {
+        self.counters
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +349,7 @@ mod tests {
             annotated: None,
             stats: Default::default(),
             touched: BTreeSet::new(),
+            plan: None,
         })
     }
 
@@ -278,5 +434,61 @@ mod tests {
         assert!(c.lookup("other").is_none());
         let rate = c.counters().hit_rate();
         assert!((rate - 2.0 / 3.0).abs() < 1e-9, "rate = {rate}");
+    }
+
+    fn prepared() -> Arc<PreparedQuery> {
+        use proql::engine::Engine;
+        use proql_provgraph::system::example_2_1;
+        let e = Engine::new(example_2_1().unwrap());
+        Arc::new(
+            e.prepare("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn plan_cache_fast_path_revalidation_and_drift() {
+        let p = prepared();
+        let (v, fp) = (p.stats_version, p.stats_fingerprint);
+        let mut c = PlanCache::new(8);
+        assert!(c.lookup("q", v, |_| 0).is_none());
+        c.insert("q".into(), Arc::clone(&p), v);
+        // Same version: the fingerprint closure must not run.
+        assert!(c.lookup("q", v, |_| panic!("fresh entry")).is_some());
+        // Version drift, unchanged fingerprint: revalidated and re-stamped.
+        assert!(c.lookup("q", v + 1, |_| fp).is_some());
+        assert!(c.lookup("q", v + 1, |_| panic!("re-stamped")).is_some());
+        // Fingerprint drift: the entry dies; the caller re-prepares.
+        assert!(c.lookup("q", v + 2, |_| fp ^ 1).is_none());
+        assert!(c.is_empty());
+        let counters = c.counters();
+        assert_eq!(counters.hits, 3);
+        assert_eq!(counters.misses, 2);
+        assert_eq!(counters.reprepares, 1);
+        assert!((counters.hit_rate() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_cache_capacity_zero_disables() {
+        let p = prepared();
+        let mut c = PlanCache::new(0);
+        c.insert("q".into(), Arc::clone(&p), p.stats_version);
+        assert!(c.lookup("q", p.stats_version, |_| 0).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru() {
+        let p = prepared();
+        let v = p.stats_version;
+        let mut c = PlanCache::new(2);
+        c.insert("q1".into(), Arc::clone(&p), v);
+        c.insert("q2".into(), Arc::clone(&p), v);
+        assert!(c.lookup("q1", v, |_| 0).is_some()); // q2 is now LRU
+        c.insert("q3".into(), Arc::clone(&p), v);
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup("q2", v, |_| 0).is_none());
+        assert!(c.lookup("q1", v, |_| 0).is_some());
+        assert_eq!(c.counters().capacity_evictions, 1);
     }
 }

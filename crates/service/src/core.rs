@@ -19,7 +19,7 @@
 //!   survives the epoch check is valid at the version the reader
 //!   reports.
 
-use crate::cache::{CacheCounters, ResultCache};
+use crate::cache::{CacheCounters, PlanCache, PlanCacheCounters, ResultCache};
 use proql::engine::{Engine, EngineOptions, QueryOutput};
 use proql_cdss::update::{delete_local, DeleteStats};
 use proql_common::{Result, Tuple};
@@ -51,6 +51,10 @@ pub struct ServiceStats {
     pub cache_entries: u64,
     /// Cache counters.
     pub cache: CacheCounters,
+    /// Live prepared-plan entries.
+    pub plan_entries: u64,
+    /// Prepared-plan cache counters.
+    pub plans: PlanCacheCounters,
 }
 
 impl ServiceStats {
@@ -59,7 +63,9 @@ impl ServiceStats {
         format!(
             "{{\"version\": {}, \"queries\": {}, \"writes\": {}, \"cache_entries\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
-             \"stale_evictions\": {}, \"capacity_evictions\": {}, \"rejected_inserts\": {}}}",
+             \"stale_evictions\": {}, \"capacity_evictions\": {}, \"rejected_inserts\": {}, \
+             \"plan_entries\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
+             \"plan_cache_hit_rate\": {:.6}, \"plan_reprepares\": {}}}",
             self.version,
             self.queries,
             self.writes,
@@ -70,6 +76,11 @@ impl ServiceStats {
             self.cache.stale_evictions,
             self.cache.capacity_evictions,
             self.cache.rejected_inserts,
+            self.plan_entries,
+            self.plans.hits,
+            self.plans.misses,
+            self.plans.hit_rate(),
+            self.plans.reprepares,
         )
     }
 }
@@ -83,6 +94,9 @@ pub struct QueryResponse {
     pub version: u64,
     /// Whether the answer came from the result cache.
     pub cache_hit: bool,
+    /// Whether the query reused a cached prepared plan (always `false`
+    /// on result-cache hits, which never consult the plan cache).
+    pub plan_cache_hit: bool,
     /// The answer.
     pub output: Arc<QueryOutput>,
 }
@@ -95,6 +109,7 @@ pub struct ServiceCore {
     state: RwLock<Arc<Snapshot>>,
     write_gate: Mutex<()>,
     cache: Mutex<ResultCache>,
+    plans: Mutex<PlanCache>,
     options: EngineOptions,
     queries: AtomicU64,
     writes: AtomicU64,
@@ -103,17 +118,38 @@ pub struct ServiceCore {
 /// Default bound on live cache entries.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
+/// Default bound on cached prepared plans.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
 impl ServiceCore {
-    /// Serve `sys` with engine `options` and the default cache capacity.
+    /// Serve `sys` with engine `options` and the default cache capacities.
     pub fn new(sys: ProvenanceSystem, options: EngineOptions) -> Self {
-        ServiceCore::with_cache_capacity(sys, options, DEFAULT_CACHE_CAPACITY)
+        ServiceCore::with_capacities(
+            sys,
+            options,
+            DEFAULT_CACHE_CAPACITY,
+            DEFAULT_PLAN_CACHE_CAPACITY,
+        )
     }
 
-    /// Serve `sys` with an explicit cache capacity.
+    /// Serve `sys` with an explicit result-cache capacity and the default
+    /// plan-cache capacity.
     pub fn with_cache_capacity(
         sys: ProvenanceSystem,
         options: EngineOptions,
         capacity: usize,
+    ) -> Self {
+        ServiceCore::with_capacities(sys, options, capacity, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Serve `sys` with explicit result-cache and plan-cache capacities
+    /// (a plan capacity of 0 disables prepared-plan reuse — the
+    /// unprepared baseline benchmarks measure against).
+    pub fn with_capacities(
+        sys: ProvenanceSystem,
+        options: EngineOptions,
+        capacity: usize,
+        plan_capacity: usize,
     ) -> Self {
         let version = sys.version();
         let engine = Engine::with_options(sys, options.clone());
@@ -121,6 +157,7 @@ impl ServiceCore {
             state: RwLock::new(Arc::new(Snapshot { version, engine })),
             write_gate: Mutex::new(()),
             cache: Mutex::new(ResultCache::new(capacity)),
+            plans: Mutex::new(PlanCache::new(plan_capacity)),
             options,
             queries: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -180,8 +217,10 @@ impl ServiceCore {
     }
 
     /// Serve one ProQL query: from the result cache when a fresh entry
-    /// exists, otherwise by running it against the current snapshot and
-    /// caching the answer keyed by its read set.
+    /// exists; otherwise via the prepared-plan cache — a cached plan
+    /// (validated against statistics drift) skips parse → translate →
+    /// optimize — executing against the current snapshot and caching the
+    /// answer keyed by its read set.
     pub fn query(&self, text: &str) -> Result<QueryResponse> {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let key = ServiceCore::cache_key(text);
@@ -195,12 +234,38 @@ impl ServiceCore {
                 return Ok(QueryResponse {
                     version,
                     cache_hit: true,
+                    plan_cache_hit: false,
                     output,
                 });
             }
         }
         let snap = self.snapshot();
-        let output = Arc::new(snap.engine.query(text)?);
+        // Result miss: reuse the cached plan when its statistics are
+        // still current (plan reuse is always *correct*; the fingerprint
+        // check only guards cost-optimality).
+        let cached_plan =
+            self.plans
+                .lock()
+                .expect("plan lock")
+                .lookup(&key, snap.version, |touched| {
+                    snap.engine.stats_fingerprint(touched)
+                });
+        let (prepared, plan_cache_hit) = match cached_plan {
+            Some(p) => (p, true),
+            None => {
+                // Prepare outside the plan lock: translation can be slow
+                // and must not serialize other queries' lookups. A racing
+                // duplicate prepare is benign (last insert wins).
+                let p = Arc::new(snap.engine.prepare(text)?);
+                self.plans.lock().expect("plan lock").insert(
+                    key.clone(),
+                    Arc::clone(&p),
+                    snap.version,
+                );
+                (p, false)
+            }
+        };
+        let output = Arc::new(snap.engine.execute(&prepared)?);
         self.cache.lock().expect("cache lock").insert(
             key,
             output.touched.clone(),
@@ -210,6 +275,7 @@ impl ServiceCore {
         Ok(QueryResponse {
             version: snap.version,
             cache_hit: false,
+            plan_cache_hit,
             output,
         })
     }
@@ -293,7 +359,9 @@ impl ServiceCore {
     }
 
     /// Drop every cached result (the `INVALIDATE` verb). Returns how many
-    /// entries were dropped.
+    /// entries were dropped. Prepared plans survive — they are
+    /// correctness-independent of data, so only statistics drift (checked
+    /// on every reuse) retires them.
     pub fn invalidate(&self) -> usize {
         self.cache.lock().expect("cache lock").clear()
     }
@@ -304,12 +372,18 @@ impl ServiceCore {
             let cache = self.cache.lock().expect("cache lock");
             (cache.len() as u64, cache.counters())
         };
+        let (plan_entries, plan_counters) = {
+            let plans = self.plans.lock().expect("plan lock");
+            (plans.len() as u64, plans.counters())
+        };
         ServiceStats {
             version: self.version(),
             queries: self.queries.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             cache_entries: entries,
             cache: counters,
+            plan_entries,
+            plans: plan_counters,
         }
     }
 }
@@ -442,6 +516,59 @@ mod tests {
             "no-op must evict nothing"
         );
         assert_eq!(core.stats().writes, 0);
+    }
+
+    #[test]
+    fn result_miss_reuses_cached_plan() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let first = core.query(Q_Y).unwrap();
+        assert!(!first.cache_hit && !first.plan_cache_hit);
+        // A write to a dependency evicts the result but not the plan: the
+        // point delete stays within the stats fingerprint's buckets.
+        core.delete("X", &tup![0]).unwrap();
+        let second = core.query(Q_Y).unwrap();
+        assert!(!second.cache_hit, "result must re-execute after the write");
+        assert!(second.plan_cache_hit, "plan must be reused");
+        assert_eq!(second.output.projection.bindings.len(), 4);
+        let stats = core.stats();
+        assert_eq!(stats.plans.hits, 1);
+        assert_eq!(stats.plans.misses, 1);
+        assert_eq!(stats.plan_entries, 1);
+    }
+
+    #[test]
+    fn invalidate_keeps_plans_hot() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        core.query(Q_Y).unwrap();
+        core.invalidate();
+        let again = core.query(Q_Y).unwrap();
+        assert!(!again.cache_hit);
+        assert!(again.plan_cache_hit, "INVALIDATE must not drop plans");
+        assert_eq!(again.output.projection.bindings.len(), 5);
+    }
+
+    #[test]
+    fn plan_capacity_zero_disables_plan_reuse() {
+        let core =
+            ServiceCore::with_capacities(two_island_system(), EngineOptions::default(), 1024, 0);
+        core.query(Q_Y).unwrap();
+        core.invalidate();
+        let again = core.query(Q_Y).unwrap();
+        assert!(!again.plan_cache_hit);
+        assert_eq!(core.stats().plans.hits, 0);
+    }
+
+    #[test]
+    fn explain_over_the_service_reports_plan() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let resp = core
+            .query("EXPLAIN FOR [Y $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        let plan = resp.output.plan.as_deref().expect("EXPLAIN plan text");
+        assert!(plan.contains("strategy:"), "{plan}");
+        assert!(resp.output.projection.bindings.is_empty());
+        // EXPLAIN and the plain query are distinct cache keys.
+        assert!(!core.query(Q_Y).unwrap().cache_hit);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   ([`proql::engine::QueryOutput::touched`]); writes record their
 //!   write set per relation, and an entry dies exactly when a write
 //!   touches an overlapping relation — unrelated updates keep hot
-//!   entries alive.
+//!   entries alive. Beneath it, [`cache::PlanCache`] keeps each query's
+//!   [`proql::engine::PreparedQuery`]: a result-cache miss reuses the
+//!   cached optimized plan (validated against statistics drift), so
+//!   hot-template traffic skips parse → translate → optimize entirely.
 //! * [`server`] — a zero-dependency `std::net` TCP front end speaking a
 //!   line protocol (`QUERY` / `DELETE` / `INSERT` / `STATS` /
 //!   `INVALIDATE`), plus the matching blocking [`server::Client`].
@@ -29,6 +32,6 @@ pub mod proto;
 pub mod server;
 
 pub use crate::core::{QueryResponse, ServiceCore, ServiceStats, Snapshot};
-pub use cache::{CacheCounters, ResultCache};
+pub use cache::{CacheCounters, PlanCache, PlanCacheCounters, ResultCache};
 pub use proto::{handle_line, result_digest};
 pub use server::{serve, Client, ServerHandle};

@@ -6,7 +6,7 @@
 //!
 //! | verb | args | reply payload |
 //! |---|---|---|
-//! | `QUERY` | ProQL text | version, cache hit/miss, result sizes, digest |
+//! | `QUERY` | ProQL text | version, cache + plan-cache hit/miss, result sizes, digest; `EXPLAIN <query>` adds the rendered plan |
 //! | `DELETE` | `<relation> <v1,v2,...>` | version, delete stats |
 //! | `INSERT` | `<relation> <v1,v2,...>` | version, write-set size |
 //! | `STATS` | — | [`crate::core::ServiceStats`] JSON |
@@ -116,20 +116,28 @@ pub fn json_str(s: &str) -> String {
     out
 }
 
-/// Render a `QUERY` reply payload.
+/// Render a `QUERY` reply payload. `plan_cache` reports whether a cached
+/// prepared plan was reused; `EXPLAIN` queries additionally carry the
+/// rendered plan text in a `plan` field.
 pub fn query_json(resp: &QueryResponse) -> String {
     let out = &resp.output;
-    format!(
-        "{{\"version\": {}, \"cache\": {}, \"bindings\": {}, \"derivations\": {}, \
-         \"annotations\": {}, \"touched\": {}, \"digest\": {}}}",
+    let mut json = format!(
+        "{{\"version\": {}, \"cache\": {}, \"plan_cache\": {}, \"bindings\": {}, \
+         \"derivations\": {}, \"annotations\": {}, \"touched\": {}, \"digest\": {}",
         resp.version,
         json_str(if resp.cache_hit { "hit" } else { "miss" }),
+        json_str(if resp.plan_cache_hit { "hit" } else { "miss" }),
         out.projection.bindings.len(),
         out.projection.derivation_count(),
         out.annotated.as_ref().map(|a| a.rows.len()).unwrap_or(0),
         out.touched.len(),
         json_str(&result_digest(out).to_string()),
-    )
+    );
+    if let Some(plan) = &out.plan {
+        json.push_str(&format!(", \"plan\": {}", json_str(plan)));
+    }
+    json.push('}');
+    json
 }
 
 /// Extract an unsigned-integer field from one of this protocol's own
@@ -158,7 +166,16 @@ pub fn json_str_field(json: &str, key: &str) -> Option<String> {
     while let Some(c) = chars.next() {
         match c {
             '"' => return Some(out),
-            '\\' => out.push(chars.next()?),
+            '\\' => match chars.next()? {
+                // `json_str` emits control characters as \u00XX escapes
+                // (EXPLAIN plan text contains newlines); decode them.
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                esc => out.push(esc),
+            },
             c => out.push(c),
         }
     }
@@ -338,5 +355,29 @@ mod tests {
 
         // Deleting the A-grounded tuple works over the wire too.
         let _ = core.delete("A", &tup![1]).unwrap();
+    }
+
+    #[test]
+    fn explain_over_the_wire_carries_plan_text() {
+        use proql::engine::EngineOptions;
+        use proql_provgraph::system::example_2_1;
+        let core = ServiceCore::new(example_2_1().unwrap(), EngineOptions::default());
+        let reply = handle_line(
+            &core,
+            "QUERY EXPLAIN FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x",
+        );
+        assert!(reply.starts_with("OK "), "{reply}");
+        let plan = json_str_field(&reply, "plan").expect("plan field");
+        // Example 2.1 is cyclic, so the graph strategy is chosen.
+        assert!(plan.contains("strategy: graph-walk"), "{plan}");
+        assert!(plan.contains("reads: A,"), "newlines must decode: {plan}");
+        assert_eq!(json_u64_field(&reply, "bindings"), Some(0));
+        // Plain queries carry no plan field.
+        let plain = handle_line(&core, "QUERY FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x");
+        assert!(json_str_field(&plain, "plan").is_none());
+        assert_eq!(
+            json_str_field(&plain, "plan_cache").as_deref(),
+            Some("miss")
+        );
     }
 }

@@ -92,7 +92,9 @@ fn go_parallel(par: Parallelism, rows: usize) -> bool {
 /// Concatenate per-morsel result batches in morsel index order.
 fn concat_batches(parts: Vec<Result<RecordBatch>>) -> Result<RecordBatch> {
     let mut iter = parts.into_iter();
-    let mut acc = iter.next().expect("at least one morsel")?;
+    let mut acc = iter
+        .next()
+        .ok_or_else(|| Error::Storage("empty morsel set".into()))??;
     for part in iter {
         let batch = part?;
         let rows = acc.len() + batch.len();
@@ -263,6 +265,9 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Res
         }
         Plan::Sort { input, by } => {
             let batch = exec_inner(db, input, depth, par)?;
+            if let Some(&c) = by.iter().find(|&&c| c >= batch.arity()) {
+                return Err(Error::Storage(format!("sort column {c} out of range")));
+            }
             let mut idx: Vec<u32> = (0..batch.len() as u32).collect();
             idx.sort_by(|&a, &b| {
                 for &c in by {
@@ -319,6 +324,14 @@ fn batch_join(
 ) -> Result<RecordBatch> {
     if left_keys.len() != right_keys.len() {
         return Err(Error::Storage("join key arity mismatch".into()));
+    }
+    // Malformed plans must surface as errors, not index panics, so the
+    // service worker pool survives bad requests.
+    if let Some(&k) = left_keys.iter().find(|&&k| k >= l.arity()) {
+        return Err(Error::Storage(format!("left join key {k} out of range")));
+    }
+    if let Some(&k) = right_keys.iter().find(|&&k| k >= r.arity()) {
+        return Err(Error::Storage(format!("right join key {k} out of range")));
     }
     let names = join_names(&l.names, &r.names);
     let build_left = match build {
@@ -663,6 +676,18 @@ pub fn batch_aggregate_opts(
     par: Parallelism,
 ) -> Result<RecordBatch> {
     let par = par.resolved();
+    if let Some(&c) = group_by.iter().find(|&&c| c >= batch.arity()) {
+        return Err(Error::Storage(format!("group column {c} out of range")));
+    }
+    if let Some(c) = aggs
+        .iter()
+        .filter_map(|a| a.func.input_column())
+        .find(|&c| c >= batch.arity())
+    {
+        return Err(Error::Storage(format!(
+            "aggregate input column {c} out of range"
+        )));
+    }
     let hashes = batch.key_hashes_par(group_by, par);
     let (mut group_first, mut members) = if go_parallel(par, batch.len()) {
         parallel_grouping(batch, group_by, &hashes, par)
@@ -802,7 +827,9 @@ fn fold_agg_column_par(
         fold_agg_column(func, &members[ranges[i].clone()], batch)
     });
     let mut iter = parts.into_iter();
-    let mut acc = iter.next().expect("at least one chunk")?;
+    let mut acc = iter
+        .next()
+        .ok_or_else(|| Error::Storage("empty aggregate chunk set".into()))??;
     for part in iter {
         acc = acc.append(part?);
     }
@@ -1289,6 +1316,68 @@ mod tests {
                 let par = execute_batch_opts(&db, plan, Parallelism::Threads(threads)).unwrap();
                 assert_eq!(serial.names, par.names);
                 assert_eq!(serial.to_rows(), par.to_rows(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_plans_error_instead_of_panicking() {
+        // The service worker pool executes plans built from untrusted
+        // request text; out-of-range columns must be errors, not panics.
+        let db = db();
+        let bad_plans = [
+            Plan::Join {
+                left: Box::new(Plan::scan("A")),
+                right: Box::new(Plan::scan("C")),
+                join_type: JoinType::Inner,
+                left_keys: vec![9],
+                right_keys: vec![0],
+                build: BuildSide::Auto,
+            },
+            Plan::Join {
+                left: Box::new(Plan::scan("A")),
+                right: Box::new(Plan::scan("C")),
+                join_type: JoinType::FullOuter,
+                left_keys: vec![0],
+                right_keys: vec![7],
+                build: BuildSide::Auto,
+            },
+            Plan::Aggregate {
+                input: Box::new(Plan::scan("A")),
+                group_by: vec![8],
+                aggs: vec![],
+                having: None,
+            },
+            Plan::Aggregate {
+                input: Box::new(Plan::scan("A")),
+                group_by: vec![],
+                aggs: vec![Aggregate::new(AggFunc::Sum(9), "s")],
+                having: None,
+            },
+            Plan::Sort {
+                input: Box::new(Plan::scan("A")),
+                by: vec![9],
+            },
+            Plan::scan("A").filter(Expr::col(9).eq(Expr::lit(1))),
+            Plan::IndexLookup {
+                table: "A".into(),
+                columns: vec![9],
+                key: vec![Value::Int(1)],
+                residual: None,
+            },
+            Plan::IndexLookup {
+                table: "A".into(),
+                columns: vec![0, 1],
+                key: vec![Value::Int(1)],
+                residual: None,
+            },
+        ];
+        for plan in &bad_plans {
+            for mode in [ExecMode::Batch, ExecMode::Row, ExecMode::NestedLoop] {
+                for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+                    let res = execute_with_opts(&db, plan, mode, par);
+                    assert!(res.is_err(), "mode {mode:?} par {par:?}: {plan:?}");
+                }
             }
         }
     }

@@ -206,6 +206,9 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, algo: JoinAlgo) -> Resul
         }
         Plan::Sort { input, by } => {
             let mut rel = exec_inner(db, input, depth, algo)?;
+            if let Some(&c) = by.iter().find(|&&c| c >= rel.arity()) {
+                return Err(Error::Storage(format!("sort column {c} out of range")));
+            }
             rel.rows.sort_by(|a, b| {
                 for &c in by {
                     let ord = a.get(c).cmp(b.get(c));
@@ -229,16 +232,35 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, algo: JoinAlgo) -> Resul
             residual,
         } => {
             let t = db.table(table)?;
+            if columns.len() != key.len() {
+                return Err(Error::Storage(format!(
+                    "index lookup on {table}: {} columns vs {} key values",
+                    columns.len(),
+                    key.len()
+                )));
+            }
+            if let Some(&c) = columns.iter().find(|&&c| c >= t.schema().arity()) {
+                return Err(Error::Storage(format!(
+                    "index lookup column {c} out of range for {table}"
+                )));
+            }
             let key_t = Tuple::new(key.clone());
             let rows = match t.find_index(columns) {
                 Some(ix) => {
                     // The index may store columns in a different order than
-                    // the lookup; align the key with the index's order.
-                    let reorder: Vec<usize> = ix
-                        .columns()
-                        .iter()
-                        .map(|c| columns.iter().position(|x| x == c).unwrap())
-                        .collect();
+                    // the lookup; align the key with the index's order. A
+                    // lookup column missing from the index is a malformed
+                    // plan, reported instead of panicking the caller.
+                    let mut reorder = Vec::with_capacity(ix.columns().len());
+                    for c in ix.columns() {
+                        let pos = columns.iter().position(|x| x == c).ok_or_else(|| {
+                            Error::Storage(format!(
+                                "index {} on {table} does not match lookup columns {columns:?}",
+                                ix.name()
+                            ))
+                        })?;
+                        reorder.push(pos);
+                    }
                     let aligned = key_t.project(&reorder);
                     t.index_lookup(ix, &aligned)
                 }
@@ -321,6 +343,14 @@ fn exec_join(
     if left_keys.len() != right_keys.len() {
         return Err(Error::Storage("join key arity mismatch".into()));
     }
+    // Malformed plans must surface as errors, not index panics: key
+    // columns are validated against both inputs up front.
+    if let Some(&k) = left_keys.iter().find(|&&k| k >= l.arity()) {
+        return Err(Error::Storage(format!("left join key {k} out of range")));
+    }
+    if let Some(&k) = right_keys.iter().find(|&&k| k >= r.arity()) {
+        return Err(Error::Storage(format!("right join key {k} out of range")));
+    }
     let names = join_names(&l.names, &r.names);
 
     let mut matched_right = vec![false; r.rows.len()];
@@ -396,6 +426,18 @@ fn exec_aggregate(
     aggs: &[crate::plan::Aggregate],
     having: Option<&Expr>,
 ) -> Result<Relation> {
+    if let Some(&c) = group_by.iter().find(|&&c| c >= rel.arity()) {
+        return Err(Error::Storage(format!("group column {c} out of range")));
+    }
+    if let Some(c) = aggs
+        .iter()
+        .filter_map(|a| a.func.input_column())
+        .find(|&c| c >= rel.arity())
+    {
+        return Err(Error::Storage(format!(
+            "aggregate input column {c} out of range"
+        )));
+    }
     // Group rows preserving first-seen order.
     let mut order: Vec<Tuple> = Vec::new();
     let mut groups: HashMap<Tuple, Vec<usize>> = HashMap::new();

@@ -185,6 +185,93 @@ pub fn sql_len(plan: &Plan) -> usize {
     to_sql(plan).len()
 }
 
+/// Render a plan as an indented operator tree, one node per line, with the
+/// cost-based optimizer's estimated output rows per operator. This is the
+/// body of the ProQL `EXPLAIN` output.
+pub fn explain_tree(db: &crate::database::Database, plan: &Plan) -> String {
+    let mut out = String::new();
+    tree_rec(db, plan, 0, &mut out);
+    out
+}
+
+fn tree_rec(db: &crate::database::Database, plan: &Plan, indent: usize, out: &mut String) {
+    let est = crate::optimize::estimate_rows(db, plan);
+    let label = match plan {
+        Plan::Scan { table } => format!("Scan {table}"),
+        Plan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
+        Plan::Filter { predicate, .. } => format!("Filter {predicate}"),
+        Plan::Project { exprs, .. } => format!("Project [{} exprs]", exprs.len()),
+        Plan::Join {
+            join_type,
+            left_keys,
+            right_keys,
+            build,
+            ..
+        } => {
+            let on = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(l, r)| format!("l{l}=r{r}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{join_type:?}Join on [{on}] build={build:?}")
+        }
+        Plan::Union { inputs, distinct } => format!(
+            "Union{} ({} inputs)",
+            if *distinct { " DISTINCT" } else { " ALL" },
+            inputs.len()
+        ),
+        Plan::Distinct { .. } => "Distinct".to_string(),
+        Plan::Aggregate { group_by, aggs, .. } => format!(
+            "Aggregate group_by={group_by:?} aggs=[{}]",
+            aggs.iter()
+                .map(|a| format!("{}({:?})", a.func.sql_name(), a.func.input_column()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Plan::Sort { by, .. } => format!("Sort by {by:?}"),
+        Plan::Limit { n, .. } => format!("Limit {n}"),
+        Plan::IndexLookup {
+            table,
+            columns,
+            key,
+            residual,
+        } => {
+            let binds = columns
+                .iter()
+                .zip(key)
+                .map(|(c, v)| format!("c{c}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "IndexLookup {table} [{binds}]{}",
+                if residual.is_some() { " +residual" } else { "" }
+            )
+        }
+    };
+    let pad = "  ".repeat(indent);
+    let line = format!("{pad}{label}");
+    let _ = writeln!(out, "{line:<56} ~{est} rows");
+    match plan {
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => tree_rec(db, input, indent + 1, out),
+        Plan::Join { left, right, .. } => {
+            tree_rec(db, left, indent + 1, out);
+            tree_rec(db, right, indent + 1, out);
+        }
+        Plan::Union { inputs, .. } => {
+            for p in inputs {
+                tree_rec(db, p, indent + 1, out);
+            }
+        }
+        Plan::Scan { .. } | Plan::Values { .. } | Plan::IndexLookup { .. } => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +320,28 @@ mod tests {
         let small = Plan::scan("A");
         let big = Plan::union_all(vec![Plan::scan("A"); 10]);
         assert!(sql_len(&big) > sql_len(&small));
+    }
+
+    #[test]
+    fn explain_tree_shows_operators_and_estimates() {
+        use proql_common::{tup, Schema, ValueType};
+        let mut db = crate::database::Database::new();
+        db.create_table(
+            Schema::build("A", &[("id", ValueType::Int), ("v", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        for i in 0..8 {
+            db.insert("A", tup![i, i]).unwrap();
+        }
+        let plan = Plan::scan("A")
+            .join(Plan::scan("A"), vec![0], vec![0])
+            .filter(Expr::col(0).eq(Expr::lit(1)));
+        let text = explain_tree(&db, &plan);
+        assert!(text.contains("Filter"), "{text}");
+        assert!(text.contains("InnerJoin"), "{text}");
+        assert!(text.contains("Scan A"), "{text}");
+        assert!(text.contains("~8 rows"), "{text}");
+        // Every line carries an estimate.
+        assert!(text.lines().all(|l| l.contains(" rows")), "{text}");
     }
 }

@@ -22,10 +22,14 @@
 //! * a row-at-a-time [executor](exec::execute) (hash-join or nested-loop
 //!   [`JoinAlgo`]) kept as the equivalence oracle and ablation baseline —
 //!   pick one via [`ExecMode`] / [`execute_with`],
-//! * a rule-based [optimizer](optimize::optimize_with) — selection
-//!   pushdown, index lookups, join build-side selection from catalog
-//!   cardinality estimates — and an `EXPLAIN`-style
-//!   [SQL renderer](explain::to_sql).
+//! * an incrementally-maintained [statistics subsystem](stats) (per-table
+//!   row counts, per-column NDV/min-max) feeding a **cost-based
+//!   multi-pass [optimizer](optimize::optimize_with)** — selection
+//!   pushdown, index conversion, join reordering over equi-join chains,
+//!   build-side selection — plus an `EXPLAIN`-style
+//!   [SQL renderer](explain::to_sql) and
+//!   [operator-tree renderer](explain::explain_tree) with estimated rows
+//!   per operator.
 
 pub mod batch;
 pub mod batch_exec;
@@ -36,6 +40,7 @@ pub mod expr;
 pub mod index;
 pub mod optimize;
 pub mod plan;
+pub mod stats;
 pub mod table;
 
 pub use batch::{Column, RecordBatch};
@@ -47,6 +52,8 @@ pub use database::Database;
 pub use exec::{execute, JoinAlgo, Relation};
 pub use expr::{BinOp, Expr};
 pub use index::{Index, IndexKind};
+pub use optimize::{OptimizerConfig, Pass};
 pub use plan::{AggFunc, Aggregate, BuildSide, JoinType, Plan};
 pub use proql_common::Parallelism;
+pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

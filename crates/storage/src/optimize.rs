@@ -1,84 +1,811 @@
-//! A small rule-based optimizer.
+//! The cost-based optimizer: an ordered pipeline of plan-rewrite passes.
 //!
-//! The paper relies on the backing DBMS to perform "goal-directed
-//! computation such that we only evaluate provenance for the selected
-//! tuples … intuitively, this resembles pushing selections through joins"
-//! (§4.2). This module implements that: selection pushdown through
-//! projections/joins/unions and conversion of `Filter(Scan)` with
-//! equality bindings into [`Plan::IndexLookup`].
+//! The paper relies on the backing DBMS for "goal-directed computation such
+//! that we only evaluate provenance for the selected tuples … intuitively,
+//! this resembles pushing selections through joins" (§4.2). This module is
+//! that DBMS layer: a multi-pass framework
+//!
+//! 1. **Filter pushdown** — selections move through projections, unions,
+//!    and inner joins down to the scans they constrain.
+//! 2. **Index conversion** — `Filter(Scan)` with equality bindings becomes
+//!    [`Plan::IndexLookup`] (executors fall back to a filtered scan when no
+//!    physical index exists, so the rewrite is always safe).
+//! 3. **Cost-based join reordering** — maximal chains of inner equi-joins
+//!    are flattened, re-ordered greedily by estimated intermediate
+//!    cardinality (the cardinality model below), rebuilt left-deep, and
+//!    wrapped in a projection restoring the original column order, so the
+//!    rewrite is invisible to every consumer.
+//! 4. **Build-side selection** — each hash join builds on its estimated
+//!    smaller input.
+//!
+//! Cardinalities come from the **statistics subsystem**
+//! ([`crate::stats`]): per-table live row counts and per-column NDV/min-max
+//! maintained incrementally on every insert/delete. Estimates order
+//! performance-neutral choices only — they never affect correctness, which
+//! is what makes cached plans safe to reuse across data changes.
 
 use crate::database::Database;
-use crate::expr::Expr;
+use crate::expr::{BinOp, Expr};
 use crate::plan::{BuildSide, JoinType, Plan};
 use proql_common::Value;
 
-/// Optimize a plan: push filters down and use indexes where possible.
+/// One optimizer pass. [`OptimizerConfig`] orders them; benchmarks ablate
+/// individual passes (e.g. `plan_bench` measures join reordering alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Push selections through projections, unions, and inner joins.
+    PushFilters,
+    /// Convert `Filter(Scan)` equality bindings into [`Plan::IndexLookup`].
+    IndexScans,
+    /// Reorder inner equi-join chains by estimated cardinality.
+    ReorderJoins,
+    /// Build each hash join on its estimated smaller input.
+    PickBuildSides,
+}
+
+/// An ordered pass pipeline.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Passes, applied in order.
+    pub passes: Vec<Pass>,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            passes: vec![
+                Pass::PushFilters,
+                Pass::IndexScans,
+                Pass::ReorderJoins,
+                Pass::PickBuildSides,
+            ],
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The default pipeline minus one pass (ablation).
+    pub fn without(pass: Pass) -> Self {
+        let mut cfg = OptimizerConfig::default();
+        cfg.passes.retain(|&p| p != pass);
+        cfg
+    }
+}
+
+/// Catalog-free optimization: filter pushdown and index conversion only.
 pub fn optimize(plan: Plan) -> Plan {
-    let pushed = push_filters(plan);
-    index_scans(pushed)
+    index_scans(push_filters(plan))
 }
 
-/// [`optimize`] plus catalog-aware passes: hash-join build sides are picked
-/// from estimated input cardinalities (build on the smaller input). The
-/// batch executor honors the hint; `Auto` falls back to its runtime choice.
+/// The full default pipeline: [`optimize`] plus catalog-aware passes —
+/// cost-based join reordering and hash-join build-side selection from the
+/// stats-backed cardinality model.
 pub fn optimize_with(db: &Database, plan: Plan) -> Plan {
-    pick_build_sides(db, optimize(plan))
+    optimize_with_config(db, plan, &OptimizerConfig::default())
 }
 
-/// Estimated output rows of a plan, from catalog sizes. Heuristic, only
-/// used to order performance-neutral choices — never for correctness.
+/// Run an explicit pass pipeline.
+pub fn optimize_with_config(db: &Database, plan: Plan, cfg: &OptimizerConfig) -> Plan {
+    let mut plan = plan;
+    for pass in &cfg.passes {
+        plan = match pass {
+            Pass::PushFilters => push_filters(plan),
+            Pass::IndexScans => index_scans(plan),
+            Pass::ReorderJoins => reorder_joins(db, plan),
+            Pass::PickBuildSides => pick_build_sides(db, plan),
+        };
+    }
+    plan
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality model
+// ---------------------------------------------------------------------------
+
+/// Default selectivity of a predicate the model cannot analyze (the
+/// historical "filters keep a third of their input" assumption).
+const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Estimated output rows of a plan, from the incrementally-maintained
+/// table statistics. Heuristic, only used to order performance-neutral
+/// choices — never for correctness.
 pub fn estimate_rows(db: &Database, plan: &Plan) -> usize {
-    estimate_rows_inner(db, plan, 0)
+    est(db, plan, 0).round().min(u64::MAX as f64) as usize
 }
 
-fn estimate_rows_inner(db: &Database, plan: &Plan, depth: usize) -> usize {
+fn est(db: &Database, plan: &Plan, depth: usize) -> f64 {
     // Views may reference views; a cyclic definition (which the executors
     // reject with an error) must not overflow the estimator's stack.
     if depth > crate::exec::MAX_VIEW_DEPTH {
-        return 0;
+        return 0.0;
     }
     match plan {
         Plan::Scan { table } => {
             if let Ok(t) = db.table(table) {
-                t.len()
+                t.len() as f64
             } else if let Some(v) = db.view(table) {
-                estimate_rows_inner(db, &v.plan, depth + 1)
+                est(db, &v.plan, depth + 1)
             } else {
-                0
+                0.0
             }
         }
-        Plan::Values { rows, .. } => rows.len(),
-        // Selections are assumed to keep a third of their input.
-        Plan::Filter { input, .. } => estimate_rows_inner(db, input, depth).div_ceil(3),
-        Plan::IndexLookup { table, .. } => {
-            // An equality lookup on a key-like column returns few rows.
-            db.table(table).map(|t| t.len().div_ceil(8)).unwrap_or(0)
+        Plan::Values { rows, .. } => rows.len() as f64,
+        Plan::Filter { input, predicate } => {
+            est(db, input, depth) * selectivity(db, input, predicate, depth)
+        }
+        Plan::IndexLookup {
+            table,
+            columns,
+            residual,
+            ..
+        } => {
+            let Ok(t) = db.table(table) else { return 0.0 };
+            let rows = t.len() as f64;
+            // A physical index knows its exact distinct-key count; without
+            // one, the per-column NDVs from the stats subsystem stand in.
+            let keys = match t.find_index(columns) {
+                Some(ix) => ix.distinct_keys() as f64,
+                None => columns
+                    .iter()
+                    .map(|&c| t.stats().column(c).map(|s| s.ndv()).unwrap_or(1).max(1) as f64)
+                    .product::<f64>()
+                    .min(rows),
+            };
+            let mut out = rows / keys.max(1.0);
+            if let Some(r) = residual {
+                out *= selectivity(db, &Plan::scan(table.clone()), r, depth);
+            }
+            out
         }
         Plan::Project { input, .. } | Plan::Distinct { input } | Plan::Sort { input, .. } => {
-            estimate_rows_inner(db, input, depth)
+            est(db, input, depth)
         }
-        Plan::Limit { input, n } => estimate_rows_inner(db, input, depth).min(*n),
-        // Equi-joins on provenance chains are roughly foreign-key shaped:
-        // output near the larger input.
-        Plan::Join { left, right, .. } => {
-            estimate_rows_inner(db, left, depth).max(estimate_rows_inner(db, right, depth))
+        Plan::Limit { input, n } => est(db, input, depth).min(*n as f64),
+        Plan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            ..
+        } => {
+            let l = est(db, left, depth);
+            let r = est(db, right, depth);
+            let inner = join_est(db, left, l, right, r, left_keys, right_keys, depth);
+            // Outer joins additionally keep every unmatched padded row.
+            match join_type {
+                JoinType::Inner => inner,
+                JoinType::LeftOuter => inner.max(l),
+                JoinType::RightOuter => inner.max(r),
+                JoinType::FullOuter => inner.max(l).max(r),
+            }
         }
-        Plan::Union { inputs, .. } => inputs
-            .iter()
-            .map(|p| estimate_rows_inner(db, p, depth))
-            .sum(),
+        Plan::Union { inputs, .. } => inputs.iter().map(|p| est(db, p, depth)).sum(),
         Plan::Aggregate {
             input, group_by, ..
         } => {
-            let n = estimate_rows_inner(db, input, depth);
+            let n = est(db, input, depth);
             if group_by.is_empty() {
-                1
+                1.0
             } else {
-                n.div_ceil(2)
+                // Groups are bounded by the product of the grouping
+                // columns' NDVs, when derivable.
+                let groups: f64 = group_by
+                    .iter()
+                    .map(|&c| col_ndv(db, input, c, depth).unwrap_or(n / 2.0).max(1.0))
+                    .product();
+                groups.min(n).max(1.0)
             }
         }
     }
 }
+
+/// Estimated inner-equi-join output: |L|·|R| divided by the product over
+/// key pairs of max(ndv(lk), ndv(rk)) — the classic containment-of-values
+/// model. Unknown NDVs fall back to the side's row estimate.
+#[allow(clippy::too_many_arguments)]
+fn join_est(
+    db: &Database,
+    left: &Plan,
+    l_rows: f64,
+    right: &Plan,
+    r_rows: f64,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    depth: usize,
+) -> f64 {
+    let mut out = l_rows * r_rows;
+    for (&lk, &rk) in left_keys.iter().zip(right_keys) {
+        // Containment of values: divide by the larger key *domain*. The
+        // domain size deliberately stays unclamped by the side's row
+        // estimate, so the divisor is invariant under join reordering.
+        let nl = col_ndv(db, left, lk, depth).unwrap_or(l_rows);
+        let nr = col_ndv(db, right, rk, depth).unwrap_or(r_rows);
+        out /= nl.max(nr).max(1.0);
+    }
+    out
+}
+
+/// Distinct values of output column `col`, traced through order- and
+/// column-preserving operators down to a base table's statistics.
+fn col_ndv(db: &Database, plan: &Plan, col: usize, depth: usize) -> Option<f64> {
+    if depth > crate::exec::MAX_VIEW_DEPTH {
+        return None;
+    }
+    match plan {
+        Plan::Scan { table } => {
+            if let Ok(t) = db.table(table) {
+                Some(t.stats().column(col)?.ndv() as f64)
+            } else {
+                col_ndv(db, &db.view(table)?.plan, col, depth + 1)
+            }
+        }
+        Plan::IndexLookup { table, .. } => {
+            let t = db.table(table).ok()?;
+            Some(t.stats().column(col)?.ndv() as f64)
+        }
+        Plan::Filter { input, .. } | Plan::Distinct { input } | Plan::Sort { input, .. } => {
+            col_ndv(db, input, col, depth)
+        }
+        Plan::Limit { input, .. } => col_ndv(db, input, col, depth),
+        Plan::Project { input, exprs, .. } => match exprs.get(col)? {
+            Expr::Col(i) => col_ndv(db, input, *i, depth),
+            Expr::Lit(_) => Some(1.0),
+            _ => None,
+        },
+        Plan::Join { left, right, .. } => {
+            let la = plan_arity_cat(db, left, depth)?;
+            if col < la {
+                col_ndv(db, left, col, depth)
+            } else {
+                col_ndv(db, right, col - la, depth)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Estimated fraction of `input`'s rows that satisfy `predicate`.
+fn selectivity(db: &Database, input: &Plan, predicate: &Expr, depth: usize) -> f64 {
+    let s = pred_selectivity(db, input, predicate, depth);
+    s.clamp(0.0, 1.0)
+}
+
+fn pred_selectivity(db: &Database, input: &Plan, pred: &Expr, depth: usize) -> f64 {
+    match pred {
+        Expr::And(ps) => ps
+            .iter()
+            .map(|p| pred_selectivity(db, input, p, depth))
+            .product(),
+        Expr::Or(ps) => {
+            // Independence assumption: 1 - Π(1 - sᵢ).
+            1.0 - ps
+                .iter()
+                .map(|p| 1.0 - pred_selectivity(db, input, p, depth))
+                .product::<f64>()
+        }
+        Expr::Not(p) => 1.0 - pred_selectivity(db, input, p, depth),
+        Expr::Lit(Value::Bool(true)) => 1.0,
+        Expr::Lit(Value::Bool(false)) => 0.0,
+        Expr::Bin(op, a, b) => {
+            let (col, lit) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Lit(v)) => (*i, v),
+                (Expr::Lit(v), Expr::Col(i)) => (*i, v),
+                _ => return DEFAULT_SELECTIVITY,
+            };
+            let Some(stats) = col_stats(db, input, col, depth) else {
+                return DEFAULT_SELECTIVITY;
+            };
+            let ndv = stats.ndv().max(1) as f64;
+            match op {
+                BinOp::Eq => 1.0 / ndv,
+                BinOp::Ne => 1.0 - 1.0 / ndv,
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let Some(below) = stats.fraction_below(lit) else {
+                        return DEFAULT_SELECTIVITY;
+                    };
+                    match op {
+                        BinOp::Lt | BinOp::Le => below.max(1.0 / ndv),
+                        _ => (1.0 - below).max(1.0 / ndv),
+                    }
+                }
+                _ => DEFAULT_SELECTIVITY,
+            }
+        }
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+/// Column statistics of `plan`'s output column `col`, when it traces to a
+/// base table.
+fn col_stats<'a>(
+    db: &'a Database,
+    plan: &Plan,
+    col: usize,
+    depth: usize,
+) -> Option<&'a crate::stats::ColumnStats> {
+    if depth > crate::exec::MAX_VIEW_DEPTH {
+        return None;
+    }
+    match plan {
+        Plan::Scan { table } => {
+            if let Ok(t) = db.table(table) {
+                t.stats().column(col)
+            } else {
+                col_stats(db, &db.view(table)?.plan, col, depth + 1)
+            }
+        }
+        Plan::IndexLookup { table, .. } => db.table(table).ok()?.stats().column(col),
+        Plan::Filter { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => col_stats(db, input, col, depth),
+        Plan::Project { input, exprs, .. } => match exprs.get(col)? {
+            Expr::Col(i) => col_stats(db, input, *i, depth),
+            _ => None,
+        },
+        Plan::Join { left, right, .. } => {
+            let la = plan_arity_cat(db, left, depth)?;
+            if col < la {
+                col_stats(db, left, col, depth)
+            } else {
+                col_stats(db, right, col - la, depth)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Catalog-aware output arity of a plan.
+fn plan_arity_cat(db: &Database, plan: &Plan, depth: usize) -> Option<usize> {
+    if depth > crate::exec::MAX_VIEW_DEPTH {
+        return None;
+    }
+    match plan {
+        Plan::Scan { table } => {
+            if let Ok(t) = db.table(table) {
+                Some(t.schema().arity())
+            } else {
+                Some(db.view(table)?.schema.arity())
+            }
+        }
+        Plan::IndexLookup { table, .. } => Some(db.table(table).ok()?.schema().arity()),
+        Plan::Values { schema, .. } => Some(schema.arity()),
+        Plan::Project { exprs, .. } => Some(exprs.len()),
+        Plan::Filter { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => plan_arity_cat(db, input, depth),
+        Plan::Union { inputs, .. } => plan_arity_cat(db, inputs.first()?, depth),
+        Plan::Join { left, right, .. } => {
+            Some(plan_arity_cat(db, left, depth)? + plan_arity_cat(db, right, depth)?)
+        }
+        Plan::Aggregate { group_by, aggs, .. } => Some(group_by.len() + aggs.len()),
+    }
+}
+
+/// Catalog-aware output column names, replicating the executors' naming
+/// (including the join `_N` duplicate disambiguation) so a reordering
+/// projection can restore the exact original schema.
+fn plan_names_cat(db: &Database, plan: &Plan, depth: usize) -> Option<Vec<String>> {
+    if depth > crate::exec::MAX_VIEW_DEPTH {
+        return None;
+    }
+    let schema_names =
+        |s: &proql_common::Schema| s.attributes().iter().map(|a| a.name.clone()).collect();
+    match plan {
+        Plan::Scan { table } => {
+            if let Ok(t) = db.table(table) {
+                Some(schema_names(t.schema()))
+            } else {
+                Some(schema_names(&db.view(table)?.schema))
+            }
+        }
+        Plan::IndexLookup { table, .. } => Some(schema_names(db.table(table).ok()?.schema())),
+        Plan::Values { schema, .. } => Some(schema_names(schema)),
+        Plan::Project { names, .. } => Some(names.clone()),
+        Plan::Filter { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => plan_names_cat(db, input, depth),
+        Plan::Union { inputs, .. } => plan_names_cat(db, inputs.first()?, depth),
+        Plan::Join { left, right, .. } => {
+            let l = plan_names_cat(db, left, depth)?;
+            let r = plan_names_cat(db, right, depth)?;
+            Some(crate::exec::join_names(&l, &r))
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let inner = plan_names_cat(db, input, depth)?;
+            let mut names: Vec<String> = group_by
+                .iter()
+                .map(|&c| inner.get(c).cloned().unwrap_or_else(|| format!("c{c}")))
+                .collect();
+            names.extend(aggs.iter().map(|a| a.name.clone()));
+            Some(names)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: cost-based join reordering
+// ---------------------------------------------------------------------------
+
+/// Reorder maximal inner-equi-join chains by estimated cardinality. The
+/// rewrite preserves the output **multiset and schema** exactly (a final
+/// projection restores the original column order); only row order within
+/// the multiset may change, so subtrees under order-sensitive operators
+/// (`Sort`, `Limit`) are left untouched.
+fn reorder_joins(db: &Database, plan: Plan) -> Plan {
+    match plan {
+        // Order-sensitive operators freeze their whole subtree: reordering
+        // below them could change which rows a LIMIT keeps or how ties
+        // settle under a stable sort.
+        frozen @ (Plan::Sort { .. } | Plan::Limit { .. }) => frozen,
+        Plan::Join {
+            join_type: JoinType::Inner,
+            ..
+        } => match try_reorder_chain(db, plan) {
+            Ok(reordered) => reordered,
+            Err(original) => descend(db, original),
+        },
+        other => descend(db, other),
+    }
+}
+
+/// Apply [`reorder_joins`] to every child.
+fn descend(db: &Database, plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(reorder_joins(db, *input)),
+            predicate,
+        },
+        Plan::Project {
+            input,
+            exprs,
+            names,
+        } => Plan::Project {
+            input: Box::new(reorder_joins(db, *input)),
+            exprs,
+            names,
+        },
+        Plan::Join {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            build,
+        } => Plan::Join {
+            left: Box::new(reorder_joins(db, *left)),
+            right: Box::new(reorder_joins(db, *right)),
+            join_type,
+            left_keys,
+            right_keys,
+            build,
+        },
+        Plan::Union { inputs, distinct } => Plan::Union {
+            inputs: inputs.into_iter().map(|p| reorder_joins(db, p)).collect(),
+            distinct,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(reorder_joins(db, *input)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => Plan::Aggregate {
+            input: Box::new(reorder_joins(db, *input)),
+            group_by,
+            aggs,
+            having,
+        },
+        leaf => leaf,
+    }
+}
+
+/// A flattened inner-equi-join chain.
+struct Chain {
+    /// The chain's base relations (non-inner-join subplans), in original
+    /// left-to-right order.
+    leaves: Vec<Plan>,
+    /// Global output-column offset of each leaf.
+    offsets: Vec<usize>,
+    /// Arity of each leaf.
+    arities: Vec<usize>,
+    /// Equality predicates as pairs of global columns (left subtree col,
+    /// right subtree col).
+    preds: Vec<(usize, usize)>,
+    /// Total output arity.
+    total: usize,
+    /// True while every flattened join node had a leaf right child. Only
+    /// a left-deep original is structurally reproduced by an identity
+    /// left-deep rebuild; right-deep/bushy originals need the restoring
+    /// projection even on bail-out, because `join_names` duplicate
+    /// disambiguation is not associative.
+    left_deep: bool,
+}
+
+impl Chain {
+    /// The leaf owning global column `g`.
+    fn leaf_of(&self, g: usize) -> usize {
+        match self.offsets.binary_search(&g) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+/// Attempt to flatten and reorder the inner-join chain rooted at `plan`.
+/// Returns the original plan on any bail-out (underivable arity, fewer
+/// than three leaves, no connecting predicate).
+fn try_reorder_chain(db: &Database, plan: Plan) -> Result<Plan, Plan> {
+    let names = match plan_names_cat(db, &plan, 0) {
+        Some(n) => n,
+        None => return Err(plan),
+    };
+    let mut chain = Chain {
+        leaves: Vec::new(),
+        offsets: Vec::new(),
+        arities: Vec::new(),
+        preds: Vec::new(),
+        total: 0,
+        left_deep: true,
+    };
+    // Flattening consumes the plan; on failure, rebuild is impossible, so
+    // flatten a borrowed view first and only then consume.
+    if !flatten_ok(db, &plan) {
+        return Err(plan);
+    }
+    flatten(db, plan, &mut chain);
+    if chain.leaves.len() < 3 || chain.preds.is_empty() {
+        return Err(rebuild_original(chain, names));
+    }
+
+    // Greedy ordering: start from the connected pair with the smallest
+    // estimated join output, then repeatedly add the connected leaf whose
+    // join with the accumulated set is estimated cheapest.
+    let leaf_est: Vec<f64> = chain.leaves.iter().map(|l| est(db, l, 0)).collect();
+    let pair_est = |i: usize, j: usize| -> Option<f64> {
+        let keys = connecting_keys(&chain, &[i], j);
+        if keys.is_empty() {
+            return None;
+        }
+        let mut out = leaf_est[i] * leaf_est[j];
+        for &(gi, gj) in &keys {
+            let ni = leaf_global_ndv(db, &chain, gi).unwrap_or(leaf_est[i]);
+            let nj = leaf_global_ndv(db, &chain, gj).unwrap_or(leaf_est[j]);
+            out /= ni.max(nj).max(1.0);
+        }
+        Some(out)
+    };
+    let n = chain.leaves.len();
+    let mut best: Option<(f64, usize, usize)> = None;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if let Some(e) = pair_est(i, j) {
+                let cand = (e, i, j);
+                if best.map(|b| cand.0 < b.0).unwrap_or(true) {
+                    best = Some(cand);
+                }
+            }
+        }
+    }
+    let Some((_, first, second)) = best else {
+        return Err(rebuild_original(chain, names));
+    };
+    let mut order = vec![first, second];
+    let mut placed = vec![false; n];
+    placed[first] = true;
+    placed[second] = true;
+    let mut set_est = pair_est(first, second).unwrap_or(leaf_est[first] * leaf_est[second]);
+    while order.len() < n {
+        let mut pick: Option<(f64, usize, bool)> = None; // (est, leaf, connected)
+        for j in 0..n {
+            if placed[j] {
+                continue;
+            }
+            let keys = connecting_keys(&chain, &order, j);
+            let connected = !keys.is_empty();
+            let mut e = set_est * leaf_est[j];
+            for &(gs, gj) in &keys {
+                let ns = leaf_global_ndv(db, &chain, gs).unwrap_or(set_est);
+                let nj = leaf_global_ndv(db, &chain, gj).unwrap_or(leaf_est[j]);
+                e /= ns.max(nj).max(1.0);
+            }
+            let better = match pick {
+                None => true,
+                // Connected candidates always beat cross products.
+                Some((pe, _, pc)) => (connected && !pc) || (connected == pc && e < pe),
+            };
+            if better {
+                pick = Some((e, j, connected));
+            }
+        }
+        let (e, j, _) = pick.expect("an unplaced leaf exists");
+        set_est = e;
+        order.push(j);
+        placed[j] = true;
+    }
+
+    // Identity order: the original plan is already the greedy choice.
+    if order.iter().enumerate().all(|(k, &l)| k == l) {
+        return Err(rebuild_original(chain, names));
+    }
+
+    Ok(build_ordered(chain, names, &order))
+}
+
+/// True when every node of the chain has derivable arity (flattening will
+/// succeed without consuming the plan first).
+fn flatten_ok(db: &Database, plan: &Plan) -> bool {
+    match plan {
+        Plan::Join {
+            join_type: JoinType::Inner,
+            left,
+            right,
+            ..
+        } => flatten_ok(db, left) && flatten_ok(db, right),
+        leaf => plan_arity_cat(db, leaf, 0).is_some(),
+    }
+}
+
+/// Flatten `plan` into `chain`, assigning global column offsets in-order.
+/// Non-inner-join nodes become leaves (recursively reordered themselves).
+fn flatten(db: &Database, plan: Plan, chain: &mut Chain) {
+    match plan {
+        Plan::Join {
+            join_type: JoinType::Inner,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            if matches!(
+                right.as_ref(),
+                Plan::Join {
+                    join_type: JoinType::Inner,
+                    ..
+                }
+            ) {
+                chain.left_deep = false;
+            }
+            let left_base = chain.total;
+            flatten(db, *left, chain);
+            let right_base = chain.total;
+            flatten(db, *right, chain);
+            for (lk, rk) in left_keys.into_iter().zip(right_keys) {
+                chain.preds.push((left_base + lk, right_base + rk));
+            }
+        }
+        leaf => {
+            let arity = plan_arity_cat(db, &leaf, 0).expect("checked by flatten_ok");
+            chain.offsets.push(chain.total);
+            chain.arities.push(arity);
+            chain.leaves.push(reorder_joins(db, leaf));
+            chain.total += arity;
+        }
+    }
+}
+
+/// Key pairs `(global col in placed set, global col in leaf j)` for the
+/// predicates connecting `j` to the placed leaves.
+fn connecting_keys(chain: &Chain, placed: &[usize], j: usize) -> Vec<(usize, usize)> {
+    let mut keys = Vec::new();
+    for &(a, b) in &chain.preds {
+        let (la, lb) = (chain.leaf_of(a), chain.leaf_of(b));
+        if la == j && placed.contains(&lb) {
+            keys.push((b, a));
+        } else if lb == j && placed.contains(&la) {
+            keys.push((a, b));
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// NDV of the leaf-local column behind global column `g`.
+fn leaf_global_ndv(db: &Database, chain: &Chain, g: usize) -> Option<f64> {
+    let l = chain.leaf_of(g);
+    col_ndv(db, &chain.leaves[l], g - chain.offsets[l], 0)
+}
+
+/// Rebuild the chain in its original order (used on bail-out after the
+/// plan was already consumed by flattening). A left-deep original is
+/// reproduced structurally (no projection needed); a right-deep/bushy
+/// original gets the restoring projection, because a left-deep identity
+/// rebuild would re-associate the joins and `join_names` duplicate
+/// disambiguation is not associative.
+fn rebuild_original(chain: Chain, names: Vec<String>) -> Plan {
+    let n = chain.leaves.len();
+    let order: Vec<usize> = (0..n).collect();
+    let skip_projection = chain.left_deep;
+    build_ordered_inner(chain, names, &order, skip_projection)
+}
+
+/// Rebuild the chain joining leaves in `order`, then restore the original
+/// column order (and executor-visible names) with a projection.
+fn build_ordered(chain: Chain, names: Vec<String>, order: &[usize]) -> Plan {
+    build_ordered_inner(chain, names, order, false)
+}
+
+fn build_ordered_inner(
+    mut chain: Chain,
+    names: Vec<String>,
+    order: &[usize],
+    skip_projection: bool,
+) -> Plan {
+    let total = chain.total;
+    // colmap[g] = current output position of original global column g.
+    let mut colmap: Vec<Option<usize>> = vec![None; total];
+    let mut placed: Vec<usize> = Vec::with_capacity(order.len());
+    let mut acc: Option<Plan> = None;
+    let mut acc_arity = 0usize;
+    let mut leaf_slots: Vec<Option<Plan>> = chain.leaves.drain(..).map(Some).collect();
+    for &l in order {
+        let leaf = leaf_slots[l].take().expect("each leaf placed once");
+        let (off, ar) = (chain.offsets[l], chain.arities[l]);
+        match acc.take() {
+            None => {
+                for (g, slot) in colmap.iter_mut().enumerate().skip(off).take(ar) {
+                    *slot = Some(g - off);
+                }
+                acc = Some(leaf);
+                acc_arity = ar;
+            }
+            Some(a) => {
+                let mut left_keys = Vec::new();
+                let mut right_keys = Vec::new();
+                for (gs, gj) in connecting_keys(&chain, &placed, l) {
+                    left_keys.push(colmap[gs].expect("placed column has a position"));
+                    right_keys.push(gj - off);
+                }
+                for (g, slot) in colmap.iter_mut().enumerate().skip(off).take(ar) {
+                    *slot = Some(acc_arity + (g - off));
+                }
+                acc = Some(Plan::Join {
+                    left: Box::new(a),
+                    right: Box::new(leaf),
+                    join_type: JoinType::Inner,
+                    left_keys,
+                    right_keys,
+                    build: BuildSide::Auto,
+                });
+                acc_arity += ar;
+            }
+        }
+        placed.push(l);
+    }
+    let joined = acc.expect("chain has at least one leaf");
+    if skip_projection {
+        // Left-deep identity rebuild: positions are already 0..total and
+        // the structure matches the original; no projection needed.
+        return joined;
+    }
+    let exprs: Vec<Expr> = (0..total)
+        .map(|g| Expr::Col(colmap[g].expect("every column placed")))
+        .collect();
+    Plan::Project {
+        input: Box::new(joined),
+        exprs,
+        names,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: build-side selection
+// ---------------------------------------------------------------------------
 
 /// Set each hash join's build side to its (estimated) smaller input.
 fn pick_build_sides(db: &Database, plan: Plan) -> Plan {
@@ -156,6 +883,10 @@ fn pick_build_sides(db: &Database, plan: Plan) -> Plan {
         leaf => leaf,
     }
 }
+
+// ---------------------------------------------------------------------------
+// Pass: filter pushdown
+// ---------------------------------------------------------------------------
 
 /// Split a predicate into conjuncts.
 fn conjuncts(pred: Expr) -> Vec<Expr> {
@@ -362,6 +1093,10 @@ fn plan_arity_hint(plan: &Plan) -> Option<usize> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pass: index conversion
+// ---------------------------------------------------------------------------
+
 /// Rewrite `Filter(Scan)` into `IndexLookup` when every equality-bound
 /// column set could be served by an index (the executor falls back to a
 /// filtered scan when no physical index exists, so this is always safe).
@@ -471,6 +1206,7 @@ mod tests {
     use crate::database::Database;
     use crate::exec::execute;
     use crate::expr::BinOp;
+    use crate::index::IndexKind;
     use proql_common::{tup, Schema, ValueType};
 
     fn db() -> Database {
@@ -623,5 +1359,217 @@ mod tests {
         let opt = optimize_with(&db, plan);
         assert!(matches!(opt, Plan::Join { .. }));
         assert_eq!(estimate_rows(&db, &Plan::scan("V")), 0);
+    }
+
+    #[test]
+    fn index_lookup_estimate_uses_distinct_keys() {
+        // Regression for the fixed len/8 guess: a lookup on a 2-distinct-
+        // value column of a 10-row table returns ~5 rows, not 10/8 = 2.
+        let mut db = Database::new();
+        db.create_table(
+            Schema::build("S", &[("id", ValueType::Int), ("g", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        for i in 0..10 {
+            db.insert("S", tup![i, i % 2]).unwrap();
+        }
+        db.table_mut("S")
+            .unwrap()
+            .create_index("by_g", vec![1], IndexKind::Hash)
+            .unwrap();
+        let lookup = Plan::IndexLookup {
+            table: "S".into(),
+            columns: vec![1],
+            key: vec![Value::Int(0)],
+            residual: None,
+        };
+        assert_eq!(estimate_rows(&db, &lookup), 5);
+        // And on the (unique) primary column, ~1 row.
+        let pk_lookup = Plan::IndexLookup {
+            table: "S".into(),
+            columns: vec![0],
+            key: vec![Value::Int(3)],
+            residual: None,
+        };
+        // No physical index on column 0: the column-NDV fallback applies.
+        assert_eq!(estimate_rows(&db, &pk_lookup), 1);
+    }
+
+    #[test]
+    fn filter_estimates_use_column_stats() {
+        let db = db(); // T: 10 rows, col 0 = 0..10 (NDV 10), col 1 = 0..90
+                       // Equality on a unique column: ~1 row.
+        let eq = Plan::scan("T").filter(Expr::col(0).eq(Expr::lit(3)));
+        assert_eq!(estimate_rows(&db, &eq), 1);
+        // Range: b < 45 covers half the 0..=90 domain.
+        let half = Plan::scan("T").filter(Expr::cmp(BinOp::Lt, Expr::col(1), Expr::lit(45)));
+        assert_eq!(estimate_rows(&db, &half), 5);
+    }
+
+    #[test]
+    fn join_estimate_uses_key_ndv() {
+        // FK-shaped join: Child has 100 rows over 10 parents.
+        let mut db = Database::new();
+        db.create_table(Schema::build("Parent", &[("id", ValueType::Int)], &[0]).unwrap())
+            .unwrap();
+        db.create_table(
+            Schema::build(
+                "Child",
+                &[("id", ValueType::Int), ("pid", ValueType::Int)],
+                &[0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..10 {
+            db.insert("Parent", tup![i]).unwrap();
+        }
+        for i in 0..100 {
+            db.insert("Child", tup![i, i % 10]).unwrap();
+        }
+        let j = Plan::scan("Child").join(Plan::scan("Parent"), vec![1], vec![0]);
+        // 100 * 10 / max(10, 10) = 100: the FK join keeps the child side.
+        assert_eq!(estimate_rows(&db, &j), 100);
+    }
+
+    #[test]
+    fn reorder_picks_selective_leaf_first_and_preserves_results() {
+        // big ⋈ big first is quadratic; the tiny filtered leaf should be
+        // joined early by the cost-based pass.
+        let mut db = Database::new();
+        db.create_table(
+            Schema::build("A", &[("x", ValueType::Int), ("y", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::build("B", &[("y", ValueType::Int), ("z", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::build("C", &[("z", ValueType::Int), ("w", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        for i in 0..60 {
+            db.insert("A", tup![i, i % 3]).unwrap();
+            db.insert("B", tup![i, i % 4]).unwrap();
+        }
+        for i in 0..4 {
+            db.insert("C", tup![i, i]).unwrap();
+        }
+        // ((A ⋈ B on A.y=B.y) ⋈ C on B.z=C.z) filtered to one C row.
+        let plan = Plan::scan("A")
+            .join(Plan::scan("B"), vec![1], vec![0])
+            .join(
+                Plan::scan("C").filter(Expr::col(0).eq(Expr::lit(2))),
+                vec![3],
+                vec![0],
+            );
+        let opt = optimize_with(&db, plan.clone());
+        // The reordering pass must have restructured the chain (a
+        // restoring projection appears at the top).
+        assert!(
+            matches!(opt, Plan::Project { .. }),
+            "expected reordered chain, got {opt:?}"
+        );
+        let want = execute(&db, &plan).unwrap();
+        let got = execute(&db, &opt).unwrap();
+        assert_eq!(want.names, got.names);
+        assert_eq!(want.sorted_rows(), got.sorted_rows());
+        // And the reordered chain is estimated cheaper at the top.
+        assert!(estimate_rows(&db, &opt) <= estimate_rows(&db, &plan));
+    }
+
+    #[test]
+    fn reorder_skips_order_sensitive_subtrees() {
+        let db = db();
+        let chain = Plan::scan("T")
+            .join(Plan::scan("T"), vec![0], vec![0])
+            .join(Plan::scan("T"), vec![0], vec![0]);
+        let plan = Plan::Limit {
+            input: Box::new(chain.clone()),
+            n: 3,
+        };
+        let opt = optimize_with_config(
+            &db,
+            plan.clone(),
+            &OptimizerConfig {
+                passes: vec![Pass::ReorderJoins],
+            },
+        );
+        // The subtree under LIMIT is untouched.
+        assert_eq!(opt, plan);
+    }
+
+    #[test]
+    fn right_deep_chain_bailout_preserves_schema_names() {
+        // Regression: `join_names` duplicate disambiguation is not
+        // associative, so a right-deep original (`A ⋈ (B ⋈ C)`) rebuilt
+        // left-deep on the bail-out path must keep the restoring
+        // projection — the greedy lands on the identity order here
+        // (all leaves the same size), which is exactly that path.
+        let db = db();
+        let plan = Plan::scan("T").join(
+            Plan::scan("T").join(Plan::scan("T"), vec![0], vec![0]),
+            vec![0],
+            vec![0],
+        );
+        let want = execute(&db, &plan).unwrap();
+        let opt = optimize_with_config(
+            &db,
+            plan,
+            &OptimizerConfig {
+                passes: vec![Pass::ReorderJoins],
+            },
+        );
+        let got = execute(&db, &opt).unwrap();
+        assert_eq!(want.names, got.names, "schema names must be preserved");
+        assert_eq!(want.sorted_rows(), got.sorted_rows());
+    }
+
+    #[test]
+    fn reorder_bails_without_connecting_predicates() {
+        let db = db();
+        // Pure cross products: nothing to reorder by.
+        let plan = Plan::scan("T").join(Plan::scan("T"), vec![], vec![]).join(
+            Plan::scan("T"),
+            vec![],
+            vec![],
+        );
+        let opt = optimize_with_config(
+            &db,
+            plan.clone(),
+            &OptimizerConfig {
+                passes: vec![Pass::ReorderJoins],
+            },
+        );
+        assert_eq!(
+            execute(&db, &opt).unwrap().sorted_rows(),
+            execute(&db, &plan).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn pass_ablation_configs_agree_on_results() {
+        let db = db();
+        let plan = Plan::scan("T")
+            .join(Plan::scan("T"), vec![0], vec![0])
+            .join(Plan::scan("T"), vec![1], vec![0])
+            .filter(Expr::cmp(BinOp::Le, Expr::col(0), Expr::lit(6)));
+        let want = execute(&db, &plan).unwrap().sorted_rows();
+        for cfg in [
+            OptimizerConfig::default(),
+            OptimizerConfig::without(Pass::ReorderJoins),
+            OptimizerConfig::without(Pass::PushFilters),
+            OptimizerConfig::without(Pass::IndexScans),
+            OptimizerConfig::without(Pass::PickBuildSides),
+            OptimizerConfig { passes: vec![] },
+        ] {
+            let opt = optimize_with_config(&db, plan.clone(), &cfg);
+            assert_eq!(
+                execute(&db, &opt).unwrap().sorted_rows(),
+                want,
+                "cfg {cfg:?}"
+            );
+        }
     }
 }

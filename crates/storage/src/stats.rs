@@ -1,0 +1,285 @@
+//! Incrementally-maintained table statistics for the cost-based optimizer.
+//!
+//! The paper delegates query optimization to the backing DBMS; our embedded
+//! engine has to bring its own statistics. Every [`crate::table::Table`]
+//! maintains a [`TableStats`]: the live row count plus, per column, the
+//! number of distinct values and the min/max — updated **incrementally** on
+//! every insert and delete, so the optimizer never scans data to estimate
+//! cardinalities. Distinct values are tracked exactly (a `BTreeMap` of
+//! value → live count), which also yields min/max for range-selectivity
+//! interpolation.
+//!
+//! Plan caches compare statistics across system versions through
+//! [`TableStats::fingerprint`]: a **bucketed** digest (log₂ of row count
+//! and per-column NDV) that stays stable under small mutations, so a
+//! prepared plan survives point writes and is re-optimized only when the
+//! relevant tables change by enough to move a cost estimate.
+
+use proql_common::{Tuple, Value};
+use std::collections::BTreeMap;
+
+/// Distinct-value and min/max statistics of one column.
+///
+/// `NULL`s are excluded from the distinct map (and from min/max) and
+/// counted separately, mirroring SQL semantics where `NULL` never joins
+/// or compares.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    counts: BTreeMap<Value, u32>,
+    nulls: usize,
+}
+
+impl ColumnStats {
+    /// Number of distinct non-NULL values currently live.
+    pub fn ndv(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of live NULLs.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    /// Smallest live non-NULL value.
+    pub fn min(&self) -> Option<&Value> {
+        self.counts.keys().next()
+    }
+
+    /// Largest live non-NULL value.
+    pub fn max(&self) -> Option<&Value> {
+        self.counts.keys().next_back()
+    }
+
+    fn add(&mut self, v: &Value) {
+        if v.is_null() {
+            self.nulls += 1;
+        } else {
+            *self.counts.entry(v.clone()).or_insert(0) += 1;
+        }
+    }
+
+    fn remove(&mut self, v: &Value) {
+        if v.is_null() {
+            self.nulls = self.nulls.saturating_sub(1);
+        } else if let Some(c) = self.counts.get_mut(v) {
+            if *c <= 1 {
+                self.counts.remove(v);
+            } else {
+                *c -= 1;
+            }
+        }
+    }
+
+    /// Estimated fraction of rows whose value is `< v` (uniformity within
+    /// `[min, max]`). `None` when the column is empty or non-numeric.
+    pub fn fraction_below(&self, v: &Value) -> Option<f64> {
+        let lo = numeric(self.min()?)?;
+        let hi = numeric(self.max()?)?;
+        let x = numeric(v)?;
+        if hi <= lo {
+            // Single-point domain: everything sits at `lo`.
+            return Some(if x > lo { 1.0 } else { 0.0 });
+        }
+        Some(((x - lo) / (hi - lo)).clamp(0.0, 1.0))
+    }
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Statistics of one table: live row count plus per-column [`ColumnStats`].
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    rows: usize,
+    columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Empty statistics for a table of the given arity.
+    pub fn new(arity: usize) -> Self {
+        TableStats {
+            rows: 0,
+            columns: vec![ColumnStats::default(); arity],
+        }
+    }
+
+    /// Live rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Statistics of column `i`.
+    pub fn column(&self, i: usize) -> Option<&ColumnStats> {
+        self.columns.get(i)
+    }
+
+    pub(crate) fn add_row(&mut self, t: &Tuple) {
+        self.rows += 1;
+        for (c, v) in self.columns.iter_mut().zip(t.values()) {
+            c.add(v);
+        }
+    }
+
+    pub(crate) fn remove_row(&mut self, t: &Tuple) {
+        self.rows = self.rows.saturating_sub(1);
+        for (c, v) in self.columns.iter_mut().zip(t.values()) {
+            c.remove(v);
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.rows = 0;
+        for c in &mut self.columns {
+            c.counts.clear();
+            c.nulls = 0;
+        }
+    }
+
+    /// Bucketed digest of these statistics: log₂ buckets of the row count
+    /// and of each column's NDV. Point inserts/deletes rarely change it;
+    /// order-of-magnitude growth always does — exactly the granularity at
+    /// which cached plans should be re-optimized.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.eat_u64(bucket(self.rows));
+        for c in &self.columns {
+            h.eat_u64(bucket(c.ndv()));
+        }
+        h.finish()
+    }
+}
+
+/// log₂ bucket: 0 for 0, else floor(log₂(n)) + 1.
+fn bucket(n: usize) -> u64 {
+    (usize::BITS - n.leading_zeros()) as u64
+}
+
+/// Fingerprint of the statistics the optimizer reads for `relations`
+/// against `db`: relation names plus each base table's
+/// [`TableStats::fingerprint`]. Names that are views (or missing) hash by
+/// name only — their estimates derive from the base tables, which callers
+/// include by passing an expanded read set.
+pub fn db_fingerprint<'a>(
+    db: &crate::database::Database,
+    relations: impl IntoIterator<Item = &'a str>,
+) -> u64 {
+    let mut h = Fnv::new();
+    for rel in relations {
+        h.eat_str(rel);
+        if let Ok(t) = db.table(rel) {
+            h.eat_u64(t.stats().fingerprint());
+        }
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a hasher (the workspace has no external hash crates).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self.eat_u64(0x1f);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+
+    #[test]
+    fn add_remove_tracks_ndv_and_minmax() {
+        let mut s = TableStats::new(2);
+        s.add_row(&tup![1, "a"]);
+        s.add_row(&tup![2, "a"]);
+        s.add_row(&tup![2, "b"]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.column(0).unwrap().ndv(), 2);
+        assert_eq!(s.column(1).unwrap().ndv(), 2);
+        assert_eq!(s.column(0).unwrap().min(), Some(&Value::Int(1)));
+        assert_eq!(s.column(0).unwrap().max(), Some(&Value::Int(2)));
+        s.remove_row(&tup![2, "a"]);
+        assert_eq!(s.rows(), 2);
+        // One live 2 remains, so NDV stays 2 on column 0 …
+        assert_eq!(s.column(0).unwrap().ndv(), 2);
+        s.remove_row(&tup![2, "b"]);
+        // … and drops once the last 2 is gone.
+        assert_eq!(s.column(0).unwrap().ndv(), 1);
+        assert_eq!(s.column(0).unwrap().max(), Some(&Value::Int(1)));
+        assert_eq!(s.column(1).unwrap().ndv(), 1);
+    }
+
+    #[test]
+    fn nulls_are_counted_separately() {
+        let mut s = TableStats::new(1);
+        s.add_row(&Tuple::new(vec![Value::Null]));
+        s.add_row(&tup![5]);
+        let c = s.column(0).unwrap();
+        assert_eq!(c.ndv(), 1);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.min(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn fraction_below_interpolates() {
+        let mut s = TableStats::new(1);
+        for i in 0..=10 {
+            s.add_row(&tup![i]);
+        }
+        let c = s.column(0).unwrap();
+        assert_eq!(c.fraction_below(&Value::Int(5)), Some(0.5));
+        assert_eq!(c.fraction_below(&Value::Int(-3)), Some(0.0));
+        assert_eq!(c.fraction_below(&Value::Int(99)), Some(1.0));
+        assert_eq!(c.fraction_below(&Value::str("x")), None);
+    }
+
+    #[test]
+    fn fingerprint_is_bucketed() {
+        let mut s = TableStats::new(1);
+        for i in 0..100 {
+            s.add_row(&tup![i]);
+        }
+        let fp = s.fingerprint();
+        // A point delete stays within the log2 bucket.
+        s.remove_row(&tup![0]);
+        assert_eq!(s.fingerprint(), fp);
+        // Doubling the table moves the bucket.
+        for i in 100..300 {
+            s.add_row(&tup![i]);
+        }
+        assert_ne!(s.fingerprint(), fp);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = TableStats::new(1);
+        s.add_row(&tup![1]);
+        s.clear();
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.column(0).unwrap().ndv(), 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! Tables: schema + rows + primary-key map + secondary indexes.
 
 use crate::index::{Index, IndexKind};
+use crate::stats::TableStats;
 use proql_common::{Error, Result, Schema, Tuple};
 use std::collections::HashMap;
 
@@ -20,11 +21,14 @@ pub struct Table {
     live: Vec<bool>,
     indexes: Vec<Index>,
     tombstones: usize,
+    /// Optimizer statistics, maintained incrementally on insert/delete.
+    stats: TableStats,
 }
 
 impl Table {
     /// Create an empty table.
     pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
         Table {
             schema,
             rows: Vec::new(),
@@ -32,12 +36,19 @@ impl Table {
             live: Vec::new(),
             indexes: Vec::new(),
             tombstones: 0,
+            stats: TableStats::new(arity),
         }
     }
 
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Optimizer statistics over the live rows: row count plus per-column
+    /// NDV and min/max, kept exact by incremental maintenance.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
     }
 
     /// Number of live rows.
@@ -63,6 +74,7 @@ impl Table {
             ix.insert(&tuple, pos);
         }
         self.pk.insert(key, pos);
+        self.stats.add_row(&tuple);
         self.rows.push(tuple);
         self.live.push(true);
         Ok(true)
@@ -98,6 +110,7 @@ impl Table {
         self.live[pos] = false;
         self.tombstones += 1;
         let removed = self.rows[pos].clone();
+        self.stats.remove_row(&removed);
         if self.tombstones * 2 > self.rows.len() {
             self.compact();
         }
@@ -191,6 +204,7 @@ impl Table {
         self.pk.clear();
         self.live.clear();
         self.tombstones = 0;
+        self.stats.clear();
         for ix in &mut self.indexes {
             ix.rebuild(&[]);
         }
@@ -306,6 +320,34 @@ mod tests {
         t.create_index("i", vec![1, 0], IndexKind::Hash).unwrap();
         assert!(t.find_index(&[0, 1]).is_some());
         assert!(t.find_index(&[0]).is_none());
+    }
+
+    #[test]
+    fn stats_follow_inserts_and_deletes() {
+        let mut t = table();
+        t.insert(tup![1, "a", true]).unwrap();
+        t.insert(tup![2, "a", false]).unwrap();
+        t.insert(tup![3, "b", true]).unwrap();
+        let s = t.stats();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.column(0).unwrap().ndv(), 3);
+        assert_eq!(s.column(1).unwrap().ndv(), 2);
+        t.delete_by_key(&tup![3, "b"]);
+        let s = t.stats();
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.column(1).unwrap().ndv(), 1);
+        // Compaction must not disturb the incrementally-maintained stats.
+        for i in 10..20 {
+            t.insert(tup![i, "x", true]).unwrap();
+        }
+        for i in 10..20 {
+            t.delete_by_key(&tup![i, "x"]);
+        }
+        assert_eq!(t.stats().rows(), t.len());
+        assert_eq!(t.stats().column(1).unwrap().ndv(), 1);
+        t.truncate();
+        assert_eq!(t.stats().rows(), 0);
+        assert_eq!(t.stats().column(0).unwrap().ndv(), 0);
     }
 
     #[test]

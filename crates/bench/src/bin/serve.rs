@@ -20,7 +20,7 @@
 //! CI catches invalidation regressions that silently evict everything.
 
 use proql::engine::EngineOptions;
-use proql_bench::{banner, json_output, scaled};
+use proql_bench::{banner, json_output, percentile, scaled};
 use proql_cdss::topology::{build_system_with_island, CdssConfig, Topology};
 use proql_service::proto::{json_f64_field, json_str_field, json_u64_field};
 use proql_service::{serve, Client, ServiceCore};
@@ -60,6 +60,7 @@ fn main() {
     // Phase 1: concurrent load + unrelated writes.
     let t0 = Instant::now();
     let mut all_latencies: Vec<f64> = Vec::new();
+    let mut write_latencies: Vec<f64> = Vec::new();
     let mut island_deletes = 0usize;
     std::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -82,21 +83,23 @@ fn main() {
         }
         let writer = s.spawn(move || {
             let mut client = Client::connect(addr).expect("writer connects");
-            let mut deletes = 0usize;
+            let mut latencies = Vec::with_capacity(16);
             for k in 0..16 {
+                let t = Instant::now();
                 let resp = client
                     .request(&format!("DELETE Island {k}"))
                     .expect("delete request");
+                latencies.push(t.elapsed().as_secs_f64() * 1e3);
                 assert!(resp.starts_with("OK "), "island delete failed: {resp}");
-                deletes += 1;
                 std::thread::sleep(std::time::Duration::from_millis(5));
             }
-            deletes
+            latencies
         });
         for h in handles {
             all_latencies.extend(h.join().expect("client thread"));
         }
-        island_deletes = writer.join().expect("writer thread");
+        write_latencies = writer.join().expect("writer thread");
+        island_deletes = write_latencies.len();
     });
     let wall_s = t0.elapsed().as_secs_f64();
 
@@ -139,14 +142,17 @@ fn main() {
     let total_requests = clients * requests_per_client;
     let throughput = total_requests as f64 / wall_s;
     all_latencies.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| -> f64 {
-        if all_latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((all_latencies.len() as f64 - 1.0) * p).round() as usize;
-        all_latencies[idx]
-    };
-    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let (p50, p95, p99) = (
+        percentile(&all_latencies, 0.50),
+        percentile(&all_latencies, 0.95),
+        percentile(&all_latencies, 0.99),
+    );
+    // Client-observed write (DELETE) latency percentiles.
+    write_latencies.sort_by(|a, b| a.total_cmp(b));
+    let (write_p50, write_p95) = (
+        percentile(&write_latencies, 0.50),
+        percentile(&write_latencies, 0.95),
+    );
     // The server's own hit-rate definition is the single source of truth.
     let hit_rate = json_f64_field(&stats_json, "cache_hit_rate").unwrap_or(0.0);
     let plan_hit_rate = json_f64_field(&stats_json, "plan_cache_hit_rate").unwrap_or(0.0);
@@ -170,6 +176,7 @@ fn main() {
         hit_rate,
         island_deletes + 2
     );
+    println!("   write latency: p50 {write_p50:.3} ms, p95 {write_p95:.3} ms");
     println!("   unrelated-write re-query: hit   (entry survived)");
     println!("   touching-write re-query:  miss  (entry evicted; prepared plan reused)");
     println!("   plan-cache hit rate: {plan_hit_rate:.3}");
@@ -180,6 +187,7 @@ fn main() {
             "{{\"fig\": \"serve\", \"clients\": {clients}, \"requests\": {total_requests}, \
              \"wall_s\": {wall_s:.6}, \"throughput_qps\": {throughput:.1}, \
              \"p50_ms\": {p50:.4}, \"p95_ms\": {p95:.4}, \"p99_ms\": {p99:.4}, \
+             \"write_p50_ms\": {write_p50:.4}, \"write_p95_ms\": {write_p95:.4}, \
              \"cache_hit_rate\": {hit_rate:.6}, \"plan_cache_hit_rate\": {plan_hit_rate:.6}, \
              \"writes\": {}, \"unrelated_write_hit\": {unrelated_write_hit}, \
              \"touching_write_miss\": {touching_write_miss}, \

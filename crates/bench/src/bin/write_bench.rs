@@ -1,0 +1,279 @@
+//! `write_bench` — write-publish latency and mixed read/write throughput
+//! (beyond the paper: the ROADMAP's write-heavy-traffic trajectory).
+//!
+//! Builds a large multi-family database (many independent mapping
+//! islands, so point writes touch a small fraction of the relations) and
+//! measures the **write-publish latency**: clone the system, apply a
+//! point write (local insert + exchange), wrap the result in a fresh
+//! engine, and run the first graph-strategy query after the write —
+//! exactly what the query service does per write.
+//!
+//! Two paths are compared on identical write sequences:
+//!
+//! * **baseline** — the pre-delta write path: O(database) deep clone,
+//!   full exchange bootstrap, from-scratch `ProvGraph` rebuild;
+//! * **delta** — the shared-structure write path: O(#relations) CoW
+//!   clone, incremental (seeded) exchange, adopted graph patched by the
+//!   write's `GraphDelta`.
+//!
+//! Query digests are asserted bit-identical between the paths after
+//! every write, and the delta-maintained graph digest is checked against
+//! a from-scratch rebuild. A mixed phase then drives a `ServiceCore`
+//! with concurrent readers and a point-writer, reporting read
+//! throughput and write p50/p95. `PROQL_JSON=1` emits one
+//! machine-readable line; `PROQL_MIN_WRITE_SPEEDUP=<x>` gates the run.
+
+use proql::engine::{Engine, EngineOptions, Strategy};
+use proql_bench::{banner, json_output, percentile, scaled};
+use proql_common::{tup, Schema, Tuple, Value, ValueType};
+use proql_provgraph::{ProvGraph, ProvenanceSystem};
+use proql_service::{result_digest, ServiceCore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Independent mapping families `In{f} → Mid{f}`, `In{f} ⋈ Mid{f} → Out{f}`
+/// (the last one materializes `P_mo{f}`); a point write into one family
+/// leaves every other family's tables untouched.
+fn build_families(families: usize, rows: usize) -> ProvenanceSystem {
+    let mut sys = ProvenanceSystem::new();
+    for f in 0..families {
+        for prefix in ["In", "Mid"] {
+            sys.add_relation_with_local(
+                Schema::build(
+                    &format!("{prefix}{f}"),
+                    &[("k", ValueType::Int), ("v", ValueType::Int)],
+                    &[0],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        sys.add_relation_with_local(
+            Schema::build(
+                &format!("Out{f}"),
+                &[
+                    ("k", ValueType::Int),
+                    ("a", ValueType::Int),
+                    ("b", ValueType::Int),
+                ],
+                &[0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sys.add_mapping_text(&format!("mm{f}: Mid{f}(k, v) :- In{f}(k, v)"))
+            .unwrap();
+        sys.add_mapping_text(&format!(
+            "mo{f}: Out{f}(k, a, b) :- In{f}(k, a), Mid{f}(k, b)"
+        ))
+        .unwrap();
+    }
+    for f in 0..families {
+        for k in 0..rows {
+            sys.insert_local(
+                &format!("In{f}"),
+                Tuple::new(vec![Value::Int(k as i64), Value::Int((k * 3 + f) as i64)]),
+            )
+            .unwrap();
+        }
+    }
+    sys.run_exchange().unwrap();
+    sys
+}
+
+fn graph_options() -> EngineOptions {
+    EngineOptions {
+        strategy: Strategy::Graph,
+        ..EngineOptions::default()
+    }
+}
+
+fn main() {
+    banner(
+        "write_bench: delta write path vs full-rebuild baseline",
+        "beyond the paper; ROADMAP write-heavy-traffic trajectory",
+    );
+
+    let families = scaled(24, 48);
+    let rows = scaled(150, 1000);
+    let writes = scaled(24, 120);
+    let sys = build_families(families, rows);
+    let total_rows = sys.db.total_rows();
+    println!(
+        "   {} families × {} rows: {} total rows, {} provenance rows",
+        families,
+        rows,
+        total_rows,
+        sys.provenance_rows()
+    );
+
+    // The query the service would run first after each write (graph
+    // strategy forces the provenance graph to be current).
+    let query_for = |f: usize| format!("FOR [Out{f} $x] INCLUDE PATH [$x] <-+ [] RETURN $x");
+
+    // ---- Baseline: deep clone + full exchange + from-scratch rebuild.
+    let mut baseline_ms: Vec<f64> = Vec::with_capacity(writes);
+    let mut baseline_digests: Vec<u64> = Vec::with_capacity(writes);
+    let mut engine = Engine::with_options(sys.clone(), graph_options());
+    engine.graph().expect("warm graph");
+    for w in 0..writes {
+        let f = w % families;
+        let k = (rows + w) as i64;
+        let t0 = Instant::now();
+        let mut next = engine.sys.deep_clone();
+        // Break the delta chain + fixpoint marker: the old write path had
+        // neither, so it paid the full bootstrap and the full rebuild.
+        next.bump_version();
+        next.insert_local(&format!("In{f}"), tup![k, k * 3])
+            .unwrap();
+        next.bump_version();
+        next.run_exchange().unwrap();
+        let fresh = Engine::with_options(next, graph_options());
+        let out = fresh.query(&query_for(f)).expect("baseline query");
+        baseline_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        baseline_digests.push(result_digest(&out));
+        engine = fresh;
+    }
+
+    // ---- Delta path: CoW clone + seeded exchange + adopted graph patch.
+    let mut delta_ms: Vec<f64> = Vec::with_capacity(writes);
+    let mut engine = Engine::with_options(sys.clone(), graph_options());
+    engine.graph().expect("warm graph");
+    let mut patches = 0u64;
+    for (w, &baseline_digest) in baseline_digests.iter().enumerate() {
+        let f = w % families;
+        let k = (rows + w) as i64;
+        let t0 = Instant::now();
+        let mut next = engine.sys.clone();
+        next.insert_local(&format!("In{f}"), tup![k, k * 3])
+            .unwrap();
+        next.run_exchange().unwrap();
+        let fresh = Engine::with_options(next, graph_options());
+        fresh.adopt_graph_cache(&engine);
+        let out = fresh.query(&query_for(f)).expect("delta query");
+        delta_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            result_digest(&out),
+            baseline_digest,
+            "write {w}: delta path diverged from the full-rebuild baseline"
+        );
+        patches += fresh.graph_patch_count();
+        engine = fresh;
+    }
+    assert!(
+        patches as usize >= writes,
+        "every delta write must patch, not rebuild (patches={patches})"
+    );
+    // The delta-maintained graph is content-identical to a rebuild.
+    let digest_match = engine.graph().expect("final graph").digest()
+        == ProvGraph::from_system(&engine.sys)
+            .expect("rebuild")
+            .digest();
+    assert!(digest_match, "final graph digest must match a rebuild");
+
+    baseline_ms.sort_by(|a, b| a.total_cmp(b));
+    delta_ms.sort_by(|a, b| a.total_cmp(b));
+    let (b50, b95) = (
+        percentile(&baseline_ms, 0.5),
+        percentile(&baseline_ms, 0.95),
+    );
+    let (d50, d95) = (percentile(&delta_ms, 0.5), percentile(&delta_ms, 0.95));
+    let speedup = b50 / d50.max(1e-9);
+
+    println!();
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "path", "p50 (ms)", "p95 (ms)", "writes"
+    );
+    println!(
+        "{:>12} {:>14.3} {:>14.3} {:>10}",
+        "baseline", b50, b95, writes
+    );
+    println!("{:>12} {:>14.3} {:>14.3} {:>10}", "delta", d50, d95, writes);
+    println!("   write-publish speedup (p50): {speedup:.1}x; digests bit-identical");
+
+    // ---- Mixed read/write phase over the service: a writer applies a
+    // fixed budget of point writes while readers hammer a hot query set
+    // until the writer finishes.
+    let readers = 3usize;
+    let mixed_writes = scaled(30, 150);
+    let core = Arc::new(ServiceCore::new(sys, EngineOptions::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let mut write_ms: Vec<f64> = Vec::new();
+    let mut total_reads = 0usize;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            handles.push(s.spawn(move || {
+                let mut reads = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let f = (r * 7 + reads) % 8; // a hot subset of families
+                    core.query(&format!(
+                        "FOR [Out{f} $x] INCLUDE PATH [$x] <-+ [] RETURN $x"
+                    ))
+                    .expect("read");
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+        let writer = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut lat = Vec::with_capacity(mixed_writes);
+                for w in 0..mixed_writes {
+                    let k = 10 * rows as i64 + w as i64;
+                    let f = w % 8;
+                    let t = Instant::now();
+                    core.insert_and_exchange(&format!("In{f}"), tup![k, k])
+                        .expect("write");
+                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                stop.store(true, Ordering::Relaxed);
+                lat
+            })
+        };
+        write_ms = writer.join().expect("writer");
+        for h in handles {
+            total_reads += h.join().expect("reader");
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let qps = total_reads as f64 / wall_s;
+    write_ms.sort_by(|a, b| a.total_cmp(b));
+    let (w50, w95) = (percentile(&write_ms, 0.5), percentile(&write_ms, 0.95));
+    println!();
+    println!(
+        "   mixed phase: {qps:.0} reads/s with {} concurrent point writes \
+         (write p50 {w50:.3} ms, p95 {w95:.3} ms)",
+        write_ms.len()
+    );
+
+    if json_output() {
+        println!(
+            "{{\"fig\": \"write_bench\", \"families\": {families}, \"rows\": {rows}, \
+             \"total_rows\": {total_rows}, \"writes\": {writes}, \
+             \"baseline_p50_ms\": {b50:.4}, \"baseline_p95_ms\": {b95:.4}, \
+             \"delta_p50_ms\": {d50:.4}, \"delta_p95_ms\": {d95:.4}, \
+             \"write_speedup\": {speedup:.2}, \"digest_match\": {digest_match}, \
+             \"mixed_read_qps\": {qps:.1}, \"mixed_writes\": {}, \
+             \"mixed_write_p50_ms\": {w50:.4}, \"mixed_write_p95_ms\": {w95:.4}}}",
+            write_ms.len()
+        );
+    }
+
+    if let Ok(min) = std::env::var("PROQL_MIN_WRITE_SPEEDUP") {
+        let min: f64 = min.parse().expect("PROQL_MIN_WRITE_SPEEDUP parses");
+        assert!(
+            speedup >= min,
+            "write-publish speedup {speedup:.2}x below the \
+             PROQL_MIN_WRITE_SPEEDUP={min} gate"
+        );
+        println!("   write-speedup gate passed: {speedup:.1}x >= {min}x");
+    }
+}

@@ -83,6 +83,17 @@ pub fn json_str(s: &str) -> String {
     out
 }
 
+/// Nearest-rank percentile (`p` in 0..=1) of an **ascending-sorted**
+/// series; 0.0 when empty. Shared by the latency-reporting bench bins so
+/// they all compute percentiles the same way.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
 /// `true` when `PROQL_SCALE=full` (run the paper's original sizes).
 pub fn full_scale() -> bool {
     std::env::var("PROQL_SCALE")

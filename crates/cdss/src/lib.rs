@@ -20,5 +20,5 @@ pub mod update;
 pub mod workload;
 
 pub use topology::{build_system, target_query, CdssConfig, Topology};
-pub use update::{delete_local, remains_derivable, DeleteStats};
+pub use update::{delete_local, delete_local_with_graph, remains_derivable, DeleteStats};
 pub use workload::SwissProtLike;

@@ -4,11 +4,19 @@
 //! tuples *remain derivable* from the remaining base data — the paper's
 //! Q5, which "provenance can speed up" compared with recomputing the
 //! exchange from scratch. The implementation evaluates the derivability
-//! semiring over the provenance graph after removing the base tuple's `+`
-//! derivation, then garbage-collects underivable tuples and the
-//! provenance rows that referenced them.
+//! semiring over the provenance graph with the deleted tuple's `+`
+//! derivations **masked out** (no graph clone, no rebuild — see
+//! [`proql_semiring::Assignment::with_masked`]), then garbage-collects
+//! underivable tuples and the provenance rows that referenced them.
+//!
+//! Every row removal routes through the system's **tracked** mutation API,
+//! so a deletion seals exactly one version bump whose [`GraphDelta`]
+//! describes the whole cascade — the query service evicts caches and
+//! patches its provenance graph from that delta instead of rebuilding.
+//!
+//! [`GraphDelta`]: proql_provgraph::GraphDelta
 
-use proql_common::{Error, Result, Tuple};
+use proql_common::{DerivationId, Error, Result, Tuple};
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
 use proql_semiring::{evaluate, Annotation, Assignment, SemiringKind};
 use std::collections::{BTreeSet, HashSet};
@@ -30,83 +38,126 @@ pub struct DeleteStats {
 
 /// Delete a tuple from `relation`'s local-contribution table and
 /// garbage-collect everything that is no longer derivable.
+///
+/// Builds the provenance graph from the relational encoding first; when a
+/// current graph is already at hand (the query service's snapshot cache),
+/// use [`delete_local_with_graph`] to skip that cost entirely.
 pub fn delete_local(
     sys: &mut ProvenanceSystem,
     relation: &str,
     key: &Tuple,
 ) -> Result<DeleteStats> {
+    let graph = ProvGraph::from_system(sys)?;
+    delete_local_with_graph(sys, relation, key, &graph)
+}
+
+/// [`delete_local`] against a caller-provided provenance graph decoded at
+/// the **current** (pre-deletion) version. The graph is only read: the
+/// seed's `+` derivations are masked out of the derivability evaluation,
+/// and the graph's adjacency pinpoints the provenance rows referencing
+/// dead tuples (instead of scanning every provenance relation).
+pub fn delete_local_with_graph(
+    sys: &mut ProvenanceSystem,
+    relation: &str,
+    key: &Tuple,
+    graph: &ProvGraph,
+) -> Result<DeleteStats> {
     let local = sys
         .local_of(relation)
         .ok_or_else(|| Error::NotFound(format!("local table of {relation}")))?;
-    if sys.db.table_mut(&local)?.delete_by_key(key).is_none() {
+    if sys.db.table(&local)?.get_by_key(key).is_none() {
         return Err(Error::NotFound(format!(
             "local tuple {relation}{key} does not exist"
         )));
     }
-    // The first mutation has landed: stamp the system immediately, so
-    // version-checked caches are invalidated even if a later step errors
-    // out and leaves the cleanup partial. Exactly one bump per deletion
-    // (callers map version v0 + k to "k deletions applied").
-    sys.bump_version();
-    let mut touched: BTreeSet<String> = BTreeSet::new();
-    touched.insert(local.clone());
+    // Run the cascade, then seal whatever actually changed as ONE version
+    // bump — even when a later step errors out, so partially applied
+    // cleanup still invalidates version-checked caches.
+    let out = delete_cascade(sys, &local, key, graph);
+    sys.commit_tracked_mutation();
+    if out.is_ok() {
+        // A *complete* cascade leaves the instance closed under the
+        // mappings again (every surviving firing's sources survived), so
+        // seeded incremental exchanges stay sound. A partial (errored)
+        // cascade leaves the flag cleared: the next exchange bootstraps
+        // fully.
+        sys.assert_exchange_fixpoint();
+    }
+    out
+}
 
-    // Recompute derivability over the provenance graph. The local `+`
-    // derivation disappeared with the view row; tuples whose annotation
-    // drops to `false` — or that have no derivations left at all — must go.
-    let graph = ProvGraph::from_system(sys)?;
-    let assign =
-        Assignment::default_for(SemiringKind::Derivability).with_dangling(Annotation::Bool(false));
-    let values = evaluate(&graph, &assign)?;
+fn delete_cascade(
+    sys: &mut ProvenanceSystem,
+    local: &str,
+    key: &Tuple,
+    graph: &ProvGraph,
+) -> Result<DeleteStats> {
+    let removed = sys
+        .delete_row_tracked(local, key)?
+        .expect("existence checked by the caller");
+
+    // The `+` derivations that vanish with the local row, resolved against
+    // the (pre-deletion) graph and masked out of the evaluation below.
+    let masked: HashSet<DerivationId> = sys
+        .superfluous_prov_rows(local, &removed)
+        .into_iter()
+        .filter_map(|(mapping, row)| graph.find_derivation(&mapping, &row))
+        .collect();
+
+    // Recompute derivability with the seed's ground support masked out.
+    // Tuples whose annotation drops to `false` — or that have no unmasked
+    // derivations left at all — must go.
+    let assign = Assignment::default_for(SemiringKind::Derivability)
+        .with_dangling(Annotation::Bool(false))
+        .with_masked(masked.clone());
+    let values = evaluate(graph, &assign)?;
 
     let mut stats = DeleteStats::default();
-    let mut dead: HashSet<(String, Tuple)> = HashSet::new();
+    let mut dead_tuples: Vec<proql_common::TupleId> = Vec::new();
     for t in graph.tuple_ids() {
-        let derivable =
-            values.get(&t) == Some(&Annotation::Bool(true)) && !graph.derivations_of(t).is_empty();
+        let has_support = graph.derivations_of(t).iter().any(|d| !masked.contains(d));
+        let derivable = has_support && values.get(&t) == Some(&Annotation::Bool(true));
         if !derivable {
-            let node = graph.tuple(t);
-            dead.insert((node.relation.clone(), node.key.clone()));
+            dead_tuples.push(t);
         }
     }
 
     // Remove dead tuples from public relations.
-    for (rel, k) in &dead {
-        if sys.db.table_mut(rel)?.delete_by_key(k).is_some() {
+    for &t in &dead_tuples {
+        let node = graph.tuple(t);
+        if sys.delete_row_tracked(&node.relation, &node.key)?.is_some() {
             stats.tuples_deleted += 1;
-            touched.insert(rel.clone());
         }
     }
 
-    // Remove provenance rows whose derivations reference a dead tuple.
-    let specs: Vec<_> = sys
-        .specs()
-        .iter()
-        .filter(|s| !s.superfluous)
-        .cloned()
-        .collect();
-    for spec in specs {
-        let rows = sys.db.table(&spec.prov_rel)?.scan();
-        for row in rows {
-            let touches_dead = spec
-                .atoms
-                .iter()
-                .any(|recipe| dead.contains(&(recipe.relation.clone(), recipe.key_of(&row))));
-            if touches_dead {
-                let keyed = row.clone();
-                if sys
-                    .db
-                    .table_mut(&spec.prov_rel)?
-                    .delete_by_key(&keyed)
-                    .is_some()
-                {
-                    stats.prov_rows_deleted += 1;
-                    touched.insert(spec.prov_rel.clone());
-                }
+    // Remove materialized provenance rows whose derivations reference a
+    // dead tuple: exactly the graph neighbors of the dead tuples.
+    let mut visited: HashSet<DerivationId> = HashSet::new();
+    for &t in &dead_tuples {
+        for &d in graph
+            .derivations_of(t)
+            .iter()
+            .chain(graph.consumers_of(t).iter())
+        {
+            if !visited.insert(d) {
+                continue;
+            }
+            let node = graph.derivation(d);
+            let Some(spec) = sys.spec_for(&node.mapping) else {
+                continue;
+            };
+            if spec.superfluous {
+                // View-backed: the base row's deletion above (or the seed's
+                // local delete) removes the view row implicitly.
+                continue;
+            }
+            let prov_rel = spec.prov_rel.clone();
+            if sys.delete_row_tracked(&prov_rel, &node.prov_row)?.is_some() {
+                stats.prov_rows_deleted += 1;
             }
         }
     }
-    stats.touched = touched;
+    stats.touched = sys.staged_write_set();
     Ok(stats)
 }
 
@@ -209,13 +260,65 @@ mod tests {
             "touched: {:?}",
             stats.touched
         );
+        // The sealed delta entry carries the same write set.
+        assert_eq!(sys.write_set_since(v0), Some(stats.touched.clone()));
+    }
+
+    #[test]
+    fn delete_with_cached_graph_matches_plain_delete() {
+        let mut plain = example_2_1().unwrap();
+        let mut cached = example_2_1().unwrap();
+        let graph = ProvGraph::from_system(&cached).unwrap();
+        let a = delete_local(&mut plain, "C", &tup![2, "cn2"]).unwrap();
+        let b = delete_local_with_graph(&mut cached, "C", &tup![2, "cn2"], &graph).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            ProvGraph::from_system(&plain).unwrap().digest(),
+            ProvGraph::from_system(&cached).unwrap().digest()
+        );
+        // The delta-maintained view of the deletion reproduces the rebuild.
+        let mut patched = graph.clone();
+        for entry in cached
+            .delta_entries(cached.version() - 1, cached.version())
+            .unwrap()
+        {
+            patched.apply_delta(&cached, entry).unwrap();
+        }
+        patched.maybe_compact();
+        assert_eq!(
+            patched.digest(),
+            ProvGraph::from_system(&cached).unwrap().digest()
+        );
+    }
+
+    #[test]
+    fn seeded_exchange_after_delete_matches_full_bootstrap() {
+        // A clean cascade re-asserts the exchange fixpoint, so the next
+        // (seeded) exchange must reach exactly the full-bootstrap state.
+        use proql_storage::{execute, Plan};
+        let mut inc = example_2_1().unwrap();
+        let mut full = example_2_1().unwrap();
+        delete_local(&mut inc, "A", &tup![1]).unwrap();
+        delete_local(&mut full, "A", &tup![1]).unwrap();
+        inc.insert_local("A", tup![5, "sn5", 3]).unwrap();
+        full.insert_local("A", tup![5, "sn5", 3]).unwrap();
+        full.bump_version(); // chain break ⇒ full bootstrap
+        inc.run_exchange().unwrap(); // seeded with just the new row
+        full.run_exchange().unwrap();
+        for rel in ["A", "C", "N", "O", "P_m1", "P_m5"] {
+            let a = execute(&inc.db, &Plan::scan(rel)).unwrap().sorted_rows();
+            let b = execute(&full.db, &Plan::scan(rel)).unwrap().sorted_rows();
+            assert_eq!(a, b, "relation {rel} diverged after delete+insert");
+        }
     }
 
     #[test]
     fn deleting_missing_tuple_errors() {
         let mut sys = example_2_1().unwrap();
+        let v0 = sys.version();
         assert!(delete_local(&mut sys, "C", &tup![99, "zz"]).is_err());
         assert!(delete_local(&mut sys, "P_m1", &tup![1]).is_err());
+        assert_eq!(sys.version(), v0, "failed deletes must not bump");
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub fn evaluate_via_aggregation(
         Ok(v)
     };
 
-    let mut vals: Vec<Option<Annotation>> = vec![None; graph.tuple_count()];
+    let mut vals: Vec<Option<Annotation>> = vec![None; graph.tuple_id_bound()];
     for tuples in &by_level {
         // One (target, derivation value) row per alternative derivation of
         // this level's tuples; the grouped aggregation computes every ⊕ of

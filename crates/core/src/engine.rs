@@ -22,8 +22,23 @@ use proql_provgraph::{ProvGraph, ProvenanceSystem};
 use proql_storage::{explain::explain_tree, optimize::estimate_rows, ExecMode};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
+
+/// Read-lock with poison recovery: a thread that panicked while holding
+/// the graph-cache lock leaves at worst a stale-or-absent cache entry,
+/// which the version stamp already guards against — so the poison flag
+/// carries no information and recovering keeps one crashed query from
+/// wedging every other worker on the engine.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-lock with poison recovery (see [`read_lock`]).
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Which execution strategy to use for graph projections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -173,16 +188,14 @@ pub struct Engine {
     /// Configuration.
     pub options: EngineOptions,
     cached_graph: RwLock<Option<(u64, Arc<ProvGraph>)>>,
+    graph_builds: AtomicU64,
+    graph_patches: AtomicU64,
 }
 
 impl Engine {
     /// Wrap a provenance system with default options.
     pub fn new(sys: ProvenanceSystem) -> Self {
-        Engine {
-            sys,
-            options: EngineOptions::default(),
-            cached_graph: RwLock::new(None),
-        }
+        Engine::with_options(sys, EngineOptions::default())
     }
 
     /// Wrap with options.
@@ -191,6 +204,8 @@ impl Engine {
             sys,
             options,
             cached_graph: RwLock::new(None),
+            graph_builds: AtomicU64::new(0),
+            graph_patches: AtomicU64::new(0),
         }
     }
 
@@ -200,22 +215,101 @@ impl Engine {
         self.query_parsed(&q)
     }
 
-    /// The in-memory provenance graph for the **current** system version:
-    /// built on first use, shared via `Arc`, and dropped + rebuilt as soon
-    /// as the system's version counter shows a mutation happened since.
+    /// The in-memory provenance graph for the **current** system version.
+    ///
+    /// Built on first use and shared via `Arc`. When the system's version
+    /// counter shows mutations happened since the cached graph was built,
+    /// the engine prefers **patching**: if the system's delta log covers
+    /// the span, the cached graph absorbs the per-mutation
+    /// [`proql_provgraph::GraphDelta`]s (copy-on-write when older readers
+    /// still hold it, in place otherwise) instead of being rebuilt from
+    /// the relational encoding. Only a broken or trimmed delta chain —
+    /// out-of-band `db` writes, schema changes, long-idle caches — falls
+    /// back to a full rebuild.
+    ///
+    /// Concurrent callers at the same version are **coalesced**: one
+    /// builds/patches while holding the cache's write lock, the rest wait
+    /// and share the published `Arc`.
     pub fn graph(&self) -> Result<Arc<ProvGraph>> {
         let version = self.sys.version();
-        if let Some((built_at, g)) = self.cached_graph.read().expect("graph lock").as_ref() {
+        if let Some((built_at, g)) = read_lock(&self.cached_graph).as_ref() {
             if *built_at == version {
                 return Ok(Arc::clone(g));
             }
         }
-        // Stale or absent: rebuild outside any lock (building is pure),
-        // then publish. Concurrent rebuilders of the same version are
-        // benign — the graph is deterministic.
-        let g = Arc::new(ProvGraph::from_system(&self.sys)?);
-        *self.cached_graph.write().expect("graph lock") = Some((version, Arc::clone(&g)));
-        Ok(g)
+        let mut slot = write_lock(&self.cached_graph);
+        // Re-check under the write lock: a racing caller may have already
+        // built this version while we waited (rebuild coalescing).
+        if let Some((built_at, g)) = slot.as_ref() {
+            if *built_at == version {
+                return Ok(Arc::clone(g));
+            }
+        }
+        let next = match slot.take() {
+            Some((built_at, arc)) if self.sys.delta_entries(built_at, version).is_some() => {
+                match self.patch_graph(built_at, version, arc) {
+                    Ok(patched) => {
+                        self.graph_patches.fetch_add(1, Ordering::Relaxed);
+                        patched
+                    }
+                    // A delta that no longer decodes (e.g. its mapping
+                    // vanished) falls back to a full rebuild.
+                    Err(_) => self.build_graph()?,
+                }
+            }
+            _ => self.build_graph()?,
+        };
+        *slot = Some((version, Arc::clone(&next)));
+        Ok(next)
+    }
+
+    fn build_graph(&self) -> Result<Arc<ProvGraph>> {
+        self.graph_builds.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(ProvGraph::from_system(&self.sys)?))
+    }
+
+    /// Apply the delta chain `(built_at, version]` to `arc`. In-place when
+    /// this engine is the only holder; copy-on-write when in-flight
+    /// readers still share the graph at the old version.
+    fn patch_graph(
+        &self,
+        built_at: u64,
+        version: u64,
+        mut arc: Arc<ProvGraph>,
+    ) -> Result<Arc<ProvGraph>> {
+        let g = Arc::make_mut(&mut arc);
+        let entries = self
+            .sys
+            .delta_entries(built_at, version)
+            .expect("caller checked the span");
+        for entry in entries {
+            g.apply_delta(&self.sys, entry)?;
+        }
+        g.maybe_compact();
+        Ok(arc)
+    }
+
+    /// Full graph rebuilds performed (delta chain unavailable).
+    pub fn graph_build_count(&self) -> u64 {
+        self.graph_builds.load(Ordering::Relaxed)
+    }
+
+    /// Incremental graph patches performed (writes absorbed without a
+    /// rebuild).
+    pub fn graph_patch_count(&self) -> u64 {
+        self.graph_patches.load(Ordering::Relaxed)
+    }
+
+    /// Steal `prev`'s cached provenance graph (with its version stamp)
+    /// into this engine. The single-writer service calls this when
+    /// publishing a new snapshot: the next graph query then pays a delta
+    /// patch instead of a from-scratch rebuild. `prev` is left without a
+    /// cached graph — if a straggling reader of the old snapshot still
+    /// needs one, it rebuilds at its own version, which stays correct.
+    pub fn adopt_graph_cache(&self, prev: &Engine) {
+        if let Some(entry) = write_lock(&prev.cached_graph).take() {
+            *write_lock(&self.cached_graph) = Some(entry);
+        }
     }
 
     /// Run a parsed query: prepare then execute.
@@ -395,7 +489,7 @@ impl Engine {
     /// version counter, so calling this is only needed after mutating
     /// `sys.db` directly without [`ProvenanceSystem::bump_version`].
     pub fn invalidate_cache(&self) {
-        *self.cached_graph.write().expect("graph lock") = None;
+        *write_lock(&self.cached_graph) = None;
     }
 }
 
@@ -530,6 +624,83 @@ mod tests {
             after > before,
             "stale cached graph served: {after} <= {before}"
         );
+    }
+
+    #[test]
+    fn graph_patches_forward_through_deltas() {
+        let mut e = engine(Strategy::Graph);
+        let g0 = e.graph().unwrap();
+        let builds = e.graph_build_count();
+        e.sys.insert_local("A", tup![8, "sn8", 2]).unwrap();
+        e.sys.run_exchange().unwrap();
+        let g1 = e.graph().unwrap();
+        assert_eq!(
+            e.graph_build_count(),
+            builds,
+            "a covered delta span must patch, not rebuild"
+        );
+        assert!(e.graph_patch_count() >= 1);
+        assert!(g1.find_tuple("O", &tup!["sn8"]).is_some());
+        // The patched graph is content-identical to a from-scratch rebuild.
+        let rebuilt = ProvGraph::from_system(&e.sys).unwrap();
+        assert_eq!(g1.digest(), rebuilt.digest());
+        // The still-held old Arc was copy-on-write protected.
+        assert!(g0.find_tuple("O", &tup!["sn8"]).is_none());
+    }
+
+    #[test]
+    fn broken_delta_chain_falls_back_to_rebuild() {
+        let mut e = engine(Strategy::Graph);
+        e.graph().unwrap();
+        let builds = e.graph_build_count();
+        e.sys.db.insert("A", tup![42, "oob", 1]).unwrap();
+        e.sys.bump_version();
+        e.graph().unwrap();
+        assert_eq!(e.graph_build_count(), builds + 1);
+    }
+
+    #[test]
+    fn concurrent_same_version_builds_coalesce() {
+        let e = engine(Strategy::Graph);
+        let mut graphs: Vec<Arc<ProvGraph>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| e.graph().unwrap())).collect();
+            for h in handles {
+                graphs.push(h.join().unwrap());
+            }
+        });
+        assert_eq!(
+            e.graph_build_count(),
+            1,
+            "racing readers at one version must share a single build"
+        );
+        for g in &graphs[1..] {
+            assert!(Arc::ptr_eq(&graphs[0], g));
+        }
+    }
+
+    #[test]
+    fn adopted_graph_cache_patches_across_engines() {
+        // The service write path: clone the system copy-on-write, mutate,
+        // wrap in a fresh engine, adopt the previous engine's graph.
+        let e = engine(Strategy::Graph);
+        e.graph().unwrap();
+        let mut sys2 = e.sys.clone();
+        sys2.insert_local("A", tup![8, "sn8", 2]).unwrap();
+        sys2.run_exchange().unwrap();
+        let e2 = Engine::with_options(sys2, e.options.clone());
+        e2.adopt_graph_cache(&e);
+        let g2 = e2.graph().unwrap();
+        assert_eq!(e2.graph_build_count(), 0, "adoption must avoid a rebuild");
+        assert_eq!(e2.graph_patch_count(), 1);
+        assert_eq!(
+            g2.digest(),
+            ProvGraph::from_system(&e2.sys).unwrap().digest()
+        );
+        // The previous engine gave its cache up; querying it again rebuilds
+        // at its own (older) version and stays correct.
+        let old = e.graph().unwrap();
+        assert!(old.find_tuple("O", &tup!["sn8"]).is_none());
     }
 
     #[test]

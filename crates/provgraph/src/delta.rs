@@ -1,0 +1,241 @@
+//! Graph deltas: the unit of incremental provenance-graph maintenance.
+//!
+//! Every mutation of a [`ProvenanceSystem`] — local inserts, update
+//! exchange, CDSS deletion propagation — stages a [`GraphDelta`]
+//! describing exactly how the decoded provenance graph changes: which
+//! derivation rows appeared or disappeared, and which tuple nodes'
+//! resolved values must be refreshed. Sealing a mutation bumps the
+//! system's version counter and appends the staged delta to the bounded
+//! [`DeltaLog`], so a consumer holding a graph built at version `v` can
+//! patch it forward to version `w` by applying the contiguous entries of
+//! `(v, w]` instead of rebuilding from the relational encoding.
+//!
+//! Out-of-band mutations ([`ProvenanceSystem::bump_version`], schema
+//! changes) **reset** the log: the chain is broken at that version and
+//! consumers fall back to a full rebuild once.
+//!
+//! [`ProvenanceSystem`]: crate::ProvenanceSystem
+//! [`ProvenanceSystem::bump_version`]: crate::ProvenanceSystem::bump_version
+
+use proql_common::Tuple;
+use std::collections::{BTreeSet, VecDeque};
+
+/// One atomic change to the decoded provenance graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// A provenance row appeared: decode it into a derivation node (and
+    /// any tuple nodes it references). `row` is the `P_m` row of
+    /// `mapping`, whether materialized or served by a superfluous view.
+    AddDerivation {
+        /// The mapping whose provenance relation gained the row.
+        mapping: String,
+        /// The provenance row (full variable binding).
+        row: Tuple,
+    },
+    /// A provenance row disappeared: remove its derivation node and any
+    /// tuple nodes left unreferenced.
+    RemoveDerivation {
+        /// The mapping whose provenance relation lost the row.
+        mapping: String,
+        /// The provenance row that was removed.
+        row: Tuple,
+    },
+    /// A base-table row appeared or disappeared: re-resolve the values of
+    /// the tuple node `(relation, key)` from the database at apply time.
+    SetValues {
+        /// The public relation whose row changed.
+        relation: String,
+        /// Primary key of the changed row.
+        key: Tuple,
+    },
+}
+
+/// The staged/sealed change set of one system mutation.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    /// Graph changes, in the order they happened.
+    pub ops: Vec<DeltaOp>,
+    /// Every base table the mutation physically modified — the mutation's
+    /// **write set**, which the query service intersects with cached
+    /// answers' read sets.
+    pub touched: BTreeSet<String>,
+    /// Set when the mutation staged more ops than [`ENTRY_OPS_CAP`]: the
+    /// ops were dropped (a bulk load patches no faster than a rebuild)
+    /// and sealing resets the chain instead of pushing. `touched` stays
+    /// exact either way.
+    pub(crate) overflowed: bool,
+}
+
+/// Per-mutation op budget: a single mutation staging more than this many
+/// graph ops (a bulk load, a full exchange bootstrap) stops recording and
+/// marks the delta overflowed — patching such an entry would not beat a
+/// rebuild, and the bounded [`DeltaLog`] could not retain it anyway.
+pub(crate) const ENTRY_OPS_CAP: usize = 32_768;
+
+impl GraphDelta {
+    /// True when the mutation changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.touched.is_empty()
+    }
+
+    /// Stage one op, honoring [`ENTRY_OPS_CAP`].
+    pub(crate) fn push_op(&mut self, op: DeltaOp) {
+        if self.overflowed {
+            return;
+        }
+        if self.ops.len() >= ENTRY_OPS_CAP {
+            self.overflowed = true;
+            self.ops = Vec::new();
+            return;
+        }
+        self.ops.push(op);
+    }
+}
+
+/// Caps on retained history; spans falling off the log fall back to a
+/// full graph rebuild.
+const MAX_ENTRIES: usize = 256;
+const MAX_OPS: usize = 1 << 16;
+
+/// A bounded, contiguous log of sealed [`GraphDelta`]s.
+///
+/// Entry `i` describes the mutation that took the system from version
+/// `base + i` to `base + i + 1`.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaLog {
+    base: u64,
+    entries: VecDeque<GraphDelta>,
+    total_ops: usize,
+}
+
+impl DeltaLog {
+    /// Oldest version the log can patch **from**.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Newest version the log can patch **to**.
+    pub fn head(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// Drop all history and restart the chain at `version` (an untracked
+    /// mutation happened — consumers must rebuild once).
+    pub fn reset(&mut self, version: u64) {
+        self.base = version;
+        self.entries.clear();
+        self.total_ops = 0;
+    }
+
+    /// Append the delta that produced `to_version`. If the log is not
+    /// contiguous with it (should not happen through the system's API),
+    /// the chain conservatively restarts at `to_version`.
+    pub fn push(&mut self, to_version: u64, delta: GraphDelta) {
+        if self.head() + 1 != to_version {
+            self.reset(to_version);
+            return;
+        }
+        self.total_ops += delta.ops.len();
+        self.entries.push_back(delta);
+        while self.entries.len() > MAX_ENTRIES || self.total_ops > MAX_OPS {
+            if let Some(dropped) = self.entries.pop_front() {
+                self.total_ops -= dropped.ops.len();
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The contiguous entries covering `(from, to]`, or `None` when the
+    /// log cannot bridge that span (history trimmed, or the chain was
+    /// broken by an untracked mutation).
+    pub fn span(&self, from: u64, to: u64) -> Option<impl Iterator<Item = &GraphDelta>> {
+        if from < self.base || to > self.head() || from > to {
+            return None;
+        }
+        let a = (from - self.base) as usize;
+        let b = (to - self.base) as usize;
+        Some(self.entries.range(a..b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(n_ops: usize) -> GraphDelta {
+        GraphDelta {
+            ops: (0..n_ops)
+                .map(|i| DeltaOp::SetValues {
+                    relation: "R".into(),
+                    key: Tuple::new(vec![proql_common::Value::Int(i as i64)]),
+                })
+                .collect(),
+            touched: ["R".to_string()].into_iter().collect(),
+            overflowed: false,
+        }
+    }
+
+    #[test]
+    fn push_op_caps_and_overflows() {
+        let mut d = GraphDelta::default();
+        for i in 0..(ENTRY_OPS_CAP + 10) {
+            d.push_op(DeltaOp::SetValues {
+                relation: "R".into(),
+                key: Tuple::new(vec![proql_common::Value::Int(i as i64)]),
+            });
+        }
+        assert!(d.overflowed);
+        assert!(d.ops.is_empty(), "overflowed ops are dropped, not kept");
+        assert!(!d.is_empty() || d.touched.is_empty());
+    }
+
+    #[test]
+    fn contiguous_push_and_span() {
+        let mut log = DeltaLog::default();
+        log.reset(10);
+        log.push(11, delta(1));
+        log.push(12, delta(2));
+        assert_eq!(log.base(), 10);
+        assert_eq!(log.head(), 12);
+        assert_eq!(log.span(10, 12).unwrap().count(), 2);
+        assert_eq!(log.span(11, 12).unwrap().count(), 1);
+        assert_eq!(log.span(12, 12).unwrap().count(), 0);
+        assert!(log.span(9, 12).is_none());
+        assert!(log.span(10, 13).is_none());
+    }
+
+    #[test]
+    fn non_contiguous_push_resets() {
+        let mut log = DeltaLog::default();
+        log.reset(0);
+        log.push(1, delta(1));
+        log.push(5, delta(1)); // gap: chain restarts at 5
+        assert_eq!(log.base(), 5);
+        assert_eq!(log.head(), 5);
+        assert!(log.span(0, 1).is_none());
+    }
+
+    #[test]
+    fn trimming_advances_base() {
+        let mut log = DeltaLog::default();
+        log.reset(0);
+        for v in 1..=(MAX_ENTRIES as u64 + 10) {
+            log.push(v, delta(0));
+        }
+        assert_eq!(log.head(), MAX_ENTRIES as u64 + 10);
+        assert_eq!(log.base(), 10);
+        assert!(log.span(0, log.head()).is_none());
+        assert!(log.span(log.base(), log.head()).is_some());
+    }
+
+    #[test]
+    fn op_budget_trims() {
+        let mut log = DeltaLog::default();
+        log.reset(0);
+        log.push(1, delta(MAX_OPS - 1));
+        log.push(2, delta(2));
+        assert_eq!(log.base(), 1, "oversized history must drop the oldest");
+    }
+}

@@ -9,51 +9,111 @@
 //!
 //! The graph is decoded from the relational encoding (`P_m` rows) and is
 //! what the semiring evaluator walks bottom-up.
+//!
+//! # Incremental maintenance
+//!
+//! Adjacency is a **patchable CSR**: a frozen compressed-sparse-row core
+//! plus a sparse patch map holding the full neighbor list of every node
+//! whose edges changed since the last compaction. Bulk construction
+//! ([`ProvGraph::from_system`], [`ProvGraph::project`]) compacts ([`ProvGraph::freeze`])
+//! once at the end; [`ProvGraph::apply_delta`] patches the CSR
+//! incrementally and triggers compaction only when the patch or the
+//! tombstone population grows past a fixed fraction of the graph
+//! ([`ProvGraph::maybe_compact`]). Removed nodes are tombstoned (cheap)
+//! and physically dropped at compaction; [`ProvGraph::digest`] is a
+//! canonical content hash that ignores node numbering and tombstones, so
+//! a delta-maintained graph can be checked bit-for-bit against a
+//! from-scratch rebuild.
 
+use crate::delta::{DeltaOp, GraphDelta};
 use crate::system::ProvenanceSystem;
-use proql_common::{DerivationId, Result, Tuple, TupleId};
+use proql_common::TupleId;
+use proql_common::{DerivationId, Error, Result, Tuple, Value};
 use proql_storage::batch::RecordBatch;
 use proql_storage::{execute_batch, Plan};
-use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::collections::{HashMap, HashSet};
 
-/// Compressed-sparse-row adjacency: `targets[offsets[i]..offsets[i+1]]` are
-/// node `i`'s neighbors. Two flat vectors instead of one `Vec` per node —
-/// the layout the bottom-up semiring walk iterates over.
+/// Compressed-sparse-row adjacency with a sparse patch overlay.
+///
+/// `targets[offsets[i]..offsets[i+1]]` are node `i`'s neighbors in the
+/// frozen core; nodes in `patched` shadow their frozen row with a full
+/// (possibly longer or shorter) neighbor list. New nodes beyond the frozen
+/// range live purely in the patch. [`CsrAdj::freeze`] merges the patch
+/// back into flat vectors.
 #[derive(Debug, Clone, Default)]
 struct CsrAdj {
     offsets: Vec<u32>,
     targets: Vec<DerivationId>,
+    /// Node → full neighbor list, shadowing the frozen row.
+    patched: HashMap<u32, Vec<DerivationId>>,
+    /// Total edges held in `patched` (compaction policy input).
+    patched_edges: usize,
 }
 
 impl CsrAdj {
-    /// Counting-sort `edges` (node → derivation) into CSR form. Edge order
-    /// per node is preserved (insertion order, like the old `Vec<Vec<_>>`).
-    fn build(n_nodes: usize, edges: &[(u32, DerivationId)]) -> CsrAdj {
-        let mut counts = vec![0u32; n_nodes + 1];
-        for &(n, _) in edges {
-            counts[n as usize + 1] += 1;
-        }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        let offsets = counts.clone();
-        let mut cursor = counts;
-        let mut targets = vec![DerivationId(0); edges.len()];
-        for &(n, d) in edges {
-            let pos = cursor[n as usize];
-            targets[pos as usize] = d;
-            cursor[n as usize] += 1;
-        }
-        CsrAdj { offsets, targets }
+    fn frozen_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
     }
 
-    fn neighbors(&self, i: usize) -> &[DerivationId] {
+    fn frozen_row(&self, i: usize) -> &[DerivationId] {
         &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
+    fn neighbors(&self, i: usize) -> &[DerivationId] {
+        if let Some(row) = self.patched.get(&(i as u32)) {
+            return row;
+        }
+        if i < self.frozen_nodes() {
+            self.frozen_row(i)
+        } else {
+            &[]
+        }
+    }
+
     fn degree(&self, i: usize) -> usize {
-        (self.offsets[i + 1] - self.offsets[i]) as usize
+        self.neighbors(i).len()
+    }
+
+    /// Move node `n`'s row into the patch (no-op if already there).
+    fn patch_row(&mut self, n: u32) -> &mut Vec<DerivationId> {
+        if !self.patched.contains_key(&n) {
+            let base: Vec<DerivationId> = if (n as usize) < self.frozen_nodes() {
+                self.frozen_row(n as usize).to_vec()
+            } else {
+                Vec::new()
+            };
+            self.patched_edges += base.len();
+            self.patched.insert(n, base);
+        }
+        self.patched.get_mut(&n).expect("just inserted")
+    }
+
+    fn add_edge(&mut self, n: u32, d: DerivationId) {
+        self.patch_row(n).push(d);
+        self.patched_edges += 1;
+    }
+
+    /// Drop every edge of node `n` pointing at a derivation in `dead`.
+    fn remove_edges(&mut self, n: u32, dead: &HashSet<DerivationId>) {
+        let row = self.patch_row(n);
+        let before = row.len();
+        row.retain(|d| !dead.contains(d));
+        self.patched_edges -= before - row.len();
+    }
+
+    /// Merge the patch into a fresh frozen core covering `n_nodes` nodes.
+    fn freeze(&mut self, n_nodes: usize) {
+        let mut offsets = Vec::with_capacity(n_nodes + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for i in 0..n_nodes {
+            targets.extend_from_slice(self.neighbors(i));
+            offsets.push(targets.len() as u32);
+        }
+        self.offsets = offsets;
+        self.targets = targets;
+        self.patched.clear();
+        self.patched_edges = 0;
     }
 }
 
@@ -87,25 +147,27 @@ pub struct DerivationNode {
 
 /// The provenance graph.
 ///
-/// Adjacency is kept as flat edge lists while the graph is being built and
-/// frozen into **CSR** (compressed sparse row) form on first traversal —
-/// the semiring evaluator's bottom-up walk then reads two flat vectors
-/// instead of chasing one heap allocation per tuple node. Any mutation
-/// invalidates the frozen form; it is rebuilt lazily.
+/// Node ids are dense indexes into internal vectors; removed nodes are
+/// tombstoned until [`ProvGraph::maybe_compact`] re-packs the graph, so a
+/// live id stays valid across delta application. Iteration
+/// ([`ProvGraph::tuple_ids`], [`ProvGraph::derivation_ids`]) yields live
+/// nodes only; dense side tables should be sized by
+/// [`ProvGraph::tuple_id_bound`] / [`ProvGraph::derivation_id_bound`],
+/// which cover tombstones too.
 #[derive(Debug, Clone, Default)]
 pub struct ProvGraph {
     tuples: Vec<TupleNode>,
+    tuple_live: Vec<bool>,
+    live_tuples: usize,
     tuple_index: HashMap<(String, Tuple), TupleId>,
     derivations: Vec<DerivationNode>,
+    deriv_live: Vec<bool>,
+    live_derivs: usize,
     deriv_index: HashMap<(String, Tuple), DerivationId>,
-    /// (tuple, derivation *deriving* it) edge list, build order.
-    derived_edges: Vec<(u32, DerivationId)>,
-    /// (tuple, derivation *consuming* it) edge list, build order.
-    consumed_edges: Vec<(u32, DerivationId)>,
-    /// Frozen incoming adjacency (lazily built).
-    derived_csr: OnceLock<CsrAdj>,
-    /// Frozen outgoing adjacency (lazily built).
-    consumed_csr: OnceLock<CsrAdj>,
+    /// Incoming adjacency: tuple → derivations deriving it.
+    derived: CsrAdj,
+    /// Outgoing adjacency: tuple → derivations consuming it.
+    consumed: CsrAdj,
 }
 
 impl ProvGraph {
@@ -114,13 +176,25 @@ impl ProvGraph {
         ProvGraph::default()
     }
 
-    /// Number of tuple nodes.
+    /// Number of **live** tuple nodes.
     pub fn tuple_count(&self) -> usize {
+        self.live_tuples
+    }
+
+    /// Number of **live** derivation nodes.
+    pub fn derivation_count(&self) -> usize {
+        self.live_derivs
+    }
+
+    /// Exclusive upper bound on tuple ids (live + tombstoned). Dense
+    /// side tables indexed by [`TupleId`] must use this, not
+    /// [`ProvGraph::tuple_count`].
+    pub fn tuple_id_bound(&self) -> usize {
         self.tuples.len()
     }
 
-    /// Number of derivation nodes.
-    pub fn derivation_count(&self) -> usize {
+    /// Exclusive upper bound on derivation ids (live + tombstoned).
+    pub fn derivation_id_bound(&self) -> usize {
         self.derivations.len()
     }
 
@@ -140,25 +214,9 @@ impl ProvGraph {
             key,
             values,
         });
-        self.invalidate_csr();
+        self.tuple_live.push(true);
+        self.live_tuples += 1;
         id
-    }
-
-    /// Drop the frozen adjacency after a mutation; it is rebuilt on the
-    /// next traversal.
-    fn invalidate_csr(&mut self) {
-        self.derived_csr = OnceLock::new();
-        self.consumed_csr = OnceLock::new();
-    }
-
-    fn derived(&self) -> &CsrAdj {
-        self.derived_csr
-            .get_or_init(|| CsrAdj::build(self.tuples.len(), &self.derived_edges))
-    }
-
-    fn consumed(&self) -> &CsrAdj {
-        self.consumed_csr
-            .get_or_init(|| CsrAdj::build(self.tuples.len(), &self.consumed_edges))
     }
 
     /// Add a derivation node (idempotent on (mapping, prov_row)).
@@ -177,12 +235,11 @@ impl ProvGraph {
         let id = DerivationId(self.derivations.len() as u32);
         self.deriv_index.insert(dkey, id);
         for &s in &sources {
-            self.consumed_edges.push((s.0, id));
+            self.consumed.add_edge(s.0, id);
         }
         for &t in &targets {
-            self.derived_edges.push((t.0, id));
+            self.derived.add_edge(t.0, id);
         }
-        self.invalidate_csr();
         self.derivations.push(DerivationNode {
             mapping: mapping.to_string(),
             prov_row,
@@ -190,6 +247,8 @@ impl ProvGraph {
             targets,
             is_base,
         });
+        self.deriv_live.push(true);
+        self.live_derivs += 1;
         id
     }
 
@@ -203,32 +262,45 @@ impl ProvGraph {
         &self.derivations[id.index()]
     }
 
-    /// Find a tuple node by relation and key.
+    /// Find a live tuple node by relation and key.
     pub fn find_tuple(&self, relation: &str, key: &Tuple) -> Option<TupleId> {
         self.tuple_index
             .get(&(relation.to_string(), key.clone()))
             .copied()
     }
 
+    /// Find a live derivation node by mapping and provenance row.
+    pub fn find_derivation(&self, mapping: &str, prov_row: &Tuple) -> Option<DerivationId> {
+        self.deriv_index
+            .get(&(mapping.to_string(), prov_row.clone()))
+            .copied()
+    }
+
     /// Derivations deriving a tuple (its alternatives — union). Served
-    /// from the CSR adjacency (built lazily after mutations).
+    /// from the patchable CSR adjacency.
     pub fn derivations_of(&self, id: TupleId) -> &[DerivationId] {
-        self.derived().neighbors(id.index())
+        self.derived.neighbors(id.index())
     }
 
     /// Derivations consuming a tuple.
     pub fn consumers_of(&self, id: TupleId) -> &[DerivationId] {
-        self.consumed().neighbors(id.index())
+        self.consumed.neighbors(id.index())
     }
 
-    /// All tuple ids.
-    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> {
-        (0..self.tuples.len()).map(|i| TupleId(i as u32))
+    /// All live tuple ids.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.tuple_live
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| l.then_some(TupleId(i as u32)))
     }
 
-    /// All derivation ids.
-    pub fn derivation_ids(&self) -> impl Iterator<Item = DerivationId> {
-        (0..self.derivations.len()).map(|i| DerivationId(i as u32))
+    /// All live derivation ids.
+    pub fn derivation_ids(&self) -> impl Iterator<Item = DerivationId> + '_ {
+        self.deriv_live
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| l.then_some(DerivationId(i as u32)))
     }
 
     /// A tuple is a **leaf** when it has no incoming derivations at all, or
@@ -247,22 +319,22 @@ impl ProvGraph {
             .any(|&d| self.derivations[d.index()].is_base)
     }
 
-    /// Topological order of tuple nodes (sources before targets through
-    /// derivations), or `None` if the graph is cyclic. Derivations are
-    /// ordered implicitly: a derivation is ready when all its sources are.
+    /// Topological order of live tuple nodes (sources before targets
+    /// through derivations), or `None` if the graph is cyclic. Derivations
+    /// are ordered implicitly: a derivation is ready when all its sources
+    /// are.
     pub fn topo_order(&self) -> Option<Vec<TupleId>> {
         // In-degree of each derivation = #sources not yet emitted;
         // in-degree of each tuple = #derivations not yet emitted.
         let mut deriv_pending: Vec<usize> =
             self.derivations.iter().map(|d| d.sources.len()).collect();
-        let derived = self.derived();
-        let consumed = self.consumed();
-        let mut tuple_pending: Vec<usize> =
-            (0..self.tuples.len()).map(|i| derived.degree(i)).collect();
+        let mut tuple_pending: Vec<usize> = (0..self.tuples.len())
+            .map(|i| self.derived.degree(i))
+            .collect();
         let mut ready: Vec<TupleId> = Vec::new();
-        let mut order = Vec::with_capacity(self.tuples.len());
+        let mut order = Vec::with_capacity(self.live_tuples);
         for (i, &p) in tuple_pending.iter().enumerate() {
-            if p == 0 {
+            if p == 0 && self.tuple_live[i] {
                 ready.push(TupleId(i as u32));
             }
         }
@@ -270,7 +342,7 @@ impl ProvGraph {
         let mut deriv_ready: Vec<DerivationId> = deriv_pending
             .iter()
             .enumerate()
-            .filter(|(_, &p)| p == 0)
+            .filter(|&(i, &p)| p == 0 && self.deriv_live[i])
             .map(|(i, _)| DerivationId(i as u32))
             .collect();
         loop {
@@ -287,7 +359,7 @@ impl ProvGraph {
                 None => break,
                 Some(t) => {
                     order.push(t);
-                    for &d in consumed.neighbors(t.index()) {
+                    for &d in self.consumed.neighbors(t.index()) {
                         deriv_pending[d.index()] -= 1;
                         if deriv_pending[d.index()] == 0 {
                             deriv_ready.push(d);
@@ -296,12 +368,186 @@ impl ProvGraph {
                 }
             }
         }
-        (order.len() == self.tuples.len()).then_some(order)
+        (order.len() == self.live_tuples).then_some(order)
     }
 
     /// True iff the graph contains a derivation cycle.
     pub fn is_cyclic(&self) -> bool {
         self.topo_order().is_none()
+    }
+
+    /// Compact both adjacency directions: merge patch rows into fresh
+    /// frozen CSR cores. Bulk constructors call this once at the end;
+    /// [`ProvGraph::maybe_compact`] calls it when the patch outgrows its
+    /// budget.
+    pub fn freeze(&mut self) {
+        let n = self.tuples.len();
+        self.derived.freeze(n);
+        self.consumed.freeze(n);
+    }
+
+    /// Apply the compaction policy after delta application:
+    ///
+    /// * tombstones above ¼ of either node population → rebuild the graph
+    ///   densely (drops tombstones, re-numbers ids),
+    /// * otherwise, CSR patch rows above ¼ of the frozen edges → freeze
+    ///   the adjacency in place (ids stable).
+    pub fn maybe_compact(&mut self) {
+        let dead_t = self.tuples.len() - self.live_tuples;
+        let dead_d = self.derivations.len() - self.live_derivs;
+        if dead_t * 4 > self.tuples.len().max(16) || dead_d * 4 > self.derivations.len().max(16) {
+            self.rebuild_dense();
+            return;
+        }
+        let patched = self.derived.patched_edges + self.consumed.patched_edges;
+        let frozen = self.derived.targets.len() + self.consumed.targets.len();
+        if patched * 4 > frozen.max(64) {
+            self.freeze();
+        }
+    }
+
+    /// Re-pack the graph without tombstones (ids are re-assigned).
+    fn rebuild_dense(&mut self) {
+        let mut g = ProvGraph::new();
+        for (i, d) in self.derivations.iter().enumerate() {
+            if !self.deriv_live[i] {
+                continue;
+            }
+            let sources = d
+                .sources
+                .iter()
+                .map(|&s| {
+                    let t = &self.tuples[s.index()];
+                    g.add_tuple(&t.relation, t.key.clone(), t.values.clone())
+                })
+                .collect();
+            let targets = d
+                .targets
+                .iter()
+                .map(|&s| {
+                    let t = &self.tuples[s.index()];
+                    g.add_tuple(&t.relation, t.key.clone(), t.values.clone())
+                })
+                .collect();
+            g.add_derivation(&d.mapping, d.prov_row.clone(), sources, targets, d.is_base);
+        }
+        g.freeze();
+        *self = g;
+    }
+
+    /// Remove the derivation decoded from `(mapping, prov_row)`, if
+    /// present: tombstone the node, drop its edges, and tombstone any
+    /// tuple node left with no live derivations or consumers (it would
+    /// not exist in a from-scratch rebuild either).
+    pub fn remove_derivation_row(&mut self, mapping: &str, prov_row: &Tuple) {
+        let Some(id) = self.find_derivation(mapping, prov_row) else {
+            return;
+        };
+        self.deriv_index
+            .remove(&(mapping.to_string(), prov_row.clone()));
+        self.deriv_live[id.index()] = false;
+        self.live_derivs -= 1;
+        let dead: HashSet<DerivationId> = [id].into_iter().collect();
+        let node = &mut self.derivations[id.index()];
+        let sources = std::mem::take(&mut node.sources);
+        let targets = std::mem::take(&mut node.targets);
+        for &s in &sources {
+            self.consumed.remove_edges(s.0, &dead);
+        }
+        for &t in &targets {
+            self.derived.remove_edges(t.0, &dead);
+        }
+        for t in sources.into_iter().chain(targets) {
+            let i = t.index();
+            if self.tuple_live[i] && self.derived.degree(i) == 0 && self.consumed.degree(i) == 0 {
+                self.tuple_live[i] = false;
+                self.live_tuples -= 1;
+                let node = &self.tuples[i];
+                self.tuple_index
+                    .remove(&(node.relation.clone(), node.key.clone()));
+            }
+        }
+    }
+
+    /// Patch this graph with one sealed [`GraphDelta`], replayed against
+    /// the system state **at the target version** (tuple values and
+    /// mapping specs are resolved from `sys`, matching what a
+    /// from-scratch rebuild at that version would see). Ops are applied
+    /// in the order they were recorded.
+    pub fn apply_delta(&mut self, sys: &ProvenanceSystem, delta: &GraphDelta) -> Result<()> {
+        for op in &delta.ops {
+            match op {
+                DeltaOp::AddDerivation { mapping, row } => {
+                    let spec = sys
+                        .spec_for(mapping)
+                        .ok_or_else(|| Error::NotFound(format!("mapping {mapping} in delta")))?;
+                    let is_base = sys
+                        .rule_for(mapping)
+                        .and_then(|r| r.body.first())
+                        .map(|a| sys.is_local_relation(&a.relation))
+                        .unwrap_or(false);
+                    self.add_derivation_from_row(sys, spec, row, is_base)?;
+                }
+                DeltaOp::RemoveDerivation { mapping, row } => {
+                    self.remove_derivation_row(mapping, row);
+                }
+                DeltaOp::SetValues { relation, key } => {
+                    if let Some(id) = self.find_tuple(relation, key) {
+                        self.tuples[id.index()].values = sys
+                            .db
+                            .table(relation)
+                            .ok()
+                            .and_then(|t| t.get_by_key(key))
+                            .cloned();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A canonical content digest: a commutative hash over live tuple
+    /// nodes (relation, key, values) and live derivation nodes (mapping,
+    /// row, base flag, source/target tuple contents in recipe order).
+    /// Invariant under node numbering, adjacency layout, tombstones, and
+    /// application order — a delta-maintained graph and a from-scratch
+    /// rebuild of the same system version digest identically.
+    pub fn digest(&self) -> u64 {
+        let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+        for t in self.tuple_ids() {
+            let node = self.tuple(t);
+            let mut h = Fnv::new();
+            h.str(&node.relation);
+            h.tuple(&node.key);
+            match &node.values {
+                Some(v) => {
+                    h.u8(1);
+                    h.tuple(v);
+                }
+                None => h.u8(0),
+            }
+            acc = acc.wrapping_add(h.finish());
+        }
+        for d in self.derivation_ids() {
+            let node = self.derivation(d);
+            let mut h = Fnv::new();
+            h.str(&node.mapping);
+            h.tuple(&node.prov_row);
+            h.u8(node.is_base as u8);
+            for &s in &node.sources {
+                let t = self.tuple(s);
+                h.str(&t.relation);
+                h.tuple(&t.key);
+            }
+            h.u8(0xfe);
+            for &t in &node.targets {
+                let t = self.tuple(t);
+                h.str(&t.relation);
+                h.tuple(&t.key);
+            }
+            acc = acc.wrapping_add(h.finish().rotate_left(17));
+        }
+        acc ^ ((self.live_tuples as u64) << 32 | self.live_derivs as u64)
     }
 
     /// Decode the full provenance graph of a system from its provenance
@@ -318,6 +564,7 @@ impl ProvGraph {
                 .unwrap_or(false);
             g.add_derivations_from_batch(sys, spec, &batch, is_base)?;
         }
+        g.freeze();
         Ok(g)
     }
 
@@ -342,7 +589,7 @@ impl ProvGraph {
         }
         enum ResolvedKey<'a> {
             Col(&'a proql_storage::batch::Column),
-            Const(&'a proql_common::Value),
+            Const(&'a Value),
         }
         let mut recipes: Vec<Recipe> = Vec::with_capacity(spec.atoms.len());
         for recipe in &spec.atoms {
@@ -396,7 +643,8 @@ impl ProvGraph {
     }
 
     /// Decode one provenance row into a derivation node (shared by
-    /// `from_system` and by projected-subgraph construction in `proql`).
+    /// `from_system`, delta application, and projected-subgraph
+    /// construction in `proql`).
     pub fn add_derivation_from_row(
         &mut self,
         sys: &ProvenanceSystem,
@@ -461,6 +709,7 @@ impl ProvGraph {
                 node.is_base,
             );
         }
+        g.freeze();
         g
     }
 
@@ -469,21 +718,20 @@ impl ProvGraph {
     pub fn to_dot(&self) -> String {
         use std::fmt::Write;
         let mut s = String::from("digraph provenance {\n  rankdir=RL;\n");
-        for (i, t) in self.tuples.iter().enumerate() {
+        for i in self.tuple_ids() {
+            let t = self.tuple(i);
             let label = match &t.values {
                 Some(v) => format!("{}{}", t.relation, v),
                 None => format!("{}{}", t.relation, t.key),
             };
-            let style = if self.is_base(TupleId(i as u32)) {
-                ", style=bold"
-            } else {
-                ""
-            };
-            let _ = writeln!(s, "  t{i} [shape=box, label=\"{label}\"{style}];");
+            let style = if self.is_base(i) { ", style=bold" } else { "" };
+            let _ = writeln!(s, "  t{} [shape=box, label=\"{label}\"{style}];", i.index());
         }
-        for (i, d) in self.derivations.iter().enumerate() {
+        for i in self.derivation_ids() {
+            let d = self.derivation(i);
             let shape = if d.is_base { "circle" } else { "ellipse" };
             let label = if d.is_base { "+" } else { d.mapping.as_str() };
+            let i = i.index();
             let _ = writeln!(s, "  d{i} [shape={shape}, label=\"{label}\"];");
             for src in &d.sources {
                 let _ = writeln!(s, "  t{} -> d{i};", src.index());
@@ -494,6 +742,69 @@ impl ProvGraph {
         }
         s.push_str("}\n");
         s
+    }
+}
+
+/// FNV-1a with tagged, length-delimited encoding of values — the stable
+/// hasher behind [`ProvGraph::digest`] (std's `DefaultHasher` makes no
+/// cross-version stability promise).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.u8(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.u8(1);
+                self.u64(*i as u64);
+            }
+            Value::Float(f) => {
+                self.u8(2);
+                self.u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                self.u8(3);
+                self.str(s);
+            }
+            Value::Bool(b) => {
+                self.u8(4);
+                self.u8(*b as u8);
+            }
+            Value::Null => self.u8(5),
+        }
+    }
+
+    fn tuple(&mut self, t: &Tuple) {
+        self.u64(t.arity() as u64);
+        for v in t.iter() {
+            self.value(v);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -619,13 +930,13 @@ mod tests {
 
     #[test]
     fn mutation_after_freeze_rebuilds_adjacency() {
-        // Regression: traversal freezes the CSR adjacency lazily; mutating
-        // the graph afterwards must invalidate it so later traversals see
-        // the new edges instead of a stale frozen copy.
+        // Regression: traversal reads the patchable CSR; mutating the
+        // graph after a freeze must patch the frozen rows so later
+        // traversals see the new edges instead of a stale frozen copy.
         let mut g = ProvGraph::new();
         let t1 = g.add_tuple("R", tup![1], None);
         let d1 = g.add_derivation("m", tup![1], vec![], vec![t1], true);
-        // Freeze both adjacency directions.
+        g.freeze();
         assert_eq!(g.derivations_of(t1), &[d1]);
         assert!(g.consumers_of(t1).is_empty());
         assert!(g.topo_order().is_some());
@@ -658,5 +969,101 @@ mod tests {
         let a2 = g.find_tuple("A", &tup![2]).unwrap();
         // A(2) feeds m2, m4, m5 derivations (and m1 via N(2,cn2,false)).
         assert!(!g.consumers_of(a2).is_empty());
+    }
+
+    #[test]
+    fn remove_derivation_tombstones_and_orphans() {
+        let mut g = ProvGraph::new();
+        let t1 = g.add_tuple("R", tup![1], None);
+        let t2 = g.add_tuple("S", tup![2], None);
+        g.add_derivation("base", tup![1], vec![], vec![t1], true);
+        g.add_derivation("m", tup![9], vec![t1], vec![t2], false);
+        g.freeze();
+        assert_eq!((g.tuple_count(), g.derivation_count()), (2, 2));
+
+        // Removing m orphans t2 (no remaining references) but keeps t1.
+        g.remove_derivation_row("m", &tup![9]);
+        assert_eq!((g.tuple_count(), g.derivation_count()), (1, 1));
+        assert!(g.find_tuple("S", &tup![2]).is_none());
+        assert!(g.find_tuple("R", &tup![1]).is_some());
+        assert!(g.find_derivation("m", &tup![9]).is_none());
+        assert!(g.consumers_of(t1).is_empty());
+        // Iteration skips tombstones.
+        assert_eq!(g.tuple_ids().count(), 1);
+        assert_eq!(g.derivation_ids().count(), 1);
+        // Removing the base derivation empties the graph.
+        g.remove_derivation_row("base", &tup![1]);
+        assert_eq!((g.tuple_count(), g.derivation_count()), (0, 0));
+        assert!(g.topo_order().unwrap().is_empty());
+        // Removing an unknown row is a no-op.
+        g.remove_derivation_row("nope", &tup![0]);
+    }
+
+    #[test]
+    fn digest_ignores_numbering_and_tombstones() {
+        let mut a = ProvGraph::new();
+        let t1 = a.add_tuple("R", tup![1], Some(tup![1, 5]));
+        let t2 = a.add_tuple("S", tup![2], None);
+        a.add_derivation("base", tup![1], vec![], vec![t1], true);
+        a.add_derivation("m", tup![7], vec![t1], vec![t2], false);
+
+        // Same content built in a different order, with an extra node that
+        // is then removed (leaving a tombstone).
+        let mut b = ProvGraph::new();
+        let u1 = b.add_tuple("R", tup![1], Some(tup![1, 5]));
+        let u3 = b.add_tuple("X", tup![9], None);
+        b.add_derivation("mx", tup![0], vec![], vec![u3], true);
+        let u2 = b.add_tuple("S", tup![2], None);
+        b.add_derivation("m", tup![7], vec![u1], vec![u2], false);
+        b.add_derivation("base", tup![1], vec![], vec![u1], true);
+        b.remove_derivation_row("mx", &tup![0]);
+
+        assert_eq!(a.digest(), b.digest());
+        // Content changes change the digest.
+        b.remove_derivation_row("m", &tup![7]);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn rebuild_dense_compaction_preserves_content() {
+        let mut g = ProvGraph::new();
+        let mut keep = ProvGraph::new();
+        for i in 0..20i64 {
+            let t = g.add_tuple("R", tup![i], None);
+            g.add_derivation("base", tup![i], vec![], vec![t], true);
+            if i >= 15 {
+                let t = keep.add_tuple("R", tup![i], None);
+                keep.add_derivation("base", tup![i], vec![], vec![t], true);
+            }
+        }
+        g.freeze();
+        for i in 0..15i64 {
+            g.remove_derivation_row("base", &tup![i]);
+        }
+        let before = g.digest();
+        g.maybe_compact(); // 75% tombstones: must rebuild densely
+        assert_eq!(g.tuple_id_bound(), 5, "compaction must drop tombstones");
+        assert_eq!(g.digest(), before);
+        assert_eq!(g.digest(), keep.digest());
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild_after_insert() {
+        let mut sys = example_2_1().unwrap();
+        let mut g = ProvGraph::from_system(&sys).unwrap();
+        let v0 = sys.version();
+        sys.insert_local("A", tup![8, "sn8", 2]).unwrap();
+        sys.run_exchange().unwrap();
+        for entry in sys
+            .delta_entries(v0, sys.version())
+            .expect("delta chain available")
+        {
+            g.apply_delta(&sys, entry).unwrap();
+        }
+        g.maybe_compact();
+        let rebuilt = ProvGraph::from_system(&sys).unwrap();
+        assert_eq!(g.digest(), rebuilt.digest());
+        assert_eq!(g.tuple_count(), rebuilt.tuple_count());
+        assert_eq!(g.derivation_count(), rebuilt.derivation_count());
     }
 }

@@ -11,14 +11,20 @@
 //!   engine's firing hook,
 //! * [`graph`] — the in-memory bipartite provenance graph of Figure 1
 //!   (tuple nodes and derivation nodes, `+`-flagged base derivations),
+//!   maintained incrementally through [`delta`]s with periodic compaction,
+//! * [`delta`] — [`GraphDelta`]/[`DeltaLog`]: the per-mutation change sets
+//!   the system stages and seals, letting graph consumers patch forward
+//!   instead of rebuilding and letting the query service derive write sets,
 //! * [`schema_graph`] — the provenance *schema* graph of Figure 3 (relation
 //!   and mapping nodes), the structure ProQL patterns are matched against.
 
+pub mod delta;
 pub mod encode;
 pub mod graph;
 pub mod schema_graph;
 pub mod system;
 
+pub use delta::{DeltaLog, DeltaOp, GraphDelta};
 pub use encode::{AtomRecipe, ProvSpec, RecipeTerm};
 pub use graph::{DerivationNode, ProvGraph, TupleNode};
 pub use schema_graph::SchemaGraph;

@@ -5,15 +5,35 @@
 //! [`ProvenanceSystem::run_exchange`] materializes all public relations
 //! (data exchange, §2) while recording one provenance row per derivation
 //! through the Datalog engine's firing hook.
+//!
+//! # The delta-tracked write path
+//!
+//! Every mutation through this type's API stages a [`GraphDelta`] — the
+//! exact change it makes to the decoded provenance graph — and **seals**
+//! it when the mutation completes: the version counter bumps by one and
+//! the delta is appended to a bounded [`DeltaLog`]. Consumers holding a
+//! graph built at an older version patch it forward through
+//! [`ProvenanceSystem::delta_entries`] instead of rebuilding; the query
+//! service derives write sets from the same entries
+//! ([`ProvenanceSystem::write_set_since`]). Out-of-band mutations
+//! (writing `db` directly + [`ProvenanceSystem::bump_version`], schema
+//! changes) break the chain, forcing one full rebuild.
+//!
+//! Repeated exchanges are **incremental**: once a fixpoint has been
+//! reached, later [`ProvenanceSystem::run_exchange`] calls seed the
+//! semi-naive evaluation with only the local rows inserted since, so the
+//! cost of exchanging a point write is proportional to what it derives,
+//! not to the database.
 
+use crate::delta::{DeltaLog, DeltaOp, GraphDelta};
 use crate::encode::{create_prov_relation, spec_for_rule, ProvSpec};
 use crate::schema_graph::SchemaGraph;
-use proql_common::{Error, Result, Schema, Tuple};
-use proql_datalog::ast::{Program, Rule};
-use proql_datalog::eval::{run_program, Bindings, EvalStats, FiringHook};
+use proql_common::{Error, Result, Schema, Tuple, Value};
+use proql_datalog::ast::{Program, Rule, Term};
+use proql_datalog::eval::{run_program, run_program_seeded, Bindings, EvalStats, FiringHook};
 use proql_datalog::parse::parse_rule;
 use proql_storage::Database;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Suffix of local-contribution tables: relation `A` gets `A_l`.
 pub const LOCAL_SUFFIX: &str = "_l";
@@ -29,12 +49,32 @@ pub struct ProvenanceSystem {
     local_rels: HashSet<String>,
     exchanged: bool,
     version: u64,
+    /// Row-level matchers for superfluous (view-backed) provenance
+    /// relations: given a base-table row, produce the view row it
+    /// contributes, so writes to the base table translate to graph deltas.
+    matchers: Vec<SuperfluousMatcher>,
+    /// Ops staged by the mutation currently in progress.
+    staged: GraphDelta,
+    /// Sealed per-version deltas (bounded history).
+    deltas: DeltaLog,
+    /// False when some superfluous mapping could not be compiled into a
+    /// matcher: deltas would be incomplete, so sealing resets the chain.
+    trackable: bool,
+    /// Local rows inserted since the last exchange — the seeds of the
+    /// next incremental exchange round.
+    pending_exchange: Vec<(String, Tuple)>,
+    /// True when the database is known to be at the program's fixpoint
+    /// modulo `pending_exchange` (enables incremental exchange).
+    at_fixpoint: bool,
 }
 
 impl ProvenanceSystem {
     /// Empty system.
     pub fn new() -> Self {
-        ProvenanceSystem::default()
+        ProvenanceSystem {
+            trackable: true,
+            ..ProvenanceSystem::default()
+        }
     }
 
     /// Monotonically increasing mutation counter. Every mutation through
@@ -47,11 +87,70 @@ impl ProvenanceSystem {
     }
 
     /// Record an out-of-band mutation (a caller writing through the
-    /// public `db` field directly, e.g. CDSS deletion propagation).
-    /// Bumps [`ProvenanceSystem::version`] so cached derived state is
-    /// dropped on next use.
+    /// public `db` field directly). Bumps [`ProvenanceSystem::version`]
+    /// so cached derived state is dropped on next use, and **breaks the
+    /// delta chain** — the next graph consumer rebuilds from scratch, and
+    /// the next exchange runs a full bootstrap.
     pub fn bump_version(&mut self) {
         self.version += 1;
+        self.staged = GraphDelta::default();
+        self.deltas.reset(self.version);
+        self.at_fixpoint = false;
+        self.pending_exchange.clear();
+    }
+
+    /// A version bump for tracked schema-level changes (rare, setup-time):
+    /// the graph delta chain restarts, but incremental-exchange state is
+    /// preserved by the caller where sound.
+    fn bump_untracked(&mut self) {
+        self.version += 1;
+        self.staged = GraphDelta::default();
+        self.deltas.reset(self.version);
+        self.at_fixpoint = false;
+    }
+
+    /// Seal the staged delta: bump the version once (unconditionally —
+    /// callers that want a no-op to skip the bump guard with
+    /// [`ProvenanceSystem::commit_tracked_mutation`]) and append the
+    /// entry covering it. An untrackable or op-overflowed entry resets
+    /// the chain instead — consumers rebuild once.
+    fn seal_delta(&mut self) {
+        self.version += 1;
+        let staged = std::mem::take(&mut self.staged);
+        if self.trackable && !staged.overflowed {
+            self.deltas.push(self.version, staged);
+        } else {
+            self.deltas.reset(self.version);
+        }
+    }
+
+    /// Seal the staged delta **iff** the current tracked mutation changed
+    /// anything, bumping the version exactly once. Multi-step mutators
+    /// (CDSS deletion propagation) route every row change through
+    /// [`ProvenanceSystem::delete_row_tracked`] and call this at the end —
+    /// on the error path too, so partially applied cascades still
+    /// invalidate version-checked caches. Returns whether a bump happened.
+    pub fn commit_tracked_mutation(&mut self) -> bool {
+        if self.staged.is_empty() {
+            return false;
+        }
+        self.seal_delta();
+        true
+    }
+
+    /// Caller asserts the database is at the mapping program's fixpoint
+    /// (modulo pending local inserts), re-enabling **seeded** incremental
+    /// exchanges after tracked deletions cleared the flag. CDSS deletion
+    /// calls this when its cascade completes cleanly: the remaining
+    /// instance is closed under the (monotone) mappings — every firing
+    /// over surviving tuples derives a tuple whose derivation's sources
+    /// survived, hence derivable, hence kept by the garbage collection.
+    /// Asserting this on a state that is *not* a fixpoint makes later
+    /// seeded exchanges silently diverge from a full bootstrap.
+    pub fn assert_exchange_fixpoint(&mut self) {
+        if self.exchanged {
+            self.at_fixpoint = true;
+        }
     }
 
     /// Bucketed fingerprint of the optimizer statistics behind
@@ -67,13 +166,32 @@ impl ProvenanceSystem {
         proql_storage::stats::db_fingerprint(&self.db, relations)
     }
 
+    /// The sealed graph deltas covering `(from, to]`, or `None` when the
+    /// chain cannot bridge that span (history trimmed or broken by an
+    /// untracked mutation) — the caller then rebuilds from scratch.
+    pub fn delta_entries(&self, from: u64, to: u64) -> Option<impl Iterator<Item = &GraphDelta>> {
+        self.deltas.span(from, to)
+    }
+
+    /// Union of the write sets of every mutation after `from` (up to the
+    /// current version), straight off the delta log. `None` when the log
+    /// cannot bridge the span; callers should then assume everything was
+    /// written.
+    pub fn write_set_since(&self, from: u64) -> Option<BTreeSet<String>> {
+        let mut out = BTreeSet::new();
+        for entry in self.deltas.span(from, self.version)? {
+            out.extend(entry.touched.iter().cloned());
+        }
+        Some(out)
+    }
+
     /// Register a public relation together with its local-contribution table
     /// (named `{name}_l`) and the copying rule `L_{name}` (the paper's
     /// `L1..L4` rules).
     pub fn add_relation_with_local(&mut self, schema: Schema) -> Result<()> {
         let name = schema.name().to_string();
         let local = format!("{name}{LOCAL_SUFFIX}");
-        self.version += 1;
+        self.bump_untracked();
         self.db.create_table(schema.clone())?;
         self.db.create_table(schema.renamed(&local))?;
         self.local_rels.insert(local.clone());
@@ -88,7 +206,7 @@ impl ProvenanceSystem {
     /// Register a public relation with no local contributions (a purely
     /// derived relation).
     pub fn add_relation(&mut self, schema: Schema) -> Result<()> {
-        self.version += 1;
+        self.bump_untracked();
         self.db.create_table(schema)
     }
 
@@ -114,9 +232,17 @@ impl ProvenanceSystem {
             return Err(Error::AlreadyExists(format!("mapping {}", spec.mapping)));
         }
         create_prov_relation(&mut self.db, &spec, &rule)?;
+        if spec.superfluous {
+            match SuperfluousMatcher::build(&spec, &rule) {
+                Some(m) => self.matchers.push(m),
+                // No row-level matcher ⇒ deltas for this mapping cannot be
+                // captured; fall back to full rebuilds forever.
+                None => self.trackable = false,
+            }
+        }
         self.specs.push(spec);
         self.program.rules.push(rule);
-        self.version += 1;
+        self.bump_untracked();
         Ok(())
     }
 
@@ -128,25 +254,123 @@ impl ProvenanceSystem {
                 "relation {relation} has no local-contribution table"
             )));
         }
-        let inserted = self.db.insert(&local, tuple)?;
+        let inserted = self.db.insert(&local, tuple.clone())?;
         // A duplicate insert is a no-op under set semantics: nothing
         // changed, so version-checked caches stay valid.
         if inserted {
-            self.version += 1;
+            record_row_change(
+                &self.db,
+                &self.specs,
+                &self.matchers,
+                &self.local_rels,
+                &mut self.staged,
+                &local,
+                &tuple,
+                true,
+            );
+            self.pending_exchange.push((local, tuple));
+            self.seal_delta();
         }
         Ok(inserted)
     }
 
+    /// Delete one row from a base table, staging the graph-delta ops and
+    /// write-set entry it implies. Does **not** bump the version: callers
+    /// performing a multi-step mutation (CDSS deletion propagation) batch
+    /// any number of tracked deletes and then seal once with
+    /// [`ProvenanceSystem::commit_tracked_mutation`].
+    pub fn delete_row_tracked(&mut self, table: &str, key: &Tuple) -> Result<Option<Tuple>> {
+        let Some(removed) = self.db.table_mut(table)?.delete_by_key(key) else {
+            return Ok(None);
+        };
+        // A pending incremental-exchange seed for this exact row must die
+        // with it, or the next seeded exchange would derive from a local
+        // row that no longer exists.
+        self.pending_exchange
+            .retain(|(rel, row)| !(rel == table && row == &removed));
+        // A bare row deletion invalidates the fixpoint assumption the
+        // seeded exchange relies on: a full bootstrap would re-derive a
+        // still-derivable row, a seeded one would not. CDSS deletion
+        // garbage-collects exactly the underivable rows and re-asserts
+        // the fixpoint when its cascade completes cleanly.
+        self.at_fixpoint = false;
+        record_row_change(
+            &self.db,
+            &self.specs,
+            &self.matchers,
+            &self.local_rels,
+            &mut self.staged,
+            table,
+            &removed,
+            false,
+        );
+        Ok(Some(removed))
+    }
+
+    /// The write set staged by the tracked mutation currently in progress
+    /// (sealed — and cleared — by
+    /// [`ProvenanceSystem::commit_tracked_mutation`]).
+    pub fn staged_write_set(&self) -> BTreeSet<String> {
+        self.staged.touched.clone()
+    }
+
+    /// The provenance rows `row` contributes to superfluous (view-backed)
+    /// provenance relations whose definition reads `table`, as
+    /// `(mapping, view row)` pairs. CDSS deletion uses this to mask the
+    /// seed's `+` derivations out of a cached graph instead of rebuilding.
+    pub fn superfluous_prov_rows(&self, table: &str, row: &Tuple) -> Vec<(String, Tuple)> {
+        self.matchers
+            .iter()
+            .filter(|m| m.body_rel == table)
+            .filter_map(|m| m.project(row).map(|r| (m.mapping.clone(), r)))
+            .collect()
+    }
+
     /// Run data exchange: evaluate all mappings to fixpoint, recording
-    /// provenance. Can be called repeatedly (e.g. after more local inserts);
-    /// evaluation is incremental in the sense that set semantics make
-    /// re-derivations no-ops.
+    /// provenance. Can be called repeatedly (e.g. after more local
+    /// inserts). Once a fixpoint exists, later rounds are **incremental**:
+    /// semi-naive evaluation is seeded with only the local rows inserted
+    /// since the previous exchange, so a point write's exchange touches
+    /// what it derives, not the whole database.
     pub fn run_exchange(&mut self) -> Result<EvalStats> {
-        let mut hook = ProvenanceHook { specs: &self.specs };
-        let stats = run_program(&mut self.db, &self.program, &mut hook)?;
-        self.exchanged = true;
-        self.version += 1;
-        Ok(stats)
+        let mut hook = ProvenanceHook {
+            specs: &self.specs,
+            matchers: &self.matchers,
+            local_rels: &self.local_rels,
+            staged: GraphDelta::default(),
+        };
+        let seeds = if self.exchanged && self.at_fixpoint {
+            let mut by_rel: HashMap<String, Vec<Tuple>> = HashMap::new();
+            for (rel, row) in self.pending_exchange.drain(..) {
+                by_rel.entry(rel).or_default().push(row);
+            }
+            Some(by_rel)
+        } else {
+            self.pending_exchange.clear();
+            None
+        };
+        let result = match seeds {
+            Some(seeds) => run_program_seeded(&mut self.db, &self.program, &mut hook, seeds),
+            None => run_program(&mut self.db, &self.program, &mut hook),
+        };
+        let hook_staged = hook.staged;
+        self.staged.ops.extend(hook_staged.ops);
+        self.staged.touched.extend(hook_staged.touched);
+        match result {
+            Ok(stats) => {
+                self.exchanged = true;
+                self.at_fixpoint = true;
+                self.seal_delta();
+                Ok(stats)
+            }
+            Err(e) => {
+                // Partial head insertions may have landed; the staged ops
+                // cannot be trusted to describe them exactly, so bump and
+                // break the chain (consumers rebuild once).
+                self.bump_version();
+                Err(e)
+            }
+        }
     }
 
     /// The mapping program (local rules + schema mappings).
@@ -193,6 +417,15 @@ impl ProvenanceSystem {
             .collect()
     }
 
+    /// A clone with **no** shared table storage (the old O(database)
+    /// write-path clone; benchmarks use it as the baseline against the
+    /// O(#relations) copy-on-write [`Clone`]).
+    pub fn deep_clone(&self) -> ProvenanceSystem {
+        let mut out = self.clone();
+        out.db = self.db.deep_clone();
+        out
+    }
+
     /// Total provenance rows stored (materialized `P_m` tables only; views
     /// contribute zero storage — that is the point of superfluity).
     pub fn provenance_rows(&self) -> usize {
@@ -205,11 +438,130 @@ impl ProvenanceSystem {
     }
 }
 
+/// Row-level compilation of a superfluous provenance view: decides whether
+/// a base-table row qualifies under the single body atom's constants and
+/// repeated variables, and projects it onto the spec's columns.
+#[derive(Debug, Clone)]
+struct SuperfluousMatcher {
+    mapping: String,
+    body_rel: String,
+    /// `(position, constant)` equality requirements.
+    consts: Vec<(usize, Value)>,
+    /// Repeated-variable equality requirements `(first, other)`.
+    eqs: Vec<(usize, usize)>,
+    /// For each spec column: the body position holding its value.
+    cols: Vec<usize>,
+}
+
+impl SuperfluousMatcher {
+    fn build(spec: &ProvSpec, rule: &Rule) -> Option<SuperfluousMatcher> {
+        let atom = rule.body.first()?;
+        let mut first_pos: HashMap<&str, usize> = HashMap::new();
+        let mut consts = Vec::new();
+        let mut eqs = Vec::new();
+        for (i, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(v) => consts.push((i, v.clone())),
+                Term::Var(v) => {
+                    if let Some(&p) = first_pos.get(v.as_str()) {
+                        eqs.push((p, i));
+                    } else {
+                        first_pos.insert(v, i);
+                    }
+                }
+                Term::Skolem(..) => return None,
+            }
+        }
+        let cols = spec
+            .columns
+            .iter()
+            .map(|c| first_pos.get(c.as_str()).copied())
+            .collect::<Option<Vec<_>>>()?;
+        Some(SuperfluousMatcher {
+            mapping: spec.mapping.clone(),
+            body_rel: atom.relation.clone(),
+            consts,
+            eqs,
+            cols,
+        })
+    }
+
+    /// The view row `row` contributes, or `None` when it does not qualify.
+    fn project(&self, row: &Tuple) -> Option<Tuple> {
+        for (i, v) in &self.consts {
+            if row.try_get(*i) != Some(v) {
+                return None;
+            }
+        }
+        for (a, b) in &self.eqs {
+            if row.try_get(*a) != row.try_get(*b) {
+                return None;
+            }
+        }
+        Some(Tuple::new(
+            self.cols.iter().map(|&i| row.get(i).clone()).collect(),
+        ))
+    }
+}
+
+/// Stage the graph-delta ops implied by one base-table row change:
+/// materialized provenance rows map to derivation ops directly, rows of
+/// tables read by superfluous views map through the matchers, and public
+/// rows additionally refresh their tuple node's resolved values.
+#[allow(clippy::too_many_arguments)]
+fn record_row_change(
+    db: &Database,
+    specs: &[ProvSpec],
+    matchers: &[SuperfluousMatcher],
+    local_rels: &HashSet<String>,
+    staged: &mut GraphDelta,
+    table: &str,
+    row: &Tuple,
+    added: bool,
+) {
+    staged.touched.insert(table.to_string());
+    let make = |mapping: &str, row: Tuple| -> DeltaOp {
+        if added {
+            DeltaOp::AddDerivation {
+                mapping: mapping.to_string(),
+                row,
+            }
+        } else {
+            DeltaOp::RemoveDerivation {
+                mapping: mapping.to_string(),
+                row,
+            }
+        }
+    };
+    let mut is_prov = false;
+    if let Some(spec) = specs.iter().find(|s| !s.superfluous && s.prov_rel == table) {
+        is_prov = true;
+        staged.push_op(make(&spec.mapping, row.clone()));
+    }
+    for m in matchers.iter().filter(|m| m.body_rel == table) {
+        if let Some(prow) = m.project(row) {
+            staged.push_op(make(&m.mapping, prow));
+        }
+    }
+    if !is_prov && !local_rels.contains(table) {
+        if let Ok(t) = db.table(table) {
+            staged.push_op(DeltaOp::SetValues {
+                relation: table.to_string(),
+                key: t.schema().key_of(row),
+            });
+        }
+    }
+}
+
 /// The firing hook: one provenance row per firing of a non-superfluous
-/// mapping. Idempotent because provenance relations are keyed on all
-/// columns.
+/// mapping, plus delta capture — newly inserted head tuples and provenance
+/// rows are staged as graph-delta ops. Idempotent because provenance
+/// relations are keyed on all columns.
 struct ProvenanceHook<'a> {
     specs: &'a [ProvSpec],
+    matchers: &'a [SuperfluousMatcher],
+    local_rels: &'a HashSet<String>,
+    staged: GraphDelta,
 }
 
 impl FiringHook for ProvenanceHook<'_> {
@@ -217,9 +569,30 @@ impl FiringHook for ProvenanceHook<'_> {
         &mut self,
         db: &mut Database,
         rule_index: usize,
-        _rule: &Rule,
+        rule: &Rule,
         bindings: &Bindings<'_>,
     ) -> Result<()> {
+        // Head tuples the evaluator is about to insert: the hook runs just
+        // before the insertion, so "key absent now" means "this firing adds
+        // the row" (set semantics; the first writer wins).
+        for h in &rule.heads {
+            let tuple = bindings.instantiate(h)?;
+            let t = db.table(&h.relation)?;
+            if t.schema().check(&tuple).is_ok()
+                && t.get_by_key(&t.schema().key_of(&tuple)).is_none()
+            {
+                record_row_change(
+                    db,
+                    self.specs,
+                    self.matchers,
+                    self.local_rels,
+                    &mut self.staged,
+                    &h.relation,
+                    &tuple,
+                    true,
+                );
+            }
+        }
         let spec = &self.specs[rule_index];
         if spec.superfluous {
             return Ok(()); // the view covers it
@@ -228,7 +601,19 @@ impl FiringHook for ProvenanceHook<'_> {
         for var in &spec.columns {
             vals.push(bindings.get(var)?.clone());
         }
-        db.table_mut(&spec.prov_rel)?.insert(Tuple::new(vals))?;
+        let row = Tuple::new(vals);
+        if db.table_mut(&spec.prov_rel)?.insert(row.clone())? {
+            record_row_change(
+                db,
+                self.specs,
+                self.matchers,
+                self.local_rels,
+                &mut self.staged,
+                &spec.prov_rel,
+                &row,
+                true,
+            );
+        }
         Ok(())
     }
 }
@@ -340,6 +725,46 @@ mod tests {
     }
 
     #[test]
+    fn incremental_exchange_matches_full_bootstrap() {
+        // The incremental (seeded) exchange must reach exactly the state a
+        // full re-bootstrap reaches — including through the m1/m3 cycle.
+        let mut inc = example_2_1().unwrap();
+        let mut full = example_2_1().unwrap();
+        for t in [tup![3, "sn3", 9], tup![4, "sn4", 9]] {
+            inc.insert_local("A", t.clone()).unwrap();
+            full.insert_local("A", t).unwrap();
+        }
+        inc.insert_local("N", tup![3, "cn3", false]).unwrap();
+        full.insert_local("N", tup![3, "cn3", false]).unwrap();
+        inc.run_exchange().unwrap(); // seeded with the three new rows
+        full.bump_version(); // chain break ⇒ full bootstrap
+        full.run_exchange().unwrap();
+        for rel in ["A", "C", "N", "O", "P_m1", "P_m5"] {
+            let a = execute(&inc.db, &Plan::scan(rel)).unwrap().sorted_rows();
+            let b = execute(&full.db, &Plan::scan(rel)).unwrap().sorted_rows();
+            assert_eq!(a, b, "relation {rel} diverged");
+        }
+    }
+
+    #[test]
+    fn tracked_delete_disables_seeded_exchange() {
+        // Deleting a still-derivable PUBLIC row outside the CDSS cascade
+        // leaves the instance below the fixpoint: the next exchange must
+        // bootstrap fully and re-derive it (a seeded run would not).
+        let mut sys = example_2_1().unwrap();
+        let key = tup!["sn1"];
+        assert!(sys.db.table("O").unwrap().get_by_key(&key).is_some());
+        sys.delete_row_tracked("O", &key).unwrap().unwrap();
+        sys.commit_tracked_mutation();
+        sys.insert_local("A", tup![9, "sn9", 4]).unwrap();
+        sys.run_exchange().unwrap();
+        assert!(
+            sys.db.table("O").unwrap().get_by_key(&key).is_some(),
+            "the exchange after a bare tracked delete must re-derive"
+        );
+    }
+
+    #[test]
     fn duplicate_mapping_name_rejected() {
         let mut sys = example_2_1().unwrap();
         // Already exchanged: adding mappings is rejected outright.
@@ -388,6 +813,92 @@ mod tests {
     }
 
     #[test]
+    fn deltas_cover_tracked_mutations_only() {
+        let mut sys = example_2_1().unwrap();
+        let v0 = sys.version();
+        sys.insert_local("A", tup![7, "sn7", 3]).unwrap();
+        sys.run_exchange().unwrap();
+        let v1 = sys.version();
+        assert_eq!(v1, v0 + 2, "insert + exchange seal one entry each");
+        let entries: Vec<_> = sys.delta_entries(v0, v1).unwrap().collect();
+        assert_eq!(entries.len(), 2);
+        // The insert's entry carries the local base derivation.
+        assert!(entries[0]
+            .ops
+            .iter()
+            .any(|op| matches!(op, DeltaOp::AddDerivation { mapping, .. } if mapping == "L_A")));
+        assert!(entries[0].touched.contains("A_l"));
+        // The exchange's entry touches the public tables it filled.
+        assert!(entries[1].touched.contains("A"));
+        assert!(entries[1].touched.contains("O"));
+        // Write sets ride the same entries.
+        let ws = sys.write_set_since(v0).unwrap();
+        assert!(ws.contains("A_l") && ws.contains("O"));
+        // An untracked bump breaks the chain.
+        sys.bump_version();
+        assert!(sys.delta_entries(v0, sys.version()).is_none());
+        assert!(sys.write_set_since(v0).is_none());
+        assert!(sys.delta_entries(sys.version(), sys.version()).is_some());
+    }
+
+    #[test]
+    fn tracked_delete_stages_until_committed() {
+        let mut sys = example_2_1().unwrap();
+        let v0 = sys.version();
+        let removed = sys.delete_row_tracked("A_l", &tup![1]).unwrap().unwrap();
+        assert_eq!(removed, tup![1, "sn1", 7]);
+        assert_eq!(sys.version(), v0, "tracked deletes do not bump eagerly");
+        assert!(sys.commit_tracked_mutation());
+        assert_eq!(sys.version(), v0 + 1);
+        let entries: Vec<_> = sys.delta_entries(v0, v0 + 1).unwrap().collect();
+        assert!(entries[0]
+            .ops
+            .iter()
+            .any(|op| matches!(op, DeltaOp::RemoveDerivation { mapping, .. } if mapping == "L_A")));
+        // Nothing staged ⇒ no bump.
+        assert!(!sys.commit_tracked_mutation());
+        assert_eq!(sys.version(), v0 + 1);
+        // Deleting a missing row stages nothing.
+        assert!(sys.delete_row_tracked("A_l", &tup![99]).unwrap().is_none());
+        assert!(!sys.commit_tracked_mutation());
+    }
+
+    #[test]
+    fn superfluous_rows_projected_through_matchers() {
+        let sys = example_2_1().unwrap();
+        // m4: O(n, h, true) :- A(i, n, h) — P_m4 columns are (i, n, h)?
+        // Columns are the distinct key vars: A's key (i), O's key (n).
+        let rows = sys.superfluous_prov_rows("A", &tup![1, "sn1", 7]);
+        assert!(rows.iter().any(|(m, _)| m == "m4"));
+        assert!(rows.iter().any(|(m, _)| m == "m2"));
+        // Local table rows feed the L_A view.
+        let rows = sys.superfluous_prov_rows("A_l", &tup![1, "sn1", 7]);
+        assert!(rows.iter().any(|(m, _)| m == "L_A"));
+        // m3 reads C: every C row qualifies (projection on its key).
+        let rows = sys.superfluous_prov_rows("C", &tup![2, "cn2"]);
+        assert!(rows.iter().any(|(m, r)| m == "m3" && *r == tup![2, "cn2"]));
+
+        // Constant filters in the body atom gate the projection.
+        let mut sys = ProvenanceSystem::new();
+        use proql_common::ValueType::*;
+        sys.add_relation_with_local(
+            Schema::build("N2", &[("id", Int), ("canon", Bool)], &[0]).unwrap(),
+        )
+        .unwrap();
+        sys.add_relation(Schema::build("X", &[("id", Int)], &[0]).unwrap())
+            .unwrap();
+        sys.add_mapping_text("mc: X(i) :- N2(i, false)").unwrap();
+        assert!(!sys
+            .superfluous_prov_rows("N2", &tup![1, true])
+            .iter()
+            .any(|(m, _)| m == "mc"));
+        assert!(sys
+            .superfluous_prov_rows("N2", &tup![1, false])
+            .iter()
+            .any(|(m, _)| m == "mc"));
+    }
+
+    #[test]
     fn spec_and_rule_lookup() {
         let sys = example_2_1().unwrap();
         assert!(sys.spec_for("m5").is_some());
@@ -396,5 +907,17 @@ mod tests {
         assert!(sys.is_local_relation("A_l"));
         assert_eq!(sys.local_of("A"), Some("A_l".into()));
         assert_eq!(sys.local_of("P_m1"), None);
+    }
+
+    #[test]
+    fn cow_clone_shares_until_written() {
+        let sys = example_2_1().unwrap();
+        let mut snap = sys.clone();
+        assert!(sys.db.shares_table_storage(&snap.db, "A"));
+        snap.insert_local("A", tup![9, "sn9", 1]).unwrap();
+        assert!(!sys.db.shares_table_storage(&snap.db, "A_l"));
+        assert!(sys.db.shares_table_storage(&snap.db, "O"));
+        let deep = sys.deep_clone();
+        assert!(!sys.db.shares_table_storage(&deep.db, "O"));
     }
 }

@@ -12,7 +12,7 @@ use crate::semiring::{MapFn, SemiringKind};
 use proql_common::par::par_map;
 use proql_common::{DerivationId, Error, Parallelism, Result, TupleId};
 use proql_provgraph::{ProvGraph, TupleNode};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A boxed leaf-assignment closure. `Send + Sync` so the level-parallel
 /// evaluator can call it from worker threads.
@@ -35,6 +35,13 @@ pub struct Assignment<'a> {
     /// exchange sets this to the semiring zero so tuples that lost every
     /// derivation are recognized as underivable.
     pub dangling: Option<Annotation>,
+    /// Derivations to evaluate **as if removed**: they contribute nothing
+    /// to their targets' ⊕, and a tuple whose every derivation is masked
+    /// counts as dangling. CDSS deletion uses this to ask "what remains
+    /// derivable without these `+` derivations?" against a shared,
+    /// unmodified graph instead of cloning or rebuilding it. Ids are only
+    /// meaningful for the graph being evaluated.
+    pub masked: Option<HashSet<DerivationId>>,
 }
 
 impl<'a> Assignment<'a> {
@@ -46,6 +53,7 @@ impl<'a> Assignment<'a> {
             leaf: Box::new(move |_, label| kind.default_leaf(label)),
             map_fn: Box::new(|_| MapFn::Identity),
             dangling: None,
+            masked: None,
         }
     }
 
@@ -67,6 +75,12 @@ impl<'a> Assignment<'a> {
     /// Give dangling leaves (no derivations at all) a fixed value.
     pub fn with_dangling(mut self, v: Annotation) -> Assignment<'a> {
         self.dangling = Some(v);
+        self
+    }
+
+    /// Evaluate as if the given derivations were removed from the graph.
+    pub fn with_masked(mut self, masked: HashSet<DerivationId>) -> Assignment<'a> {
+        self.masked = Some(masked);
         self
     }
 }
@@ -163,9 +177,10 @@ fn tuple_value(
     tuple_vals: &DenseVals,
 ) -> Result<Annotation> {
     let derivs = graph.derivations_of(t);
-    if derivs.is_empty() {
-        // Dangling leaf of a projected subgraph: gets the configured value
-        // or a leaf assignment.
+    let is_masked = |d: &DerivationId| assign.masked.as_ref().is_some_and(|m| m.contains(d));
+    if derivs.iter().all(is_masked) {
+        // Dangling leaf (possibly only after masking): gets the configured
+        // value or a leaf assignment.
         if let Some(v) = &assign.dangling {
             return Ok(v.clone());
         }
@@ -176,6 +191,9 @@ fn tuple_value(
     }
     let mut acc = assign.kind.zero();
     for &d in derivs {
+        if is_masked(&d) {
+            continue;
+        }
         let dv = derivation_value(graph, assign, d, tuple_vals)?;
         acc = assign.kind.plus(&acc, &dv)?;
     }
@@ -194,7 +212,7 @@ fn evaluate_in_order(
     assign: &Assignment<'_>,
     order: &[TupleId],
 ) -> Result<HashMap<TupleId, Annotation>> {
-    let mut vals: DenseVals = vec![None; graph.tuple_count()];
+    let mut vals: DenseVals = vec![None; graph.tuple_id_bound()];
     for &t in order {
         let v = tuple_value(graph, assign, t, &vals)?;
         vals[t.index()] = Some(v);
@@ -214,7 +232,7 @@ const PAR_LEVEL_MIN: usize = 64;
 /// ordering). Shared by the level-parallel walk here and the
 /// grouped-aggregation ⊕ evaluator in `proql`.
 pub fn level_order(graph: &ProvGraph, order: &[TupleId]) -> Vec<Vec<TupleId>> {
-    let mut level: Vec<u32> = vec![0; graph.tuple_count()];
+    let mut level: Vec<u32> = vec![0; graph.tuple_id_bound()];
     let mut max_level = 0u32;
     for &t in order {
         let mut lvl = 0;
@@ -243,7 +261,7 @@ fn evaluate_by_levels(
     par: Parallelism,
 ) -> Result<HashMap<TupleId, Annotation>> {
     let by_level = level_order(graph, order);
-    let mut vals: DenseVals = vec![None; graph.tuple_count()];
+    let mut vals: DenseVals = vec![None; graph.tuple_id_bound()];
     for tuples in &by_level {
         if tuples.len() < PAR_LEVEL_MIN {
             for &t in tuples {
@@ -284,7 +302,7 @@ fn evaluate_fixpoint(
         )));
     }
     let n = graph.tuple_count() + graph.derivation_count() + 2;
-    let mut vals: DenseVals = vec![Some(assign.kind.zero()); graph.tuple_count()];
+    let mut vals: DenseVals = vec![Some(assign.kind.zero()); graph.tuple_id_bound()];
     for _ in 0..n {
         let mut changed = false;
         for t in graph.tuple_ids() {
@@ -312,6 +330,36 @@ mod tests {
 
     fn example_graph() -> ProvGraph {
         ProvGraph::from_system(&example_2_1().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn masked_derivations_evaluate_as_removed() {
+        let g = example_graph();
+        // Mask the `+` derivation grounding C(2,cn2): the C/N cycle loses
+        // its only ground support, so the cn2 family becomes underivable
+        // without mutating the shared graph.
+        let c2 = g.find_tuple("C", &tup![2, "cn2"]).unwrap();
+        let base = g
+            .derivations_of(c2)
+            .iter()
+            .copied()
+            .find(|&d| g.derivation(d).is_base)
+            .expect("C(2,cn2) is locally grounded");
+        let assign = Assignment::default_for(SemiringKind::Derivability)
+            .with_dangling(Annotation::Bool(false))
+            .with_masked([base].into_iter().collect());
+        let vals = evaluate(&g, &assign).unwrap();
+        assert_eq!(vals.get(&c2), Some(&Annotation::Bool(false)));
+        let ocn2 = g.find_tuple("O", &tup!["cn2"]).unwrap();
+        assert_eq!(vals.get(&ocn2), Some(&Annotation::Bool(false)));
+        // Tuples grounded elsewhere survive the mask.
+        let osn1 = g.find_tuple("O", &tup!["sn1"]).unwrap();
+        assert_eq!(vals.get(&osn1), Some(&Annotation::Bool(true)));
+        // The same graph unmasked still derives everything.
+        let assign = Assignment::default_for(SemiringKind::Derivability)
+            .with_dangling(Annotation::Bool(false));
+        let vals = evaluate(&g, &assign).unwrap();
+        assert_eq!(vals.get(&c2), Some(&Annotation::Bool(true)));
     }
 
     #[test]

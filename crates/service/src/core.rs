@@ -6,11 +6,15 @@
 //!   write: [`ServiceCore::query`] grabs the **current snapshot**
 //!   (an `Arc<Snapshot>` behind a briefly-held `RwLock`) and runs the
 //!   whole query against that immutable snapshot.
-//! * Writers serialize through `write_gate`, build the next system
-//!   **copy-on-write** (clone → mutate → wrap in a fresh [`Engine`]),
-//!   record the write set in the result cache, and only then publish the
-//!   new snapshot. In-flight readers keep their `Arc` to the old
-//!   snapshot and finish with a consistent view.
+//! * Writers serialize through `write_gate` and publish `(snapshot,
+//!   delta)` pairs: the next system is a **copy-on-write** clone
+//!   (O(#relations) pointer bumps; only mutated tables materialize), the
+//!   mutation seals a [`proql_provgraph::GraphDelta`] in the system's
+//!   delta log, the write set recorded in the result cache is derived
+//!   from that delta, and the published engine adopts the previous
+//!   snapshot's provenance graph so the first graph query after the
+//!   write patches instead of rebuilding. In-flight readers keep their
+//!   `Arc` to the old snapshot and finish with a consistent view.
 //! * The cache's freshness rule (see [`crate::cache`]) makes the
 //!   reader/writer races benign: a result computed against a snapshot
 //!   that a concurrent write has outdated is rejected at insert time,
@@ -21,12 +25,31 @@
 
 use crate::cache::{CacheCounters, PlanCache, PlanCacheCounters, ResultCache};
 use proql::engine::{Engine, EngineOptions, QueryOutput};
-use proql_cdss::update::{delete_local, DeleteStats};
+use proql_cdss::update::{delete_local_with_graph, DeleteStats};
 use proql_common::{Result, Tuple};
 use proql_provgraph::ProvenanceSystem;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock with poison recovery: a worker that panicked mid-query must not
+/// wedge every other worker. The data behind each service lock is safe to
+/// resume after a panic — the snapshot slot is a single `Arc` swap, and
+/// the caches are freshness-checked on every read — so the poison flag
+/// carries no information here.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Read-lock with poison recovery (see [`lock`]).
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-lock with poison recovery (see [`lock`]).
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One immutable published version of the system: queries run against a
 /// snapshot end-to-end, so a write landing mid-query cannot tear results.
@@ -166,7 +189,7 @@ impl ServiceCore {
 
     /// The currently published snapshot.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.state.read().expect("state lock"))
+        Arc::clone(&read_lock(&self.state))
     }
 
     /// The currently published system version.
@@ -225,11 +248,11 @@ impl ServiceCore {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let key = ServiceCore::cache_key(text);
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = lock(&self.cache);
             // Read the published version while holding the cache lock:
             // writers record their write set before publishing, so an
             // entry that passes the epoch check is valid at `version`.
-            let version = self.state.read().expect("state lock").version;
+            let version = read_lock(&self.state).version;
             if let Some(output) = cache.lookup(&key) {
                 return Ok(QueryResponse {
                     version,
@@ -243,13 +266,9 @@ impl ServiceCore {
         // Result miss: reuse the cached plan when its statistics are
         // still current (plan reuse is always *correct*; the fingerprint
         // check only guards cost-optimality).
-        let cached_plan =
-            self.plans
-                .lock()
-                .expect("plan lock")
-                .lookup(&key, snap.version, |touched| {
-                    snap.engine.stats_fingerprint(touched)
-                });
+        let cached_plan = lock(&self.plans).lookup(&key, snap.version, |touched| {
+            snap.engine.stats_fingerprint(touched)
+        });
         let (prepared, plan_cache_hit) = match cached_plan {
             Some(p) => (p, true),
             None => {
@@ -257,16 +276,12 @@ impl ServiceCore {
                 // and must not serialize other queries' lookups. A racing
                 // duplicate prepare is benign (last insert wins).
                 let p = Arc::new(snap.engine.prepare(text)?);
-                self.plans.lock().expect("plan lock").insert(
-                    key.clone(),
-                    Arc::clone(&p),
-                    snap.version,
-                );
+                lock(&self.plans).insert(key.clone(), Arc::clone(&p), snap.version);
                 (p, false)
             }
         };
         let output = Arc::new(snap.engine.execute(&prepared)?);
-        self.cache.lock().expect("cache lock").insert(
+        lock(&self.cache).insert(
             key,
             output.touched.clone(),
             snap.version,
@@ -281,78 +296,77 @@ impl ServiceCore {
     }
 
     /// Apply a mutation through the single-writer path: clone the
-    /// current system, run `mutate` on the clone, then publish the
-    /// result as the next snapshot. `mutate` returns the write set —
-    /// the relations it modified — which is recorded in the cache
-    /// *before* the new snapshot becomes visible; returning `None`
-    /// reports a no-op (nothing is published, no entry is evicted).
+    /// current system **copy-on-write** (O(#relations) pointer bumps —
+    /// only the tables the mutation touches are materialized), run
+    /// `mutate` on the clone, then publish the result as the next
+    /// snapshot. The published engine **adopts** the previous snapshot's
+    /// cached provenance graph, so the first graph query after the write
+    /// pays a delta patch instead of a from-scratch rebuild.
+    ///
+    /// `mutate` returns the write set — the relations it modified —
+    /// which is recorded in the cache *before* the new snapshot becomes
+    /// visible; returning `None` reports a no-op (nothing is published,
+    /// no entry is evicted).
     fn write<T>(
         &self,
-        mutate: impl FnOnce(&mut ProvenanceSystem) -> Result<Option<(BTreeSet<String>, T)>>,
+        mutate: impl FnOnce(&Snapshot, &mut ProvenanceSystem) -> Result<Option<(BTreeSet<String>, T)>>,
     ) -> Result<Option<(u64, T)>> {
-        let _gate = self.write_gate.lock().expect("write gate");
+        let _gate = lock(&self.write_gate);
         let current = self.snapshot();
         let mut sys = current.engine.sys.clone();
-        let Some((write_set, value)) = mutate(&mut sys)? else {
+        let Some((write_set, value)) = mutate(&current, &mut sys)? else {
             return Ok(None);
         };
         let version = sys.version();
         debug_assert!(version > current.version, "mutations must bump the version");
-        let next = Arc::new(Snapshot {
-            version,
-            engine: Engine::with_options(sys, self.options.clone()),
-        });
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .record_write(write_set.iter().map(String::as_str), version);
-        *self.state.write().expect("state lock") = next;
+        let engine = Engine::with_options(sys, self.options.clone());
+        engine.adopt_graph_cache(&current.engine);
+        let next = Arc::new(Snapshot { version, engine });
+        lock(&self.cache).record_write(write_set.iter().map(String::as_str), version);
+        *write_lock(&self.state) = next;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(Some((version, value)))
     }
 
     /// CDSS deletion: remove a tuple from `relation`'s local table and
-    /// garbage-collect everything no longer derivable. Returns the new
-    /// version and the deletion stats (whose `touched` set drove cache
-    /// invalidation).
+    /// garbage-collect everything no longer derivable. The derivability
+    /// analysis runs against the current snapshot's cached provenance
+    /// graph (building it once if absent — later deletes patch it
+    /// forward), so a delete costs the cascade, not a graph rebuild.
+    /// Returns the new version and the deletion stats (whose `touched`
+    /// set drove cache invalidation).
     pub fn delete(&self, relation: &str, key: &Tuple) -> Result<(u64, DeleteStats)> {
-        let published = self.write(|sys| {
-            let stats = delete_local(sys, relation, key)?;
+        let published = self.write(|snap, sys| {
+            let graph = snap.engine.graph()?;
+            let stats = delete_local_with_graph(sys, relation, key, &graph)?;
             Ok(Some((stats.touched.clone(), stats)))
         })?;
         Ok(published.expect("a successful deletion is never a no-op"))
     }
 
     /// Insert a tuple into `relation`'s local table and re-run the
-    /// exchange. The write set is measured precisely: the local table
-    /// plus every base table whose row count the exchange changed. A
-    /// duplicate insert is a no-op under set semantics: nothing is
-    /// published, no cache entry dies, and the current version is
-    /// returned with an empty write set.
+    /// exchange (incrementally — seeded with just this row). The write
+    /// set rides the sealed graph deltas: exactly the base tables the
+    /// insert and its exchange touched. A duplicate insert is a no-op
+    /// under set semantics: nothing is published, no cache entry dies,
+    /// and the current version is returned with an empty write set.
     pub fn insert_and_exchange(
         &self,
         relation: &str,
         tuple: Tuple,
     ) -> Result<(u64, BTreeSet<String>)> {
-        let published = self.write(|sys| {
-            let before: Vec<(String, usize)> = sys
-                .db
-                .table_names()
-                .map(|n| (n.to_string(), sys.db.table(n).map(|t| t.len()).unwrap_or(0)))
-                .collect();
+        let published = self.write(|_snap, sys| {
+            let v0 = sys.version();
             if !sys.insert_local(relation, tuple)? {
                 return Ok(None);
             }
             sys.run_exchange()?;
-            let mut write_set: BTreeSet<String> = before
-                .iter()
-                .filter(|(n, len)| sys.db.table(n).map(|t| t.len()).unwrap_or(0) != *len)
-                .map(|(n, _)| n.clone())
-                .collect();
-            write_set.insert(format!(
-                "{relation}{}",
-                proql_provgraph::system::LOCAL_SUFFIX
-            ));
+            // Derive the write set from the mutation's own delta entries;
+            // if the log cannot bridge the span (it always should for a
+            // tracked insert+exchange), fail safe to "everything".
+            let write_set = sys
+                .write_set_since(v0)
+                .unwrap_or_else(|| sys.db.table_names().map(str::to_string).collect());
             Ok(Some((write_set.clone(), write_set)))
         })?;
         Ok(published.unwrap_or_else(|| (self.version(), BTreeSet::new())))
@@ -363,17 +377,17 @@ impl ServiceCore {
     /// correctness-independent of data, so only statistics drift (checked
     /// on every reuse) retires them.
     pub fn invalidate(&self) -> usize {
-        self.cache.lock().expect("cache lock").clear()
+        lock(&self.cache).clear()
     }
 
     /// Point-in-time statistics.
     pub fn stats(&self) -> ServiceStats {
         let (entries, counters) = {
-            let cache = self.cache.lock().expect("cache lock");
+            let cache = lock(&self.cache);
             (cache.len() as u64, cache.counters())
         };
         let (plan_entries, plan_counters) = {
-            let plans = self.plans.lock().expect("plan lock");
+            let plans = lock(&self.plans);
             (plans.len() as u64, plans.counters())
         };
         ServiceStats {
@@ -594,6 +608,62 @@ mod tests {
         assert!(core.delete("X", &tup![99]).is_err());
         assert_eq!(core.version(), v0);
         assert_eq!(core.query(Q_Y).unwrap().output.projection.bindings.len(), 5);
+    }
+
+    #[test]
+    fn writes_publish_shared_structure_snapshots() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let before = core.snapshot();
+        core.insert_and_exchange("X", tup![9, 90]).unwrap();
+        let after = core.snapshot();
+        // The U/V island was untouched: its tables are shared pointers.
+        assert!(before
+            .engine
+            .sys
+            .db
+            .shares_table_storage(&after.engine.sys.db, "U"));
+        assert!(before
+            .engine
+            .sys
+            .db
+            .shares_table_storage(&after.engine.sys.db, "V"));
+        // The written family was materialized copy-on-write.
+        assert!(!before
+            .engine
+            .sys
+            .db
+            .shares_table_storage(&after.engine.sys.db, "X_l"));
+        assert_eq!(before.engine.sys.db.table("X_l").unwrap().len(), 5);
+        assert_eq!(after.engine.sys.db.table("X_l").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn deletes_ride_the_cached_graph_and_deltas() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        // First delete builds the graph once; the published snapshots
+        // adopt and patch it, so no further full builds happen.
+        core.delete("U", &tup![0]).unwrap();
+        core.delete("U", &tup![1]).unwrap();
+        core.delete("X", &tup![0]).unwrap();
+        let snap = core.snapshot();
+        let g = snap.engine.graph().unwrap();
+        assert_eq!(
+            snap.engine.graph_build_count(),
+            0,
+            "published engines must patch the adopted graph, not rebuild"
+        );
+        assert_eq!(
+            g.digest(),
+            proql_provgraph::ProvGraph::from_system(&snap.engine.sys)
+                .unwrap()
+                .digest(),
+            "patched service graph must match a from-scratch rebuild"
+        );
+        // And query results over it are correct.
+        let y = core.query(Q_Y).unwrap();
+        assert_eq!(y.output.projection.bindings.len(), 4);
+        let v = core.query(Q_V).unwrap();
+        assert_eq!(v.output.projection.bindings.len(), 3);
     }
 
     #[test]

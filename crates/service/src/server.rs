@@ -104,8 +104,11 @@ fn worker_loop(core: Arc<ServiceCore>, rx: Arc<Mutex<Receiver<TcpStream>>>, stop
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        // Hold the receiver lock only while picking up a connection.
-        let stream = match rx.lock().expect("worker queue lock").recv() {
+        // Hold the receiver lock only while picking up a connection. A
+        // worker that panicked mid-connection poisons the queue lock, but
+        // the receiver itself is still usable — recover instead of letting
+        // one crash starve every remaining worker.
+        let stream = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
             Ok(s) => s,
             Err(_) => return, // acceptor gone
         };

@@ -4,16 +4,27 @@ use crate::plan::Plan;
 use crate::table::Table;
 use proql_common::{Error, Result, Schema, Tuple};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// An in-memory database: a set of named [`Table`]s plus virtual views.
 ///
 /// Views exist to implement the paper's **superfluous provenance relations**
 /// (§4.1): when a mapping is a pure projection, its provenance relation is
 /// not materialized but defined as a view over the source relation.
+///
+/// # Shared-structure snapshots
+///
+/// Tables are stored behind `Arc`s, so [`Clone`] is a **snapshot**: it costs
+/// O(#relations) pointer bumps, and the clone shares every table's storage
+/// with the original. Mutation goes through [`Database::table_mut`], which
+/// copy-on-writes at table granularity — only the tables a write actually
+/// touches are materialized in the new version. This is what makes the
+/// single-writer service's clone-mutate-publish write path proportional to
+/// the delta instead of the database.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
-    views: BTreeMap<String, View>,
+    tables: BTreeMap<String, Arc<Table>>,
+    views: Arc<BTreeMap<String, View>>,
 }
 
 /// A named virtual view: a plan plus the schema its output rows follow.
@@ -37,7 +48,7 @@ impl Database {
         if self.tables.contains_key(&name) || self.views.contains_key(&name) {
             return Err(Error::AlreadyExists(format!("relation {name}")));
         }
-        self.tables.insert(name, Table::new(schema));
+        self.tables.insert(name, Arc::new(Table::new(schema)));
         Ok(())
     }
 
@@ -54,13 +65,16 @@ impl Database {
                 "relation {name} exists as a base table"
             )));
         }
-        self.views.insert(name, View { plan, schema });
+        Arc::make_mut(&mut self.views).insert(name, View { plan, schema });
         Ok(())
     }
 
     /// Drop a table or view.
     pub fn drop_relation(&mut self, name: &str) -> Result<()> {
-        if self.tables.remove(name).is_some() || self.views.remove(name).is_some() {
+        if self.tables.remove(name).is_some() {
+            Ok(())
+        } else if self.views.contains_key(name) {
+            Arc::make_mut(&mut self.views).remove(name);
             Ok(())
         } else {
             Err(Error::NotFound(format!("relation {name}")))
@@ -71,13 +85,17 @@ impl Database {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(name)
+            .map(Arc::as_ref)
             .ok_or_else(|| Error::NotFound(format!("table {name}")))
     }
 
-    /// Mutable access to a base table.
+    /// Mutable access to a base table. When the table's storage is shared
+    /// with another snapshot, it is materialized (deep-copied) first —
+    /// copy-on-write at table granularity.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| Error::NotFound(format!("table {name}")))
     }
 
@@ -122,10 +140,32 @@ impl Database {
         self.views.keys().map(String::as_str)
     }
 
+    /// True iff `name`'s storage is physically shared (same `Arc`) between
+    /// `self` and `other`. Snapshot tests and the write benchmarks use this
+    /// to assert that copy-on-write only materializes what a write touched.
+    pub fn shares_table_storage(&self, other: &Database, name: &str) -> bool {
+        match (self.tables.get(name), other.tables.get(name)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// A clone with **no** shared structure: every table is materialized.
+    /// This is the old O(database) write-path clone, kept for the
+    /// full-rebuild baselines the write benchmarks compare against.
+    pub fn deep_clone(&self) -> Database {
+        let mut out = self.clone();
+        let names: Vec<String> = out.table_names().map(str::to_string).collect();
+        for name in names {
+            let _ = out.table_mut(&name);
+        }
+        out
+    }
+
     /// Total number of live rows across all base tables (the paper's
     /// "instance size" metric in Figures 9–10).
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 }
 
@@ -181,5 +221,49 @@ mod tests {
         let db = Database::new();
         assert!(db.table("nope").is_err());
         assert!(db.schema_of("nope").is_err());
+    }
+
+    #[test]
+    fn clone_shares_storage_until_written() {
+        let mut db = Database::new();
+        db.create_table(schema("A")).unwrap();
+        db.create_table(schema("B")).unwrap();
+        db.insert("A", tup![1]).unwrap();
+        db.insert("B", tup![1]).unwrap();
+
+        let mut snap = db.clone();
+        assert!(db.shares_table_storage(&snap, "A"));
+        assert!(db.shares_table_storage(&snap, "B"));
+
+        // Writing to A in the snapshot materializes only A.
+        snap.insert("A", tup![2]).unwrap();
+        assert!(!db.shares_table_storage(&snap, "A"));
+        assert!(db.shares_table_storage(&snap, "B"));
+
+        // The original is untouched (copy-on-write, not in-place).
+        assert_eq!(db.table("A").unwrap().len(), 1);
+        assert_eq!(snap.table("A").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let mut db = Database::new();
+        db.create_table(schema("A")).unwrap();
+        db.insert("A", tup![1]).unwrap();
+        let deep = db.deep_clone();
+        assert!(!db.shares_table_storage(&deep, "A"));
+        assert_eq!(deep.table("A").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn view_map_is_cow_too() {
+        let mut db = Database::new();
+        db.create_table(schema("A")).unwrap();
+        db.create_view("V", Plan::scan("A"), schema("V")).unwrap();
+        let mut snap = db.clone();
+        snap.create_view("W", Plan::scan("A"), schema("W")).unwrap();
+        assert!(db.view("W").is_none());
+        assert!(snap.view("W").is_some());
+        assert!(snap.view("V").is_some());
     }
 }

@@ -1,0 +1,219 @@
+//! PRNG property suite for delta-maintained provenance graphs.
+//!
+//! Replays random mutation interleavings — local inserts, (incremental)
+//! exchanges, CDSS deletes through both the plain and the cached-graph
+//! path, and out-of-band direct-db writes with a bare version bump — and
+//! asserts after **every** mutation that the engine's delta-patched graph
+//! is digest-identical to a from-scratch `ProvGraph::from_system` rebuild.
+//! The whole replay sweeps ExecMode × Parallelism, replaying query
+//! results against a fresh engine at matching configuration.
+
+use proql::engine::{Engine, EngineOptions, Strategy};
+use proql_cdss::update::{delete_local, delete_local_with_graph};
+use proql_common::rng::SplitMix64;
+use proql_common::{tup, Parallelism, Schema, Tuple, Value, ValueType};
+use proql_provgraph::{ProvGraph, ProvenanceSystem};
+use proql_service::result_digest;
+use proql_storage::ExecMode;
+
+/// Two mapping families over five relations:
+///
+/// * acyclic: `X → Y` (superfluous) and `X ⋈ Y → Z` (materialized `P_mz`),
+/// * cyclic:  `U → V ↔ W` (the V/W loop exercises fixpoint evaluation and
+///   makes `Strategy::Auto` resolve to the graph walk).
+fn build_system() -> ProvenanceSystem {
+    let mut sys = ProvenanceSystem::new();
+    for name in ["X", "Y", "U", "V", "W"] {
+        sys.add_relation_with_local(
+            Schema::build(name, &[("id", ValueType::Int), ("w", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+    }
+    sys.add_relation(
+        Schema::build(
+            "Z",
+            &[
+                ("id", ValueType::Int),
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+            ],
+            &[0],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    sys.add_mapping_text("my: Y(i, w) :- X(i, w)").unwrap();
+    sys.add_mapping_text("mz: Z(i, a, b) :- X(i, a), Y(i, b)")
+        .unwrap();
+    sys.add_mapping_text("mv: V(i, w) :- U(i, w)").unwrap();
+    sys.add_mapping_text("mw: W(i, w) :- V(i, w)").unwrap();
+    sys.add_mapping_text("mv2: V(i, w) :- W(i, w)").unwrap();
+    for i in 0..4i64 {
+        sys.insert_local("X", tup![i, i * 10]).unwrap();
+        sys.insert_local("U", tup![i, i * 10]).unwrap();
+    }
+    sys.run_exchange().unwrap();
+    sys
+}
+
+const QUERIES: [&str; 3] = [
+    "FOR [Z $x] INCLUDE PATH [$x] <-+ [] RETURN $x",
+    "FOR [V $x] INCLUDE PATH [$x] <-+ [] RETURN $x",
+    "EVALUATE DERIVABILITY OF { FOR [W $x] INCLUDE PATH [$x] <-+ [] RETURN $x }",
+];
+
+fn assert_graph_matches_rebuild(engine: &Engine, step: &str) {
+    let patched = engine.graph().expect("graph maintains");
+    let rebuilt = ProvGraph::from_system(&engine.sys).expect("rebuild");
+    assert_eq!(
+        patched.digest(),
+        rebuilt.digest(),
+        "delta-maintained graph diverged from rebuild after {step}"
+    );
+    assert_eq!(patched.tuple_count(), rebuilt.tuple_count(), "after {step}");
+    assert_eq!(
+        patched.derivation_count(),
+        rebuilt.derivation_count(),
+        "after {step}"
+    );
+}
+
+fn assert_queries_match_fresh(engine: &Engine, step: &str) {
+    let fresh = Engine::with_options(engine.sys.clone(), engine.options.clone());
+    fresh.invalidate_cache();
+    for q in QUERIES {
+        let a = engine.query(q).expect("delta-engine query");
+        let b = fresh.query(q).expect("fresh-engine query");
+        assert_eq!(
+            result_digest(&a),
+            result_digest(&b),
+            "query {q} diverged after {step}"
+        );
+    }
+}
+
+fn replay(seed: u64, exec_mode: ExecMode, parallelism: Parallelism) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut engine = Engine::with_options(
+        build_system(),
+        EngineOptions {
+            strategy: Strategy::Auto, // cyclic schema graph → graph walk
+            exec_mode,
+            parallelism,
+            ..EngineOptions::default()
+        },
+    );
+    // Live local keys per insertable relation, for delete targeting.
+    let rels = ["X", "U", "V"];
+    let mut live: Vec<Vec<i64>> = vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![]];
+    let mut next_key = 100i64;
+    let mut pending_exchange = false;
+
+    for step in 0..40 {
+        let op = rng.gen_range_usize(0, 10);
+        let label;
+        match op {
+            // Insert a fresh local row (60% weight keeps the graph growing),
+            // usually exchanging right away, sometimes leaving it pending.
+            0..=5 => {
+                let r = rng.gen_range_usize(0, rels.len());
+                let k = next_key;
+                next_key += 1;
+                engine
+                    .sys
+                    .insert_local(rels[r], tup![k, k * 7])
+                    .expect("insert");
+                live[r].push(k);
+                if rng.gen_range_usize(0, 4) > 0 {
+                    engine.sys.run_exchange().expect("exchange");
+                    pending_exchange = false;
+                    label = format!("step {step}: insert {}+exchange", rels[r]);
+                } else {
+                    pending_exchange = true;
+                    label = format!("step {step}: insert {} (pending)", rels[r]);
+                }
+            }
+            // Exchange whatever is pending (possibly a no-op).
+            6 => {
+                engine.sys.run_exchange().expect("exchange");
+                pending_exchange = false;
+                label = format!("step {step}: exchange");
+            }
+            // CDSS delete via the plain path or the cached-graph path.
+            7 | 8 => {
+                let r = rng.gen_range_usize(0, rels.len());
+                if live[r].is_empty() {
+                    continue;
+                }
+                let at = rng.gen_range_usize(0, live[r].len());
+                let k = live[r].swap_remove(at);
+                if op == 7 {
+                    delete_local(&mut engine.sys, rels[r], &tup![k]).expect("delete");
+                    label = format!("step {step}: delete {}({k})", rels[r]);
+                } else {
+                    let graph = engine.graph().expect("pre-delete graph");
+                    delete_local_with_graph(&mut engine.sys, rels[r], &tup![k], &graph)
+                        .expect("delete with graph");
+                    label = format!("step {step}: cached-graph delete {}({k})", rels[r]);
+                }
+                pending_exchange = false;
+            }
+            // Out-of-band write: direct db mutation + bare version bump
+            // breaks the delta chain; the engine must fall back to a full
+            // rebuild and still agree.
+            _ => {
+                let k = next_key;
+                next_key += 1;
+                engine
+                    .sys
+                    .db
+                    .insert("Y", Tuple::new(vec![Value::Int(k), Value::Int(k)]))
+                    .expect("direct insert");
+                engine.sys.bump_version();
+                label = format!("step {step}: direct-db insert + bump");
+            }
+        }
+        assert_graph_matches_rebuild(&engine, &label);
+        if step % 8 == 7 {
+            assert_queries_match_fresh(&engine, &label);
+        }
+    }
+    let _ = pending_exchange;
+    assert!(
+        engine.graph_patch_count() > 0,
+        "the replay must actually exercise delta patching \
+         (patches={}, builds={})",
+        engine.graph_patch_count(),
+        engine.graph_build_count()
+    );
+}
+
+#[test]
+fn random_interleavings_batch_serial() {
+    replay(0xA11CE, ExecMode::Batch, Parallelism::Serial);
+}
+
+#[test]
+fn random_interleavings_batch_threads() {
+    replay(0xB0B, ExecMode::Batch, Parallelism::Threads(2));
+}
+
+#[test]
+fn random_interleavings_row_serial() {
+    replay(0xC0FFEE, ExecMode::Row, Parallelism::Serial);
+}
+
+#[test]
+fn random_interleavings_row_threads() {
+    replay(0xD00D, ExecMode::Row, Parallelism::Threads(2));
+}
+
+#[test]
+fn random_interleavings_nested_loop_serial() {
+    replay(0xE66, ExecMode::NestedLoop, Parallelism::Serial);
+}
+
+#[test]
+fn random_interleavings_nested_loop_threads() {
+    replay(0xF00D, ExecMode::NestedLoop, Parallelism::Threads(2));
+}

@@ -3,25 +3,37 @@
 //!
 //! Starts a [`proql_service::ServiceCore`] over a CDSS chain (plus the
 //! disconnected `Island` family), exposes it on a loopback TCP port,
-//! and drives it in two phases:
+//! and drives it in three phases:
 //!
 //! 1. **Load**: `PROQL_CLIENTS` concurrent connections replay a small
 //!    set of hot target-peer queries while a writer deletes island
 //!    tuples over the same wire — writes whose write sets share no
 //!    relation with any hot query, so the dependency-tracked cache must
 //!    keep serving hits throughout.
-//! 2. **Invalidation demo** (serial): one unrelated write followed by a
+//! 2. **Maintenance demo** (serial): one unrelated write followed by a
 //!    re-query (asserted to be a cache **hit**), then one write inside
-//!    the chain followed by a re-query (asserted to be a **miss**).
+//!    the chain followed by a re-query — with incremental view
+//!    maintenance the touched entry is patched forward, so this is
+//!    asserted to be a **hit** too, at the new version.
+//! 3. **Sustained touching writes** (serial): every round deletes a
+//!    chain tuple that intersects all hot entries, then replays the hot
+//!    set; the effective hit rate under this adversarial write stream is
+//!    the maintenance payoff. Afterwards the maintained answers are
+//!    checked digest-equal to fresh recomputation (`INVALIDATE` + serve
+//!    from scratch, which also demonstrates prepared-plan reuse), and a
+//!    second in-process core with maintenance disabled reproduces the
+//!    old evict-on-write contract as the ablation baseline.
 //!
 //! Reports throughput, client-observed latency percentiles, cache hit
-//! rate, and the two demo outcomes; `PROQL_JSON=1` emits one
-//! machine-readable line. `PROQL_MIN_HIT_RATE=<0..1>` gates the run so
-//! CI catches invalidation regressions that silently evict everything.
+//! rate, maintenance counters, and the demo outcomes; `PROQL_JSON=1`
+//! emits one machine-readable line. `PROQL_MIN_HIT_RATE=<0..1>` gates
+//! the phase-1 rate and `PROQL_MIN_MAINT_HIT_RATE=<0..1>` gates the
+//! phase-3 rate so CI catches both eviction and maintenance regressions.
 
 use proql::engine::EngineOptions;
 use proql_bench::{banner, json_output, percentile, scaled};
 use proql_cdss::topology::{build_system_with_island, CdssConfig, Topology};
+use proql_common::tup;
 use proql_service::proto::{json_f64_field, json_str_field, json_u64_field};
 use proql_service::{serve, Client, ServiceCore};
 use std::sync::Arc;
@@ -103,7 +115,7 @@ fn main() {
     });
     let wall_s = t0.elapsed().as_secs_f64();
 
-    // Phase 2 (serial): the invalidation contract, end to end over TCP.
+    // Phase 2 (serial): the maintenance contract, end to end over TCP.
     let mut demo = Client::connect(addr).expect("demo client");
     demo.query(HOT_QUERIES[0]).expect("warm");
     let unrelated = demo
@@ -120,24 +132,103 @@ fn main() {
         .request(&format!("DELETE {chain_rel} {}", base - 1))
         .expect("touching delete");
     assert!(touching.starts_with("OK "), "{touching}");
+    let touch_version = json_u64_field(&touching, "version").expect("write reply has a version");
     let after_touching = demo.query(HOT_QUERIES[0]).expect("re-query");
-    let touching_write_miss = json_str_field(&after_touching, "cache").as_deref() == Some("miss");
+    let touching_write_hit = json_str_field(&after_touching, "cache").as_deref() == Some("hit");
     assert!(
-        touching_write_miss,
-        "a write to a touched relation must evict the entry: {after_touching}"
+        touching_write_hit,
+        "a localizable write to a touched relation must be maintained, not evicted: \
+         {after_touching}"
     );
-    // The forced result miss must have reused the cached prepared plan:
-    // a point delete stays within the stats fingerprint's buckets.
-    let touching_write_plan_hit =
-        json_str_field(&after_touching, "plan_cache").as_deref() == Some("hit");
+    assert_eq!(
+        json_u64_field(&after_touching, "version"),
+        Some(touch_version),
+        "the maintained entry must be re-stamped to the write's version: {after_touching}"
+    );
+
+    // Phase 3 (serial): sustained touching-write load. Every round kills a
+    // chain tuple that every hot entry depends on; with maintenance the
+    // entries are patched forward and keep hitting.
+    for q in HOT_QUERIES {
+        demo.query(q).expect("warm hot set");
+    }
+    let rounds = env_usize("PROQL_MAINT_ROUNDS", scaled(12, 32));
+    let mut maint_requests = 0u64;
+    let mut maint_hits_observed = 0u64;
+    for round in 0..rounds {
+        let resp = demo
+            .request(&format!("DELETE {chain_rel} {}", base - 2 - round))
+            .expect("sustained chain delete");
+        assert!(resp.starts_with("OK "), "chain delete failed: {resp}");
+        for q in HOT_QUERIES {
+            let json = demo.query(q).expect("hot re-query");
+            maint_requests += 1;
+            if json_str_field(&json, "cache").as_deref() == Some("hit") {
+                maint_hits_observed += 1;
+            }
+        }
+    }
+    let maint_hit_rate = maint_hits_observed as f64 / maint_requests.max(1) as f64;
+
+    // Digest-equality: every maintained answer must be bit-identical to a
+    // from-scratch recomputation of the same query at the same snapshot.
+    // The fresh re-execution after INVALIDATE also demonstrates that a
+    // result miss reuses the cached prepared plan.
+    let maintained: Vec<(String, u64)> = HOT_QUERIES
+        .iter()
+        .map(|q| {
+            let json = demo.query(q).expect("maintained read");
+            (
+                q.to_string(),
+                json_u64_field(&json, "digest").expect("reply has a digest"),
+            )
+        })
+        .collect();
+    let inval = demo.request("INVALIDATE").expect("invalidate");
+    assert!(inval.starts_with("OK "), "{inval}");
+    let mut maint_digest_match = true;
+    let mut fresh_requery_plan_hit = true;
+    for (q, maintained_digest) in &maintained {
+        let json = demo.query(q).expect("fresh recompute");
+        assert_eq!(
+            json_str_field(&json, "cache").as_deref(),
+            Some("miss"),
+            "INVALIDATE must force a recompute: {json}"
+        );
+        fresh_requery_plan_hit &= json_str_field(&json, "plan_cache").as_deref() == Some("hit");
+        maint_digest_match &= json_u64_field(&json, "digest") == Some(*maintained_digest);
+    }
     assert!(
-        touching_write_plan_hit,
-        "an evicted result must re-execute from the cached plan: {after_touching}"
+        maint_digest_match,
+        "a maintained answer diverged from fresh recomputation"
+    );
+    assert!(
+        fresh_requery_plan_hit,
+        "a result miss must re-execute from the cached prepared plan"
     );
 
     let stats_json = demo.stats().expect("stats");
     drop(demo);
     server.shutdown();
+
+    // Ablation baseline (in-process, no TCP): with maintenance disabled
+    // the same touching write evicts instead of patching.
+    let ablation_touching_write_miss = {
+        let sys = build_system_with_island(Topology::Chain, &CdssConfig::new(3, vec![2], 8), 4)
+            .expect("ablation topology");
+        let core = ServiceCore::new(sys, EngineOptions::default()).with_maintenance(false);
+        core.query(HOT_QUERIES[0]).expect("warm");
+        core.delete("R2a", &tup![7]).expect("touching delete");
+        let resp = core.query(HOT_QUERIES[0]).expect("re-query");
+        assert!(
+            !resp.cache_hit,
+            "with maintenance disabled a touching write must evict"
+        );
+        let stats = core.stats();
+        assert_eq!(stats.cache.maint_hits, 0, "ablation must never maintain");
+        assert_eq!(stats.cache.stale_evictions, 1);
+        !resp.cache_hit
+    };
 
     let total_requests = clients * requests_per_client;
     let throughput = total_requests as f64 / wall_s;
@@ -160,6 +251,13 @@ fn main() {
         plan_hit_rate > 0.0,
         "plan cache must report a nonzero hit rate: {stats_json}"
     );
+    let maint_hits = json_u64_field(&stats_json, "maint_hits").unwrap_or(0);
+    let maint_fallbacks = json_u64_field(&stats_json, "maint_fallbacks").unwrap_or(0);
+    let maint_rows_patched = json_u64_field(&stats_json, "maint_rows_patched").unwrap_or(0);
+    assert!(
+        maint_hits > 0,
+        "the sustained phase must exercise maintenance: {stats_json}"
+    );
 
     println!(
         "{:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
@@ -174,11 +272,21 @@ fn main() {
         p95,
         p99,
         hit_rate,
-        island_deletes + 2
+        island_deletes + 2 + rounds
     );
     println!("   write latency: p50 {write_p50:.3} ms, p95 {write_p95:.3} ms");
-    println!("   unrelated-write re-query: hit   (entry survived)");
-    println!("   touching-write re-query:  miss  (entry evicted; prepared plan reused)");
+    println!("   unrelated-write re-query: hit  (entry survived)");
+    println!(
+        "   touching-write re-query:  hit  (entry maintained, re-stamped to v{touch_version})"
+    );
+    println!(
+        "   sustained touching writes: {rounds} rounds, effective hit rate {maint_hit_rate:.3}"
+    );
+    println!(
+        "   maintenance: {maint_hits} patches ({maint_rows_patched} rows), \
+         {maint_fallbacks} fallbacks; digests match fresh recompute"
+    );
+    println!("   ablation (maintenance off): touching write evicts");
     println!("   plan-cache hit rate: {plan_hit_rate:.3}");
     println!("   server stats: {stats_json}");
 
@@ -190,10 +298,15 @@ fn main() {
              \"write_p50_ms\": {write_p50:.4}, \"write_p95_ms\": {write_p95:.4}, \
              \"cache_hit_rate\": {hit_rate:.6}, \"plan_cache_hit_rate\": {plan_hit_rate:.6}, \
              \"writes\": {}, \"unrelated_write_hit\": {unrelated_write_hit}, \
-             \"touching_write_miss\": {touching_write_miss}, \
-             \"touching_write_plan_hit\": {touching_write_plan_hit}, \
+             \"touching_write_hit\": {touching_write_hit}, \
+             \"maint_rounds\": {rounds}, \"maint_hit_rate\": {maint_hit_rate:.6}, \
+             \"maint_hits\": {maint_hits}, \"maint_fallbacks\": {maint_fallbacks}, \
+             \"maint_rows_patched\": {maint_rows_patched}, \
+             \"maint_digest_match\": {maint_digest_match}, \
+             \"fresh_requery_plan_hit\": {fresh_requery_plan_hit}, \
+             \"ablation_touching_write_miss\": {ablation_touching_write_miss}, \
              \"stale_evictions\": {}, \"version\": {}}}",
-            island_deletes + 2,
+            island_deletes + 2 + rounds,
             json_u64_field(&stats_json, "stale_evictions").unwrap_or(0),
             json_u64_field(&stats_json, "version").unwrap_or(0),
         );
@@ -207,6 +320,15 @@ fn main() {
              (stats: {stats_json})"
         );
         println!("   hit-rate gate passed: {hit_rate:.3} >= {min}");
+    }
+    if let Ok(min) = std::env::var("PROQL_MIN_MAINT_HIT_RATE") {
+        let min: f64 = min.parse().expect("PROQL_MIN_MAINT_HIT_RATE parses");
+        assert!(
+            maint_hit_rate >= min,
+            "maintenance effective hit rate {maint_hit_rate:.3} below the \
+             PROQL_MIN_MAINT_HIT_RATE={min} gate (stats: {stats_json})"
+        );
+        println!("   maintenance hit-rate gate passed: {maint_hit_rate:.3} >= {min}");
     }
 }
 

@@ -137,7 +137,7 @@ pub fn run_annotation_opts(
 
 /// Evaluate the leaf CASE ladder for one node. Returns the annotation and,
 /// for numeric SETs under the probability semiring, the leaf probability.
-fn leaf_value_for(
+pub(crate) fn leaf_value_for(
     sys: &ProvenanceSystem,
     spec: &Evaluate,
     kind: SemiringKind,
@@ -273,7 +273,7 @@ fn check_var(var: &str, leaf_var: &str) -> Result<()> {
 
 /// Build the mapping function for one mapping from the `ASSIGNING EACH
 /// mapping` ladder.
-fn map_fn_for(spec: &Evaluate, kind: SemiringKind, mapping: &str) -> Result<MapFn> {
+pub(crate) fn map_fn_for(spec: &Evaluate, kind: SemiringKind, mapping: &str) -> Result<MapFn> {
     let Some(assign) = &spec.map_assign else {
         return Ok(MapFn::Identity);
     };

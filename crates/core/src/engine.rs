@@ -150,10 +150,10 @@ pub struct PreparedQuery {
     pub query: Query,
     /// The resolved execution strategy (`Auto` is resolved at prepare
     /// time from the schema graph, which writes cannot change).
-    strategy: Strategy,
+    pub(crate) strategy: Strategy,
     /// Unfold-strategy artifacts: the translation plus one optimized plan
     /// per unfolded rule. `None` under the graph strategy.
-    unfold: Option<PreparedUnfold>,
+    pub(crate) unfold: Option<PreparedUnfold>,
     /// The read set: every relation the answer depends on.
     pub touched: BTreeSet<String>,
     /// [`ProvenanceSystem::version`] at prepare time.
@@ -167,9 +167,9 @@ pub struct PreparedQuery {
 }
 
 #[derive(Debug, Clone)]
-struct PreparedUnfold {
-    translation: Translation,
-    rules: Vec<PreparedRule>,
+pub(crate) struct PreparedUnfold {
+    pub(crate) translation: Translation,
+    pub(crate) rules: Vec<PreparedRule>,
 }
 
 /// The ProQL query engine over a [`ProvenanceSystem`].

@@ -19,7 +19,7 @@ use proql_datalog::compile::compile_body;
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
 use proql_storage::batch::{Column, RecordBatch};
 use proql_storage::{
-    execute_batch_opts, execute_with, explain, optimize::optimize_with, ExecMode, Expr,
+    execute_batch_opts, execute_with, explain, optimize::optimize_with, Database, ExecMode, Expr,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -178,7 +178,7 @@ pub fn run_projection_prepared(
         let partials = par_map(rules.len(), par.threads(), |i| {
             let mut partial = ProjectionResult::default();
             run_rule(
-                sys,
+                &sys.db,
                 &rules[i],
                 &prepared[i],
                 &translation.return_vars,
@@ -205,7 +205,7 @@ pub fn run_projection_prepared(
         let mut out = ProjectionResult::default();
         for (rule, prep) in rules.iter().zip(prepared) {
             run_rule(
-                sys,
+                &sys.db,
                 rule,
                 prep,
                 &translation.return_vars,
@@ -254,9 +254,13 @@ fn resolve_term<'a>(
     }
 }
 
+/// Execute one prepared rule against `db` and merge its derivation rows
+/// and bindings into `out`. Takes the database rather than the system so
+/// the incremental maintainer can run delta-seeded variants of a rule
+/// against scratch-augmented database clones.
 #[allow(clippy::too_many_arguments)]
-fn run_rule(
-    sys: &ProvenanceSystem,
+pub(crate) fn run_rule(
+    db: &Database,
     rule: &QueryRule,
     prepared: &PreparedRule,
     return_vars: &[String],
@@ -273,9 +277,9 @@ fn run_rule(
     // executors produce rows that are transposed once here; the batch
     // executor is columnar end to end.
     let batch = match mode {
-        ExecMode::Batch => execute_batch_opts(&sys.db, plan, par)?,
+        ExecMode::Batch => execute_batch_opts(db, plan, par)?,
         row_mode => {
-            let rel = execute_with(&sys.db, plan, row_mode)?;
+            let rel = execute_with(db, plan, row_mode)?;
             RecordBatch::from_rows(rel.names, rel.rows.iter())
         }
     };
@@ -307,7 +311,7 @@ fn run_rule(
             .node_bindings
             .get(v)
             .ok_or_else(|| Error::Query(format!("RETURN variable ${v} unbound in rule")))?;
-        let schema = sys.db.schema_of(&nb.relation)?;
+        let schema = db.schema_of(&nb.relation)?;
         let cols: Vec<Resolved> = schema
             .effective_key()
             .iter()
@@ -331,7 +335,9 @@ fn run_rule(
     Ok(())
 }
 
-fn cond_to_expr(cond: &VarCond, var_cols: &HashMap<String, usize>) -> Result<Expr> {
+/// Lower a rule's residual variable condition to a storage [`Expr`] over
+/// the compiled body's output columns.
+pub(crate) fn cond_to_expr(cond: &VarCond, var_cols: &HashMap<String, usize>) -> Result<Expr> {
     Ok(match cond {
         VarCond::Lit(b) => Expr::lit(*b),
         VarCond::Cmp { var, op, value } => {

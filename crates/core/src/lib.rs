@@ -43,6 +43,7 @@ pub mod ast;
 pub mod engine;
 pub mod exec;
 pub mod lexer;
+pub mod maintain;
 pub mod parser;
 pub mod translate;
 
@@ -53,5 +54,6 @@ pub use exec::{
     prepare_rule, prepare_rules, run_projection, run_projection_opts, run_projection_prepared,
     run_projection_with, PreparedRule, ProjectionResult,
 };
+pub use maintain::{maintain_output, MaintainResult, MaintainState};
 pub use parser::parse_query;
 pub use translate::{translate, BodyRewriter, QueryRule, TranslateStats, Translation};

@@ -140,6 +140,14 @@ pub fn run_program(
 /// seeded (or subsequently derived) fact, which is precisely what the
 /// delta joins enumerate. The cost of re-exchanging a point write then
 /// scales with what the write derives, not with the database.
+///
+/// **Seeds model additions only.** If rows were *removed* from a relation
+/// some rule body reads, the fixpoint precondition is violated in a way no
+/// seeded run can repair: a derived tuple whose only remaining support
+/// involved a removed row silently survives (derived-tuple
+/// under-counting — set semantics keep no support counts to decrement).
+/// Use [`run_program_seeded_delta`] to make that case an explicit error
+/// instead of a silent divergence.
 pub fn run_program_seeded(
     db: &mut Database,
     program: &Program,
@@ -147,6 +155,59 @@ pub fn run_program_seeded(
     seeds: HashMap<String, Vec<Tuple>>,
 ) -> Result<EvalStats> {
     run_program_from(db, program, hook, Some(seeds))
+}
+
+/// The base-row changes accumulated since the last fixpoint: what a
+/// retraction-aware incremental run ([`run_program_seeded_delta`]) is
+/// seeded with.
+#[derive(Debug, Clone, Default)]
+pub struct SeedDelta {
+    /// Rows inserted since the fixpoint, keyed by relation.
+    pub added: HashMap<String, Vec<Tuple>>,
+    /// Rows removed since the fixpoint, keyed by relation.
+    pub removed: HashMap<String, Vec<Tuple>>,
+}
+
+impl SeedDelta {
+    /// A delta of additions only.
+    pub fn additions(added: HashMap<String, Vec<Tuple>>) -> SeedDelta {
+        SeedDelta {
+            added,
+            ..SeedDelta::default()
+        }
+    }
+}
+
+/// [`run_program_seeded`] with retractions handled **soundly**: removed
+/// rows in relations no rule body reads cannot retract any derived tuple,
+/// so the run proceeds seeded with the additions; removed rows that *do*
+/// feed a rule body would leave derived tuples under-counted (their
+/// support is gone but set semantics cannot see it), so the call fails
+/// with an explicit error and the caller must fall back to a full
+/// re-evaluation — deleting stale derived state first. The system-level
+/// deletion path (`proql-cdss`) avoids this entirely by garbage-collecting
+/// underivable tuples through the provenance graph before re-asserting the
+/// fixpoint.
+pub fn run_program_seeded_delta(
+    db: &mut Database,
+    program: &Program,
+    hook: &mut dyn FiringHook,
+    delta: SeedDelta,
+) -> Result<EvalStats> {
+    let retracts_body_input = program.rules.iter().flat_map(|r| &r.body).any(|a| {
+        delta
+            .removed
+            .get(&a.relation)
+            .is_some_and(|rows| !rows.is_empty())
+    });
+    if retracts_body_input {
+        return Err(Error::Datalog(
+            "retraction-seeded evaluation: removed rows feed rule bodies, so derived \
+             tuples may be under-counted — fall back to a full re-evaluation"
+                .into(),
+        ));
+    }
+    run_program_seeded(db, program, hook, delta.added)
 }
 
 fn run_program_from(
@@ -472,6 +533,58 @@ mod tests {
         let seeds = HashMap::from([("Nope".to_string(), vec![tup![1, 1]])]);
         let stats = run_program_seeded(&mut db, &program, &mut NoopHook, seeds).unwrap();
         assert_eq!(stats.inserted, 0);
+    }
+
+    #[test]
+    fn retraction_seeds_fall_back_explicitly() {
+        let mut db = edge_db();
+        let program = parse_program(
+            "Path(x, y) :- E(x, y)
+             Path(x, z) :- Path(x, y), E(y, z)",
+        )
+        .unwrap();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+
+        // Demonstrate the under-counting a naive delete-seeded run leaves
+        // behind: remove E(2,3) and run seeded with no adds — Path(1,3)
+        // lost its only support, but the seeded run cannot retract it.
+        db.table_mut("E")
+            .unwrap()
+            .delete_by_key(&tup![2, 3])
+            .unwrap();
+        let stats = run_program_seeded(&mut db, &program, &mut NoopHook, HashMap::new()).unwrap();
+        assert_eq!(stats.inserted, 0);
+        assert!(
+            db.table("Path").unwrap().contains(&tup![1, 3]),
+            "the stale derived tuple survives — this is the hazard"
+        );
+
+        // The retraction-aware entry point refuses that silent divergence.
+        let delta = SeedDelta {
+            added: HashMap::new(),
+            removed: HashMap::from([("E".to_string(), vec![tup![2, 3]])]),
+        };
+        let err = run_program_seeded_delta(&mut db, &program, &mut NoopHook, delta);
+        assert!(err.is_err(), "body-feeding retractions must be rejected");
+
+        // Correct fallback: clear derived state and re-evaluate fully.
+        db.table_mut("Path").unwrap().truncate();
+        run_program(&mut db, &program, &mut NoopHook).unwrap();
+        let path = db.table("Path").unwrap();
+        assert!(!path.contains(&tup![1, 3]));
+        assert!(path.contains(&tup![1, 2]));
+        assert!(path.contains(&tup![3, 4]));
+
+        // Retractions that feed no rule body are harmless: the run
+        // proceeds seeded with the additions.
+        db.insert("E", tup![4, 5]).unwrap();
+        let delta = SeedDelta {
+            added: HashMap::from([("E".to_string(), vec![tup![4, 5]])]),
+            removed: HashMap::from([("Unread".to_string(), vec![tup![0, 0]])]),
+        };
+        let stats = run_program_seeded_delta(&mut db, &program, &mut NoopHook, delta).unwrap();
+        assert!(stats.inserted > 0);
+        assert!(db.table("Path").unwrap().contains(&tup![4, 5]));
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod unfold;
 
 pub use ast::{Atom, Program, Rule, Term};
 pub use compile::{compile_body, BodyPlan};
-pub use eval::{run_program, Bindings, EvalStats, FiringHook, NoopHook};
+pub use eval::{
+    run_program, run_program_seeded, run_program_seeded_delta, Bindings, EvalStats, FiringHook,
+    NoopHook, SeedDelta,
+};
 pub use homomorphism::find_homomorphism;
 pub use parse::{parse_program, parse_rule};
 pub use unfold::{rename_apart, substitute_atom, substitute_rule, unify_atoms, Subst};

@@ -50,11 +50,29 @@ pub enum DeltaOp {
     },
 }
 
+/// One physical row-level change to a stored table: the raw material of
+/// incremental view maintenance. Unlike [`DeltaOp`] — which describes the
+/// decoded provenance *graph* — a `RowChange` records exactly which stored
+/// row appeared or disappeared in which table, so a maintainer can seed
+/// delta evaluation of an unfolded query with precisely the changed rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowChange {
+    /// The stored table (public, local `*_l`, or materialized `P_m`).
+    pub table: String,
+    /// The full row that was inserted or deleted.
+    pub row: Tuple,
+    /// `true` for an insert, `false` for a delete.
+    pub added: bool,
+}
+
 /// The staged/sealed change set of one system mutation.
 #[derive(Debug, Clone, Default)]
 pub struct GraphDelta {
     /// Graph changes, in the order they happened.
     pub ops: Vec<DeltaOp>,
+    /// Raw row-level changes to stored tables, in the order they happened.
+    /// Shares the per-entry ops budget (`ENTRY_OPS_CAP`) with `ops`.
+    pub rows: Vec<RowChange>,
     /// Every base table the mutation physically modified — the mutation's
     /// **write set**, which the query service intersects with cached
     /// answers' read sets.
@@ -75,7 +93,19 @@ pub(crate) const ENTRY_OPS_CAP: usize = 32_768;
 impl GraphDelta {
     /// True when the mutation changed nothing.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty() && self.touched.is_empty()
+        self.ops.is_empty() && self.rows.is_empty() && self.touched.is_empty()
+    }
+
+    /// Combined record count, charged against [`ENTRY_OPS_CAP`] and the
+    /// [`DeltaLog`] op budget.
+    pub(crate) fn weight(&self) -> usize {
+        self.ops.len() + self.rows.len()
+    }
+
+    fn overflow(&mut self) {
+        self.overflowed = true;
+        self.ops = Vec::new();
+        self.rows = Vec::new();
     }
 
     /// Stage one op, honoring [`ENTRY_OPS_CAP`].
@@ -83,12 +113,27 @@ impl GraphDelta {
         if self.overflowed {
             return;
         }
-        if self.ops.len() >= ENTRY_OPS_CAP {
-            self.overflowed = true;
-            self.ops = Vec::new();
+        if self.weight() >= ENTRY_OPS_CAP {
+            self.overflow();
             return;
         }
         self.ops.push(op);
+    }
+
+    /// Stage one raw row change, honoring the shared [`ENTRY_OPS_CAP`].
+    pub(crate) fn push_row(&mut self, table: &str, row: &Tuple, added: bool) {
+        if self.overflowed {
+            return;
+        }
+        if self.weight() >= ENTRY_OPS_CAP {
+            self.overflow();
+            return;
+        }
+        self.rows.push(RowChange {
+            table: table.to_string(),
+            row: row.clone(),
+            added,
+        });
     }
 }
 
@@ -106,6 +151,7 @@ pub struct DeltaLog {
     base: u64,
     entries: VecDeque<GraphDelta>,
     total_ops: usize,
+    compactions: u64,
 }
 
 impl DeltaLog {
@@ -117,6 +163,12 @@ impl DeltaLog {
     /// Newest version the log can patch **to**.
     pub fn head(&self) -> u64 {
         self.base + self.entries.len() as u64
+    }
+
+    /// Lifetime count of entries dropped to stay within the retention
+    /// budget (each drop shrinks the patchable span by one version).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Drop all history and restart the chain at `version` (an untracked
@@ -135,12 +187,13 @@ impl DeltaLog {
             self.reset(to_version);
             return;
         }
-        self.total_ops += delta.ops.len();
+        self.total_ops += delta.weight();
         self.entries.push_back(delta);
         while self.entries.len() > MAX_ENTRIES || self.total_ops > MAX_OPS {
             if let Some(dropped) = self.entries.pop_front() {
-                self.total_ops -= dropped.ops.len();
+                self.total_ops -= dropped.weight();
                 self.base += 1;
+                self.compactions += 1;
             } else {
                 break;
             }
@@ -172,6 +225,7 @@ mod tests {
                     key: Tuple::new(vec![proql_common::Value::Int(i as i64)]),
                 })
                 .collect(),
+            rows: Vec::new(),
             touched: ["R".to_string()].into_iter().collect(),
             overflowed: false,
         }
@@ -189,6 +243,30 @@ mod tests {
         assert!(d.overflowed);
         assert!(d.ops.is_empty(), "overflowed ops are dropped, not kept");
         assert!(!d.is_empty() || d.touched.is_empty());
+    }
+
+    #[test]
+    fn rows_share_the_op_budget() {
+        let mut d = GraphDelta::default();
+        let row = Tuple::new(vec![proql_common::Value::Int(1)]);
+        for _ in 0..(ENTRY_OPS_CAP / 2) {
+            d.push_op(DeltaOp::SetValues {
+                relation: "R".into(),
+                key: row.clone(),
+            });
+            d.push_row("R", &row, true);
+        }
+        assert!(!d.overflowed);
+        // One more record of either kind tips the shared budget over.
+        d.push_row("R", &row, false);
+        assert!(d.overflowed);
+        assert!(d.ops.is_empty() && d.rows.is_empty());
+        // Further pushes stay ignored.
+        d.push_op(DeltaOp::SetValues {
+            relation: "R".into(),
+            key: row.clone(),
+        });
+        assert!(d.ops.is_empty());
     }
 
     #[test]

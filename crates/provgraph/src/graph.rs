@@ -492,18 +492,32 @@ impl ProvGraph {
                     self.remove_derivation_row(mapping, row);
                 }
                 DeltaOp::SetValues { relation, key } => {
-                    if let Some(id) = self.find_tuple(relation, key) {
-                        self.tuples[id.index()].values = sys
-                            .db
-                            .table(relation)
-                            .ok()
-                            .and_then(|t| t.get_by_key(key))
-                            .cloned();
-                    }
+                    self.refresh_values(sys, relation, key);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Re-resolve the stored values of the tuple node `(relation, key)`
+    /// from the database at its current state. Returns the node's id when
+    /// the graph holds such a tuple (callers use it to mark the node dirty
+    /// for annotation re-evaluation), `None` when the graph does not
+    /// reference that row at all.
+    pub fn refresh_values(
+        &mut self,
+        sys: &ProvenanceSystem,
+        relation: &str,
+        key: &Tuple,
+    ) -> Option<TupleId> {
+        let id = self.find_tuple(relation, key)?;
+        self.tuples[id.index()].values = sys
+            .db
+            .table(relation)
+            .ok()
+            .and_then(|t| t.get_by_key(key))
+            .cloned();
+        Some(id)
     }
 
     /// A canonical content digest: a commutative hash over live tuple

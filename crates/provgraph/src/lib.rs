@@ -24,7 +24,7 @@ pub mod graph;
 pub mod schema_graph;
 pub mod system;
 
-pub use delta::{DeltaLog, DeltaOp, GraphDelta};
+pub use delta::{DeltaLog, DeltaOp, GraphDelta, RowChange};
 pub use encode::{AtomRecipe, ProvSpec, RecipeTerm};
 pub use graph::{DerivationNode, ProvGraph, TupleNode};
 pub use schema_graph::SchemaGraph;

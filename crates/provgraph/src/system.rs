@@ -173,6 +173,13 @@ impl ProvenanceSystem {
         self.deltas.span(from, to)
     }
 
+    /// Lifetime count of delta-log entries dropped to stay within the
+    /// retention budget (see [`DeltaLog`]). Surfaced through service
+    /// statistics as the delta-log compaction count.
+    pub fn delta_compactions(&self) -> u64 {
+        self.deltas.compactions()
+    }
+
     /// Union of the write sets of every mutation after `from` (up to the
     /// current version), straight off the delta log. `None` when the log
     /// cannot bridge the span; callers should then assume everything was
@@ -355,7 +362,13 @@ impl ProvenanceSystem {
         };
         let hook_staged = hook.staged;
         self.staged.ops.extend(hook_staged.ops);
+        self.staged.rows.extend(hook_staged.rows);
         self.staged.touched.extend(hook_staged.touched);
+        if hook_staged.overflowed {
+            // The hook dropped records; the merged entry is incomplete and
+            // must reset the chain when sealed.
+            self.staged.overflowed = true;
+        }
         match result {
             Ok(stats) => {
                 self.exchanged = true;
@@ -520,6 +533,10 @@ fn record_row_change(
     added: bool,
 ) {
     staged.touched.insert(table.to_string());
+    // The raw row-level record: what incremental view maintenance seeds
+    // delta evaluation with. Recorded for every stored-table change —
+    // graph ops below only cover the decoded provenance graph.
+    staged.push_row(table, row, added);
     let make = |mapping: &str, row: Tuple| -> DeltaOp {
         if added {
             DeltaOp::AddDerivation {
@@ -839,6 +856,37 @@ mod tests {
         assert!(sys.delta_entries(v0, sys.version()).is_none());
         assert!(sys.write_set_since(v0).is_none());
         assert!(sys.delta_entries(sys.version(), sys.version()).is_some());
+    }
+
+    #[test]
+    fn deltas_record_raw_row_changes() {
+        let mut sys = example_2_1().unwrap();
+        let v0 = sys.version();
+        sys.insert_local("A", tup![7, "sn7", 3]).unwrap();
+        sys.run_exchange().unwrap();
+        let v1 = sys.version();
+        let entries: Vec<_> = sys.delta_entries(v0, v1).unwrap().collect();
+        // The insert's entry carries the raw local row.
+        assert!(entries[0]
+            .rows
+            .iter()
+            .any(|r| r.table == "A_l" && r.row == tup![7, "sn7", 3] && r.added));
+        // The exchange's entry carries the public rows it derived, plus the
+        // materialized provenance rows.
+        assert!(entries[1]
+            .rows
+            .iter()
+            .any(|r| r.table == "A" && r.row == tup![7, "sn7", 3] && r.added));
+        assert!(entries[1].rows.iter().any(|r| r.table == "O" && r.added));
+        // Tracked deletes stage removals.
+        let v2 = sys.version();
+        sys.delete_row_tracked("A_l", &tup![7]).unwrap().unwrap();
+        sys.commit_tracked_mutation();
+        let entries: Vec<_> = sys.delta_entries(v2, sys.version()).unwrap().collect();
+        assert!(entries[0]
+            .rows
+            .iter()
+            .any(|r| r.table == "A_l" && r.row == tup![7, "sn7", 3] && !r.added));
     }
 
     #[test]

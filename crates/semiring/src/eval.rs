@@ -135,6 +135,61 @@ pub fn evaluate_acyclic(
     evaluate_in_order(graph, assign, &order)
 }
 
+/// Incremental re-evaluation of an **acyclic** graph after a localized
+/// change — the annotation half of incremental view maintenance.
+///
+/// `prior` is a complete evaluation of the graph *before* the change (as
+/// returned by [`evaluate`]); `dirty` is the set of tuple ids whose
+/// evaluation inputs changed: tuples that gained or lost a derivation,
+/// tuples whose stored values (and hence leaf assignment) changed, and
+/// every tuple newly added to the graph. Only the dirty tuples and the
+/// consumers transitively downstream of an actually-changed value are
+/// recomputed; a recomputed value equal to its prior one cuts propagation
+/// there, so the cost is proportional to the affected region, not the
+/// graph. Tuples outside that region keep their prior values verbatim.
+///
+/// Tuple ids must be stable between `prior` and `graph` (no compaction in
+/// between). Cyclic graphs are rejected — fixpoint iteration has no sound
+/// notion of a local boundary — and callers fall back to [`evaluate`].
+pub fn evaluate_dirty(
+    graph: &ProvGraph,
+    assign: &Assignment<'_>,
+    prior: &HashMap<TupleId, Annotation>,
+    dirty: &HashSet<TupleId>,
+) -> Result<HashMap<TupleId, Annotation>> {
+    let order = graph.topo_order().ok_or_else(|| {
+        Error::Semiring("dirty re-evaluation requires an acyclic provenance graph".into())
+    })?;
+    let mut vals: DenseVals = vec![None; graph.tuple_id_bound()];
+    for t in graph.tuple_ids() {
+        vals[t.index()] = prior.get(&t).cloned();
+    }
+    let mut needs: Vec<bool> = vec![false; graph.tuple_id_bound()];
+    for t in dirty {
+        if t.index() < needs.len() {
+            needs[t.index()] = true;
+        }
+    }
+    for &t in &order {
+        // A live tuple with no prior value must be new: recompute it even
+        // when the caller forgot to mark it dirty.
+        if !needs[t.index()] && vals[t.index()].is_some() {
+            continue;
+        }
+        let v = tuple_value(graph, assign, t, &vals)?;
+        if vals[t.index()].as_ref() == Some(&v) {
+            continue; // unchanged: downstream consumers keep their values
+        }
+        vals[t.index()] = Some(v);
+        for &d in graph.consumers_of(t) {
+            for target in &graph.derivation(d).targets {
+                needs[target.index()] = true;
+            }
+        }
+    }
+    Ok(to_map(vals))
+}
+
 /// Dense value table for the bottom-up walk: tuple id → annotation. Flat
 /// indexing matches the graph's CSR adjacency — the hot loop is two vector
 /// walks, no hashing.
@@ -602,6 +657,77 @@ mod tests {
                 "expected overflow under {par:?}, got {err}"
             );
         }
+    }
+
+    #[test]
+    fn dirty_reevaluation_matches_full_evaluation() {
+        // A diamond DAG: base a, b; mid m = a·b; top t = m. Weight
+        // semiring so value changes propagate observably.
+        let mut g = ProvGraph::new();
+        let a = g.add_tuple("A", tup![1], None);
+        g.add_derivation("base_a", tup![1], vec![], vec![a], true);
+        let b = g.add_tuple("B", tup![1], None);
+        g.add_derivation("base_b", tup![1], vec![], vec![b], true);
+        let m = g.add_tuple("M", tup![1], None);
+        g.add_derivation("mm", tup![1], vec![a, b], vec![m], false);
+        let t = g.add_tuple("T", tup![1], None);
+        g.add_derivation("mt", tup![1], vec![m], vec![t], false);
+
+        let weights = std::sync::Mutex::new(HashMap::from([("A".to_string(), 1.0f64)]));
+        let leaf = |node: &TupleNode, _: &str| {
+            Annotation::Weight(
+                *weights
+                    .lock()
+                    .unwrap()
+                    .get(node.relation.as_str())
+                    .unwrap_or(&2.0),
+            )
+        };
+        let assign = Assignment::default_for(SemiringKind::Weight).with_leaf(leaf);
+        let prior = evaluate(&g, &assign).unwrap();
+        assert_eq!(prior[&t], Annotation::Weight(3.0)); // 1 + 2
+
+        // Change A's leaf weight: only `a` is dirty at the boundary.
+        weights.lock().unwrap().insert("A".into(), 5.0);
+        let dirty: HashSet<TupleId> = [a].into_iter().collect();
+        let patched = evaluate_dirty(&g, &assign, &prior, &dirty).unwrap();
+        let full = evaluate(&g, &assign).unwrap();
+        assert_eq!(patched, full);
+        assert_eq!(patched[&t], Annotation::Weight(7.0));
+    }
+
+    #[test]
+    fn dirty_reevaluation_handles_graph_growth() {
+        let mut g = ProvGraph::new();
+        let a = g.add_tuple("A", tup![1], None);
+        g.add_derivation("base_a", tup![1], vec![], vec![a], true);
+        let m = g.add_tuple("M", tup![1], None);
+        g.add_derivation("mm", tup![1], vec![a], vec![m], false);
+        let assign = Assignment::default_for(SemiringKind::Counting);
+        let prior = evaluate(&g, &assign).unwrap();
+
+        // Grow the graph: a second derivation of M from a new base tuple.
+        let b = g.add_tuple("B", tup![1], None);
+        g.add_derivation("base_b", tup![1], vec![], vec![b], true);
+        g.add_derivation("mm2", tup![1], vec![b], vec![m], false);
+        let dirty: HashSet<TupleId> = [b, m].into_iter().collect();
+        let patched = evaluate_dirty(&g, &assign, &prior, &dirty).unwrap();
+        assert_eq!(patched, evaluate(&g, &assign).unwrap());
+        assert_eq!(patched[&m], Annotation::Count(2));
+
+        // Shrink it again: removing the new support dirties only M.
+        g.remove_derivation_row("mm2", &tup![1]);
+        let prior = patched;
+        let dirty: HashSet<TupleId> = [m].into_iter().collect();
+        let patched = evaluate_dirty(&g, &assign, &prior, &dirty).unwrap();
+        assert_eq!(patched[&m], Annotation::Count(1));
+    }
+
+    #[test]
+    fn dirty_reevaluation_rejects_cycles() {
+        let g = example_graph();
+        let assign = Assignment::default_for(SemiringKind::Derivability);
+        assert!(evaluate_dirty(&g, &assign, &HashMap::new(), &HashSet::new()).is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! change) forces a re-preparation.
 
 use proql::engine::{PreparedQuery, QueryOutput};
+use proql::MaintainState;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -46,6 +47,15 @@ pub struct CacheCounters {
     /// Inserts rejected because the result was already stale when it
     /// arrived (a write raced the query that computed it).
     pub rejected_inserts: u64,
+    /// Entries a write would have killed that were instead patched
+    /// forward by incremental maintenance (and stayed servable).
+    pub maint_hits: u64,
+    /// Maintenance attempts that could not localize the delta and fell
+    /// back to eviction.
+    pub maint_fallbacks: u64,
+    /// Projection and annotation rows patched across all maintained
+    /// entries (the O(delta) work actually done).
+    pub maint_rows_patched: u64,
 }
 
 impl CacheCounters {
@@ -65,7 +75,30 @@ struct CacheEntry {
     deps: BTreeSet<String>,
     built_version: u64,
     result: Arc<QueryOutput>,
+    /// The prepared query the result was computed from — what the
+    /// maintainer re-runs in delta form when a write touches `deps`.
+    prepared: Arc<PreparedQuery>,
+    /// Annotation carry-over from the last maintenance round (the
+    /// projected provenance graph plus its semiring values). `None`
+    /// until the entry is first maintained under an `EVALUATE` query.
+    state: Option<Box<MaintainState>>,
     last_used: u64,
+}
+
+/// A fresh cache entry whose read set intersects a pending write set,
+/// handed to the writer for incremental maintenance (outside the cache
+/// lock). Taking a candidate moves its [`MaintainState`] out of the
+/// entry; [`ResultCache::apply_maintained`] puts the successor back.
+#[derive(Debug)]
+pub struct MaintenanceCandidate {
+    /// The entry's cache key.
+    pub key: String,
+    /// The prepared query to re-run in delta form.
+    pub prepared: Arc<PreparedQuery>,
+    /// The cached output to patch forward.
+    pub previous: Arc<QueryOutput>,
+    /// Annotation carry-over from the previous round, if any.
+    pub state: Option<Box<MaintainState>>,
 }
 
 /// A bounded result cache keyed by normalized query text, invalidated by
@@ -133,12 +166,15 @@ impl ResultCache {
         deps: BTreeSet<String>,
         built_version: u64,
         result: Arc<QueryOutput>,
+        prepared: Arc<PreparedQuery>,
     ) {
         self.tick += 1;
         let entry = CacheEntry {
             deps,
             built_version,
             result,
+            prepared,
+            state: None,
             last_used: self.tick,
         };
         if !Self::is_fresh(&self.last_write, &entry) {
@@ -159,6 +195,69 @@ impl ResultCache {
         }
         self.counters.insertions += 1;
         self.entries.insert(key, entry);
+    }
+
+    /// Take the maintenance candidates for a pending write: every
+    /// **fresh** entry whose read set intersects `write_set`. Entries
+    /// already stale from an earlier write are skipped (they die lazily
+    /// on lookup, exactly as before). Each candidate's annotation
+    /// carry-over is moved out; a successful maintenance round returns
+    /// its successor via [`Self::apply_maintained`], a failed one drops
+    /// the entry via [`Self::maintenance_fallback`].
+    pub fn take_maintenance_candidates(
+        &mut self,
+        write_set: &BTreeSet<String>,
+    ) -> Vec<MaintenanceCandidate> {
+        let last_write = &self.last_write;
+        self.entries
+            .iter_mut()
+            .filter(|(_, e)| {
+                e.deps.iter().any(|d| write_set.contains(d))
+                    && e.deps
+                        .iter()
+                        .all(|d| last_write.get(d).is_none_or(|&w| w <= e.built_version))
+            })
+            .map(|(key, e)| MaintenanceCandidate {
+                key: key.clone(),
+                prepared: Arc::clone(&e.prepared),
+                previous: Arc::clone(&e.result),
+                state: e.state.take(),
+            })
+            .collect()
+    }
+
+    /// Install a maintained result: swap the payload, store the next
+    /// annotation carry-over, and re-stamp the entry's build version to
+    /// the maintaining write's — so the write's own epoch (recorded via
+    /// [`Self::record_write`] in the same critical section) no longer
+    /// outdates it. A no-op if the entry vanished meanwhile (a racing
+    /// reader's capacity eviction).
+    pub fn apply_maintained(
+        &mut self,
+        key: &str,
+        result: Arc<QueryOutput>,
+        state: Option<Box<MaintainState>>,
+        version: u64,
+        rows_patched: u64,
+    ) {
+        let Some(e) = self.entries.get_mut(key) else {
+            return;
+        };
+        e.result = result;
+        e.state = state;
+        e.built_version = version;
+        self.counters.maint_hits += 1;
+        self.counters.maint_rows_patched += rows_patched;
+    }
+
+    /// Count a maintenance fallback and evict the entry eagerly (the
+    /// write's epoch would kill it lazily anyway; eager removal lets
+    /// subscriptions observe the resync immediately).
+    pub fn maintenance_fallback(&mut self, key: &str) {
+        if self.entries.remove(key).is_some() {
+            self.counters.maint_fallbacks += 1;
+            self.counters.stale_evictions += 1;
+        }
     }
 
     /// Record a write: every relation in `write_set` was modified by the
@@ -357,11 +456,21 @@ mod tests {
         names.iter().map(|s| s.to_string()).collect()
     }
 
+    fn prepared() -> Arc<PreparedQuery> {
+        use proql::engine::Engine;
+        use proql_provgraph::system::example_2_1;
+        let e = Engine::new(example_2_1().unwrap());
+        Arc::new(
+            e.prepare("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+                .unwrap(),
+        )
+    }
+
     #[test]
     fn hit_after_insert_miss_before() {
         let mut c = ResultCache::new(8);
         assert!(c.lookup("q1").is_none());
-        c.insert("q1".into(), deps(&["A"]), 1, output());
+        c.insert("q1".into(), deps(&["A"]), 1, output(), prepared());
         assert!(c.lookup("q1").is_some());
         let counters = c.counters();
         assert_eq!(counters.hits, 1);
@@ -371,8 +480,8 @@ mod tests {
     #[test]
     fn write_to_dependency_evicts_unrelated_write_does_not() {
         let mut c = ResultCache::new(8);
-        c.insert("qa".into(), deps(&["A", "P_m1"]), 1, output());
-        c.insert("qb".into(), deps(&["B"]), 1, output());
+        c.insert("qa".into(), deps(&["A", "P_m1"]), 1, output(), prepared());
+        c.insert("qb".into(), deps(&["B"]), 1, output(), prepared());
         c.record_write(["B"], 2);
         // qa untouched by the write to B.
         assert!(c.lookup("qa").is_some());
@@ -386,7 +495,7 @@ mod tests {
         let mut c = ResultCache::new(8);
         c.record_write(["A"], 3);
         // Built at version 5, after the write: still fresh.
-        c.insert("q".into(), deps(&["A"]), 5, output());
+        c.insert("q".into(), deps(&["A"]), 5, output(), prepared());
         assert!(c.lookup("q").is_some());
     }
 
@@ -396,7 +505,7 @@ mod tests {
         c.record_write(["A"], 7);
         // A reader computed this against version 5, then the write at 7
         // landed before the insert: must not be cached.
-        c.insert("q".into(), deps(&["A"]), 5, output());
+        c.insert("q".into(), deps(&["A"]), 5, output(), prepared());
         assert!(c.lookup("q").is_none());
         assert_eq!(c.counters().rejected_inserts, 1);
         assert_eq!(c.counters().insertions, 0);
@@ -405,10 +514,10 @@ mod tests {
     #[test]
     fn capacity_evicts_least_recently_used() {
         let mut c = ResultCache::new(2);
-        c.insert("q1".into(), deps(&["A"]), 1, output());
-        c.insert("q2".into(), deps(&["A"]), 1, output());
+        c.insert("q1".into(), deps(&["A"]), 1, output(), prepared());
+        c.insert("q2".into(), deps(&["A"]), 1, output(), prepared());
         assert!(c.lookup("q1").is_some()); // q2 is now the LRU entry
-        c.insert("q3".into(), deps(&["A"]), 1, output());
+        c.insert("q3".into(), deps(&["A"]), 1, output(), prepared());
         assert_eq!(c.len(), 2);
         assert!(c.lookup("q1").is_some());
         assert!(c.lookup("q2").is_none());
@@ -419,8 +528,8 @@ mod tests {
     #[test]
     fn clear_drops_everything() {
         let mut c = ResultCache::new(8);
-        c.insert("q1".into(), deps(&["A"]), 1, output());
-        c.insert("q2".into(), deps(&["B"]), 1, output());
+        c.insert("q1".into(), deps(&["A"]), 1, output(), prepared());
+        c.insert("q2".into(), deps(&["B"]), 1, output(), prepared());
         assert_eq!(c.clear(), 2);
         assert!(c.is_empty());
     }
@@ -428,22 +537,12 @@ mod tests {
     #[test]
     fn hit_rate_reported() {
         let mut c = ResultCache::new(8);
-        c.insert("q".into(), deps(&["A"]), 1, output());
+        c.insert("q".into(), deps(&["A"]), 1, output(), prepared());
         assert!(c.lookup("q").is_some());
         assert!(c.lookup("q").is_some());
         assert!(c.lookup("other").is_none());
         let rate = c.counters().hit_rate();
         assert!((rate - 2.0 / 3.0).abs() < 1e-9, "rate = {rate}");
-    }
-
-    fn prepared() -> Arc<PreparedQuery> {
-        use proql::engine::Engine;
-        use proql_provgraph::system::example_2_1;
-        let e = Engine::new(example_2_1().unwrap());
-        Arc::new(
-            e.prepare("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
-                .unwrap(),
-        )
     }
 
     #[test]

@@ -24,13 +24,15 @@
 //!   reports.
 
 use crate::cache::{CacheCounters, PlanCache, PlanCacheCounters, ResultCache};
+use crate::proto::result_digest;
 use proql::engine::{Engine, EngineOptions, QueryOutput};
+use proql::{maintain_output, MaintainResult};
 use proql_cdss::update::{delete_local_with_graph, DeleteStats};
 use proql_common::{Result, Tuple};
 use proql_provgraph::ProvenanceSystem;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Lock with poison recovery: a worker that panicked mid-query must not
 /// wedge every other worker. The data behind each service lock is safe to
@@ -78,6 +80,9 @@ pub struct ServiceStats {
     pub plan_entries: u64,
     /// Prepared-plan cache counters.
     pub plans: PlanCacheCounters,
+    /// Delta-log compactions in the published system (sealed entries
+    /// merged to bound log growth; see `proql_provgraph::DeltaLog`).
+    pub delta_compactions: u64,
 }
 
 impl ServiceStats {
@@ -87,6 +92,8 @@ impl ServiceStats {
             "{{\"version\": {}, \"queries\": {}, \"writes\": {}, \"cache_entries\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
              \"stale_evictions\": {}, \"capacity_evictions\": {}, \"rejected_inserts\": {}, \
+             \"maint_hits\": {}, \"maint_fallbacks\": {}, \"maint_rows_patched\": {}, \
+             \"delta_compactions\": {}, \
              \"plan_entries\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
              \"plan_cache_hit_rate\": {:.6}, \"plan_reprepares\": {}}}",
             self.version,
@@ -99,6 +106,10 @@ impl ServiceStats {
             self.cache.stale_evictions,
             self.cache.capacity_evictions,
             self.cache.rejected_inserts,
+            self.cache.maint_hits,
+            self.cache.maint_fallbacks,
+            self.cache.maint_rows_patched,
+            self.delta_compactions,
             self.plan_entries,
             self.plans.hits,
             self.plans.misses,
@@ -124,6 +135,48 @@ pub struct QueryResponse {
     pub output: Arc<QueryOutput>,
 }
 
+/// The receiving end of a subscription channel: `(subscription id,
+/// event)` pairs, one sender shared by all of a connection's
+/// subscriptions.
+pub type SubscriptionReceiver = mpsc::Receiver<(u64, SubscriptionEvent)>;
+
+/// What happened to a subscribed query's answer after a write (pushed to
+/// `SUBSCRIBE` clients, tagged with the subscription id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscriptionEvent {
+    /// The cached answer was patched forward by incremental maintenance:
+    /// the subscriber's view is current again at `version` without a
+    /// recompute. `digest` is the canonical result digest of the patched
+    /// answer (what a re-`QUERY` would report); `rows_patched` is how
+    /// many projection/annotation rows actually changed.
+    Delta {
+        /// The version the patched answer is valid at.
+        version: u64,
+        /// Projection and annotation rows added, removed, or revalued.
+        rows_patched: u64,
+        /// Canonical digest of the patched answer.
+        digest: u64,
+    },
+    /// The write could not be maintained (fallback or the entry was
+    /// gone): the cached answer died and the subscriber must re-issue
+    /// the query to resynchronize.
+    Resync {
+        /// The version the subscriber should re-query at (or later).
+        version: u64,
+    },
+}
+
+/// One live subscription: where to push events for a cache key.
+#[derive(Debug)]
+struct Subscription {
+    id: u64,
+    key: String,
+    /// The answer's read set at subscribe time — a write intersecting it
+    /// triggers an event even if the cache entry itself has vanished.
+    deps: BTreeSet<String>,
+    sender: mpsc::Sender<(u64, SubscriptionEvent)>,
+}
+
 /// A shared, thread-safe ProQL query service over a [`ProvenanceSystem`]:
 /// single-writer / multi-reader with versioned snapshots and a
 /// dependency-tracked result cache.
@@ -136,6 +189,12 @@ pub struct ServiceCore {
     options: EngineOptions,
     queries: AtomicU64,
     writes: AtomicU64,
+    /// Incremental view maintenance switch: `true` patches intersecting
+    /// cache entries forward across writes; `false` reproduces the old
+    /// evict-on-write behavior (the ablation baseline).
+    maintenance: bool,
+    subs: Mutex<Vec<Subscription>>,
+    next_sub_id: AtomicU64,
 }
 
 /// Default bound on live cache entries.
@@ -184,7 +243,19 @@ impl ServiceCore {
             options,
             queries: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            maintenance: true,
+            subs: Mutex::new(Vec::new()),
+            next_sub_id: AtomicU64::new(0),
         }
+    }
+
+    /// Toggle incremental view maintenance (on by default). Disabling it
+    /// reproduces the pre-maintenance write path — every write evicts
+    /// intersecting entries — which benchmarks use as the ablation
+    /// baseline.
+    pub fn with_maintenance(mut self, enabled: bool) -> Self {
+        self.maintenance = enabled;
+        self
     }
 
     /// The currently published snapshot.
@@ -201,8 +272,24 @@ impl ServiceCore {
     /// copies of the same query share an entry. Normalization mirrors
     /// the ProQL lexer: single-quoted string literals are preserved
     /// verbatim (whitespace inside them is significant) and `--` line
-    /// comments are stripped.
+    /// comments are stripped. A leading `EXPLAIN` keyword — which the
+    /// parser matches case-insensitively — is canonicalized to an
+    /// explicit uppercase flag, so `explain q` and `EXPLAIN q` share one
+    /// entry that is always distinct from `q`'s (an `EXPLAIN` answer has
+    /// no result rows; conflating the two keys would serve an empty
+    /// projection for the real query or vice versa).
     pub fn cache_key(text: &str) -> String {
+        let normalized = Self::normalize_text(text);
+        match normalized.split_once(' ') {
+            Some((head, rest)) if head.eq_ignore_ascii_case("EXPLAIN") => {
+                format!("EXPLAIN {rest}")
+            }
+            _ => normalized,
+        }
+    }
+
+    /// Whitespace/comment normalization behind [`Self::cache_key`].
+    fn normalize_text(text: &str) -> String {
         let mut out = String::with_capacity(text.len());
         let mut chars = text.chars().peekable();
         let mut pending_space = false;
@@ -286,6 +373,7 @@ impl ServiceCore {
             output.touched.clone(),
             snap.version,
             Arc::clone(&output),
+            Arc::clone(&prepared),
         );
         Ok(QueryResponse {
             version: snap.version,
@@ -307,6 +395,19 @@ impl ServiceCore {
     /// which is recorded in the cache *before* the new snapshot becomes
     /// visible; returning `None` reports a no-op (nothing is published,
     /// no entry is evicted).
+    ///
+    /// Before publishing, every **fresh** cache entry whose read set
+    /// intersects the write set is run through incremental view
+    /// maintenance ([`proql::maintain_output`]): the entry's unfolded
+    /// rules are re-run in delta form over the `(snapshot, delta)` pair
+    /// and the cached answer is patched to the new version in O(delta).
+    /// Entries the maintainer cannot localize (graph-walk answers,
+    /// set-valued semirings, broken delta chains, oversized deltas) fall
+    /// back to the old behavior — eviction — so maintenance is never a
+    /// correctness risk. The patched entries are installed, the write
+    /// epoch recorded, and the snapshot published under one cache lock
+    /// acquisition, so no reader can observe a new-version answer at the
+    /// old published version.
     fn write<T>(
         &self,
         mutate: impl FnOnce(&Snapshot, &mut ProvenanceSystem) -> Result<Option<(BTreeSet<String>, T)>>,
@@ -322,10 +423,94 @@ impl ServiceCore {
         let engine = Engine::with_options(sys, self.options.clone());
         engine.adopt_graph_cache(&current.engine);
         let next = Arc::new(Snapshot { version, engine });
-        lock(&self.cache).record_write(write_set.iter().map(String::as_str), version);
-        *write_lock(&self.state) = next;
+        // Maintenance runs outside the cache lock (it executes delta
+        // plans); the write gate keeps the candidate set stable against
+        // other writers, and racing readers still see the old entries at
+        // the old published version.
+        let maintained = if self.maintenance {
+            let candidates = lock(&self.cache).take_maintenance_candidates(&write_set);
+            candidates
+                .into_iter()
+                .map(|c| {
+                    let outcome = maintain_output(
+                        &current.engine,
+                        &next.engine,
+                        &c.prepared,
+                        &c.previous,
+                        c.state,
+                    );
+                    (c.key, outcome)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut events: Vec<(String, SubscriptionEvent)> = Vec::new();
+        {
+            let mut cache = lock(&self.cache);
+            for (key, outcome) in maintained {
+                match outcome {
+                    Ok(MaintainResult::Maintained {
+                        output,
+                        rows_patched,
+                        state,
+                    }) => {
+                        let digest = result_digest(&output);
+                        cache.apply_maintained(
+                            &key,
+                            Arc::new(*output),
+                            state,
+                            version,
+                            rows_patched,
+                        );
+                        events.push((
+                            key,
+                            SubscriptionEvent::Delta {
+                                version,
+                                rows_patched,
+                                digest,
+                            },
+                        ));
+                    }
+                    Ok(MaintainResult::Fallback(_)) | Err(_) => {
+                        cache.maintenance_fallback(&key);
+                        events.push((key, SubscriptionEvent::Resync { version }));
+                    }
+                }
+            }
+            cache.record_write(write_set.iter().map(String::as_str), version);
+            *write_lock(&self.state) = next;
+        }
+        self.notify_subscribers(&write_set, version, &events);
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(Some((version, value)))
+    }
+
+    /// Push this write's outcome to every subscription whose read set it
+    /// intersects: a `Delta` when the subscribed entry was maintained, a
+    /// `Resync` otherwise (fallback, eviction, or maintenance disabled).
+    /// Subscriptions whose receiver hung up are pruned.
+    fn notify_subscribers(
+        &self,
+        write_set: &BTreeSet<String>,
+        version: u64,
+        events: &[(String, SubscriptionEvent)],
+    ) {
+        let mut subs = lock(&self.subs);
+        if subs.is_empty() {
+            return;
+        }
+        subs.retain(|sub| {
+            if !sub.deps.iter().any(|d| write_set.contains(d)) {
+                return true;
+            }
+            let event = events
+                .iter()
+                .find(|(key, _)| *key == sub.key)
+                .map(|(_, e)| *e)
+                .unwrap_or(SubscriptionEvent::Resync { version });
+            sub.sender.send((sub.id, event)).is_ok()
+        });
     }
 
     /// CDSS deletion: remove a tuple from `relation`'s local table and
@@ -380,6 +565,50 @@ impl ServiceCore {
         lock(&self.cache).clear()
     }
 
+    /// Subscribe to a query (the `SUBSCRIBE` verb): runs it once (warming
+    /// the cache entry maintenance keeps patched) and registers `sender`
+    /// to receive `(subscription id, event)` pairs on every write that
+    /// intersects the answer's read set — [`SubscriptionEvent::Delta`]
+    /// when the answer was patched forward, [`SubscriptionEvent::Resync`]
+    /// when the subscriber must re-query. One sender can serve many
+    /// subscriptions (the TCP server uses one channel per connection).
+    pub fn subscribe_with(
+        &self,
+        text: &str,
+        sender: mpsc::Sender<(u64, SubscriptionEvent)>,
+    ) -> Result<(u64, QueryResponse)> {
+        let resp = self.query(text)?;
+        let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed) + 1;
+        lock(&self.subs).push(Subscription {
+            id,
+            key: ServiceCore::cache_key(text),
+            deps: resp.output.touched.clone(),
+            sender,
+        });
+        Ok((id, resp))
+    }
+
+    /// [`Self::subscribe_with`] over a private channel: returns the
+    /// subscription id, the initial answer, and the event receiver.
+    pub fn subscribe(&self, text: &str) -> Result<(u64, QueryResponse, SubscriptionReceiver)> {
+        let (tx, rx) = mpsc::channel();
+        let (id, resp) = self.subscribe_with(text, tx)?;
+        Ok((id, resp, rx))
+    }
+
+    /// Drop a subscription. Returns whether it was live.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut subs = lock(&self.subs);
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        subs.len() < before
+    }
+
+    /// Live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        lock(&self.subs).len()
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> ServiceStats {
         let (entries, counters) = {
@@ -390,14 +619,16 @@ impl ServiceCore {
             let plans = lock(&self.plans);
             (plans.len() as u64, plans.counters())
         };
+        let snap = self.snapshot();
         ServiceStats {
-            version: self.version(),
+            version: snap.version,
             queries: self.queries.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             cache_entries: entries,
             cache: counters,
             plan_entries,
             plans: plan_counters,
+            delta_compactions: snap.engine.sys.delta_compactions(),
         }
     }
 }
@@ -489,8 +720,32 @@ mod tests {
     }
 
     #[test]
-    fn write_to_touched_relation_evicts_entry() {
+    fn write_to_touched_relation_maintains_entry() {
         let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let before = core.query(Q_Y).unwrap();
+        assert_eq!(before.output.projection.bindings.len(), 5);
+        let (v, _) = core.delete("X", &tup![0]).unwrap();
+        let after = core.query(Q_Y).unwrap();
+        assert!(
+            after.cache_hit,
+            "a localizable write must patch the entry, not evict it"
+        );
+        assert_eq!(after.version, v);
+        assert_eq!(after.output.projection.bindings.len(), 4);
+        // The patched answer is bit-identical to a fresh recomputation.
+        let fresh = core.snapshot().engine.query(Q_Y).unwrap();
+        assert_eq!(result_digest(&after.output), result_digest(&fresh));
+        let stats = core.stats();
+        assert_eq!(stats.cache.maint_hits, 1);
+        assert_eq!(stats.cache.maint_fallbacks, 0);
+        assert!(stats.cache.maint_rows_patched > 0);
+        assert_eq!(stats.cache.stale_evictions, 0);
+    }
+
+    #[test]
+    fn maintenance_disabled_reproduces_evict_on_write() {
+        let core =
+            ServiceCore::new(two_island_system(), EngineOptions::default()).with_maintenance(false);
         let before = core.query(Q_Y).unwrap();
         assert_eq!(before.output.projection.bindings.len(), 5);
         let (v, _) = core.delete("X", &tup![0]).unwrap();
@@ -498,11 +753,13 @@ mod tests {
         assert!(!after.cache_hit, "write to a dependency must evict");
         assert_eq!(after.version, v);
         assert_eq!(after.output.projection.bindings.len(), 4);
-        assert_eq!(core.stats().cache.stale_evictions, 1);
+        let stats = core.stats();
+        assert_eq!(stats.cache.stale_evictions, 1);
+        assert_eq!(stats.cache.maint_hits, 0);
     }
 
     #[test]
-    fn insert_and_exchange_evicts_dependent_entries_only() {
+    fn insert_and_exchange_maintains_dependent_entries() {
         let core = ServiceCore::new(two_island_system(), EngineOptions::default());
         core.query(Q_Y).unwrap();
         core.query(Q_V).unwrap();
@@ -511,9 +768,30 @@ mod tests {
         assert!(write_set.contains("Y"), "write set: {write_set:?}");
         assert!(!write_set.contains("V"), "write set: {write_set:?}");
         let y = core.query(Q_Y).unwrap();
-        assert!(!y.cache_hit);
+        assert!(y.cache_hit, "insert+exchange must patch the Y entry");
         assert_eq!(y.output.projection.bindings.len(), 6);
+        let fresh = core.snapshot().engine.query(Q_Y).unwrap();
+        assert_eq!(result_digest(&y.output), result_digest(&fresh));
         assert!(core.query(Q_V).unwrap().cache_hit);
+        assert_eq!(core.stats().cache.maint_hits, 1);
+    }
+
+    #[test]
+    fn maintained_annotation_entry_carries_state_across_rounds() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let q = "EVALUATE WEIGHT OF { FOR [Y $x] INCLUDE PATH [$x] <-+ [] RETURN $x } \
+                 ASSIGNING EACH leaf_node $y { DEFAULT : SET 1 }";
+        core.query(q).unwrap();
+        // Two maintenance rounds: the second reuses the carry-over state.
+        core.insert_and_exchange("X", tup![7, 70]).unwrap();
+        let r1 = core.query(q).unwrap();
+        assert!(r1.cache_hit, "round 1 must maintain");
+        core.delete("X", &tup![1]).unwrap();
+        let r2 = core.query(q).unwrap();
+        assert!(r2.cache_hit, "round 2 must maintain");
+        let fresh = core.snapshot().engine.query(q).unwrap();
+        assert_eq!(result_digest(&r2.output), result_digest(&fresh));
+        assert_eq!(core.stats().cache.maint_hits, 2);
     }
 
     #[test]
@@ -534,7 +812,10 @@ mod tests {
 
     #[test]
     fn result_miss_reuses_cached_plan() {
-        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        // Maintenance off: this test is about the plan-reuse path under
+        // forced result misses (the ablation baseline's hot path).
+        let core =
+            ServiceCore::new(two_island_system(), EngineOptions::default()).with_maintenance(false);
         let first = core.query(Q_Y).unwrap();
         assert!(!first.cache_hit && !first.plan_cache_hit);
         // A write to a dependency evicts the result but not the plan: the
@@ -583,6 +864,95 @@ mod tests {
         assert!(resp.output.projection.bindings.is_empty());
         // EXPLAIN and the plain query are distinct cache keys.
         assert!(!core.query(Q_Y).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn explain_flag_is_canonical_in_cache_keys() {
+        // The parser matches keywords case-insensitively, so every case
+        // variant of EXPLAIN is the same query and must share one entry…
+        assert_eq!(
+            ServiceCore::cache_key("explain FOR [Y $x] RETURN $x"),
+            ServiceCore::cache_key("EXPLAIN  FOR [Y $x] RETURN $x")
+        );
+        assert_eq!(
+            ServiceCore::cache_key("Explain -- plan?\n FOR [Y $x] RETURN $x"),
+            ServiceCore::cache_key("EXPLAIN FOR [Y $x] RETURN $x")
+        );
+        // …that is never conflated with the plain query's entry: an
+        // EXPLAIN answer has no result rows, so sharing a key would serve
+        // an empty projection for the real query.
+        assert_ne!(
+            ServiceCore::cache_key("EXPLAIN FOR [Y $x] RETURN $x"),
+            ServiceCore::cache_key("FOR [Y $x] RETURN $x")
+        );
+        // End to end: a lowercase `explain` hits the uppercase entry and
+        // still leaves the plain query a miss.
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        core.query(&format!("EXPLAIN {Q_Y}")).unwrap();
+        let variant = core.query(&format!("explain {Q_Y}")).unwrap();
+        assert!(
+            variant.cache_hit,
+            "case variant of EXPLAIN must share the entry"
+        );
+        assert!(!core.query(Q_Y).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn subscriptions_receive_deltas_and_resyncs() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let (id, initial, rx) = core.subscribe(Q_Y).unwrap();
+        assert_eq!(initial.output.projection.bindings.len(), 5);
+        assert_eq!(core.subscription_count(), 1);
+
+        // Unrelated write: no event.
+        core.delete("U", &tup![0]).unwrap();
+        assert!(rx.try_recv().is_err(), "unrelated write must not notify");
+
+        // Touching write: maintained → a Delta event with the patched
+        // answer's digest.
+        let (v, _) = core.delete("X", &tup![0]).unwrap();
+        let (got_id, event) = rx.try_recv().expect("touching write must notify");
+        assert_eq!(got_id, id);
+        match event {
+            SubscriptionEvent::Delta {
+                version,
+                rows_patched,
+                digest,
+            } => {
+                assert_eq!(version, v);
+                assert!(rows_patched > 0);
+                let served = core.query(Q_Y).unwrap();
+                assert!(served.cache_hit);
+                assert_eq!(digest, result_digest(&served.output));
+            }
+            other => panic!("expected Delta, got {other:?}"),
+        }
+
+        // INVALIDATE then a touching write: the entry is gone, so the
+        // subscriber is told to resync.
+        core.invalidate();
+        let (v2, _) = core.delete("X", &tup![1]).unwrap();
+        match rx.try_recv() {
+            Ok((_, SubscriptionEvent::Resync { version })) => assert_eq!(version, v2),
+            other => panic!("expected Resync, got {other:?}"),
+        }
+
+        assert!(core.unsubscribe(id));
+        assert!(!core.unsubscribe(id));
+        assert_eq!(core.subscription_count(), 0);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_on_notify() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let (_, _, rx) = core.subscribe(Q_Y).unwrap();
+        drop(rx);
+        core.delete("X", &tup![0]).unwrap();
+        assert_eq!(
+            core.subscription_count(),
+            0,
+            "hung-up subscriber must be pruned"
+        );
     }
 
     #[test]

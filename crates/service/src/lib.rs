@@ -21,7 +21,17 @@
 //!   hot-template traffic skips parse → translate → optimize entirely.
 //! * [`server`] — a zero-dependency `std::net` TCP front end speaking a
 //!   line protocol (`QUERY` / `DELETE` / `INSERT` / `STATS` /
-//!   `INVALIDATE`), plus the matching blocking [`server::Client`].
+//!   `INVALIDATE` / `SUBSCRIBE`), plus the matching blocking
+//!   [`server::Client`].
+//!
+//! Writes do not simply evict intersecting cache entries: the write path
+//! first tries **incremental view maintenance** ([`proql::maintain_output`])
+//! — re-running each affected entry's unfolded rules in delta form over
+//! the published `(snapshot, delta)` pair and patching the cached answer
+//! forward in O(delta). Only non-localizable shapes (graph-walk answers,
+//! set-valued semirings, broken delta chains, oversized deltas) fall back
+//! to eviction. `SUBSCRIBE` clients ride the same machinery: maintained
+//! entries push result deltas, fallbacks push a resync notice.
 //!
 //! The `serve` binary in `proql-bench` load-tests this stack end to end
 //! and reports throughput, latency percentiles, and cache hit rates.
@@ -31,7 +41,9 @@ pub mod core;
 pub mod proto;
 pub mod server;
 
-pub use crate::core::{QueryResponse, ServiceCore, ServiceStats, Snapshot};
-pub use cache::{CacheCounters, PlanCache, PlanCacheCounters, ResultCache};
+pub use crate::core::{
+    QueryResponse, ServiceCore, ServiceStats, Snapshot, SubscriptionEvent, SubscriptionReceiver,
+};
+pub use cache::{CacheCounters, MaintenanceCandidate, PlanCache, PlanCacheCounters, ResultCache};
 pub use proto::{handle_line, result_digest};
 pub use server::{serve, Client, ServerHandle};

@@ -12,12 +12,21 @@
 //! | `STATS` | — | [`crate::core::ServiceStats`] JSON |
 //! | `INVALIDATE` | — | number of dropped cache entries |
 //! | `PING` | — | `{"pong": true}` |
+//! | `SUBSCRIBE` | ProQL text | like `QUERY` plus a `subscription` id; the server then pushes `PUSH <json>` lines on writes |
 //!
 //! Tuple values in `DELETE`/`INSERT` are comma-separated and typed by
 //! shape: `true`/`false` → bool, integers → int, decimals → float,
 //! `NULL` → null, everything else → string.
+//!
+//! `SUBSCRIBE` breaks the strict request/response lockstep: after the
+//! `OK` reply, the server may interleave asynchronous `PUSH {...}` lines
+//! — a `"delta"` event when the subscribed answer was patched forward by
+//! incremental maintenance (carrying the new version, patched row count,
+//! and the answer's digest) or a `"resync"` event when the client must
+//! re-issue the query. Clients distinguish pushes by the `PUSH ` prefix
+//! ([`crate::server::Client`] stashes them transparently).
 
-use crate::core::{QueryResponse, ServiceCore};
+use crate::core::{QueryResponse, ServiceCore, SubscriptionEvent};
 use proql::engine::QueryOutput;
 use proql_common::{Error, Tuple, Value};
 
@@ -140,6 +149,35 @@ pub fn query_json(resp: &QueryResponse) -> String {
     json
 }
 
+/// Render a `SUBSCRIBE` reply payload: the initial answer (as in
+/// [`query_json`]) prefixed with the subscription id the pushed events
+/// will be tagged with.
+pub fn subscribe_json(id: u64, resp: &QueryResponse) -> String {
+    let inner = query_json(resp);
+    format!(
+        "{{\"subscription\": {id}, {}",
+        inner.strip_prefix('{').unwrap_or(&inner)
+    )
+}
+
+/// Render one pushed subscription event (the payload after `PUSH `).
+pub fn push_json(id: u64, event: &SubscriptionEvent) -> String {
+    match event {
+        SubscriptionEvent::Delta {
+            version,
+            rows_patched,
+            digest,
+        } => format!(
+            "{{\"subscription\": {id}, \"event\": \"delta\", \"version\": {version}, \
+             \"rows_patched\": {rows_patched}, \"digest\": {}}}",
+            json_str(&digest.to_string()),
+        ),
+        SubscriptionEvent::Resync { version } => {
+            format!("{{\"subscription\": {id}, \"event\": \"resync\", \"version\": {version}}}")
+        }
+    }
+}
+
 /// Extract an unsigned-integer field from one of this protocol's own
 /// flat JSON payloads. Not a general JSON parser — fields are scanned
 /// textually — but sufficient for clients of this wire format.
@@ -209,8 +247,13 @@ pub fn handle_line(core: &ServiceCore, line: &str) -> String {
         "STATS" => Ok(core.stats().to_json()),
         "INVALIDATE" => Ok(format!("{{\"cleared\": {}}}", core.invalidate())),
         "PING" => Ok("{\"pong\": true}".to_string()),
+        // SUBSCRIBE needs a connection to push events down; the TCP
+        // server intercepts it before this dispatcher.
+        "SUBSCRIBE" => Err(Error::Other(
+            "SUBSCRIBE requires a streaming connection (served over TCP only)".into(),
+        )),
         other => Err(Error::Parse(format!(
-            "unknown verb {other:?}; expected QUERY/DELETE/INSERT/STATS/INVALIDATE/PING"
+            "unknown verb {other:?}; expected QUERY/DELETE/INSERT/STATS/INVALIDATE/PING/SUBSCRIBE"
         ))),
     };
     match result {
@@ -347,6 +390,11 @@ mod tests {
         let stats = handle_line(&core, "STATS");
         assert_eq!(json_u64_field(&stats, "cache_hits"), Some(1));
         assert_eq!(json_u64_field(&stats, "writes"), Some(1));
+        // Example 2.1 is cyclic → graph strategy → the delete's
+        // maintenance attempt fell back to eviction, and STATS says so.
+        assert_eq!(json_u64_field(&stats, "maint_fallbacks"), Some(1));
+        assert_eq!(json_u64_field(&stats, "maint_hits"), Some(0));
+        assert!(json_u64_field(&stats, "delta_compactions").is_some());
 
         let inv = handle_line(&core, "INVALIDATE");
         assert_eq!(json_u64_field(&inv, "cleared"), Some(1));

@@ -7,13 +7,14 @@
 //! worker is pinned to its connection, the pool size bounds the number
 //! of *concurrent connections*, not requests.
 
-use crate::core::ServiceCore;
-use crate::proto::handle_line;
+use crate::core::{ServiceCore, SubscriptionEvent};
+use crate::proto::{handle_line, push_json, subscribe_json};
 use proql_common::{Error, Result};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -121,6 +122,27 @@ fn serve_connection(
     stream: TcpStream,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
+    // Per-connection subscription plumbing: every SUBSCRIBE on this
+    // connection shares one event channel, drained into `PUSH` lines
+    // between requests (and on read timeouts, so push latency is bounded
+    // by the read timeout even on an idle connection).
+    let (push_tx, push_rx) = channel::<(u64, SubscriptionEvent)>();
+    let mut sub_ids: Vec<u64> = Vec::new();
+    let result = serve_connection_inner(core, stream, stop, &push_tx, &push_rx, &mut sub_ids);
+    for id in sub_ids {
+        core.unsubscribe(id);
+    }
+    result
+}
+
+fn serve_connection_inner(
+    core: &ServiceCore,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    push_tx: &Sender<(u64, SubscriptionEvent)>,
+    push_rx: &Receiver<(u64, SubscriptionEvent)>,
+    sub_ids: &mut Vec<u64>,
+) -> std::io::Result<()> {
     // A finite read timeout lets the worker notice shutdown even while a
     // client holds its connection open without sending anything; the
     // write timeout keeps a client that stops draining responses from
@@ -135,6 +157,16 @@ fn serve_connection(
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(());
+        }
+        // Deliver pending subscription events before blocking on the
+        // next request (dead subscriptions were already pruned serverside
+        // when their send failed; a disconnected channel cannot happen —
+        // we hold `push_tx`).
+        while let Ok((id, event)) = push_rx.try_recv() {
+            writer.write_all(b"PUSH ")?;
+            writer.write_all(push_json(id, &event).as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
         }
         // Keep `line` across timeouts: a timeout mid-request leaves the
         // partial bytes in place and the next read appends the rest.
@@ -159,19 +191,50 @@ fn serve_connection(
         if trimmed.is_empty() {
             continue;
         }
-        let response = handle_line(core, trimmed);
+        // SUBSCRIBE is connection-stateful (it registers this
+        // connection's push channel), so it is intercepted here rather
+        // than dispatched through the stateless `handle_line`.
+        let response = match subscribe_request(trimmed) {
+            Some(query) => match core.subscribe_with(query, push_tx.clone()) {
+                Ok((id, resp)) => {
+                    sub_ids.push(id);
+                    format!("OK {}", subscribe_json(id, &resp))
+                }
+                Err(e) => format!(
+                    "ERR {}: {}",
+                    e.kind(),
+                    e.message().replace(['\n', '\r'], " ")
+                ),
+            },
+            None => handle_line(core, trimmed),
+        };
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
 }
 
+/// If `line` is a `SUBSCRIBE` request, return its query text.
+fn subscribe_request(line: &str) -> Option<&str> {
+    let (verb, rest) = line.split_once(char::is_whitespace)?;
+    if verb.eq_ignore_ascii_case("SUBSCRIBE") {
+        Some(rest.trim())
+    } else {
+        None
+    }
+}
+
 /// A minimal blocking client for the line protocol — used by the
 /// integration tests and the `serve` load generator.
+///
+/// `PUSH` lines (asynchronous subscription events) arriving while a
+/// response is awaited are stashed and handed out in order via
+/// [`Client::next_push`], so request/response callers never see them.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    pushes: VecDeque<String>,
 }
 
 impl Client {
@@ -183,7 +246,24 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            pushes: VecDeque::new(),
         })
+    }
+
+    /// Read one non-push line, stashing any `PUSH` lines encountered.
+    fn read_response(&mut self) -> Result<String> {
+        loop {
+            let mut response = String::new();
+            let n = self.reader.read_line(&mut response).map_err(io_err)?;
+            if n == 0 {
+                return Err(Error::Other("server closed the connection".into()));
+            }
+            let response = response.trim_end().to_string();
+            match response.strip_prefix("PUSH ") {
+                Some(event) => self.pushes.push_back(event.to_string()),
+                None => return Ok(response),
+            }
+        }
     }
 
     /// Send one request line, read one response line.
@@ -191,12 +271,7 @@ impl Client {
         self.writer.write_all(line.as_bytes()).map_err(io_err)?;
         self.writer.write_all(b"\n").map_err(io_err)?;
         self.writer.flush().map_err(io_err)?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response).map_err(io_err)?;
-        if n == 0 {
-            return Err(Error::Other("server closed the connection".into()));
-        }
-        Ok(response.trim_end().to_string())
+        self.read_response()
     }
 
     /// `QUERY` helper: sends the query, returns the `OK` JSON payload or
@@ -208,6 +283,33 @@ impl Client {
     /// `STATS` helper.
     pub fn stats(&mut self) -> Result<String> {
         expect_ok(self.request("STATS")?)
+    }
+
+    /// `SUBSCRIBE` helper: returns the `OK` JSON payload (the initial
+    /// answer plus the `subscription` id).
+    pub fn subscribe(&mut self, proql: &str) -> Result<String> {
+        expect_ok(self.request(&format!("SUBSCRIBE {proql}"))?)
+    }
+
+    /// Next pushed subscription event (the JSON after `PUSH `): a
+    /// stashed one if available, else a blocking read. The server flushes
+    /// pushes between requests, within its read-timeout cadence.
+    pub fn next_push(&mut self) -> Result<String> {
+        if let Some(event) = self.pushes.pop_front() {
+            return Ok(event);
+        }
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).map_err(io_err)?;
+            if n == 0 {
+                return Err(Error::Other("server closed the connection".into()));
+            }
+            if let Some(event) = line.trim_end().strip_prefix("PUSH ") {
+                return Ok(event.to_string());
+            }
+            // A non-push line here means responses and pushes raced;
+            // that cannot happen in the lockstep client, so drop it.
+        }
     }
 }
 
@@ -307,6 +409,72 @@ mod tests {
         let stats = core.stats();
         assert_eq!(stats.queries, 20);
         assert!(stats.cache.hits >= 16, "stats: {stats:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn subscribe_pushes_deltas_and_resyncs_over_the_wire() {
+        use proql_common::{tup, Schema, ValueType};
+        use proql_provgraph::ProvenanceSystem;
+        // An acyclic X → Y family: unfold strategy, so writes are
+        // maintained and subscribers get deltas (not just resyncs).
+        let mut sys = ProvenanceSystem::new();
+        for name in ["X", "Y"] {
+            sys.add_relation_with_local(
+                Schema::build(name, &[("id", ValueType::Int), ("w", ValueType::Int)], &[0])
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        sys.add_mapping_text("mxy: Y(i, w) :- X(i, w)").unwrap();
+        for i in 0..5 {
+            sys.insert_local("X", tup![i, i * 10]).unwrap();
+        }
+        sys.run_exchange().unwrap();
+        let core = Arc::new(ServiceCore::new(sys, EngineOptions::default()));
+        let handle = serve(Arc::clone(&core), "127.0.0.1:0", 2).unwrap();
+        let qy = "FOR [Y $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let sub = c.subscribe(qy).unwrap();
+        let sub_id = json_u64_field(&sub, "subscription").expect("subscription id");
+        assert_eq!(json_u64_field(&sub, "bindings"), Some(5));
+
+        // A touching write from another client: the maintained entry's
+        // delta is pushed to the subscriber.
+        let mut w = Client::connect(handle.addr()).unwrap();
+        let del = w.request("DELETE X 0").unwrap();
+        assert!(del.starts_with("OK "), "{del}");
+        let push = c.next_push().unwrap();
+        assert_eq!(json_u64_field(&push, "subscription"), Some(sub_id));
+        assert_eq!(json_str_field(&push, "event").as_deref(), Some("delta"));
+        assert!(json_u64_field(&push, "rows_patched").unwrap() > 0);
+        let pushed_digest = json_u64_field(&push, "digest").unwrap();
+
+        // The pushed digest is exactly what a re-query serves (a cache
+        // hit on the patched entry).
+        let requery = c.query(qy).unwrap();
+        assert_eq!(json_str_field(&requery, "cache").as_deref(), Some("hit"));
+        assert_eq!(json_u64_field(&requery, "bindings"), Some(4));
+        assert_eq!(json_u64_field(&requery, "digest"), Some(pushed_digest));
+
+        // Kill the entry, then write again: the subscriber must resync.
+        assert!(c.request("INVALIDATE").unwrap().starts_with("OK"));
+        let del2 = w.request("DELETE X 1").unwrap();
+        assert!(del2.starts_with("OK "), "{del2}");
+        let push2 = c.next_push().unwrap();
+        assert_eq!(json_str_field(&push2, "event").as_deref(), Some("resync"));
+
+        // Closing the subscriber's connection unsubscribes it.
+        drop(c);
+        for _ in 0..100 {
+            if core.subscription_count() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(core.subscription_count(), 0);
+        drop(w);
         handle.shutdown();
     }
 

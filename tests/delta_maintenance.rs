@@ -188,6 +188,134 @@ fn replay(seed: u64, exec_mode: ExecMode, parallelism: Parallelism) {
     );
 }
 
+/// Chain-break property test for incremental view maintenance: replay a
+/// random interleaving of maintainable writes (insert+exchange, CDSS
+/// deletes) and chain-breaking ones (out-of-band db write + bare
+/// `bump_version`, schema additions), carrying a set of maintained query
+/// outputs across every step. Maintainable steps must patch
+/// ([`proql::MaintainResult::Maintained`]) and chain-breaking steps must
+/// fall back — and in **both** cases the answer served afterwards must be
+/// digest-equal to a fresh serial [`Engine`] evaluation of the new state.
+#[test]
+fn maintained_outputs_survive_chain_breaks_via_fallback() {
+    use proql::engine::{EngineOptions, PreparedQuery, QueryOutput};
+    use proql::{maintain_output, MaintainResult, MaintainState};
+
+    // Only the acyclic X/Y/Z family: force the unfold strategy so the
+    // outputs are maintainable at all.
+    const MAINT_QUERIES: [&str; 2] = [
+        "FOR [Z $x] INCLUDE PATH [$x] <-+ [] RETURN $x",
+        "EVALUATE WEIGHT OF { FOR [Z $x] INCLUDE PATH [$x] <-+ [] RETURN $x } \
+         ASSIGNING EACH leaf_node $y { DEFAULT : SET 1 }",
+    ];
+    let opts = EngineOptions {
+        strategy: Strategy::Unfold,
+        ..EngineOptions::default()
+    };
+    let mut engine = Engine::with_options(build_system(), opts.clone());
+    let mut entries: Vec<(PreparedQuery, QueryOutput, Option<Box<MaintainState>>)> = MAINT_QUERIES
+        .iter()
+        .map(|q| {
+            let prepared = engine.prepare(q).expect("prepare");
+            let output = engine.execute(&prepared).expect("execute");
+            (prepared, output, None)
+        })
+        .collect();
+
+    let mut rng = SplitMix64::seed_from_u64(0xBADC0DE);
+    let mut live: Vec<i64> = vec![0, 1, 2, 3];
+    let mut next_key = 200i64;
+    let mut schema_seq = 0usize;
+    let (mut maintained_steps, mut fallback_steps) = (0u32, 0u32);
+
+    for step in 0..30 {
+        let old = engine;
+        let mut sys = old.sys.clone();
+        let op = rng.gen_range_usize(0, 8);
+        let breaks_chain = op >= 6;
+        match op {
+            // Maintainable: CDSS delete (insert instead if nothing lives).
+            4 | 5 if !live.is_empty() => {
+                let at = rng.gen_range_usize(0, live.len());
+                let k = live.swap_remove(at);
+                delete_local(&mut sys, "X", &tup![k]).expect("delete");
+            }
+            // Maintainable: insert + incremental exchange.
+            0..=5 => {
+                let k = next_key;
+                next_key += 1;
+                sys.insert_local("X", tup![k, k * 7]).expect("insert");
+                sys.run_exchange().expect("exchange");
+                live.push(k);
+            }
+            // Chain break: out-of-band db write + bare version bump.
+            6 => {
+                let k = next_key;
+                next_key += 1;
+                sys.db
+                    .insert("Y", Tuple::new(vec![Value::Int(k), Value::Int(k)]))
+                    .expect("direct insert");
+                sys.bump_version();
+            }
+            // Chain break: schema change (a new relation) + bump.
+            _ => {
+                schema_seq += 1;
+                sys.add_relation(
+                    Schema::build(&format!("S{schema_seq}"), &[("id", ValueType::Int)], &[0])
+                        .unwrap(),
+                )
+                .expect("add relation");
+                sys.bump_version();
+            }
+        }
+        let new = Engine::with_options(sys, opts.clone());
+        for (prepared, output, state) in &mut entries {
+            let outcome = maintain_output(&old, &new, prepared, output, state.take())
+                .expect("maintain never errors here");
+            match outcome {
+                MaintainResult::Maintained {
+                    output: patched,
+                    state: next_state,
+                    ..
+                } => {
+                    assert!(
+                        !breaks_chain,
+                        "step {step}: a chain-breaking write must not be maintained"
+                    );
+                    *output = *patched;
+                    *state = next_state;
+                    maintained_steps += 1;
+                }
+                MaintainResult::Fallback(reason) => {
+                    assert!(
+                        breaks_chain,
+                        "step {step}: localizable write unexpectedly fell back ({reason})"
+                    );
+                    assert_eq!(reason, "delta chain unavailable", "step {step}");
+                    // Post-fallback the caller recomputes: do the same.
+                    *output = new.execute(prepared).expect("recompute");
+                    *state = None;
+                    fallback_steps += 1;
+                }
+            }
+            // Maintained or recomputed, the served answer must equal a
+            // fresh serial evaluation of the new state.
+            let fresh = Engine::with_options(new.sys.clone(), opts.clone());
+            assert_eq!(
+                result_digest(output),
+                result_digest(&fresh.execute(prepared).expect("fresh")),
+                "step {step}: served answer diverged from fresh evaluation"
+            );
+        }
+        engine = new;
+    }
+    assert!(
+        maintained_steps > 0 && fallback_steps > 0,
+        "the replay must exercise both paths (maintained={maintained_steps}, \
+         fallbacks={fallback_steps})"
+    );
+}
+
 #[test]
 fn random_interleavings_batch_serial() {
     replay(0xA11CE, ExecMode::Batch, Parallelism::Serial);

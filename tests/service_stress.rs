@@ -129,7 +129,8 @@ fn concurrent_responses_match_serial_replay_at_their_version() {
 }
 
 /// The same service used synchronously: interleaved reads and writes see
-/// exact version progression and per-write invalidation effects.
+/// exact version progression; a touching write now *patches* the cached
+/// entry forward (incremental view maintenance) instead of evicting it.
 #[test]
 fn serial_session_versions_progress_exactly() {
     let sys =
@@ -142,7 +143,7 @@ fn serial_session_versions_progress_exactly() {
     assert_eq!(r1.version, v0);
     assert!(!r1.cache_hit);
 
-    // Island delete: version moves, cached entry survives.
+    // Island delete: version moves, cached entry survives untouched.
     let (v1, _) = core.delete("Island", &tup![0]).unwrap();
     assert_eq!(v1, v0 + 1);
     let r2 = core.query(q).unwrap();
@@ -150,14 +151,121 @@ fn serial_session_versions_progress_exactly() {
     assert_eq!(r2.version, v1);
     assert_eq!(result_digest(&r1.output), result_digest(&r2.output));
 
-    // Chain delete: entry dies, fresh result differs.
+    // Chain delete: the entry is maintained — still a cache hit, now at
+    // the new version, bit-identical to a fresh recomputation.
     let (v2, _) = core.delete("R2a", &tup![7]).unwrap();
     let r3 = core.query(q).unwrap();
-    assert!(!r3.cache_hit);
+    assert!(
+        r3.cache_hit,
+        "a localizable chain delete must be maintained"
+    );
     assert_eq!(r3.version, v2);
     assert_ne!(result_digest(&r1.output), result_digest(&r3.output));
     assert_eq!(
         r3.output.projection.bindings.len(),
         r1.output.projection.bindings.len() - 1
+    );
+    let fresh = Engine::new(core.snapshot().engine.sys.clone());
+    assert_eq!(
+        result_digest(&r3.output),
+        result_digest(&fresh.query(q).unwrap()),
+        "maintained answer must match a fresh serial evaluation"
+    );
+    let stats = core.stats();
+    assert_eq!(stats.cache.maint_hits, 1);
+    assert_eq!(stats.cache.maint_fallbacks, 0);
+}
+
+/// The ablation baseline: with maintenance disabled, a touching write
+/// evicts the entry exactly as the pre-maintenance service did.
+#[test]
+fn maintenance_disabled_service_evicts_on_touching_write() {
+    let sys =
+        build_system_with_island(Topology::Chain, &CdssConfig::new(3, vec![2], 8), 4).unwrap();
+    let core = ServiceCore::new(sys, EngineOptions::default()).with_maintenance(false);
+    let q = "FOR [R0a $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+    let r1 = core.query(q).unwrap();
+    let (v2, _) = core.delete("R2a", &tup![7]).unwrap();
+    let r3 = core.query(q).unwrap();
+    assert!(!r3.cache_hit, "maintenance off ⇒ touching write evicts");
+    assert_eq!(r3.version, v2);
+    assert_eq!(
+        r3.output.projection.bindings.len(),
+        r1.output.projection.bindings.len() - 1
+    );
+    let stats = core.stats();
+    assert_eq!(stats.cache.maint_hits, 0);
+    assert_eq!(stats.cache.stale_evictions, 1);
+}
+
+/// Chain-break property test: interleave maintained writes with
+/// out-of-band mutations (direct db write + bare `bump_version`, which
+/// breaks the delta chain) and INVALIDATE storms. After every step the
+/// served answer — maintained or recomputed after the forced fallback —
+/// must be digest-equal to a fresh serial [`Engine`] evaluation of the
+/// current snapshot, and chain-breaking steps must show up as
+/// maintenance fallbacks, never as wrong answers.
+#[test]
+fn chain_breaks_fall_back_to_eviction_never_to_wrong_answers() {
+    use proql_cdss::SwissProtLike;
+    use proql_common::rng::SplitMix64;
+    let config = CdssConfig::new(3, vec![2], 16);
+    let sys = build_system_with_island(Topology::Chain, &config, 8).unwrap();
+    let core = ServiceCore::new(sys, EngineOptions::default());
+    let queries = query_pool();
+    let mut rng = SplitMix64::seed_from_u64(0x5EED);
+    let mut gen = SwissProtLike::new(config.seed ^ 1, config.attrs);
+    let mut live: Vec<i64> = (0..16).collect();
+    let mut next_key = 500i64;
+
+    for step in 0..24 {
+        // Keep every pool entry warm so each write exercises maintenance.
+        for q in &queries {
+            core.query(q).unwrap();
+        }
+        match rng.gen_range_usize(0, 5) {
+            // Maintained chain delete.
+            0 | 1 if !live.is_empty() => {
+                let at = rng.gen_range_usize(0, live.len());
+                let k = live.swap_remove(at);
+                core.delete("R2a", &tup![k]).unwrap();
+            }
+            // Maintained insert + exchange: the pair-unit mapping needs
+            // both halves, so the second insert fires the cascade.
+            0..=2 => {
+                let k = next_key;
+                next_key += 1;
+                let (ta, tb) = gen.entry(k);
+                core.insert_and_exchange("R2a", ta).unwrap();
+                core.insert_and_exchange("R2b", tb).unwrap();
+                live.push(k);
+            }
+            // Out-of-band schema-level churn through INVALIDATE: every
+            // entry dies; the next round rebuilds from scratch.
+            3 => {
+                core.invalidate();
+            }
+            // Island delete: must not disturb the chain entries at all.
+            _ => {
+                let k = step as i64 % 8;
+                let _ = core.delete("Island", &tup![k]);
+            }
+        }
+        // Every answer the service gives after the write must equal a
+        // fresh serial evaluation at the published snapshot.
+        let fresh = Engine::new(core.snapshot().engine.sys.clone());
+        for q in &queries {
+            let served = core.query(q).unwrap();
+            assert_eq!(
+                result_digest(&served.output),
+                result_digest(&fresh.query(q).unwrap()),
+                "step {step}: served answer for {q:?} diverged from fresh evaluation"
+            );
+        }
+    }
+    let stats = core.stats();
+    assert!(
+        stats.cache.maint_hits > 0,
+        "the interleaving must actually exercise maintenance: {stats:?}"
     );
 }

@@ -24,6 +24,14 @@
 //!    second in-process core with maintenance disabled reproduces the
 //!    old evict-on-write contract as the ablation baseline.
 //!
+//! 4. **High connection count**: `PROQL_HICONN_CLIENTS` connections
+//!    (≥ 8× the worker threads) replay the hot set twice — once against
+//!    the event-loop server in pipelined binary mode, once against the
+//!    thread-per-connection blocking baseline ([`serve_blocking`]) in
+//!    line mode — and the throughput ratio is reported (and gated by
+//!    `PROQL_MIN_EVENTLOOP_SPEEDUP`). Server-side latency percentiles
+//!    come from the transport's log-bucketed histogram via `STATS`.
+//!
 //! Reports throughput, client-observed latency percentiles, cache hit
 //! rate, maintenance counters, and the demo outcomes; `PROQL_JSON=1`
 //! emits one machine-readable line. `PROQL_MIN_HIT_RATE=<0..1>` gates
@@ -35,7 +43,7 @@ use proql_bench::{banner, json_output, percentile, scaled};
 use proql_cdss::topology::{build_system_with_island, CdssConfig, Topology};
 use proql_common::tup;
 use proql_service::proto::{json_f64_field, json_str_field, json_u64_field};
-use proql_service::{serve, Client, ServiceCore};
+use proql_service::{serve, serve_blocking, BinClient, Client, ServiceCore};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -230,6 +238,32 @@ fn main() {
         !resp.cache_hit
     };
 
+    // Phase 4: high connection count — event loop (pipelined binary) vs
+    // thread-per-connection blocking baseline (lockstep lines), same
+    // worker budget, connections ≥ 8x workers. With the baseline, a
+    // connection beyond the pool size waits for a whole pinned worker;
+    // the event loop multiplexes them all.
+    let hc_workers = env_usize("PROQL_HICONN_WORKERS", 2);
+    let hc_conns = env_usize("PROQL_HICONN_CLIENTS", hc_workers * 8).max(hc_workers * 8);
+    let hc_requests = env_usize("PROQL_HICONN_REQUESTS", scaled(40, 150));
+    let (eventloop_qps, eventloop_stats) = hiconn_phase(true, hc_workers, hc_conns, hc_requests);
+    let (blocking_qps, _blocking_stats) = hiconn_phase(false, hc_workers, hc_conns, hc_requests);
+    let eventloop_speedup = eventloop_qps / blocking_qps.max(1e-9);
+    // Server-side latency percentiles from the transport histogram.
+    let server_p50 = json_f64_field(&eventloop_stats, "latency_p50_ms").unwrap_or(0.0);
+    let server_p95 = json_f64_field(&eventloop_stats, "latency_p95_ms").unwrap_or(0.0);
+    let server_p99 = json_f64_field(&eventloop_stats, "latency_p99_ms").unwrap_or(0.0);
+    let hc_frames_in = json_u64_field(&eventloop_stats, "frames_in").unwrap_or(0);
+    let hc_shed = json_u64_field(&eventloop_stats, "shed_count").unwrap_or(0);
+    assert!(
+        json_u64_field(&eventloop_stats, "requests_recorded").unwrap_or(0) > 0,
+        "the transport histogram must have recorded the phase: {eventloop_stats}"
+    );
+    assert!(
+        hc_frames_in >= (hc_conns * hc_requests) as u64,
+        "every pipelined frame must be decoded: {eventloop_stats}"
+    );
+
     let total_requests = clients * requests_per_client;
     let throughput = total_requests as f64 / wall_s;
     all_latencies.sort_by(|a, b| a.total_cmp(b));
@@ -288,6 +322,15 @@ fn main() {
     );
     println!("   ablation (maintenance off): touching write evicts");
     println!("   plan-cache hit rate: {plan_hit_rate:.3}");
+    println!(
+        "   high-conn ({hc_conns} conns / {hc_workers} workers, {hc_requests} req each): \
+         event loop {eventloop_qps:.1} qps vs blocking baseline {blocking_qps:.1} qps \
+         ({eventloop_speedup:.2}x)"
+    );
+    println!(
+        "   server-side latency (histogram): p50 {server_p50:.4} ms, p95 {server_p95:.4} ms, \
+         p99 {server_p99:.4} ms; {hc_shed} shed"
+    );
     println!("   server stats: {stats_json}");
 
     if json_output() {
@@ -305,6 +348,11 @@ fn main() {
              \"maint_digest_match\": {maint_digest_match}, \
              \"fresh_requery_plan_hit\": {fresh_requery_plan_hit}, \
              \"ablation_touching_write_miss\": {ablation_touching_write_miss}, \
+             \"hiconn_clients\": {hc_conns}, \"hiconn_workers\": {hc_workers}, \
+             \"eventloop_qps\": {eventloop_qps:.1}, \"blocking_qps\": {blocking_qps:.1}, \
+             \"eventloop_speedup\": {eventloop_speedup:.4}, \
+             \"server_p50_ms\": {server_p50:.4}, \"server_p95_ms\": {server_p95:.4}, \
+             \"server_p99_ms\": {server_p99:.4}, \"shed_count\": {hc_shed}, \
              \"stale_evictions\": {}, \"version\": {}}}",
             island_deletes + 2 + rounds,
             json_u64_field(&stats_json, "stale_evictions").unwrap_or(0),
@@ -330,6 +378,74 @@ fn main() {
         );
         println!("   maintenance hit-rate gate passed: {maint_hit_rate:.3} >= {min}");
     }
+    if let Ok(min) = std::env::var("PROQL_MIN_EVENTLOOP_SPEEDUP") {
+        let min: f64 = min.parse().expect("PROQL_MIN_EVENTLOOP_SPEEDUP parses");
+        assert!(
+            eventloop_speedup >= min,
+            "event-loop speedup {eventloop_speedup:.2}x below the \
+             PROQL_MIN_EVENTLOOP_SPEEDUP={min} gate \
+             ({eventloop_qps:.1} qps vs {blocking_qps:.1} qps baseline)"
+        );
+        println!("   event-loop speedup gate passed: {eventloop_speedup:.2}x >= {min}");
+    }
+}
+
+/// One phase-4 run: a fresh core, served either by the event loop
+/// (driven in pipelined binary mode) or by the thread-per-connection
+/// blocking baseline (driven in lockstep line mode), with `conns`
+/// concurrent client threads issuing `requests` hot queries each.
+/// Returns (throughput qps, final STATS payload).
+fn hiconn_phase(event_loop: bool, workers: usize, conns: usize, requests: usize) -> (f64, String) {
+    let sys = build_system_with_island(Topology::Chain, &CdssConfig::new(3, vec![2], 64), 8)
+        .expect("hiconn topology builds");
+    let core = Arc::new(ServiceCore::new(sys, EngineOptions::default()));
+    let server = if event_loop {
+        serve(Arc::clone(&core), "127.0.0.1:0", workers).expect("event-loop server starts")
+    } else {
+        serve_blocking(Arc::clone(&core), "127.0.0.1:0", workers).expect("baseline server starts")
+    };
+    let addr = server.addr();
+    // Warm the two hot entries so the phase measures the transport, not
+    // first-evaluation cost.
+    {
+        let mut warm = Client::connect(addr).expect("warm client");
+        for q in &HOT_QUERIES[..2] {
+            warm.query(q).expect("warm query");
+        }
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..conns {
+            s.spawn(move || {
+                if event_loop {
+                    let mut client = BinClient::connect(addr).expect("bin client connects");
+                    let mut done = 0usize;
+                    while done < requests {
+                        let batch = (requests - done).min(16);
+                        let qs: Vec<&str> = (0..batch)
+                            .map(|i| HOT_QUERIES[(c + done + i) % 2])
+                            .collect();
+                        let payloads = client.pipeline_queries(&qs).expect("pipelined batch");
+                        assert_eq!(payloads.len(), batch, "batch answered in full");
+                        done += batch;
+                    }
+                } else {
+                    let mut client = Client::connect(addr).expect("line client connects");
+                    for r in 0..requests {
+                        client
+                            .query(HOT_QUERIES[(c + r) % 2])
+                            .expect("query succeeds");
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut stats_client = Client::connect(addr).expect("stats client");
+    let stats = stats_client.stats().expect("stats");
+    drop(stats_client);
+    server.shutdown();
+    ((conns * requests) as f64 / wall_s, stats)
 }
 
 fn env_usize(name: &str, default: usize) -> usize {

@@ -24,6 +24,7 @@
 //!   reports.
 
 use crate::cache::{CacheCounters, PlanCache, PlanCacheCounters, ResultCache};
+use crate::metrics::{TransportMetrics, TransportSnapshot};
 use crate::proto::result_digest;
 use proql::engine::{Engine, EngineOptions, QueryOutput};
 use proql::{maintain_output, MaintainResult};
@@ -83,6 +84,9 @@ pub struct ServiceStats {
     /// Delta-log compactions in the published system (sealed entries
     /// merged to bound log growth; see `proql_provgraph::DeltaLog`).
     pub delta_compactions: u64,
+    /// Transport counters and latency percentiles, when a TCP front end
+    /// is attached (zeros otherwise).
+    pub transport: TransportSnapshot,
 }
 
 impl ServiceStats {
@@ -95,7 +99,11 @@ impl ServiceStats {
              \"maint_hits\": {}, \"maint_fallbacks\": {}, \"maint_rows_patched\": {}, \
              \"delta_compactions\": {}, \
              \"plan_entries\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
-             \"plan_cache_hit_rate\": {:.6}, \"plan_reprepares\": {}}}",
+             \"plan_cache_hit_rate\": {:.6}, \"plan_reprepares\": {}, \
+             \"connections_open\": {}, \"connections_total\": {}, \
+             \"frames_in\": {}, \"frames_out\": {}, \"shed_count\": {}, \
+             \"protocol_errors\": {}, \"requests_recorded\": {}, \
+             \"latency_p50_ms\": {:.4}, \"latency_p95_ms\": {:.4}, \"latency_p99_ms\": {:.4}}}",
             self.version,
             self.queries,
             self.writes,
@@ -115,6 +123,16 @@ impl ServiceStats {
             self.plans.misses,
             self.plans.hit_rate(),
             self.plans.reprepares,
+            self.transport.connections_open,
+            self.transport.connections_total,
+            self.transport.frames_in,
+            self.transport.frames_out,
+            self.transport.shed_count,
+            self.transport.protocol_errors,
+            self.transport.requests_recorded,
+            self.transport.latency_p50_ms,
+            self.transport.latency_p95_ms,
+            self.transport.latency_p99_ms,
         )
     }
 }
@@ -166,15 +184,32 @@ pub enum SubscriptionEvent {
     },
 }
 
+/// Where subscription events are delivered: called with `(subscription
+/// id, event)` on every intersecting write, returning whether the
+/// subscriber is still alive (`false` prunes the subscription). Sinks
+/// run on the writer's thread and must be cheap and non-blocking — the
+/// TCP server's sink appends a pre-rendered PUSH frame to the
+/// connection's outbound queue and wakes the event loop.
+pub type PushSink = Box<dyn Fn(u64, SubscriptionEvent) -> bool + Send + Sync>;
+
 /// One live subscription: where to push events for a cache key.
-#[derive(Debug)]
 struct Subscription {
     id: u64,
     key: String,
     /// The answer's read set at subscribe time — a write intersecting it
     /// triggers an event even if the cache entry itself has vanished.
     deps: BTreeSet<String>,
-    sender: mpsc::Sender<(u64, SubscriptionEvent)>,
+    sink: PushSink,
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("id", &self.id)
+            .field("key", &self.key)
+            .field("deps", &self.deps)
+            .finish_non_exhaustive()
+    }
 }
 
 /// A shared, thread-safe ProQL query service over a [`ProvenanceSystem`]:
@@ -195,6 +230,9 @@ pub struct ServiceCore {
     maintenance: bool,
     subs: Mutex<Vec<Subscription>>,
     next_sub_id: AtomicU64,
+    /// Metrics of the attached TCP front end, if any (installed by
+    /// `serve`); folded into [`ServiceStats`].
+    transport: Mutex<Option<Arc<TransportMetrics>>>,
 }
 
 /// Default bound on live cache entries.
@@ -246,7 +284,15 @@ impl ServiceCore {
             maintenance: true,
             subs: Mutex::new(Vec::new()),
             next_sub_id: AtomicU64::new(0),
+            transport: Mutex::new(None),
         }
+    }
+
+    /// Attach a transport's metrics so `STATS` reports them. The server
+    /// installs its block at startup; a later `serve` over the same core
+    /// replaces it (last front end wins).
+    pub fn set_transport_metrics(&self, metrics: Arc<TransportMetrics>) {
+        *lock(&self.transport) = Some(metrics);
     }
 
     /// Toggle incremental view maintenance (on by default). Disabling it
@@ -509,7 +555,7 @@ impl ServiceCore {
                 .find(|(key, _)| *key == sub.key)
                 .map(|(_, e)| *e)
                 .unwrap_or(SubscriptionEvent::Resync { version });
-            sub.sender.send((sub.id, event)).is_ok()
+            (sub.sink)(sub.id, event)
         });
     }
 
@@ -577,13 +623,25 @@ impl ServiceCore {
         text: &str,
         sender: mpsc::Sender<(u64, SubscriptionEvent)>,
     ) -> Result<(u64, QueryResponse)> {
+        self.subscribe_sink(
+            text,
+            Box::new(move |id, event| sender.send((id, event)).is_ok()),
+        )
+    }
+
+    /// [`Self::subscribe_with`] with an arbitrary delivery callback
+    /// instead of an mpsc channel. The event-loop server uses this to
+    /// write PUSH frames straight into a connection's outbound queue —
+    /// no per-subscription channel, no polling cadence. The sink
+    /// returning `false` prunes the subscription.
+    pub fn subscribe_sink(&self, text: &str, sink: PushSink) -> Result<(u64, QueryResponse)> {
         let resp = self.query(text)?;
         let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed) + 1;
         lock(&self.subs).push(Subscription {
             id,
             key: ServiceCore::cache_key(text),
             deps: resp.output.touched.clone(),
-            sender,
+            sink,
         });
         Ok((id, resp))
     }
@@ -619,6 +677,10 @@ impl ServiceCore {
             let plans = lock(&self.plans);
             (plans.len() as u64, plans.counters())
         };
+        let transport = lock(&self.transport)
+            .as_ref()
+            .map(|m| m.snapshot())
+            .unwrap_or_default();
         let snap = self.snapshot();
         ServiceStats {
             version: snap.version,
@@ -629,6 +691,7 @@ impl ServiceCore {
             plan_entries,
             plans: plan_counters,
             delta_compactions: snap.engine.sys.delta_compactions(),
+            transport,
         }
     }
 }

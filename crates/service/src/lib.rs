@@ -19,10 +19,19 @@
 //!   [`proql::engine::PreparedQuery`]: a result-cache miss reuses the
 //!   cached optimized plan (validated against statistics drift), so
 //!   hot-template traffic skips parse → translate → optimize entirely.
-//! * [`server`] — a zero-dependency `std::net` TCP front end speaking a
-//!   line protocol (`QUERY` / `DELETE` / `INSERT` / `STATS` /
-//!   `INVALIDATE` / `SUBSCRIBE`), plus the matching blocking
-//!   [`server::Client`].
+//! * [`server`] — a zero-dependency `std::net` TCP front end built
+//!   around a nonblocking readiness-driven event loop ([`net`] supplies
+//!   the `poll(2)` shim and cross-thread waker). Two wire protocols
+//!   share the port, auto-detected from a connection's first byte: the
+//!   pipelined length-prefixed binary framing layer ([`frame`]) with
+//!   out-of-band `PUSH` frames and explicit `OVERLOADED` load shedding,
+//!   and the legacy line protocol (`QUERY` / `DELETE` / `INSERT` /
+//!   `STATS` / `INVALIDATE` / `SUBSCRIBE`). Matching blocking clients:
+//!   [`server::Client`] (lines) and [`server::BinClient`] (frames,
+//!   pipelining). Per-connection admission control and an
+//!   allocation-free latency histogram ([`metrics`]) ride along, and
+//!   [`server::serve_blocking`] keeps the previous thread-per-connection
+//!   design as a bench baseline.
 //!
 //! Writes do not simply evict intersecting cache entries: the write path
 //! first tries **incremental view maintenance** ([`proql::maintain_output`])
@@ -38,12 +47,19 @@
 
 pub mod cache;
 pub mod core;
+pub mod frame;
+pub mod metrics;
+pub mod net;
 pub mod proto;
 pub mod server;
 
 pub use crate::core::{
-    QueryResponse, ServiceCore, ServiceStats, Snapshot, SubscriptionEvent, SubscriptionReceiver,
+    PushSink, QueryResponse, ServiceCore, ServiceStats, Snapshot, SubscriptionEvent,
+    SubscriptionReceiver,
 };
 pub use cache::{CacheCounters, MaintenanceCandidate, PlanCache, PlanCacheCounters, ResultCache};
+pub use metrics::{HistogramSnapshot, LatencyHistogram, TransportMetrics, TransportSnapshot};
 pub use proto::{handle_line, result_digest};
-pub use server::{serve, Client, ServerHandle};
+pub use server::{
+    serve, serve_blocking, serve_with, BinClient, Client, ServerConfig, ServerHandle,
+};

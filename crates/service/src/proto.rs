@@ -232,15 +232,12 @@ fn extract_token(json: &str, key: &str) -> Option<String> {
     Some(token.trim_matches('"').to_string())
 }
 
-/// Handle one protocol line against a service. Always returns a single
-/// line (no trailing newline).
-pub fn handle_line(core: &ServiceCore, line: &str) -> String {
-    let line = line.trim();
-    let (verb, rest) = match line.split_once(char::is_whitespace) {
-        Some((v, r)) => (v, r.trim()),
-        None => (line, ""),
-    };
-    let result = match verb.to_ascii_uppercase().as_str() {
+/// Dispatch one request — `verb` plus its argument text — against a
+/// service, returning the reply's JSON payload. Shared by both wire
+/// protocols: the line protocol wraps the result in `OK `/`ERR ` lines
+/// ([`handle_line`]), the binary framing layer in OK/ERR frames.
+pub fn dispatch(core: &ServiceCore, verb: &str, rest: &str) -> Result<String, Error> {
+    match verb.to_ascii_uppercase().as_str() {
         "QUERY" => query_cmd(core, rest),
         "DELETE" => delete_cmd(core, rest),
         "INSERT" => insert_cmd(core, rest),
@@ -255,14 +252,26 @@ pub fn handle_line(core: &ServiceCore, line: &str) -> String {
         other => Err(Error::Parse(format!(
             "unknown verb {other:?}; expected QUERY/DELETE/INSERT/STATS/INVALIDATE/PING/SUBSCRIBE"
         ))),
+    }
+}
+
+/// Render an error as the line protocol's `ERR ` payload (also the
+/// binary ERR frame's payload): `<kind>: <message>`, newlines flattened.
+pub fn error_payload(e: &Error) -> String {
+    format!("{}: {}", e.kind(), e.message().replace(['\n', '\r'], " "))
+}
+
+/// Handle one protocol line against a service. Always returns a single
+/// line (no trailing newline).
+pub fn handle_line(core: &ServiceCore, line: &str) -> String {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
     };
-    match result {
+    match dispatch(core, verb, rest) {
         Ok(json) => format!("OK {json}"),
-        Err(e) => format!(
-            "ERR {}: {}",
-            e.kind(),
-            e.message().replace(['\n', '\r'], " ")
-        ),
+        Err(e) => format!("ERR {}", error_payload(&e)),
     }
 }
 

@@ -1,22 +1,85 @@
-//! A zero-dependency TCP front end over [`ServiceCore`].
+//! A zero-dependency TCP front end over [`ServiceCore`], built around a
+//! nonblocking readiness-driven event loop.
 //!
-//! `std::net` only: an acceptor thread hands incoming connections to a
-//! fixed pool of worker threads over an `mpsc` channel; each worker
-//! owns one connection at a time and serves the line protocol
-//! ([`crate::proto`]) until the peer closes or sends `QUIT`. Because a
-//! worker is pinned to its connection, the pool size bounds the number
-//! of *concurrent connections*, not requests.
+//! One loop thread owns every connection socket: it [`crate::net::poll`]s
+//! for readiness, accepts, reads into per-connection buffers, decodes
+//! requests, and hands them to a fixed worker pool over a channel.
+//! Workers never touch sockets — they execute the request and enqueue the
+//! encoded response on the connection's outbound queue (a seq-numbered
+//! reorder buffer, so pipelined requests complete out of order on the
+//! pool but flush strictly in order), then wake the loop via
+//! [`crate::net::Waker`]. The pool size bounds *concurrent request
+//! execution*, not connections.
+//!
+//! Two wire protocols share the port, auto-detected from a connection's
+//! first byte: the binary framing layer ([`crate::frame`], first byte
+//! [`crate::frame::MAGIC`]) supports pipelining, out-of-band `PUSH`
+//! frames, and explicit `OVERLOADED` shedding; anything else is the
+//! legacy line protocol ([`crate::proto`]) served in the same loop.
+//!
+//! Backpressure and admission control are per connection: more than
+//! [`ServerConfig::max_inflight`] unanswered requests, or an outbound
+//! queue past [`ServerConfig::out_high_water`], sheds new requests with
+//! an `OVERLOADED` frame (line mode: an `ERR overloaded:` line) *without
+//! executing them*; past [`ServerConfig::out_hard_cap`] the loop stops
+//! reading the connection entirely so TCP flow control pushes back on
+//! the client. Shedding and latency are recorded in
+//! [`crate::metrics::TransportMetrics`], surfaced through `STATS`.
+//!
+//! [`serve_blocking`] keeps the previous thread-per-connection blocking
+//! design (minus its 200 ms read-timeout shutdown polling — shutdown now
+//! closes the registered sockets directly) as a measurable baseline for
+//! the `serve` bench.
 
 use crate::core::{ServiceCore, SubscriptionEvent};
-use crate::proto::{handle_line, push_json, subscribe_json};
+use crate::frame::{self, verb};
+use crate::metrics::TransportMetrics;
+use crate::net::{poll, PollFd, WakeReceiver, Waker, POLLHUP, POLLIN, POLLOUT};
+use crate::proto::dispatch;
+use crate::proto::{error_payload, handle_line, push_json, subscribe_json};
 use proql_common::{Error, Result};
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Recover from a poisoned lock: every structure here stays consistent
+/// across a panicking holder (queues and counters, no multi-step
+/// invariants worth dying for).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Tuning for the event-loop server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Request-executor threads (bounds concurrent execution).
+    pub workers: usize,
+    /// Per-connection cap on decoded-but-unanswered requests; beyond it
+    /// new requests are shed with `OVERLOADED`.
+    pub max_inflight: usize,
+    /// Outbound-queue size (bytes) beyond which new requests are shed.
+    pub out_high_water: usize,
+    /// Outbound-queue size (bytes) beyond which the loop stops reading
+    /// the connection (TCP backpressure).
+    pub out_hard_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            max_inflight: 64,
+            out_high_water: 1 << 20,
+            out_hard_cap: 4 << 20,
+        }
+    }
+}
 
 /// A running server: connection details plus shutdown control. Dropping
 /// the handle shuts the server down and joins every thread.
@@ -25,6 +88,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    waker: Option<Arc<Waker>>,
+    registry: Option<Arc<BlockingRegistry>>,
 }
 
 impl ServerHandle {
@@ -33,8 +98,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, close idle workers, and join all threads.
-    /// Connections currently being served finish their current line.
+    /// Stop accepting, close every connection, and join all threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -43,8 +107,16 @@ impl ServerHandle {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Event loop: one wake makes it observe `stop`. Blocking
+        // baseline: unblock the acceptor with a throwaway connection and
+        // every pinned worker by closing its registered socket.
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+        if let Some(registry) = &self.registry {
+            let _ = TcpStream::connect(self.addr);
+            registry.close_all();
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -58,11 +130,638 @@ impl Drop for ServerHandle {
 }
 
 /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
-/// `core` on `workers` connection-handler threads.
+/// `core` on the event loop with `workers` executor threads and default
+/// backpressure limits.
 pub fn serve(core: Arc<ServiceCore>, addr: &str, workers: usize) -> Result<ServerHandle> {
+    serve_with(
+        core,
+        addr,
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// [`serve`] with explicit [`ServerConfig`] limits.
+pub fn serve_with(core: Arc<ServiceCore>, addr: &str, cfg: ServerConfig) -> Result<ServerHandle> {
     let listener = TcpListener::bind(addr).map_err(io_err)?;
     let addr = listener.local_addr().map_err(io_err)?;
+    listener.set_nonblocking(true).map_err(io_err)?;
+    let metrics = Arc::new(TransportMetrics::new());
+    core.set_transport_metrics(Arc::clone(&metrics));
+    let (waker, wake_rx) = Waker::pair().map_err(io_err)?;
+    let waker = Arc::new(waker);
     let stop = Arc::new(AtomicBool::new(false));
+    let (work_tx, work_rx) = channel::<Job>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+
+    let mut threads = Vec::new();
+    for _ in 0..cfg.workers.max(1) {
+        let core = Arc::clone(&core);
+        let work_rx = Arc::clone(&work_rx);
+        let waker = Arc::clone(&waker);
+        let metrics = Arc::clone(&metrics);
+        threads.push(std::thread::spawn(move || {
+            worker_loop(core, work_rx, waker, metrics)
+        }));
+    }
+
+    let ctx = Ctx {
+        core,
+        cfg,
+        metrics,
+        work_tx,
+        waker: Arc::clone(&waker),
+    };
+    let loop_stop = Arc::clone(&stop);
+    threads.push(std::thread::spawn(move || {
+        event_loop(ctx, listener, loop_stop, wake_rx)
+    }));
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        threads,
+        waker: Some(waker),
+        registry: None,
+    })
+}
+
+/// Loop-wide context shared by dispatch helpers. Dropping it (when the
+/// event loop returns) drops `work_tx`, which ends every worker.
+struct Ctx {
+    core: Arc<ServiceCore>,
+    cfg: ServerConfig,
+    metrics: Arc<TransportMetrics>,
+    work_tx: Sender<Job>,
+    waker: Arc<Waker>,
+}
+
+/// One decoded request traveling to the worker pool.
+enum Request {
+    Line(String),
+    Frame(frame::Frame),
+}
+
+struct Job {
+    conn: Arc<ConnShared>,
+    seq: u64,
+    req: Request,
+    started: Instant,
+}
+
+/// The connection state shared with workers and subscription push sinks.
+#[derive(Debug)]
+struct ConnShared {
+    out: Mutex<OutBuf>,
+    /// Set once the loop has torn the connection down; sinks and workers
+    /// stop enqueueing.
+    closed: AtomicBool,
+    /// Decoded-but-unanswered requests (admission control input).
+    in_flight: AtomicUsize,
+    /// Whether this connection speaks the binary framing (push sinks
+    /// pick their encoding off this).
+    binary: AtomicBool,
+    /// Subscription ids to drop when the connection closes.
+    subs: Mutex<Vec<u64>>,
+    waker: Arc<Waker>,
+    metrics: Arc<TransportMetrics>,
+}
+
+impl ConnShared {
+    /// Enqueue an out-of-band message (a push) and wake the loop. PUSH
+    /// bytes bypass the reorder buffer: they are ordered with respect to
+    /// each other and with already-completed responses, which is exactly
+    /// the per-subscription in-order guarantee.
+    fn push_oob(&self, bytes: Vec<u8>) {
+        if self.closed.load(Ordering::Acquire) {
+            return;
+        }
+        lock(&self.out).append(bytes);
+        self.metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.waker.wake();
+    }
+}
+
+/// Outbound bytes for one connection: a flush queue fed in seq order by
+/// a reorder buffer, so out-of-order worker completions never reorder
+/// responses on the wire.
+#[derive(Debug, Default)]
+struct OutBuf {
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of `queue.front()` already written to the socket.
+    head_written: usize,
+    /// Total unwritten bytes (queue + pending), for backpressure.
+    bytes: usize,
+    /// Completed responses waiting for their predecessors.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// Next seq eligible to enter `queue`.
+    next_release: u64,
+}
+
+impl OutBuf {
+    /// A response for request `seq` is ready; release it (and any
+    /// unblocked successors) to the flush queue in order.
+    fn complete(&mut self, seq: u64, bytes: Vec<u8>) {
+        self.bytes += bytes.len();
+        self.pending.insert(seq, bytes);
+        while let Some(b) = self.pending.remove(&self.next_release) {
+            self.queue.push_back(b);
+            self.next_release += 1;
+        }
+    }
+
+    /// Append out-of-band bytes (pushes) directly to the flush queue.
+    fn append(&mut self, bytes: Vec<u8>) {
+        self.bytes += bytes.len();
+        self.queue.push_back(bytes);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty() && self.pending.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Awaiting the first byte.
+    Detect,
+    Line,
+    Binary,
+}
+
+/// Loop-local per-connection state (the loop thread exclusively owns the
+/// socket).
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    rbuf: Vec<u8>,
+    mode: Mode,
+    /// Next request seq to assign (paired with `OutBuf::next_release`).
+    next_seq: u64,
+    /// QUIT received: read no more; close once responses drain.
+    closing: bool,
+    /// Tear down at the end of this loop iteration.
+    dead: bool,
+}
+
+/// Largest buffered input per connection: one max frame. A line longer
+/// than this is treated as framing corruption too.
+const MAX_INPUT_BUFFER: usize = frame::MAX_PAYLOAD as usize + frame::HEADER_LEN;
+
+/// Per-iteration read budget per connection, so one firehose connection
+/// cannot starve the rest of the loop.
+const READ_BUDGET: usize = 256 * 1024;
+
+fn event_loop(ctx: Ctx, listener: TcpListener, stop: Arc<AtomicBool>, mut wake_rx: WakeReceiver) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    loop {
+        // Build the poll set: waker, listener, then one entry per
+        // connection. Backpressure is expressed here — a connection past
+        // its hard cap is simply not polled for reads.
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(PollFd::new(wake_rx.fd(), POLLIN));
+        fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        for c in &conns {
+            let (out_empty, out_bytes) = {
+                let out = lock(&c.shared.out);
+                (out.queue.is_empty(), out.bytes)
+            };
+            let mut events = 0i16;
+            if !c.closing && out_bytes < ctx.cfg.out_hard_cap {
+                events |= POLLIN;
+            }
+            if !out_empty {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(c.stream.as_raw_fd(), events));
+        }
+        if poll(&mut fds, None).is_err() {
+            // EINTR is retried inside poll; anything else here is a
+            // broken descriptor that the per-connection handling below
+            // will surface. Yield briefly to avoid a hot error loop.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        wake_rx.drain(&ctx.waker);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+
+        // Connections accepted below have no entry in this iteration's
+        // poll set; only the polled prefix is serviced here.
+        let polled = fds.len() - 2;
+        if fds[1].ready(POLLIN) || fds[1].broken() {
+            accept_new(&ctx, &listener, &mut conns);
+        }
+
+        for (i, c) in conns.iter_mut().take(polled).enumerate() {
+            let pf = fds[2 + i];
+            if pf.broken() {
+                c.dead = true;
+                continue;
+            }
+            if !c.closing && !c.dead && pf.ready(POLLIN | POLLHUP) {
+                read_and_process(&ctx, c, &mut scratch);
+            }
+        }
+
+        // Flush everything with queued output (new completions included,
+        // whether or not POLLOUT was reported — WouldBlock is a no-op),
+        // then reap finished connections.
+        conns.retain_mut(|c| {
+            if !c.dead && !flush_conn(c) {
+                c.dead = true;
+            }
+            if !c.dead
+                && c.closing
+                && c.shared.in_flight.load(Ordering::Acquire) == 0
+                && lock(&c.shared.out).is_empty()
+            {
+                c.dead = true;
+            }
+            if c.dead {
+                close_conn(c, &ctx);
+                false
+            } else {
+                true
+            }
+        });
+    }
+    for mut c in conns {
+        close_conn(&mut c, &ctx);
+    }
+}
+
+fn accept_new(ctx: &Ctx, listener: &TcpListener, conns: &mut Vec<Conn>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                ctx.metrics
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+                conns.push(Conn {
+                    stream,
+                    shared: Arc::new(ConnShared {
+                        out: Mutex::new(OutBuf::default()),
+                        closed: AtomicBool::new(false),
+                        in_flight: AtomicUsize::new(0),
+                        binary: AtomicBool::new(false),
+                        subs: Mutex::new(Vec::new()),
+                        waker: Arc::clone(&ctx.waker),
+                        metrics: Arc::clone(&ctx.metrics),
+                    }),
+                    rbuf: Vec::new(),
+                    mode: Mode::Detect,
+                    next_seq: 0,
+                    closing: false,
+                    dead: false,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+fn read_and_process(ctx: &Ctx, c: &mut Conn, scratch: &mut [u8]) {
+    let mut total = 0;
+    loop {
+        match c.stream.read(scratch) {
+            Ok(0) => {
+                c.dead = true;
+                break;
+            }
+            Ok(n) => {
+                c.rbuf.extend_from_slice(&scratch[..n]);
+                total += n;
+                if total >= READ_BUDGET {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.dead = true;
+                break;
+            }
+        }
+    }
+    process_input(ctx, c);
+}
+
+fn process_input(ctx: &Ctx, c: &mut Conn) {
+    if c.mode == Mode::Detect {
+        match c.rbuf.first() {
+            None => return,
+            Some(&frame::MAGIC) => {
+                c.mode = Mode::Binary;
+                c.shared.binary.store(true, Ordering::Relaxed);
+            }
+            Some(_) => c.mode = Mode::Line,
+        }
+    }
+    match c.mode {
+        Mode::Binary => process_frames(ctx, c),
+        Mode::Line => process_lines(ctx, c),
+        Mode::Detect => unreachable!("mode decided above"),
+    }
+    if c.rbuf.len() > MAX_INPUT_BUFFER {
+        ctx.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        c.dead = true;
+    }
+    if c.closing || c.dead {
+        c.rbuf.clear();
+    }
+}
+
+fn process_frames(ctx: &Ctx, c: &mut Conn) {
+    let mut consumed = 0;
+    while !c.closing && !c.dead {
+        match frame::decode(&c.rbuf[consumed..]) {
+            Ok(Some((f, n))) => {
+                consumed += n;
+                if f.verb == verb::QUIT {
+                    c.closing = true;
+                } else {
+                    dispatch_request(ctx, c, Request::Frame(f));
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                ctx.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                c.dead = true;
+            }
+        }
+    }
+    c.rbuf.drain(..consumed);
+}
+
+fn process_lines(ctx: &Ctx, c: &mut Conn) {
+    let mut consumed = 0;
+    while !c.closing && !c.dead {
+        let Some(pos) = c.rbuf[consumed..].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let line = String::from_utf8_lossy(&c.rbuf[consumed..consumed + pos])
+            .trim()
+            .to_string();
+        consumed += pos + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("QUIT") {
+            c.closing = true;
+        } else {
+            dispatch_request(ctx, c, Request::Line(line));
+        }
+    }
+    c.rbuf.drain(..consumed);
+}
+
+/// Admission control, then hand-off: a request past the in-flight or
+/// outbound-bytes limit is answered `OVERLOADED` through its seq slot
+/// (so shed notices keep wire order too) without executing.
+fn dispatch_request(ctx: &Ctx, c: &mut Conn, req: Request) {
+    ctx.metrics.frames_in.fetch_add(1, Ordering::Relaxed);
+    let seq = c.next_seq;
+    c.next_seq += 1;
+    let in_flight = c.shared.in_flight.load(Ordering::Acquire);
+    let out_bytes = lock(&c.shared.out).bytes;
+    if in_flight >= ctx.cfg.max_inflight || out_bytes >= ctx.cfg.out_high_water {
+        ctx.metrics.shed_count.fetch_add(1, Ordering::Relaxed);
+        let notice = match &req {
+            Request::Frame(f) => frame::encode(verb::OVERLOADED, f.id, b""),
+            Request::Line(_) => {
+                b"ERR overloaded: request shed by admission control; drain responses and retry\n"
+                    .to_vec()
+            }
+        };
+        lock(&c.shared.out).complete(seq, notice);
+        ctx.metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    c.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    let job = Job {
+        conn: Arc::clone(&c.shared),
+        seq,
+        req,
+        started: Instant::now(),
+    };
+    if ctx.work_tx.send(job).is_err() {
+        // Workers gone (can only happen mid-shutdown): answer in place.
+        c.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        lock(&c.shared.out).complete(seq, b"ERR internal: worker pool unavailable\n".to_vec());
+    }
+}
+
+/// Write queued output until the socket blocks. Returns false when the
+/// connection is broken.
+fn flush_conn(c: &mut Conn) -> bool {
+    let mut out = lock(&c.shared.out);
+    loop {
+        let (front_len, res) = {
+            let Some(front) = out.queue.front() else {
+                return true;
+            };
+            (front.len(), c.stream.write(&front[out.head_written..]))
+        };
+        match res {
+            Ok(0) => return false,
+            Ok(n) => {
+                out.head_written += n;
+                out.bytes = out.bytes.saturating_sub(n);
+                if out.head_written == front_len {
+                    out.head_written = 0;
+                    out.queue.pop_front();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+fn close_conn(c: &mut Conn, ctx: &Ctx) {
+    c.shared.closed.store(true, Ordering::Release);
+    for id in lock(&c.shared.subs).drain(..) {
+        ctx.core.unsubscribe(id);
+    }
+    ctx.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn worker_loop(
+    core: Arc<ServiceCore>,
+    work_rx: Arc<Mutex<Receiver<Job>>>,
+    waker: Arc<Waker>,
+    metrics: Arc<TransportMetrics>,
+) {
+    loop {
+        // Hold the receiver lock only while picking up a job; recover
+        // from a panicked sibling's poison.
+        let job = match lock(&work_rx).recv() {
+            Ok(j) => j,
+            Err(_) => return, // loop gone
+        };
+        let bytes = match job.req {
+            Request::Line(ref line) => {
+                let mut response = execute_line(&core, &job.conn, line);
+                response.push('\n');
+                response.into_bytes()
+            }
+            Request::Frame(ref f) => execute_frame(&core, &job.conn, f),
+        };
+        lock(&job.conn.out).complete(job.seq, bytes);
+        job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
+        metrics.latency.record(job.started.elapsed());
+        metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+        waker.wake();
+    }
+}
+
+fn execute_line(core: &Arc<ServiceCore>, conn: &Arc<ConnShared>, line: &str) -> String {
+    // SUBSCRIBE is connection-stateful (it registers this connection's
+    // push sink), so it is intercepted rather than dispatched through
+    // the stateless `handle_line`.
+    match subscribe_request(line) {
+        Some(query) => match subscribe_on_conn(core, conn, query) {
+            Ok((id, json)) => {
+                let _ = id;
+                format!("OK {json}")
+            }
+            Err(e) => format!("ERR {}", error_payload(&e)),
+        },
+        None => handle_line(core, line),
+    }
+}
+
+fn execute_frame(core: &Arc<ServiceCore>, conn: &Arc<ConnShared>, f: &frame::Frame) -> Vec<u8> {
+    let id = f.id;
+    let Some(text) = f.text() else {
+        return frame::encode(verb::ERR, id, b"parse: frame payload is not valid UTF-8");
+    };
+    if f.verb == verb::SUBSCRIBE {
+        return match subscribe_on_conn(core, conn, text.trim()) {
+            Ok((_, json)) => frame::encode(verb::OK, id, json.as_bytes()),
+            Err(e) => frame::encode(verb::ERR, id, error_payload(&e).as_bytes()),
+        };
+    }
+    let verb_str = match f.verb {
+        verb::QUERY => "QUERY",
+        verb::DELETE => "DELETE",
+        verb::INSERT => "INSERT",
+        verb::STATS => "STATS",
+        verb::INVALIDATE => "INVALIDATE",
+        verb::PING => "PING",
+        other => {
+            let msg = format!("parse: unknown frame verb {other}");
+            return frame::encode(verb::ERR, id, msg.as_bytes());
+        }
+    };
+    match dispatch(core, verb_str, text.trim()) {
+        Ok(json) => frame::encode(verb::OK, id, json.as_bytes()),
+        Err(e) => frame::encode(verb::ERR, id, error_payload(&e).as_bytes()),
+    }
+}
+
+/// Register a subscription whose sink writes `PUSH` bytes straight into
+/// this connection's outbound queue (encoding picked by the connection's
+/// detected protocol) and wakes the loop. Returns the `OK` payload JSON.
+fn subscribe_on_conn(
+    core: &Arc<ServiceCore>,
+    conn: &Arc<ConnShared>,
+    query: &str,
+) -> Result<(u64, String)> {
+    let sink_conn = Arc::clone(conn);
+    let (id, resp) = core.subscribe_sink(
+        query,
+        Box::new(move |id, event: SubscriptionEvent| {
+            if sink_conn.closed.load(Ordering::Acquire) {
+                return false; // prune: the connection is gone
+            }
+            let json = push_json(id, &event);
+            let bytes = if sink_conn.binary.load(Ordering::Relaxed) {
+                frame::encode(verb::PUSH, id, json.as_bytes())
+            } else {
+                format!("PUSH {json}\n").into_bytes()
+            };
+            sink_conn.push_oob(bytes);
+            true
+        }),
+    )?;
+    lock(&conn.subs).push(id);
+    Ok((id, subscribe_json(id, &resp)))
+}
+
+/// If `line` is a `SUBSCRIBE` request, return its query text.
+fn subscribe_request(line: &str) -> Option<&str> {
+    let (verb, rest) = line.split_once(char::is_whitespace)?;
+    if verb.eq_ignore_ascii_case("SUBSCRIBE") {
+        Some(rest.trim())
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-per-connection blocking baseline
+// ---------------------------------------------------------------------
+
+/// Open connections of the blocking baseline, so shutdown can close them
+/// directly instead of the old 200 ms read-timeout polling.
+#[derive(Debug, Default)]
+struct BlockingRegistry {
+    closed: AtomicBool,
+    next: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl BlockingRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        lock(&self.streams).insert(id, clone);
+        // Close-all may have raced the insert: re-check so no connection
+        // registered after shutdown lingers blocked in a read.
+        if self.closed.load(Ordering::SeqCst) {
+            self.deregister(id);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return None;
+        }
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        lock(&self.streams).remove(&id);
+    }
+
+    fn close_all(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        for (_, s) in lock(&self.streams).drain() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// The previous design, kept as the bench baseline: an acceptor thread
+/// hands connections to a pool of workers, each pinned to one connection
+/// at a time, serving the line protocol with blocking reads. Shutdown
+/// closes registered sockets (no read-timeout spin), but pushes still
+/// only flush between requests — the event loop has no such coupling.
+pub fn serve_blocking(core: Arc<ServiceCore>, addr: &str, workers: usize) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr).map_err(io_err)?;
+    let addr = listener.local_addr().map_err(io_err)?;
+    let metrics = Arc::new(TransportMetrics::new());
+    core.set_transport_metrics(Arc::clone(&metrics));
+    let stop = Arc::new(AtomicBool::new(false));
+    let registry = Arc::new(BlockingRegistry::default());
     let (tx, rx) = channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
 
@@ -71,7 +770,11 @@ pub fn serve(core: Arc<ServiceCore>, addr: &str, workers: usize) -> Result<Serve
         let core = Arc::clone(&core);
         let rx = Arc::clone(&rx);
         let stop = Arc::clone(&stop);
-        threads.push(std::thread::spawn(move || worker_loop(core, rx, stop)));
+        let registry = Arc::clone(&registry);
+        let metrics = Arc::clone(&metrics);
+        threads.push(std::thread::spawn(move || {
+            blocking_worker_loop(core, rx, stop, registry, metrics)
+        }));
     }
 
     let acceptor_stop = Arc::clone(&stop);
@@ -97,144 +800,132 @@ pub fn serve(core: Arc<ServiceCore>, addr: &str, workers: usize) -> Result<Serve
         addr,
         stop,
         threads,
+        waker: None,
+        registry: Some(registry),
     })
 }
 
-fn worker_loop(core: Arc<ServiceCore>, rx: Arc<Mutex<Receiver<TcpStream>>>, stop: Arc<AtomicBool>) {
+fn blocking_worker_loop(
+    core: Arc<ServiceCore>,
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    registry: Arc<BlockingRegistry>,
+    metrics: Arc<TransportMetrics>,
+) {
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        // Hold the receiver lock only while picking up a connection. A
-        // worker that panicked mid-connection poisons the queue lock, but
-        // the receiver itself is still usable — recover instead of letting
-        // one crash starve every remaining worker.
-        let stream = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+        // Hold the receiver lock only while picking up a connection.
+        let stream = match lock(&rx).recv() {
             Ok(s) => s,
             Err(_) => return, // acceptor gone
         };
-        let _ = serve_connection(&core, stream, &stop);
+        let Some(reg_id) = registry.register(&stream) else {
+            continue; // shutdown raced the hand-off
+        };
+        metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+        metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+        let _ = blocking_serve_connection(&core, stream, &metrics);
+        metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+        registry.deregister(reg_id);
     }
 }
 
-fn serve_connection(
+fn blocking_serve_connection(
     core: &ServiceCore,
     stream: TcpStream,
-    stop: &AtomicBool,
-) -> std::io::Result<()> {
+    metrics: &TransportMetrics,
+) -> io::Result<()> {
     // Per-connection subscription plumbing: every SUBSCRIBE on this
     // connection shares one event channel, drained into `PUSH` lines
-    // between requests (and on read timeouts, so push latency is bounded
-    // by the read timeout even on an idle connection).
+    // between requests. The write timeout keeps a client that stops
+    // draining responses from pinning the worker in `write_all`. Reads
+    // block indefinitely — shutdown closes the socket via the registry.
     let (push_tx, push_rx) = channel::<(u64, SubscriptionEvent)>();
     let mut sub_ids: Vec<u64> = Vec::new();
-    let result = serve_connection_inner(core, stream, stop, &push_tx, &push_rx, &mut sub_ids);
-    for id in sub_ids {
-        core.unsubscribe(id);
-    }
-    result
-}
-
-fn serve_connection_inner(
-    core: &ServiceCore,
-    stream: TcpStream,
-    stop: &AtomicBool,
-    push_tx: &Sender<(u64, SubscriptionEvent)>,
-    push_rx: &Receiver<(u64, SubscriptionEvent)>,
-    sub_ids: &mut Vec<u64>,
-) -> std::io::Result<()> {
-    // A finite read timeout lets the worker notice shutdown even while a
-    // client holds its connection open without sending anything; the
-    // write timeout keeps a client that stops draining responses from
-    // pinning the worker (and hanging shutdown) in `write_all`.
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
     stream.set_write_timeout(Some(std::time::Duration::from_secs(5)))?;
-    // Request/response in lockstep: Nagle's algorithm only adds latency.
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
+    let result = 'session: loop {
         // Deliver pending subscription events before blocking on the
-        // next request (dead subscriptions were already pruned serverside
-        // when their send failed; a disconnected channel cannot happen —
-        // we hold `push_tx`).
+        // next request.
         while let Ok((id, event)) = push_rx.try_recv() {
-            writer.write_all(b"PUSH ")?;
-            writer.write_all(push_json(id, &event).as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
-        }
-        // Keep `line` across timeouts: a timeout mid-request leaves the
-        // partial bytes in place and the next read appends the rest.
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
+            let push = format!("PUSH {}\n", push_json(id, &event));
+            if let Err(e) = writer
+                .write_all(push.as_bytes())
+                .and_then(|()| writer.flush())
             {
-                continue;
+                break 'session Err(e);
             }
-            Err(e) => return Err(e),
+            metrics.frames_out.fetch_add(1, Ordering::Relaxed);
         }
-        let request = std::mem::take(&mut line);
-        let trimmed = request.trim();
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break Ok(()), // EOF (or shutdown via the registry)
+            Ok(_) => {}
+            Err(e) => break Err(e),
+        }
+        let trimmed = line.trim();
         if trimmed.eq_ignore_ascii_case("QUIT") {
-            return Ok(());
+            break Ok(());
         }
         if trimmed.is_empty() {
             continue;
         }
-        // SUBSCRIBE is connection-stateful (it registers this
-        // connection's push channel), so it is intercepted here rather
-        // than dispatched through the stateless `handle_line`.
+        metrics.frames_in.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let response = match subscribe_request(trimmed) {
             Some(query) => match core.subscribe_with(query, push_tx.clone()) {
                 Ok((id, resp)) => {
                     sub_ids.push(id);
                     format!("OK {}", subscribe_json(id, &resp))
                 }
-                Err(e) => format!(
-                    "ERR {}: {}",
-                    e.kind(),
-                    e.message().replace(['\n', '\r'], " ")
-                ),
+                Err(e) => format!("ERR {}", error_payload(&e)),
             },
             None => handle_line(core, trimmed),
         };
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        metrics.latency.record(started.elapsed());
+        if let Err(e) = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+        {
+            break Err(e);
+        }
+        metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+    };
+    for id in sub_ids {
+        core.unsubscribe(id);
     }
+    result
 }
 
-/// If `line` is a `SUBSCRIBE` request, return its query text.
-fn subscribe_request(line: &str) -> Option<&str> {
-    let (verb, rest) = line.split_once(char::is_whitespace)?;
-    if verb.eq_ignore_ascii_case("SUBSCRIBE") {
-        Some(rest.trim())
-    } else {
-        None
-    }
+fn io_err(e: io::Error) -> Error {
+    Error::Other(format!("io: {e}"))
 }
+
+// ---------------------------------------------------------------------
+// Clients
+// ---------------------------------------------------------------------
 
 /// A minimal blocking client for the line protocol — used by the
 /// integration tests and the `serve` load generator.
 ///
-/// `PUSH` lines (asynchronous subscription events) arriving while a
-/// response is awaited are stashed and handed out in order via
-/// [`Client::next_push`], so request/response callers never see them.
+/// Responses and asynchronous `PUSH` lines can interleave arbitrarily on
+/// the wire (the event loop pushes the instant an event fires, not
+/// between requests), so both read paths stash what the other expects:
+/// the internal `read_response` stashes pushes for
+/// [`Client::next_push`], and `next_push` stashes responses for
+/// `read_response`.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     pushes: VecDeque<String>,
+    responses: VecDeque<String>,
 }
 
 impl Client {
@@ -247,21 +938,29 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             pushes: VecDeque::new(),
+            responses: VecDeque::new(),
         })
+    }
+
+    fn read_line(&mut self) -> Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(io_err)?;
+        if n == 0 {
+            return Err(Error::Other("server closed the connection".into()));
+        }
+        Ok(line.trim_end().to_string())
     }
 
     /// Read one non-push line, stashing any `PUSH` lines encountered.
     fn read_response(&mut self) -> Result<String> {
+        if let Some(stashed) = self.responses.pop_front() {
+            return Ok(stashed);
+        }
         loop {
-            let mut response = String::new();
-            let n = self.reader.read_line(&mut response).map_err(io_err)?;
-            if n == 0 {
-                return Err(Error::Other("server closed the connection".into()));
-            }
-            let response = response.trim_end().to_string();
-            match response.strip_prefix("PUSH ") {
+            let line = self.read_line()?;
+            match line.strip_prefix("PUSH ") {
                 Some(event) => self.pushes.push_back(event.to_string()),
-                None => return Ok(response),
+                None => return Ok(line),
             }
         }
     }
@@ -292,23 +991,19 @@ impl Client {
     }
 
     /// Next pushed subscription event (the JSON after `PUSH `): a
-    /// stashed one if available, else a blocking read. The server flushes
-    /// pushes between requests, within its read-timeout cadence.
+    /// stashed one if available, else a blocking read. A response line
+    /// racing in here is stashed for the next [`Client::request`], never
+    /// dropped.
     pub fn next_push(&mut self) -> Result<String> {
         if let Some(event) = self.pushes.pop_front() {
             return Ok(event);
         }
         loop {
-            let mut line = String::new();
-            let n = self.reader.read_line(&mut line).map_err(io_err)?;
-            if n == 0 {
-                return Err(Error::Other("server closed the connection".into()));
+            let line = self.read_line()?;
+            match line.strip_prefix("PUSH ") {
+                Some(event) => return Ok(event.to_string()),
+                None => self.responses.push_back(line),
             }
-            if let Some(event) = line.trim_end().strip_prefix("PUSH ") {
-                return Ok(event.to_string());
-            }
-            // A non-push line here means responses and pushes raced;
-            // that cannot happen in the lockstep client, so drop it.
         }
     }
 }
@@ -320,8 +1015,166 @@ fn expect_ok(response: String) -> Result<String> {
     }
 }
 
-fn io_err(e: std::io::Error) -> Error {
-    Error::Other(format!("io: {e}"))
+/// A blocking client for the binary framing layer with pipelining:
+/// requests carry client-chosen ids, any number may be sent (or batched
+/// into a single write) before reading responses, and `PUSH` frames are
+/// stashed out-of-band exactly like [`Client`] does for push lines.
+#[derive(Debug)]
+pub struct BinClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    pushes: VecDeque<frame::Frame>,
+    responses: VecDeque<frame::Frame>,
+    next_id: u64,
+}
+
+impl BinClient {
+    /// Connect to a server; the first frame sent selects binary mode.
+    pub fn connect(addr: SocketAddr) -> Result<BinClient> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        Ok(BinClient {
+            stream,
+            rbuf: Vec::new(),
+            pushes: VecDeque::new(),
+            responses: VecDeque::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Send one request frame (auto-assigned id, returned) without
+    /// waiting for the response — the pipelining primitive.
+    pub fn send(&mut self, verb: u8, payload: &[u8]) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = frame::encode(verb, id, payload);
+        self.stream.write_all(&bytes).map_err(io_err)?;
+        Ok(id)
+    }
+
+    /// Encode a whole batch of requests into one buffer and send it with
+    /// a single write. Returns the assigned ids in order.
+    pub fn send_batch(&mut self, reqs: &[(u8, &[u8])]) -> Result<Vec<u64>> {
+        let mut buf = Vec::new();
+        let mut ids = Vec::with_capacity(reqs.len());
+        for &(verb, payload) in reqs {
+            let id = self.next_id;
+            self.next_id += 1;
+            frame::encode_into(&mut buf, verb, id, payload);
+            ids.push(id);
+        }
+        self.stream.write_all(&buf).map_err(io_err)?;
+        Ok(ids)
+    }
+
+    /// Read one frame off the wire (blocking, incremental decode).
+    fn read_frame(&mut self) -> Result<frame::Frame> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match frame::decode(&self.rbuf) {
+                Ok(Some((f, n))) => {
+                    self.rbuf.drain(..n);
+                    return Ok(f);
+                }
+                Ok(None) => {}
+                Err(e) => return Err(Error::Other(format!("framing: {e}"))),
+            }
+            let n = self.stream.read(&mut scratch).map_err(io_err)?;
+            if n == 0 {
+                return Err(Error::Other("server closed the connection".into()));
+            }
+            self.rbuf.extend_from_slice(&scratch[..n]);
+        }
+    }
+
+    /// Next response frame (`OK` / `ERR` / `OVERLOADED`), stashing any
+    /// `PUSH` frames for [`BinClient::next_push`].
+    pub fn recv_response(&mut self) -> Result<frame::Frame> {
+        if let Some(f) = self.responses.pop_front() {
+            return Ok(f);
+        }
+        loop {
+            let f = self.read_frame()?;
+            if f.verb == verb::PUSH {
+                self.pushes.push_back(f);
+            } else {
+                return Ok(f);
+            }
+        }
+    }
+
+    /// Next `PUSH` frame, stashing any response frames encountered.
+    pub fn next_push(&mut self) -> Result<frame::Frame> {
+        if let Some(f) = self.pushes.pop_front() {
+            return Ok(f);
+        }
+        loop {
+            let f = self.read_frame()?;
+            if f.verb == verb::PUSH {
+                return Ok(f);
+            }
+            self.responses.push_back(f);
+        }
+    }
+
+    /// Send one request and wait for its response frame.
+    pub fn request(&mut self, verb: u8, payload: &[u8]) -> Result<frame::Frame> {
+        self.send(verb, payload)?;
+        self.recv_response()
+    }
+
+    /// `QUERY` helper: OK payload JSON or the server's error.
+    pub fn query(&mut self, proql: &str) -> Result<String> {
+        expect_ok_frame(self.request(verb::QUERY, proql.as_bytes())?)
+    }
+
+    /// `STATS` helper.
+    pub fn stats(&mut self) -> Result<String> {
+        expect_ok_frame(self.request(verb::STATS, b"")?)
+    }
+
+    /// `SUBSCRIBE` helper: returns the `OK` JSON payload.
+    pub fn subscribe(&mut self, proql: &str) -> Result<String> {
+        expect_ok_frame(self.request(verb::SUBSCRIBE, proql.as_bytes())?)
+    }
+
+    /// Pipeline `queries` in one batched write, then collect every OK
+    /// payload in request order (errors and sheds become `Err`).
+    pub fn pipeline_queries(&mut self, queries: &[&str]) -> Result<Vec<String>> {
+        let reqs: Vec<(u8, &[u8])> = queries
+            .iter()
+            .map(|q| (verb::QUERY, q.as_bytes()))
+            .collect();
+        let ids = self.send_batch(&reqs)?;
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let f = self.recv_response()?;
+            if f.id != id {
+                return Err(Error::Other(format!(
+                    "response id {} for request {id}: pipelined order violated",
+                    f.id
+                )));
+            }
+            out.push(expect_ok_frame(f)?);
+        }
+        Ok(out)
+    }
+
+    /// Ask the server to close the connection once responses drain.
+    pub fn quit(&mut self) -> Result<()> {
+        self.send(verb::QUIT, b"")?;
+        Ok(())
+    }
+}
+
+fn expect_ok_frame(f: frame::Frame) -> Result<String> {
+    let text = f.text().unwrap_or("<non-utf8 payload>").to_string();
+    match f.verb {
+        verb::OK => Ok(text),
+        verb::ERR => Err(Error::Other(text)),
+        verb::OVERLOADED => Err(Error::Other("overloaded".into())),
+        other => Err(Error::Other(format!("unexpected frame verb {other}"))),
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +1220,9 @@ mod tests {
         let stats = c.stats().unwrap();
         assert_eq!(json_u64_field(&stats, "writes"), Some(1));
         assert!(json_u64_field(&stats, "cache_hits").unwrap() >= 1);
+        // Transport counters flow through STATS.
+        assert_eq!(json_u64_field(&stats, "connections_open"), Some(1));
+        assert!(json_u64_field(&stats, "frames_in").unwrap() >= 5);
 
         let err = c.request("QUERY FOR [O $x RETURN $x").unwrap();
         assert!(err.starts_with("ERR parse:"), "{err}");
@@ -467,7 +1323,7 @@ mod tests {
 
         // Closing the subscriber's connection unsubscribes it.
         drop(c);
-        for _ in 0..100 {
+        for _ in 0..250 {
             if core.subscription_count() == 0 {
                 break;
             }
@@ -487,10 +1343,70 @@ mod tests {
             // QUIT gets no response; the connection just closes.
             let _ = c.writer.write_all(b"QUIT\n");
         }
-        // The single worker must be free again for the next connection.
+        // The worker pool must be free again for the next connection.
         let mut c2 = Client::connect(handle.addr()).unwrap();
         assert!(c2.query(Q).is_ok());
         drop(c2);
         handle.shutdown();
+    }
+
+    #[test]
+    fn binary_mode_roundtrips_and_pipelines_in_order() {
+        let (_core, handle) = start(2);
+        let mut c = BinClient::connect(handle.addr()).unwrap();
+
+        let pong = c.request(verb::PING, b"").unwrap();
+        assert_eq!(pong.verb, verb::OK);
+
+        let first = c.query(Q).unwrap();
+        assert_eq!(json_u64_field(&first, "bindings"), Some(4));
+
+        // A pipelined batch answers every request, in request order.
+        let queries = [Q; 8];
+        let payloads = c.pipeline_queries(&queries).unwrap();
+        assert_eq!(payloads.len(), 8);
+        for p in &payloads {
+            assert_eq!(
+                json_str_field(p, "digest"),
+                json_str_field(&first, "digest")
+            );
+        }
+
+        // Errors come back as ERR frames with the request id, not drops.
+        let bad = c.request(verb::QUERY, b"FOR [O $x RETURN $x").unwrap();
+        assert_eq!(bad.verb, verb::ERR);
+        assert!(
+            bad.text().unwrap().starts_with("parse:"),
+            "{:?}",
+            bad.text()
+        );
+
+        let unknown = c.request(77, b"").unwrap();
+        assert_eq!(unknown.verb, verb::ERR);
+
+        c.quit().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn blocking_baseline_serves_and_shuts_down_fast() {
+        let core = Arc::new(ServiceCore::new(
+            example_2_1().unwrap(),
+            EngineOptions::default(),
+        ));
+        let handle = serve_blocking(Arc::clone(&core), "127.0.0.1:0", 2).unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let json = c.query(Q).unwrap();
+        assert_eq!(json_u64_field(&json, "bindings"), Some(4));
+        // Shutdown with the connection still open must not hang: the
+        // registry closes the socket (no read-timeout polling anymore).
+        let t = std::time::Instant::now();
+        handle.shutdown();
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(2),
+            "blocking shutdown took {:?}",
+            t.elapsed()
+        );
+        drop(c);
     }
 }

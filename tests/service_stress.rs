@@ -10,7 +10,9 @@ use proql::engine::{Engine, EngineOptions};
 use proql_cdss::topology::{build_system_with_island, CdssConfig, Topology};
 use proql_cdss::update::delete_local;
 use proql_common::{tup, Tuple};
-use proql_service::{result_digest, ServiceCore};
+use proql_service::frame::verb;
+use proql_service::proto::{json_str_field, json_u64_field};
+use proql_service::{result_digest, serve, BinClient, ServiceCore};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -126,6 +128,92 @@ fn concurrent_responses_match_serial_replay_at_their_version() {
     );
     assert_eq!(stats.writes, deletes.len() as u64);
     assert_eq!(stats.version, v0 + deletes.len() as u64);
+}
+
+/// The concurrency check again, but end to end over the wire in binary
+/// mode: reader threads pipeline whole query batches through
+/// [`BinClient`]s while a writer applies deletions over its own binary
+/// connection. Every `OK` payload carries the version it was answered
+/// at; afterwards each (query, version) digest must be bit-identical to
+/// a serial [`Engine`] replay — pipelining and out-of-order worker
+/// completion must never leak a torn or misordered answer.
+#[test]
+fn pipelined_binary_responses_match_serial_replay() {
+    let sys =
+        build_system_with_island(Topology::Chain, &CdssConfig::new(4, vec![3], 24), 8).unwrap();
+    let v0 = sys.version();
+    let pool = query_pool();
+    // Single-column integer keys so the wire payload is just the digits.
+    let deletes: Vec<(&str, i64)> = vec![("Island", 0), ("R3a", 23), ("Island", 1), ("R3a", 22)];
+
+    let core = Arc::new(ServiceCore::new(sys.clone(), EngineOptions::default()));
+    let handle = serve(Arc::clone(&core), "127.0.0.1:0", 4).unwrap();
+    let addr = handle.addr();
+
+    let responses: Vec<(String, u64, u64)> = std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            let pool = pool.clone();
+            readers.push(s.spawn(move || {
+                let mut c = BinClient::connect(addr).unwrap();
+                let mut seen = Vec::new();
+                for _ in 0..8 {
+                    // One pipelined batch per round: the whole pool in a
+                    // single write, responses collected in order.
+                    let refs: Vec<&str> = pool.iter().map(String::as_str).collect();
+                    let payloads = c.pipeline_queries(&refs).unwrap();
+                    for (q, json) in pool.iter().zip(payloads) {
+                        let version = json_u64_field(&json, "version").unwrap();
+                        let digest: u64 = json_str_field(&json, "digest").unwrap().parse().unwrap();
+                        seen.push((q.clone(), version, digest));
+                    }
+                }
+                seen
+            }));
+        }
+        let writer_deletes = deletes.clone();
+        let writer = s.spawn(move || {
+            let mut w = BinClient::connect(addr).unwrap();
+            for (relation, key) in &writer_deletes {
+                let payload = format!("{relation} {key}");
+                let f = w.request(verb::DELETE, payload.as_bytes()).unwrap();
+                assert_eq!(f.verb, verb::OK, "{:?}", f.text());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        writer.join().unwrap();
+        readers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    handle.shutdown();
+
+    let mut expected: HashMap<(u64, String), u64> = HashMap::new();
+    let mut state = sys;
+    for k in 0..=deletes.len() {
+        if k > 0 {
+            let (relation, key) = &deletes[k - 1];
+            delete_local(&mut state, relation, &tup![*key]).unwrap();
+        }
+        assert_eq!(state.version(), v0 + k as u64, "replay version drift");
+        let engine = Engine::new(state.clone());
+        for q in &pool {
+            let out = engine.query(q).unwrap();
+            expected.insert((state.version(), q.clone()), result_digest(&out));
+        }
+    }
+
+    assert_eq!(responses.len(), READERS * 8 * pool.len());
+    for (q, version, digest) in &responses {
+        let want = expected
+            .get(&(*version, q.clone()))
+            .unwrap_or_else(|| panic!("response at unknown version {version}"));
+        assert_eq!(
+            digest, want,
+            "binary response for {q:?} at version {version} diverged from serial replay"
+        );
+    }
 }
 
 /// The same service used synchronously: interleaved reads and writes see

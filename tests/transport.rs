@@ -1,0 +1,285 @@
+//! Wire-level tests for the event-loop transport: binary-framing
+//! robustness under fuzzed garbage and byte-split partial reads,
+//! admission-control shedding with no silent drops, and the
+//! response/PUSH interleaving the pipelined server makes possible.
+
+use proql::engine::EngineOptions;
+use proql_cdss::topology::{build_system_with_island, CdssConfig, Topology};
+use proql_common::rng::SplitMix64;
+use proql_common::{tup, Schema, ValueType};
+use proql_provgraph::system::example_2_1;
+use proql_provgraph::ProvenanceSystem;
+use proql_service::frame::{self, verb};
+use proql_service::proto::{json_str_field, json_u64_field};
+use proql_service::server::{serve_with, ServerConfig};
+use proql_service::{serve, BinClient, Client, ServiceCore};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const Q: &str = "FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+
+fn start(workers: usize) -> (Arc<ServiceCore>, proql_service::ServerHandle) {
+    let core = Arc::new(ServiceCore::new(
+        example_2_1().unwrap(),
+        EngineOptions::default(),
+    ));
+    let handle = serve(Arc::clone(&core), "127.0.0.1:0", workers).unwrap();
+    (core, handle)
+}
+
+/// An X → Y system whose cached entries are maintained on writes, so
+/// subscriptions push deltas.
+fn subscription_system(rows: i64) -> ProvenanceSystem {
+    let mut sys = ProvenanceSystem::new();
+    for name in ["X", "Y"] {
+        sys.add_relation_with_local(
+            Schema::build(name, &[("id", ValueType::Int), ("w", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+    }
+    sys.add_mapping_text("mxy: Y(i, w) :- X(i, w)").unwrap();
+    for i in 0..rows {
+        sys.insert_local("X", tup![i, i * 10]).unwrap();
+    }
+    sys.run_exchange().unwrap();
+    sys
+}
+
+/// Garbage after the binary-mode magic byte must drop that connection
+/// cleanly — no panic, no lost worker — and the server must keep serving
+/// fresh connections. Fuzzed with a deterministic PRNG.
+#[test]
+fn fuzzed_garbage_drops_the_connection_but_not_the_server() {
+    let (core, handle) = start(2);
+    let mut rng = SplitMix64::seed_from_u64(0xBADF00D);
+    for round in 0..40 {
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.set_nodelay(true).unwrap();
+        let garbage: Vec<u8> = match round % 4 {
+            // Magic byte then random junk. The flags byte is forced
+            // nonzero so the stream is provably corrupt (pure random
+            // junk can spell a valid frame prefix, which would make the
+            // server legitimately wait for more bytes).
+            0 => {
+                let n = rng.gen_range_usize(4, 64);
+                let mut g: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+                g[0] = frame::MAGIC;
+                g[2] = 0xFF;
+                g
+            }
+            // A valid frame followed by a bad-magic byte.
+            1 => {
+                let mut g = frame::encode(verb::PING, 1, b"");
+                g.push(0x00);
+                g
+            }
+            // An oversized declared length.
+            2 => {
+                let mut g = frame::encode(verb::QUERY, 2, b"x");
+                g[4..8].copy_from_slice(&(frame::MAX_PAYLOAD + 1).to_le_bytes());
+                g
+            }
+            // Reserved flags set.
+            _ => {
+                let mut g = frame::encode(verb::QUERY, 3, b"x");
+                g[2] = 0xFF;
+                g
+            }
+        };
+        s.write_all(&garbage).unwrap();
+        // The server must close this connection (EOF), not hang or panic.
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink); // drains any pre-corruption responses
+    }
+    // Every framing error was counted and the server still answers.
+    let stats = core.stats();
+    assert!(
+        stats.transport.protocol_errors >= 40,
+        "protocol errors: {}",
+        stats.transport.protocol_errors
+    );
+    let mut c = BinClient::connect(handle.addr()).unwrap();
+    assert!(c.query(Q).is_ok());
+    handle.shutdown();
+}
+
+/// A frame delivered one byte at a time — a partial read at every
+/// possible boundary — must decode exactly once and get its answer.
+#[test]
+fn partial_reads_split_at_every_byte_boundary() {
+    let (_core, handle) = start(1);
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    let bytes = frame::encode(verb::QUERY, 99, Q.as_bytes());
+    for b in &bytes {
+        s.write_all(std::slice::from_ref(b)).unwrap();
+        s.flush().unwrap();
+    }
+    // Read the one response frame off the raw socket.
+    let mut rbuf = Vec::new();
+    let mut scratch = [0u8; 4096];
+    let reply = loop {
+        if let Some((f, n)) = frame::decode(&rbuf).unwrap() {
+            rbuf.drain(..n);
+            break f;
+        }
+        let n = s.read(&mut scratch).unwrap();
+        assert!(n > 0, "server closed before answering");
+        rbuf.extend_from_slice(&scratch[..n]);
+    };
+    assert_eq!(reply.verb, verb::OK);
+    assert_eq!(reply.id, 99);
+    assert_eq!(json_u64_field(reply.text().unwrap(), "bindings"), Some(4));
+    drop(s);
+    handle.shutdown();
+}
+
+/// Saturate a 1-worker, 2-in-flight server with one pipelined batch:
+/// shedding must engage, and every request must still get exactly one
+/// response (OK or OVERLOADED) in request order — nothing silently
+/// dropped.
+#[test]
+fn shedding_engages_and_no_accepted_request_is_dropped() {
+    let sys =
+        build_system_with_island(Topology::Chain, &CdssConfig::new(4, vec![3], 24), 8).unwrap();
+    let core = Arc::new(ServiceCore::new(sys, EngineOptions::default()));
+    let handle = serve_with(
+        Arc::clone(&core),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            max_inflight: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Distinct uncached queries, so nothing completes instantly off the
+    // cache while the batch is still being decoded.
+    let queries: Vec<String> = (0..64)
+        .map(|i| format!("FOR [R0a $x] INCLUDE PATH [$x] <-+ [] WHERE $x.k >= {i} RETURN $x"))
+        .collect();
+    let mut c = BinClient::connect(handle.addr()).unwrap();
+    let reqs: Vec<(u8, &[u8])> = queries
+        .iter()
+        .map(|q| (verb::QUERY, q.as_bytes()))
+        .collect();
+    let ids = c.send_batch(&reqs).unwrap();
+
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for id in &ids {
+        let f = c.recv_response().unwrap();
+        assert_eq!(f.id, *id, "responses must arrive in request order");
+        match f.verb {
+            verb::OK => ok += 1,
+            verb::OVERLOADED => shed += 1,
+            other => panic!("unexpected verb {other} for request {id}"),
+        }
+    }
+    assert_eq!(ok + shed, ids.len() as u64, "every request answered once");
+    assert!(
+        shed > 0,
+        "a 1-worker 2-in-flight server must shed this batch"
+    );
+    assert!(ok > 0, "admitted requests must still execute");
+
+    let stats = core.stats();
+    assert_eq!(stats.transport.shed_count, shed);
+    assert_eq!(stats.queries, ok, "exactly the admitted requests executed");
+    drop(c);
+    handle.shutdown();
+}
+
+/// Regression (previously `next_push` dropped response lines): a PUSH
+/// arriving between a request and its response must be stashed on both
+/// read paths, never lost, in either order of retrieval.
+#[test]
+fn push_and_response_interleaving_loses_neither() {
+    let core = Arc::new(ServiceCore::new(
+        subscription_system(40),
+        EngineOptions::default(),
+    ));
+    let handle = serve(Arc::clone(&core), "127.0.0.1:0", 2).unwrap();
+    let qy = "FOR [Y $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+
+    let mut sub = Client::connect(handle.addr()).unwrap();
+    let mut writer = Client::connect(handle.addr()).unwrap();
+    let ack = sub.subscribe(qy).unwrap();
+    let sub_id = json_u64_field(&ack, "subscription").unwrap();
+
+    for i in 0..10 {
+        // The write fires an asynchronous PUSH at the subscriber while
+        // the subscriber races its own request down the same socket.
+        let del = writer.request(&format!("DELETE X {i}")).unwrap();
+        assert!(del.starts_with("OK "), "{del}");
+        let resp = sub.query(qy).unwrap();
+        assert!(json_u64_field(&resp, "bindings").is_some());
+        // The push must be retrievable afterwards whether it raced the
+        // response or not, and carry this subscription's id.
+        let push = sub.next_push().unwrap();
+        assert_eq!(json_u64_field(&push, "subscription"), Some(sub_id));
+        assert_eq!(json_str_field(&push, "event").as_deref(), Some("delta"));
+    }
+    drop(sub);
+    drop(writer);
+    handle.shutdown();
+}
+
+/// Binary-mode pushes arrive as out-of-band PUSH frames, in write order
+/// per connection, with versions strictly increasing.
+#[test]
+fn binary_pushes_are_ordered_per_connection() {
+    let core = Arc::new(ServiceCore::new(
+        subscription_system(40),
+        EngineOptions::default(),
+    ));
+    let handle = serve(Arc::clone(&core), "127.0.0.1:0", 2).unwrap();
+    let qy = "FOR [Y $x] INCLUDE PATH [$x] <-+ [] RETURN $x";
+
+    let mut sub = BinClient::connect(handle.addr()).unwrap();
+    let ack = sub.subscribe(qy).unwrap();
+    let sub_id = json_u64_field(&ack, "subscription").unwrap();
+
+    let mut writer = Client::connect(handle.addr()).unwrap();
+    for i in 0..8 {
+        let del = writer.request(&format!("DELETE X {i}")).unwrap();
+        assert!(del.starts_with("OK "), "{del}");
+    }
+    let mut last_version = 0u64;
+    for _ in 0..8 {
+        let push = sub.next_push().unwrap();
+        assert_eq!(push.verb, verb::PUSH);
+        assert_eq!(push.id, sub_id);
+        let json = push.text().unwrap();
+        let version = json_u64_field(json, "version").unwrap();
+        assert!(
+            version > last_version,
+            "push versions must increase in order: {version} after {last_version}"
+        );
+        last_version = version;
+    }
+    drop(sub);
+    drop(writer);
+    handle.shutdown();
+}
+
+/// The line protocol still works over the same port, auto-detected, with
+/// both protocol clients connected at once.
+#[test]
+fn line_and_binary_clients_share_one_server() {
+    let (_core, handle) = start(2);
+    let mut line = Client::connect(handle.addr()).unwrap();
+    let mut bin = BinClient::connect(handle.addr()).unwrap();
+    let a = line.query(Q).unwrap();
+    let b = bin.query(Q).unwrap();
+    assert_eq!(json_str_field(&a, "digest"), json_str_field(&b, "digest"));
+    let pong = line.request("PING").unwrap();
+    assert!(pong.starts_with("OK"), "{pong}");
+    drop(line);
+    drop(bin);
+    handle.shutdown();
+}

@@ -101,10 +101,15 @@ where
         return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
+    // Thread-locals do not cross scoped threads: capture the spawning
+    // side's trace context once and have each worker adopt it, so spans
+    // created inside `f` parent to the span that fanned the work out.
+    let trace_ctx = crate::trace::current_context();
     let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
+                    let _trace = crate::trace::adopt(trace_ctx);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

@@ -11,6 +11,10 @@ pub struct Query {
     /// `EXPLAIN` prefix: report the chosen plan (with the optimizer's
     /// estimated rows per operator) instead of executing the query.
     pub explain: bool,
+    /// `EXPLAIN ANALYZE`: execute the query for real and annotate the
+    /// plan with actual per-operator row counts and wall times next to
+    /// the estimates. Only meaningful with `explain`.
+    pub analyze: bool,
     /// `EVALUATE <semiring> OF { ... } ASSIGNING ...`, if present.
     pub evaluate: Option<Evaluate>,
     /// The graph-projection block.

@@ -13,13 +13,18 @@
 use crate::annotate::{run_annotation_opts, AnnotatedResult};
 use crate::ast::Query;
 use crate::exec::{
-    prepare_rules, run_projection_graph, run_projection_prepared, PreparedRule, ProjectionResult,
+    prepare_rules, run_projection_graph, run_projection_prepared, run_projection_prepared_profiled,
+    PreparedRule, ProjectionResult,
 };
 use crate::parser::parse_query;
 use crate::translate::{translate, BodyRewriter, TranslateOptions, TranslateStats, Translation};
-use proql_common::{Parallelism, Result};
+use proql_common::{trace, Parallelism, Result};
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
-use proql_storage::{explain::explain_tree, optimize::estimate_rows, ExecMode};
+use proql_storage::{
+    explain::{explain_tree, explain_tree_analyzed},
+    optimize::estimate_rows,
+    ExecMode, OpStat,
+};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -264,6 +269,7 @@ impl Engine {
     }
 
     fn build_graph(&self) -> Result<Arc<ProvGraph>> {
+        let _sp = trace::span("graph.build");
         self.graph_builds.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(ProvGraph::from_system(&self.sys)?))
     }
@@ -277,6 +283,7 @@ impl Engine {
         version: u64,
         mut arc: Arc<ProvGraph>,
     ) -> Result<Arc<ProvGraph>> {
+        let _sp = trace::span("graph.patch");
         let g = Arc::make_mut(&mut arc);
         let entries = self
             .sys
@@ -326,6 +333,7 @@ impl Engine {
     /// Prepare a parsed query: resolve the strategy, translate, and run
     /// the optimizer's full pass pipeline over every unfolded rule.
     pub fn prepare_parsed(&self, q: &Query) -> Result<PreparedQuery> {
+        let mut sp = trace::span("prepare");
         let strategy = match self.options.strategy {
             Strategy::Auto => {
                 if self.sys.schema_graph().is_cyclic() {
@@ -361,6 +369,10 @@ impl Engine {
                 (None, touched)
             }
         };
+        sp.field("strategy", format!("{strategy:?}"));
+        if let Some(u) = &unfold {
+            sp.field("rules", u.rules.len().to_string());
+        }
         Ok(PreparedQuery {
             query: q.clone(),
             strategy,
@@ -382,7 +394,8 @@ impl Engine {
     }
 
     /// Execute a prepared query. `EXPLAIN` queries render the chosen
-    /// plans instead of running them.
+    /// plans instead of running them; `EXPLAIN ANALYZE` executes for real
+    /// and annotates the plans with actual rows and timings.
     pub fn execute(&self, p: &PreparedQuery) -> Result<QueryOutput> {
         let mut stats = QueryStats {
             unfold_time: p.prepare_time,
@@ -392,6 +405,9 @@ impl Engine {
             stats.translate = u.translation.stats.clone();
         }
         if p.query.explain {
+            if p.query.analyze {
+                return self.execute_analyze(p, stats);
+            }
             return Ok(QueryOutput {
                 projection: ProjectionResult::default(),
                 annotated: None,
@@ -400,6 +416,7 @@ impl Engine {
                 plan: Some(self.render_plan(p)),
             });
         }
+        let mut sp = trace::span("execute");
         let projection = match (&p.unfold, p.strategy) {
             (Some(u), _) => {
                 let t1 = Instant::now();
@@ -423,6 +440,9 @@ impl Engine {
                 proj
             }
         };
+        sp.field("strategy", format!("{:?}", p.strategy));
+        sp.field("rows", projection.metrics.rows.to_string());
+        sp.field("bindings", projection.bindings.len().to_string());
         let annotated = match &p.query.evaluate {
             Some(spec) => Some(run_annotation_opts(
                 &self.sys,
@@ -438,6 +458,49 @@ impl Engine {
             stats,
             touched: p.touched.clone(),
             plan: None,
+        })
+    }
+
+    /// The `EXPLAIN ANALYZE` path: execute the query for real (rules run
+    /// serially under the profiled batch executor), then render the plan
+    /// trees annotated with actual per-operator rows and inclusive wall
+    /// times next to the optimizer's estimates. The reported totals come
+    /// from the very projection that was executed, so they match a plain
+    /// run of the same query exactly; the projection itself is withheld
+    /// from the output (like `EXPLAIN`, the plan text *is* the result).
+    fn execute_analyze(&self, p: &PreparedQuery, mut stats: QueryStats) -> Result<QueryOutput> {
+        let mut sp = trace::span("execute");
+        sp.field("analyze", "true");
+        let t1 = Instant::now();
+        let (projection, per_rule) = match &p.unfold {
+            Some(u) => {
+                let (proj, per_rule) = run_projection_prepared_profiled(
+                    &self.sys,
+                    &u.translation,
+                    &u.rules,
+                    self.options.exec_mode,
+                    self.options.parallelism,
+                )?;
+                (proj, Some(per_rule))
+            }
+            None => {
+                let graph = self.graph()?;
+                (run_projection_graph(&self.sys, &graph, &p.query)?, None)
+            }
+        };
+        let exec_time = t1.elapsed();
+        stats.eval_time = exec_time;
+        stats.total_joins = projection.metrics.total_joins;
+        stats.sql_bytes = projection.metrics.sql_bytes;
+        sp.field("rows", projection.metrics.rows.to_string());
+        sp.field("bindings", projection.bindings.len().to_string());
+        let plan = self.render_plan_analyzed(p, per_rule.as_deref(), &projection, exec_time);
+        Ok(QueryOutput {
+            projection: ProjectionResult::default(),
+            annotated: None,
+            stats,
+            touched: p.touched.clone(),
+            plan: Some(plan),
         })
     }
 
@@ -480,6 +543,61 @@ impl Engine {
             out,
             "prepared at: version {} (stats fingerprint {:x})",
             p.stats_version, p.stats_fingerprint
+        );
+        out
+    }
+
+    /// Render plans annotated with the actuals of an analyze run: same
+    /// shape as [`Engine::render_plan`], but every operator line carries
+    /// `actual <rows> rows in <ms>` next to the estimate, and a final
+    /// `actual:` footer reports the executed result sizes and wall time.
+    fn render_plan_analyzed(
+        &self,
+        p: &PreparedQuery,
+        per_rule: Option<&[Vec<OpStat>]>,
+        projection: &ProjectionResult,
+        exec_time: Duration,
+    ) -> String {
+        const SHOWN_RULES: usize = 5;
+        let mut out = String::new();
+        match (&p.unfold, per_rule) {
+            (Some(u), Some(stats)) => {
+                let _ = writeln!(
+                    out,
+                    "strategy: unfold ({} rules, {} dropped statically)",
+                    u.translation.stats.rules, u.translation.stats.dropped
+                );
+                for (i, (rule, rstats)) in u.rules.iter().zip(stats).take(SHOWN_RULES).enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "rule {i}: ~{} rows",
+                        estimate_rows(&self.sys.db, &rule.plan)
+                    );
+                    out.push_str(&explain_tree_analyzed(&self.sys.db, &rule.plan, rstats));
+                }
+                if u.rules.len() > SHOWN_RULES {
+                    let _ = writeln!(out, "… {} more rules", u.rules.len() - SHOWN_RULES);
+                }
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "strategy: graph-walk over the materialized provenance graph"
+                );
+            }
+        }
+        let _ = writeln!(out, "reads: {}", comma_join(&p.touched));
+        let _ = writeln!(
+            out,
+            "prepared at: version {} (stats fingerprint {:x})",
+            p.stats_version, p.stats_fingerprint
+        );
+        let _ = writeln!(
+            out,
+            "actual: {} binding rows, {} derivation rows in {:.3} ms",
+            projection.bindings.len(),
+            projection.derivation_count(),
+            exec_time.as_secs_f64() * 1e3
         );
         out
     }

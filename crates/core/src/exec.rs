@@ -13,13 +13,14 @@
 use crate::ast::{CmpOp, Condition, Query, StepPattern};
 use crate::translate::{QueryRule, Translation, VarCond};
 use proql_common::par::par_map;
-use proql_common::{Error, Parallelism, Result, Tuple, Value};
+use proql_common::{trace, Error, Parallelism, Result, Tuple, Value};
 use proql_datalog::ast::Term;
 use proql_datalog::compile::compile_body;
 use proql_provgraph::{ProvGraph, ProvenanceSystem};
 use proql_storage::batch::{Column, RecordBatch};
 use proql_storage::{
-    execute_batch_opts, execute_with, explain, optimize::optimize_with, Database, ExecMode, Expr,
+    execute_batch_opts, execute_batch_profiled, execute_with, explain, optimize::optimize_with,
+    Database, ExecMode, Expr, OpStat,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -218,6 +219,44 @@ pub fn run_projection_prepared(
     }
 }
 
+/// [`run_projection_prepared`] with per-operator actuals — the `EXPLAIN
+/// ANALYZE` execution path. Rules run **serially** (this is a measurement
+/// pass; rule fan-out would overlap their wall times), each under the
+/// profiled batch executor; `par` still drives morsel parallelism inside
+/// operators. Returns the projection result (identical to a plain run)
+/// plus one stats vector per rule, aligned with `translation.rules`.
+pub fn run_projection_prepared_profiled(
+    sys: &ProvenanceSystem,
+    translation: &Translation,
+    prepared: &[PreparedRule],
+    mode: ExecMode,
+    par: Parallelism,
+) -> Result<(ProjectionResult, Vec<Vec<OpStat>>)> {
+    let par = par.resolved();
+    let rules = &translation.rules;
+    if rules.len() != prepared.len() {
+        return Err(Error::Query(format!(
+            "prepared {} rules for a {}-rule translation",
+            prepared.len(),
+            rules.len()
+        )));
+    }
+    let mut out = ProjectionResult::default();
+    let mut per_rule = Vec::with_capacity(rules.len());
+    for (rule, prep) in rules.iter().zip(prepared) {
+        per_rule.push(run_rule_profiled(
+            &sys.db,
+            rule,
+            prep,
+            &translation.return_vars,
+            mode,
+            par,
+            &mut out,
+        )?);
+    }
+    Ok((out, per_rule))
+}
+
 /// A resolved output term: either a constant or a reference into a batch
 /// column. Resolving terms once per rule (instead of once per row × term)
 /// is what lets the batch path materialize results column-at-a-time.
@@ -268,6 +307,7 @@ pub(crate) fn run_rule(
     par: Parallelism,
     out: &mut ProjectionResult,
 ) -> Result<()> {
+    let mut sp = trace::span("rule");
     let plan = &prepared.plan;
     out.metrics.rules_executed += 1;
     out.metrics.total_joins += plan.count_joins();
@@ -283,6 +323,51 @@ pub(crate) fn run_rule(
             RecordBatch::from_rows(rel.names, rel.rows.iter())
         }
     };
+    sp.field("rows", batch.len().to_string());
+    merge_rule_batch(db, rule, prepared, return_vars, batch, out)
+}
+
+/// Profiled twin of [`run_rule`]: executes the rule's plan under
+/// [`execute_batch_profiled`] (the `EXPLAIN ANALYZE` backend) and returns
+/// the per-operator actuals alongside merging the result into `out`.
+/// Non-batch executors report no operator breakdown (empty stats).
+fn run_rule_profiled(
+    db: &Database,
+    rule: &QueryRule,
+    prepared: &PreparedRule,
+    return_vars: &[String],
+    mode: ExecMode,
+    par: Parallelism,
+    out: &mut ProjectionResult,
+) -> Result<Vec<OpStat>> {
+    let mut sp = trace::span("rule");
+    let plan = &prepared.plan;
+    out.metrics.rules_executed += 1;
+    out.metrics.total_joins += plan.count_joins();
+    out.metrics.sql_bytes += explain::sql_len(plan);
+    let (batch, stats) = match mode {
+        ExecMode::Batch => execute_batch_profiled(db, plan, par)?,
+        row_mode => {
+            let rel = execute_with(db, plan, row_mode)?;
+            (RecordBatch::from_rows(rel.names, rel.rows.iter()), vec![])
+        }
+    };
+    sp.field("rows", batch.len().to_string());
+    merge_rule_batch(db, rule, prepared, return_vars, batch, out)?;
+    Ok(stats)
+}
+
+/// Merge one rule's materialized result batch into the projection output:
+/// derivation rows per output provenance record, then RETURN-variable
+/// binding tuples.
+fn merge_rule_batch(
+    db: &Database,
+    rule: &QueryRule,
+    prepared: &PreparedRule,
+    return_vars: &[String],
+    batch: RecordBatch,
+    out: &mut ProjectionResult,
+) -> Result<()> {
     out.metrics.rows += batch.len();
     if batch.is_empty() {
         return Ok(());

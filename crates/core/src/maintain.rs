@@ -104,6 +104,29 @@ pub fn maintain_output(
     previous: &QueryOutput,
     prior_state: Option<Box<MaintainState>>,
 ) -> Result<MaintainResult> {
+    let mut sp = proql_common::trace::span("maintain");
+    let result = maintain_output_inner(old, new, prepared, previous, prior_state);
+    match &result {
+        Ok(MaintainResult::Maintained { rows_patched, .. }) => {
+            sp.field("outcome", "maintained");
+            sp.field("rows_patched", rows_patched.to_string());
+        }
+        Ok(MaintainResult::Fallback(reason)) => {
+            sp.field("outcome", "fallback");
+            sp.field("reason", *reason);
+        }
+        Err(_) => sp.field("outcome", "error"),
+    }
+    result
+}
+
+fn maintain_output_inner(
+    old: &Engine,
+    new: &Engine,
+    prepared: &PreparedQuery,
+    previous: &QueryOutput,
+    prior_state: Option<Box<MaintainState>>,
+) -> Result<MaintainResult> {
     if previous.plan.is_some() {
         return Ok(MaintainResult::Fallback("explain output"));
     }

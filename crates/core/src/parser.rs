@@ -104,8 +104,10 @@ impl P {
 
     fn query(&mut self) -> Result<Query> {
         let explain = self.eat_kw("EXPLAIN");
+        let analyze = explain && self.eat_kw("ANALYZE");
         let mut q = self.query_body()?;
         q.explain = explain;
+        q.analyze = analyze;
         Ok(q)
     }
 
@@ -138,6 +140,7 @@ impl P {
             }
             Ok(Query {
                 explain: false,
+                analyze: false,
                 evaluate: Some(Evaluate {
                     semiring,
                     leaf_assign,
@@ -148,6 +151,7 @@ impl P {
         } else {
             Ok(Query {
                 explain: false,
+                analyze: false,
                 evaluate: None,
                 projection: self.projection()?,
             })

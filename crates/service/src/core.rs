@@ -24,12 +24,12 @@
 //!   reports.
 
 use crate::cache::{CacheCounters, PlanCache, PlanCacheCounters, ResultCache};
-use crate::metrics::{TransportMetrics, TransportSnapshot};
+use crate::metrics::{Metrics, TransportMetrics, TransportSnapshot};
 use crate::proto::result_digest;
 use proql::engine::{Engine, EngineOptions, QueryOutput};
 use proql::{maintain_output, MaintainResult};
 use proql_cdss::update::{delete_local_with_graph, DeleteStats};
-use proql_common::{Result, Tuple};
+use proql_common::{trace, Result, Tuple};
 use proql_provgraph::ProvenanceSystem;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,56 +84,66 @@ pub struct ServiceStats {
     /// Delta-log compactions in the published system (sealed entries
     /// merged to bound log growth; see `proql_provgraph::DeltaLog`).
     pub delta_compactions: u64,
+    /// Provenance-graph builds from scratch, accumulated across every
+    /// published snapshot plus the current one.
+    pub graph_builds: u64,
+    /// Provenance-graph delta patches, accumulated the same way.
+    pub graph_patches: u64,
     /// Transport counters and latency percentiles, when a TCP front end
     /// is attached (zeros otherwise).
     pub transport: TransportSnapshot,
 }
 
 impl ServiceStats {
-    /// Hand-rolled JSON rendering (the workspace has no serde).
+    /// Assemble the unified metrics registry — the **single** source both
+    /// the JSON (`STATS`) and text (`STATS TEXT`) renderings draw from,
+    /// so the two surfaces can never drift apart.
+    pub fn registry(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.push_u64("version", self.version);
+        m.push_u64("queries", self.queries);
+        m.push_u64("writes", self.writes);
+        m.push_u64("cache_entries", self.cache_entries);
+        m.push_u64("cache_hits", self.cache.hits);
+        m.push_u64("cache_misses", self.cache.misses);
+        m.push_f64("cache_hit_rate", self.cache.hit_rate(), 6);
+        m.push_u64("stale_evictions", self.cache.stale_evictions);
+        m.push_u64("capacity_evictions", self.cache.capacity_evictions);
+        m.push_u64("rejected_inserts", self.cache.rejected_inserts);
+        m.push_u64("maint_hits", self.cache.maint_hits);
+        m.push_u64("maint_fallbacks", self.cache.maint_fallbacks);
+        m.push_u64("maint_rows_patched", self.cache.maint_rows_patched);
+        m.push_u64("delta_compactions", self.delta_compactions);
+        m.push_u64("graph_builds", self.graph_builds);
+        m.push_u64("graph_patches", self.graph_patches);
+        m.push_u64("plan_entries", self.plan_entries);
+        m.push_u64("plan_cache_hits", self.plans.hits);
+        m.push_u64("plan_cache_misses", self.plans.misses);
+        m.push_f64("plan_cache_hit_rate", self.plans.hit_rate(), 6);
+        m.push_u64("plan_reprepares", self.plans.reprepares);
+        m.push_u64("connections_open", self.transport.connections_open);
+        m.push_u64("connections_total", self.transport.connections_total);
+        m.push_u64("frames_in", self.transport.frames_in);
+        m.push_u64("frames_out", self.transport.frames_out);
+        m.push_u64("shed_count", self.transport.shed_count);
+        m.push_u64("protocol_errors", self.transport.protocol_errors);
+        m.push_u64("requests_recorded", self.transport.requests_recorded);
+        m.push_f64("latency_p50_ms", self.transport.latency_p50_ms, 4);
+        m.push_f64("latency_p95_ms", self.transport.latency_p95_ms, 4);
+        m.push_f64("latency_p99_ms", self.transport.latency_p99_ms, 4);
+        m
+    }
+
+    /// Single-line JSON rendering of [`Self::registry`] (the workspace
+    /// has no serde).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"version\": {}, \"queries\": {}, \"writes\": {}, \"cache_entries\": {}, \
-             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
-             \"stale_evictions\": {}, \"capacity_evictions\": {}, \"rejected_inserts\": {}, \
-             \"maint_hits\": {}, \"maint_fallbacks\": {}, \"maint_rows_patched\": {}, \
-             \"delta_compactions\": {}, \
-             \"plan_entries\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
-             \"plan_cache_hit_rate\": {:.6}, \"plan_reprepares\": {}, \
-             \"connections_open\": {}, \"connections_total\": {}, \
-             \"frames_in\": {}, \"frames_out\": {}, \"shed_count\": {}, \
-             \"protocol_errors\": {}, \"requests_recorded\": {}, \
-             \"latency_p50_ms\": {:.4}, \"latency_p95_ms\": {:.4}, \"latency_p99_ms\": {:.4}}}",
-            self.version,
-            self.queries,
-            self.writes,
-            self.cache_entries,
-            self.cache.hits,
-            self.cache.misses,
-            self.cache.hit_rate(),
-            self.cache.stale_evictions,
-            self.cache.capacity_evictions,
-            self.cache.rejected_inserts,
-            self.cache.maint_hits,
-            self.cache.maint_fallbacks,
-            self.cache.maint_rows_patched,
-            self.delta_compactions,
-            self.plan_entries,
-            self.plans.hits,
-            self.plans.misses,
-            self.plans.hit_rate(),
-            self.plans.reprepares,
-            self.transport.connections_open,
-            self.transport.connections_total,
-            self.transport.frames_in,
-            self.transport.frames_out,
-            self.transport.shed_count,
-            self.transport.protocol_errors,
-            self.transport.requests_recorded,
-            self.transport.latency_p50_ms,
-            self.transport.latency_p95_ms,
-            self.transport.latency_p99_ms,
-        )
+        self.registry().to_json()
+    }
+
+    /// `name value` line rendering of [`Self::registry`] (the `STATS
+    /// TEXT` payload).
+    pub fn to_text(&self) -> String {
+        self.registry().to_text()
     }
 }
 
@@ -224,6 +234,13 @@ pub struct ServiceCore {
     options: EngineOptions,
     queries: AtomicU64,
     writes: AtomicU64,
+    /// Graph build/patch counts accumulated from **retired** snapshots:
+    /// each published engine counts only its own lifetime (a write
+    /// installs a fresh engine), so the write path folds the outgoing
+    /// snapshot's counters in here before publishing. `stats()` reports
+    /// accumulated + current-snapshot counts.
+    graph_builds: AtomicU64,
+    graph_patches: AtomicU64,
     /// Incremental view maintenance switch: `true` patches intersecting
     /// cache entries forward across writes; `false` reproduces the old
     /// evict-on-write behavior (the ablation baseline).
@@ -271,6 +288,9 @@ impl ServiceCore {
         capacity: usize,
         plan_capacity: usize,
     ) -> Self {
+        // Honor PROQL_TRACE / PROQL_TRACE_SPANS before the first query
+        // can record a span. Idempotent, so repeated cores are fine.
+        trace::init_from_env();
         let version = sys.version();
         let engine = Engine::with_options(sys, options.clone());
         ServiceCore {
@@ -281,6 +301,8 @@ impl ServiceCore {
             options,
             queries: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            graph_builds: AtomicU64::new(0),
+            graph_patches: AtomicU64::new(0),
             maintenance: true,
             subs: Mutex::new(Vec::new()),
             next_sub_id: AtomicU64::new(0),
@@ -323,15 +345,29 @@ impl ServiceCore {
     /// explicit uppercase flag, so `explain q` and `EXPLAIN q` share one
     /// entry that is always distinct from `q`'s (an `EXPLAIN` answer has
     /// no result rows; conflating the two keys would serve an empty
-    /// projection for the real query or vice versa).
+    /// projection for the real query or vice versa). A following
+    /// `ANALYZE` keyword is canonicalized the same way — the query path
+    /// uses the `EXPLAIN ANALYZE ` prefix to bypass the result cache,
+    /// since a cached analyze answer would replay stale timings.
     pub fn cache_key(text: &str) -> String {
         let normalized = Self::normalize_text(text);
         match normalized.split_once(' ') {
             Some((head, rest)) if head.eq_ignore_ascii_case("EXPLAIN") => {
-                format!("EXPLAIN {rest}")
+                match rest.split_once(' ') {
+                    Some((next, tail)) if next.eq_ignore_ascii_case("ANALYZE") => {
+                        format!("EXPLAIN ANALYZE {tail}")
+                    }
+                    _ => format!("EXPLAIN {rest}"),
+                }
             }
             _ => normalized,
         }
+    }
+
+    /// Whether a canonical cache key is an `EXPLAIN ANALYZE` query, which
+    /// must re-execute every time (its payload is measured timings).
+    fn is_analyze_key(key: &str) -> bool {
+        key.starts_with("EXPLAIN ANALYZE ")
     }
 
     /// Whitespace/comment normalization behind [`Self::cache_key`].
@@ -379,14 +415,20 @@ impl ServiceCore {
     /// answer keyed by its read set.
     pub fn query(&self, text: &str) -> Result<QueryResponse> {
         self.queries.fetch_add(1, Ordering::Relaxed);
+        let mut sp = trace::span("service.query");
         let key = ServiceCore::cache_key(text);
-        {
+        // EXPLAIN ANALYZE answers are measurements, not results: always
+        // re-execute (plan-cache reuse is still fine — it's what the
+        // measurement is *of*).
+        let analyze = ServiceCore::is_analyze_key(&key);
+        if !analyze {
             let mut cache = lock(&self.cache);
             // Read the published version while holding the cache lock:
             // writers record their write set before publishing, so an
             // entry that passes the epoch check is valid at `version`.
             let version = read_lock(&self.state).version;
             if let Some(output) = cache.lookup(&key) {
+                sp.field("cache", "hit");
                 return Ok(QueryResponse {
                     version,
                     cache_hit: true,
@@ -395,6 +437,7 @@ impl ServiceCore {
                 });
             }
         }
+        sp.field("cache", if analyze { "bypass" } else { "miss" });
         let snap = self.snapshot();
         // Result miss: reuse the cached plan when its statistics are
         // still current (plan reuse is always *correct*; the fingerprint
@@ -413,14 +456,17 @@ impl ServiceCore {
                 (p, false)
             }
         };
+        sp.field("plan_cache", if plan_cache_hit { "hit" } else { "miss" });
         let output = Arc::new(snap.engine.execute(&prepared)?);
-        lock(&self.cache).insert(
-            key,
-            output.touched.clone(),
-            snap.version,
-            Arc::clone(&output),
-            Arc::clone(&prepared),
-        );
+        if !analyze {
+            lock(&self.cache).insert(
+                key,
+                output.touched.clone(),
+                snap.version,
+                Arc::clone(&output),
+                Arc::clone(&prepared),
+            );
+        }
         Ok(QueryResponse {
             version: snap.version,
             cache_hit: false,
@@ -459,6 +505,7 @@ impl ServiceCore {
         mutate: impl FnOnce(&Snapshot, &mut ProvenanceSystem) -> Result<Option<(BTreeSet<String>, T)>>,
     ) -> Result<Option<(u64, T)>> {
         let _gate = lock(&self.write_gate);
+        let mut sp = trace::span("service.write");
         let current = self.snapshot();
         let mut sys = current.engine.sys.clone();
         let Some((write_set, value)) = mutate(&current, &mut sys)? else {
@@ -525,10 +572,19 @@ impl ServiceCore {
                 }
             }
             cache.record_write(write_set.iter().map(String::as_str), version);
+            // The outgoing snapshot's engine retires here: fold its graph
+            // counters into the service-lifetime accumulators (stragglers
+            // still reading it may add a few more — an acceptable
+            // undercount for monotonic service-level counters).
+            self.graph_builds
+                .fetch_add(current.engine.graph_build_count(), Ordering::Relaxed);
+            self.graph_patches
+                .fetch_add(current.engine.graph_patch_count(), Ordering::Relaxed);
             *write_lock(&self.state) = next;
         }
         self.notify_subscribers(&write_set, version, &events);
         self.writes.fetch_add(1, Ordering::Relaxed);
+        sp.field("version", version.to_string());
         Ok(Some((version, value)))
     }
 
@@ -691,6 +747,10 @@ impl ServiceCore {
             plan_entries,
             plans: plan_counters,
             delta_compactions: snap.engine.sys.delta_compactions(),
+            graph_builds: self.graph_builds.load(Ordering::Relaxed)
+                + snap.engine.graph_build_count(),
+            graph_patches: self.graph_patches.load(Ordering::Relaxed)
+                + snap.engine.graph_patch_count(),
             transport,
         }
     }
@@ -958,6 +1018,62 @@ mod tests {
             "case variant of EXPLAIN must share the entry"
         );
         assert!(!core.query(Q_Y).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn explain_analyze_is_canonical_and_bypasses_the_result_cache() {
+        // Case variants canonicalize to one key, distinct from plain
+        // EXPLAIN (different payload: measured vs estimated).
+        assert_eq!(
+            ServiceCore::cache_key("explain analyze FOR [Y $x] RETURN $x"),
+            ServiceCore::cache_key("EXPLAIN  ANALYZE  FOR [Y $x] RETURN $x")
+        );
+        assert_ne!(
+            ServiceCore::cache_key("EXPLAIN ANALYZE FOR [Y $x] RETURN $x"),
+            ServiceCore::cache_key("EXPLAIN FOR [Y $x] RETURN $x")
+        );
+        // End to end: analyze re-executes every time (its payload is
+        // measured timings), but still reuses the prepared plan.
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let q = format!("EXPLAIN ANALYZE {Q_Y}");
+        let first = core.query(&q).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.output.plan.as_deref().unwrap().contains("actual"));
+        let second = core.query(&q).unwrap();
+        assert!(!second.cache_hit, "analyze must bypass the result cache");
+        assert!(second.plan_cache_hit, "analyze still reuses the plan");
+    }
+
+    #[test]
+    fn stats_text_and_json_come_from_one_registry() {
+        let core = ServiceCore::new(two_island_system(), EngineOptions::default());
+        core.query(Q_Y).unwrap();
+        core.query(Q_Y).unwrap();
+        core.delete("X", &tup![0]).unwrap();
+        core.query(Q_Y).unwrap();
+        let stats = core.stats();
+        // Graph counters survive snapshot turnover: the first query built
+        // the graph on the retired snapshot, the post-write query patched
+        // (or rebuilt) on the current one.
+        assert!(stats.graph_builds >= 1);
+        let registry = stats.registry();
+        assert_eq!(stats.to_json(), registry.to_json());
+        assert_eq!(stats.to_text(), registry.to_text());
+        // Every registry entry appears in both renderings with the same
+        // rendered value — the two surfaces cannot drift.
+        let json = stats.to_json();
+        let text = stats.to_text();
+        for (name, _) in registry.entries() {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&format!("{name} ")))
+                .unwrap_or_else(|| panic!("{name} missing from text"));
+            let value = line.split_once(' ').unwrap().1;
+            assert!(
+                json.contains(&format!("\"{name}\": {value}")),
+                "{name}={value} missing from JSON"
+            );
+        }
     }
 
     #[test]

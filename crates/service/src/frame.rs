@@ -65,6 +65,9 @@ pub mod verb {
     /// Request: close the connection after pending responses drain
     /// (empty payload, no response).
     pub const QUIT: u8 = 8;
+    /// Request: recent span trees from the telemetry ring (optional
+    /// payload: max trace count as decimal text).
+    pub const TRACE: u8 = 9;
     /// Response: success (payload: JSON).
     pub const OK: u8 = 0x80;
     /// Response: error (payload: `<kind>: <message>`).
@@ -185,7 +188,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
 /// Whether `verb` is one a client may send (the server answers anything
 /// else, well-formed, with an ERR frame).
 pub fn is_request_verb(verb: u8) -> bool {
-    (verb::QUERY..=verb::QUIT).contains(&verb)
+    (verb::QUERY..=verb::TRACE).contains(&verb)
 }
 
 #[cfg(test)]

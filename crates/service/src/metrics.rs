@@ -38,7 +38,11 @@ impl LatencyHistogram {
     }
 
     /// Bucket index for a duration: the position of its highest set bit,
-    /// so bucket `i` covers `[2^(i-1), 2^i)` nanoseconds.
+    /// so bucket `i` covers `[2^(i-1), 2^i)` nanoseconds. Edge behavior
+    /// is pinned by tests: zero-duration samples land in bucket 0, and
+    /// durations at or above the top bucket's lower bound (2^62 ns)
+    /// saturate into bucket 63 — they are never dropped and the index
+    /// never wraps.
     fn bucket(nanos: u64) -> usize {
         (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1)
     }
@@ -190,6 +194,99 @@ pub struct TransportSnapshot {
     pub latency_p99_ms: f64,
 }
 
+/// One value in the unified [`Metrics`] registry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// An integer counter or gauge.
+    U64(u64),
+    /// A float rendered with a fixed number of decimal places (so text
+    /// and JSON renderings are bytewise-identical for the same value).
+    F64 {
+        /// The value.
+        value: f64,
+        /// Decimal places both renderers emit.
+        precision: usize,
+    },
+}
+
+impl MetricValue {
+    fn render(&self) -> String {
+        match self {
+            MetricValue::U64(v) => v.to_string(),
+            MetricValue::F64 { value, precision } => format!("{value:.precision$}"),
+        }
+    }
+}
+
+/// An ordered metric registry: the **single** source every `STATS`
+/// rendering draws from. `ServiceStats` assembles one registry and both
+/// the JSON (`STATS`) and text (`STATS TEXT`) forms render it entry by
+/// entry, so the two surfaces can never drift apart in either names or
+/// values.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    entries: Vec<(&'static str, MetricValue)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Append an integer metric.
+    pub fn push_u64(&mut self, name: &'static str, value: u64) {
+        self.entries.push((name, MetricValue::U64(value)));
+    }
+
+    /// Append a float metric rendered with `precision` decimal places.
+    pub fn push_f64(&mut self, name: &'static str, value: f64, precision: usize) {
+        self.entries
+            .push((name, MetricValue::F64 { value, precision }));
+    }
+
+    /// The registered entries, in registration order.
+    pub fn entries(&self) -> &[(&'static str, MetricValue)] {
+        &self.entries
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Render as a single-line JSON object, in registration order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\": ");
+            out.push_str(&value.render());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render as `name value` lines (the Prometheus-style text form).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +299,57 @@ mod tests {
         assert_eq!(LatencyHistogram::bucket(3), 2);
         assert_eq!(LatencyHistogram::bucket(1024), 11);
         assert_eq!(LatencyHistogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn extreme_durations_saturate_into_edge_buckets() {
+        let h = LatencyHistogram::new();
+        // Zero-duration samples land in bucket 0 and are counted.
+        h.record(std::time::Duration::ZERO);
+        h.record_nanos(0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.percentile_nanos(1.0), 0, "zero samples live in bucket 0");
+
+        // Durations above the top log2 bucket saturate into bucket 63 —
+        // never wrapped, never dropped. Duration::MAX (> u64::MAX ns) is
+        // clamped by record(); u64::MAX exercises bucket() directly.
+        let h = LatencyHistogram::new();
+        h.record(std::time::Duration::MAX);
+        h.record_nanos(u64::MAX);
+        h.record_nanos(1u64 << 63);
+        assert_eq!(h.count(), 3, "saturated samples must still be counted");
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket(1u64 << 63), BUCKETS - 1);
+        let s = h.snapshot();
+        // All three sit in the top bucket, whose midpoint estimate is
+        // 2^62 + 2^61.
+        assert_eq!(s.percentile_nanos(0.5), (1u64 << 62) + (1u64 << 61));
+    }
+
+    #[test]
+    fn registry_text_and_json_render_identical_values() {
+        let mut m = Metrics::new();
+        m.push_u64("queries", 42);
+        m.push_f64("cache_hit_rate", 0.5, 6);
+        m.push_f64("latency_p99_ms", 1.25, 4);
+        let json = m.to_json();
+        let text = m.to_text();
+        assert_eq!(
+            json,
+            "{\"queries\": 42, \"cache_hit_rate\": 0.500000, \"latency_p99_ms\": 1.2500}"
+        );
+        assert_eq!(
+            text,
+            "queries 42\ncache_hit_rate 0.500000\nlatency_p99_ms 1.2500\n"
+        );
+        // Every entry renders the same byte sequence in both forms.
+        for (name, value) in m.entries() {
+            assert!(json.contains(&format!("\"{name}\": {}", value.render())));
+            assert!(text.contains(&format!("{name} {}", value.render())));
+        }
+        assert_eq!(m.get("queries"), Some(&MetricValue::U64(42)));
+        assert!(m.get("missing").is_none());
     }
 
     #[test]

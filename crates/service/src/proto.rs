@@ -9,10 +9,11 @@
 //! | `QUERY` | ProQL text | version, cache + plan-cache hit/miss, result sizes, digest; `EXPLAIN <query>` adds the rendered plan |
 //! | `DELETE` | `<relation> <v1,v2,...>` | version, delete stats |
 //! | `INSERT` | `<relation> <v1,v2,...>` | version, write-set size |
-//! | `STATS` | — | [`crate::core::ServiceStats`] JSON |
+//! | `STATS` | `[TEXT]` | [`crate::core::ServiceStats`] JSON; with `TEXT`, the `name value` line rendering inside `{"text": ...}` |
 //! | `INVALIDATE` | — | number of dropped cache entries |
 //! | `PING` | — | `{"pong": true}` |
 //! | `SUBSCRIBE` | ProQL text | like `QUERY` plus a `subscription` id; the server then pushes `PUSH <json>` lines on writes |
+//! | `TRACE` | `[n]` | the `n` (default 8, max 64) most recent span trees from the telemetry ring as JSON |
 //!
 //! Tuple values in `DELETE`/`INSERT` are comma-separated and typed by
 //! shape: `true`/`false` → bool, integers → int, decimals → float,
@@ -28,7 +29,7 @@
 
 use crate::core::{QueryResponse, ServiceCore, SubscriptionEvent};
 use proql::engine::QueryOutput;
-use proql_common::{Error, Tuple, Value};
+use proql_common::{trace, Error, Tuple, Value};
 
 /// Parse a comma-separated value list into a [`Tuple`].
 pub fn parse_values(text: &str) -> Result<Tuple, Error> {
@@ -241,6 +242,10 @@ pub fn dispatch(core: &ServiceCore, verb: &str, rest: &str) -> Result<String, Er
         "QUERY" => query_cmd(core, rest),
         "DELETE" => delete_cmd(core, rest),
         "INSERT" => insert_cmd(core, rest),
+        "STATS" if rest.eq_ignore_ascii_case("TEXT") => Ok(format!(
+            "{{\"text\": {}}}",
+            json_str(&core.stats().to_text())
+        )),
         "STATS" => Ok(core.stats().to_json()),
         "INVALIDATE" => Ok(format!("{{\"cleared\": {}}}", core.invalidate())),
         "PING" => Ok("{\"pong\": true}".to_string()),
@@ -249,10 +254,31 @@ pub fn dispatch(core: &ServiceCore, verb: &str, rest: &str) -> Result<String, Er
         "SUBSCRIBE" => Err(Error::Other(
             "SUBSCRIBE requires a streaming connection (served over TCP only)".into(),
         )),
+        "TRACE" => trace_cmd(rest),
         other => Err(Error::Parse(format!(
-            "unknown verb {other:?}; expected QUERY/DELETE/INSERT/STATS/INVALIDATE/PING/SUBSCRIBE"
+            "unknown verb {other:?}; expected \
+             QUERY/DELETE/INSERT/STATS/INVALIDATE/PING/SUBSCRIBE/TRACE"
         ))),
     }
+}
+
+/// Number of span trees a `TRACE` reply returns when the client names no
+/// limit.
+pub const TRACE_DEFAULT_LIMIT: usize = 8;
+
+/// Hard cap on the span trees one `TRACE` reply serializes (the ring can
+/// hold thousands of spans; an unbounded dump would stall the server).
+pub const TRACE_MAX_LIMIT: usize = 64;
+
+fn trace_cmd(rest: &str) -> Result<String, Error> {
+    let limit = if rest.is_empty() {
+        TRACE_DEFAULT_LIMIT
+    } else {
+        rest.parse::<usize>()
+            .map_err(|_| Error::Parse(format!("TRACE limit must be a number, got {rest:?}")))?
+            .min(TRACE_MAX_LIMIT)
+    };
+    Ok(trace::traces_json(limit))
 }
 
 /// Render an error as the line protocol's `ERR ` payload (also the
@@ -412,6 +438,25 @@ mod tests {
 
         // Deleting the A-grounded tuple works over the wire too.
         let _ = core.delete("A", &tup![1]).unwrap();
+    }
+
+    #[test]
+    fn stats_text_and_trace_verbs_answer() {
+        use proql::engine::EngineOptions;
+        use proql_provgraph::system::example_2_1;
+        let core = ServiceCore::new(example_2_1().unwrap(), EngineOptions::default());
+        core.query("FOR [O $x] INCLUDE PATH [$x] <-+ [] RETURN $x")
+            .unwrap();
+        let text = handle_line(&core, "STATS TEXT");
+        assert!(text.starts_with("OK {\"text\":"), "{text}");
+        let inner = json_str_field(&text, "text").unwrap();
+        assert!(inner.contains("queries 1\n"), "{inner}");
+        assert!(inner.contains("graph_builds "), "{inner}");
+        // TRACE always answers well-formed JSON (empty when tracing is
+        // off); a bad limit is a parse error.
+        let tr = handle_line(&core, "TRACE 4");
+        assert!(tr.starts_with("OK {\"traces\": ["), "{tr}");
+        assert!(handle_line(&core, "TRACE four").starts_with("ERR parse:"));
     }
 
     #[test]

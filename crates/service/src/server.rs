@@ -37,7 +37,7 @@ use crate::metrics::TransportMetrics;
 use crate::net::{poll, PollFd, WakeReceiver, Waker, POLLHUP, POLLIN, POLLOUT};
 use crate::proto::dispatch;
 use crate::proto::{error_payload, handle_line, push_json, subscribe_json};
-use proql_common::{Error, Result};
+use proql_common::{trace, Error, Result};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -225,6 +225,12 @@ struct ConnShared {
     binary: AtomicBool,
     /// Subscription ids to drop when the connection closes.
     subs: Mutex<Vec<u64>>,
+    /// This connection's trace anchor (when tracing is enabled at
+    /// accept): every request executed on the worker pool opens its
+    /// span as a child of this context, so a pipelined batch
+    /// reconstructs as one span tree no matter which workers ran it or
+    /// in what order the reorder buffer released the responses.
+    trace_ctx: Option<trace::Context>,
     waker: Arc<Waker>,
     metrics: Arc<TransportMetrics>,
 }
@@ -414,6 +420,7 @@ fn accept_new(ctx: &Ctx, listener: &TcpListener, conns: &mut Vec<Conn>) {
                         in_flight: AtomicUsize::new(0),
                         binary: AtomicBool::new(false),
                         subs: Mutex::new(Vec::new()),
+                        trace_ctx: trace::new_trace(),
                         waker: Arc::clone(&ctx.waker),
                         metrics: Arc::clone(&ctx.metrics),
                     }),
@@ -610,6 +617,20 @@ fn worker_loop(
             Ok(j) => j,
             Err(_) => return, // loop gone
         };
+        // The explicit context hand-off: this worker thread has no span
+        // stack of its own, so the request span is parented on the
+        // connection's trace anchor — every engine span opened below
+        // nests under it via the thread-local stack.
+        let mut sp = trace::span_child_of("request", job.conn.trace_ctx);
+        sp.field("seq", job.seq.to_string());
+        sp.field(
+            "proto",
+            if matches!(job.req, Request::Frame(_)) {
+                "binary"
+            } else {
+                "line"
+            },
+        );
         let bytes = match job.req {
             Request::Line(ref line) => {
                 let mut response = execute_line(&core, &job.conn, line);
@@ -618,11 +639,45 @@ fn worker_loop(
             }
             Request::Frame(ref f) => execute_frame(&core, &job.conn, f),
         };
+        let span_id = sp.id();
+        drop(sp); // record the finished span before rendering its tree
+        let elapsed = job.started.elapsed();
+        log_slow_query(span_id, elapsed);
         lock(&job.conn.out).complete(job.seq, bytes);
         job.conn.in_flight.fetch_sub(1, Ordering::AcqRel);
-        metrics.latency.record(job.started.elapsed());
+        metrics.latency.record(elapsed);
         metrics.frames_out.fetch_add(1, Ordering::Relaxed);
         waker.wake();
+    }
+}
+
+/// Parsed `PROQL_SLOW_QUERY_MS` threshold, read once. Unset (or
+/// unparsable) disables the slow-query log.
+fn slow_query_threshold_ms() -> Option<u64> {
+    static THRESHOLD: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("PROQL_SLOW_QUERY_MS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+/// Slow-query log: when a request outlives the `PROQL_SLOW_QUERY_MS`
+/// threshold, write its full span tree to stderr (span trees need
+/// tracing enabled; without it the outlier is still logged, treeless).
+fn log_slow_query(span_id: Option<u64>, elapsed: std::time::Duration) {
+    let Some(threshold) = slow_query_threshold_ms() else {
+        return;
+    };
+    let ms = elapsed.as_millis().min(u64::MAX as u128) as u64;
+    if ms < threshold {
+        return;
+    }
+    match span_id.and_then(trace::render_span_tree) {
+        Some(tree) => eprintln!("[slow-query] {ms} ms (threshold {threshold} ms)\n{tree}"),
+        None => eprintln!(
+            "[slow-query] {ms} ms (threshold {threshold} ms); set PROQL_TRACE=1 for span trees"
+        ),
     }
 }
 
@@ -660,6 +715,7 @@ fn execute_frame(core: &Arc<ServiceCore>, conn: &Arc<ConnShared>, f: &frame::Fra
         verb::STATS => "STATS",
         verb::INVALIDATE => "INVALIDATE",
         verb::PING => "PING",
+        verb::TRACE => "TRACE",
         other => {
             let msg = format!("parse: unknown frame verb {other}");
             return frame::encode(verb::ERR, id, msg.as_bytes());
@@ -844,6 +900,7 @@ fn blocking_serve_connection(
     // block indefinitely — shutdown closes the socket via the registry.
     let (push_tx, push_rx) = channel::<(u64, SubscriptionEvent)>();
     let mut sub_ids: Vec<u64> = Vec::new();
+    let conn_trace = trace::new_trace();
     stream.set_write_timeout(Some(std::time::Duration::from_secs(5)))?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
@@ -877,6 +934,8 @@ fn blocking_serve_connection(
         }
         metrics.frames_in.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
+        let mut sp = trace::span_child_of("request", conn_trace);
+        sp.field("proto", "line");
         let response = match subscribe_request(trimmed) {
             Some(query) => match core.subscribe_with(query, push_tx.clone()) {
                 Ok((id, resp)) => {
@@ -887,7 +946,11 @@ fn blocking_serve_connection(
             },
             None => handle_line(core, trimmed),
         };
-        metrics.latency.record(started.elapsed());
+        let span_id = sp.id();
+        drop(sp);
+        let elapsed = started.elapsed();
+        log_slow_query(span_id, elapsed);
+        metrics.latency.record(elapsed);
         if let Err(e) = writer
             .write_all(response.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -982,6 +1045,11 @@ impl Client {
     /// `STATS` helper.
     pub fn stats(&mut self) -> Result<String> {
         expect_ok(self.request("STATS")?)
+    }
+
+    /// `TRACE` helper: the `limit` most recent span trees as JSON.
+    pub fn trace(&mut self, limit: usize) -> Result<String> {
+        expect_ok(self.request(&format!("TRACE {limit}"))?)
     }
 
     /// `SUBSCRIBE` helper: returns the `OK` JSON payload (the initial
@@ -1131,6 +1199,11 @@ impl BinClient {
     /// `STATS` helper.
     pub fn stats(&mut self) -> Result<String> {
         expect_ok_frame(self.request(verb::STATS, b"")?)
+    }
+
+    /// `TRACE` helper: the `limit` most recent span trees as JSON.
+    pub fn trace(&mut self, limit: usize) -> Result<String> {
+        expect_ok_frame(self.request(verb::TRACE, limit.to_string().as_bytes())?)
     }
 
     /// `SUBSCRIBE` helper: returns the `OK` JSON payload.

@@ -29,8 +29,10 @@ use crate::exec::{join_names, JoinAlgo, Relation, MAX_VIEW_DEPTH};
 use crate::expr::Expr;
 use crate::plan::{AggFunc, Aggregate, BuildSide, JoinType, Plan};
 use proql_common::par::{morsel_ranges, par_map, MORSEL_ROWS};
-use proql_common::{Error, Parallelism, Result, Value};
+use proql_common::{trace, Error, Parallelism, Result, Value};
 use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Which executor [`execute_with`] dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,7 +82,117 @@ pub fn execute_batch(db: &Database, plan: &Plan) -> Result<RecordBatch> {
 /// [`execute_batch`] with morsel-driven parallelism. Output is guaranteed
 /// bit-identical to the serial run for every plan shape.
 pub fn execute_batch_opts(db: &Database, plan: &Plan, par: Parallelism) -> Result<RecordBatch> {
-    exec_inner(db, plan, 0, par.resolved())
+    exec_inner(db, plan, 0, par.resolved(), None)
+}
+
+/// Actual row count and wall time of one plan operator, recorded by
+/// [`execute_batch_profiled`]. Stats are indexed in the **pre-order** the
+/// plan renderer walks ([`crate::explain::explain_tree`]): node first,
+/// then children (Join: left, then right), with view bodies excluded —
+/// so `stats[i]` annotates the `i`-th rendered plan line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpStat {
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// Wall time of the operator *including* its inputs, in nanoseconds
+    /// (the tree renderer shows inclusive time, like the plan's nesting).
+    pub nanos: u64,
+}
+
+/// Collector for per-operator actuals. Slots are reserved at operator
+/// entry (pre-order) and filled at operator exit; a `Mutex` only because
+/// the profile is shared with the morsel worker scope — plan recursion
+/// itself stays on one thread.
+struct PlanProfile {
+    slots: Mutex<Vec<OpStat>>,
+}
+
+impl PlanProfile {
+    fn new() -> PlanProfile {
+        PlanProfile {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Reserve the next pre-order slot.
+    fn reserve(&self) -> usize {
+        let mut s = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        s.push(OpStat::default());
+        s.len() - 1
+    }
+
+    fn record(&self, idx: usize, rows: u64, nanos: u64) {
+        let mut s = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = s.get_mut(idx) {
+            *slot = OpStat { rows, nanos };
+        }
+    }
+
+    fn into_stats(self) -> Vec<OpStat> {
+        self.slots.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Execute `plan` collecting per-operator actual row counts and timings
+/// (the `EXPLAIN ANALYZE` backend). The stats vector is ordered exactly
+/// like the rendered plan tree; pass it to
+/// [`crate::explain::explain_tree_analyzed`].
+pub fn execute_batch_profiled(
+    db: &Database,
+    plan: &Plan,
+    par: Parallelism,
+) -> Result<(RecordBatch, Vec<OpStat>)> {
+    let prof = PlanProfile::new();
+    let batch = exec_inner(db, plan, 0, par.resolved(), Some(&prof))?;
+    Ok((batch, prof.into_stats()))
+}
+
+/// Static trace-span name for a plan operator.
+fn op_name(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. } => "op.scan",
+        Plan::Values { .. } => "op.values",
+        Plan::Filter { .. } => "op.filter",
+        Plan::Project { .. } => "op.project",
+        Plan::Join { .. } => "op.join",
+        Plan::Union { .. } => "op.union",
+        Plan::Distinct { .. } => "op.distinct",
+        Plan::Aggregate { .. } => "op.aggregate",
+        Plan::Sort { .. } => "op.sort",
+        Plan::Limit { .. } => "op.limit",
+        Plan::IndexLookup { .. } => "op.index_lookup",
+    }
+}
+
+/// Observability shim around [`exec_node`]: reserves the operator's
+/// pre-order profile slot on entry, times the node inclusively, opens a
+/// per-operator trace span, and stamps both with the actual row count on
+/// exit. With profiling off and tracing disabled this reduces to two
+/// cheap branches per node.
+fn exec_inner(
+    db: &Database,
+    plan: &Plan,
+    depth: usize,
+    par: Parallelism,
+    prof: Option<&PlanProfile>,
+) -> Result<RecordBatch> {
+    if prof.is_none() && !trace::enabled() {
+        return exec_node(db, plan, depth, par, prof);
+    }
+    let slot = prof.map(|p| p.reserve());
+    let mut sp = trace::span(op_name(plan));
+    let start = Instant::now();
+    let result = exec_node(db, plan, depth, par, prof);
+    if let Ok(batch) = &result {
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let (Some(p), Some(idx)) = (prof, slot) {
+            p.record(idx, batch.len() as u64, nanos);
+        }
+        sp.field("rows", batch.len().to_string());
+    } else {
+        sp.field("error", "true");
+    }
+    result
 }
 
 /// True when `rows` is big enough (and `par` parallel enough) that cutting
@@ -109,7 +221,13 @@ fn concat_batches(parts: Vec<Result<RecordBatch>>) -> Result<RecordBatch> {
     Ok(acc)
 }
 
-fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Result<RecordBatch> {
+fn exec_node(
+    db: &Database,
+    plan: &Plan,
+    depth: usize,
+    par: Parallelism,
+    prof: Option<&PlanProfile>,
+) -> Result<RecordBatch> {
     if depth > MAX_VIEW_DEPTH {
         return Err(Error::Storage(
             "view expansion too deep (cyclic view definition?)".into(),
@@ -140,7 +258,9 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Res
                     Ok(RecordBatch::from_rows(names, t.iter()))
                 }
             } else if let Some(v) = db.view(table) {
-                let mut batch = exec_inner(db, &v.plan, depth + 1, par)?;
+                // View bodies are not rendered by the plan tree, so they
+                // take no profile slots (keeps pre-order indices aligned).
+                let mut batch = exec_inner(db, &v.plan, depth + 1, par, None)?;
                 let names: Vec<String> = v
                     .schema
                     .attributes()
@@ -163,7 +283,7 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Res
             Ok(RecordBatch::from_rows(names, rows.iter()))
         }
         Plan::Filter { input, predicate } => {
-            let batch = exec_inner(db, input, depth, par)?;
+            let batch = exec_inner(db, input, depth, par, prof)?;
             if go_parallel(par, batch.len()) {
                 // Each morsel slice copies its rows once so the vectorized
                 // evaluators can stay whole-batch; range-parameterizing
@@ -186,7 +306,7 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Res
             exprs,
             names,
         } => {
-            let batch = exec_inner(db, input, depth, par)?;
+            let batch = exec_inner(db, input, depth, par, prof)?;
             if names.len() != exprs.len() {
                 return Err(Error::Storage("project names/exprs length mismatch".into()));
             }
@@ -218,17 +338,17 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Res
             right_keys,
             build,
         } => {
-            let l = exec_inner(db, left, depth, par)?;
-            let r = exec_inner(db, right, depth, par)?;
+            let l = exec_inner(db, left, depth, par, prof)?;
+            let r = exec_inner(db, right, depth, par, prof)?;
             batch_join(&l, &r, *join_type, left_keys, right_keys, *build, par)
         }
         Plan::Union { inputs, distinct } => {
             if inputs.is_empty() {
                 return Ok(RecordBatch::empty(vec![]));
             }
-            let mut acc = exec_inner(db, &inputs[0], depth, par)?;
+            let mut acc = exec_inner(db, &inputs[0], depth, par, prof)?;
             for p in &inputs[1..] {
-                let batch = exec_inner(db, p, depth, par)?;
+                let batch = exec_inner(db, p, depth, par, prof)?;
                 if batch.arity() != acc.arity() {
                     return Err(Error::Storage(format!(
                         "union arity mismatch: {} vs {}",
@@ -251,7 +371,7 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Res
             Ok(acc)
         }
         Plan::Distinct { input } => {
-            let batch = exec_inner(db, input, depth, par)?;
+            let batch = exec_inner(db, input, depth, par, prof)?;
             Ok(batch_distinct(&batch))
         }
         Plan::Aggregate {
@@ -260,11 +380,11 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Res
             aggs,
             having,
         } => {
-            let batch = exec_inner(db, input, depth, par)?;
+            let batch = exec_inner(db, input, depth, par, prof)?;
             batch_aggregate_opts(&batch, group_by, aggs, having.as_ref(), par)
         }
         Plan::Sort { input, by } => {
-            let batch = exec_inner(db, input, depth, par)?;
+            let batch = exec_inner(db, input, depth, par, prof)?;
             if let Some(&c) = by.iter().find(|&&c| c >= batch.arity()) {
                 return Err(Error::Storage(format!("sort column {c} out of range")));
             }
@@ -282,7 +402,7 @@ fn exec_inner(db: &Database, plan: &Plan, depth: usize, par: Parallelism) -> Res
             Ok(batch.gather(&idx))
         }
         Plan::Limit { input, n } => {
-            let batch = exec_inner(db, input, depth, par)?;
+            let batch = exec_inner(db, input, depth, par, prof)?;
             if batch.len() <= *n {
                 return Ok(batch);
             }

@@ -194,9 +194,10 @@ pub fn explain_tree(db: &crate::database::Database, plan: &Plan) -> String {
     out
 }
 
-fn tree_rec(db: &crate::database::Database, plan: &Plan, indent: usize, out: &mut String) {
-    let est = crate::optimize::estimate_rows(db, plan);
-    let label = match plan {
+/// One-line operator label shared by [`explain_tree`] and
+/// [`explain_tree_analyzed`].
+fn node_label(plan: &Plan) -> String {
+    match plan {
         Plan::Scan { table } => format!("Scan {table}"),
         Plan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
         Plan::Filter { predicate, .. } => format!("Filter {predicate}"),
@@ -248,28 +249,87 @@ fn tree_rec(db: &crate::database::Database, plan: &Plan, indent: usize, out: &mu
                 if residual.is_some() { " +residual" } else { "" }
             )
         }
-    };
+    }
+}
+
+fn tree_rec(db: &crate::database::Database, plan: &Plan, indent: usize, out: &mut String) {
+    let est = crate::optimize::estimate_rows(db, plan);
     let pad = "  ".repeat(indent);
-    let line = format!("{pad}{label}");
+    let line = format!("{pad}{}", node_label(plan));
     let _ = writeln!(out, "{line:<56} ~{est} rows");
+    for_each_rendered_child(plan, |child| tree_rec(db, child, indent + 1, out));
+}
+
+/// Visit the children the plan renderer descends into, in render order
+/// (single input; Join: left then right; Union: inputs in order; leaves
+/// and view bodies: none). The profiled executor reserves stat slots in
+/// exactly this pre-order, which is what lets `stats[i]` annotate line
+/// `i`.
+fn for_each_rendered_child<'p>(plan: &'p Plan, mut f: impl FnMut(&'p Plan)) {
     match plan {
         Plan::Filter { input, .. }
         | Plan::Project { input, .. }
         | Plan::Distinct { input }
         | Plan::Aggregate { input, .. }
         | Plan::Sort { input, .. }
-        | Plan::Limit { input, .. } => tree_rec(db, input, indent + 1, out),
+        | Plan::Limit { input, .. } => f(input),
         Plan::Join { left, right, .. } => {
-            tree_rec(db, left, indent + 1, out);
-            tree_rec(db, right, indent + 1, out);
+            f(left);
+            f(right);
         }
         Plan::Union { inputs, .. } => {
             for p in inputs {
-                tree_rec(db, p, indent + 1, out);
+                f(p);
             }
         }
         Plan::Scan { .. } | Plan::Values { .. } | Plan::IndexLookup { .. } => {}
     }
+}
+
+/// [`explain_tree`] annotated with **actual** per-operator row counts and
+/// inclusive wall times from [`crate::batch_exec::execute_batch_profiled`]
+/// — the body of `EXPLAIN ANALYZE`. `stats` must come from profiling the
+/// same plan; missing slots (e.g. an operator short-circuited by an
+/// error) render as estimates only.
+pub fn explain_tree_analyzed(
+    db: &crate::database::Database,
+    plan: &Plan,
+    stats: &[crate::batch_exec::OpStat],
+) -> String {
+    let mut out = String::new();
+    let mut idx = 0usize;
+    analyzed_rec(db, plan, 0, stats, &mut idx, &mut out);
+    out
+}
+
+fn analyzed_rec(
+    db: &crate::database::Database,
+    plan: &Plan,
+    indent: usize,
+    stats: &[crate::batch_exec::OpStat],
+    idx: &mut usize,
+    out: &mut String,
+) {
+    let est = crate::optimize::estimate_rows(db, plan);
+    let pad = "  ".repeat(indent);
+    let line = format!("{pad}{}", node_label(plan));
+    match stats.get(*idx) {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "{line:<56} ~{est} rows  actual {} rows in {:.3} ms",
+                s.rows,
+                s.nanos as f64 / 1e6
+            );
+        }
+        None => {
+            let _ = writeln!(out, "{line:<56} ~{est} rows");
+        }
+    }
+    *idx += 1;
+    for_each_rendered_child(plan, |child| {
+        analyzed_rec(db, child, indent + 1, stats, idx, out)
+    });
 }
 
 #[cfg(test)]
@@ -343,5 +403,42 @@ mod tests {
         assert!(text.contains("~8 rows"), "{text}");
         // Every line carries an estimate.
         assert!(text.lines().all(|l| l.contains(" rows")), "{text}");
+    }
+
+    #[test]
+    fn analyzed_tree_aligns_actuals_with_operators() {
+        use proql_common::{tup, Parallelism, Schema, ValueType};
+        let mut db = crate::database::Database::new();
+        db.create_table(
+            Schema::build("A", &[("id", ValueType::Int), ("v", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        for i in 0..8 {
+            db.insert("A", tup![i, i]).unwrap();
+        }
+        let plan = Plan::scan("A")
+            .join(Plan::scan("A"), vec![0], vec![0])
+            .filter(Expr::col(0).eq(Expr::lit(1)));
+        let (batch, stats) =
+            crate::batch_exec::execute_batch_profiled(&db, &plan, Parallelism::Serial).unwrap();
+        // One stat per rendered line, in the same order.
+        let text = explain_tree_analyzed(&db, &plan, &stats);
+        assert_eq!(stats.len(), text.lines().count(), "{text}");
+        assert!(text.lines().all(|l| l.contains("actual")), "{text}");
+        // The root line's actual row count is the query's result size.
+        let root = text.lines().next().unwrap();
+        assert!(root.starts_with("Filter"), "{text}");
+        assert!(
+            root.contains(&format!("actual {} rows", batch.len())),
+            "{text}"
+        );
+        // The two scans each produced all 8 base rows.
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.trim_start().starts_with("Scan A") && l.contains("actual 8 rows"))
+                .count(),
+            2,
+            "{text}"
+        );
     }
 }

@@ -45,8 +45,8 @@ pub mod table;
 
 pub use batch::{Column, RecordBatch};
 pub use batch_exec::{
-    batch_aggregate, batch_aggregate_opts, execute_batch, execute_batch_opts, execute_with,
-    execute_with_opts, ExecMode,
+    batch_aggregate, batch_aggregate_opts, execute_batch, execute_batch_opts,
+    execute_batch_profiled, execute_with, execute_with_opts, ExecMode, OpStat,
 };
 pub use database::Database;
 pub use exec::{execute, JoinAlgo, Relation};

@@ -66,7 +66,7 @@ pub struct RowChange {
 }
 
 /// The staged/sealed change set of one system mutation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GraphDelta {
     /// Graph changes, in the order they happened.
     pub ops: Vec<DeltaOp>,
@@ -120,6 +120,14 @@ impl GraphDelta {
         self.ops.push(op);
     }
 
+    /// True when the mutation staged more ops than the per-entry budget
+    /// and the recorded ops were dropped. An overflowed delta cannot be
+    /// replayed (on a replica or a cached graph) — consumers must fall
+    /// back to a rebuild / snapshot transfer.
+    pub fn is_overflowed(&self) -> bool {
+        self.overflowed
+    }
+
     /// Stage one raw row change, honoring the shared [`ENTRY_OPS_CAP`].
     pub(crate) fn push_row(&mut self, table: &str, row: &Tuple, added: bool) {
         if self.overflowed {
@@ -137,27 +145,89 @@ impl GraphDelta {
     }
 }
 
-/// Caps on retained history; spans falling off the log fall back to a
-/// full graph rebuild.
-const MAX_ENTRIES: usize = 256;
-const MAX_OPS: usize = 1 << 16;
+/// Default cap on retained entries; spans falling off the log fall back
+/// to a full graph rebuild (or, for replicas, a snapshot transfer).
+pub const DEFAULT_MAX_ENTRIES: usize = 256;
+
+/// Op budget retained per log entry slot: the total-op cap scales with
+/// the entry cap so `PROQL_DELTA_LOG_CAP` tunes both together.
+const OPS_PER_ENTRY: usize = 256;
 
 /// A bounded, contiguous log of sealed [`GraphDelta`]s.
 ///
 /// Entry `i` describes the mutation that took the system from version
 /// `base + i` to `base + i + 1`.
-#[derive(Debug, Clone, Default)]
+///
+/// The retention bound defaults to [`DEFAULT_MAX_ENTRIES`] and is
+/// configurable — per instance via [`DeltaLog::with_capacity`] /
+/// [`DeltaLog::set_capacity`], or process-wide via the
+/// `PROQL_DELTA_LOG_CAP` environment variable (read by
+/// [`DeltaLog::from_env`], which the system constructor uses). Deeper
+/// logs let replicas catch up over longer disconnections without a
+/// snapshot transfer, at the cost of retained memory.
+#[derive(Debug, Clone)]
 pub struct DeltaLog {
     base: u64,
     entries: VecDeque<GraphDelta>,
     total_ops: usize,
     compactions: u64,
+    max_entries: usize,
+    max_ops: usize,
+}
+
+impl Default for DeltaLog {
+    fn default() -> Self {
+        DeltaLog::with_capacity(DEFAULT_MAX_ENTRIES)
+    }
 }
 
 impl DeltaLog {
+    /// An empty log retaining at most `max_entries` entries (minimum 1)
+    /// and `max_entries * 256` total ops.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        let max_entries = max_entries.max(1);
+        DeltaLog {
+            base: 0,
+            entries: VecDeque::new(),
+            total_ops: 0,
+            compactions: 0,
+            max_entries,
+            max_ops: max_entries.saturating_mul(OPS_PER_ENTRY),
+        }
+    }
+
+    /// An empty log whose retention bound comes from the
+    /// `PROQL_DELTA_LOG_CAP` environment variable (entries; defaults to
+    /// [`DEFAULT_MAX_ENTRIES`] when unset or unparsable).
+    pub fn from_env() -> Self {
+        let cap = std::env::var("PROQL_DELTA_LOG_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MAX_ENTRIES);
+        DeltaLog::with_capacity(cap)
+    }
+
     /// Oldest version the log can patch **from**.
     pub fn base(&self) -> u64 {
         self.base
+    }
+
+    /// Retained entry count (the log's current depth).
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The configured retention bound, in entries.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Change the retention bound (minimum 1), trimming immediately if
+    /// the retained history exceeds the new bound.
+    pub fn set_capacity(&mut self, max_entries: usize) {
+        self.max_entries = max_entries.max(1);
+        self.max_ops = self.max_entries.saturating_mul(OPS_PER_ENTRY);
+        self.trim();
     }
 
     /// Newest version the log can patch **to**.
@@ -189,7 +259,11 @@ impl DeltaLog {
         }
         self.total_ops += delta.weight();
         self.entries.push_back(delta);
-        while self.entries.len() > MAX_ENTRIES || self.total_ops > MAX_OPS {
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        while self.entries.len() > self.max_entries || self.total_ops > self.max_ops {
             if let Some(dropped) = self.entries.pop_front() {
                 self.total_ops -= dropped.weight();
                 self.base += 1;
@@ -299,10 +373,10 @@ mod tests {
     fn trimming_advances_base() {
         let mut log = DeltaLog::default();
         log.reset(0);
-        for v in 1..=(MAX_ENTRIES as u64 + 10) {
+        for v in 1..=(DEFAULT_MAX_ENTRIES as u64 + 10) {
             log.push(v, delta(0));
         }
-        assert_eq!(log.head(), MAX_ENTRIES as u64 + 10);
+        assert_eq!(log.head(), DEFAULT_MAX_ENTRIES as u64 + 10);
         assert_eq!(log.base(), 10);
         assert!(log.span(0, log.head()).is_none());
         assert!(log.span(log.base(), log.head()).is_some());
@@ -312,8 +386,35 @@ mod tests {
     fn op_budget_trims() {
         let mut log = DeltaLog::default();
         log.reset(0);
-        log.push(1, delta(MAX_OPS - 1));
+        log.push(1, delta(DEFAULT_MAX_ENTRIES * OPS_PER_ENTRY - 1));
         log.push(2, delta(2));
         assert_eq!(log.base(), 1, "oversized history must drop the oldest");
+    }
+
+    #[test]
+    fn configured_capacity_bounds_depth_and_shrinking_trims() {
+        let mut log = DeltaLog::with_capacity(4);
+        assert_eq!(log.capacity(), 4);
+        log.reset(0);
+        for v in 1..=10u64 {
+            log.push(v, delta(1));
+        }
+        assert_eq!(log.depth(), 4);
+        assert_eq!(log.base(), 6, "base is the trimmed low watermark");
+        assert!(log.span(5, 10).is_none());
+        assert!(log.span(6, 10).is_some());
+        // Shrinking the bound trims retained history immediately.
+        log.set_capacity(2);
+        assert_eq!(log.depth(), 2);
+        assert_eq!(log.base(), 8);
+    }
+
+    #[test]
+    fn env_capacity_is_honored() {
+        std::env::set_var("PROQL_DELTA_LOG_CAP", "7");
+        let log = DeltaLog::from_env();
+        std::env::remove_var("PROQL_DELTA_LOG_CAP");
+        assert_eq!(log.capacity(), 7);
+        assert_eq!(DeltaLog::from_env().capacity(), DEFAULT_MAX_ENTRIES);
     }
 }

@@ -212,6 +212,442 @@ pub fn create_prov_relation(db: &mut Database, spec: &ProvSpec, rule: &Rule) -> 
     db.create_view(&spec.prov_rel, plan, spec.schema())
 }
 
+pub mod wire {
+    //! Byte-level wire encoding of sealed [`GraphDelta`]s and snapshot
+    //! transfers — the payload format of the replication stream's
+    //! `REPL_DELTA` / `REPL_SNAPSHOT` frames (see `proql-service`).
+    //!
+    //! All integers are little-endian and fixed-width; strings are
+    //! length-prefixed UTF-8. Every payload starts with a one-byte format
+    //! version ([`WIRE_VERSION`]) so the stream format can evolve
+    //! independently of the frame-layer protocol version. Decoding is
+    //! total: truncated or corrupt payloads yield `Err`, never a panic —
+    //! replicas treat a decode failure like a broken chain and fall back
+    //! to a snapshot transfer.
+    //!
+    //! A delta frame carries `(version, digest, sealed_at_micros,
+    //! GraphDelta)` where `digest` is the primary's provenance-graph
+    //! digest **at** `version` (0 when not computed, e.g. mid-catch-up)
+    //! and `sealed_at_micros` is the primary's wall clock at send time
+    //! (for apply-lag measurement). The delta's `touched` set doubles as
+    //! the mutation's write set — replicas feed it to their result-cache
+    //! maintenance exactly like a local write's.
+
+    use super::{Error, Result, Tuple, Value};
+    use crate::delta::{DeltaOp, GraphDelta, RowChange};
+
+    /// Format version byte leading every wire payload.
+    pub const WIRE_VERSION: u8 = 1;
+
+    /// A decoded `REPL_DELTA` payload.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct DeltaFrame {
+        /// The version this delta seals (applies on top of `version - 1`).
+        pub version: u64,
+        /// Provenance-graph digest at `version`; 0 when not computed.
+        pub digest: u64,
+        /// Primary wall clock (µs since the UNIX epoch) at send time.
+        pub sealed_at_micros: u64,
+        /// The sealed change set (its `touched` set is the write set).
+        pub delta: GraphDelta,
+    }
+
+    /// A decoded `REPL_SNAPSHOT` payload: full stored-table contents.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct SnapshotFrame {
+        /// The version the snapshot captures.
+        pub version: u64,
+        /// Provenance-graph digest at `version`; 0 when not computed.
+        pub digest: u64,
+        /// Primary wall clock (µs since the UNIX epoch) at send time.
+        pub sealed_at_micros: u64,
+        /// Every stored table's full contents, sorted by name.
+        pub tables: Vec<(String, Vec<Tuple>)>,
+    }
+
+    fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_str(buf: &mut Vec<u8>, s: &str) {
+        put_u32(buf, s.len() as u32);
+        buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn put_value(buf: &mut Vec<u8>, v: &Value) {
+        match v {
+            Value::Null => buf.push(0),
+            Value::Bool(b) => {
+                buf.push(1);
+                buf.push(*b as u8);
+            }
+            Value::Int(i) => {
+                buf.push(2);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                buf.push(3);
+                buf.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                buf.push(4);
+                put_str(buf, s);
+            }
+        }
+    }
+
+    fn put_tuple(buf: &mut Vec<u8>, t: &Tuple) {
+        put_u32(buf, t.arity() as u32);
+        for v in t.values() {
+            put_value(buf, v);
+        }
+    }
+
+    fn put_delta(buf: &mut Vec<u8>, d: &GraphDelta) {
+        put_u32(buf, d.ops.len() as u32);
+        for op in &d.ops {
+            match op {
+                DeltaOp::AddDerivation { mapping, row } => {
+                    buf.push(0);
+                    put_str(buf, mapping);
+                    put_tuple(buf, row);
+                }
+                DeltaOp::RemoveDerivation { mapping, row } => {
+                    buf.push(1);
+                    put_str(buf, mapping);
+                    put_tuple(buf, row);
+                }
+                DeltaOp::SetValues { relation, key } => {
+                    buf.push(2);
+                    put_str(buf, relation);
+                    put_tuple(buf, key);
+                }
+            }
+        }
+        put_u32(buf, d.rows.len() as u32);
+        for rc in &d.rows {
+            put_str(buf, &rc.table);
+            buf.push(rc.added as u8);
+            put_tuple(buf, &rc.row);
+        }
+        put_u32(buf, d.touched.len() as u32);
+        for t in &d.touched {
+            put_str(buf, t);
+        }
+    }
+
+    /// A bounds-checked little-endian reader over a wire payload.
+    struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+
+        fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+            let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+            let end = end.ok_or_else(|| Error::Other("truncated replication payload".into()))?;
+            let out = &self.buf[self.pos..end];
+            self.pos = end;
+            Ok(out)
+        }
+
+        fn u8(&mut self) -> Result<u8> {
+            Ok(self.bytes(1)?[0])
+        }
+
+        fn u32(&mut self) -> Result<u32> {
+            Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        }
+
+        fn u64(&mut self) -> Result<u64> {
+            Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        }
+
+        /// A collection length, sanity-capped against the bytes actually
+        /// remaining so corrupt lengths cannot trigger huge allocations.
+        fn len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+            let n = self.u32()? as usize;
+            let remaining = self.buf.len() - self.pos;
+            if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+                return Err(Error::Other(format!(
+                    "replication payload declares {n} elements with {remaining} bytes left"
+                )));
+            }
+            Ok(n)
+        }
+
+        fn str(&mut self) -> Result<String> {
+            let n = self.len(1)?;
+            let raw = self.bytes(n)?;
+            String::from_utf8(raw.to_vec())
+                .map_err(|_| Error::Other("non-UTF-8 string in replication payload".into()))
+        }
+
+        fn value(&mut self) -> Result<Value> {
+            Ok(match self.u8()? {
+                0 => Value::Null,
+                1 => Value::Bool(self.u8()? != 0),
+                2 => Value::Int(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap())),
+                3 => Value::Float(f64::from_bits(self.u64()?)),
+                4 => Value::Str(self.str()?.into()),
+                t => {
+                    return Err(Error::Other(format!(
+                        "unknown value tag {t} in replication payload"
+                    )))
+                }
+            })
+        }
+
+        fn tuple(&mut self) -> Result<Tuple> {
+            let n = self.len(1)?;
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                vals.push(self.value()?);
+            }
+            Ok(Tuple::new(vals))
+        }
+
+        fn delta(&mut self) -> Result<GraphDelta> {
+            let mut d = GraphDelta::default();
+            let n_ops = self.len(5)?;
+            for _ in 0..n_ops {
+                let tag = self.u8()?;
+                let name = self.str()?;
+                let t = self.tuple()?;
+                d.ops.push(match tag {
+                    0 => DeltaOp::AddDerivation {
+                        mapping: name,
+                        row: t,
+                    },
+                    1 => DeltaOp::RemoveDerivation {
+                        mapping: name,
+                        row: t,
+                    },
+                    2 => DeltaOp::SetValues {
+                        relation: name,
+                        key: t,
+                    },
+                    x => {
+                        return Err(Error::Other(format!(
+                            "unknown delta op tag {x} in replication payload"
+                        )))
+                    }
+                });
+            }
+            let n_rows = self.len(6)?;
+            for _ in 0..n_rows {
+                let table = self.str()?;
+                let added = self.u8()? != 0;
+                let row = self.tuple()?;
+                d.rows.push(RowChange { table, row, added });
+            }
+            let n_touched = self.len(5)?;
+            for _ in 0..n_touched {
+                d.touched.insert(self.str()?);
+            }
+            Ok(d)
+        }
+
+        fn header(&mut self, what: &str) -> Result<(u64, u64, u64)> {
+            let ver = self.u8()?;
+            if ver != WIRE_VERSION {
+                return Err(Error::Other(format!(
+                    "unsupported {what} wire format version {ver} (expected {WIRE_VERSION})"
+                )));
+            }
+            Ok((self.u64()?, self.u64()?, self.u64()?))
+        }
+    }
+
+    /// Encode a `REPL_DELTA` payload from borrowed parts — the streaming
+    /// hot path, which must not clone the sealed delta per subscriber.
+    /// The delta must not be overflowed (overflowed entries carry no ops
+    /// and cannot be replayed; primaries ship a snapshot instead).
+    pub fn encode_delta_parts(
+        version: u64,
+        digest: u64,
+        sealed_at_micros: u64,
+        delta: &GraphDelta,
+    ) -> Vec<u8> {
+        debug_assert!(!delta.is_overflowed());
+        let mut buf = Vec::with_capacity(64);
+        buf.push(WIRE_VERSION);
+        put_u64(&mut buf, version);
+        put_u64(&mut buf, digest);
+        put_u64(&mut buf, sealed_at_micros);
+        put_delta(&mut buf, delta);
+        buf
+    }
+
+    /// Encode a `REPL_DELTA` payload (see [`encode_delta_parts`]).
+    pub fn encode_delta_frame(f: &DeltaFrame) -> Vec<u8> {
+        encode_delta_parts(f.version, f.digest, f.sealed_at_micros, &f.delta)
+    }
+
+    /// Decode a `REPL_DELTA` payload.
+    pub fn decode_delta_frame(buf: &[u8]) -> Result<DeltaFrame> {
+        let mut r = Reader::new(buf);
+        let (version, digest, sealed_at_micros) = r.header("delta")?;
+        let delta = r.delta()?;
+        Ok(DeltaFrame {
+            version,
+            digest,
+            sealed_at_micros,
+            delta,
+        })
+    }
+
+    /// Encode a `REPL_SNAPSHOT` payload from borrowed parts.
+    pub fn encode_snapshot_parts(
+        version: u64,
+        digest: u64,
+        sealed_at_micros: u64,
+        tables: &[(String, Vec<Tuple>)],
+    ) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256);
+        buf.push(WIRE_VERSION);
+        put_u64(&mut buf, version);
+        put_u64(&mut buf, digest);
+        put_u64(&mut buf, sealed_at_micros);
+        put_u32(&mut buf, tables.len() as u32);
+        for (name, rows) in tables {
+            put_str(&mut buf, name);
+            put_u32(&mut buf, rows.len() as u32);
+            for row in rows {
+                put_tuple(&mut buf, row);
+            }
+        }
+        buf
+    }
+
+    /// Encode a `REPL_SNAPSHOT` payload (see [`encode_snapshot_parts`]).
+    pub fn encode_snapshot_frame(f: &SnapshotFrame) -> Vec<u8> {
+        encode_snapshot_parts(f.version, f.digest, f.sealed_at_micros, &f.tables)
+    }
+
+    /// Decode a `REPL_SNAPSHOT` payload.
+    pub fn decode_snapshot_frame(buf: &[u8]) -> Result<SnapshotFrame> {
+        let mut r = Reader::new(buf);
+        let (version, digest, sealed_at_micros) = r.header("snapshot")?;
+        let n_tables = r.len(8)?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let name = r.str()?;
+            let n_rows = r.len(4)?;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                rows.push(r.tuple()?);
+            }
+            tables.push((name, rows));
+        }
+        Ok(SnapshotFrame {
+            version,
+            digest,
+            sealed_at_micros,
+            tables,
+        })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use proql_common::tup;
+
+        fn sample_delta() -> GraphDelta {
+            let mut d = GraphDelta::default();
+            d.ops.push(DeltaOp::AddDerivation {
+                mapping: "m1".into(),
+                row: tup![1, "x", 2.5],
+            });
+            d.ops.push(DeltaOp::RemoveDerivation {
+                mapping: "m2".into(),
+                row: tup![3],
+            });
+            d.ops.push(DeltaOp::SetValues {
+                relation: "A".into(),
+                key: tup![7, true],
+            });
+            d.rows.push(RowChange {
+                table: "A_l".into(),
+                row: tup![7, true, "payload"],
+                added: true,
+            });
+            d.rows.push(RowChange {
+                table: "P_m1".into(),
+                row: Tuple::new(vec![Value::Null, Value::Float(f64::NAN)]),
+                added: false,
+            });
+            d.touched.insert("A".into());
+            d.touched.insert("A_l".into());
+            d
+        }
+
+        #[test]
+        fn delta_frame_roundtrips() {
+            let f = DeltaFrame {
+                version: 42,
+                digest: 0xDEAD_BEEF_CAFE_F00D,
+                sealed_at_micros: 1_700_000_000_000_000,
+                delta: sample_delta(),
+            };
+            let bytes = encode_delta_frame(&f);
+            let back = decode_delta_frame(&bytes).unwrap();
+            assert_eq!(back.version, f.version);
+            assert_eq!(back.digest, f.digest);
+            assert_eq!(back.sealed_at_micros, f.sealed_at_micros);
+            assert_eq!(back.delta, f.delta);
+        }
+
+        #[test]
+        fn snapshot_frame_roundtrips() {
+            let f = SnapshotFrame {
+                version: 9,
+                digest: 17,
+                sealed_at_micros: 3,
+                tables: vec![
+                    ("A".into(), vec![tup![1, "a"], tup![2, "b"]]),
+                    ("B".into(), vec![]),
+                ],
+            };
+            let bytes = encode_snapshot_frame(&f);
+            assert_eq!(decode_snapshot_frame(&bytes).unwrap(), f);
+        }
+
+        #[test]
+        fn truncation_and_corruption_error_cleanly() {
+            let f = DeltaFrame {
+                version: 1,
+                digest: 2,
+                sealed_at_micros: 3,
+                delta: sample_delta(),
+            };
+            let bytes = encode_delta_frame(&f);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_delta_frame(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes must fail to decode"
+                );
+            }
+            let mut wrong_ver = bytes.clone();
+            wrong_ver[0] = WIRE_VERSION + 1;
+            assert!(decode_delta_frame(&wrong_ver).is_err());
+            // A corrupt length cannot trigger a huge allocation.
+            let mut huge = bytes;
+            let off = 25; // first collection length (ops count)
+            huge[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(decode_delta_frame(&huge).is_err());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

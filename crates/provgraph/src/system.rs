@@ -73,6 +73,7 @@ impl ProvenanceSystem {
     pub fn new() -> Self {
         ProvenanceSystem {
             trackable: true,
+            deltas: DeltaLog::from_env(),
             ..ProvenanceSystem::default()
         }
     }
@@ -190,6 +191,116 @@ impl ProvenanceSystem {
             out.extend(entry.touched.iter().cloned());
         }
         Some(out)
+    }
+
+    /// Retained delta-log depth (sealed entries currently held).
+    pub fn delta_log_depth(&self) -> usize {
+        self.deltas.depth()
+    }
+
+    /// The delta log's trimmed low watermark: the oldest version the log
+    /// can still patch (or replicate) **from**.
+    pub fn delta_log_base(&self) -> u64 {
+        self.deltas.base()
+    }
+
+    /// The delta log's configured retention bound, in entries.
+    pub fn delta_log_capacity(&self) -> usize {
+        self.deltas.capacity()
+    }
+
+    /// Change the delta log's retention bound (minimum 1), trimming
+    /// retained history immediately if it exceeds the new bound.
+    pub fn set_delta_log_capacity(&mut self, max_entries: usize) {
+        self.deltas.set_capacity(max_entries);
+    }
+
+    /// Apply one replicated delta sealed by a primary at `to_version`.
+    ///
+    /// This is the replica-side write path: the raw [`crate::RowChange`]s are
+    /// patched into the stored tables (CoW-shared tables split here, not
+    /// on the read path), the version adopts the primary's, and the delta
+    /// is appended to the local chain so graph consumers patch forward
+    /// with [`crate::ProvGraph::apply_delta`] exactly as they would after
+    /// a local write. No exchange runs — the delta already carries the
+    /// fixpoint the primary computed.
+    ///
+    /// Fails without modifying anything when the delta is not contiguous
+    /// with the local version (`to_version != version + 1`) or was
+    /// op-overflowed at the primary; the caller must then fall back to a
+    /// snapshot transfer.
+    pub fn apply_replica_delta(&mut self, to_version: u64, delta: &GraphDelta) -> Result<()> {
+        if to_version != self.version + 1 {
+            return Err(Error::Other(format!(
+                "replica delta gap: local version {} cannot apply delta sealing version {}",
+                self.version, to_version
+            )));
+        }
+        if delta.is_overflowed() {
+            return Err(Error::Other(format!(
+                "replica delta for version {to_version} overflowed at the primary; \
+                 snapshot transfer required"
+            )));
+        }
+        for rc in &delta.rows {
+            let table = self.db.table_mut(&rc.table)?;
+            if rc.added {
+                table.insert(rc.row.clone())?;
+            } else {
+                let key = table.schema().key_of(&rc.row);
+                table.delete_by_key(&key);
+            }
+        }
+        self.version = to_version;
+        self.staged = GraphDelta::default();
+        self.deltas.push(to_version, delta.clone());
+        self.pending_exchange.clear();
+        self.at_fixpoint = true;
+        Ok(())
+    }
+
+    /// Full contents of every stored table — the payload of a replication
+    /// snapshot transfer.
+    pub fn snapshot_tables(&self) -> Vec<(String, Vec<Tuple>)> {
+        let mut names: Vec<String> = self.db.table_names().map(|s| s.to_string()).collect();
+        names.sort();
+        names
+            .into_iter()
+            .filter_map(|n| {
+                let rows = self.db.table(&n).ok()?.scan();
+                Some((n, rows))
+            })
+            .collect()
+    }
+
+    /// Replace every stored table's contents with a primary's snapshot and
+    /// adopt its `version`. The delta chain restarts at `version` (the
+    /// replica can stream contiguously from here); graph consumers rebuild
+    /// once. The schema and mapping program are **not** shipped — replicas
+    /// bootstrap them identically and only the data is transferred; a
+    /// snapshot naming an unknown table is an error.
+    pub fn install_snapshot(
+        &mut self,
+        version: u64,
+        tables: &[(String, Vec<Tuple>)],
+    ) -> Result<()> {
+        for (name, _) in tables {
+            self.db.table(name)?; // validate before mutating anything
+        }
+        for (name, rows) in tables {
+            let table = self.db.table_mut(name)?;
+            table.truncate();
+            for row in rows {
+                table.insert(row.clone())?;
+            }
+        }
+        self.version = version;
+        self.staged = GraphDelta::default();
+        self.deltas.reset(version);
+        self.pending_exchange.clear();
+        self.exchanged = true;
+        self.at_fixpoint = true;
+        Ok(())
     }
 
     /// Register a public relation together with its local-contribution table

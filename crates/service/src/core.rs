@@ -24,16 +24,28 @@
 //!   reports.
 
 use crate::cache::{CacheCounters, PlanCache, PlanCacheCounters, ResultCache};
-use crate::metrics::{Metrics, TransportMetrics, TransportSnapshot};
+use crate::metrics::{LatencyHistogram, Metrics, TransportMetrics, TransportSnapshot};
 use crate::proto::result_digest;
 use proql::engine::{Engine, EngineOptions, QueryOutput};
 use proql::{maintain_output, MaintainResult};
 use proql_cdss::update::{delete_local_with_graph, DeleteStats};
-use proql_common::{trace, Result, Tuple};
+use proql_common::{trace, Error, Result, Tuple};
+use proql_provgraph::encode::wire;
 use proql_provgraph::ProvenanceSystem;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Primary wall clock in microseconds since the UNIX epoch — stamped on
+/// outgoing replication frames so replicas (on the same clock domain) can
+/// measure apply lag.
+fn wall_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
 
 /// Lock with poison recovery: a worker that panicked mid-query must not
 /// wedge every other worker. The data behind each service lock is safe to
@@ -92,6 +104,39 @@ pub struct ServiceStats {
     /// Transport counters and latency percentiles, when a TCP front end
     /// is attached (zeros otherwise).
     pub transport: TransportSnapshot,
+    /// Sealed entries currently retained in the published system's delta
+    /// log (bounded by `delta_log_cap`).
+    pub delta_log_depth: u64,
+    /// The delta log's trimmed low watermark: the oldest version the log
+    /// can still replicate **from**.
+    pub delta_log_base: u64,
+    /// The delta log's configured retention bound, in entries
+    /// (`PROQL_DELTA_LOG_CAP`).
+    pub delta_log_cap: u64,
+    /// Live replica subscriptions on this node.
+    pub repl_subscribers: u64,
+    /// `REPL_DELTA` frames streamed to replica subscribers.
+    pub repl_deltas_streamed: u64,
+    /// `REPL_SNAPSHOT` frames streamed to replica subscribers (each one
+    /// is a broken-chain fallback — never silent).
+    pub repl_snapshots_streamed: u64,
+    /// Replicated deltas applied on this node (replica mode).
+    pub repl_deltas_applied: u64,
+    /// Full snapshots installed on this node (replica mode).
+    pub repl_snapshots_installed: u64,
+    /// Replayed-digest mismatches detected **before** publishing (each
+    /// one triggers a forced snapshot resubscribe).
+    pub repl_digest_mismatches: u64,
+    /// Times this node's replica loop re-subscribed to its primary
+    /// (reconnects and digest-mismatch recoveries).
+    pub repl_resubscribes: u64,
+    /// Replication apply-lag observations (primary seal → replica
+    /// publish, same clock domain).
+    pub repl_lag_count: u64,
+    /// Apply-lag p50 in milliseconds.
+    pub repl_lag_p50_ms: f64,
+    /// Apply-lag p99 in milliseconds.
+    pub repl_lag_p99_ms: f64,
 }
 
 impl ServiceStats {
@@ -131,6 +176,19 @@ impl ServiceStats {
         m.push_f64("latency_p50_ms", self.transport.latency_p50_ms, 4);
         m.push_f64("latency_p95_ms", self.transport.latency_p95_ms, 4);
         m.push_f64("latency_p99_ms", self.transport.latency_p99_ms, 4);
+        m.push_u64("delta_log_depth", self.delta_log_depth);
+        m.push_u64("delta_log_base", self.delta_log_base);
+        m.push_u64("delta_log_cap", self.delta_log_cap);
+        m.push_u64("repl_subscribers", self.repl_subscribers);
+        m.push_u64("repl_deltas_streamed", self.repl_deltas_streamed);
+        m.push_u64("repl_snapshots_streamed", self.repl_snapshots_streamed);
+        m.push_u64("repl_deltas_applied", self.repl_deltas_applied);
+        m.push_u64("repl_snapshots_installed", self.repl_snapshots_installed);
+        m.push_u64("repl_digest_mismatches", self.repl_digest_mismatches);
+        m.push_u64("repl_resubscribes", self.repl_resubscribes);
+        m.push_u64("repl_lag_count", self.repl_lag_count);
+        m.push_f64("repl_lag_p50_ms", self.repl_lag_p50_ms, 4);
+        m.push_f64("repl_lag_p99_ms", self.repl_lag_p99_ms, 4);
         m
     }
 
@@ -222,6 +280,75 @@ impl std::fmt::Debug for Subscription {
     }
 }
 
+/// The payload kind of a replication frame (selects the transport verb:
+/// `REPL_DELTA` vs `REPL_SNAPSHOT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplFrameKind {
+    /// A [`wire`]-encoded [`wire::DeltaFrame`].
+    Delta,
+    /// A [`wire`]-encoded [`wire::SnapshotFrame`] (broken-chain or
+    /// forced-recovery fallback).
+    Snapshot,
+}
+
+/// Where replication frames are delivered: called with `(kind, encoded
+/// payload)` on every published write, returning whether the subscriber
+/// is still alive (`false` prunes the subscription). Payloads are
+/// encoded once and shared across subscribers; like [`PushSink`], sinks
+/// run on the writer's thread and must be cheap and non-blocking.
+pub type ReplSink = Box<dyn Fn(ReplFrameKind, &Arc<Vec<u8>>) -> bool + Send + Sync>;
+
+/// What applying one replication frame did to a replica's state (see
+/// [`ServiceCore::apply_repl_delta_frame`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplApplyOutcome {
+    /// The frame was applied and published; the node now serves `version`.
+    Applied {
+        /// The version the node now serves.
+        version: u64,
+    },
+    /// The frame sealed a version at or below the node's — a benign
+    /// re-delivery (the subscribe/write race) — and was ignored.
+    Stale {
+        /// The node's (unchanged) version.
+        version: u64,
+    },
+    /// The frame does not chain onto the node's version: the replica
+    /// must resubscribe (the primary falls back to a snapshot when its
+    /// log cannot bridge the gap).
+    Gap {
+        /// The node's version.
+        local: u64,
+        /// The version the rejected frame seals.
+        frame: u64,
+    },
+    /// The replayed state's digest differs from the primary's — the
+    /// frame was **discarded before publishing** (corrupt state is never
+    /// served) and the replica must force a snapshot resubscribe.
+    DigestMismatch {
+        /// The version whose digests disagreed.
+        version: u64,
+        /// The primary's digest.
+        expected: u64,
+        /// The locally replayed digest.
+        actual: u64,
+    },
+}
+
+/// One live replica subscription.
+struct ReplSub {
+    id: u64,
+    sink: ReplSink,
+}
+
+impl std::fmt::Debug for ReplSub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplSub")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
 /// A shared, thread-safe ProQL query service over a [`ProvenanceSystem`]:
 /// single-writer / multi-reader with versioned snapshots and a
 /// dependency-tracked result cache.
@@ -250,6 +377,21 @@ pub struct ServiceCore {
     /// Metrics of the attached TCP front end, if any (installed by
     /// `serve`); folded into [`ServiceStats`].
     transport: Mutex<Option<Arc<TransportMetrics>>>,
+    /// Replica subscriptions: every published write streams its sealed
+    /// delta (or a snapshot, on a broken chain) to each sink.
+    repl: Mutex<Vec<ReplSub>>,
+    next_repl_id: AtomicU64,
+    repl_deltas_streamed: AtomicU64,
+    repl_snapshots_streamed: AtomicU64,
+    repl_deltas_applied: AtomicU64,
+    repl_snapshots_installed: AtomicU64,
+    repl_digest_mismatches: AtomicU64,
+    repl_resubscribes: AtomicU64,
+    /// Primary-seal → replica-publish latency (meaningful on replicas).
+    repl_lag: LatencyHistogram,
+    /// Replica mode: local mutations are refused so the node's state
+    /// only ever advances by replication frames from its primary.
+    read_only: AtomicBool,
 }
 
 /// Default bound on live cache entries.
@@ -307,6 +449,16 @@ impl ServiceCore {
             subs: Mutex::new(Vec::new()),
             next_sub_id: AtomicU64::new(0),
             transport: Mutex::new(None),
+            repl: Mutex::new(Vec::new()),
+            next_repl_id: AtomicU64::new(0),
+            repl_deltas_streamed: AtomicU64::new(0),
+            repl_snapshots_streamed: AtomicU64::new(0),
+            repl_deltas_applied: AtomicU64::new(0),
+            repl_snapshots_installed: AtomicU64::new(0),
+            repl_digest_mismatches: AtomicU64::new(0),
+            repl_resubscribes: AtomicU64::new(0),
+            repl_lag: LatencyHistogram::new(),
+            read_only: AtomicBool::new(false),
         }
     }
 
@@ -505,6 +657,11 @@ impl ServiceCore {
         mutate: impl FnOnce(&Snapshot, &mut ProvenanceSystem) -> Result<Option<(BTreeSet<String>, T)>>,
     ) -> Result<Option<(u64, T)>> {
         let _gate = lock(&self.write_gate);
+        if self.read_only.load(Ordering::Relaxed) {
+            return Err(Error::Other(
+                "read-only replica: writes must go to the primary".into(),
+            ));
+        }
         let mut sp = trace::span("service.write");
         let current = self.snapshot();
         let mut sys = current.engine.sys.clone();
@@ -516,12 +673,26 @@ impl ServiceCore {
         let engine = Engine::with_options(sys, self.options.clone());
         engine.adopt_graph_cache(&current.engine);
         let next = Arc::new(Snapshot { version, engine });
+        self.publish(&current, next, &write_set);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        sp.field("version", version.to_string());
+        Ok(Some((version, value)))
+    }
+
+    /// The shared publish tail of every state transition — local writes
+    /// and replicated applies alike. Caller holds the write gate. Runs
+    /// incremental maintenance over intersecting cache entries, installs
+    /// the results + write epoch + snapshot under one cache lock, then
+    /// notifies query subscribers and streams the transition to replica
+    /// subscribers.
+    fn publish(&self, current: &Snapshot, next: Arc<Snapshot>, write_set: &BTreeSet<String>) {
+        let version = next.version;
         // Maintenance runs outside the cache lock (it executes delta
         // plans); the write gate keeps the candidate set stable against
         // other writers, and racing readers still see the old entries at
         // the old published version.
         let maintained = if self.maintenance {
-            let candidates = lock(&self.cache).take_maintenance_candidates(&write_set);
+            let candidates = lock(&self.cache).take_maintenance_candidates(write_set);
             candidates
                 .into_iter()
                 .map(|c| {
@@ -580,12 +751,10 @@ impl ServiceCore {
                 .fetch_add(current.engine.graph_build_count(), Ordering::Relaxed);
             self.graph_patches
                 .fetch_add(current.engine.graph_patch_count(), Ordering::Relaxed);
-            *write_lock(&self.state) = next;
+            *write_lock(&self.state) = Arc::clone(&next);
         }
-        self.notify_subscribers(&write_set, version, &events);
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        sp.field("version", version.to_string());
-        Ok(Some((version, value)))
+        self.notify_subscribers(write_set, version, &events);
+        self.stream_to_replicas(current.version, &next);
     }
 
     /// Push this write's outcome to every subscription whose read set it
@@ -723,6 +892,320 @@ impl ServiceCore {
         lock(&self.subs).len()
     }
 
+    /// The published provenance graph's digest — the bit-identity check
+    /// replicas replay against (0 when the graph cannot be built, which
+    /// downgrades the check to "unchecked" rather than failing writes).
+    pub fn graph_digest(&self) -> u64 {
+        let snap = self.snapshot();
+        snap.engine.graph().map(|g| g.digest()).unwrap_or(0)
+    }
+
+    /// Switch replica mode on or off: a read-only node refuses local
+    /// mutations ([`Self::delete`] / [`Self::insert_and_exchange`]), so
+    /// its state only ever advances by replication frames.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.read_only.store(read_only, Ordering::Relaxed);
+    }
+
+    /// Whether this node is in replica (read-only) mode.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Relaxed)
+    }
+
+    /// Break the delta chain without changing data (the admin/test lever
+    /// behind broken-chain recovery): bumps the version out-of-band,
+    /// which resets the delta log, so the **next** replication event
+    /// falls back to a full snapshot transfer. Returns the new version.
+    pub fn rotate_delta_chain(&self) -> Result<u64> {
+        let published = self.write(|_snap, sys| {
+            sys.bump_version();
+            Ok(Some((BTreeSet::new(), ())))
+        })?;
+        Ok(published.expect("rotation always publishes").0)
+    }
+
+    /// Record that this node's replica loop re-subscribed to its primary
+    /// (a reconnect or digest-mismatch recovery).
+    pub fn note_repl_resubscribe(&self) {
+        self.repl_resubscribes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subscribe a replica: `sink` receives every future published write
+    /// as encoded replication frames (see [`wire`]), after being caught
+    /// up from `from_version` to the current version — via the delta log
+    /// when it can bridge the span, via a full snapshot otherwise (or
+    /// when `force_snapshot` is set: the digest-mismatch recovery path,
+    /// where re-streaming deltas from the same version would replay the
+    /// same corruption). Returns the subscription id.
+    pub fn repl_subscribe_sink(
+        &self,
+        from_version: u64,
+        force_snapshot: bool,
+        sink: ReplSink,
+    ) -> u64 {
+        let id = self.next_repl_id.fetch_add(1, Ordering::Relaxed) + 1;
+        // Lock order matters: taking the repl lock *before* reading the
+        // snapshot means a write publishing after our read blocks on
+        // this lock and re-delivers its frames once we are registered —
+        // no transition can fall between catch-up and live streaming.
+        // Replicas treat re-delivered versions as stale no-ops.
+        let mut repl = lock(&self.repl);
+        let snap = self.snapshot();
+        let sys = &snap.engine.sys;
+        let now = wall_micros();
+        let digest = snap.engine.graph().map(|g| g.digest()).unwrap_or(0);
+        let snapshot_frame = || {
+            (
+                ReplFrameKind::Snapshot,
+                Arc::new(wire::encode_snapshot_parts(
+                    snap.version,
+                    digest,
+                    now,
+                    &sys.snapshot_tables(),
+                )),
+            )
+        };
+        let catch_up: Vec<(ReplFrameKind, Arc<Vec<u8>>)> =
+            if force_snapshot || from_version > snap.version {
+                vec![snapshot_frame()]
+            } else if from_version == snap.version {
+                Vec::new()
+            } else {
+                match Self::delta_frames(sys, from_version, snap.version, digest, now) {
+                    Some(frames) => frames,
+                    None => vec![snapshot_frame()],
+                }
+            };
+        let mut alive = true;
+        for (kind, payload) in &catch_up {
+            self.count_streamed(*kind);
+            if !sink(*kind, payload) {
+                alive = false;
+                break;
+            }
+        }
+        if alive {
+            repl.push(ReplSub { id, sink });
+        }
+        id
+    }
+
+    /// Drop a replica subscription. Returns whether it was live.
+    pub fn repl_unsubscribe(&self, id: u64) -> bool {
+        let mut repl = lock(&self.repl);
+        let before = repl.len();
+        repl.retain(|s| s.id != id);
+        repl.len() < before
+    }
+
+    /// Live replica subscriptions.
+    pub fn repl_subscriber_count(&self) -> usize {
+        lock(&self.repl).len()
+    }
+
+    /// Encode one `REPL_DELTA` frame per sealed log entry bridging
+    /// `from` → `to`, or `None` when the log cannot (chain broken by an
+    /// out-of-band bump, an oversized mutation, or retention trimming).
+    /// Only the head frame carries the graph digest — intermediate
+    /// versions' graphs are never materialized — so replicas check
+    /// bit-identity exactly at the versions the primary vouches for.
+    fn delta_frames(
+        sys: &ProvenanceSystem,
+        from: u64,
+        to: u64,
+        head_digest: u64,
+        now: u64,
+    ) -> Option<Vec<(ReplFrameKind, Arc<Vec<u8>>)>> {
+        let entries: Vec<_> = sys.delta_entries(from, to)?.collect();
+        if entries.len() as u64 != to - from || entries.iter().any(|d| d.is_overflowed()) {
+            return None;
+        }
+        let n = entries.len();
+        Some(
+            entries
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let version = from + i as u64 + 1;
+                    let digest = if i + 1 == n { head_digest } else { 0 };
+                    let payload = wire::encode_delta_parts(version, digest, now, d);
+                    (ReplFrameKind::Delta, Arc::new(payload))
+                })
+                .collect(),
+        )
+    }
+
+    fn count_streamed(&self, kind: ReplFrameKind) {
+        match kind {
+            ReplFrameKind::Delta => &self.repl_deltas_streamed,
+            ReplFrameKind::Snapshot => &self.repl_snapshots_streamed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stream a just-published transition to every replica subscriber:
+    /// delta frames when the log bridges `from_version` → `next.version`,
+    /// one full snapshot otherwise (the counted, never-silent fallback).
+    /// Payloads are encoded once and shared across subscribers. Chained
+    /// topologies compose: a replica applying a delta re-seals it in its
+    /// own log, so its downstream gets deltas too, while a snapshot
+    /// install resets the log and cascades a snapshot.
+    fn stream_to_replicas(&self, from_version: u64, next: &Snapshot) {
+        let mut repl = lock(&self.repl);
+        if repl.is_empty() {
+            return;
+        }
+        let now = wall_micros();
+        let digest = next.engine.graph().map(|g| g.digest()).unwrap_or(0);
+        let sys = &next.engine.sys;
+        let frames = Self::delta_frames(sys, from_version, next.version, digest, now)
+            .unwrap_or_else(|| {
+                vec![(
+                    ReplFrameKind::Snapshot,
+                    Arc::new(wire::encode_snapshot_parts(
+                        next.version,
+                        digest,
+                        now,
+                        &sys.snapshot_tables(),
+                    )),
+                )]
+            });
+        repl.retain(|sub| {
+            for (kind, payload) in &frames {
+                self.count_streamed(*kind);
+                if !(sub.sink)(*kind, payload) {
+                    return false;
+                }
+            }
+            true
+        });
+    }
+
+    /// Apply one replicated delta frame (the replica-side write path).
+    /// The frame must chain directly onto the node's version; the
+    /// replayed provenance graph's digest is checked against the
+    /// primary's **before** publishing, so corrupt state is never
+    /// served. On success the transition runs the same publish tail as
+    /// a local write — cache maintenance, subscriber pushes, and
+    /// streaming to this node's own replica subscribers all behave
+    /// identically.
+    pub fn apply_repl_delta_frame(&self, frame: &wire::DeltaFrame) -> Result<ReplApplyOutcome> {
+        let _gate = lock(&self.write_gate);
+        let current = self.snapshot();
+        if frame.version <= current.version {
+            return Ok(ReplApplyOutcome::Stale {
+                version: current.version,
+            });
+        }
+        if frame.version != current.version + 1 {
+            return Ok(ReplApplyOutcome::Gap {
+                local: current.version,
+                frame: frame.version,
+            });
+        }
+        let mut sys = current.engine.sys.clone();
+        sys.apply_replica_delta(frame.version, &frame.delta)?;
+        let engine = Engine::with_options(sys, self.options.clone());
+        engine.adopt_graph_cache(&current.engine);
+        let next = Arc::new(Snapshot {
+            version: frame.version,
+            engine,
+        });
+        if frame.digest != 0 {
+            let actual = next.engine.graph()?.digest();
+            if actual != frame.digest {
+                self.repl_digest_mismatches.fetch_add(1, Ordering::Relaxed);
+                return Ok(ReplApplyOutcome::DigestMismatch {
+                    version: frame.version,
+                    expected: frame.digest,
+                    actual,
+                });
+            }
+        }
+        self.publish(&current, next, &frame.delta.touched);
+        self.record_repl_lag(frame.sealed_at_micros);
+        self.repl_deltas_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(ReplApplyOutcome::Applied {
+            version: frame.version,
+        })
+    }
+
+    /// Install a full snapshot frame (the broken-chain / forced-recovery
+    /// path). Replaces every stored table wholesale, so the result cache
+    /// is cleared rather than maintained and every intersecting
+    /// subscriber is told to resync. The installed state's digest is
+    /// checked before publishing, exactly like the delta path.
+    pub fn install_repl_snapshot_frame(
+        &self,
+        frame: &wire::SnapshotFrame,
+    ) -> Result<ReplApplyOutcome> {
+        let _gate = lock(&self.write_gate);
+        let current = self.snapshot();
+        if frame.version < current.version {
+            return Ok(ReplApplyOutcome::Stale {
+                version: current.version,
+            });
+        }
+        let mut sys = current.engine.sys.clone();
+        sys.install_snapshot(frame.version, &frame.tables)?;
+        let engine = Engine::with_options(sys, self.options.clone());
+        // No graph adoption: table state was replaced wholesale, so the
+        // graph must rebuild from scratch.
+        let next = Arc::new(Snapshot {
+            version: frame.version,
+            engine,
+        });
+        if frame.digest != 0 {
+            let actual = next.engine.graph()?.digest();
+            if actual != frame.digest {
+                self.repl_digest_mismatches.fetch_add(1, Ordering::Relaxed);
+                return Ok(ReplApplyOutcome::DigestMismatch {
+                    version: frame.version,
+                    expected: frame.digest,
+                    actual,
+                });
+            }
+        }
+        let write_set: BTreeSet<String> = next
+            .engine
+            .sys
+            .db
+            .table_names()
+            .map(str::to_string)
+            .collect();
+        {
+            let mut cache = lock(&self.cache);
+            cache.clear();
+            cache.record_write(write_set.iter().map(String::as_str), frame.version);
+            self.graph_builds
+                .fetch_add(current.engine.graph_build_count(), Ordering::Relaxed);
+            self.graph_patches
+                .fetch_add(current.engine.graph_patch_count(), Ordering::Relaxed);
+            *write_lock(&self.state) = Arc::clone(&next);
+        }
+        self.notify_subscribers(&write_set, frame.version, &[]);
+        self.stream_to_replicas(current.version, &next);
+        self.record_repl_lag(frame.sealed_at_micros);
+        self.repl_snapshots_installed
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(ReplApplyOutcome::Applied {
+            version: frame.version,
+        })
+    }
+
+    /// Record primary-seal → local-publish latency. Meaningful when the
+    /// primary shares this node's clock domain (the multi-process
+    /// benchmark's setup); clock skew can only inflate the number, never
+    /// hide real lag on one host.
+    fn record_repl_lag(&self, sealed_at_micros: u64) {
+        if sealed_at_micros == 0 {
+            return;
+        }
+        let now = wall_micros();
+        let lag_micros = now.saturating_sub(sealed_at_micros);
+        self.repl_lag.record_nanos(lag_micros.saturating_mul(1000));
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> ServiceStats {
         let (entries, counters) = {
@@ -738,6 +1221,7 @@ impl ServiceCore {
             .map(|m| m.snapshot())
             .unwrap_or_default();
         let snap = self.snapshot();
+        let lag = self.repl_lag.snapshot();
         ServiceStats {
             version: snap.version,
             queries: self.queries.load(Ordering::Relaxed),
@@ -752,6 +1236,19 @@ impl ServiceCore {
             graph_patches: self.graph_patches.load(Ordering::Relaxed)
                 + snap.engine.graph_patch_count(),
             transport,
+            delta_log_depth: snap.engine.sys.delta_log_depth() as u64,
+            delta_log_base: snap.engine.sys.delta_log_base(),
+            delta_log_cap: snap.engine.sys.delta_log_capacity() as u64,
+            repl_subscribers: self.repl_subscriber_count() as u64,
+            repl_deltas_streamed: self.repl_deltas_streamed.load(Ordering::Relaxed),
+            repl_snapshots_streamed: self.repl_snapshots_streamed.load(Ordering::Relaxed),
+            repl_deltas_applied: self.repl_deltas_applied.load(Ordering::Relaxed),
+            repl_snapshots_installed: self.repl_snapshots_installed.load(Ordering::Relaxed),
+            repl_digest_mismatches: self.repl_digest_mismatches.load(Ordering::Relaxed),
+            repl_resubscribes: self.repl_resubscribes.load(Ordering::Relaxed),
+            repl_lag_count: lag.count(),
+            repl_lag_p50_ms: lag.percentile_ms(0.50),
+            repl_lag_p99_ms: lag.percentile_ms(0.99),
         }
     }
 }
@@ -1219,5 +1716,247 @@ mod tests {
     fn service_core_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ServiceCore>();
+    }
+
+    type ReplQueue = mpsc::Receiver<(ReplFrameKind, Arc<Vec<u8>>)>;
+
+    /// A queueing replica sink plus a drain that applies everything it
+    /// received to `core`, mimicking the replica loop in-process.
+    fn repl_queue() -> (ReplSink, ReplQueue) {
+        let (tx, rx) = mpsc::channel();
+        let sink: ReplSink =
+            Box::new(move |kind, payload| tx.send((kind, Arc::clone(payload))).is_ok());
+        (sink, rx)
+    }
+
+    fn drain_apply(
+        core: &ServiceCore,
+        rx: &mpsc::Receiver<(ReplFrameKind, Arc<Vec<u8>>)>,
+    ) -> Vec<ReplApplyOutcome> {
+        let mut out = Vec::new();
+        while let Ok((kind, payload)) = rx.try_recv() {
+            let outcome = match kind {
+                ReplFrameKind::Delta => core
+                    .apply_repl_delta_frame(&wire::decode_delta_frame(&payload).unwrap())
+                    .unwrap(),
+                ReplFrameKind::Snapshot => core
+                    .install_repl_snapshot_frame(&wire::decode_snapshot_frame(&payload).unwrap())
+                    .unwrap(),
+            };
+            out.push(outcome);
+        }
+        out
+    }
+
+    #[test]
+    fn replica_follows_primary_with_digest_identity() {
+        let primary = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let replica = ServiceCore::new(two_island_system(), EngineOptions::default());
+        replica.set_read_only(true);
+        let (sink, rx) = repl_queue();
+        primary.repl_subscribe_sink(replica.version(), false, sink);
+        assert_eq!(primary.repl_subscriber_count(), 1);
+        assert!(
+            rx.try_recv().is_err(),
+            "same-version join needs no catch-up"
+        );
+
+        primary.insert_and_exchange("X", tup![9, 90]).unwrap();
+        primary.delete("U", &tup![0]).unwrap();
+        let outcomes = drain_apply(&replica, &rx);
+        assert!(!outcomes.is_empty());
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, ReplApplyOutcome::Applied { .. })));
+        assert_eq!(replica.version(), primary.version());
+        assert_eq!(replica.graph_digest(), primary.graph_digest());
+        // Served answers are bit-identical across the two processes.
+        let p = primary.query(Q_Y).unwrap();
+        let r = replica.query(Q_Y).unwrap();
+        assert_eq!(p.version, r.version);
+        assert_eq!(result_digest(&p.output), result_digest(&r.output));
+        assert!(replica.stats().repl_deltas_applied >= 2);
+        assert_eq!(replica.stats().repl_snapshots_installed, 0);
+        // Replica mode refuses local mutations.
+        assert!(replica.delete("X", &tup![1]).is_err());
+    }
+
+    #[test]
+    fn replica_maintains_its_own_cache_across_applied_deltas() {
+        let primary = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let replica = ServiceCore::new(two_island_system(), EngineOptions::default());
+        replica.set_read_only(true);
+        let (sink, rx) = repl_queue();
+        primary.repl_subscribe_sink(replica.version(), false, sink);
+        // Warm the replica's cache, then replicate a touching write: the
+        // apply path must run the same incremental maintenance a local
+        // write would.
+        replica.query(Q_Y).unwrap();
+        primary.delete("X", &tup![0]).unwrap();
+        drain_apply(&replica, &rx);
+        let after = replica.query(Q_Y).unwrap();
+        assert!(after.cache_hit, "replicated write must patch, not evict");
+        assert_eq!(after.output.projection.bindings.len(), 4);
+        assert_eq!(replica.stats().cache.maint_hits, 1);
+    }
+
+    #[test]
+    fn rotated_chain_falls_back_to_snapshot_transfer() {
+        let primary = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let replica = ServiceCore::new(two_island_system(), EngineOptions::default());
+        replica.set_read_only(true);
+        let (sink, rx) = repl_queue();
+        primary.repl_subscribe_sink(replica.version(), false, sink);
+        primary.rotate_delta_chain().unwrap();
+        let outcomes = drain_apply(&replica, &rx);
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0], ReplApplyOutcome::Applied { .. }));
+        assert_eq!(replica.stats().repl_snapshots_installed, 1);
+        assert!(primary.stats().repl_snapshots_streamed >= 1);
+        assert_eq!(replica.version(), primary.version());
+        assert_eq!(replica.graph_digest(), primary.graph_digest());
+        // Streaming resumes with deltas after the snapshot resync.
+        primary.insert_and_exchange("X", tup![8, 80]).unwrap();
+        let outcomes = drain_apply(&replica, &rx);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, ReplApplyOutcome::Applied { .. })));
+        assert_eq!(replica.stats().repl_snapshots_installed, 1);
+        assert_eq!(replica.graph_digest(), primary.graph_digest());
+    }
+
+    #[test]
+    fn late_joiner_catches_up_from_the_delta_log() {
+        let primary = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let replica = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let joined_at = replica.version();
+        primary.insert_and_exchange("X", tup![7, 70]).unwrap();
+        primary.delete("U", &tup![1]).unwrap();
+        let (sink, rx) = repl_queue();
+        primary.repl_subscribe_sink(joined_at, false, sink);
+        let outcomes = drain_apply(&replica, &rx);
+        assert!(!outcomes.is_empty());
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, ReplApplyOutcome::Applied { .. })));
+        assert_eq!(replica.stats().repl_snapshots_installed, 0);
+        assert_eq!(replica.version(), primary.version());
+        assert_eq!(replica.graph_digest(), primary.graph_digest());
+    }
+
+    #[test]
+    fn late_joiner_past_log_retention_gets_a_snapshot() {
+        let mut sys = two_island_system();
+        sys.set_delta_log_capacity(1);
+        let primary = ServiceCore::new(sys, EngineOptions::default());
+        let replica = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let joined_at = replica.version();
+        // Two writes with a one-entry log: the span back to `joined_at`
+        // is no longer bridgeable.
+        primary.insert_and_exchange("X", tup![7, 70]).unwrap();
+        primary.insert_and_exchange("X", tup![8, 80]).unwrap();
+        let (sink, rx) = repl_queue();
+        primary.repl_subscribe_sink(joined_at, false, sink);
+        let outcomes = drain_apply(&replica, &rx);
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0], ReplApplyOutcome::Applied { .. }));
+        assert_eq!(replica.stats().repl_snapshots_installed, 1);
+        assert_eq!(replica.graph_digest(), primary.graph_digest());
+    }
+
+    #[test]
+    fn gapped_and_stale_frames_are_rejected_without_state_change() {
+        let primary = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let replica = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let (sink, rx) = repl_queue();
+        primary.repl_subscribe_sink(replica.version(), false, sink);
+        primary.insert_and_exchange("X", tup![7, 70]).unwrap();
+        let mut frames = Vec::new();
+        while let Ok((kind, payload)) = rx.try_recv() {
+            assert_eq!(kind, ReplFrameKind::Delta);
+            frames.push(wire::decode_delta_frame(&payload).unwrap());
+        }
+        assert!(!frames.is_empty());
+        let v0 = replica.version();
+        // A frame from the future: gap, nothing applied.
+        let mut gapped = frames[0].clone();
+        gapped.version = v0 + 10;
+        match replica.apply_repl_delta_frame(&gapped).unwrap() {
+            ReplApplyOutcome::Gap { local, frame } => {
+                assert_eq!(local, v0);
+                assert_eq!(frame, v0 + 10);
+            }
+            other => panic!("expected Gap, got {other:?}"),
+        }
+        assert_eq!(replica.version(), v0);
+        // Apply the real frames, then re-deliver them: stale no-ops.
+        for f in &frames {
+            assert!(matches!(
+                replica.apply_repl_delta_frame(f).unwrap(),
+                ReplApplyOutcome::Applied { .. }
+            ));
+        }
+        let v1 = replica.version();
+        for f in &frames {
+            assert!(matches!(
+                replica.apply_repl_delta_frame(f).unwrap(),
+                ReplApplyOutcome::Stale { .. }
+            ));
+        }
+        assert_eq!(replica.version(), v1);
+        assert_eq!(replica.graph_digest(), primary.graph_digest());
+    }
+
+    #[test]
+    fn digest_mismatch_is_detected_before_publish_and_snapshot_recovers() {
+        let primary = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let replica = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let (sink, rx) = repl_queue();
+        primary.repl_subscribe_sink(replica.version(), false, sink);
+        primary.insert_and_exchange("X", tup![7, 70]).unwrap();
+        let mut frames = Vec::new();
+        while let Ok((kind, payload)) = rx.try_recv() {
+            assert_eq!(kind, ReplFrameKind::Delta);
+            frames.push(wire::decode_delta_frame(&payload).unwrap());
+        }
+        // Only the head frame of the span vouches a digest; apply the
+        // intermediate frames cleanly, then tamper the head's digest.
+        let mut head = frames.pop().unwrap();
+        assert_ne!(head.digest, 0, "live head frames must carry the digest");
+        for f in &frames {
+            assert!(matches!(
+                replica.apply_repl_delta_frame(f).unwrap(),
+                ReplApplyOutcome::Applied { .. }
+            ));
+        }
+        let v0 = replica.version();
+        head.digest ^= 1;
+        match replica.apply_repl_delta_frame(&head).unwrap() {
+            ReplApplyOutcome::DigestMismatch { version, .. } => assert_eq!(version, v0 + 1),
+            other => panic!("expected DigestMismatch, got {other:?}"),
+        }
+        assert_eq!(replica.version(), v0, "corrupt state must never publish");
+        assert_eq!(replica.stats().repl_digest_mismatches, 1);
+        // Recovery: force a snapshot resubscribe (re-streaming the same
+        // deltas would replay the same mismatch).
+        let (sink2, rx2) = repl_queue();
+        replica.note_repl_resubscribe();
+        primary.repl_subscribe_sink(replica.version(), true, sink2);
+        let outcomes = drain_apply(&replica, &rx2);
+        assert!(matches!(outcomes[0], ReplApplyOutcome::Applied { .. }));
+        assert_eq!(replica.version(), primary.version());
+        assert_eq!(replica.graph_digest(), primary.graph_digest());
+        assert_eq!(replica.stats().repl_resubscribes, 1);
+    }
+
+    #[test]
+    fn hung_up_replica_sinks_are_pruned() {
+        let primary = ServiceCore::new(two_island_system(), EngineOptions::default());
+        let (sink, rx) = repl_queue();
+        let id = primary.repl_subscribe_sink(primary.version(), false, sink);
+        drop(rx);
+        primary.insert_and_exchange("X", tup![7, 70]).unwrap();
+        assert_eq!(primary.repl_subscriber_count(), 0);
+        assert!(!primary.repl_unsubscribe(id), "already pruned");
     }
 }

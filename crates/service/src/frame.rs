@@ -7,11 +7,22 @@
 //! offset  size  field
 //! 0       1     magic (0xB1 — never the first byte of a legacy line)
 //! 1       1     verb tag
-//! 2       2     flags (reserved, must be 0)
+//! 2       1     protocol version (0 = legacy pre-versioning, else
+//!               1..=VERSION_WINDOW; greater is framing corruption)
+//! 3       1     flags (reserved, must be 0)
 //! 4       4     payload length (bytes; <= MAX_PAYLOAD)
 //! 8       8     request id
 //! 16      len   payload
 //! ```
+//!
+//! Byte 2 was a reserved must-be-zero flags byte through protocol
+//! version 0 and now carries the sender's protocol version, which the
+//! [`verb::HELLO`] handshake negotiates explicitly. The split keeps
+//! corruption detection sharp: a version inside the [`VERSION_WINDOW`]
+//! is a *well-formed* frame some future peer could legitimately send —
+//! the server answers an unsupported one with a clean per-frame ERR —
+//! while a byte beyond the window (say a flipped 0xFF) is framing
+//! corruption and still drops the connection.
 //!
 //! The server auto-detects the protocol from a connection's **first
 //! byte**: [`MAGIC`] selects binary framing, anything else the legacy
@@ -45,6 +56,15 @@ pub const HEADER_LEN: usize = 16;
 /// treated as framing corruption, not as a request to buffer.
 pub const MAX_PAYLOAD: u32 = 16 << 20;
 
+/// The protocol version this build speaks (stamped into every encoded
+/// frame's version byte).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Highest version byte the decoder treats as a *well-formed* frame from
+/// a future peer (answered with a clean ERR when unsupported). Anything
+/// greater is indistinguishable from corruption and drops the connection.
+pub const VERSION_WINDOW: u8 = 7;
+
 /// Frame verb tags.
 pub mod verb {
     /// Request: ProQL query (payload: query text).
@@ -68,6 +88,17 @@ pub mod verb {
     /// Request: recent span trees from the telemetry ring (optional
     /// payload: max trace count as decimal text).
     pub const TRACE: u8 = 9;
+    /// Request: protocol handshake (payload: the client's protocol
+    /// version as decimal text, e.g. `"1"`). The OK payload reports the
+    /// server's version; a version the server cannot serve gets a clean
+    /// ERR, never a connection drop. Optional — clients that skip it are
+    /// treated as version 0 (legacy).
+    pub const HELLO: u8 = 10;
+    /// Request: subscribe to the replication stream (payload:
+    /// `<from_version> [SNAPSHOT]` as decimal text; `SNAPSHOT` forces a
+    /// full-state transfer, the digest-mismatch recovery path).
+    /// [`REPL_DELTA`] / [`REPL_SNAPSHOT`] frames follow out-of-band.
+    pub const REPL_SUBSCRIBE: u8 = 11;
     /// Response: success (payload: JSON).
     pub const OK: u8 = 0x80;
     /// Response: error (payload: `<kind>: <message>`).
@@ -79,6 +110,14 @@ pub mod verb {
     /// execution (empty payload; the id echoes the shed request). The
     /// request was *not* executed — retry after draining responses.
     pub const OVERLOADED: u8 = 0x83;
+    /// Out-of-band replication push: one sealed graph delta (payload:
+    /// `proql_provgraph::encode::wire` delta bytes; the id slot is
+    /// unused — the payload carries the version ordering).
+    pub const REPL_DELTA: u8 = 0x84;
+    /// Out-of-band replication push: a full state snapshot (payload:
+    /// wire snapshot bytes) — the broken-chain / forced-recovery
+    /// fallback.
+    pub const REPL_SNAPSHOT: u8 = 0x85;
 }
 
 /// A decoded frame.
@@ -86,6 +125,9 @@ pub mod verb {
 pub struct Frame {
     /// Verb tag (see [`verb`]).
     pub verb: u8,
+    /// The sender's protocol version byte (0 for legacy peers that
+    /// predate versioning; this build sends [`PROTOCOL_VERSION`]).
+    pub proto: u8,
     /// Request id (echoed in responses; subscription id in PUSH frames).
     pub id: u64,
     /// Payload bytes (protocol text).
@@ -105,7 +147,8 @@ impl Frame {
 pub enum DecodeError {
     /// First byte of a frame was not [`MAGIC`].
     BadMagic(u8),
-    /// Reserved flags bits were set.
+    /// Reserved flags bits were set, or the version byte fell outside
+    /// the [`VERSION_WINDOW`] (low byte = version, high byte = flags).
     BadFlags(u16),
     /// Declared payload length exceeds [`MAX_PAYLOAD`].
     Oversized(u32),
@@ -139,7 +182,8 @@ pub fn encode_into(buf: &mut Vec<u8>, verb: u8, id: u64, payload: &[u8]) {
     debug_assert!(payload.len() as u64 <= MAX_PAYLOAD as u64);
     buf.push(MAGIC);
     buf.push(verb);
-    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.push(PROTOCOL_VERSION);
+    buf.push(0); // reserved flags
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&id.to_le_bytes());
     buf.extend_from_slice(payload);
@@ -159,9 +203,10 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
         return Err(DecodeError::BadMagic(buf[0]));
     }
     if buf.len() >= 4 {
-        let flags = u16::from_le_bytes([buf[2], buf[3]]);
-        if flags != 0 {
-            return Err(DecodeError::BadFlags(flags));
+        // Byte 2 is the version (bounded by the window — beyond it the
+        // byte can only be corruption); byte 3 stays reserved must-be-0.
+        if buf[2] > VERSION_WINDOW || buf[3] != 0 {
+            return Err(DecodeError::BadFlags(u16::from_le_bytes([buf[2], buf[3]])));
         }
     }
     if buf.len() >= 8 {
@@ -175,6 +220,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
             return Ok(Some((
                 Frame {
                     verb: buf[1],
+                    proto: buf[2],
                     id,
                     payload: buf[HEADER_LEN..total].to_vec(),
                 },
@@ -188,7 +234,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
 /// Whether `verb` is one a client may send (the server answers anything
 /// else, well-formed, with an ERR frame).
 pub fn is_request_verb(verb: u8) -> bool {
-    (verb::QUERY..=verb::TRACE).contains(&verb)
+    (verb::QUERY..=verb::REPL_SUBSCRIBE).contains(&verb)
 }
 
 #[cfg(test)]
@@ -207,6 +253,7 @@ mod tests {
             let (frame, consumed) = decode(&bytes).unwrap().expect("complete frame");
             assert_eq!(consumed, bytes.len());
             assert_eq!(frame.verb, v);
+            assert_eq!(frame.proto, PROTOCOL_VERSION);
             assert_eq!(frame.id, id);
             assert_eq!(frame.payload, payload);
         }
@@ -243,12 +290,41 @@ mod tests {
     #[test]
     fn corruption_is_detected_not_panicked() {
         assert_eq!(decode(&[0x51]), Err(DecodeError::BadMagic(0x51))); // 'Q'
+                                                                       // A version byte beyond the window is corruption…
+        let mut bad_version = encode(verb::QUERY, 1, b"x");
+        bad_version[2] = 0xFF;
+        assert!(matches!(
+            decode(&bad_version),
+            Err(DecodeError::BadFlags(0xFF))
+        ));
+        // …and the reserved byte 3 is still must-be-zero.
         let mut bad_flags = encode(verb::QUERY, 1, b"x");
-        bad_flags[2] = 1;
-        assert!(matches!(decode(&bad_flags), Err(DecodeError::BadFlags(1))));
+        bad_flags[3] = 1;
+        assert!(matches!(decode(&bad_flags), Err(DecodeError::BadFlags(_))));
         let mut oversized = encode(verb::QUERY, 1, b"x");
         oversized[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(decode(&oversized), Err(DecodeError::Oversized(_))));
+    }
+
+    #[test]
+    fn in_window_future_versions_stay_well_formed() {
+        // A plausible future peer (version within the window) must
+        // decode cleanly — the server answers it with an ERR, it is not
+        // framing corruption.
+        for v in 0..=VERSION_WINDOW {
+            let mut bytes = encode(verb::QUERY, 9, b"q");
+            bytes[2] = v;
+            let (frame, _) = decode(&bytes).unwrap().expect("well-formed");
+            assert_eq!(frame.proto, v);
+        }
+        for v in VERSION_WINDOW + 1..=255 {
+            let mut bytes = encode(verb::QUERY, 9, b"q");
+            bytes[2] = v;
+            assert!(
+                matches!(decode(&bytes), Err(DecodeError::BadFlags(_))),
+                "version {v} must be treated as corruption"
+            );
+        }
     }
 
     #[test]

@@ -51,15 +51,21 @@ pub mod frame;
 pub mod metrics;
 pub mod net;
 pub mod proto;
+pub mod replica;
+pub mod retry;
+pub mod router;
 pub mod server;
 
 pub use crate::core::{
-    PushSink, QueryResponse, ServiceCore, ServiceStats, Snapshot, SubscriptionEvent,
-    SubscriptionReceiver,
+    PushSink, QueryResponse, ReplApplyOutcome, ReplFrameKind, ReplSink, ServiceCore, ServiceStats,
+    Snapshot, SubscriptionEvent, SubscriptionReceiver,
 };
 pub use cache::{CacheCounters, MaintenanceCandidate, PlanCache, PlanCacheCounters, ResultCache};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, TransportMetrics, TransportSnapshot};
 pub use proto::{handle_line, result_digest};
+pub use replica::{start_replica, wait_for_version, ReplicaConfig, ReplicaHandle};
+pub use retry::{retry, retry_with, Backoff, RetryPolicy};
+pub use router::{Router, RouterCounters, ShardMap};
 pub use server::{
     serve, serve_blocking, serve_with, BinClient, Client, ServerConfig, ServerHandle,
 };

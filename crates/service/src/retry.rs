@@ -1,0 +1,232 @@
+//! Capped exponential backoff with deterministic jitter, and the
+//! reconnect helper the replica loop leans on.
+//!
+//! The jitter matters at fleet scale: when a primary restarts, every
+//! replica loses its stream at the same instant, and un-jittered
+//! backoff has them all re-dialing in lockstep — a thundering herd the
+//! primary meets exactly when it is cold. Each delay here is drawn from
+//! the *equal jitter* scheme — half the exponential step deterministic,
+//! half uniform from a [`SplitMix64`] stream seeded per client — so
+//! retries spread out while every delay keeps a floor of half the step
+//! (no hot zero-delay spins) and stays below the cap. The deterministic
+//! PRNG keeps tests exact: the same seed replays the same schedule.
+
+use proql_common::rng::SplitMix64;
+use std::time::Duration;
+
+/// Retry tuning for [`retry_with`] and the reconnecting constructors.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First exponential step (the attempt-0 delay is drawn from it).
+    pub base: Duration,
+    /// Ceiling on the exponential step; jittered delays never exceed it.
+    pub cap: Duration,
+    /// Attempts before giving up with the last error (min 1).
+    pub max_attempts: u32,
+    /// Jitter-stream seed. Derive it from something per-client (a port,
+    /// a replica index) so a fleet's schedules decorrelate.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+            max_attempts: 10,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Backoff state across one sequence of attempts.
+#[derive(Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// Fresh state at attempt 0.
+    pub fn new(policy: RetryPolicy) -> Backoff {
+        let rng = SplitMix64::seed_from_u64(policy.seed);
+        Backoff {
+            policy,
+            attempt: 0,
+            rng,
+        }
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Whether another attempt is allowed.
+    pub fn can_retry(&self) -> bool {
+        self.attempt < self.policy.max_attempts.max(1)
+    }
+
+    /// Consume one attempt and return the delay to sleep before the
+    /// next: `step = min(cap, base << attempt)`, jittered uniformly into
+    /// `[step/2, step]`.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(32);
+        self.attempt += 1;
+        let step = self
+            .policy
+            .base
+            .saturating_mul(1u32 << shift.min(31))
+            .min(self.policy.cap);
+        let half = step / 2;
+        let jitter_micros = if half.is_zero() {
+            0
+        } else {
+            self.rng.next_u64() % (half.as_micros().min(u64::MAX as u128) as u64 + 1)
+        };
+        half + Duration::from_micros(jitter_micros)
+    }
+
+    /// Start a new sequence (after a success): attempt count and jitter
+    /// schedule restart.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+        self.rng = SplitMix64::seed_from_u64(self.policy.seed);
+    }
+}
+
+/// Run `op` until it succeeds or the policy's attempts are exhausted,
+/// sleeping via `sleep` between attempts. Injectable `sleep` keeps unit
+/// tests instant; production callers pass `std::thread::sleep`.
+pub fn retry_with<T, E>(
+    policy: RetryPolicy,
+    mut sleep: impl FnMut(Duration),
+    mut op: impl FnMut() -> std::result::Result<T, E>,
+) -> std::result::Result<T, E> {
+    let mut backoff = Backoff::new(policy);
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let delay = backoff.next_delay();
+                if !backoff.can_retry() {
+                    return Err(e);
+                }
+                sleep(delay);
+            }
+        }
+    }
+}
+
+/// [`retry_with`] sleeping for real.
+pub fn retry<T, E>(
+    policy: RetryPolicy,
+    op: impl FnMut() -> std::result::Result<T, E>,
+) -> std::result::Result<T, E> {
+    retry_with(policy, std::thread::sleep, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn millis(policy: &RetryPolicy, n: usize) -> Vec<u128> {
+        let mut b = Backoff::new(policy.clone());
+        (0..n).map(|_| b.next_delay().as_micros()).collect()
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_bounds() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            max_attempts: 12,
+            seed: 7,
+        };
+        let mut b = Backoff::new(policy.clone());
+        let mut step = policy.base;
+        for _ in 0..12 {
+            let d = b.next_delay();
+            let bounded_step = step.min(policy.cap);
+            assert!(d >= bounded_step / 2, "{d:?} below half-step floor");
+            assert!(d <= bounded_step, "{d:?} above the step");
+            assert!(d <= policy.cap, "{d:?} above the cap");
+            step = step.saturating_mul(2);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_spreads_across_seeds() {
+        let policy = RetryPolicy::default();
+        assert_eq!(millis(&policy, 6), millis(&policy, 6), "same seed replays");
+        let other = RetryPolicy {
+            seed: policy.seed + 1,
+            ..policy.clone()
+        };
+        assert_ne!(
+            millis(&policy, 6),
+            millis(&other, 6),
+            "different seeds must decorrelate"
+        );
+    }
+
+    #[test]
+    fn retry_with_failing_dialer_recovers_after_transient_failures() {
+        let mut calls = 0;
+        let mut slept = Vec::new();
+        let result: Result<&str, &str> = retry_with(
+            RetryPolicy {
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(8),
+                max_attempts: 10,
+                seed: 3,
+            },
+            |d| slept.push(d),
+            || {
+                calls += 1;
+                if calls < 4 {
+                    Err("connection refused")
+                } else {
+                    Ok("connected")
+                }
+            },
+        );
+        assert_eq!(result, Ok("connected"));
+        assert_eq!(calls, 4);
+        assert_eq!(slept.len(), 3, "sleeps only between attempts");
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_the_last_error_without_oversleeping() {
+        let mut calls = 0;
+        let mut slept = Vec::new();
+        let result: Result<(), String> = retry_with(
+            RetryPolicy {
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+                max_attempts: 5,
+                seed: 11,
+            },
+            |d| slept.push(d),
+            || {
+                calls += 1;
+                Err(format!("attempt {calls} refused"))
+            },
+        );
+        assert_eq!(result, Err("attempt 5 refused".to_string()));
+        assert_eq!(calls, 5);
+        assert_eq!(slept.len(), 4, "no sleep after the final failure");
+        assert!(slept.iter().all(|d| *d <= Duration::from_millis(4)));
+    }
+
+    #[test]
+    fn reset_replays_the_schedule_from_the_top() {
+        let mut b = Backoff::new(RetryPolicy::default());
+        let first: Vec<_> = (0..4).map(|_| b.next_delay()).collect();
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let again: Vec<_> = (0..4).map(|_| b.next_delay()).collect();
+        assert_eq!(first, again);
+    }
+}

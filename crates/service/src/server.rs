@@ -31,7 +31,7 @@
 //! closes the registered sockets directly) as a measurable baseline for
 //! the `serve` bench.
 
-use crate::core::{ServiceCore, SubscriptionEvent};
+use crate::core::{ReplFrameKind, ServiceCore, SubscriptionEvent};
 use crate::frame::{self, verb};
 use crate::metrics::TransportMetrics;
 use crate::net::{poll, PollFd, WakeReceiver, Waker, POLLHUP, POLLIN, POLLOUT};
@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Recover from a poisoned lock: every structure here stays consistent
 /// across a panicking holder (queues and counters, no multi-step
@@ -225,6 +225,8 @@ struct ConnShared {
     binary: AtomicBool,
     /// Subscription ids to drop when the connection closes.
     subs: Mutex<Vec<u64>>,
+    /// Replication subscription ids to drop when the connection closes.
+    repl_subs: Mutex<Vec<u64>>,
     /// This connection's trace anchor (when tracing is enabled at
     /// accept): every request executed on the worker pool opens its
     /// span as a child of this context, so a pipelined batch
@@ -420,6 +422,7 @@ fn accept_new(ctx: &Ctx, listener: &TcpListener, conns: &mut Vec<Conn>) {
                         in_flight: AtomicUsize::new(0),
                         binary: AtomicBool::new(false),
                         subs: Mutex::new(Vec::new()),
+                        repl_subs: Mutex::new(Vec::new()),
                         trace_ctx: trace::new_trace(),
                         waker: Arc::clone(&ctx.waker),
                         metrics: Arc::clone(&ctx.metrics),
@@ -601,6 +604,9 @@ fn close_conn(c: &mut Conn, ctx: &Ctx) {
     for id in lock(&c.shared.subs).drain(..) {
         ctx.core.unsubscribe(id);
     }
+    for id in lock(&c.shared.repl_subs).drain(..) {
+        ctx.core.repl_unsubscribe(id);
+    }
     ctx.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
 }
 
@@ -699,12 +705,36 @@ fn execute_line(core: &Arc<ServiceCore>, conn: &Arc<ConnShared>, line: &str) -> 
 
 fn execute_frame(core: &Arc<ServiceCore>, conn: &Arc<ConnShared>, f: &frame::Frame) -> Vec<u8> {
     let id = f.id;
+    // A well-formed frame from a future protocol (version inside the
+    // decoder's window but beyond ours) gets a clean per-frame ERR — the
+    // connection and its pipeline stay healthy. Version 0 is a legacy
+    // peer and fine.
+    if f.proto > frame::PROTOCOL_VERSION {
+        let msg = format!(
+            "unsupported: frame protocol version {} (this server speaks {})",
+            f.proto,
+            frame::PROTOCOL_VERSION
+        );
+        return frame::encode(verb::ERR, id, msg.as_bytes());
+    }
     let Some(text) = f.text() else {
         return frame::encode(verb::ERR, id, b"parse: frame payload is not valid UTF-8");
     };
+    if f.verb == verb::HELLO {
+        return match hello_response(text.trim()) {
+            Ok(json) => frame::encode(verb::OK, id, json.as_bytes()),
+            Err(e) => frame::encode(verb::ERR, id, error_payload(&e).as_bytes()),
+        };
+    }
     if f.verb == verb::SUBSCRIBE {
         return match subscribe_on_conn(core, conn, text.trim()) {
             Ok((_, json)) => frame::encode(verb::OK, id, json.as_bytes()),
+            Err(e) => frame::encode(verb::ERR, id, error_payload(&e).as_bytes()),
+        };
+    }
+    if f.verb == verb::REPL_SUBSCRIBE {
+        return match repl_subscribe_on_conn(core, conn, text.trim()) {
+            Ok(json) => frame::encode(verb::OK, id, json.as_bytes()),
             Err(e) => frame::encode(verb::ERR, id, error_payload(&e).as_bytes()),
         };
     }
@@ -754,6 +784,88 @@ fn subscribe_on_conn(
     )?;
     lock(&conn.subs).push(id);
     Ok((id, subscribe_json(id, &resp)))
+}
+
+/// Answer a `HELLO` handshake: the payload is the client's protocol
+/// version as decimal text. A version this server cannot serve is a
+/// clean error (the client may retry with a lower version on the same
+/// connection); garbage is a parse error. The OK payload reports the
+/// server's version either way the client can proceed.
+fn hello_response(text: &str) -> Result<String> {
+    let client: u8 = text
+        .trim()
+        .parse()
+        .map_err(|_| Error::Parse(format!("HELLO payload {text:?} is not a version number")))?;
+    if client == 0 || client > frame::VERSION_WINDOW {
+        return Err(Error::Parse(format!(
+            "HELLO version {client} is outside the valid window 1..={}",
+            frame::VERSION_WINDOW
+        )));
+    }
+    if client > frame::PROTOCOL_VERSION {
+        return Err(Error::Other(format!(
+            "unsupported: protocol version {client} (this server speaks {})",
+            frame::PROTOCOL_VERSION
+        )));
+    }
+    Ok(format!("{{\"protocol\": {}}}", frame::PROTOCOL_VERSION))
+}
+
+/// Register a replication subscription whose sink writes `REPL_DELTA` /
+/// `REPL_SNAPSHOT` frames straight into this connection's outbound
+/// queue. Payload: `<from_version> [SNAPSHOT]` — `SNAPSHOT` forces a
+/// full-state transfer (the digest-mismatch recovery path). Returns the
+/// `OK` payload JSON. Replication requires the binary framing; the line
+/// protocol has no out-of-band binary channel.
+fn repl_subscribe_on_conn(
+    core: &Arc<ServiceCore>,
+    conn: &Arc<ConnShared>,
+    args: &str,
+) -> Result<String> {
+    if !conn.binary.load(Ordering::Relaxed) {
+        return Err(Error::Other(
+            "unsupported: REPL_SUBSCRIBE requires the binary framing".into(),
+        ));
+    }
+    let mut parts = args.split_whitespace();
+    let from_version: u64 = parts.next().unwrap_or("").parse().map_err(|_| {
+        Error::Parse(format!(
+            "REPL_SUBSCRIBE payload {args:?}: expected <from_version> [SNAPSHOT]"
+        ))
+    })?;
+    let force_snapshot = match parts.next() {
+        None => false,
+        Some(s) if s.eq_ignore_ascii_case("SNAPSHOT") => true,
+        Some(other) => {
+            return Err(Error::Parse(format!(
+                "REPL_SUBSCRIBE: unexpected argument {other:?}"
+            )))
+        }
+    };
+    let sink_conn = Arc::clone(conn);
+    let id = core.repl_subscribe_sink(
+        from_version,
+        force_snapshot,
+        Box::new(move |kind, payload| {
+            if sink_conn.closed.load(Ordering::Acquire) {
+                return false; // prune: the connection is gone
+            }
+            let verb = match kind {
+                ReplFrameKind::Delta => verb::REPL_DELTA,
+                ReplFrameKind::Snapshot => verb::REPL_SNAPSHOT,
+            };
+            // Replication frames are out-of-band like PUSH (they bypass
+            // the reorder buffer); the id slot is unused — the frame
+            // payload itself carries the version ordering.
+            sink_conn.push_oob(frame::encode(verb, 0, payload));
+            true
+        }),
+    );
+    lock(&conn.repl_subs).push(id);
+    Ok(format!(
+        "{{\"repl_subscription\": {id}, \"version\": {}}}",
+        core.version()
+    ))
 }
 
 /// If `line` is a `SUBSCRIBE` request, return its query text.
@@ -1092,8 +1204,14 @@ pub struct BinClient {
     stream: TcpStream,
     rbuf: Vec<u8>,
     pushes: VecDeque<frame::Frame>,
+    repls: VecDeque<frame::Frame>,
     responses: VecDeque<frame::Frame>,
     next_id: u64,
+}
+
+/// Whether a frame verb is out-of-band (never the answer to a request).
+fn is_oob_verb(v: u8) -> bool {
+    v == verb::PUSH || v == verb::REPL_DELTA || v == verb::REPL_SNAPSHOT
 }
 
 impl BinClient {
@@ -1105,6 +1223,7 @@ impl BinClient {
             stream,
             rbuf: Vec::new(),
             pushes: VecDeque::new(),
+            repls: VecDeque::new(),
             responses: VecDeque::new(),
             next_id: 1,
         })
@@ -1137,41 +1256,68 @@ impl BinClient {
 
     /// Read one frame off the wire (blocking, incremental decode).
     fn read_frame(&mut self) -> Result<frame::Frame> {
+        loop {
+            if let Some(f) = self.read_frame_step()? {
+                return Ok(f);
+            }
+        }
+    }
+
+    /// One decode/read step. `Ok(None)` means the socket read timed out
+    /// (only possible while a read timeout is set); any partial frame
+    /// stays buffered for the next call.
+    fn read_frame_step(&mut self) -> Result<Option<frame::Frame>> {
         let mut scratch = [0u8; 16 * 1024];
         loop {
             match frame::decode(&self.rbuf) {
                 Ok(Some((f, n))) => {
                     self.rbuf.drain(..n);
-                    return Ok(f);
+                    return Ok(Some(f));
                 }
                 Ok(None) => {}
                 Err(e) => return Err(Error::Other(format!("framing: {e}"))),
             }
-            let n = self.stream.read(&mut scratch).map_err(io_err)?;
-            if n == 0 {
-                return Err(Error::Other("server closed the connection".into()));
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return Err(Error::Other("server closed the connection".into())),
+                Ok(n) => self.rbuf.extend_from_slice(&scratch[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(io_err(e)),
             }
-            self.rbuf.extend_from_slice(&scratch[..n]);
+        }
+    }
+
+    /// Stash an out-of-band frame on the queue its reader expects.
+    fn stash_oob(&mut self, f: frame::Frame) {
+        if f.verb == verb::PUSH {
+            self.pushes.push_back(f);
+        } else {
+            self.repls.push_back(f);
         }
     }
 
     /// Next response frame (`OK` / `ERR` / `OVERLOADED`), stashing any
-    /// `PUSH` frames for [`BinClient::next_push`].
+    /// out-of-band frames for [`BinClient::next_push`] /
+    /// [`BinClient::next_repl`].
     pub fn recv_response(&mut self) -> Result<frame::Frame> {
         if let Some(f) = self.responses.pop_front() {
             return Ok(f);
         }
         loop {
             let f = self.read_frame()?;
-            if f.verb == verb::PUSH {
-                self.pushes.push_back(f);
+            if is_oob_verb(f.verb) {
+                self.stash_oob(f);
             } else {
                 return Ok(f);
             }
         }
     }
 
-    /// Next `PUSH` frame, stashing any response frames encountered.
+    /// Next `PUSH` frame, stashing any other frames encountered.
     pub fn next_push(&mut self) -> Result<frame::Frame> {
         if let Some(f) = self.pushes.pop_front() {
             return Ok(f);
@@ -1180,8 +1326,55 @@ impl BinClient {
             let f = self.read_frame()?;
             if f.verb == verb::PUSH {
                 return Ok(f);
+            } else if is_oob_verb(f.verb) {
+                self.repls.push_back(f);
+            } else {
+                self.responses.push_back(f);
             }
-            self.responses.push_back(f);
+        }
+    }
+
+    /// Next replication frame (`REPL_DELTA` / `REPL_SNAPSHOT`), stashing
+    /// any other frames encountered. Blocks until one arrives.
+    pub fn next_repl(&mut self) -> Result<frame::Frame> {
+        if let Some(f) = self.repls.pop_front() {
+            return Ok(f);
+        }
+        loop {
+            let f = self.read_frame()?;
+            if f.verb == verb::REPL_DELTA || f.verb == verb::REPL_SNAPSHOT {
+                return Ok(f);
+            } else if is_oob_verb(f.verb) {
+                self.pushes.push_back(f);
+            } else {
+                self.responses.push_back(f);
+            }
+        }
+    }
+
+    /// Like [`BinClient::next_repl`], but waits at most `timeout` for
+    /// bytes, returning `Ok(None)` on a quiet wire — the replica loop
+    /// uses this to recheck its shutdown flag between waits.
+    pub fn next_repl_timeout(&mut self, timeout: Duration) -> Result<Option<frame::Frame>> {
+        if let Some(f) = self.repls.pop_front() {
+            return Ok(Some(f));
+        }
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(io_err)?;
+        let stepped = self.read_frame_step();
+        self.stream.set_read_timeout(None).map_err(io_err)?;
+        match stepped? {
+            None => Ok(None),
+            Some(f) if f.verb == verb::REPL_DELTA || f.verb == verb::REPL_SNAPSHOT => Ok(Some(f)),
+            Some(f) if is_oob_verb(f.verb) => {
+                self.pushes.push_back(f);
+                Ok(None)
+            }
+            Some(f) => {
+                self.responses.push_back(f);
+                Ok(None)
+            }
         }
     }
 
@@ -1209,6 +1402,26 @@ impl BinClient {
     /// `SUBSCRIBE` helper: returns the `OK` JSON payload.
     pub fn subscribe(&mut self, proql: &str) -> Result<String> {
         expect_ok_frame(self.request(verb::SUBSCRIBE, proql.as_bytes())?)
+    }
+
+    /// `HELLO` handshake: advertise this build's protocol version and
+    /// return the server's. A server that cannot serve our version
+    /// answers with a clean error (the connection survives).
+    pub fn hello(&mut self) -> Result<String> {
+        expect_ok_frame(self.request(verb::HELLO, frame::PROTOCOL_VERSION.to_string().as_bytes())?)
+    }
+
+    /// `REPL_SUBSCRIBE` helper: join the replication stream from
+    /// `from_version` (set `force_snapshot` for the digest-mismatch
+    /// recovery path). Catch-up and live frames arrive out-of-band via
+    /// [`BinClient::next_repl`]. Returns the `OK` JSON payload.
+    pub fn repl_subscribe(&mut self, from_version: u64, force_snapshot: bool) -> Result<String> {
+        let payload = if force_snapshot {
+            format!("{from_version} SNAPSHOT")
+        } else {
+            from_version.to_string()
+        };
+        expect_ok_frame(self.request(verb::REPL_SUBSCRIBE, payload.as_bytes())?)
     }
 
     /// Pipeline `queries` in one batched write, then collect every OK

@@ -1,0 +1,342 @@
+//! Replication-layer integration tests: the wire format's round-trip
+//! and corruption behavior under PRNG-driven inputs, the replica apply
+//! path's rejection of gapped / stale / digest-divergent frames, and
+//! end-to-end broken-chain recovery over real TCP — a mid-stream chain
+//! rotation and a late joiner past log retention must both fall back to
+//! a counted snapshot transfer and converge to digest identity.
+
+use proql::engine::EngineOptions;
+use proql_common::rng::SplitMix64;
+use proql_common::{tup, Tuple, Value};
+use proql_provgraph::encode::wire;
+use proql_provgraph::system::example_2_1;
+use proql_provgraph::{DeltaOp, GraphDelta, RowChange};
+use proql_service::{
+    serve, start_replica, wait_for_version, ReplApplyOutcome, ReplFrameKind, ReplicaConfig,
+    RetryPolicy, ServiceCore,
+};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn example_core() -> Arc<ServiceCore> {
+    Arc::new(ServiceCore::new(
+        example_2_1().expect("example system"),
+        EngineOptions::default(),
+    ))
+}
+
+fn quick_cfg() -> ReplicaConfig {
+    ReplicaConfig {
+        retry: RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            max_attempts: 8,
+            seed: 7,
+        },
+        poll: Duration::from_millis(5),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PRNG-driven wire-format properties
+// ---------------------------------------------------------------------------
+
+fn rand_value(rng: &mut SplitMix64) -> Value {
+    match rng.gen_range_usize(0, 5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.next_u64() & 1 == 1),
+        2 => Value::Int(rng.gen_range_i64(-1_000_000, 1_000_000)),
+        3 => Value::Float(rng.gen_f64() * 1e6 - 5e5),
+        _ => {
+            let len = rng.gen_range_usize(0, 12);
+            let s: String = (0..len)
+                .map(|_| char::from(b'a' + (rng.next_u64() % 26) as u8))
+                .collect();
+            Value::Str(s.into())
+        }
+    }
+}
+
+fn rand_tuple(rng: &mut SplitMix64) -> Tuple {
+    let arity = rng.gen_range_usize(1, 5);
+    Tuple::new((0..arity).map(|_| rand_value(rng)).collect())
+}
+
+fn rand_name(rng: &mut SplitMix64, prefix: &str) -> String {
+    format!("{prefix}{}", rng.gen_range_usize(0, 8))
+}
+
+fn rand_delta(rng: &mut SplitMix64) -> GraphDelta {
+    let mut d = GraphDelta::default();
+    for _ in 0..rng.gen_range_usize(0, 7) {
+        let op = match rng.gen_range_usize(0, 3) {
+            0 => DeltaOp::AddDerivation {
+                mapping: rand_name(rng, "m"),
+                row: rand_tuple(rng),
+            },
+            1 => DeltaOp::RemoveDerivation {
+                mapping: rand_name(rng, "m"),
+                row: rand_tuple(rng),
+            },
+            _ => DeltaOp::SetValues {
+                relation: rand_name(rng, "R"),
+                key: rand_tuple(rng),
+            },
+        };
+        d.ops.push(op);
+    }
+    for _ in 0..rng.gen_range_usize(0, 5) {
+        d.rows.push(RowChange {
+            table: rand_name(rng, "T"),
+            row: rand_tuple(rng),
+            added: rng.next_u64() & 1 == 1,
+        });
+    }
+    for _ in 0..rng.gen_range_usize(0, 4) {
+        d.touched.insert(rand_name(rng, "R"));
+    }
+    d
+}
+
+fn rand_delta_frame(rng: &mut SplitMix64) -> wire::DeltaFrame {
+    wire::DeltaFrame {
+        version: rng.next_u64() >> 8,
+        digest: rng.next_u64(),
+        sealed_at_micros: rng.next_u64() >> 16,
+        delta: rand_delta(rng),
+    }
+}
+
+#[test]
+fn delta_frames_round_trip_the_wire_bit_for_bit() {
+    let mut rng = SplitMix64::seed_from_u64(0xD714);
+    for _ in 0..300 {
+        let frame = rand_delta_frame(&mut rng);
+        let encoded = wire::encode_delta_frame(&frame);
+        let decoded = wire::decode_delta_frame(&encoded).expect("round-trip decodes");
+        // `PartialEq` covers every field — in particular the digest, so
+        // a replica's pre-publish digest check sees exactly what the
+        // primary computed.
+        assert_eq!(decoded, frame);
+    }
+}
+
+#[test]
+fn snapshot_frames_round_trip_the_wire_bit_for_bit() {
+    let mut rng = SplitMix64::seed_from_u64(0x5A9);
+    for _ in 0..100 {
+        let mut tables: Vec<(String, Vec<Tuple>)> = (0..rng.gen_range_usize(0, 5))
+            .map(|i| {
+                let rows = (0..rng.gen_range_usize(0, 6))
+                    .map(|_| rand_tuple(&mut rng))
+                    .collect();
+                (format!("T{i}"), rows)
+            })
+            .collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        let frame = wire::SnapshotFrame {
+            version: rng.next_u64() >> 8,
+            digest: rng.next_u64(),
+            sealed_at_micros: rng.next_u64() >> 16,
+            tables,
+        };
+        let encoded = wire::encode_snapshot_frame(&frame);
+        assert_eq!(
+            wire::decode_snapshot_frame(&encoded).expect("round-trip decodes"),
+            frame
+        );
+    }
+}
+
+#[test]
+fn corrupt_and_truncated_payloads_decode_to_errors_never_panics() {
+    let mut rng = SplitMix64::seed_from_u64(0xBAD);
+    let frame = rand_delta_frame(&mut rng);
+    let encoded = wire::encode_delta_frame(&frame);
+    // Every truncation point must yield a clean error.
+    for cut in 0..encoded.len() {
+        assert!(
+            wire::decode_delta_frame(&encoded[..cut]).is_err(),
+            "truncation at {cut} of {} decoded",
+            encoded.len()
+        );
+    }
+    // Random single-byte corruption must never panic; when it still
+    // decodes, the digest field keeps end-to-end integrity checkable.
+    for _ in 0..500 {
+        let mut bytes = encoded.clone();
+        let at = rng.gen_range_usize(0, bytes.len());
+        bytes[at] ^= (rng.next_u64() % 255) as u8 + 1;
+        let _ = wire::decode_delta_frame(&bytes);
+    }
+    // Arbitrary garbage too.
+    for _ in 0..200 {
+        let len = rng.gen_range_usize(0, 96);
+        let garbage: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let _ = wire::decode_delta_frame(&garbage);
+        let _ = wire::decode_snapshot_frame(&garbage);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replica apply-path rejection properties
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gapped_and_stale_frames_never_mutate_a_replica() {
+    let mut rng = SplitMix64::seed_from_u64(0x6A9);
+    let replica = example_core();
+    let local = replica.version();
+    let digest_before = replica.graph_digest();
+    for _ in 0..100 {
+        // Any version except local + 1 must be refused: at or below is
+        // a stale re-delivery, beyond is a gap demanding a resubscribe.
+        let version = loop {
+            let v = rng.next_u64() >> 32;
+            if v != local + 1 {
+                break v;
+            }
+        };
+        let frame = wire::DeltaFrame {
+            version,
+            digest: 0,
+            sealed_at_micros: 0,
+            delta: rand_delta(&mut rng),
+        };
+        match replica.apply_repl_delta_frame(&frame).expect("apply runs") {
+            ReplApplyOutcome::Stale { .. } => assert!(version <= local, "v{version} vs {local}"),
+            ReplApplyOutcome::Gap { .. } => assert!(version > local + 1, "v{version} vs {local}"),
+            other => panic!("frame v{version} against local v{local} yielded {other:?}"),
+        }
+        assert_eq!(replica.version(), local, "rejected frame moved the version");
+        assert_eq!(
+            replica.graph_digest(),
+            digest_before,
+            "rejected frame mutated state"
+        );
+    }
+}
+
+#[test]
+fn a_digest_mismatch_is_discarded_before_publish_and_a_snapshot_recovers() {
+    let replica = example_core();
+    let local = replica.version();
+    let digest_before = replica.graph_digest();
+
+    // A frame that chains correctly but claims a digest the replay
+    // cannot reproduce: the replica must refuse to publish it.
+    let frame = wire::DeltaFrame {
+        version: local + 1,
+        digest: digest_before ^ 0xDEAD_BEEF,
+        sealed_at_micros: 0,
+        delta: GraphDelta::default(),
+    };
+    match replica.apply_repl_delta_frame(&frame).expect("apply runs") {
+        ReplApplyOutcome::DigestMismatch { version, .. } => assert_eq!(version, local + 1),
+        other => panic!("expected a digest mismatch, got {other:?}"),
+    }
+    assert_eq!(replica.version(), local, "corrupt state was published");
+    assert_eq!(replica.graph_digest(), digest_before);
+
+    // Snapshot fallback: capture a real snapshot stream from a primary
+    // that has moved on, install it, and converge.
+    let primary = example_core();
+    primary.delete("C", &tup![2, "cn2"]).expect("delete");
+    primary.delete("N", &tup![1, "cn1"]).expect("delete");
+    let (tx, rx) = mpsc::channel::<(ReplFrameKind, Vec<u8>)>();
+    primary.repl_subscribe_sink(
+        0,
+        true,
+        Box::new(move |kind, payload| tx.send((kind, payload.to_vec())).is_ok()),
+    );
+    let (kind, payload) = rx.recv().expect("catch-up frame");
+    assert_eq!(
+        kind,
+        ReplFrameKind::Snapshot,
+        "forced catch-up must snapshot"
+    );
+    let snapshot = wire::decode_snapshot_frame(&payload).expect("snapshot decodes");
+    replica
+        .install_repl_snapshot_frame(&snapshot)
+        .expect("snapshot installs");
+    assert_eq!(replica.version(), primary.version());
+    assert_eq!(replica.graph_digest(), primary.graph_digest());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end broken-chain recovery over TCP
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mid_stream_chain_rotation_forces_a_counted_snapshot_recovery() {
+    let primary = example_core();
+    let server = serve(Arc::clone(&primary), "127.0.0.1:0", 2).expect("serve primary");
+    let replica = example_core();
+    let handle = start_replica(Arc::clone(&replica), server.addr(), quick_cfg());
+
+    // Healthy streaming first.
+    primary.delete("C", &tup![2, "cn2"]).expect("delete");
+    assert!(wait_for_version(
+        &replica,
+        primary.version(),
+        Duration::from_secs(10)
+    ));
+    assert_eq!(replica.stats().repl_snapshots_installed, 0);
+
+    // Break the chain mid-stream: the rotation resets the primary's
+    // delta log, so the replica's next catch-up cannot be bridged by
+    // deltas and must take the snapshot path — counted on both ends.
+    let rotated = primary.rotate_delta_chain().expect("rotate");
+    assert!(
+        wait_for_version(&replica, rotated, Duration::from_secs(10)),
+        "replica never recovered from the rotation"
+    );
+    assert!(replica.stats().repl_snapshots_installed >= 1);
+    assert!(primary.stats().repl_snapshots_streamed >= 1);
+    assert_eq!(replica.graph_digest(), primary.graph_digest());
+
+    // And the stream keeps flowing incrementally afterwards.
+    let deltas_before = replica.stats().repl_deltas_applied;
+    primary.delete("N", &tup![1, "cn1"]).expect("delete");
+    assert!(wait_for_version(
+        &replica,
+        primary.version(),
+        Duration::from_secs(10)
+    ));
+    assert!(replica.stats().repl_deltas_applied > deltas_before);
+    assert_eq!(replica.graph_digest(), primary.graph_digest());
+
+    handle.stop();
+    server.shutdown();
+}
+
+#[test]
+fn a_late_joiner_past_log_retention_recovers_over_a_snapshot() {
+    let mut sys = example_2_1().expect("example system");
+    sys.set_delta_log_capacity(2);
+    let primary = Arc::new(ServiceCore::new(sys, EngineOptions::default()));
+    let server = serve(Arc::clone(&primary), "127.0.0.1:0", 2).expect("serve primary");
+
+    // Out-run the retention window before anyone subscribes.
+    primary.delete("C", &tup![2, "cn2"]).expect("delete");
+    primary.delete("N", &tup![1, "cn1"]).expect("delete");
+    primary.delete("A", &tup![1]).expect("delete");
+    primary.delete("A", &tup![2]).expect("delete");
+
+    let replica = example_core();
+    let handle = start_replica(Arc::clone(&replica), server.addr(), quick_cfg());
+    assert!(
+        wait_for_version(&replica, primary.version(), Duration::from_secs(10)),
+        "late joiner never converged"
+    );
+    assert!(
+        replica.stats().repl_snapshots_installed >= 1,
+        "a joiner past retention must recover over a snapshot"
+    );
+    assert!(primary.stats().repl_snapshots_streamed >= 1);
+    assert_eq!(replica.graph_digest(), primary.graph_digest());
+
+    handle.stop();
+    server.shutdown();
+}

@@ -283,3 +283,114 @@ fn line_and_binary_clients_share_one_server() {
     drop(bin);
     handle.shutdown();
 }
+
+/// Read one frame off a raw socket (blocking until complete).
+fn read_raw_frame(s: &mut TcpStream, rbuf: &mut Vec<u8>) -> frame::Frame {
+    let mut scratch = [0u8; 4096];
+    loop {
+        if let Some((f, n)) = frame::decode(rbuf).unwrap() {
+            rbuf.drain(..n);
+            return f;
+        }
+        let n = s.read(&mut scratch).unwrap();
+        assert!(n > 0, "server closed before answering");
+        rbuf.extend_from_slice(&scratch[..n]);
+    }
+}
+
+/// The `HELLO` handshake: the server advertises its protocol version,
+/// refuses versions it cannot serve with a clean per-request error, and
+/// the connection survives every outcome.
+#[test]
+fn hello_handshake_negotiates_and_rejects_cleanly() {
+    let (_core, handle) = start(1);
+    let mut bin = BinClient::connect(handle.addr()).unwrap();
+
+    // The happy path: the helper sends this build's version.
+    let ok = bin.hello().unwrap();
+    assert_eq!(
+        json_u64_field(&ok, "protocol"),
+        Some(u64::from(frame::PROTOCOL_VERSION))
+    );
+
+    // A future-but-in-window version is a clean ERR, not a disconnect.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    let mut rbuf = Vec::new();
+    s.write_all(&frame::encode(verb::HELLO, 1, b"5")).unwrap();
+    let reply = read_raw_frame(&mut s, &mut rbuf);
+    assert_eq!(reply.verb, verb::ERR);
+    assert!(reply.text().unwrap().contains("unsupported"), "{reply:?}");
+
+    // Outside the window or garbage: parse errors, still no disconnect.
+    for payload in [b"0".as_slice(), b"99".as_slice(), b"banana".as_slice()] {
+        s.write_all(&frame::encode(verb::HELLO, 2, payload))
+            .unwrap();
+        let reply = read_raw_frame(&mut s, &mut rbuf);
+        assert_eq!(reply.verb, verb::ERR, "payload {payload:?}");
+    }
+
+    // The same connection keeps serving queries afterwards.
+    s.write_all(&frame::encode(verb::QUERY, 3, Q.as_bytes()))
+        .unwrap();
+    let reply = read_raw_frame(&mut s, &mut rbuf);
+    assert_eq!(reply.verb, verb::OK);
+    assert_eq!(reply.id, 3);
+
+    drop(bin);
+    drop(s);
+    handle.shutdown();
+}
+
+/// A well-formed frame stamped with a future protocol version that is
+/// still inside the decoder's window gets a clean per-frame ERR — the
+/// connection, its pipeline, and the protocol-error counter are all
+/// untouched. Beyond the window the byte can only be corruption, so the
+/// connection is dropped and counted.
+#[test]
+fn in_window_future_frame_versions_err_cleanly_without_dropping() {
+    let (core, handle) = start(1);
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    let mut rbuf = Vec::new();
+
+    // Patch the header's version byte to an in-window future version.
+    let mut bytes = frame::encode(verb::QUERY, 41, Q.as_bytes());
+    bytes[2] = frame::PROTOCOL_VERSION + 1;
+    assert!(bytes[2] <= frame::VERSION_WINDOW);
+    s.write_all(&bytes).unwrap();
+    let reply = read_raw_frame(&mut s, &mut rbuf);
+    assert_eq!(reply.verb, verb::ERR);
+    assert_eq!(reply.id, 41, "the ERR must answer the offending frame's id");
+    assert!(
+        reply.text().unwrap().contains("frame protocol version"),
+        "{reply:?}"
+    );
+
+    // The connection is still healthy: a normal frame right behind it.
+    s.write_all(&frame::encode(verb::QUERY, 42, Q.as_bytes()))
+        .unwrap();
+    let reply = read_raw_frame(&mut s, &mut rbuf);
+    assert_eq!(reply.verb, verb::OK);
+    assert_eq!(reply.id, 42);
+    assert_eq!(
+        core.stats().transport.protocol_errors,
+        0,
+        "an in-window version is not a protocol error"
+    );
+
+    // Beyond the window: framing corruption — dropped and counted.
+    let mut bad = frame::encode(verb::QUERY, 43, Q.as_bytes());
+    bad[2] = frame::VERSION_WINDOW + 1;
+    s.write_all(&bad).unwrap();
+    let mut scratch = [0u8; 256];
+    loop {
+        match s.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(_) => continue, // drain anything already queued
+            Err(_) => break,
+        }
+    }
+    assert_eq!(core.stats().transport.protocol_errors, 1);
+
+    handle.shutdown();
+}

@@ -232,12 +232,19 @@ pub mod wire {
     //! (for apply-lag measurement). The delta's `touched` set doubles as
     //! the mutation's write set — replicas feed it to their result-cache
     //! maintenance exactly like a local write's.
+    //!
+    //! Since wire v2, snapshot frames are **dictionary-encoded**: each
+    //! table is prefixed with its distinct strings (first-occurrence
+    //! order) and string cells in rows are 4-byte code references (tag 5)
+    //! into that dictionary, so a snapshot ships every distinct string
+    //! exactly once — mirroring the storage layer's dictionary-encoded
+    //! columns. Delta frames are small and keep inline strings.
 
     use super::{Error, Result, Tuple, Value};
     use crate::delta::{DeltaOp, GraphDelta, RowChange};
 
     /// Format version byte leading every wire payload.
-    pub const WIRE_VERSION: u8 = 1;
+    pub const WIRE_VERSION: u8 = 2;
 
     /// A decoded `REPL_DELTA` payload.
     #[derive(Debug, Clone, PartialEq)]
@@ -415,6 +422,32 @@ pub mod wire {
             Ok(Tuple::new(vals))
         }
 
+        /// A value in snapshot-row context, where tag 5 is a code
+        /// reference into the table's string dictionary. Out-of-range
+        /// codes are a decode error, never a panic.
+        fn value_coded(&mut self, dict: &[Value]) -> Result<Value> {
+            if self.buf.get(self.pos) == Some(&5) {
+                self.pos += 1;
+                let code = self.u32()? as usize;
+                return dict.get(code).cloned().ok_or_else(|| {
+                    Error::Other(format!(
+                        "snapshot dictionary code {code} out of range ({} entries)",
+                        dict.len()
+                    ))
+                });
+            }
+            self.value()
+        }
+
+        fn tuple_coded(&mut self, dict: &[Value]) -> Result<Tuple> {
+            let n = self.len(1)?;
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                vals.push(self.value_coded(dict)?);
+            }
+            Ok(Tuple::new(vals))
+        }
+
         fn delta(&mut self) -> Result<GraphDelta> {
             let mut d = GraphDelta::default();
             let n_ops = self.len(5)?;
@@ -506,6 +539,12 @@ pub mod wire {
     }
 
     /// Encode a `REPL_SNAPSHOT` payload from borrowed parts.
+    ///
+    /// Each table is dictionary-encoded: its distinct strings are written
+    /// once, in first-occurrence order across the table's rows, and every
+    /// string cell in a row is a 4-byte code reference (tag 5) into that
+    /// dictionary. A snapshot therefore ships each distinct string exactly
+    /// once per table regardless of how many rows repeat it.
     pub fn encode_snapshot_parts(
         version: u64,
         digest: u64,
@@ -520,9 +559,34 @@ pub mod wire {
         put_u32(&mut buf, tables.len() as u32);
         for (name, rows) in tables {
             put_str(&mut buf, name);
+            let mut index: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+            let mut dict: Vec<&str> = Vec::new();
+            for row in rows {
+                for v in row.values() {
+                    if let Value::Str(s) = v {
+                        index.entry(s.as_ref()).or_insert_with(|| {
+                            dict.push(s.as_ref());
+                            (dict.len() - 1) as u32
+                        });
+                    }
+                }
+            }
+            put_u32(&mut buf, dict.len() as u32);
+            for s in &dict {
+                put_str(&mut buf, s);
+            }
             put_u32(&mut buf, rows.len() as u32);
             for row in rows {
-                put_tuple(&mut buf, row);
+                put_u32(&mut buf, row.arity() as u32);
+                for v in row.values() {
+                    match v {
+                        Value::Str(s) => {
+                            buf.push(5);
+                            put_u32(&mut buf, index[s.as_ref()]);
+                        }
+                        other => put_value(&mut buf, other),
+                    }
+                }
             }
         }
         buf
@@ -533,7 +597,10 @@ pub mod wire {
         encode_snapshot_parts(f.version, f.digest, f.sealed_at_micros, &f.tables)
     }
 
-    /// Decode a `REPL_SNAPSHOT` payload.
+    /// Decode a `REPL_SNAPSHOT` payload. Code references are resolved
+    /// against the table's dictionary, so the returned frame holds plain
+    /// [`Value::Str`] tuples; rows that repeat a string share one
+    /// allocation.
     pub fn decode_snapshot_frame(buf: &[u8]) -> Result<SnapshotFrame> {
         let mut r = Reader::new(buf);
         let (version, digest, sealed_at_micros) = r.header("snapshot")?;
@@ -541,10 +608,15 @@ pub mod wire {
         let mut tables = Vec::with_capacity(n_tables);
         for _ in 0..n_tables {
             let name = r.str()?;
+            let n_dict = r.len(4)?;
+            let mut dict: Vec<Value> = Vec::with_capacity(n_dict);
+            for _ in 0..n_dict {
+                dict.push(Value::Str(r.str()?.into()));
+            }
             let n_rows = r.len(4)?;
             let mut rows = Vec::with_capacity(n_rows);
             for _ in 0..n_rows {
-                rows.push(r.tuple()?);
+                rows.push(r.tuple_coded(&dict)?);
             }
             tables.push((name, rows));
         }
@@ -644,6 +716,59 @@ pub mod wire {
             let off = 25; // first collection length (ops count)
             huge[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
             assert!(decode_delta_frame(&huge).is_err());
+        }
+
+        #[test]
+        fn snapshot_dictionary_ships_each_string_once() {
+            let shared = "a-reasonably-long-shared-string-value";
+            let rows: Vec<Tuple> = (0..500).map(|i| tup![i, shared]).collect();
+            let f = SnapshotFrame {
+                version: 5,
+                digest: 6,
+                sealed_at_micros: 7,
+                tables: vec![("A".into(), rows)],
+            };
+            let bytes = encode_snapshot_frame(&f);
+            assert_eq!(decode_snapshot_frame(&bytes).unwrap(), f);
+            // Inline encoding would pay the string body per row; the
+            // dictionary pays it once plus a 4-byte code per row.
+            assert!(
+                bytes.len() < 500 * shared.len(),
+                "dictionary-encoded snapshot is {} bytes, inline floor is {}",
+                bytes.len(),
+                500 * shared.len()
+            );
+        }
+
+        #[test]
+        fn snapshot_truncation_and_corruption_error_cleanly() {
+            let f = SnapshotFrame {
+                version: 1,
+                digest: 2,
+                sealed_at_micros: 3,
+                tables: vec![
+                    ("A".into(), vec![tup![1, "x"], tup![2, "y"], tup![3, "x"]]),
+                    ("B".into(), vec![tup![true, 2.5, "z"]]),
+                ],
+            };
+            let bytes = encode_snapshot_frame(&f);
+            assert_eq!(decode_snapshot_frame(&bytes).unwrap(), f);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_snapshot_frame(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes must fail to decode"
+                );
+            }
+            // The last cell of the last row is a string, so the payload
+            // ends with its 4-byte dictionary code; an out-of-range code
+            // must be a clean error, never a panic or wrong string.
+            let mut bad_code = bytes.clone();
+            let n = bad_code.len();
+            bad_code[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(decode_snapshot_frame(&bad_code).is_err());
+            let mut wrong_ver = bytes;
+            wrong_ver[0] = WIRE_VERSION + 1;
+            assert!(decode_snapshot_frame(&wrong_ver).is_err());
         }
     }
 }

@@ -232,7 +232,14 @@ pub struct RouterCounters {
     pub single_shard: u64,
     /// Queries scattered to two or more shards.
     pub scattered: u64,
+    /// Route-cache entries evicted to stay within capacity.
+    pub route_evictions: u64,
 }
+
+/// Default bound on the per-query-text route memo. Routing is cheap to
+/// recompute (one parse), so the cache only needs to cover the working
+/// set of repeated query texts, not every text ever seen.
+pub const ROUTE_CACHE_CAPACITY: usize = 1024;
 
 /// Every relation and mapping name a query's text mentions — the
 /// static routing key. Exact at family granularity: provenance paths
@@ -299,6 +306,9 @@ pub struct Router {
     map: ShardMap,
     conns: Vec<BinClient>,
     route_cache: HashMap<String, Vec<usize>>,
+    /// Insertion order of `route_cache` keys — FIFO eviction queue.
+    route_order: std::collections::VecDeque<String>,
+    route_cache_capacity: usize,
     counters: RouterCounters,
 }
 
@@ -325,8 +335,27 @@ impl Router {
             map,
             conns,
             route_cache: HashMap::new(),
+            route_order: std::collections::VecDeque::new(),
+            route_cache_capacity: ROUTE_CACHE_CAPACITY,
             counters: RouterCounters::default(),
         })
+    }
+
+    /// Override the route-cache bound (0 disables memoization). Evicts
+    /// oldest entries immediately if the cache is already over the new
+    /// capacity.
+    pub fn set_route_cache_capacity(&mut self, capacity: usize) {
+        self.route_cache_capacity = capacity;
+        while self.route_cache.len() > capacity {
+            self.evict_oldest_route();
+        }
+    }
+
+    fn evict_oldest_route(&mut self) {
+        if let Some(oldest) = self.route_order.pop_front() {
+            self.route_cache.remove(&oldest);
+            self.counters.route_evictions += 1;
+        }
     }
 
     /// The map this router routes by.
@@ -356,7 +385,18 @@ impl Router {
                 .into_iter()
                 .collect()
         };
-        self.route_cache.insert(proql.to_string(), set.clone());
+        if self.route_cache_capacity > 0 {
+            while self.route_cache.len() >= self.route_cache_capacity {
+                self.evict_oldest_route();
+            }
+            if self
+                .route_cache
+                .insert(proql.to_string(), set.clone())
+                .is_none()
+            {
+                self.route_order.push_back(proql.to_string());
+            }
+        }
         Ok(set)
     }
 
@@ -412,10 +452,13 @@ impl Router {
             subs.push(format!("{{\"shard\": {s}, \"stats\": {payload}}}"));
         }
         Ok(format!(
-            "{{\"shards\": {}, \"single_shard\": {}, \"scattered\": {}, \"per_shard\": [{}]}}",
+            "{{\"shards\": {}, \"single_shard\": {}, \"scattered\": {}, \
+             \"route_cache\": {}, \"route_evictions\": {}, \"per_shard\": [{}]}}",
             self.conns.len(),
             self.counters.single_shard,
             self.counters.scattered,
+            self.route_cache.len(),
+            self.counters.route_evictions,
             subs.join(", ")
         ))
     }
@@ -542,7 +585,8 @@ mod tests {
             router.counters(),
             RouterCounters {
                 single_shard: 1,
-                scattered: 0
+                scattered: 0,
+                route_evictions: 0
             }
         );
         // Zero fan-out goes to the *right* shard: only shard 1 (X/Y)
@@ -579,8 +623,61 @@ mod tests {
 
         let stats = router.stats().unwrap();
         assert_eq!(json_u64_field(&stats, "shards"), Some(2));
+        assert_eq!(json_u64_field(&stats, "route_evictions"), Some(0));
         let desc = router.describe();
         assert!(desc.contains("\"families\""), "{desc}");
+
+        s0.shutdown();
+        s1.shutdown();
+    }
+
+    #[test]
+    fn route_cache_is_bounded_with_fifo_eviction() {
+        let sys = island_system(true, true);
+        let map = split_map(&sys);
+        let shard0 = Arc::new(ServiceCore::new(
+            island_system(false, true),
+            EngineOptions::default(),
+        ));
+        let shard1 = Arc::new(ServiceCore::new(
+            island_system(true, false),
+            EngineOptions::default(),
+        ));
+        let s0 = serve(shard0, "127.0.0.1:0", 2).unwrap();
+        let s1 = serve(shard1, "127.0.0.1:0", 2).unwrap();
+        let mut router =
+            Router::connect(map, &[s0.addr(), s1.addr()], RetryPolicy::default()).unwrap();
+        router.set_route_cache_capacity(2);
+
+        // Three distinct query texts through a 2-entry cache: the first
+        // (oldest) is evicted, the last two stay resident.
+        let texts = [
+            "FOR [Y $x] RETURN $x",
+            "FOR [V $x] RETURN $x",
+            "FOR [X $x] RETURN $x",
+        ];
+        for t in &texts {
+            router.shard_set_for(t).unwrap();
+        }
+        assert_eq!(router.counters().route_evictions, 1);
+        // Re-resolving the cached texts evicts nothing further...
+        router.shard_set_for(texts[1]).unwrap();
+        router.shard_set_for(texts[2]).unwrap();
+        assert_eq!(router.counters().route_evictions, 1);
+        // ...and the evicted text re-enters by displacing the oldest
+        // (texts[1], which then misses and displaces texts[2] in turn).
+        router.shard_set_for(texts[0]).unwrap();
+        assert_eq!(router.counters().route_evictions, 2);
+        // Routing answers stay correct across eviction and re-entry.
+        assert_eq!(router.shard_set_for(texts[0]).unwrap(), vec![1]);
+        assert_eq!(router.shard_set_for(texts[1]).unwrap(), vec![0]);
+        assert_eq!(router.counters().route_evictions, 3);
+        // Shrinking the capacity evicts down immediately.
+        router.set_route_cache_capacity(0);
+        assert_eq!(router.counters().route_evictions, 5);
+        let stats = router.stats().unwrap();
+        assert_eq!(json_u64_field(&stats, "route_cache"), Some(0));
+        assert_eq!(json_u64_field(&stats, "route_evictions"), Some(5));
 
         s0.shutdown();
         s1.shutdown();

@@ -11,6 +11,7 @@
 //! column per operator, and [`eval_mask`] produces a selection mask with
 //! SQL filter semantics (NULL counts as false).
 
+use crate::dict::Dictionary;
 use crate::expr::{BinOp, Expr};
 use proql_common::{Error, Result, Tuple, Value};
 use std::hash::{Hash, Hasher};
@@ -27,6 +28,16 @@ pub enum Column {
     Bool(Vec<bool>),
     /// Dense strings (shared, like [`Value::Str`]).
     Str(Vec<Arc<str>>),
+    /// Dictionary-encoded strings: `u32` codes into a shared dictionary.
+    /// Null-free like `Str`; scans of nullable string columns degrade to
+    /// `Any`. Decodes to the same `Value::Str` values as the `Str`
+    /// representation — only comparisons get cheaper.
+    Dict {
+        /// Per-row codes; every code is valid in `dict`.
+        codes: Vec<u32>,
+        /// The interning table the codes point into.
+        dict: Arc<Dictionary>,
+    },
     /// Mixed-typed or nullable fallback.
     Any(Vec<Value>),
 }
@@ -39,6 +50,7 @@ impl Column {
             Column::Float(v) => v.len(),
             Column::Bool(v) => v.len(),
             Column::Str(v) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
             Column::Any(v) => v.len(),
         }
     }
@@ -55,6 +67,7 @@ impl Column {
             Column::Float(v) => Value::Float(v[row]),
             Column::Bool(v) => Value::Bool(v[row]),
             Column::Str(v) => Value::Str(v[row].clone()),
+            Column::Dict { codes, dict } => Value::Str(dict.get(codes[row]).clone()),
             Column::Any(v) => v[row].clone(),
         }
     }
@@ -128,6 +141,10 @@ impl Column {
             Column::Float(v) => Column::Float(keep(v, mask)),
             Column::Bool(v) => Column::Bool(keep(v, mask)),
             Column::Str(v) => Column::Str(keep(v, mask)),
+            Column::Dict { codes, dict } => Column::Dict {
+                codes: keep(codes, mask),
+                dict: dict.clone(),
+            },
             Column::Any(v) => Column::Any(keep(v, mask)),
         }
     }
@@ -142,6 +159,10 @@ impl Column {
             Column::Float(v) => Column::Float(take(v, indices)),
             Column::Bool(v) => Column::Bool(take(v, indices)),
             Column::Str(v) => Column::Str(take(v, indices)),
+            Column::Dict { codes, dict } => Column::Dict {
+                codes: take(codes, indices),
+                dict: dict.clone(),
+            },
             Column::Any(v) => Column::Any(take(v, indices)),
         }
     }
@@ -154,6 +175,10 @@ impl Column {
             Column::Float(v) => Column::Float(v[r].to_vec()),
             Column::Bool(v) => Column::Bool(v[r].to_vec()),
             Column::Str(v) => Column::Str(v[r].to_vec()),
+            Column::Dict { codes, dict } => Column::Dict {
+                codes: codes[r].to_vec(),
+                dict: dict.clone(),
+            },
             Column::Any(v) => Column::Any(v[r].to_vec()),
         }
     }
@@ -196,6 +221,30 @@ impl Column {
                 a.extend(b);
                 Column::Str(a)
             }
+            (
+                Column::Dict { mut codes, dict },
+                Column::Dict {
+                    codes: bc,
+                    dict: bd,
+                },
+            ) if Arc::ptr_eq(&dict, &bd) => {
+                codes.extend(bc);
+                Column::Dict { codes, dict }
+            }
+            // Mixed string representations decode the dictionary side so
+            // the result stays a plain string column (as it would be with
+            // dictionaries disabled).
+            (a, b) if a.is_string() && b.is_string() => {
+                if a.is_empty() {
+                    return b;
+                }
+                if b.is_empty() {
+                    return a;
+                }
+                let mut s = a.to_str_vec();
+                s.extend(b.to_str_vec());
+                Column::Str(s)
+            }
             (a, b) => {
                 // Empty columns adopt the other side's representation so a
                 // union of an empty branch does not degrade to Any.
@@ -217,8 +266,22 @@ impl Column {
         Column::Any(vec![Value::Null; n])
     }
 
+    /// True for both null-free string representations.
+    fn is_string(&self) -> bool {
+        matches!(self, Column::Str(_) | Column::Dict { .. })
+    }
+
+    /// Decode a string column (either representation) to shared strings.
+    fn to_str_vec(&self) -> Vec<Arc<str>> {
+        match self {
+            Column::Str(v) => v.clone(),
+            Column::Dict { codes, dict } => codes.iter().map(|&c| dict.get(c).clone()).collect(),
+            _ => unreachable!("to_str_vec on non-string column"),
+        }
+    }
+
     /// Hash the value at `row` consistently with [`Value`]'s `Hash` impl.
-    fn hash_value_into<H: Hasher>(&self, row: usize, state: &mut H) {
+    pub(crate) fn hash_value_into<H: Hasher>(&self, row: usize, state: &mut H) {
         match self {
             Column::Int(v) => Value::Int(v[row]).hash(state),
             Column::Float(v) => Value::Float(v[row]).hash(state),
@@ -227,7 +290,19 @@ impl Column {
                 state.write_u8(3);
                 v[row].hash(state);
             }
+            Column::Dict { codes, dict } => {
+                state.write_u8(3);
+                dict.get(codes[row]).hash(state);
+            }
             Column::Any(v) => v[row].hash(state),
+        }
+    }
+
+    /// The code vector and dictionary, for dictionary-encoded columns.
+    pub(crate) fn dict_parts(&self) -> Option<(&[u32], &Arc<Dictionary>)> {
+        match self {
+            Column::Dict { codes, dict } => Some((codes, dict)),
+            _ => None,
         }
     }
 
@@ -237,6 +312,15 @@ impl Column {
             (Column::Int(a), Column::Int(b)) => a[row] == b[other_row],
             (Column::Str(a), Column::Str(b)) => a[row] == b[other_row],
             (Column::Bool(a), Column::Bool(b)) => a[row] == b[other_row],
+            (Column::Dict { codes: a, dict: da }, Column::Dict { codes: b, dict: db }) => {
+                if Arc::ptr_eq(da, db) {
+                    a[row] == b[other_row]
+                } else {
+                    da.get(a[row]) == db.get(b[other_row])
+                }
+            }
+            (Column::Dict { codes, dict }, Column::Str(b)) => *dict.get(codes[row]) == b[other_row],
+            (Column::Str(a), Column::Dict { codes, dict }) => a[row] == *dict.get(codes[other_row]),
             _ => self.value(row) == other.value(other_row),
         }
     }
@@ -496,6 +580,13 @@ fn eval_bin_columns(op: BinOp, a: &Column, b: &Column) -> Result<Column> {
             Mul => Column::Int(x.iter().zip(y).map(|(p, q)| p.wrapping_mul(*q)).collect()),
         });
     }
+    // Dictionary fast path: equality against a broadcast string literal or
+    // a same-dictionary column runs on u32 codes, no string compares.
+    if matches!(op, Eq | Ne) {
+        if let Some(out) = dict_eq_columns(op == Eq, a, b) {
+            return Ok(out);
+        }
+    }
     // Generic path: elementwise over values, with the row executor's exact
     // semantics (total Eq, NULL-propagating arithmetic).
     let mut out = Vec::with_capacity(n);
@@ -503,6 +594,39 @@ fn eval_bin_columns(op: BinOp, a: &Column, b: &Column) -> Result<Column> {
         out.push(crate::expr::eval_bin(op, &a.value(i), &b.value(i))?);
     }
     Ok(Column::from_value_vec(out))
+}
+
+/// Code-compare fast path for `=` / `<>` involving a dictionary column.
+/// Returns `None` when the shapes don't allow it (the generic path is
+/// value-identical, just slower).
+fn dict_eq_columns(eq: bool, a: &Column, b: &Column) -> Option<Column> {
+    let (codes, dict, other) = match (a.dict_parts(), b.dict_parts()) {
+        (Some((ca, da)), Some((cb, db))) => {
+            if Arc::ptr_eq(da, db) {
+                let out = ca.iter().zip(cb).map(|(x, y)| (x == y) == eq).collect();
+                return Some(Column::Bool(out));
+            }
+            // Differing dictionaries: equal codes still mean equal strings
+            // only within one dictionary, so fall back.
+            return None;
+        }
+        (Some((c, d)), None) => (c, d, b),
+        (None, Some((c, d))) => (c, d, a),
+        (None, None) => return None,
+    };
+    match other {
+        Column::Str(s) if s.is_empty() => Some(Column::Bool(Vec::new())),
+        // A literal broadcast by `eval_expr` clones one Arc per row; a
+        // single `code_of` lookup then decides every row.
+        Column::Str(s) if s.iter().all(|x| Arc::ptr_eq(x, &s[0])) => {
+            let out = match dict.code_of(&s[0]) {
+                Some(k) => codes.iter().map(|&c| (c == k) == eq).collect(),
+                None => vec![!eq; codes.len()],
+            };
+            Some(Column::Bool(out))
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]

@@ -26,12 +26,15 @@
 use crate::batch::{eval_expr, eval_mask, Column, RecordBatch};
 use crate::database::Database;
 use crate::exec::{join_names, JoinAlgo, Relation, MAX_VIEW_DEPTH};
-use crate::expr::Expr;
+use crate::expr::{BinOp, Expr};
 use crate::plan::{AggFunc, Aggregate, BuildSide, JoinType, Plan};
+use crate::zone::ZonePred;
 use proql_common::par::{morsel_ranges, par_map, MORSEL_ROWS};
 use proql_common::{trace, Error, Parallelism, Result, Value};
+use std::borrow::Cow;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::hash::Hasher;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Which executor [`execute_with`] dispatches to.
@@ -82,7 +85,7 @@ pub fn execute_batch(db: &Database, plan: &Plan) -> Result<RecordBatch> {
 /// [`execute_batch`] with morsel-driven parallelism. Output is guaranteed
 /// bit-identical to the serial run for every plan shape.
 pub fn execute_batch_opts(db: &Database, plan: &Plan, par: Parallelism) -> Result<RecordBatch> {
-    exec_inner(db, plan, 0, par.resolved(), None)
+    Ok(exec_inner(db, plan, 0, par.resolved(), None)?.materialize())
 }
 
 /// Actual row count and wall time of one plan operator, recorded by
@@ -97,6 +100,13 @@ pub struct OpStat {
     /// Wall time of the operator *including* its inputs, in nanoseconds
     /// (the tree renderer shows inclusive time, like the plan's nesting).
     pub nanos: u64,
+    /// Morsel-sized zones a zone-map-pruned scan skipped without reading
+    /// (non-zero only on `Scan` operators fused under a `Filter`).
+    pub morsels_skipped: u64,
+    /// Fraction of input rows surviving, for operators that emitted a
+    /// selection vector instead of copying survivors (filter, distinct,
+    /// limit); `None` for operators that produced dense output.
+    pub sel_density: Option<f64>,
 }
 
 /// Collector for per-operator actuals. Slots are reserved at operator
@@ -121,10 +131,10 @@ impl PlanProfile {
         s.len() - 1
     }
 
-    fn record(&self, idx: usize, rows: u64, nanos: u64) {
+    fn record(&self, idx: usize, stat: OpStat) {
         let mut s = self.slots.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(slot) = s.get_mut(idx) {
-            *slot = OpStat { rows, nanos };
+            *slot = stat;
         }
     }
 
@@ -143,8 +153,51 @@ pub fn execute_batch_profiled(
     par: Parallelism,
 ) -> Result<(RecordBatch, Vec<OpStat>)> {
     let prof = PlanProfile::new();
-    let batch = exec_inner(db, plan, 0, par.resolved(), Some(&prof))?;
+    let batch = exec_inner(db, plan, 0, par.resolved(), Some(&prof))?.materialize();
     Ok((batch, prof.into_stats()))
+}
+
+/// A batch plus an optional **selection vector**: strictly ascending row
+/// indices into `batch` that survive upstream row-dropping operators.
+/// Filters, DISTINCT, and LIMIT emit a selection instead of copying the
+/// survivors; selection-aware consumers (joins, grouping, sort) iterate
+/// the selected rows in place, and everything else
+/// [`materialize`](SelBatch::materialize)s. The ascending invariant is
+/// what keeps selection-aware operators bit-identical to the dense paths:
+/// ascending underlying indices order exactly like dense positions, so
+/// every canonical sort and first-seen order is unchanged.
+struct SelBatch {
+    batch: RecordBatch,
+    /// `None` = all rows selected.
+    sel: Option<Vec<u32>>,
+}
+
+impl SelBatch {
+    fn dense(batch: RecordBatch) -> SelBatch {
+        SelBatch { batch, sel: None }
+    }
+
+    /// Logical row count (selected rows, not underlying rows).
+    fn len(&self) -> usize {
+        self.sel.as_ref().map_or(self.batch.len(), Vec::len)
+    }
+
+    /// The selected row indices: borrowed when a selection exists, the
+    /// identity permutation otherwise.
+    fn rows(&self) -> Cow<'_, [u32]> {
+        match &self.sel {
+            Some(s) => Cow::Borrowed(s.as_slice()),
+            None => Cow::Owned((0..self.batch.len() as u32).collect()),
+        }
+    }
+
+    /// Gather the selected rows into a dense batch (free when dense).
+    fn materialize(self) -> RecordBatch {
+        match self.sel {
+            Some(sel) => self.batch.gather(&sel),
+            None => self.batch,
+        }
+    }
 }
 
 /// Static trace-span name for a plan operator.
@@ -175,7 +228,7 @@ fn exec_inner(
     depth: usize,
     par: Parallelism,
     prof: Option<&PlanProfile>,
-) -> Result<RecordBatch> {
+) -> Result<SelBatch> {
     if prof.is_none() && !trace::enabled() {
         return exec_node(db, plan, depth, par, prof);
     }
@@ -183,12 +236,27 @@ fn exec_inner(
     let mut sp = trace::span(op_name(plan));
     let start = Instant::now();
     let result = exec_node(db, plan, depth, par, prof);
-    if let Ok(batch) = &result {
+    if let Ok(sb) = &result {
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         if let (Some(p), Some(idx)) = (prof, slot) {
-            p.record(idx, batch.len() as u64, nanos);
+            let sel_density = sb.sel.as_ref().map(|s| {
+                if sb.batch.is_empty() {
+                    1.0
+                } else {
+                    s.len() as f64 / sb.batch.len() as f64
+                }
+            });
+            p.record(
+                idx,
+                OpStat {
+                    rows: sb.len() as u64,
+                    nanos,
+                    morsels_skipped: 0,
+                    sel_density,
+                },
+            );
         }
-        sp.field("rows", batch.len().to_string());
+        sp.field("rows", sb.len().to_string());
     } else {
         sp.field("error", "true");
     }
@@ -227,7 +295,7 @@ fn exec_node(
     depth: usize,
     par: Parallelism,
     prof: Option<&PlanProfile>,
-) -> Result<RecordBatch> {
+) -> Result<SelBatch> {
     if depth > MAX_VIEW_DEPTH {
         return Err(Error::Storage(
             "view expansion too deep (cyclic view definition?)".into(),
@@ -236,15 +304,19 @@ fn exec_node(
     match plan {
         Plan::Scan { table } => {
             if let Ok(t) = db.table(table) {
-                let names: Vec<String> = t
-                    .schema()
-                    .attributes()
-                    .iter()
-                    .map(|a| a.name.clone())
-                    .collect();
-                if go_parallel(par, t.len()) {
+                if t.has_dict() || !go_parallel(par, t.len()) {
+                    // Columnar scan: dictionary columns come out as code
+                    // memcpys, everything else decodes as from_rows would.
+                    Ok(SelBatch::dense(t.to_batch()))
+                } else {
                     // Parallel transpose: each morsel of rows becomes its
                     // own column chunk, appended in morsel order.
+                    let names: Vec<String> = t
+                        .schema()
+                        .attributes()
+                        .iter()
+                        .map(|a| a.name.clone())
+                        .collect();
                     let rows: Vec<&proql_common::Tuple> = t.iter().collect();
                     let ranges = morsel_ranges(rows.len());
                     let parts = par_map(ranges.len(), par.threads(), |i| {
@@ -253,14 +325,12 @@ fn exec_node(
                             rows[ranges[i].clone()].iter().copied(),
                         ))
                     });
-                    concat_batches(parts)
-                } else {
-                    Ok(RecordBatch::from_rows(names, t.iter()))
+                    Ok(SelBatch::dense(concat_batches(parts)?))
                 }
             } else if let Some(v) = db.view(table) {
                 // View bodies are not rendered by the plan tree, so they
                 // take no profile slots (keeps pre-order indices aligned).
-                let mut batch = exec_inner(db, &v.plan, depth + 1, par, None)?;
+                let mut batch = exec_inner(db, &v.plan, depth + 1, par, None)?.materialize();
                 let names: Vec<String> = v
                     .schema
                     .attributes()
@@ -273,40 +343,39 @@ fn exec_node(
                     )));
                 }
                 batch.names = names;
-                Ok(batch)
+                Ok(SelBatch::dense(batch))
             } else {
                 Err(Error::NotFound(format!("relation {table}")))
             }
         }
         Plan::Values { schema, rows } => {
             let names = schema.attributes().iter().map(|a| a.name.clone()).collect();
-            Ok(RecordBatch::from_rows(names, rows.iter()))
+            Ok(SelBatch::dense(RecordBatch::from_rows(names, rows.iter())))
         }
         Plan::Filter { input, predicate } => {
-            let batch = exec_inner(db, input, depth, par, prof)?;
-            if go_parallel(par, batch.len()) {
-                // Each morsel slice copies its rows once so the vectorized
-                // evaluators can stay whole-batch; range-parameterizing
-                // eval_expr/eval_mask would avoid the copy if it ever shows
-                // up in profiles.
-                let ranges = morsel_ranges(batch.len());
-                let parts = par_map(ranges.len(), par.threads(), |i| {
-                    let m = batch.slice(ranges[i].clone());
-                    let mask = eval_mask(predicate, &m)?;
-                    Ok(m.filter(&mask))
-                });
-                concat_batches(parts)
-            } else {
-                let mask = eval_mask(predicate, &batch)?;
-                Ok(batch.filter(&mask))
+            // Fused filter+scan: a filter directly over a base-table scan
+            // consults the table's zone maps and skips whole morsels its
+            // comparison conjuncts rule out, then evaluates the full
+            // predicate only over surviving zones.
+            if let Plan::Scan { table } = input.as_ref() {
+                if let Ok(t) = db.table(table) {
+                    return fused_filter_scan(t, predicate, par, prof);
+                }
             }
+            let input = exec_inner(db, input, depth, par, prof)?;
+            let batch = input.materialize();
+            let sel = filter_sel(&batch, predicate, par)?;
+            Ok(SelBatch {
+                batch,
+                sel: Some(sel),
+            })
         }
         Plan::Project {
             input,
             exprs,
             names,
         } => {
-            let batch = exec_inner(db, input, depth, par, prof)?;
+            let batch = exec_inner(db, input, depth, par, prof)?.materialize();
             if names.len() != exprs.len() {
                 return Err(Error::Storage("project names/exprs length mismatch".into()));
             }
@@ -321,13 +390,17 @@ fn exec_node(
                     let rows = m.len();
                     Ok(RecordBatch::new(names.clone(), columns, rows))
                 });
-                concat_batches(parts)
+                Ok(SelBatch::dense(concat_batches(parts)?))
             } else {
                 let columns: Vec<Column> = exprs
                     .iter()
                     .map(|e| eval_expr(e, &batch))
                     .collect::<Result<_>>()?;
-                Ok(RecordBatch::new(names.clone(), columns, batch.len()))
+                Ok(SelBatch::dense(RecordBatch::new(
+                    names.clone(),
+                    columns,
+                    batch.len(),
+                )))
             }
         }
         Plan::Join {
@@ -340,15 +413,15 @@ fn exec_node(
         } => {
             let l = exec_inner(db, left, depth, par, prof)?;
             let r = exec_inner(db, right, depth, par, prof)?;
-            batch_join(&l, &r, *join_type, left_keys, right_keys, *build, par)
+            batch_join(&l, &r, *join_type, left_keys, right_keys, *build, par).map(SelBatch::dense)
         }
         Plan::Union { inputs, distinct } => {
             if inputs.is_empty() {
-                return Ok(RecordBatch::empty(vec![]));
+                return Ok(SelBatch::dense(RecordBatch::empty(vec![])));
             }
-            let mut acc = exec_inner(db, &inputs[0], depth, par, prof)?;
+            let mut acc = exec_inner(db, &inputs[0], depth, par, prof)?.materialize();
             for p in &inputs[1..] {
-                let batch = exec_inner(db, p, depth, par, prof)?;
+                let batch = exec_inner(db, p, depth, par, prof)?.materialize();
                 if batch.arity() != acc.arity() {
                     return Err(Error::Storage(format!(
                         "union arity mismatch: {} vs {}",
@@ -366,13 +439,22 @@ fn exec_node(
                 acc = RecordBatch::new(names, cols, rows);
             }
             if *distinct {
-                acc = batch_distinct(&acc);
+                let all: Vec<u32> = (0..acc.len() as u32).collect();
+                let keep = batch_distinct(&acc, &all);
+                return Ok(SelBatch {
+                    batch: acc,
+                    sel: Some(keep),
+                });
             }
-            Ok(acc)
+            Ok(SelBatch::dense(acc))
         }
         Plan::Distinct { input } => {
-            let batch = exec_inner(db, input, depth, par, prof)?;
-            Ok(batch_distinct(&batch))
+            let input = exec_inner(db, input, depth, par, prof)?;
+            let keep = batch_distinct(&input.batch, &input.rows());
+            Ok(SelBatch {
+                batch: input.batch,
+                sel: Some(keep),
+            })
         }
         Plan::Aggregate {
             input,
@@ -380,15 +462,26 @@ fn exec_node(
             aggs,
             having,
         } => {
-            let batch = exec_inner(db, input, depth, par, prof)?;
-            batch_aggregate_opts(&batch, group_by, aggs, having.as_ref(), par)
+            let input = exec_inner(db, input, depth, par, prof)?;
+            batch_aggregate_sel(
+                &input.batch,
+                input.sel.as_deref(),
+                group_by,
+                aggs,
+                having.as_ref(),
+                par,
+            )
+            .map(SelBatch::dense)
         }
         Plan::Sort { input, by } => {
-            let batch = exec_inner(db, input, depth, par, prof)?;
-            if let Some(&c) = by.iter().find(|&&c| c >= batch.arity()) {
+            let input = exec_inner(db, input, depth, par, prof)?;
+            if let Some(&c) = by.iter().find(|&&c| c >= input.batch.arity()) {
                 return Err(Error::Storage(format!("sort column {c} out of range")));
             }
-            let mut idx: Vec<u32> = (0..batch.len() as u32).collect();
+            let mut idx: Vec<u32> = input.rows().into_owned();
+            let batch = &input.batch;
+            // Stable sort over ascending underlying indices: ties keep
+            // selection order, exactly like sorting a materialized batch.
             idx.sort_by(|&a, &b| {
                 for &c in by {
                     let col = &batch.columns[c];
@@ -399,23 +492,161 @@ fn exec_node(
                 }
                 std::cmp::Ordering::Equal
             });
-            Ok(batch.gather(&idx))
+            Ok(SelBatch::dense(input.batch.gather(&idx)))
         }
         Plan::Limit { input, n } => {
-            let batch = exec_inner(db, input, depth, par, prof)?;
-            if batch.len() <= *n {
-                return Ok(batch);
+            let mut input = exec_inner(db, input, depth, par, prof)?;
+            if input.len() <= *n {
+                return Ok(input);
             }
-            let idx: Vec<u32> = (0..*n as u32).collect();
-            Ok(batch.gather(&idx))
+            match &mut input.sel {
+                Some(sel) => sel.truncate(*n),
+                None => input.sel = Some((0..*n as u32).collect()),
+            }
+            Ok(input)
         }
         Plan::IndexLookup { .. } => {
             // Index lookups touch few rows; reuse the row executor's logic
             // and transpose.
             let rel = crate::exec::execute(db, plan)?;
-            Ok(RecordBatch::from_rows(rel.names, rel.rows.iter()))
+            Ok(SelBatch::dense(RecordBatch::from_rows(
+                rel.names,
+                rel.rows.iter(),
+            )))
         }
     }
+}
+
+/// The fused `Filter(Scan)` path: zone-map-pruned scan, then the filter
+/// emits a selection vector over the surviving rows. Because fusion
+/// bypasses [`exec_inner`] for the scan child, this reserves the scan's
+/// pre-order profile slot and opens its trace span by hand so
+/// `EXPLAIN ANALYZE` alignment and span nesting are unchanged.
+fn fused_filter_scan(
+    t: &crate::table::Table,
+    predicate: &Expr,
+    par: Parallelism,
+    prof: Option<&PlanProfile>,
+) -> Result<SelBatch> {
+    let preds = zone_preds(predicate, t.schema().arity());
+    if prof.is_none() && !trace::enabled() {
+        let (batch, _) = t.to_batch_pruned(Some(&preds));
+        let sel = filter_sel(&batch, predicate, par)?;
+        return Ok(SelBatch {
+            batch,
+            sel: Some(sel),
+        });
+    }
+    let slot = prof.map(|p| p.reserve());
+    let mut sp = trace::span("op.scan");
+    let start = Instant::now();
+    let (batch, skipped) = t.to_batch_pruned(Some(&preds));
+    let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    if let (Some(p), Some(idx)) = (prof, slot) {
+        p.record(
+            idx,
+            OpStat {
+                rows: batch.len() as u64,
+                nanos,
+                morsels_skipped: skipped,
+                sel_density: None,
+            },
+        );
+    }
+    sp.field("rows", batch.len().to_string());
+    if skipped > 0 {
+        sp.field("morsels_skipped", skipped.to_string());
+    }
+    drop(sp);
+    let sel = filter_sel(&batch, predicate, par)?;
+    Ok(SelBatch {
+        batch,
+        sel: Some(sel),
+    })
+}
+
+/// Evaluate `predicate` over `batch` and return the surviving row indices
+/// (ascending). The parallel path evaluates per-morsel masks on worker
+/// threads and concatenates survivors in morsel order.
+fn filter_sel(batch: &RecordBatch, predicate: &Expr, par: Parallelism) -> Result<Vec<u32>> {
+    if go_parallel(par, batch.len()) {
+        let ranges = morsel_ranges(batch.len());
+        let parts = par_map(ranges.len(), par.threads(), |i| {
+            let r = ranges[i].clone();
+            let m = batch.slice(r.clone());
+            let mask = eval_mask(predicate, &m)?;
+            Ok(mask
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &keep)| keep.then_some((r.start + j) as u32))
+                .collect::<Vec<u32>>())
+        });
+        let mut sel = Vec::new();
+        for part in parts {
+            sel.extend(part?);
+        }
+        Ok(sel)
+    } else {
+        let mask = eval_mask(predicate, batch)?;
+        Ok(mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i as u32))
+            .collect())
+    }
+}
+
+/// Collect the zone-testable conjuncts of `e`: comparisons between a
+/// column and a literal (either orientation) and `col IS NULL`, walked
+/// through top-level ANDs. Everything else contributes nothing — the full
+/// predicate still runs over every surviving zone, so missing a conjunct
+/// only costs pruning, never correctness.
+fn zone_preds(e: &Expr, arity: usize) -> Vec<ZonePred> {
+    fn flip(op: BinOp) -> BinOp {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    }
+    fn walk(e: &Expr, arity: usize, out: &mut Vec<ZonePred>) {
+        match e {
+            Expr::And(ps) => {
+                for p in ps {
+                    walk(p, arity, out);
+                }
+            }
+            Expr::IsNull(inner) => {
+                if let Expr::Col(c) = inner.as_ref() {
+                    if *c < arity {
+                        out.push(ZonePred::IsNull(*c));
+                    }
+                }
+            }
+            Expr::Bin(op, a, b)
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                ) =>
+            {
+                match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(c), Expr::Lit(v)) if *c < arity => {
+                        out.push(ZonePred::Cmp(*c, *op, v.clone()));
+                    }
+                    (Expr::Lit(v), Expr::Col(c)) if *c < arity => {
+                        out.push(ZonePred::Cmp(*c, flip(*op), v.clone()));
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(e, arity, &mut out);
+    out
 }
 
 /// Matched pairs + NULL-padded rows of a join, in the canonical order both
@@ -428,14 +659,135 @@ struct JoinRows {
     pad_r: Vec<u32>,
 }
 
-/// Hash equi-join over batches. `build` selects the hash-table side;
-/// `Auto` builds on the smaller input. The parallel core partitions both
-/// sides by key hash and runs per-partition build+probe on worker threads;
-/// the canonical `(left, right)` output sort makes it bit-identical to the
-/// serial core.
+/// Per-key-column comparison scheme for one join, fixed before hashing.
+/// When **both** sides of a key column are dictionary-encoded, hashing and
+/// equality run on `u32` codes instead of decoded strings; differing
+/// dictionaries are bridged by translating probe codes into the build
+/// dictionary up front ([`crate::dict::translation`]), with untranslatable
+/// probe values mapped to the reserved [`crate::dict::NULL_CODE`] sentinel
+/// no real build code can equal. Any other column pairing falls back to
+/// decoded-value hashing/equality.
+enum KeyCol<'a> {
+    /// General path: decoded-value hashing and equality.
+    Value,
+    /// Code comparison: build-side codes, probe-side codes (translated
+    /// into the build dictionary when the `Arc`s differ).
+    Codes { b: &'a [u32], p: Cow<'a, [u32]> },
+}
+
+/// Pick the comparison scheme for each key-column pair.
+fn key_cols<'a>(
+    b: &'a RecordBatch,
+    b_keys: &[usize],
+    p: &'a RecordBatch,
+    p_keys: &[usize],
+) -> Vec<KeyCol<'a>> {
+    b_keys
+        .iter()
+        .zip(p_keys)
+        .map(
+            |(&bk, &pk)| match (b.columns[bk].dict_parts(), p.columns[pk].dict_parts()) {
+                (Some((bc, bd)), Some((pc, pd))) => {
+                    if Arc::ptr_eq(bd, pd) {
+                        KeyCol::Codes {
+                            b: bc,
+                            p: Cow::Borrowed(pc),
+                        }
+                    } else {
+                        let trans = crate::dict::translation(pd, bd);
+                        KeyCol::Codes {
+                            b: bc,
+                            p: Cow::Owned(
+                                pc.iter()
+                                    .map(|&c| trans[c as usize].unwrap_or(crate::dict::NULL_CODE))
+                                    .collect(),
+                            ),
+                        }
+                    }
+                }
+                _ => KeyCol::Value,
+            },
+        )
+        .collect()
+}
+
+/// Key hashes for each row in `rows` on one join side, positionally
+/// aligned with `rows`. Code-scheme columns hash the `u32` code with the
+/// same byte stream on both sides, so hashing can never separate a pair
+/// the equality check would accept; the hash function is operator-local
+/// and never influences output order.
+fn hash_join_side(
+    batch: &RecordBatch,
+    keys: &[usize],
+    kc: &[KeyCol],
+    rows: &[u32],
+    build: bool,
+    par: Parallelism,
+) -> Vec<u64> {
+    let hash_one = |row: u32| -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (i, k) in kc.iter().enumerate() {
+            match k {
+                KeyCol::Value => batch.columns[keys[i]].hash_value_into(row as usize, &mut h),
+                KeyCol::Codes { b, p } => {
+                    let code = if build {
+                        b[row as usize]
+                    } else {
+                        p[row as usize]
+                    };
+                    h.write_u8(3);
+                    h.write_u32(code);
+                }
+            }
+        }
+        h.finish()
+    };
+    if go_parallel(par, rows.len()) {
+        let ranges = morsel_ranges(rows.len());
+        let parts = par_map(ranges.len(), par.threads(), |i| {
+            rows[ranges[i].clone()]
+                .iter()
+                .map(|&r| hash_one(r))
+                .collect::<Vec<u64>>()
+        });
+        let mut out = Vec::with_capacity(rows.len());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    } else {
+        rows.iter().map(|&r| hash_one(r)).collect()
+    }
+}
+
+/// Key equality between a probe row and a build row under the per-column
+/// schemes. `keys_eq` semantics for `Value` columns; pure `u32` compares
+/// for `Codes` columns.
+fn join_keys_eq(
+    p: &RecordBatch,
+    p_keys: &[usize],
+    p_row: u32,
+    b: &RecordBatch,
+    b_keys: &[usize],
+    b_row: u32,
+    kc: &[KeyCol],
+) -> bool {
+    kc.iter().enumerate().all(|(i, k)| match k {
+        KeyCol::Value => {
+            p.columns[p_keys[i]].value_eq(p_row as usize, &b.columns[b_keys[i]], b_row as usize)
+        }
+        KeyCol::Codes { b: bc, p: pc } => pc[p_row as usize] == bc[b_row as usize],
+    })
+}
+
+/// Hash equi-join over (possibly selection-filtered) batches. `build`
+/// selects the hash-table side; `Auto` builds on the smaller input. The
+/// parallel core partitions both sides by key hash and runs per-partition
+/// build+probe on worker threads; the canonical `(left, right)` output
+/// sort makes it bit-identical to the serial core.
 fn batch_join(
-    l: &RecordBatch,
-    r: &RecordBatch,
+    l: &SelBatch,
+    r: &SelBatch,
     join_type: JoinType,
     left_keys: &[usize],
     right_keys: &[usize],
@@ -447,32 +799,52 @@ fn batch_join(
     }
     // Malformed plans must surface as errors, not index panics, so the
     // service worker pool survives bad requests.
-    if let Some(&k) = left_keys.iter().find(|&&k| k >= l.arity()) {
+    if let Some(&k) = left_keys.iter().find(|&&k| k >= l.batch.arity()) {
         return Err(Error::Storage(format!("left join key {k} out of range")));
     }
-    if let Some(&k) = right_keys.iter().find(|&&k| k >= r.arity()) {
+    if let Some(&k) = right_keys.iter().find(|&&k| k >= r.batch.arity()) {
         return Err(Error::Storage(format!("right join key {k} out of range")));
     }
-    let names = join_names(&l.names, &r.names);
+    let names = join_names(&l.batch.names, &r.batch.names);
     let build_left = match build {
         BuildSide::Left => true,
         BuildSide::Right => false,
         BuildSide::Auto => l.len() < r.len(),
     };
-    let (b, b_keys, p, p_keys) = if build_left {
-        (l, left_keys, r, right_keys)
+    let l_rows = l.rows();
+    let r_rows = r.rows();
+    let (b, b_rows, b_keys, p, p_rows, p_keys) = if build_left {
+        (
+            &l.batch,
+            &l_rows[..],
+            left_keys,
+            &r.batch,
+            &r_rows[..],
+            right_keys,
+        )
     } else {
-        (r, right_keys, l, left_keys)
+        (
+            &r.batch,
+            &r_rows[..],
+            right_keys,
+            &l.batch,
+            &l_rows[..],
+            left_keys,
+        )
     };
+    let kc = key_cols(b, b_keys, p, p_keys);
     let pad_left_rows = matches!(join_type, JoinType::LeftOuter | JoinType::FullOuter);
     let pad_right_rows = matches!(join_type, JoinType::RightOuter | JoinType::FullOuter);
 
-    let rows = if go_parallel(par, b.len() + p.len()) {
+    let rows = if go_parallel(par, b_rows.len() + p_rows.len()) {
         parallel_join_core(
             b,
+            b_rows,
             b_keys,
             p,
+            p_rows,
             p_keys,
+            &kc,
             build_left,
             pad_left_rows,
             pad_right_rows,
@@ -481,58 +853,68 @@ fn batch_join(
     } else {
         serial_join_core(
             b,
+            b_rows,
             b_keys,
             p,
+            p_rows,
             p_keys,
+            &kc,
             build_left,
             pad_left_rows,
             pad_right_rows,
         )
     };
-    assemble_join(l, r, names, rows)
+    assemble_join(&l.batch, &r.batch, names, rows)
 }
 
-/// Single-threaded build+probe (the original executor).
+/// Single-threaded build+probe (the original executor). `b_rows`/`p_rows`
+/// are the selected (ascending) underlying row indices of each side; all
+/// emitted indices are underlying.
+#[allow(clippy::too_many_arguments)]
 fn serial_join_core(
     b: &RecordBatch,
+    b_rows: &[u32],
     b_keys: &[usize],
     p: &RecordBatch,
+    p_rows: &[u32],
     p_keys: &[usize],
+    kc: &[KeyCol],
     build_left: bool,
     pad_left_rows: bool,
     pad_right_rows: bool,
 ) -> JoinRows {
-    // Build: hash → row indices on the build side (NULL keys never match).
-    let b_hashes = b.key_hashes(b_keys);
-    let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(b.len());
-    for (i, &h) in b_hashes.iter().enumerate() {
-        if b.key_has_null(b_keys, i) {
+    // Build: hash → positions into b_rows (NULL keys never match).
+    let b_hashes = hash_join_side(b, b_keys, kc, b_rows, true, Parallelism::Serial);
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(b_rows.len());
+    for (pos, &bi) in b_rows.iter().enumerate() {
+        if b.key_has_null(b_keys, bi as usize) {
             continue;
         }
-        table.entry(h).or_default().push(i as u32);
+        table.entry(b_hashes[pos]).or_default().push(pos as u32);
     }
 
     // Probe: emit (left row, right row) index pairs for matched rows and
     // collect rows needing NULL padding.
-    let p_hashes = p.key_hashes(p_keys);
-    let mut matched_build = vec![false; b.len()];
+    let p_hashes = hash_join_side(p, p_keys, kc, p_rows, false, Parallelism::Serial);
+    let mut matched_build = vec![false; b_rows.len()];
     let mut out_l: Vec<u32> = Vec::new();
     let mut out_r: Vec<u32> = Vec::new();
     let mut pad_l: Vec<u32> = Vec::new();
     let mut pad_r: Vec<u32> = Vec::new();
-    for (pi, &h) in p_hashes.iter().enumerate() {
+    for (ppos, &pi) in p_rows.iter().enumerate() {
         let mut any = false;
-        if !p.key_has_null(p_keys, pi) {
-            if let Some(cands) = table.get(&h) {
-                for &bi in cands {
-                    if p.keys_eq(p_keys, pi, b, b_keys, bi as usize) {
+        if !p.key_has_null(p_keys, pi as usize) {
+            if let Some(cands) = table.get(&p_hashes[ppos]) {
+                for &bpos in cands {
+                    let bi = b_rows[bpos as usize];
+                    if join_keys_eq(p, p_keys, pi, b, b_keys, bi, kc) {
                         any = true;
-                        matched_build[bi as usize] = true;
+                        matched_build[bpos as usize] = true;
                         if build_left {
                             out_l.push(bi);
-                            out_r.push(pi as u32);
+                            out_r.push(pi);
                         } else {
-                            out_l.push(pi as u32);
+                            out_l.push(pi);
                             out_r.push(bi);
                         }
                     }
@@ -543,21 +925,21 @@ fn serial_join_core(
             // The probe side is left when building right, and vice versa.
             if build_left {
                 if pad_right_rows {
-                    pad_r.push(pi as u32);
+                    pad_r.push(pi);
                 }
             } else if pad_left_rows {
-                pad_l.push(pi as u32);
+                pad_l.push(pi);
             }
         }
     }
-    for (bi, &m) in matched_build.iter().enumerate() {
+    for (bpos, &m) in matched_build.iter().enumerate() {
         if !m {
             if build_left {
                 if pad_left_rows {
-                    pad_l.push(bi as u32);
+                    pad_l.push(b_rows[bpos]);
                 }
             } else if pad_right_rows {
-                pad_r.push(bi as u32);
+                pad_r.push(b_rows[bpos]);
             }
         }
     }
@@ -588,58 +970,63 @@ fn serial_join_core(
 #[allow(clippy::too_many_arguments)]
 fn parallel_join_core(
     b: &RecordBatch,
+    b_rows: &[u32],
     b_keys: &[usize],
     p: &RecordBatch,
+    p_rows: &[u32],
     p_keys: &[usize],
+    kc: &[KeyCol],
     build_left: bool,
     pad_left_rows: bool,
     pad_right_rows: bool,
     par: Parallelism,
 ) -> JoinRows {
     let threads = par.threads();
-    let b_hashes = b.key_hashes_par(b_keys, par);
-    let p_hashes = p.key_hashes_par(p_keys, par);
+    let b_hashes = hash_join_side(b, b_keys, kc, b_rows, true, par);
+    let p_hashes = hash_join_side(p, p_keys, kc, p_rows, false, par);
     // Power-of-two partition count a bit above the thread count, so one
     // slow partition does not serialize the tail.
     let n_parts = (threads * 4).next_power_of_two();
     let mask = n_parts - 1;
 
     let mut b_parts: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
-    for (i, &h) in b_hashes.iter().enumerate() {
-        if !b.key_has_null(b_keys, i) {
-            b_parts[(h as usize) & mask].push(i as u32);
+    for (pos, &bi) in b_rows.iter().enumerate() {
+        if !b.key_has_null(b_keys, bi as usize) {
+            b_parts[(b_hashes[pos] as usize) & mask].push(pos as u32);
         }
     }
     let mut p_parts: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
     // NULL-keyed probe rows never match: straight to the unmatched list.
     let mut unmatched_probe: Vec<u32> = Vec::new();
-    for (i, &h) in p_hashes.iter().enumerate() {
-        if p.key_has_null(p_keys, i) {
-            unmatched_probe.push(i as u32);
+    for (pos, &pi) in p_rows.iter().enumerate() {
+        if p.key_has_null(p_keys, pi as usize) {
+            unmatched_probe.push(pi);
         } else {
-            p_parts[(h as usize) & mask].push(i as u32);
+            p_parts[(p_hashes[pos] as usize) & mask].push(pos as u32);
         }
     }
 
-    // (matched (build,probe) pairs, matched build rows, unmatched probe
-    // rows) per partition.
+    // (matched (build,probe) underlying pairs, matched build positions,
+    // unmatched probe underlying rows) per partition.
     type PartOut = (Vec<(u32, u32)>, Vec<u32>, Vec<u32>);
     let parts: Vec<PartOut> = par_map(n_parts, threads, |part| {
         let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(b_parts[part].len());
-        for &bi in &b_parts[part] {
-            table.entry(b_hashes[bi as usize]).or_default().push(bi);
+        for &bpos in &b_parts[part] {
+            table.entry(b_hashes[bpos as usize]).or_default().push(bpos);
         }
         let mut pairs = Vec::new();
         let mut matched = Vec::new();
         let mut unmatched = Vec::new();
-        for &pi in &p_parts[part] {
+        for &ppos in &p_parts[part] {
+            let pi = p_rows[ppos as usize];
             let mut any = false;
-            if let Some(cands) = table.get(&p_hashes[pi as usize]) {
-                for &bi in cands {
-                    if p.keys_eq(p_keys, pi as usize, b, b_keys, bi as usize) {
+            if let Some(cands) = table.get(&p_hashes[ppos as usize]) {
+                for &bpos in cands {
+                    let bi = b_rows[bpos as usize];
+                    if join_keys_eq(p, p_keys, pi, b, b_keys, bi, kc) {
                         any = true;
                         pairs.push((bi, pi));
-                        matched.push(bi);
+                        matched.push(bpos);
                     }
                 }
             }
@@ -650,14 +1037,14 @@ fn parallel_join_core(
         (pairs, matched, unmatched)
     });
 
-    let mut matched_build = vec![false; b.len()];
+    let mut matched_build = vec![false; b_rows.len()];
     let mut lr: Vec<(u32, u32)> = Vec::new();
     for (pairs, matched, unmatched) in parts {
         for (bi, pi) in pairs {
             lr.push(if build_left { (bi, pi) } else { (pi, bi) });
         }
-        for bi in matched {
-            matched_build[bi as usize] = true;
+        for bpos in matched {
+            matched_build[bpos as usize] = true;
         }
         unmatched_probe.extend(unmatched);
     }
@@ -677,14 +1064,14 @@ fn parallel_join_core(
             pad_l.push(pi);
         }
     }
-    for (bi, &m) in matched_build.iter().enumerate() {
+    for (bpos, &m) in matched_build.iter().enumerate() {
         if !m {
             if build_left {
                 if pad_left_rows {
-                    pad_l.push(bi as u32);
+                    pad_l.push(b_rows[bpos]);
                 }
             } else if pad_right_rows {
-                pad_r.push(bi as u32);
+                pad_r.push(b_rows[bpos]);
             }
         }
     }
@@ -749,23 +1136,67 @@ fn assemble_join(
     Ok(RecordBatch::new(names, columns, total))
 }
 
-/// Hash-based distinct preserving first occurrence order.
-fn batch_distinct(batch: &RecordBatch) -> RecordBatch {
+/// Hashes of the `cols` key of each selected row, positionally aligned
+/// with `rows`. Dictionary-encoded columns hash their `u32` code instead
+/// of the decoded string — safe for operator-local grouping/distinct
+/// because group order is first-seen (row order) and equality is always
+/// re-checked, so the hash function never leaks into results.
+fn local_key_hashes(
+    batch: &RecordBatch,
+    cols: &[usize],
+    rows: &[u32],
+    par: Parallelism,
+) -> Vec<u64> {
+    let hash_one = |row: u32| -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for &c in cols {
+            match batch.columns[c].dict_parts() {
+                Some((codes, _)) => {
+                    h.write_u8(3);
+                    h.write_u32(codes[row as usize]);
+                }
+                None => batch.columns[c].hash_value_into(row as usize, &mut h),
+            }
+        }
+        h.finish()
+    };
+    if go_parallel(par, rows.len()) {
+        let ranges = morsel_ranges(rows.len());
+        let parts = par_map(ranges.len(), par.threads(), |i| {
+            rows[ranges[i].clone()]
+                .iter()
+                .map(|&r| hash_one(r))
+                .collect::<Vec<u64>>()
+        });
+        let mut out = Vec::with_capacity(rows.len());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    } else {
+        rows.iter().map(|&r| hash_one(r)).collect()
+    }
+}
+
+/// Hash-based distinct over the selected rows, preserving first-occurrence
+/// order. Returns the kept underlying row indices (ascending, since `rows`
+/// is ascending).
+fn batch_distinct(batch: &RecordBatch, rows: &[u32]) -> Vec<u32> {
     let all: Vec<usize> = (0..batch.arity()).collect();
-    let hashes = batch.key_hashes(&all);
-    let mut seen: HashMap<u64, Vec<u32>> = HashMap::with_capacity(batch.len());
+    let hashes = local_key_hashes(batch, &all, rows, Parallelism::Serial);
+    let mut seen: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rows.len());
     let mut keep: Vec<u32> = Vec::new();
-    'rows: for (i, &h) in hashes.iter().enumerate() {
-        let bucket = seen.entry(h).or_default();
+    'rows: for (pos, &row) in rows.iter().enumerate() {
+        let bucket = seen.entry(hashes[pos]).or_default();
         for &j in bucket.iter() {
-            if batch.keys_eq(&all, i, batch, &all, j as usize) {
+            if batch.keys_eq(&all, row as usize, batch, &all, j as usize) {
                 continue 'rows;
             }
         }
-        bucket.push(i as u32);
-        keep.push(i as u32);
+        bucket.push(row);
+        keep.push(row);
     }
-    batch.gather(&keep)
+    keep
 }
 
 /// Hash-grouped aggregation. Groups preserve first-seen order (matching the
@@ -795,6 +1226,19 @@ pub fn batch_aggregate_opts(
     having: Option<&Expr>,
     par: Parallelism,
 ) -> Result<RecordBatch> {
+    batch_aggregate_sel(batch, None, group_by, aggs, having, par)
+}
+
+/// [`batch_aggregate_opts`] over a selection: only the rows in `sel`
+/// (ascending underlying indices; `None` = all rows) participate.
+fn batch_aggregate_sel(
+    batch: &RecordBatch,
+    sel: Option<&[u32]>,
+    group_by: &[usize],
+    aggs: &[Aggregate],
+    having: Option<&Expr>,
+    par: Parallelism,
+) -> Result<RecordBatch> {
     let par = par.resolved();
     if let Some(&c) = group_by.iter().find(|&&c| c >= batch.arity()) {
         return Err(Error::Storage(format!("group column {c} out of range")));
@@ -808,14 +1252,18 @@ pub fn batch_aggregate_opts(
             "aggregate input column {c} out of range"
         )));
     }
-    let hashes = batch.key_hashes_par(group_by, par);
-    let (mut group_first, mut members) = if go_parallel(par, batch.len()) {
-        parallel_grouping(batch, group_by, &hashes, par)
+    let rows: Cow<'_, [u32]> = match sel {
+        Some(s) => Cow::Borrowed(s),
+        None => Cow::Owned((0..batch.len() as u32).collect()),
+    };
+    let hashes = local_key_hashes(batch, group_by, &rows, par);
+    let (mut group_first, mut members) = if go_parallel(par, rows.len()) {
+        parallel_grouping(batch, group_by, &rows, &hashes, par)
     } else {
-        serial_grouping(batch, group_by, &hashes)
+        serial_grouping(batch, group_by, &rows, &hashes)
     };
     // Global aggregate over empty input still yields one row.
-    if group_by.is_empty() && batch.is_empty() {
+    if group_by.is_empty() && rows.is_empty() {
         group_first.push(0);
         members.push(Vec::new());
     }
@@ -856,9 +1304,12 @@ pub fn batch_aggregate_opts(
 struct GroupTable {
     /// hash → (representative row, gid) entries.
     buckets: HashMap<u64, Vec<(u32, u32)>>,
-    /// gid → representative (first-seen) row.
+    /// gid → representative (first-seen) underlying row.
     firsts: Vec<u32>,
-    /// gid → member rows, in insertion order.
+    /// gid → the representative's key hash (lets the partial-table merge
+    /// re-insert representatives without a positional hash lookup).
+    first_hash: Vec<u64>,
+    /// gid → member underlying rows, in insertion order.
     members: Vec<Vec<u32>>,
 }
 
@@ -875,22 +1326,25 @@ impl GroupTable {
         let g = self.firsts.len() as u32;
         bucket.push((row, g));
         self.firsts.push(row);
+        self.first_hash.push(hash);
         self.members.push(Vec::new());
         g
     }
 }
 
-/// Assign group ids in first-seen order; returns (gid → representative
-/// row, gid → member rows in ascending row order).
+/// Assign group ids in first-seen order over the selected rows; returns
+/// (gid → representative underlying row, gid → member underlying rows in
+/// ascending order). `hashes` is positionally aligned with `rows`.
 fn serial_grouping(
     batch: &RecordBatch,
     group_by: &[usize],
+    rows: &[u32],
     hashes: &[u64],
 ) -> (Vec<u32>, Vec<Vec<u32>>) {
     let mut table = GroupTable::default();
-    for (i, &h) in hashes.iter().enumerate() {
-        let g = table.gid(batch, group_by, h, i as u32);
-        table.members[g as usize].push(i as u32);
+    for (pos, &row) in rows.iter().enumerate() {
+        let g = table.gid(batch, group_by, hashes[pos], row);
+        table.members[g as usize].push(row);
     }
     (table.firsts, table.members)
 }
@@ -902,15 +1356,16 @@ fn serial_grouping(
 fn parallel_grouping(
     batch: &RecordBatch,
     group_by: &[usize],
+    rows: &[u32],
     hashes: &[u64],
     par: Parallelism,
 ) -> (Vec<u32>, Vec<Vec<u32>>) {
-    let ranges = morsel_ranges(batch.len());
+    let ranges = morsel_ranges(rows.len());
     let parts: Vec<GroupTable> = par_map(ranges.len(), par.threads(), |mi| {
         let mut local = GroupTable::default();
-        for i in ranges[mi].clone() {
-            let g = local.gid(batch, group_by, hashes[i], i as u32);
-            local.members[g as usize].push(i as u32);
+        for pos in ranges[mi].clone() {
+            let g = local.gid(batch, group_by, hashes[pos], rows[pos]);
+            local.members[g as usize].push(rows[pos]);
         }
         local
     });
@@ -918,7 +1373,7 @@ fn parallel_grouping(
     let mut table = GroupTable::default();
     for local in parts {
         for (local_gid, &first) in local.firsts.iter().enumerate() {
-            let g = table.gid(batch, group_by, hashes[first as usize], first);
+            let g = table.gid(batch, group_by, local.first_hash[local_gid], first);
             table.members[g as usize].extend_from_slice(&local.members[local_gid]);
         }
     }

@@ -21,10 +21,23 @@ use std::sync::Arc;
 /// touches are materialized in the new version. This is what makes the
 /// single-writer service's clone-mutate-publish write path proportional to
 /// the delta instead of the database.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Database {
     tables: BTreeMap<String, Arc<Table>>,
     views: Arc<BTreeMap<String, View>>,
+    /// Whether tables created through this catalog dictionary-encode their
+    /// string columns (seeded from `PROQL_DICT`, overridable per database).
+    dict_default: bool,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            tables: BTreeMap::new(),
+            views: Arc::new(BTreeMap::new()),
+            dict_default: crate::table::dict_default(),
+        }
+    }
 }
 
 /// A named virtual view: a plan plus the schema its output rows follow.
@@ -42,13 +55,26 @@ impl Database {
         Database::default()
     }
 
+    /// Override the dictionary-encoding default for tables created from
+    /// now on (existing tables keep their encoding). Tests and benches use
+    /// this to sweep dict-on vs dict-off without touching the environment.
+    pub fn set_dict_encoding(&mut self, enabled: bool) {
+        self.dict_default = enabled;
+    }
+
+    /// Whether newly created tables dictionary-encode string columns.
+    pub fn dict_encoding(&self) -> bool {
+        self.dict_default
+    }
+
     /// Create a table with `schema` named after the schema.
     pub fn create_table(&mut self, schema: Schema) -> Result<()> {
         let name = schema.name().to_string();
         if self.tables.contains_key(&name) || self.views.contains_key(&name) {
             return Err(Error::AlreadyExists(format!("relation {name}")));
         }
-        self.tables.insert(name, Arc::new(Table::new(schema)));
+        self.tables
+            .insert(name, Arc::new(Table::with_dict(schema, self.dict_default)));
         Ok(())
     }
 

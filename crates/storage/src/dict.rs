@@ -1,0 +1,116 @@
+//! Append-only string dictionaries for dictionary-encoded columns.
+//!
+//! A [`Dictionary`] interns distinct strings into dense `u32` codes. Codes
+//! are stable for the dictionary's lifetime (the value vector is append-only),
+//! so equality on codes is equality on strings *within one dictionary*, and
+//! batches can share a table's dictionary by `Arc` without copying. Tables
+//! maintain one dictionary per `Str`-typed column incrementally on insert
+//! (see [`crate::table::Table`]); deletes leave codes in place — a
+//! dictionary may therefore contain values with no live rows, which is why
+//! exact NDV comes from the code-keyed counts in [`crate::stats`], not from
+//! [`Dictionary::len`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sentinel code used by table-resident code vectors to mark a NULL cell.
+/// Never appears in a [`crate::batch::Column::Dict`] (nullable columns
+/// degrade to the boxed representation on scan).
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// An append-only interning table from strings to dense `u32` codes.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    values: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Intern `s`, returning its code (existing or freshly assigned).
+    pub fn intern(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let c = self.values.len() as u32;
+        self.values.push(s.clone());
+        self.index.insert(s.clone(), c);
+        c
+    }
+
+    /// The string behind `code`. Panics on out-of-range codes (a code can
+    /// only come from this dictionary).
+    pub fn get(&self, code: u32) -> &Arc<str> {
+        &self.values[code as usize]
+    }
+
+    /// The code of `s`, if it has been interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// All interned strings in code order.
+    pub fn values(&self) -> &[Arc<str>] {
+        &self.values
+    }
+}
+
+/// Two dictionaries are equal iff they intern the same strings in the same
+/// code order (the index is derived state).
+impl PartialEq for Dictionary {
+    fn eq(&self, other: &Dictionary) -> bool {
+        self.values == other.values
+    }
+}
+
+/// For a probe dictionary joined against a build dictionary: map each probe
+/// code to the build code of the same string, or `None` when the build side
+/// never interned it (such probe rows can never match).
+pub fn translation(probe: &Dictionary, build: &Dictionary) -> Vec<Option<u32>> {
+    probe.values.iter().map(|s| build.code_of(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_codes_are_dense() {
+        let mut d = Dictionary::new();
+        let a: Arc<str> = Arc::from("a");
+        let b: Arc<str> = Arc::from("b");
+        assert_eq!(d.intern(&a), 0);
+        assert_eq!(d.intern(&b), 1);
+        assert_eq!(d.intern(&a), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(&**d.get(1), "b");
+        assert_eq!(d.code_of("a"), Some(0));
+        assert_eq!(d.code_of("zzz"), None);
+    }
+
+    #[test]
+    fn translation_maps_shared_values_and_drops_missing_ones() {
+        let (mut p, mut b) = (Dictionary::new(), Dictionary::new());
+        for s in ["x", "y", "z"] {
+            p.intern(&Arc::from(s));
+        }
+        for s in ["y", "x"] {
+            b.intern(&Arc::from(s));
+        }
+        assert_eq!(translation(&p, &b), vec![Some(1), Some(0), None]);
+    }
+}

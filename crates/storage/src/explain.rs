@@ -315,9 +315,19 @@ fn analyzed_rec(
     let line = format!("{pad}{}", node_label(plan));
     match stats.get(*idx) {
         Some(s) => {
+            // Zone-map and selection-vector telemetry, when the operator
+            // produced any: scans report morsels skipped without reading,
+            // row-dropping operators report selection-vector density.
+            let mut extra = String::new();
+            if s.morsels_skipped > 0 {
+                let _ = write!(extra, "  skipped {} morsels", s.morsels_skipped);
+            }
+            if let Some(d) = s.sel_density {
+                let _ = write!(extra, "  sel {:.1}%", d * 100.0);
+            }
             let _ = writeln!(
                 out,
-                "{line:<56} ~{est} rows  actual {} rows in {:.3} ms",
+                "{line:<56} ~{est} rows  actual {} rows in {:.3} ms{extra}",
                 s.rows,
                 s.nanos as f64 / 1e6
             );
@@ -440,5 +450,37 @@ mod tests {
             2,
             "{text}"
         );
+    }
+
+    #[test]
+    fn analyzed_tree_reports_zone_skips_and_selection_density() {
+        use proql_common::{tup, Parallelism, Schema, ValueType};
+        let mut db = crate::database::Database::new();
+        db.create_table(
+            Schema::build("A", &[("id", ValueType::Int), ("v", ValueType::Int)], &[0]).unwrap(),
+        )
+        .unwrap();
+        // Three zones of ascending ids; `id < 10` prunes the last two.
+        let n = crate::zone::ZONE_ROWS as i64 * 3;
+        for i in 0..n {
+            db.insert("A", tup![i, i % 7]).unwrap();
+        }
+        let plan = Plan::scan("A").filter(Expr::cmp(
+            crate::expr::BinOp::Lt,
+            Expr::col(0),
+            Expr::lit(10),
+        ));
+        let (batch, stats) =
+            crate::batch_exec::execute_batch_profiled(&db, &plan, Parallelism::Serial).unwrap();
+        assert_eq!(batch.len(), 10);
+        let text = explain_tree_analyzed(&db, &plan, &stats);
+        assert_eq!(stats.len(), text.lines().count(), "{text}");
+        let scan = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("Scan A"))
+            .unwrap();
+        assert!(scan.contains("skipped 2 morsels"), "{text}");
+        let filter = text.lines().find(|l| l.starts_with("Filter")).unwrap();
+        assert!(filter.contains("sel "), "{text}");
     }
 }

@@ -34,6 +34,7 @@
 pub mod batch;
 pub mod batch_exec;
 pub mod database;
+pub mod dict;
 pub mod exec;
 pub mod explain;
 pub mod expr;
@@ -42,6 +43,7 @@ pub mod optimize;
 pub mod plan;
 pub mod stats;
 pub mod table;
+pub mod zone;
 
 pub use batch::{Column, RecordBatch};
 pub use batch_exec::{
@@ -49,6 +51,7 @@ pub use batch_exec::{
     execute_batch_profiled, execute_with, execute_with_opts, ExecMode, OpStat,
 };
 pub use database::Database;
+pub use dict::Dictionary;
 pub use exec::{execute, JoinAlgo, Relation};
 pub use expr::{BinOp, Expr};
 pub use index::{Index, IndexKind};

@@ -228,6 +228,12 @@ fn join_est(
 
 /// Distinct values of output column `col`, traced through order- and
 /// column-preserving operators down to a base table's statistics.
+///
+/// For dictionary-encoded string columns the per-column stats key their
+/// value→count map by interned `u32` code instead of by owned [`Value`]
+/// ([`crate::stats`]), so this NDV **is** the dictionary cardinality —
+/// same number, cheaper bookkeeping, and estimates stay bit-identical
+/// whether or not `PROQL_DICT` encoding is enabled.
 fn col_ndv(db: &Database, plan: &Plan, col: usize, depth: usize) -> Option<f64> {
     if depth > crate::exec::MAX_VIEW_DEPTH {
         return None;

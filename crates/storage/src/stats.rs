@@ -23,16 +23,41 @@ use std::collections::BTreeMap;
 /// `NULL`s are excluded from the distinct map (and from min/max) and
 /// counted separately, mirroring SQL semantics where `NULL` never joins
 /// or compares.
-#[derive(Debug, Clone, Default)]
+///
+/// Columns backed by a table dictionary key their counts by `u32` code
+/// instead of cloning full `Value::Str` keys — the NDV (what the optimizer
+/// actually reads for strings) is identical, since a dictionary code *is*
+/// a distinct string, and the per-entry footprint drops from a boxed
+/// string to four bytes.
+#[derive(Debug, Clone)]
 pub struct ColumnStats {
-    counts: BTreeMap<Value, u32>,
+    counts: Counts,
     nulls: usize,
+}
+
+/// The distinct-count map, keyed by value or by dictionary code.
+#[derive(Debug, Clone)]
+enum Counts {
+    Values(BTreeMap<Value, u32>),
+    Codes(BTreeMap<u32, u32>),
+}
+
+impl Default for ColumnStats {
+    fn default() -> Self {
+        ColumnStats {
+            counts: Counts::Values(BTreeMap::new()),
+            nulls: 0,
+        }
+    }
 }
 
 impl ColumnStats {
     /// Number of distinct non-NULL values currently live.
     pub fn ndv(&self) -> usize {
-        self.counts.len()
+        match &self.counts {
+            Counts::Values(m) => m.len(),
+            Counts::Codes(m) => m.len(),
+        }
     }
 
     /// Number of live NULLs.
@@ -40,34 +65,84 @@ impl ColumnStats {
         self.nulls
     }
 
-    /// Smallest live non-NULL value.
+    /// Smallest live non-NULL value. `None` for code-keyed (string)
+    /// columns — only numeric range interpolation reads bounds, and string
+    /// columns never interpolate (see [`ColumnStats::fraction_below`]).
     pub fn min(&self) -> Option<&Value> {
-        self.counts.keys().next()
+        match &self.counts {
+            Counts::Values(m) => m.keys().next(),
+            Counts::Codes(_) => None,
+        }
     }
 
-    /// Largest live non-NULL value.
+    /// Largest live non-NULL value (see [`ColumnStats::min`]).
     pub fn max(&self) -> Option<&Value> {
-        self.counts.keys().next_back()
+        match &self.counts {
+            Counts::Values(m) => m.keys().next_back(),
+            Counts::Codes(_) => None,
+        }
     }
 
-    fn add(&mut self, v: &Value) {
+    fn add(&mut self, v: &Value, code: Option<u32>) {
         if v.is_null() {
             self.nulls += 1;
-        } else {
-            *self.counts.entry(v.clone()).or_insert(0) += 1;
+            return;
+        }
+        match (&mut self.counts, code) {
+            (Counts::Values(m), None) => *m.entry(v.clone()).or_insert(0) += 1,
+            (Counts::Codes(m), Some(c)) => *m.entry(c).or_insert(0) += 1,
+            // First coded value on a fresh column: switch to code keys.
+            (Counts::Values(m), Some(c)) if m.is_empty() => {
+                let mut codes = BTreeMap::new();
+                codes.insert(c, 1);
+                self.counts = Counts::Codes(codes);
+            }
+            // Mixed feeds (shouldn't happen — a column is either
+            // dictionary-backed for its whole life or never): fall back to
+            // value keys so counts stay exact.
+            (Counts::Values(m), Some(_)) => *m.entry(v.clone()).or_insert(0) += 1,
+            (Counts::Codes(_), None) => {
+                let mut vals = BTreeMap::new();
+                vals.insert(v.clone(), 1);
+                if let Counts::Codes(m) = &self.counts {
+                    debug_assert!(m.is_empty(), "uncoded value on a code-keyed column");
+                }
+                self.counts = Counts::Values(vals);
+            }
         }
     }
 
-    fn remove(&mut self, v: &Value) {
+    fn remove(&mut self, v: &Value, code: Option<u32>) {
         if v.is_null() {
             self.nulls = self.nulls.saturating_sub(1);
-        } else if let Some(c) = self.counts.get_mut(v) {
-            if *c <= 1 {
-                self.counts.remove(v);
-            } else {
-                *c -= 1;
-            }
+            return;
         }
+        match (&mut self.counts, code) {
+            (Counts::Codes(m), Some(c)) => {
+                if let Some(n) = m.get_mut(&c) {
+                    if *n <= 1 {
+                        m.remove(&c);
+                    } else {
+                        *n -= 1;
+                    }
+                }
+            }
+            (Counts::Values(m), _) => {
+                if let Some(n) = m.get_mut(v) {
+                    if *n <= 1 {
+                        m.remove(v);
+                    } else {
+                        *n -= 1;
+                    }
+                }
+            }
+            (Counts::Codes(_), None) => {}
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counts = Counts::Values(BTreeMap::new());
+        self.nulls = 0;
     }
 
     /// Estimated fraction of rows whose value is `< v` (uniformity within
@@ -118,25 +193,38 @@ impl TableStats {
         self.columns.get(i)
     }
 
+    #[cfg(test)]
     pub(crate) fn add_row(&mut self, t: &Tuple) {
+        self.add_row_coded(t, &[]);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn remove_row(&mut self, t: &Tuple) {
+        self.remove_row_coded(t, &[]);
+    }
+
+    /// [`TableStats::add_row`] with dictionary codes for the columns that
+    /// have them (`codes` may be shorter than the arity; missing / `None`
+    /// entries count by value).
+    pub(crate) fn add_row_coded(&mut self, t: &Tuple, codes: &[Option<u32>]) {
         self.rows += 1;
-        for (c, v) in self.columns.iter_mut().zip(t.values()) {
-            c.add(v);
+        for (i, (c, v)) in self.columns.iter_mut().zip(t.values()).enumerate() {
+            c.add(v, codes.get(i).copied().flatten());
         }
     }
 
-    pub(crate) fn remove_row(&mut self, t: &Tuple) {
+    /// Coded twin of [`TableStats::remove_row`].
+    pub(crate) fn remove_row_coded(&mut self, t: &Tuple, codes: &[Option<u32>]) {
         self.rows = self.rows.saturating_sub(1);
-        for (c, v) in self.columns.iter_mut().zip(t.values()) {
-            c.remove(v);
+        for (i, (c, v)) in self.columns.iter_mut().zip(t.values()).enumerate() {
+            c.remove(v, codes.get(i).copied().flatten());
         }
     }
 
     pub(crate) fn clear(&mut self) {
         self.rows = 0;
         for c in &mut self.columns {
-            c.counts.clear();
-            c.nulls = 0;
+            c.reset();
         }
     }
 
@@ -272,6 +360,28 @@ mod tests {
             s.add_row(&tup![i]);
         }
         assert_ne!(s.fingerprint(), fp);
+    }
+
+    #[test]
+    fn code_keyed_counts_match_value_keyed_ndv() {
+        let mut s = TableStats::new(1);
+        // Codes as a table dictionary would assign them: a=0, b=1.
+        s.add_row_coded(&tup!["a"], &[Some(0)]);
+        s.add_row_coded(&tup!["a"], &[Some(0)]);
+        s.add_row_coded(&tup!["b"], &[Some(1)]);
+        let c = s.column(0).unwrap();
+        assert_eq!(c.ndv(), 2);
+        // Code-keyed columns report no bounds; string columns never use
+        // range interpolation, so estimates are unchanged.
+        assert_eq!(c.min(), None);
+        assert_eq!(c.fraction_below(&Value::str("a")), None);
+        s.remove_row_coded(&tup!["a"], &[Some(0)]);
+        assert_eq!(s.column(0).unwrap().ndv(), 2);
+        s.remove_row_coded(&tup!["a"], &[Some(0)]);
+        assert_eq!(s.column(0).unwrap().ndv(), 1);
+        // NULLs count separately regardless of keying.
+        s.add_row_coded(&Tuple::new(vec![Value::Null]), &[None]);
+        assert_eq!(s.column(0).unwrap().null_count(), 1);
     }
 
     #[test]

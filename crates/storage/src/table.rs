@@ -1,9 +1,35 @@
-//! Tables: schema + rows + primary-key map + secondary indexes.
+//! Tables: schema + rows + primary-key map + secondary indexes, plus the
+//! incrementally-maintained columnar side-structures the batch executor
+//! scans through: per-column string [dictionaries](crate::dict) and
+//! per-morsel [zone maps](crate::zone).
 
+use crate::batch::{Column, RecordBatch};
+use crate::dict::{Dictionary, NULL_CODE};
 use crate::index::{Index, IndexKind};
 use crate::stats::TableStats;
-use proql_common::{Error, Result, Schema, Tuple};
+use crate::zone::{ZoneMaps, ZonePred, ZONE_ROWS};
+use proql_common::{Error, Result, Schema, Tuple, Value, ValueType};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-process default for dictionary encoding, from the `PROQL_DICT`
+/// environment variable (`0` disables — the ablation knob). Read at
+/// table-creation time; [`crate::database::Database`] carries its own copy
+/// so tests can flip it per database without races.
+pub fn dict_default() -> bool {
+    std::env::var("PROQL_DICT")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+/// Dictionary encoding of one `Str`-typed column: codes aligned with the
+/// table's physical row vector (tombstones included, `NULL_CODE` for NULL)
+/// plus the shared interning table.
+#[derive(Debug, Clone)]
+struct ColDict {
+    codes: Vec<u32>,
+    dict: Arc<Dictionary>,
+}
 
 /// A stored table with set semantics on the primary key.
 ///
@@ -23,12 +49,33 @@ pub struct Table {
     tombstones: usize,
     /// Optimizer statistics, maintained incrementally on insert/delete.
     stats: TableStats,
+    /// One entry per column: `Some` iff the column is `Str`-typed and
+    /// dictionary encoding is enabled for this table.
+    dicts: Vec<Option<ColDict>>,
+    /// Per-morsel min/max/null-count, maintained like `stats`.
+    zones: ZoneMaps,
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty table (dictionary encoding per [`dict_default`]).
     pub fn new(schema: Schema) -> Self {
+        Table::with_dict(schema, dict_default())
+    }
+
+    /// Create an empty table, explicitly enabling or disabling dictionary
+    /// encoding for its string columns.
+    pub fn with_dict(schema: Schema, dict: bool) -> Self {
         let arity = schema.arity();
+        let dicts = schema
+            .attributes()
+            .iter()
+            .map(|a| {
+                (dict && a.ty == ValueType::Str).then(|| ColDict {
+                    codes: Vec::new(),
+                    dict: Arc::new(Dictionary::new()),
+                })
+            })
+            .collect();
         Table {
             schema,
             rows: Vec::new(),
@@ -37,6 +84,8 @@ impl Table {
             indexes: Vec::new(),
             tombstones: 0,
             stats: TableStats::new(arity),
+            dicts,
+            zones: ZoneMaps::new(arity),
         }
     }
 
@@ -74,10 +123,51 @@ impl Table {
             ix.insert(&tuple, pos);
         }
         self.pk.insert(key, pos);
-        self.stats.add_row(&tuple);
+        let codes = self.encode_row(&tuple);
+        self.stats.add_row_coded(&tuple, &codes);
+        self.zones.add_row(pos, &tuple);
         self.rows.push(tuple);
         self.live.push(true);
         Ok(true)
+    }
+
+    /// Intern the row's string cells into the per-column dictionaries and
+    /// append their codes; returns the codes for stats keying (empty when
+    /// no column is dictionary-encoded).
+    fn encode_row(&mut self, tuple: &Tuple) -> Vec<Option<u32>> {
+        if self.dicts.iter().all(Option::is_none) {
+            return Vec::new();
+        }
+        let mut out = vec![None; self.dicts.len()];
+        for (c, slot) in self.dicts.iter_mut().enumerate() {
+            let Some(cd) = slot else { continue };
+            let code = match &tuple.values()[c] {
+                Value::Str(s) => Arc::make_mut(&mut cd.dict).intern(s),
+                Value::Null => NULL_CODE,
+                other => unreachable!("schema-checked Str column holds {other}"),
+            };
+            cd.codes.push(code);
+            if code != NULL_CODE {
+                out[c] = Some(code);
+            }
+        }
+        out
+    }
+
+    /// The stats-keying codes of the physical row at `pos`.
+    fn codes_at(&self, pos: usize) -> Vec<Option<u32>> {
+        if self.dicts.iter().all(Option::is_none) {
+            return Vec::new();
+        }
+        self.dicts
+            .iter()
+            .map(|slot| {
+                slot.as_ref().and_then(|cd| {
+                    let c = cd.codes[pos];
+                    (c != NULL_CODE).then_some(c)
+                })
+            })
+            .collect()
     }
 
     /// Bulk insert; returns how many were new.
@@ -110,7 +200,9 @@ impl Table {
         self.live[pos] = false;
         self.tombstones += 1;
         let removed = self.rows[pos].clone();
-        self.stats.remove_row(&removed);
+        let codes = self.codes_at(pos);
+        self.stats.remove_row_coded(&removed, &codes);
+        self.zones.remove_row(pos, &removed);
         if self.tombstones * 2 > self.rows.len() {
             self.compact();
         }
@@ -118,6 +210,17 @@ impl Table {
     }
 
     fn compact(&mut self) {
+        // Compact the code vectors with the same live filter (codes stay
+        // valid — the dictionary is append-only and untouched).
+        for cd in self.dicts.iter_mut().flatten() {
+            cd.codes = cd
+                .codes
+                .iter()
+                .zip(&self.live)
+                .filter(|&(_, &l)| l)
+                .map(|(&c, _)| c)
+                .collect();
+        }
         let mut new_rows = Vec::with_capacity(self.pk.len());
         for (pos, row) in self.rows.iter().enumerate() {
             if self.live[pos] {
@@ -133,6 +236,12 @@ impl Table {
         }
         for ix in &mut self.indexes {
             ix.rebuild(&self.rows);
+        }
+        // Zone bounds went loose under the deletes; rebuild them tight on
+        // the compacted positions.
+        self.zones.clear();
+        for (pos, row) in self.rows.iter().enumerate() {
+            self.zones.add_row(pos, row);
         }
     }
 
@@ -198,16 +307,106 @@ impl Table {
             .collect()
     }
 
-    /// Clear all rows, keeping schema and (empty) indexes.
+    /// Clear all rows, keeping schema and (empty) indexes. Dictionaries
+    /// reset to empty — codes do not survive a truncate.
     pub fn truncate(&mut self) {
         self.rows.clear();
         self.pk.clear();
         self.live.clear();
         self.tombstones = 0;
         self.stats.clear();
+        for cd in self.dicts.iter_mut().flatten() {
+            cd.codes.clear();
+            cd.dict = Arc::new(Dictionary::new());
+        }
+        self.zones.clear();
         for ix in &mut self.indexes {
             ix.rebuild(&[]);
         }
+    }
+
+    /// The dictionary backing column `c`, when it is dictionary-encoded.
+    pub fn dictionary(&self, c: usize) -> Option<&Arc<Dictionary>> {
+        self.dicts.get(c)?.as_ref().map(|cd| &cd.dict)
+    }
+
+    /// True iff any column is dictionary-encoded.
+    pub fn has_dict(&self) -> bool {
+        self.dicts.iter().any(Option::is_some)
+    }
+
+    /// The table's zone maps.
+    pub fn zones(&self) -> &ZoneMaps {
+        &self.zones
+    }
+
+    /// Columnar scan of all live rows. Dictionary-encoded NULL-free string
+    /// columns come out as [`Column::Dict`] (a code memcpy — no string
+    /// clones); every other column decodes exactly as
+    /// [`RecordBatch::from_rows`] would.
+    pub fn to_batch(&self) -> RecordBatch {
+        self.to_batch_pruned(None).0
+    }
+
+    /// Zone-pruned columnar scan: zones that [`ZoneMaps::can_skip`] proves
+    /// cannot satisfy `preds` are skipped wholesale. Returns the batch and
+    /// the number of zones (morsels) skipped. With `preds = None` this is a
+    /// full scan.
+    pub fn to_batch_pruned(&self, preds: Option<&[ZonePred]>) -> (RecordBatch, u64) {
+        let names: Vec<String> = self
+            .schema
+            .attributes()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        let mut skipped = 0u64;
+        let mut positions: Vec<u32> = Vec::with_capacity(self.pk.len());
+        match preds {
+            Some(preds) => {
+                let zone_n = self.rows.len().div_ceil(ZONE_ROWS);
+                for z in 0..zone_n {
+                    if self.zones.can_skip(z, preds) {
+                        skipped += 1;
+                        continue;
+                    }
+                    let end = ((z + 1) * ZONE_ROWS).min(self.rows.len());
+                    for pos in z * ZONE_ROWS..end {
+                        if self.live[pos] {
+                            positions.push(pos as u32);
+                        }
+                    }
+                }
+            }
+            None => {
+                for (pos, &alive) in self.live.iter().enumerate() {
+                    if alive {
+                        positions.push(pos as u32);
+                    }
+                }
+            }
+        }
+        let columns = (0..self.schema.arity())
+            .map(|c| self.scan_column(c, &positions))
+            .collect();
+        (RecordBatch::new(names, columns, positions.len()), skipped)
+    }
+
+    /// One column of a scan over the given physical positions.
+    fn scan_column(&self, c: usize, positions: &[u32]) -> Column {
+        let dict_ok =
+            self.dicts[c].is_some() && self.stats.column(c).is_some_and(|s| s.null_count() == 0);
+        if dict_ok {
+            let cd = self.dicts[c].as_ref().expect("checked");
+            return Column::Dict {
+                codes: positions.iter().map(|&p| cd.codes[p as usize]).collect(),
+                dict: cd.dict.clone(),
+            };
+        }
+        Column::from_values(
+            positions
+                .iter()
+                .map(|&p| self.rows[p as usize].values()[c].clone()),
+        )
     }
 }
 
@@ -357,5 +556,110 @@ mod tests {
         t.truncate();
         assert!(t.is_empty());
         assert!(t.insert(tup![1, "a", true]).unwrap());
+    }
+
+    #[test]
+    fn dictionary_is_maintained_across_insert_delete_truncate() {
+        // Pin the knob on: this test is about dictionary maintenance, so
+        // it must not go vacuous under the `PROQL_DICT=0` ablation run.
+        let mut t = Table::with_dict(table().schema().clone(), true);
+        assert!(t.has_dict());
+        t.insert(tup![1, "a", true]).unwrap();
+        t.insert(tup![2, "b", true]).unwrap();
+        t.insert(tup![3, "a", true]).unwrap();
+        let d = t.dictionary(1).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.code_of("a"), Some(0));
+        // Deletes leave the dictionary alone (codes are append-only) but
+        // stats NDV tracks live values exactly.
+        t.delete_by_key(&tup![2, "b"]);
+        assert_eq!(t.dictionary(1).unwrap().len(), 2);
+        assert_eq!(t.stats().column(1).unwrap().ndv(), 1);
+        // Compaction keeps codes aligned with the surviving rows.
+        for i in 10..30 {
+            t.insert(tup![i, "x", false]).unwrap();
+        }
+        for i in 10..30 {
+            t.delete_by_key(&tup![i, "x"]);
+        }
+        let b = t.to_batch();
+        assert_eq!(b.to_rows(), t.scan());
+        t.truncate();
+        assert_eq!(t.dictionary(1).unwrap().len(), 0);
+        assert!(t.to_batch().is_empty());
+    }
+
+    #[test]
+    fn to_batch_matches_from_rows_with_and_without_dict() {
+        use crate::batch::Column;
+        for dict in [true, false] {
+            let mut t = Table::with_dict(table().schema().clone(), dict);
+            t.insert(tup![1, "a", true]).unwrap();
+            t.insert(tup![2, "b", false]).unwrap();
+            t.insert(tup![3, "a", true]).unwrap();
+            t.delete_by_key(&tup![2, "b"]);
+            let b = t.to_batch();
+            assert_eq!(b.to_rows(), t.scan());
+            assert!(matches!(b.columns[0], Column::Int(_)));
+            match (&b.columns[1], dict) {
+                (Column::Dict { codes, .. }, true) => assert_eq!(codes, &vec![0, 0]),
+                (Column::Str(_), false) => {}
+                other => panic!("unexpected string column shape {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nullable_string_columns_degrade_on_scan() {
+        let mut t = Table::with_dict(
+            Schema::build("S", &[("id", ValueType::Int), ("s", ValueType::Str)], &[0]).unwrap(),
+            true,
+        );
+        t.insert(tup![1, "a"]).unwrap();
+        t.insert(Tuple::new(vec![Value::Int(2), Value::Null]))
+            .unwrap();
+        let b = t.to_batch();
+        assert!(matches!(b.columns[1], crate::batch::Column::Any(_)));
+        assert_eq!(b.to_rows(), t.scan());
+        // Once the NULL is deleted the dictionary path is live again.
+        t.delete_by_key(&tup![2]);
+        assert!(matches!(
+            t.to_batch().columns[1],
+            crate::batch::Column::Dict { .. }
+        ));
+    }
+
+    #[test]
+    fn zone_pruned_scan_is_exact() {
+        use crate::expr::BinOp;
+        let mut t = Table::with_dict(
+            Schema::build("Z", &[("id", ValueType::Int), ("s", ValueType::Str)], &[0]).unwrap(),
+            true,
+        );
+        let n = ZONE_ROWS * 3 + 17;
+        for i in 0..n {
+            t.insert(tup![i as i64, format!("s{}", i % 7)]).unwrap();
+        }
+        // id < ZONE_ROWS/2 lives entirely in zone 0: two zones skip.
+        let preds = vec![ZonePred::Cmp(
+            0,
+            BinOp::Lt,
+            Value::Int(ZONE_ROWS as i64 / 2),
+        )];
+        let (b, skipped) = t.to_batch_pruned(Some(&preds));
+        assert_eq!(skipped, 3);
+        assert_eq!(b.len(), ZONE_ROWS);
+        // The surviving zone still contains every candidate row.
+        let all: Vec<_> = t
+            .scan()
+            .into_iter()
+            .filter(|r| r.values()[0] < Value::Int(ZONE_ROWS as i64 / 2))
+            .collect();
+        let got: Vec<_> = b
+            .to_rows()
+            .into_iter()
+            .filter(|r| r.values()[0] < Value::Int(ZONE_ROWS as i64 / 2))
+            .collect();
+        assert_eq!(got, all);
     }
 }

@@ -1,0 +1,213 @@
+//! Per-morsel zone maps: min/max/null-count per column, per 1024-row zone.
+//!
+//! A zone covers one morsel-sized range of a table's *physical* row vector
+//! (tombstones included), so zone boundaries line up with the parallel
+//! executor's morsels and a zone index is just `row_pos / MORSEL_ROWS`.
+//! Bounds are maintained incrementally like [`crate::stats`]: inserts widen
+//! min/max exactly, deletes only decrement the live/null counters and leave
+//! the bounds loose — loose bounds are safe (they can only prevent a skip,
+//! never cause a wrong one) and [`Table::compact`](crate::table::Table)
+//! rebuilds tight bounds when tombstones are collected.
+//!
+//! Pruning is exact with respect to the executor's comparison semantics:
+//! `=`/`<`/`<=`/`>`/`>=` all use [`Value`]'s total order (NULL sorts first,
+//! types are ranked), so an interval test on [min, max] over *all* live
+//! values — nulls included — decides satisfiability without any type or
+//! null special-casing.
+
+use crate::expr::BinOp;
+use proql_common::par::MORSEL_ROWS;
+use proql_common::{Tuple, Value};
+
+/// Rows per zone; equal to the executor's morsel size so "morsels skipped"
+/// in `EXPLAIN ANALYZE` counts these.
+pub const ZONE_ROWS: usize = MORSEL_ROWS;
+
+/// One zone's per-column summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ColZone {
+    /// Smallest live value ever inserted (total [`Value`] order, loose
+    /// under deletes).
+    min: Option<Value>,
+    /// Largest live value ever inserted (loose under deletes).
+    max: Option<Value>,
+    /// Exact count of live NULLs.
+    nulls: u32,
+}
+
+/// One zone: live-row counter plus a [`ColZone`] per column.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Zone {
+    live: u32,
+    cols: Vec<ColZone>,
+}
+
+/// Incrementally-maintained zone maps for one table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ZoneMaps {
+    arity: usize,
+    zones: Vec<Zone>,
+}
+
+/// A predicate conjunct a zone can rule out: a column compared to a
+/// literal, or a null test. Extracted from plan predicates by the executor.
+#[derive(Debug, Clone)]
+pub enum ZonePred {
+    /// `col <op> lit` where `op` is a comparison.
+    Cmp(usize, BinOp, Value),
+    /// `col IS NULL`.
+    IsNull(usize),
+}
+
+impl ZoneMaps {
+    /// Empty zone maps for an `arity`-column table.
+    pub fn new(arity: usize) -> ZoneMaps {
+        ZoneMaps {
+            arity,
+            zones: Vec::new(),
+        }
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Record an insert at physical position `pos`.
+    pub fn add_row(&mut self, pos: usize, tuple: &Tuple) {
+        let z = pos / ZONE_ROWS;
+        while self.zones.len() <= z {
+            self.zones.push(Zone {
+                live: 0,
+                cols: vec![ColZone::default(); self.arity],
+            });
+        }
+        let zone = &mut self.zones[z];
+        zone.live += 1;
+        for (c, v) in tuple.iter().enumerate() {
+            let col = &mut zone.cols[c];
+            if v.is_null() {
+                col.nulls += 1;
+            }
+            match &col.min {
+                Some(m) if m <= v => {}
+                _ => col.min = Some(v.clone()),
+            }
+            match &col.max {
+                Some(m) if m >= v => {}
+                _ => col.max = Some(v.clone()),
+            }
+        }
+    }
+
+    /// Record a delete at physical position `pos`. Bounds stay loose.
+    pub fn remove_row(&mut self, pos: usize, tuple: &Tuple) {
+        let z = pos / ZONE_ROWS;
+        let zone = &mut self.zones[z];
+        zone.live = zone.live.saturating_sub(1);
+        for (c, v) in tuple.iter().enumerate() {
+            if v.is_null() {
+                zone.cols[c].nulls = zone.cols[c].nulls.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Drop every zone (table truncated or about to be rebuilt).
+    pub fn clear(&mut self) {
+        self.zones.clear();
+    }
+
+    /// True iff zone `z` cannot contain a row satisfying **all** of
+    /// `preds` (any single unsatisfiable conjunct suffices). Conservative:
+    /// false when unsure.
+    pub fn can_skip(&self, z: usize, preds: &[ZonePred]) -> bool {
+        let Some(zone) = self.zones.get(z) else {
+            return false;
+        };
+        if zone.live == 0 {
+            return true;
+        }
+        preds.iter().any(|p| match p {
+            ZonePred::IsNull(c) => zone.cols.get(*c).is_some_and(|col| col.nulls == 0),
+            ZonePred::Cmp(c, op, lit) => {
+                let Some(col) = zone.cols.get(*c) else {
+                    return false;
+                };
+                let (Some(min), Some(max)) = (&col.min, &col.max) else {
+                    return false;
+                };
+                // All live values v lie in [min, max] under Value's total
+                // order; skip when no point of the interval can satisfy.
+                match op {
+                    BinOp::Eq => lit < min || lit > max,
+                    BinOp::Lt => min >= lit,
+                    BinOp::Le => min > lit,
+                    BinOp::Gt => max <= lit,
+                    BinOp::Ge => max < lit,
+                    _ => false,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proql_common::tup;
+
+    #[test]
+    fn bounds_widen_on_insert_and_prune_ranges() {
+        let mut zm = ZoneMaps::new(1);
+        for (i, v) in [10i64, 20, 30].iter().enumerate() {
+            zm.add_row(i, &tup![*v]);
+        }
+        // Second zone with a disjoint range.
+        for (i, v) in [100i64, 200].iter().enumerate() {
+            zm.add_row(ZONE_ROWS + i, &tup![*v]);
+        }
+        let eq = |v: i64| vec![ZonePred::Cmp(0, BinOp::Eq, Value::Int(v))];
+        assert!(!zm.can_skip(0, &eq(20)));
+        assert!(zm.can_skip(0, &eq(99)));
+        assert!(!zm.can_skip(1, &eq(200)));
+        assert!(zm.can_skip(1, &eq(20)));
+        let lt = vec![ZonePred::Cmp(0, BinOp::Lt, Value::Int(50))];
+        assert!(!zm.can_skip(0, &lt));
+        assert!(zm.can_skip(1, &lt));
+    }
+
+    #[test]
+    fn deletes_keep_bounds_loose_but_never_skip_wrongly() {
+        let mut zm = ZoneMaps::new(1);
+        zm.add_row(0, &tup![1]);
+        zm.add_row(1, &tup![100]);
+        zm.remove_row(1, &tup![100]);
+        // 100 is gone but bounds are loose: must NOT skip Eq(1), MAY not
+        // skip Eq(100) (loose), and an emptied zone skips everything.
+        assert!(!zm.can_skip(0, &[ZonePred::Cmp(0, BinOp::Eq, Value::Int(1))]));
+        zm.remove_row(0, &tup![1]);
+        assert!(zm.can_skip(0, &[ZonePred::Cmp(0, BinOp::Eq, Value::Int(1))]));
+    }
+
+    #[test]
+    fn null_counts_prune_is_null() {
+        let mut zm = ZoneMaps::new(1);
+        zm.add_row(0, &tup![5]);
+        assert!(zm.can_skip(0, &[ZonePred::IsNull(0)]));
+        zm.add_row(1, &proql_common::Tuple::new(vec![Value::Null]));
+        assert!(!zm.can_skip(0, &[ZonePred::IsNull(0)]));
+        // NULL sorts below every non-null value in the total order, so a
+        // zone holding a NULL keeps min = NULL and never falsely skips
+        // Lt-style predicates (NULL < 5 is true under the total order).
+        assert!(!zm.can_skip(0, &[ZonePred::Cmp(0, BinOp::Lt, Value::Int(5))]));
+    }
+
+    #[test]
+    fn unknown_zone_or_column_never_skips() {
+        let zm = ZoneMaps::new(1);
+        assert!(!zm.can_skip(7, &[ZonePred::IsNull(0)]));
+        let mut zm = ZoneMaps::new(1);
+        zm.add_row(0, &tup![1]);
+        assert!(!zm.can_skip(0, &[ZonePred::Cmp(9, BinOp::Eq, Value::Int(1))]));
+    }
+}
